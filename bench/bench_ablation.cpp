@@ -1,0 +1,242 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations --------------------===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablations for the design choices DESIGN.md calls out, on the three
+/// headline benchmarks (mcf, gap, parser):
+///
+///   1. WSST prefetching on/off -- the paper turns it off for lack of
+///      benefit; we measure what turning it on does.
+///   2. is_same_value coarsening on/off (Figure 7 enhancement).
+///   3. Prefetch max distance C sweep.
+///   4. Trip-count threshold TT sweep.
+///   5. Block-check vs edge-check: same prefetch decisions (the paper's
+///      equivalence claim), measured end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Random.h"
+#include "support/Table.h"
+#include "workloads/Builders.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+namespace {
+
+/// A parameterized pointer chase over nodes holding pointers into a
+/// *randomly allocated* payload region: the node chase is SSST, the
+/// payload load has no stride of its own. Used by the dependent-prefetch
+/// and allocation-order ablations.
+class IndirectChase final : public Workload {
+public:
+  IndirectChase(unsigned NoisePercent, bool RandomPayload)
+      : Noise(NoisePercent), RandomPayload(RandomPayload) {}
+
+  WorkloadInfo info() const override {
+    return {"ablation.chase", "IR", "parameterized indirect chase"};
+  }
+
+  Program build(DataSet DS) const override {
+    const uint64_t Count = DS == DataSet::Ref ? 50000 : 16000;
+    Program Prog;
+    Prog.M.Name = "ablation.chase";
+    BumpAllocator A;
+    Rng R(0xAB1A710 + Noise);
+
+    // Payload region, either allocated in traversal order (strided) or
+    // shuffled (what a long-lived fragmented heap looks like).
+    std::vector<uint64_t> Payloads(Count);
+    for (uint64_t I = 0; I != Count; ++I)
+      Payloads[I] = A.alloc(64, 8);
+    if (RandomPayload)
+      for (uint64_t I = Count; I > 1; --I)
+        std::swap(Payloads[I - 1], Payloads[R.below(I)]);
+
+    std::vector<uint64_t> Nodes;
+    ListSpec Spec;
+    Spec.Count = Count;
+    Spec.NodeBytes = 64;
+    Spec.NoisePercent = Noise;
+    uint64_t Head = buildList(Prog.Memory, A, R, Spec, &Nodes);
+    for (uint64_t I = 0; I != Count; ++I)
+      Prog.Memory.write64(Nodes[I] + 8,
+                          static_cast<int64_t>(Payloads[I]));
+
+    IRBuilder B(Prog.M);
+    B.startFunction("main", 0);
+    Reg Acc = B.movImm(0);
+    emitCountedLoop(B, Operand::imm(2), [&](IRBuilder &OB, Reg) {
+      Reg P = OB.mov(Operand::imm(static_cast<int64_t>(Head)));
+      emitPointerLoop(OB, P, [&](IRBuilder &IB, Reg Node) {
+        Reg Ptr = IB.load(Node, 8);  // SSST base load
+        Reg Val = IB.load(Ptr, 0);   // dependent payload load
+        IB.add(Operand::reg(Acc), Operand::reg(Val), Acc);
+        IB.load(Node, 0, Node);
+      });
+    });
+    B.halt();
+    return Prog;
+  }
+
+private:
+  unsigned Noise;
+  bool RandomPayload;
+};
+
+double speedupWith(const Workload &W, const PipelineConfig &Config,
+                   ProfilingMethod Method = ProfilingMethod::EdgeCheck) {
+  Pipeline P(W, Config);
+  return P.speedup(Method, DataSet::Train, DataSet::Ref);
+}
+
+std::vector<std::string> headliners() {
+  return {"181.mcf", "254.gap", "197.parser"};
+}
+
+} // namespace
+
+int main() {
+  // --- 1. WSST prefetching ------------------------------------------------
+  {
+    Table T("Ablation 1: WSST prefetching (paper disables it)");
+    T.row({"benchmark", "WSST off (default)", "WSST on"});
+    for (const std::string &Name : headliners()) {
+      auto W = makeWorkloadByName(Name);
+      PipelineConfig On;
+      On.Classifier.EnableWsstPrefetch = true;
+      T.row({Name, Table::fmt(speedupWith(*W, {})) + "x",
+             Table::fmt(speedupWith(*W, On)) + "x"});
+    }
+    T.print(std::cout);
+  }
+
+  // --- 2. is_same_value coarsening -----------------------------------------
+  {
+    Table T("Ablation 2: is_same_value coarsening (Figure 7)");
+    T.row({"benchmark", "coarsen=4 (default)", "coarsen=0 (Figure 6)"});
+    for (const std::string &Name : headliners()) {
+      auto W = makeWorkloadByName(Name);
+      PipelineConfig Exact;
+      Exact.Profiler.AddrCoarsenShift = 0;
+      Exact.Profiler.Lfu.CoarsenShift = 0;
+      T.row({Name, Table::fmt(speedupWith(*W, {})) + "x",
+             Table::fmt(speedupWith(*W, Exact)) + "x"});
+    }
+    T.print(std::cout);
+  }
+
+  // --- 3. Prefetch distance sweep ------------------------------------------
+  {
+    Table T("Ablation 3: max prefetch distance C");
+    T.row({"benchmark", "C=1", "C=2", "C=4", "C=8 (default)", "C=16"});
+    for (const std::string &Name : headliners()) {
+      std::vector<std::string> Row = {Name};
+      for (unsigned C : {1u, 2u, 4u, 8u, 16u}) {
+        auto W = makeWorkloadByName(Name);
+        PipelineConfig Cfg;
+        Cfg.Classifier.MaxPrefetchDistance = C;
+        Row.push_back(Table::fmt(speedupWith(*W, Cfg)) + "x");
+      }
+      T.row(Row);
+    }
+    T.print(std::cout);
+  }
+
+  // --- 4. Trip-count threshold sweep ---------------------------------------
+  {
+    Table T("Ablation 4: trip-count threshold TT");
+    T.row({"benchmark", "TT=32", "TT=128 (default)", "TT=512"});
+    for (const std::string &Name : headliners()) {
+      std::vector<std::string> Row = {Name};
+      for (uint64_t TT : {32ull, 128ull, 512ull}) {
+        auto W = makeWorkloadByName(Name);
+        PipelineConfig Cfg;
+        Cfg.Instrument.TripCountThreshold = TT;
+        Cfg.Classifier.TripCountThreshold = TT;
+        Row.push_back(Table::fmt(speedupWith(*W, Cfg)) + "x");
+      }
+      T.row(Row);
+    }
+    T.print(std::cout);
+  }
+
+  // --- 5. Block-check vs edge-check ----------------------------------------
+  {
+    Table T("Ablation 5: block-check vs edge-check (same profile claim)");
+    T.row({"benchmark", "edge-check", "block-check"});
+    for (const std::string &Name : headliners()) {
+      auto W = makeWorkloadByName(Name);
+      T.row({Name,
+             Table::fmt(speedupWith(*W, {}, ProfilingMethod::EdgeCheck)) +
+                 "x",
+             Table::fmt(speedupWith(*W, {}, ProfilingMethod::BlockCheck)) +
+                 "x"});
+    }
+    T.print(std::cout);
+  }
+
+  // --- 6. Dependent-load prefetching (Section 6 future work) ---------------
+  {
+    Table T("Ablation 6: dependent-load prefetching "
+            "(indirect chase, randomly allocated payload)");
+    T.row({"configuration", "speedup"});
+    IndirectChase W(/*NoisePercent=*/4, /*RandomPayload=*/true);
+    T.row({"stride prefetch only (paper system)",
+           Table::fmt(speedupWith(W, {})) + "x"});
+    PipelineConfig Dep;
+    Dep.Classifier.EnableDependentPrefetch = true;
+    T.row({"+ dependent prefetch (load.s chase)",
+           Table::fmt(speedupWith(W, Dep)) + "x"});
+    T.print(std::cout);
+  }
+
+  // --- 7. Allocation order (Section 6 future work) --------------------------
+  {
+    Table T("Ablation 7: allocation-order sensitivity "
+            "(indirect chase, strided payload, noise sweep)");
+    T.row({"allocation noise", "top1 stride share", "speedup"});
+    for (unsigned Noise : {0u, 5u, 15u, 30u, 50u}) {
+      IndirectChase W(Noise, /*RandomPayload=*/false);
+      Pipeline P(W, {});
+      ProfileRunResult PR = P.runProfile(ProfilingMethod::EdgeCheck,
+                                         DataSet::Train, false);
+      // Dominant-stride share of the noisiest hot site (the node chase;
+      // the payload site stays at ~100% since only the node allocation is
+      // perturbed).
+      double Share = 1.0;
+      for (uint32_t S = 0; S != PR.Strides.numSites(); ++S) {
+        const StrideSiteSummary &Sum = PR.Strides.site(S);
+        if (Sum.TotalStrides > 1000)
+          Share = std::min(Share, double(Sum.top1Freq()) /
+                                      double(Sum.TotalStrides));
+      }
+      T.row({std::to_string(Noise) + "%",
+             Table::fmtPercent(100.0 * Share),
+             Table::fmt(speedupWith(W, {})) + "x"});
+    }
+    T.print(std::cout);
+  }
+
+  // --- 8. Use-distance filter (Section 6 future work) -----------------------
+  {
+    Table T("Ablation 8: use-distance filter on the headliners "
+            "(should not veto hot-loop prefetches)");
+    T.row({"benchmark", "filter off", "filter on (gap<=64)"});
+    for (const std::string &Name : headliners()) {
+      auto W = makeWorkloadByName(Name);
+      PipelineConfig On;
+      On.Classifier.EnableUseDistanceFilter = true;
+      T.row({Name, Table::fmt(speedupWith(*W, {})) + "x",
+             Table::fmt(speedupWith(*W, On)) + "x"});
+    }
+    T.print(std::cout);
+  }
+  return 0;
+}

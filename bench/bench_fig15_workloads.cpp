@@ -1,0 +1,38 @@
+//===- bench/bench_fig15_workloads.cpp - Regenerate paper Figure 15 ---------===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 15: the benchmark table, extended with the synthetic suite's
+/// dynamic characteristics (instructions and loads on both inputs) so the
+/// substitution for real SPECINT2000 is auditable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  Table T("Figure 15: SPECINT2000-shaped synthetic benchmarks");
+  T.row({"program", "lang", "description", "train Minstr", "ref Minstr",
+         "ref Mloads"});
+  for (const auto &W : makeSpecIntSuite()) {
+    WorkloadInfo Info = W->info();
+    Pipeline P(*W);
+    RunStats Train = P.runBaseline(DataSet::Train);
+    RunStats Ref = P.runBaseline(DataSet::Ref);
+    T.row({Info.Name, Info.Lang, Info.Description,
+           Table::fmt(Train.Instructions / 1e6, 1),
+           Table::fmt(Ref.Instructions / 1e6, 1),
+           Table::fmt(Ref.LoadRefs / 1e6, 1)});
+  }
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+//===- bench/bench_fig16_speedup.cpp - Regenerate paper Figure 16 -----------===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 16: speedup of stride-profile-guided prefetching for each of the
+/// six profiling methods across the SPECINT2000-like suite. Profiles are
+/// collected with the train input; performance is measured on the
+/// reference input (paper Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  std::vector<ProfilingMethod> Methods = paperStrideMethods();
+
+  Table T("Figure 16: speedup of stride prefetching "
+          "(profile=train, run=ref)");
+  std::vector<std::string> Header = {"benchmark"};
+  for (ProfilingMethod M : Methods)
+    Header.push_back(profilingMethodName(M));
+  Header.push_back("paper(edge-check)");
+  T.row(Header);
+
+  std::map<ProfilingMethod, std::vector<double>> PerMethod;
+  for (const auto &W : makeSpecIntSuite()) {
+    BenchMeasurement BM = measureBenchmark(*W);
+    std::vector<std::string> Row = {BM.Name};
+    for (ProfilingMethod M : Methods) {
+      double S = BM.Methods.at(M).Speedup;
+      PerMethod[M].push_back(S);
+      Row.push_back(Table::fmt(S) + "x");
+    }
+    auto Paper = paperFig16Speedup(BM.Name);
+    Row.push_back(Paper ? Table::fmt(*Paper) + "x" : "-");
+    T.row(Row);
+    std::cerr << "measured " << BM.Name << "\n";
+  }
+
+  std::vector<std::string> AvgRow = {"average"};
+  for (ProfilingMethod M : Methods)
+    AvgRow.push_back(Table::fmt(mean(PerMethod[M])) + "x");
+  AvgRow.push_back("1.07x");
+  T.row(AvgRow);
+
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- bench/bench_fig17_loadmix.cpp - Regenerate paper Figure 17 -----------===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 17: percentage of dynamic load references from in-loop vs
+/// out-loop loads (loads in irreducible loops count as out-loop). The
+/// paper reports ~60% in-loop / ~40% out-loop on average.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "driver/Pipeline.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  Table T("Figure 17: in-loop vs out-loop dynamic load references (ref)");
+  T.row({"benchmark", "in-loop", "out-loop"});
+
+  std::vector<double> InLoopShares;
+  for (const auto &W : makeSpecIntSuite()) {
+    Program Prog = W->build(DataSet::Ref);
+    Interpreter I(Prog.M, std::move(Prog.Memory));
+    RunStats S = I.run();
+
+    // Per-site in-loop classification.
+    std::vector<SiteLocation> Sites = Prog.M.locateLoadSites();
+    uint64_t InLoop = 0, OutLoop = 0;
+    for (uint32_t FI = 0; FI != Prog.M.Functions.size(); ++FI) {
+      const Function &F = Prog.M.Functions[FI];
+      DomTree DT = DomTree::forward(F);
+      LoopInfo LI(F, DT);
+      for (uint32_t Site = 0; Site != Prog.M.NumLoadSites; ++Site) {
+        if (Sites[Site].Func != FI)
+          continue;
+        if (LI.isInLoop(Sites[Site].Block))
+          InLoop += S.SiteCounts[Site];
+        else
+          OutLoop += S.SiteCounts[Site];
+      }
+    }
+    double InPct = percent(static_cast<double>(InLoop),
+                           static_cast<double>(InLoop + OutLoop));
+    InLoopShares.push_back(InPct);
+    T.row({W->info().Name, Table::fmtPercent(InPct),
+           Table::fmtPercent(100.0 - InPct)});
+  }
+  double Avg = mean(InLoopShares);
+  T.row({"average", Table::fmtPercent(Avg),
+         Table::fmtPercent(100.0 - Avg)});
+  T.row({"paper avg", "~60%", "~40%"});
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+//===- bench/bench_fig19_inloop_classes.cpp - Regenerate paper Figure 19 ----===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 19: distribution of in-loop loads by stride property (naive-all
+/// profile, % of all dynamic load references). The paper finds nearly all
+/// in-loop loads with stride patterns fall into the prefetchable SSST and
+/// PMST classes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  Table T("Figure 19: in-loop load references by stride property "
+          "(% of all load refs, naive-all profile)");
+  T.row({"benchmark", "SSST", "PMST", "WSST", "no-stride"});
+  std::vector<double> S, P, W, N;
+  for (const auto &Wl : makeSpecIntSuite()) {
+    PopulationRow R = classifyLoadPopulation(*Wl, /*InLoopWanted=*/true);
+    S.push_back(R.SsstPct);
+    P.push_back(R.PmstPct);
+    W.push_back(R.WsstPct);
+    N.push_back(R.NonePct);
+    T.row({R.Bench, Table::fmtPercent(R.SsstPct),
+           Table::fmtPercent(R.PmstPct), Table::fmtPercent(R.WsstPct),
+           Table::fmtPercent(R.NonePct)});
+    std::cerr << "measured " << R.Bench << "\n";
+  }
+  T.row({"average", Table::fmtPercent(mean(S)), Table::fmtPercent(mean(P)),
+         Table::fmtPercent(mean(W)), Table::fmtPercent(mean(N))});
+  T.print(std::cout);
+  return 0;
+}

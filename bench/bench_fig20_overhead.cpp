@@ -1,0 +1,61 @@
+//===- bench/bench_fig20_overhead.cpp - Regenerate paper Figure 20 ----------===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 20: profiling overhead of the six integrated methods relative to
+/// edge-frequency profiling alone, on the train inputs. Paper averages:
+/// edge-check +58%, naive-loop +272%, naive-all +436%; with sampling +17%,
+/// +67%, +122%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  std::vector<ProfilingMethod> Methods = paperStrideMethods();
+
+  Table T("Figure 20: profiling overhead over edge profiling alone "
+          "(train input)");
+  std::vector<std::string> Header = {"benchmark"};
+  for (ProfilingMethod M : Methods)
+    Header.push_back(profilingMethodName(M));
+  T.row(Header);
+
+  std::map<ProfilingMethod, std::vector<double>> PerMethod;
+  for (const auto &W : makeSpecIntSuite()) {
+    BenchMeasurement BM = measureBenchmark(*W);
+    std::vector<std::string> Row = {BM.Name};
+    for (ProfilingMethod M : Methods) {
+      double Overhead =
+          ratio(static_cast<double>(BM.Methods.at(M).ProfiledCycles) -
+                    static_cast<double>(BM.EdgeOnlyTrainCycles),
+                static_cast<double>(BM.EdgeOnlyTrainCycles));
+      PerMethod[M].push_back(Overhead);
+      Row.push_back(Table::fmtPercent(100.0 * Overhead, 0));
+    }
+    T.row(Row);
+    std::cerr << "measured " << BM.Name << "\n";
+  }
+
+  std::vector<std::string> AvgRow = {"average"};
+  std::vector<std::string> PaperRow = {"paper avg"};
+  for (ProfilingMethod M : Methods) {
+    AvgRow.push_back(Table::fmtPercent(100.0 * mean(PerMethod[M]), 0));
+    auto Paper = paperFig20Overhead(M);
+    PaperRow.push_back(Paper ? Table::fmtPercent(100.0 * *Paper, 0) : "-");
+  }
+  T.row(AvgRow);
+  T.row(PaperRow);
+  T.print(std::cout);
+  return 0;
+}

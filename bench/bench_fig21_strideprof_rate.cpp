@@ -1,0 +1,60 @@
+//===- bench/bench_fig21_strideprof_rate.cpp - Regenerate paper Figure 21 ---===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 21: percentage of dynamic load references processed by the
+/// strideProf routine (past the sampling code), per method. Paper
+/// averages: edge-check ~11%, naive-loop ~60%, naive-all 100%, sampled
+/// <1% / 3% / 5%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  std::vector<ProfilingMethod> Methods = paperStrideMethods();
+
+  Table T("Figure 21: % of load references processed in strideProf "
+          "(after sampling, train input)");
+  std::vector<std::string> Header = {"benchmark"};
+  for (ProfilingMethod M : Methods)
+    Header.push_back(profilingMethodName(M));
+  T.row(Header);
+
+  std::map<ProfilingMethod, std::vector<double>> PerMethod;
+  for (const auto &W : makeSpecIntSuite()) {
+    BenchMeasurement BM = measureBenchmark(*W);
+    std::vector<std::string> Row = {BM.Name};
+    for (ProfilingMethod M : Methods) {
+      const MethodMeasurement &MM = BM.Methods.at(M);
+      double Pct = percent(static_cast<double>(MM.StrideProcessed),
+                           static_cast<double>(MM.TrainLoadRefs));
+      PerMethod[M].push_back(Pct);
+      Row.push_back(Table::fmtPercent(Pct));
+    }
+    T.row(Row);
+    std::cerr << "measured " << BM.Name << "\n";
+  }
+
+  std::vector<std::string> AvgRow = {"average"};
+  std::vector<std::string> PaperRow = {"paper avg"};
+  for (ProfilingMethod M : Methods) {
+    AvgRow.push_back(Table::fmtPercent(mean(PerMethod[M])));
+    auto Paper = paperFig21Processed(M);
+    PaperRow.push_back(Paper ? "~" + Table::fmtPercent(*Paper, 0) : "-");
+  }
+  T.row(AvgRow);
+  T.row(PaperRow);
+  T.print(std::cout);
+  return 0;
+}

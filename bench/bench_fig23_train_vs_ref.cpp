@@ -1,0 +1,41 @@
+//===- bench/bench_fig23_train_vs_ref.cpp - Regenerate paper Figure 23 ------===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 23: sensitivity of the speedup to the profiling input. "train"
+/// uses profiles collected on the train input, "ref" profiles collected on
+/// the reference input; both run on the reference input with
+/// sample-edge-check profiling. The paper finds ref >= train with small
+/// differences (e.g. parser 1.08 -> 1.09, gap 1.14 -> 1.20).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  Table T("Figure 23: train-profile vs ref-profile speedups "
+          "(sample-edge-check, run=ref)");
+  T.row({"benchmark", "train", "ref"});
+  std::vector<double> Train, Ref;
+  for (const auto &W : makeSpecIntSuite()) {
+    SensitivityMeasurement R = measureSensitivity(*W);
+    Train.push_back(R.Train);
+    Ref.push_back(R.Ref);
+    T.row({R.Name, Table::fmt(R.Train) + "x", Table::fmt(R.Ref) + "x"});
+    std::cerr << "measured " << R.Name << "\n";
+  }
+  T.row({"average", Table::fmt(mean(Train)) + "x",
+         Table::fmt(mean(Ref)) + "x"});
+  T.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+//===- bench/bench_fig24_edge_sensitivity.cpp - Regenerate paper Figure 24 --===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 24: isolating the edge profile's contribution. Binaries built
+/// with the reference-input *edge* profile and the train-input *stride*
+/// profile perform like full-ref binaries, showing the Figure-23 gap comes
+/// from the edge profile, not the stride profile.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  Table T("Figure 24: train vs edge.ref-stride.train speedups "
+          "(sample-edge-check, run=ref)");
+  T.row({"benchmark", "train", "edge.ref-stride.train"});
+  std::vector<double> Train, Mixed;
+  for (const auto &W : makeSpecIntSuite()) {
+    SensitivityMeasurement R = measureSensitivity(*W);
+    Train.push_back(R.Train);
+    Mixed.push_back(R.EdgeRefStrideTrain);
+    T.row({R.Name, Table::fmt(R.Train) + "x",
+           Table::fmt(R.EdgeRefStrideTrain) + "x"});
+    std::cerr << "measured " << R.Name << "\n";
+  }
+  T.row({"average", Table::fmt(mean(Train)) + "x",
+         Table::fmt(mean(Mixed)) + "x"});
+  T.print(std::cout);
+  return 0;
+}

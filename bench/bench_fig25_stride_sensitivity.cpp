@@ -1,0 +1,41 @@
+//===- bench/bench_fig25_stride_sensitivity.cpp - Regenerate paper Figure 25 -===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 25: isolating the stride profile's contribution. Binaries built
+/// with the train-input *edge* profile and the reference-input *stride*
+/// profile perform like full-train binaries: the stride profile is stable
+/// across input data sets (the paper's Section 4.3 conclusion).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+int main() {
+  Table T("Figure 25: train vs edge.train-stride.ref speedups "
+          "(sample-edge-check, run=ref)");
+  T.row({"benchmark", "train", "edge.train-stride.ref"});
+  std::vector<double> Train, Mixed;
+  for (const auto &W : makeSpecIntSuite()) {
+    SensitivityMeasurement R = measureSensitivity(*W);
+    Train.push_back(R.Train);
+    Mixed.push_back(R.EdgeTrainStrideRef);
+    T.row({R.Name, Table::fmt(R.Train) + "x",
+           Table::fmt(R.EdgeTrainStrideRef) + "x"});
+    std::cerr << "measured " << R.Name << "\n";
+  }
+  T.row({"average", Table::fmt(mean(Train)) + "x",
+         Table::fmt(mean(Mixed)) + "x"});
+  T.print(std::cout);
+  return 0;
+}

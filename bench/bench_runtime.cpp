@@ -1,0 +1,118 @@
+//===- bench/bench_runtime.cpp - Profiling-runtime micro-benchmarks ---------===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-suite for the profiling runtime itself: the LFU
+/// value profiler under different value diversities, the strideProf fast
+/// paths (zero-stride shortcut, sampling early-outs), and the coarsening
+/// enhancement -- the host-machine counterparts of the simulated cost
+/// model in StrideCostModel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/LfuValueProfiler.h"
+#include "profile/StrideProfiler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sprof;
+
+namespace {
+
+// Deterministic pseudo-random sequence for stride streams.
+uint64_t nextRand(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+void BM_LfuSingleValue(benchmark::State &State) {
+  LfuValueProfiler L;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(L.add(128));
+}
+BENCHMARK(BM_LfuSingleValue);
+
+void BM_LfuFewValues(benchmark::State &State) {
+  LfuValueProfiler L;
+  uint64_t R = 0x1234;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.add(static_cast<int64_t>((nextRand(R) & 3) * 64)));
+}
+BENCHMARK(BM_LfuFewValues);
+
+void BM_LfuManyValues(benchmark::State &State) {
+  // Worst case: values rarely repeat, every add scans the whole temp
+  // buffer and churns the LFU entry.
+  LfuValueProfiler L;
+  uint64_t R = 0x1234;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.add(static_cast<int64_t>(nextRand(R) & 0xFFFF)));
+}
+BENCHMARK(BM_LfuManyValues);
+
+void BM_LfuCoarsened(benchmark::State &State) {
+  // Same many-value stream but with the paper's 16-byte coarsening: the
+  // effective value diversity (and thus cost) drops.
+  LfuConfig C;
+  C.CoarsenShift = 8;
+  LfuValueProfiler L(C);
+  uint64_t R = 0x1234;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.add(static_cast<int64_t>(nextRand(R) & 0xFFFF)));
+}
+BENCHMARK(BM_LfuCoarsened);
+
+void BM_StrideProfConstantStride(benchmark::State &State) {
+  StrideProfilerConfig C;
+  StrideProfiler P(1, C);
+  uint64_t Addr = 0x100000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P.profile(0, Addr));
+    Addr += 128;
+  }
+}
+BENCHMARK(BM_StrideProfConstantStride);
+
+void BM_StrideProfZeroStride(benchmark::State &State) {
+  // The zero-stride shortcut: never reaches LFU.
+  StrideProfilerConfig C;
+  StrideProfiler P(1, C);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.profile(0, 0x100000));
+}
+BENCHMARK(BM_StrideProfZeroStride);
+
+void BM_StrideProfRandomStride(benchmark::State &State) {
+  StrideProfilerConfig C;
+  StrideProfiler P(1, C);
+  uint64_t R = 0x9e3779b9;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.profile(0, nextRand(R) & 0xFFFFFF));
+}
+BENCHMARK(BM_StrideProfRandomStride);
+
+void BM_StrideProfSampled(benchmark::State &State) {
+  // With sampling, most invocations exit at the chunk/fine checks.
+  StrideProfilerConfig C;
+  C.Sampling.Enabled = true;
+  StrideProfiler P(1, C);
+  uint64_t Addr = 0x100000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P.profile(0, Addr));
+    Addr += 128;
+  }
+}
+BENCHMARK(BM_StrideProfSampled);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+//===- examples/quickstart.cpp - StrideProf in five minutes -----------------===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: build the paper's Figure-3 pointer-chasing loop with the
+/// IRBuilder, lay out a linked list the way a program-owned allocator
+/// would, and push it through the whole pipeline: edge-check
+/// instrumentation, a profiling run, Figure-5 classification, prefetch
+/// insertion, and a before/after timing comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/IRBuilder.h"
+#include "support/Random.h"
+#include "workloads/Builders.h"
+
+#include <iostream>
+
+using namespace sprof;
+
+namespace {
+
+/// A minimal workload: one pointer-chasing loop over a 64-byte-stride list
+/// with 5% allocation noise, re-entered three times.
+class ChaseDemo final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"quickstart.chase", "IR", "Figure 3 pointer chase"};
+  }
+
+  Program build(DataSet DS) const override {
+    const uint64_t Count = DS == DataSet::Ref ? 60000 : 20000;
+    Program Prog;
+    Prog.M.Name = "quickstart";
+    BumpAllocator Alloc;
+    Rng R(42);
+
+    ListSpec Spec;
+    Spec.Count = Count;
+    Spec.NodeBytes = 64;
+    Spec.NoisePercent = 5;
+    uint64_t Head = buildList(Prog.Memory, Alloc, R, Spec);
+
+    IRBuilder B(Prog.M);
+    B.startFunction("main", 0);
+    Reg Acc = B.movImm(0);
+    emitCountedLoop(B, Operand::imm(3), [&](IRBuilder &OB, Reg) {
+      Reg P = OB.mov(Operand::imm(static_cast<int64_t>(Head)));
+      emitPointerLoop(OB, P, [&](IRBuilder &IB, Reg Node) {
+        Reg D = IB.load(Node, 8);  // D = P->data
+        IB.add(Operand::reg(Acc), Operand::reg(D), Acc);
+        IB.load(Node, 0, Node);    // P = P->next
+      });
+    });
+    B.halt();
+    return Prog;
+  }
+};
+
+} // namespace
+
+int main() {
+  ChaseDemo Demo;
+  Pipeline P(Demo);
+
+  // 1. Instrument with the edge-check method and run on the train input.
+  std::cout << "== profiling run (edge-check, train input) ==\n";
+  ProfileRunResult Prof = P.runProfile(ProfilingMethod::EdgeCheck,
+                                       DataSet::Train);
+  std::cout << "strideProf invocations: " << Prof.StrideInvocations
+            << ", processed: " << Prof.StrideProcessed << "\n\n";
+
+  std::cout << "stride profile:\n";
+  Prof.Strides.print(std::cout);
+
+  // 2. Classify and plan prefetches (Figure 5).
+  Program Fresh = Demo.build(DataSet::Ref);
+  FeedbackResult FB = runFeedback(Fresh.M, Prof.Edges, Prof.Strides);
+  std::cout << "\nprefetch decisions:\n";
+  for (const PrefetchDecision &D : FB.Decisions)
+    std::cout << "  site " << D.SiteId << ": "
+              << strideClassName(D.Kind) << ", stride " << D.StrideValue
+              << ", distance K=" << D.Distance << "\n";
+
+  // 3. Measure: baseline vs prefetched on the reference input.
+  RunStats Base = P.runBaseline(DataSet::Ref);
+  TimedRunResult Fast = P.runPrefetched(DataSet::Ref, Prof.Edges,
+                                        Prof.Strides);
+  double Speedup = static_cast<double>(Base.Cycles) /
+                   static_cast<double>(Fast.Stats.Cycles);
+  std::cout << "\nbaseline cycles:   " << Base.Cycles
+            << "\nprefetched cycles: " << Fast.Stats.Cycles
+            << "\nspeedup:           " << Speedup << "x\n";
+  return Speedup > 1.0 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+//===- examples/runtime_demo.cpp - Using the profiling runtime standalone ---===//
+//
+// Part of the StrideProf project (see quickstart.cpp for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling runtime is a normal library: this example feeds it the
+/// paper's Figure-4 address sequences directly -- a *phased* stride
+/// sequence and an *alternated* one with the identical stride-value
+/// profile -- and shows how the stride-difference statistic tells them
+/// apart (the key to the PMST class).
+///
+//===----------------------------------------------------------------------===//
+
+#include "feedback/Classifier.h"
+#include "profile/ProfileData.h"
+#include "profile/StrideProfiler.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace sprof;
+
+namespace {
+
+void feed(StrideProfiler &P, uint32_t Site,
+          const std::vector<int64_t> &Strides) {
+  uint64_t Addr = 0x100000;
+  P.profile(Site, Addr);
+  for (int64_t S : Strides) {
+    Addr += static_cast<uint64_t>(S);
+    P.profile(Site, Addr);
+  }
+}
+
+void report(const StrideProfile &SP, uint32_t Site, const char *What) {
+  const StrideSiteSummary &S = SP.site(Site);
+  std::cout << What << ":\n  total strides: " << S.TotalStrides
+            << "\n  zero stride-diffs: " << S.NumZeroDiff
+            << "\n  top strides: ";
+  for (size_t I = 0; I != S.TopStrides.size(); ++I) {
+    if (I)
+      std::cout << ", ";
+    std::cout << S.TopStrides[I].Value << " (x" << S.TopStrides[I].Count
+              << ")";
+  }
+  ClassifierConfig Relaxed;
+  // The toy sequences are short; relax the PMST share threshold so the
+  // phase/alternation contrast is the only discriminator.
+  Relaxed.PmstThreshold = 0.5;
+  std::cout << "\n  class: "
+            << strideClassName(classifyStrideSummary(S, Relaxed)) << "\n\n";
+}
+
+} // namespace
+
+int main() {
+  StrideProfilerConfig Config;
+  Config.AddrCoarsenShift = 0; // exact, as in the paper's Figure 6
+  Config.Lfu.CoarsenShift = 0;
+  StrideProfiler P(2, Config);
+
+  // Figure 4(a): phased -- runs of 2s then runs of 100s, repeated.
+  std::vector<int64_t> Phased;
+  for (int Rep = 0; Rep != 20; ++Rep)
+    for (int I = 0; I != 10; ++I)
+      Phased.push_back(Rep % 2 ? 100 : 2);
+  feed(P, 0, Phased);
+
+  // Figure 4(c): alternated -- same multiset of strides, interleaved.
+  std::vector<int64_t> Alternated;
+  for (int I = 0; I != 100; ++I) {
+    Alternated.push_back(2);
+    Alternated.push_back(100);
+  }
+  feed(P, 1, Alternated);
+
+  StrideProfile SP = StrideProfile::fromProfiler(P);
+  report(SP, 0, "phased sequence (Figure 4a)");
+  report(SP, 1, "alternated sequence (Figure 4c)");
+
+  std::cout << "Both sites have the same top stride values, but only the\n"
+               "phased site has mostly-zero stride differences -- that is\n"
+               "what makes it profitable to prefetch with a runtime-"
+               "computed\nstride (PMST, Figure 3d).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- analysis/CfgEdit.cpp - CFG editing utilities -------------------------===//
+//
+// Part of the StrideProf project (see Dominators.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CfgEdit.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+uint32_t sprof::splitEdge(Function &F, const Edge &E) {
+  assert(E.From < F.Blocks.size() && "edge source out of range");
+  uint32_t Dest = F.Blocks[E.From].successor(E.Slot);
+
+  uint32_t NewBlock = F.newBlock(F.Blocks[E.From].Name + ".split" +
+                                 std::to_string(E.Slot));
+  Instruction J;
+  J.Op = Opcode::Jmp;
+  J.Target0 = Dest;
+  F.Blocks[NewBlock].Insts.push_back(J);
+
+  F.Blocks[E.From].setSuccessor(E.Slot, NewBlock);
+  return NewBlock;
+}
+
+EdgePlacement sprof::classifyEdgePlacement(const Function &F, const Edge &E) {
+  if (F.Blocks[E.From].numSuccessors() == 1)
+    return EdgePlacement::SourceEnd;
+
+  uint32_t Dest = F.Blocks[E.From].successor(E.Slot);
+  // The destination must have exactly one incoming edge (counting slots,
+  // not just distinct predecessor blocks) and must not be the function
+  // entry (which has an implicit incoming edge from the caller).
+  if (Dest == F.entryBlock())
+    return EdgePlacement::NeedsSplit;
+  unsigned IncomingSlots = 0;
+  for (uint32_t B = 0, N = static_cast<uint32_t>(F.Blocks.size()); B != N;
+       ++B)
+    for (unsigned S = 0, SE = F.Blocks[B].numSuccessors(); S != SE; ++S)
+      if (F.Blocks[B].successor(S) == Dest)
+        ++IncomingSlots;
+  return IncomingSlots == 1 ? EdgePlacement::DestTop
+                            : EdgePlacement::NeedsSplit;
+}

@@ -1,0 +1,41 @@
+//===- analysis/CfgEdit.h - CFG editing utilities ---------------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Dominators.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFG surgery needed by the instrumentation passes: splitting an edge so a
+/// counter increment can live on it (edge profiling), and creating a unique
+/// loop preheader (the block-check method of Figure 11 instruments the
+/// "loop pre-head block").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_ANALYSIS_CFGEDIT_H
+#define SPROF_ANALYSIS_CFGEDIT_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+
+namespace sprof {
+
+/// Splits CFG edge \p E of \p F by inserting a fresh empty block (ending in
+/// a Jmp to the old destination) between source and destination.
+///
+/// \returns the index of the new block. Invalidates previously computed
+/// analyses (dominators, loops) for \p F.
+uint32_t splitEdge(Function &F, const Edge &E);
+
+/// Returns true when instrumentation can be placed "on" edge \p E without
+/// splitting: the source has a single successor (insert before its
+/// terminator) or the destination has a single predecessor and a single
+/// entry slot (insert at its top).
+enum class EdgePlacement { SourceEnd, DestTop, NeedsSplit };
+EdgePlacement classifyEdgePlacement(const Function &F, const Edge &E);
+
+} // namespace sprof
+
+#endif // SPROF_ANALYSIS_CFGEDIT_H

@@ -1,0 +1,55 @@
+//===- analysis/ControlEquivalence.cpp - Control-equivalent blocks ---------===//
+//
+// Part of the StrideProf project (see Dominators.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ControlEquivalence.h"
+
+using namespace sprof;
+
+ControlEquivalence::ControlEquivalence(const Function &F, const DomTree &DT,
+                                       const DomTree &PDT) {
+  uint32_t N = static_cast<uint32_t>(F.Blocks.size());
+  ClassId.assign(N, ~0u);
+
+  // Union-find over blocks; control equivalence is transitive because it is
+  // "A and B always execute together", so merging pairwise-equivalent
+  // blocks is sound.
+  std::vector<uint32_t> UnionParent(N);
+  for (uint32_t B = 0; B != N; ++B)
+    UnionParent[B] = B;
+  auto Find = [&](uint32_t X) {
+    while (UnionParent[X] != X) {
+      UnionParent[X] = UnionParent[UnionParent[X]];
+      X = UnionParent[X];
+    }
+    return X;
+  };
+  auto Union = [&](uint32_t A, uint32_t B) {
+    UnionParent[Find(A)] = Find(B);
+  };
+
+  // It suffices to test each block against its immediate dominator: if
+  // A idom-dominates B and B post-dominates A they are equivalent, and
+  // longer equivalences compose through the chain of immediate dominators.
+  for (uint32_t B = 0; B != N; ++B) {
+    if (!DT.isReachable(B))
+      continue;
+    uint32_t A = DT.idom(B);
+    if (A == B || A == ~0u)
+      continue;
+    if (PDT.isReachable(A) && PDT.isReachable(B) && PDT.dominates(B, A))
+      Union(A, B);
+  }
+
+  // Number the classes densely.
+  std::vector<uint32_t> RootToClass(N, ~0u);
+  for (uint32_t B = 0; B != N; ++B) {
+    uint32_t Root = Find(B);
+    if (RootToClass[Root] == ~0u)
+      RootToClass[Root] = NumClasses++;
+    ClassId[B] = RootToClass[Root];
+  }
+}

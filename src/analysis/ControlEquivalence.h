@@ -1,0 +1,51 @@
+//===- analysis/ControlEquivalence.h - Control-equivalent blocks -*- C++ -*-===//
+//
+// Part of the StrideProf project (see Dominators.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two blocks are control equivalent when one dominates the other and the
+/// dominated one post-dominates the dominator: they always execute together.
+/// The paper uses this when forming sets of equivalent loads that can share
+/// one stride-profiled representative (Section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_ANALYSIS_CONTROLEQUIVALENCE_H
+#define SPROF_ANALYSIS_CONTROLEQUIVALENCE_H
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sprof {
+
+/// Partitions the blocks of a function into control-equivalence classes.
+class ControlEquivalence {
+public:
+  /// \p DT / \p PDT are the forward / backward dominator trees of \p F.
+  ControlEquivalence(const Function &F, const DomTree &DT,
+                     const DomTree &PDT);
+
+  /// Class id of \p Block; blocks with equal ids always execute together.
+  uint32_t classOf(uint32_t Block) const { return ClassId[Block]; }
+
+  /// True when \p A and \p B are control equivalent.
+  bool equivalent(uint32_t A, uint32_t B) const {
+    return ClassId[A] == ClassId[B];
+  }
+
+  uint32_t numClasses() const { return NumClasses; }
+
+private:
+  std::vector<uint32_t> ClassId;
+  uint32_t NumClasses = 0;
+};
+
+} // namespace sprof
+
+#endif // SPROF_ANALYSIS_CONTROLEQUIVALENCE_H

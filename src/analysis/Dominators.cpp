@@ -1,0 +1,165 @@
+//===- analysis/Dominators.cpp - Dominator and post-dominator trees --------===//
+//
+// Part of the StrideProf project (see Dominators.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sprof;
+
+namespace {
+
+constexpr uint32_t Invalid = ~0u;
+
+/// Computes a reverse post-order of the graph reachable from \p Root.
+std::vector<uint32_t>
+reversePostOrder(uint32_t NumNodes,
+                 const std::vector<std::vector<uint32_t>> &Succs,
+                 uint32_t Root) {
+  std::vector<uint32_t> PostOrder;
+  std::vector<uint8_t> State(NumNodes, 0); // 0=new, 1=open, 2=done
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.emplace_back(Root, 0);
+  State[Root] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextChild] = Stack.back();
+    if (NextChild < Succs[Node].size()) {
+      uint32_t Child = Succs[Node][NextChild++];
+      if (State[Child] == 0) {
+        State[Child] = 1;
+        Stack.emplace_back(Child, 0);
+      }
+      continue;
+    }
+    State[Node] = 2;
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+} // namespace
+
+DomTree DomTree::compute(uint32_t NumNodes,
+                         const std::vector<std::vector<uint32_t>> &Succs,
+                         const std::vector<std::vector<uint32_t>> &Preds,
+                         uint32_t Root) {
+  std::vector<uint32_t> Rpo = reversePostOrder(NumNodes, Succs, Root);
+  std::vector<uint32_t> RpoIndex(NumNodes, Invalid);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Rpo.size()); I != E; ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  std::vector<uint32_t> Idom(NumNodes, Invalid);
+  Idom[Root] = Root;
+
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Node : Rpo) {
+      if (Node == Root)
+        continue;
+      uint32_t NewIdom = Invalid;
+      for (uint32_t P : Preds[Node]) {
+        if (Idom[P] == Invalid)
+          continue; // predecessor not processed / unreachable
+        NewIdom = (NewIdom == Invalid) ? P : Intersect(NewIdom, P);
+      }
+      if (NewIdom != Invalid && Idom[Node] != NewIdom) {
+        Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  DomTree T;
+  T.Idom = std::move(Idom);
+  T.Depth.assign(NumNodes, Invalid);
+  T.Depth[Root] = 0;
+  // Depths in RPO: a node's idom always precedes it in RPO.
+  bool DepthChanged = true;
+  while (DepthChanged) {
+    DepthChanged = false;
+    for (uint32_t Node : Rpo) {
+      if (Node == Root || T.Idom[Node] == Invalid)
+        continue;
+      uint32_t ParentDepth = T.Depth[T.Idom[Node]];
+      if (ParentDepth == Invalid)
+        continue;
+      if (T.Depth[Node] != ParentDepth + 1) {
+        T.Depth[Node] = ParentDepth + 1;
+        DepthChanged = true;
+      }
+    }
+  }
+  return T;
+}
+
+DomTree DomTree::forward(const Function &F) {
+  uint32_t N = static_cast<uint32_t>(F.Blocks.size());
+  std::vector<std::vector<uint32_t>> Succs(N), Preds(N);
+  for (uint32_t B = 0; B != N; ++B)
+    for (uint32_t S : F.Blocks[B].successors()) {
+      Succs[B].push_back(S);
+      Preds[S].push_back(B);
+    }
+  return compute(N, Succs, Preds, F.entryBlock());
+}
+
+DomTree DomTree::backward(const Function &F) {
+  uint32_t N = static_cast<uint32_t>(F.Blocks.size());
+  uint32_t VirtualExit = N;
+  // Reverse graph: successors of B in the reverse graph are B's CFG
+  // predecessors; the virtual exit's successors are all Ret/Halt blocks.
+  std::vector<std::vector<uint32_t>> Succs(N + 1), Preds(N + 1);
+  for (uint32_t B = 0; B != N; ++B) {
+    for (uint32_t S : F.Blocks[B].successors()) {
+      Succs[S].push_back(B);
+      Preds[B].push_back(S);
+    }
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.hasTerminator() && (BB.terminator().Op == Opcode::Ret ||
+                               BB.terminator().Op == Opcode::Halt)) {
+      Succs[VirtualExit].push_back(B);
+      Preds[B].push_back(VirtualExit);
+    }
+  }
+  DomTree T = compute(N + 1, Succs, Preds, VirtualExit);
+  // Strip the virtual exit: blocks whose idom is the virtual exit become
+  // roots of the post-dominator forest.
+  for (uint32_t B = 0; B != N; ++B)
+    if (T.Idom[B] == VirtualExit)
+      T.Idom[B] = B;
+  T.Idom.resize(N);
+  T.Depth.resize(N);
+  return T;
+}
+
+bool DomTree::dominates(uint32_t A, uint32_t B) const {
+  assert(A < Idom.size() && B < Idom.size() && "block index out of range");
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  while (Depth[B] > Depth[A])
+    B = Idom[B];
+  return A == B;
+}
+
+bool DomTree::isReachable(uint32_t Block) const {
+  assert(Block < Idom.size() && "block index out of range");
+  return Idom[Block] != Invalid;
+}

@@ -1,0 +1,69 @@
+//===- analysis/Dominators.h - Dominator and post-dominator trees -*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator trees via the Cooper-Harvey-Kennedy iterative algorithm. The
+/// same engine runs on the reversed CFG (with a virtual exit joining all
+/// Ret/Halt blocks) to produce post-dominators, which control-equivalence
+/// needs when forming equivalent-load sets (paper Section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_ANALYSIS_DOMINATORS_H
+#define SPROF_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sprof {
+
+/// A dominator (or post-dominator) tree over the blocks of one function.
+///
+/// Unreachable blocks have no immediate dominator and dominate nothing.
+/// For the post-dominator variant a virtual exit is used internally; blocks
+/// that cannot reach any exit are treated as unreachable.
+class DomTree {
+public:
+  /// Builds the dominator tree of \p F rooted at the entry block.
+  static DomTree forward(const Function &F);
+
+  /// Builds the post-dominator tree of \p F rooted at a virtual exit.
+  static DomTree backward(const Function &F);
+
+  /// Immediate dominator of \p Block, or ~0u for roots/unreachable blocks.
+  uint32_t idom(uint32_t Block) const { return Idom[Block]; }
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  /// True when \p Block is reachable from the root.
+  bool isReachable(uint32_t Block) const;
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Idom.size()); }
+
+private:
+  DomTree() = default;
+
+  static DomTree compute(uint32_t NumBlocks,
+                         const std::vector<std::vector<uint32_t>> &Succs,
+                         const std::vector<std::vector<uint32_t>> &Preds,
+                         uint32_t Root);
+
+  /// Idom[B] = immediate dominator block index; Root maps to itself; ~0u for
+  /// unreachable blocks. A virtual node (post-dom root) is stripped before
+  /// storing, so indices always refer to real blocks.
+  std::vector<uint32_t> Idom;
+  /// Depth of each block in the tree (root = 0), ~0u if unreachable.
+  std::vector<uint32_t> Depth;
+};
+
+} // namespace sprof
+
+#endif // SPROF_ANALYSIS_DOMINATORS_H

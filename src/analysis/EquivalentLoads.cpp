@@ -1,0 +1,116 @@
+//===- analysis/EquivalentLoads.cpp - Equivalent-load partitioning ----------===//
+//
+// Part of the StrideProf project (see Dominators.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/EquivalentLoads.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+using namespace sprof;
+
+std::vector<LoadMember>
+EquivalentLoadSet::coverLoads(uint64_t LineBytes) const {
+  std::vector<LoadMember> Result;
+  std::set<int64_t> LinesCovered;
+  for (const LoadMember &M : Members) {
+    // Members are sorted by offset; floor-divide so negative offsets bucket
+    // correctly.
+    int64_t LB = static_cast<int64_t>(LineBytes);
+    int64_t Line = M.Offset >= 0 ? M.Offset / LB : -((-M.Offset + LB - 1) / LB);
+    if (LinesCovered.insert(Line).second)
+      Result.push_back(M);
+  }
+  return Result;
+}
+
+std::vector<EquivalentLoadSet>
+sprof::partitionEquivalentLoads(const Function &F, const LoopInfo &LI,
+                                const ControlEquivalence &CE) {
+  // Two grouping rules, both sound w.r.t. "the loads see the same address
+  // register value and differ only by compile-time constant offsets":
+  //
+  //  (1) Same block, same address register, and no redefinition of that
+  //      register between the two loads (tracked with a per-block def
+  //      version counter). This covers the paper's motivating case
+  //      (Figure 1: string_list->next and string_list->string).
+  //
+  //  (2) Different control-equivalent blocks of the same loop, same address
+  //      register, and the register is loop-invariant (no definition inside
+  //      the loop). This covers constant-base accesses spread over a loop
+  //      body.
+  //
+  // Loads that match neither rule form singleton sets; under-merging only
+  // costs a little extra profiling, never correctness.
+  struct Key {
+    // Discriminates rule-1 groups (per block/version) from rule-2 groups.
+    uint32_t Rule;
+    uint32_t Scope;   // rule 1: block index; rule 2: loop index
+    uint32_t Version; // rule 1: def version; rule 2: equivalence class
+    Reg AddrReg;
+    bool operator<(const Key &K) const {
+      return std::tie(Rule, Scope, Version, AddrReg) <
+             std::tie(K.Rule, K.Scope, K.Version, K.AddrReg);
+    }
+  };
+  std::map<Key, EquivalentLoadSet> Groups;
+
+  for (uint32_t B = 0, N = static_cast<uint32_t>(F.Blocks.size()); B != N;
+       ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    uint32_t LoopIdx = LI.isInLoop(B) ? LI.innermostLoop(B) : ~0u;
+
+    // Def versions of registers within this block.
+    std::map<Reg, uint32_t> DefVersion;
+
+    for (uint32_t II = 0, IE = static_cast<uint32_t>(BB.Insts.size());
+         II != IE; ++II) {
+      const Instruction &I = BB.Insts[II];
+      if (I.Op == Opcode::Load) {
+        LoadMember M;
+        M.SiteId = I.SiteId;
+        M.Block = B;
+        M.InstIndex = II;
+        M.AddrReg = I.A.getReg();
+        M.Offset = I.Imm;
+
+        Key K;
+        if (LoopIdx != ~0u && LI.isLoopInvariantReg(LoopIdx, M.AddrReg)) {
+          // Rule 2: loop-invariant base, group across control-equivalent
+          // blocks of the loop.
+          K = Key{2, LoopIdx, CE.classOf(B), M.AddrReg};
+        } else {
+          // Rule 1: within-block grouping keyed on the def version.
+          uint32_t V = 0;
+          if (auto It = DefVersion.find(M.AddrReg); It != DefVersion.end())
+            V = It->second;
+          K = Key{1, B, V, M.AddrReg};
+        }
+        EquivalentLoadSet &Set = Groups[K];
+        Set.LoopIdx = LoopIdx;
+        Set.Members.push_back(M);
+      }
+      if (hasDest(I.Op) && I.Dst != NoReg)
+        ++DefVersion[I.Dst];
+    }
+  }
+
+  std::vector<EquivalentLoadSet> Result;
+  Result.reserve(Groups.size());
+  for (auto &[K, Set] : Groups) {
+    (void)K;
+    std::sort(Set.Members.begin(), Set.Members.end(),
+              [](const LoadMember &A, const LoadMember &B) {
+                if (A.Offset != B.Offset)
+                  return A.Offset < B.Offset;
+                return A.SiteId < B.SiteId;
+              });
+    Result.push_back(std::move(Set));
+  }
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- analysis/EquivalentLoads.h - Equivalent-load partitioning -*- C++ -*-===//
+//
+// Part of the StrideProf project (see Dominators.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partitions a function's loads into equivalence sets per paper Section
+/// 2.1: loads in the same loop, in control-equivalent blocks, whose
+/// addresses differ only by compile-time constants. The instrumentation
+/// passes profile one representative per set; the feedback pass expands a
+/// classified representative back to the "cover loads" spanning the cache
+/// lines the set touches (Figure 5).
+///
+/// Address equality is syntactic: two loads match when they use the same
+/// address register and that register has at most one defining block inside
+/// the loop. This under-approximates true equivalence (safe: loads that
+/// fail the test are simply profiled individually).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_ANALYSIS_EQUIVALENTLOADS_H
+#define SPROF_ANALYSIS_EQUIVALENTLOADS_H
+
+#include "analysis/ControlEquivalence.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sprof {
+
+/// One member of an equivalence set.
+struct LoadMember {
+  uint32_t SiteId = NoId;
+  uint32_t Block = NoId;
+  uint32_t InstIndex = NoId;
+  Reg AddrReg = NoReg;
+  int64_t Offset = 0;
+};
+
+/// A set of equivalent loads. Members are sorted by offset; the
+/// representative is the member with the smallest offset.
+struct EquivalentLoadSet {
+  /// ~0u when the set is outside any loop.
+  uint32_t LoopIdx = ~0u;
+  std::vector<LoadMember> Members;
+
+  const LoadMember &representative() const { return Members.front(); }
+
+  /// Selects the subset of members whose prefetches cover every cache line
+  /// the set touches: one member per distinct Offset / LineBytes bucket
+  /// (paper Section 2.2, "cover loads").
+  std::vector<LoadMember> coverLoads(uint64_t LineBytes) const;
+};
+
+/// Computes the equivalence sets of one function. Every load in the
+/// function appears in exactly one set (singleton sets are common).
+std::vector<EquivalentLoadSet>
+partitionEquivalentLoads(const Function &F, const LoopInfo &LI,
+                         const ControlEquivalence &CE);
+
+} // namespace sprof
+
+#endif // SPROF_ANALYSIS_EQUIVALENTLOADS_H

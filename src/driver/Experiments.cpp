@@ -1,0 +1,161 @@
+//===- driver/Experiments.cpp - Shared experiment helpers ------------------===//
+//
+// Part of the StrideProf project (see Pipeline.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "support/Stats.h"
+
+using namespace sprof;
+
+PopulationRow sprof::classifyLoadPopulation(const Workload &W,
+                                            bool InLoopWanted,
+                                            const PipelineConfig &Config) {
+  Pipeline P(W, Config);
+  // Naive-all profiles every load; run on the reference input so the
+  // population weights match the performance runs.
+  ProfileRunResult PR = P.runProfile(ProfilingMethod::NaiveAll, DataSet::Ref,
+                                     /*WithMemorySystem=*/false);
+
+  // In-loop classification per site on the original module.
+  Program Prog = W.build(DataSet::Ref);
+  std::vector<SiteLocation> Sites = Prog.M.locateLoadSites();
+  std::vector<bool> SiteInLoop(Prog.M.NumLoadSites, false);
+  for (uint32_t FI = 0; FI != Prog.M.Functions.size(); ++FI) {
+    const Function &F = Prog.M.Functions[FI];
+    DomTree DT = DomTree::forward(F);
+    LoopInfo LI(F, DT);
+    for (uint32_t Site = 0; Site != Prog.M.NumLoadSites; ++Site)
+      if (Sites[Site].Func == FI)
+        SiteInLoop[Site] = LI.isInLoop(Sites[Site].Block);
+  }
+
+  PopulationRow Row;
+  Row.Bench = W.info().Name;
+  uint64_t Total = 0;
+  uint64_t ByClass[4] = {0, 0, 0, 0}; // None, SSST, PMST, WSST
+  for (uint32_t Site = 0; Site != Prog.M.NumLoadSites; ++Site) {
+    uint64_t Refs = PR.Stats.SiteCounts[Site];
+    Total += Refs;
+    if (SiteInLoop[Site] != InLoopWanted)
+      continue;
+    StrideClass C =
+        classifyStrideSummary(PR.Strides.site(Site), Config.Classifier);
+    ByClass[static_cast<unsigned>(C)] += Refs;
+  }
+  Row.NonePct = percent(static_cast<double>(ByClass[0]),
+                        static_cast<double>(Total));
+  Row.SsstPct = percent(static_cast<double>(ByClass[1]),
+                        static_cast<double>(Total));
+  Row.PmstPct = percent(static_cast<double>(ByClass[2]),
+                        static_cast<double>(Total));
+  Row.WsstPct = percent(static_cast<double>(ByClass[3]),
+                        static_cast<double>(Total));
+  return Row;
+}
+
+BenchMeasurement
+sprof::measureBenchmark(const Workload &W, const PipelineConfig &Config,
+                        const std::vector<ProfilingMethod> &Methods) {
+  Pipeline P(W, Config);
+  BenchMeasurement Result;
+  Result.Name = W.info().Name;
+
+  Result.BaselineRefCycles = P.runBaseline(DataSet::Ref).Cycles;
+  Result.EdgeOnlyTrainCycles =
+      P.runProfile(ProfilingMethod::EdgeOnly, DataSet::Train).Stats.Cycles;
+
+  for (ProfilingMethod M : Methods) {
+    MethodMeasurement MM;
+    ProfileRunResult PR = P.runProfile(M, DataSet::Train);
+    MM.ProfiledCycles = PR.Stats.Cycles;
+    MM.StrideInvocations = PR.StrideInvocations;
+    MM.StrideProcessed = PR.StrideProcessed;
+    MM.LfuCalls = PR.LfuCalls;
+    MM.TrainLoadRefs = PR.Stats.LoadRefs;
+
+    TimedRunResult TR = P.runPrefetched(DataSet::Ref, PR.Edges, PR.Strides);
+    MM.Prefetches = TR.Prefetches;
+    MM.Speedup = static_cast<double>(Result.BaselineRefCycles) /
+                 static_cast<double>(TR.Stats.Cycles);
+    Result.Methods.emplace(M, MM);
+  }
+  return Result;
+}
+
+SensitivityMeasurement
+sprof::measureSensitivity(const Workload &W, const PipelineConfig &Config) {
+  Pipeline P(W, Config);
+  SensitivityMeasurement R;
+  R.Name = W.info().Name;
+
+  ProfileRunResult Train = P.runProfile(ProfilingMethod::SampleEdgeCheck,
+                                        DataSet::Train,
+                                        /*WithMemorySystem=*/false);
+  ProfileRunResult Ref = P.runProfile(ProfilingMethod::SampleEdgeCheck,
+                                      DataSet::Ref,
+                                      /*WithMemorySystem=*/false);
+  uint64_t Base = P.runBaseline(DataSet::Ref).Cycles;
+  auto Speedup = [&](const EdgeProfile &EP, const StrideProfile &SP) {
+    TimedRunResult T = P.runPrefetched(DataSet::Ref, EP, SP);
+    return static_cast<double>(Base) / static_cast<double>(T.Stats.Cycles);
+  };
+  R.Train = Speedup(Train.Edges, Train.Strides);
+  R.Ref = Speedup(Ref.Edges, Ref.Strides);
+  R.EdgeRefStrideTrain = Speedup(Ref.Edges, Train.Strides);
+  R.EdgeTrainStrideRef = Speedup(Train.Edges, Ref.Strides);
+  return R;
+}
+
+std::optional<double> sprof::paperFig16Speedup(const std::string &Bench) {
+  if (Bench == "181.mcf")
+    return 1.59;
+  if (Bench == "254.gap")
+    return 1.14;
+  if (Bench == "197.parser")
+    return 1.08;
+  return std::nullopt;
+}
+
+std::optional<double> sprof::paperFig20Overhead(ProfilingMethod Method) {
+  switch (Method) {
+  case ProfilingMethod::EdgeCheck:
+    return 0.58;
+  case ProfilingMethod::NaiveLoop:
+    return 2.72;
+  case ProfilingMethod::NaiveAll:
+    return 4.36;
+  case ProfilingMethod::SampleEdgeCheck:
+    return 0.17;
+  case ProfilingMethod::SampleNaiveLoop:
+    return 0.67;
+  case ProfilingMethod::SampleNaiveAll:
+    return 1.22;
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<double> sprof::paperFig21Processed(ProfilingMethod Method) {
+  switch (Method) {
+  case ProfilingMethod::EdgeCheck:
+    return 11.0;
+  case ProfilingMethod::NaiveLoop:
+    return 60.0;
+  case ProfilingMethod::NaiveAll:
+    return 100.0;
+  case ProfilingMethod::SampleEdgeCheck:
+    return 1.0;
+  case ProfilingMethod::SampleNaiveLoop:
+    return 3.0;
+  case ProfilingMethod::SampleNaiveAll:
+    return 5.0;
+  default:
+    return std::nullopt;
+  }
+}

@@ -1,0 +1,94 @@
+//===- driver/Experiments.h - Shared experiment helpers ---------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Pipeline.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the bench binaries that regenerate the paper's tables
+/// and figures: cached per-benchmark measurement bundles and the paper's
+/// published reference numbers for side-by-side output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_DRIVER_EXPERIMENTS_H
+#define SPROF_DRIVER_EXPERIMENTS_H
+
+#include "driver/Pipeline.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Everything Figure 16 needs for one benchmark and one profiling method.
+struct MethodMeasurement {
+  double Speedup = 1.0;
+  uint64_t ProfiledCycles = 0;   ///< instrumented train-run cycles
+  uint64_t StrideInvocations = 0;
+  uint64_t StrideProcessed = 0;
+  uint64_t LfuCalls = 0;
+  uint64_t TrainLoadRefs = 0;    ///< total dynamic loads in the train run
+  PrefetchInsertionStats Prefetches;
+};
+
+/// Per-benchmark measurement bundle reused across figures.
+struct BenchMeasurement {
+  std::string Name;
+  uint64_t BaselineRefCycles = 0;
+  uint64_t EdgeOnlyTrainCycles = 0;
+  std::map<ProfilingMethod, MethodMeasurement> Methods;
+};
+
+/// Runs the Figure 16/20/21/22 measurement set for one workload: an
+/// edge-only train run, a baseline ref run, and per stride method one
+/// instrumented train run plus one prefetched ref run.
+///
+/// \p Methods defaults to the paper's six stride methods.
+BenchMeasurement measureBenchmark(
+    const Workload &W, const PipelineConfig &Config = {},
+    const std::vector<ProfilingMethod> &Methods = paperStrideMethods());
+
+/// One row of Figures 18/19: shares of *all* dynamic load references that
+/// come from loads of each stride class, restricted to out-loop (Figure
+/// 18) or in-loop (Figure 19) loads. Classified from a naive-all profile
+/// with no frequency/trip filtering, like the paper's population figures.
+struct PopulationRow {
+  std::string Bench;
+  double SsstPct = 0, PmstPct = 0, WsstPct = 0, NonePct = 0;
+};
+
+PopulationRow classifyLoadPopulation(const Workload &W, bool InLoopWanted,
+                                     const PipelineConfig &Config = {});
+
+/// Figure 23-25 sensitivity bundle: speedups of four binaries built from
+/// the cross product of edge/stride profiles collected on the train and
+/// reference inputs, all measured on the reference input with
+/// sample-edge-check profiling (paper Section 4.3).
+struct SensitivityMeasurement {
+  std::string Name;
+  double Train = 1.0;              ///< edge.train + stride.train
+  double Ref = 1.0;                ///< edge.ref + stride.ref
+  double EdgeRefStrideTrain = 1.0; ///< edge.ref + stride.train
+  double EdgeTrainStrideRef = 1.0; ///< edge.train + stride.ref
+};
+
+SensitivityMeasurement measureSensitivity(const Workload &W,
+                                          const PipelineConfig &Config = {});
+
+/// Paper-published Figure 16 speedups (edge-check) where the text gives
+/// them explicitly; nullopt elsewhere.
+std::optional<double> paperFig16Speedup(const std::string &Bench);
+
+/// Paper-published Figure 20 average overheads per method.
+std::optional<double> paperFig20Overhead(ProfilingMethod Method);
+
+/// Paper-published Figure 21 average strideProf-processed percentages.
+std::optional<double> paperFig21Processed(ProfilingMethod Method);
+
+} // namespace sprof
+
+#endif // SPROF_DRIVER_EXPERIMENTS_H

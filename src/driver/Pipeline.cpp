@@ -1,0 +1,92 @@
+//===- driver/Pipeline.cpp - Instrument / profile / feedback / run ---------===//
+//
+// Part of the StrideProf project (see Pipeline.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "ir/Verifier.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
+                                      bool WithMemorySystem) const {
+  Program Prog = W.build(DS);
+  assert(isWellFormed(Prog.M) && "workload built a malformed module");
+
+  ProfileRunResult Result;
+  Result.Method = Method;
+  Result.Instr = instrumentModule(Prog.M, Method, Config.Instrument);
+  assert(isWellFormed(Prog.M) && "instrumentation broke the module");
+
+  StrideProfilerConfig PC = Config.Profiler;
+  PC.Sampling.Enabled = methodUsesSampling(Method);
+  StrideProfiler Profiler(Prog.M.NumLoadSites, PC);
+
+  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
+  MemoryHierarchy MH(Config.Memory);
+  if (WithMemorySystem)
+    I.attachMemory(&MH);
+  I.attachProfiler(&Profiler);
+  Result.Stats = I.run();
+  assert(Result.Stats.Completed && "profile run did not complete");
+
+  // Harvest the edge profile from the counters.
+  Result.Edges = EdgeProfile(Prog.M.Functions.size());
+  const std::vector<uint64_t> &Counters = I.counters();
+  for (uint32_t FI = 0, FE = static_cast<uint32_t>(Prog.M.Functions.size());
+       FI != FE; ++FI) {
+    for (const auto &[E, CtrId] : Result.Instr.EdgeCounters[FI])
+      Result.Edges.setFrequency(FI, E, Counters[CtrId]);
+    if (Result.Instr.EntryCounters[FI] != NoId)
+      Result.Edges.setEntryCount(FI,
+                                 Counters[Result.Instr.EntryCounters[FI]]);
+  }
+
+  Result.Strides = StrideProfile::fromProfiler(Profiler);
+  Result.StrideInvocations = Profiler.totalInvocations();
+  Result.StrideProcessed = Profiler.totalProcessed();
+  Result.LfuCalls = Profiler.totalLfuCalls();
+  return Result;
+}
+
+RunStats Pipeline::runBaseline(DataSet DS) const {
+  Program Prog = W.build(DS);
+  assert(isWellFormed(Prog.M) && "workload built a malformed module");
+  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
+  MemoryHierarchy MH(Config.Memory);
+  I.attachMemory(&MH);
+  RunStats Stats = I.run();
+  assert(Stats.Completed && "baseline run did not complete");
+  return Stats;
+}
+
+TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
+                                       const StrideProfile &Strides) const {
+  Program Prog = W.build(DS);
+  TimedRunResult Result;
+  Result.Feedback = runFeedback(Prog.M, Edges, Strides, Config.Classifier);
+  Result.Prefetches = insertPrefetches(Prog.M, Result.Feedback);
+  assert(isWellFormed(Prog.M) && "prefetch insertion broke the module");
+
+  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
+  MemoryHierarchy MH(Config.Memory);
+  I.attachMemory(&MH);
+  Result.Stats = I.run();
+  assert(Result.Stats.Completed && "prefetched run did not complete");
+  return Result;
+}
+
+double Pipeline::speedup(ProfilingMethod Method, DataSet ProfileDS,
+                         DataSet RunDS) const {
+  ProfileRunResult P = runProfile(Method, ProfileDS,
+                                  /*WithMemorySystem=*/false);
+  RunStats Base = runBaseline(RunDS);
+  TimedRunResult Pf = runPrefetched(RunDS, P.Edges, P.Strides);
+  return static_cast<double>(Base.Cycles) /
+         static_cast<double>(Pf.Stats.Cycles);
+}

@@ -1,0 +1,103 @@
+//===- driver/Pipeline.h - Instrument / profile / feedback / run -*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end compiler pipeline the paper's experiments run:
+///
+///   1. instrument a fresh copy of the program for a profiling method;
+///   2. execute it on a data set, producing the edge profile, the stride
+///      profile, and the instrumented run's cycle accounting (profiling
+///      overhead, Figure 20-22);
+///   3. feed the profiles back through the Figure-5 classifier;
+///   4. insert prefetches into another fresh copy and time it against the
+///      unmodified baseline (speedup, Figure 16).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_DRIVER_PIPELINE_H
+#define SPROF_DRIVER_PIPELINE_H
+
+#include "feedback/Classifier.h"
+#include "instrument/Instrumentation.h"
+#include "interp/Interpreter.h"
+#include "memsys/Cache.h"
+#include "prefetch/PrefetchInsertion.h"
+#include "profile/ProfileData.h"
+#include "profile/StrideProfiler.h"
+#include "workloads/Workload.h"
+
+namespace sprof {
+
+/// Everything configurable about one experiment family.
+struct PipelineConfig {
+  InstrumentConfig Instrument;
+  StrideProfilerConfig Profiler; ///< Sampling.Enabled set per method
+  ClassifierConfig Classifier;
+  MemoryConfig Memory;
+  TimingModel Timing;
+};
+
+/// Results of one instrumented (profile-generation) run.
+struct ProfileRunResult {
+  ProfilingMethod Method = ProfilingMethod::EdgeOnly;
+  EdgeProfile Edges;
+  StrideProfile Strides;
+  InstrumentationResult Instr;
+  RunStats Stats;
+
+  /// strideProf call statistics for Figures 21/22.
+  uint64_t StrideInvocations = 0;
+  uint64_t StrideProcessed = 0;
+  uint64_t LfuCalls = 0;
+};
+
+/// Results of one timed (performance) run.
+struct TimedRunResult {
+  RunStats Stats;
+  PrefetchInsertionStats Prefetches;
+  FeedbackResult Feedback;
+};
+
+/// Drives one workload through the paper's pipeline. The workload's
+/// Program is rebuilt for every run so runs never share mutable state.
+class Pipeline {
+public:
+  Pipeline(const Workload &W, PipelineConfig Config = {})
+      : W(W), Config(std::move(Config)) {}
+
+  /// Steps 1-2: instrument for \p Method and run on \p DS.
+  /// \p WithMemorySystem selects whether the cache hierarchy is simulated;
+  /// profiles do not depend on it, so profile-only callers can turn it off
+  /// for speed, while overhead measurements (Figure 20) keep it on.
+  ProfileRunResult runProfile(ProfilingMethod Method, DataSet DS,
+                              bool WithMemorySystem = true) const;
+
+  /// Baseline timed run (no instrumentation, no prefetching).
+  RunStats runBaseline(DataSet DS) const;
+
+  /// Steps 3-4: classify (\p Edges, \p Strides), insert prefetches, run.
+  TimedRunResult runPrefetched(DataSet DS, const EdgeProfile &Edges,
+                               const StrideProfile &Strides) const;
+
+  /// Convenience: profile with \p Method on \p ProfileDS (no cache
+  /// simulation), then measure speedup on \p RunDS.
+  /// \returns baseline cycles / prefetched cycles.
+  double speedup(ProfilingMethod Method, DataSet ProfileDS,
+                 DataSet RunDS) const;
+
+  const PipelineConfig &config() const { return Config; }
+  const Workload &workload() const { return W; }
+
+private:
+  const Workload &W;
+  PipelineConfig Config;
+};
+
+} // namespace sprof
+
+#endif // SPROF_DRIVER_PIPELINE_H

@@ -1,0 +1,269 @@
+//===- interp/Interpreter.cpp - IR interpreter with cycle timing -----------===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+namespace {
+
+/// One call frame.
+struct Frame {
+  uint32_t Func;
+  uint32_t Block;
+  uint32_t InstIndex;
+  Reg ReturnDst; ///< caller register receiving the return value
+  std::vector<int64_t> Regs;
+};
+
+} // namespace
+
+Interpreter::Interpreter(const Module &M, SimMemory Memory,
+                         const TimingModel &Timing)
+    : M(M), Memory(std::move(Memory)), Timing(Timing) {
+  Counters.assign(M.NumCounters, 0);
+}
+
+RunStats Interpreter::run(uint64_t MaxInstructions) {
+  RunStats Stats;
+  Stats.SiteCounts.assign(M.NumLoadSites, 0);
+
+  std::vector<Frame> Stack;
+  {
+    Frame Entry;
+    Entry.Func = M.EntryFunction;
+    Entry.Block = 0;
+    Entry.InstIndex = 0;
+    Entry.ReturnDst = NoReg;
+    Entry.Regs.assign(M.Functions[M.EntryFunction].NumRegs, 0);
+    Stack.push_back(std::move(Entry));
+  }
+
+  uint64_t Now = 0;
+  auto Charge = [&](uint64_t Cost, bool Instrumentation) {
+    Now += Cost;
+    if (Instrumentation)
+      Stats.InstrumentationCycles += Cost;
+    else
+      Stats.BaseCycles += Cost;
+  };
+
+  while (!Stack.empty() && Stats.Instructions < MaxInstructions) {
+    Frame &F = Stack.back();
+    const Function &Fn = M.Functions[F.Func];
+    assert(F.Block < Fn.Blocks.size() && "bad block index");
+    const BasicBlock &BB = Fn.Blocks[F.Block];
+    assert(F.InstIndex < BB.Insts.size() && "fell off a basic block");
+    const Instruction &I = BB.Insts[F.InstIndex];
+
+    ++Stats.Instructions;
+
+    auto Val = [&](const Operand &O) -> int64_t {
+      if (O.isImm())
+        return O.getImm();
+      assert(O.isReg() && "evaluating empty operand");
+      return F.Regs[O.getReg()];
+    };
+
+    // Qualifying predicate: a false predicate squashes the instruction but
+    // still consumes an issue slot.
+    if (I.Pred != NoReg && F.Regs[I.Pred] == 0) {
+      Charge(Timing.PredicatedOffCost, I.IsInstrumentation);
+      ++F.InstIndex;
+      continue;
+    }
+
+    switch (I.Op) {
+    case Opcode::Mov:
+      F.Regs[I.Dst] = Val(I.A);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::Add:
+      F.Regs[I.Dst] = Val(I.A) + Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::Sub:
+      F.Regs[I.Dst] = Val(I.A) - Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::Mul:
+      F.Regs[I.Dst] = Val(I.A) * Val(I.B);
+      Charge(Timing.MulCost, I.IsInstrumentation);
+      break;
+    case Opcode::Shl:
+      F.Regs[I.Dst] = static_cast<int64_t>(static_cast<uint64_t>(Val(I.A))
+                                           << (Val(I.B) & 63));
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::Shr:
+      F.Regs[I.Dst] = Val(I.A) >> (Val(I.B) & 63);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::And:
+      F.Regs[I.Dst] = Val(I.A) & Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::Or:
+      F.Regs[I.Dst] = Val(I.A) | Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::Xor:
+      F.Regs[I.Dst] = Val(I.A) ^ Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::CmpEq:
+      F.Regs[I.Dst] = Val(I.A) == Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::CmpNe:
+      F.Regs[I.Dst] = Val(I.A) != Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::CmpLt:
+      F.Regs[I.Dst] = Val(I.A) < Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::CmpLe:
+      F.Regs[I.Dst] = Val(I.A) <= Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::CmpGt:
+      F.Regs[I.Dst] = Val(I.A) > Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::CmpGe:
+      F.Regs[I.Dst] = Val(I.A) >= Val(I.B);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+    case Opcode::Select:
+      F.Regs[I.Dst] = Val(I.A) != 0 ? Val(I.B) : Val(I.C);
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      break;
+
+    case Opcode::Load: {
+      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
+      F.Regs[I.Dst] = Memory.read64(Addr);
+      Charge(Timing.LoadBaseCost, I.IsInstrumentation);
+      uint64_t Latency =
+          Mem ? Mem->demandAccess(Addr, Now) : Timing.FlatLoadLatency;
+      // The pipeline hides an L1-hit's worth of latency; the rest stalls.
+      uint64_t Hidden = Timing.FlatLoadLatency;
+      uint64_t Stall = Latency > Hidden ? Latency - Hidden : 0;
+      Now += Stall;
+      Stats.MemStallCycles += Stall;
+      if (!I.IsInstrumentation) {
+        ++Stats.LoadRefs;
+        if (I.SiteId != NoId)
+          ++Stats.SiteCounts[I.SiteId];
+      }
+      break;
+    }
+    case Opcode::Store: {
+      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
+      Memory.write64(Addr, Val(I.B));
+      Charge(Timing.StoreCost, I.IsInstrumentation);
+      break;
+    }
+    case Opcode::Prefetch: {
+      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
+      if (Mem)
+        Mem->prefetch(Addr, Now);
+      Charge(Timing.PrefetchCost, I.IsInstrumentation);
+      break;
+    }
+    case Opcode::SpecLoad: {
+      // Speculative, non-blocking load (Itanium ld.s): returns the value
+      // for address computation but never stalls the pipeline; it touches
+      // the cache like a prefetch.
+      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
+      F.Regs[I.Dst] = Memory.read64(Addr);
+      if (Mem)
+        Mem->prefetch(Addr, Now);
+      Charge(Timing.LoadBaseCost, I.IsInstrumentation);
+      break;
+    }
+
+    case Opcode::Jmp:
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F.Block = I.Target0;
+      F.InstIndex = 0;
+      continue;
+    case Opcode::Br:
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F.Block = Val(I.A) != 0 ? I.Target0 : I.Target1;
+      F.InstIndex = 0;
+      continue;
+
+    case Opcode::Call: {
+      Charge(Timing.CallCost, I.IsInstrumentation);
+      Frame Callee;
+      Callee.Func = I.Callee;
+      Callee.Block = 0;
+      Callee.InstIndex = 0;
+      Callee.ReturnDst = I.Dst;
+      Callee.Regs.assign(M.Functions[I.Callee].NumRegs, 0);
+      for (unsigned A = 0; A != I.NumArgs; ++A)
+        Callee.Regs[A] = Val(I.Args[A]);
+      ++F.InstIndex; // resume past the call on return
+      Stack.push_back(std::move(Callee));
+      continue;
+    }
+    case Opcode::Ret: {
+      Charge(Timing.RetCost, I.IsInstrumentation);
+      int64_t RV = I.A.isNone() ? 0 : Val(I.A);
+      Reg Dst = F.ReturnDst;
+      Stack.pop_back();
+      if (Stack.empty()) {
+        Stats.ExitValue = RV;
+        Stats.Completed = true;
+        break;
+      }
+      if (Dst != NoReg)
+        Stack.back().Regs[Dst] = RV;
+      continue;
+    }
+    case Opcode::Halt:
+      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      Stats.Completed = true;
+      Stack.clear();
+      continue;
+
+    case Opcode::ProfCounterInc:
+      ++Counters[I.Imm];
+      Charge(Timing.CounterIncCost, true);
+      break;
+    case Opcode::ProfCounterRead:
+      F.Regs[I.Dst] = static_cast<int64_t>(Counters[I.Imm]);
+      Charge(Timing.CounterReadCost, true);
+      break;
+    case Opcode::ProfCounterAddTo:
+      F.Regs[I.Dst] = Val(I.A) + static_cast<int64_t>(Counters[I.Imm]);
+      Charge(Timing.CounterAddToCost, true);
+      break;
+    case Opcode::ProfStride: {
+      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
+      uint64_t Cost = 0;
+      if (Profiler)
+        Cost = Profiler->profile(I.SiteId, Addr, Stats.LoadRefs + 1);
+      Now += Cost;
+      Stats.RuntimeCycles += Cost;
+      break;
+    }
+    }
+
+    if (Stack.empty())
+      break;
+    ++F.InstIndex;
+  }
+
+  Stats.Cycles = Now;
+  if (Mem)
+    Stats.Mem = Mem->stats();
+  return Stats;
+}

@@ -1,0 +1,99 @@
+//===- interp/Interpreter.h - IR interpreter with cycle timing -*- C++ -*-===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Module against a SimMemory image and charges cycles through a
+/// simple in-order timing model backed by the MemoryHierarchy. Cycle costs
+/// are split into buckets (base work, memory stalls, instrumentation
+/// instructions, profiling-runtime work) so the benches can reproduce the
+/// paper's speedup (Figure 16) and profiling-overhead (Figure 20) ratios.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_INTERP_INTERPRETER_H
+#define SPROF_INTERP_INTERPRETER_H
+
+#include "interp/SimMemory.h"
+#include "ir/Module.h"
+#include "memsys/Cache.h"
+#include "profile/StrideProfiler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sprof {
+
+/// Per-opcode-class cycle costs of the in-order pipeline.
+struct TimingModel {
+  uint32_t DefaultCost = 1;     ///< ALU, moves, compares, branches
+  uint32_t MulCost = 3;         ///< integer multiply
+  uint32_t LoadBaseCost = 1;    ///< issue slot of a load (stall is extra)
+  uint32_t StoreCost = 1;       ///< stores retire through a write buffer
+  uint32_t PrefetchCost = 1;    ///< issue slot of a prefetch
+  uint32_t CallCost = 2;        ///< call + frame setup
+  uint32_t RetCost = 1;
+  uint32_t CounterIncCost = 3;  ///< load+increment+store (Figure 14)
+  uint32_t CounterReadCost = 1;
+  uint32_t CounterAddToCost = 2;
+  uint32_t PredicatedOffCost = 1; ///< predicated-off slots still issue
+  /// Latency assumed for loads when no MemoryHierarchy is attached.
+  uint32_t FlatLoadLatency = 2;
+};
+
+/// Outcome and accounting of one program run.
+struct RunStats {
+  bool Completed = false; ///< reached Halt / entry return
+  uint64_t Instructions = 0; ///< executed instructions (all kinds)
+
+  // Cycle buckets; Cycles = Base + MemStall + Instrumentation + Runtime.
+  uint64_t Cycles = 0;
+  uint64_t BaseCycles = 0;
+  uint64_t MemStallCycles = 0;
+  uint64_t InstrumentationCycles = 0;
+  uint64_t RuntimeCycles = 0;
+
+  /// Dynamic, non-instrumentation load references.
+  uint64_t LoadRefs = 0;
+  /// Per load-site dynamic execution counts (index = SiteId).
+  std::vector<uint64_t> SiteCounts;
+
+  /// Snapshot of the memory-system statistics at end of run.
+  MemoryStats Mem;
+
+  /// Return value of the entry function (0 when it Halts).
+  int64_t ExitValue = 0;
+};
+
+/// Interprets one module over one memory image. Attach a MemoryHierarchy
+/// for realistic load timing and a StrideProfiler when running an
+/// instrumented module (ProfStride traps into it).
+class Interpreter {
+public:
+  Interpreter(const Module &M, SimMemory Memory,
+              const TimingModel &Timing = TimingModel());
+
+  void attachMemory(MemoryHierarchy *MH) { Mem = MH; }
+  void attachProfiler(StrideProfiler *SP) { Profiler = SP; }
+
+  /// Runs the entry function to completion (or until \p MaxInstructions).
+  RunStats run(uint64_t MaxInstructions = 4ull << 30);
+
+  /// Profiling counters (edge/block frequencies) after the run.
+  const std::vector<uint64_t> &counters() const { return Counters; }
+
+private:
+  const Module &M;
+  SimMemory Memory;
+  TimingModel Timing;
+  MemoryHierarchy *Mem = nullptr;
+  StrideProfiler *Profiler = nullptr;
+  std::vector<uint64_t> Counters;
+};
+
+} // namespace sprof
+
+#endif // SPROF_INTERP_INTERPRETER_H

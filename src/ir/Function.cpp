@@ -1,0 +1,68 @@
+//===- ir/Function.cpp - Functions, basic blocks, CFG edges ----------------===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace sprof;
+
+std::vector<uint32_t> BasicBlock::successors() const {
+  std::vector<uint32_t> Result;
+  for (unsigned I = 0, E = numSuccessors(); I != E; ++I)
+    Result.push_back(successor(I));
+  return Result;
+}
+
+unsigned BasicBlock::numSuccessors() const {
+  if (!hasTerminator())
+    return 0;
+  switch (terminator().Op) {
+  case Opcode::Jmp:
+    return 1;
+  case Opcode::Br:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+uint32_t BasicBlock::successor(unsigned Slot) const {
+  assert(Slot < numSuccessors() && "successor slot out of range");
+  return Slot == 0 ? terminator().Target0 : terminator().Target1;
+}
+
+void BasicBlock::setSuccessor(unsigned Slot, uint32_t NewTarget) {
+  assert(Slot < numSuccessors() && "successor slot out of range");
+  if (Slot == 0)
+    terminator().Target0 = NewTarget;
+  else
+    terminator().Target1 = NewTarget;
+}
+
+uint32_t Function::newBlock(std::string BlockName) {
+  Blocks.push_back(BasicBlock{std::move(BlockName), {}});
+  return static_cast<uint32_t>(Blocks.size() - 1);
+}
+
+std::vector<Edge> Function::edges() const {
+  std::vector<Edge> Result;
+  for (uint32_t B = 0, E = static_cast<uint32_t>(Blocks.size()); B != E; ++B)
+    for (unsigned S = 0, N = Blocks[B].numSuccessors(); S != N; ++S)
+      Result.push_back(Edge{B, S});
+  return Result;
+}
+
+std::vector<uint32_t> Function::predecessors(uint32_t BlockIdx) const {
+  std::vector<uint32_t> Result;
+  for (uint32_t B = 0, E = static_cast<uint32_t>(Blocks.size()); B != E; ++B)
+    for (uint32_t Succ : Blocks[B].successors())
+      if (Succ == BlockIdx)
+        Result.push_back(B);
+  std::sort(Result.begin(), Result.end());
+  Result.erase(std::unique(Result.begin(), Result.end()), Result.end());
+  return Result;
+}

@@ -1,0 +1,106 @@
+//===- ir/Function.h - Functions, basic blocks, CFG edges ------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock and Function. Blocks are identified by their index in the
+/// owning function's block vector; CFG edges are (block, successor-slot)
+/// pairs so that instrumentation can address "the edge from b2 to b3" even
+/// when a block branches to the same target through both slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_IR_FUNCTION_H
+#define SPROF_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// A basic block: a straight-line instruction sequence ending in exactly one
+/// terminator (enforced by the verifier).
+struct BasicBlock {
+  std::string Name;
+  std::vector<Instruction> Insts;
+
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+
+  const Instruction &terminator() const {
+    assert(hasTerminator() && "block has no terminator");
+    return Insts.back();
+  }
+
+  Instruction &terminator() {
+    assert(hasTerminator() && "block has no terminator");
+    return Insts.back();
+  }
+
+  /// Returns the successor block indices implied by the terminator.
+  /// Jmp has one, Br has two (taken first), Ret/Halt have none.
+  std::vector<uint32_t> successors() const;
+
+  /// Number of successor slots (0, 1, or 2).
+  unsigned numSuccessors() const;
+
+  /// Returns the successor block index in slot \p Slot.
+  uint32_t successor(unsigned Slot) const;
+
+  /// Redirects successor slot \p Slot to \p NewTarget.
+  void setSuccessor(unsigned Slot, uint32_t NewTarget);
+};
+
+/// A CFG edge, identified by source block and successor slot. Two distinct
+/// edges may share source and destination (a Br with both targets equal);
+/// the slot keeps them apart, which matters for edge profiling.
+struct Edge {
+  uint32_t From = 0;
+  unsigned Slot = 0;
+
+  bool operator==(const Edge &E) const {
+    return From == E.From && Slot == E.Slot;
+  }
+  bool operator<(const Edge &E) const {
+    return From != E.From ? From < E.From : Slot < E.Slot;
+  }
+};
+
+/// A function: an entry block (index 0 by convention), a set of blocks, and
+/// a virtual register file. Arguments arrive in registers 0..NumParams-1.
+struct Function {
+  std::string Name;
+  std::vector<BasicBlock> Blocks;
+  uint32_t NumParams = 0;
+  uint32_t NumRegs = 0;
+
+  uint32_t entryBlock() const { return 0; }
+
+  /// Allocates a fresh virtual register.
+  Reg newReg() { return NumRegs++; }
+
+  /// Appends a new (empty) block and returns its index.
+  uint32_t newBlock(std::string BlockName);
+
+  /// Returns all CFG edges of the function in a deterministic order.
+  std::vector<Edge> edges() const;
+
+  /// Returns the predecessor block indices of \p BlockIdx (deduplicated,
+  /// sorted).
+  std::vector<uint32_t> predecessors(uint32_t BlockIdx) const;
+
+  /// Returns the destination block of \p E.
+  uint32_t edgeDest(const Edge &E) const {
+    return Blocks[E.From].successor(E.Slot);
+  }
+};
+
+} // namespace sprof
+
+#endif // SPROF_IR_FUNCTION_H

@@ -1,0 +1,159 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ----------------------===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace sprof;
+
+void IRBuilder::setFunction(uint32_t FuncIdx) {
+  assert(FuncIdx < M.Functions.size() && "function index out of range");
+  CurFunc = FuncIdx;
+  CurBlock = NoId;
+}
+
+void IRBuilder::setBlock(uint32_t BlockIdx) {
+  assert(CurFunc != NoId && "no current function");
+  assert(BlockIdx < function().Blocks.size() && "block index out of range");
+  CurBlock = BlockIdx;
+}
+
+Function &IRBuilder::function() {
+  assert(CurFunc != NoId && "no current function");
+  return M.Functions[CurFunc];
+}
+
+uint32_t IRBuilder::startFunction(std::string Name, uint32_t NumParams) {
+  CurFunc = M.newFunction(std::move(Name), NumParams);
+  CurBlock = function().newBlock("entry");
+  return CurFunc;
+}
+
+uint32_t IRBuilder::makeBlock(std::string Name) {
+  return function().newBlock(std::move(Name));
+}
+
+Instruction &IRBuilder::append(Instruction I) {
+  assert(CurBlock != NoId && "no insertion block");
+  BasicBlock &BB = function().Blocks[CurBlock];
+  assert(!BB.hasTerminator() && "appending past a terminator");
+  BB.Insts.push_back(I);
+  return BB.Insts.back();
+}
+
+Reg IRBuilder::mov(Operand A, Reg Dst) {
+  if (Dst == NoReg)
+    Dst = newReg();
+  Instruction I;
+  I.Op = Opcode::Mov;
+  I.Dst = Dst;
+  I.A = A;
+  append(I);
+  return Dst;
+}
+
+Reg IRBuilder::binop(Opcode Op, Operand A, Operand B, Reg Dst) {
+  assert(numOperands(Op) == 2 && hasDest(Op) && "not a binary operation");
+  if (Dst == NoReg)
+    Dst = newReg();
+  Instruction I;
+  I.Op = Op;
+  I.Dst = Dst;
+  I.A = A;
+  I.B = B;
+  append(I);
+  return Dst;
+}
+
+Reg IRBuilder::select(Operand Cond, Operand IfTrue, Operand IfFalse,
+                      Reg Dst) {
+  if (Dst == NoReg)
+    Dst = newReg();
+  Instruction I;
+  I.Op = Opcode::Select;
+  I.Dst = Dst;
+  I.A = Cond;
+  I.B = IfTrue;
+  I.C = IfFalse;
+  append(I);
+  return Dst;
+}
+
+Reg IRBuilder::load(Reg Addr, int64_t Offset, Reg Dst) {
+  if (Dst == NoReg)
+    Dst = newReg();
+  Instruction I;
+  I.Op = Opcode::Load;
+  I.Dst = Dst;
+  I.A = Operand::reg(Addr);
+  I.Imm = Offset;
+  I.SiteId = M.newLoadSite();
+  LastSiteId = I.SiteId;
+  append(I);
+  return Dst;
+}
+
+void IRBuilder::store(Reg Addr, int64_t Offset, Operand Value) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  I.A = Operand::reg(Addr);
+  I.B = Value;
+  I.Imm = Offset;
+  append(I);
+}
+
+void IRBuilder::prefetch(Reg Addr, int64_t Offset) {
+  Instruction I;
+  I.Op = Opcode::Prefetch;
+  I.A = Operand::reg(Addr);
+  I.Imm = Offset;
+  append(I);
+}
+
+void IRBuilder::jmp(uint32_t Target) {
+  Instruction I;
+  I.Op = Opcode::Jmp;
+  I.Target0 = Target;
+  append(I);
+}
+
+void IRBuilder::br(Operand Cond, uint32_t IfTrue, uint32_t IfFalse) {
+  Instruction I;
+  I.Op = Opcode::Br;
+  I.A = Cond;
+  I.Target0 = IfTrue;
+  I.Target1 = IfFalse;
+  append(I);
+}
+
+void IRBuilder::ret(Operand Value) {
+  Instruction I;
+  I.Op = Opcode::Ret;
+  I.A = Value;
+  append(I);
+}
+
+void IRBuilder::halt() {
+  Instruction I;
+  I.Op = Opcode::Halt;
+  append(I);
+}
+
+Reg IRBuilder::call(uint32_t Callee, std::initializer_list<Operand> Args,
+                    Reg Dst) {
+  assert(Args.size() <= MaxCallArgs && "too many call arguments");
+  Instruction I;
+  I.Op = Opcode::Call;
+  I.Dst = Dst;
+  I.Callee = Callee;
+  unsigned Idx = 0;
+  for (const Operand &A : Args)
+    I.Args[Idx++] = A;
+  I.NumArgs = static_cast<uint8_t>(Args.size());
+  append(I);
+  return Dst;
+}
+
+void IRBuilder::insert(Instruction I) { append(I); }

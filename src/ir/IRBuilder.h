@@ -1,0 +1,114 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder maintains an insertion point (function + block) and offers one
+/// helper per opcode. The workload generators and transformation passes use
+/// it so instruction-encoding details stay in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_IR_IRBUILDER_H
+#define SPROF_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace sprof {
+
+/// Builds instructions at the end of a chosen basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  /// Selects the function to build into.
+  void setFunction(uint32_t FuncIdx);
+
+  /// Selects the block (within the current function) to append to.
+  void setBlock(uint32_t BlockIdx);
+
+  Module &module() { return M; }
+  Function &function();
+  uint32_t currentBlock() const { return CurBlock; }
+  uint32_t currentFunction() const { return CurFunc; }
+
+  /// Creates a function and makes it current, with a fresh "entry" block.
+  uint32_t startFunction(std::string Name, uint32_t NumParams);
+
+  /// Creates a block in the current function (does not change insertion
+  /// point).
+  uint32_t makeBlock(std::string Name);
+
+  Reg newReg() { return function().newReg(); }
+
+  // Arithmetic / moves. Each returns the destination register.
+  Reg mov(Operand A, Reg Dst = NoReg);
+  Reg movImm(int64_t V, Reg Dst = NoReg) { return mov(Operand::imm(V), Dst); }
+  Reg binop(Opcode Op, Operand A, Operand B, Reg Dst = NoReg);
+  Reg add(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::Add, A, B, Dst);
+  }
+  Reg sub(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::Sub, A, B, Dst);
+  }
+  Reg mul(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::Mul, A, B, Dst);
+  }
+  Reg shl(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::Shl, A, B, Dst);
+  }
+  Reg shr(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::Shr, A, B, Dst);
+  }
+  Reg band(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::And, A, B, Dst);
+  }
+  Reg bor(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::Or, A, B, Dst);
+  }
+  Reg bxor(Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Opcode::Xor, A, B, Dst);
+  }
+  Reg cmp(Opcode Op, Operand A, Operand B, Reg Dst = NoReg) {
+    return binop(Op, A, B, Dst);
+  }
+  Reg select(Operand Cond, Operand IfTrue, Operand IfFalse, Reg Dst = NoReg);
+
+  /// Emits a load from [Addr + Offset]; assigns a fresh module-unique load
+  /// site id and returns the destination register. The site id of the
+  /// emitted instruction can be read back via lastSiteId().
+  Reg load(Reg Addr, int64_t Offset = 0, Reg Dst = NoReg);
+
+  void store(Reg Addr, int64_t Offset, Operand Value);
+  void prefetch(Reg Addr, int64_t Offset = 0);
+
+  // Terminators.
+  void jmp(uint32_t Target);
+  void br(Operand Cond, uint32_t IfTrue, uint32_t IfFalse);
+  void ret(Operand Value = Operand::none());
+  void halt();
+
+  /// Emits a call; pass NoReg as Dst for a void call.
+  Reg call(uint32_t Callee, std::initializer_list<Operand> Args,
+           Reg Dst = NoReg);
+
+  /// Appends an arbitrary pre-built instruction.
+  void insert(Instruction I);
+
+  /// Site id assigned to the most recently emitted load.
+  uint32_t lastSiteId() const { return LastSiteId; }
+
+private:
+  Instruction &append(Instruction I);
+
+  Module &M;
+  uint32_t CurFunc = NoId;
+  uint32_t CurBlock = NoId;
+  uint32_t LastSiteId = NoId;
+};
+
+} // namespace sprof
+
+#endif // SPROF_IR_IRBUILDER_H

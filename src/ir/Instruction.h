@@ -1,0 +1,117 @@
+//===- ir/Instruction.h - IR instructions -----------------------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Instruction value type. Instructions are plain structs owned by value
+/// inside basic blocks, which keeps modules trivially copyable -- the driver
+/// clones a module once per experiment configuration before instrumenting or
+/// inserting prefetches into it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_IR_INSTRUCTION_H
+#define SPROF_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace sprof {
+
+/// Virtual register index, unique within a function.
+using Reg = uint32_t;
+
+/// Sentinel meaning "no register".
+constexpr Reg NoReg = ~0u;
+
+/// Sentinel meaning "no load site" / "no callee".
+constexpr uint32_t NoId = ~0u;
+
+/// An instruction operand: either a virtual register or a 64-bit immediate.
+struct Operand {
+  enum class Kind : uint8_t { None, Register, Immediate };
+
+  Kind K = Kind::None;
+  int64_t V = 0;
+
+  static Operand none() { return Operand(); }
+  static Operand reg(Reg R) {
+    assert(R != NoReg && "register operand needs a real register");
+    Operand O;
+    O.K = Kind::Register;
+    O.V = static_cast<int64_t>(R);
+    return O;
+  }
+  static Operand imm(int64_t Value) {
+    Operand O;
+    O.K = Kind::Immediate;
+    O.V = Value;
+    return O;
+  }
+
+  bool isNone() const { return K == Kind::None; }
+  bool isReg() const { return K == Kind::Register; }
+  bool isImm() const { return K == Kind::Immediate; }
+
+  Reg getReg() const {
+    assert(isReg() && "not a register operand");
+    return static_cast<Reg>(V);
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return V;
+  }
+
+  bool operator==(const Operand &O) const { return K == O.K && V == O.V; }
+};
+
+/// Maximum number of call arguments supported by the IR.
+constexpr unsigned MaxCallArgs = 4;
+
+/// A single IR instruction. See Opcode.h for per-opcode semantics.
+struct Instruction {
+  Opcode Op = Opcode::Halt;
+
+  /// Destination register, or NoReg.
+  Reg Dst = NoReg;
+
+  /// Generic operands; how many are meaningful depends on the opcode.
+  Operand A, B, C;
+
+  /// Extra immediate: memory offset for Load/Store/Prefetch/ProfStride,
+  /// counter id for the ProfCounter* pseudo-ops.
+  int64_t Imm = 0;
+
+  /// Qualifying predicate register (Itanium-style): when set, the
+  /// instruction executes only if the register holds a non-zero value.
+  Reg Pred = NoReg;
+
+  /// Branch targets (block indices within the function).
+  uint32_t Target0 = 0;
+  uint32_t Target1 = 0;
+
+  /// Callee function index for Call.
+  uint32_t Callee = NoId;
+
+  /// Call arguments.
+  Operand Args[MaxCallArgs];
+  uint8_t NumArgs = 0;
+
+  /// Module-unique load site id for Load / Prefetch / ProfStride.
+  uint32_t SiteId = NoId;
+
+  /// True for instructions inserted by a profiling instrumentation pass;
+  /// the interpreter charges their cycles to the instrumentation-overhead
+  /// bucket so benches can report Figure-20 style overheads.
+  bool IsInstrumentation = false;
+
+  bool isTerminator() const { return sprof::isTerminator(Op); }
+};
+
+} // namespace sprof
+
+#endif // SPROF_IR_INSTRUCTION_H

@@ -1,0 +1,168 @@
+//===- ir/Module.cpp - Top-level IR container and textual printer ----------===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+uint32_t Module::newFunction(std::string FuncName, uint32_t NumParams) {
+  Function F;
+  F.Name = std::move(FuncName);
+  F.NumParams = NumParams;
+  F.NumRegs = NumParams;
+  Functions.push_back(std::move(F));
+  return static_cast<uint32_t>(Functions.size() - 1);
+}
+
+uint32_t Module::findFunction(const std::string &FuncName) const {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Functions.size()); I != E;
+       ++I)
+    if (Functions[I].Name == FuncName)
+      return I;
+  return NoId;
+}
+
+std::vector<SiteLocation> Module::locateLoadSites() const {
+  std::vector<SiteLocation> Result(NumLoadSites);
+  for (uint32_t FI = 0, FE = static_cast<uint32_t>(Functions.size());
+       FI != FE; ++FI) {
+    const Function &F = Functions[FI];
+    for (uint32_t BI = 0, BE = static_cast<uint32_t>(F.Blocks.size());
+         BI != BE; ++BI) {
+      const BasicBlock &BB = F.Blocks[BI];
+      for (uint32_t II = 0, IE = static_cast<uint32_t>(BB.Insts.size());
+           II != IE; ++II) {
+        const Instruction &I = BB.Insts[II];
+        if (I.Op != Opcode::Load || I.SiteId == NoId)
+          continue;
+        assert(I.SiteId < NumLoadSites && "load site id out of range");
+        Result[I.SiteId] = SiteLocation{FI, BI, II};
+      }
+    }
+  }
+  return Result;
+}
+
+namespace {
+
+void printOperand(const Operand &O, std::ostream &OS) {
+  switch (O.K) {
+  case Operand::Kind::None:
+    OS << "<none>";
+    break;
+  case Operand::Kind::Register:
+    OS << 'r' << O.V;
+    break;
+  case Operand::Kind::Immediate:
+    OS << O.V;
+    break;
+  }
+}
+
+void printInstruction(const Module &M, const Function &F,
+                      const Instruction &I, std::ostream &OS) {
+  OS << "    ";
+  if (I.Pred != NoReg)
+    OS << "(p r" << I.Pred << ") ";
+  if (hasDest(I.Op) && I.Dst != NoReg)
+    OS << 'r' << I.Dst << " = ";
+  OS << opcodeName(I.Op);
+
+  switch (I.Op) {
+  case Opcode::Load:
+  case Opcode::SpecLoad:
+  case Opcode::Prefetch:
+  case Opcode::ProfStride:
+    OS << " [";
+    printOperand(I.A, OS);
+    OS << (I.Imm >= 0 ? "+" : "") << I.Imm << "]";
+    if (I.SiteId != NoId)
+      OS << " site:" << I.SiteId;
+    break;
+  case Opcode::Store:
+    OS << " [";
+    printOperand(I.A, OS);
+    OS << (I.Imm >= 0 ? "+" : "") << I.Imm << "], ";
+    printOperand(I.B, OS);
+    break;
+  case Opcode::Jmp:
+    OS << ' ' << F.Blocks[I.Target0].Name;
+    break;
+  case Opcode::Br:
+    OS << ' ';
+    printOperand(I.A, OS);
+    OS << ", " << F.Blocks[I.Target0].Name << ", "
+       << F.Blocks[I.Target1].Name;
+    break;
+  case Opcode::Call:
+    OS << ' '
+       << (I.Callee < M.Functions.size() ? M.Functions[I.Callee].Name
+                                         : "<bad-callee>")
+       << '(';
+    for (unsigned A = 0; A != I.NumArgs; ++A) {
+      if (A != 0)
+        OS << ", ";
+      printOperand(I.Args[A], OS);
+    }
+    OS << ')';
+    break;
+  case Opcode::Ret:
+    if (!I.A.isNone()) {
+      OS << ' ';
+      printOperand(I.A, OS);
+    }
+    break;
+  case Opcode::ProfCounterInc:
+  case Opcode::ProfCounterRead:
+    OS << " ctr:" << I.Imm;
+    break;
+  case Opcode::ProfCounterAddTo:
+    OS << ' ';
+    printOperand(I.A, OS);
+    OS << ", ctr:" << I.Imm;
+    break;
+  default: {
+    // Generic operand list.
+    unsigned N = numOperands(I.Op);
+    const Operand *Ops[3] = {&I.A, &I.B, &I.C};
+    for (unsigned K = 0; K != N; ++K) {
+      OS << (K == 0 ? " " : ", ");
+      printOperand(*Ops[K], OS);
+    }
+    break;
+  }
+  }
+  if (I.IsInstrumentation)
+    OS << "  ; instr";
+  OS << '\n';
+}
+
+} // namespace
+
+void sprof::printFunction(const Module &M, const Function &F,
+                          std::ostream &OS) {
+  OS << "func " << F.Name << "(params=" << F.NumParams
+     << ", regs=" << F.NumRegs << ") {\n";
+  for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
+       ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    OS << "  " << BB.Name << ":  ; block " << B << '\n';
+    for (const Instruction &I : BB.Insts)
+      printInstruction(M, F, I, OS);
+  }
+  OS << "}\n";
+}
+
+void Module::print(std::ostream &OS) const {
+  OS << "module " << Name << "  ; sites=" << NumLoadSites
+     << " counters=" << NumCounters << " entry=" << EntryFunction << '\n';
+  for (const Function &F : Functions) {
+    printFunction(*this, F, OS);
+    OS << '\n';
+  }
+}

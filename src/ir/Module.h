@@ -1,0 +1,69 @@
+//===- ir/Module.h - Top-level IR container ---------------------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_IR_MODULE_H
+#define SPROF_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Location of a load site within a module: which function/block/instruction
+/// a given SiteId currently lives at. Recomputed on demand because passes
+/// move instructions around.
+struct SiteLocation {
+  uint32_t Func = NoId;
+  uint32_t Block = NoId;
+  uint32_t Inst = NoId;
+
+  bool isValid() const { return Func != NoId; }
+};
+
+/// A whole program: functions, an entry function, and module-wide id spaces
+/// for load sites and profiling counters.
+struct Module {
+  std::string Name;
+  std::vector<Function> Functions;
+  uint32_t EntryFunction = 0;
+
+  /// Next unassigned load site id; Load instructions receive ids at build
+  /// time so that profiles survive cloning and transformation.
+  uint32_t NumLoadSites = 0;
+
+  /// Number of profiling counters allocated by instrumentation passes.
+  uint32_t NumCounters = 0;
+
+  /// Appends a new function and returns its index.
+  uint32_t newFunction(std::string FuncName, uint32_t NumParams);
+
+  /// Returns the function index for \p FuncName, or NoId.
+  uint32_t findFunction(const std::string &FuncName) const;
+
+  /// Allocates a fresh load site id.
+  uint32_t newLoadSite() { return NumLoadSites++; }
+
+  /// Allocates a fresh profiling counter id.
+  uint32_t newCounter() { return NumCounters++; }
+
+  /// Maps every load SiteId to its current location. The returned vector is
+  /// indexed by SiteId; sites without a Load instruction (should not happen
+  /// in verified modules) map to an invalid location.
+  std::vector<SiteLocation> locateLoadSites() const;
+
+  /// Prints the whole module in textual form.
+  void print(std::ostream &OS) const;
+};
+
+/// Prints a single function (used by Module::print and tests).
+void printFunction(const Module &M, const Function &F, std::ostream &OS);
+
+} // namespace sprof
+
+#endif // SPROF_IR_MODULE_H

@@ -1,0 +1,168 @@
+//===- ir/Opcode.cpp - IR opcode traits ------------------------------------===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+const char *sprof::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::CmpEq:
+    return "cmp.eq";
+  case Opcode::CmpNe:
+    return "cmp.ne";
+  case Opcode::CmpLt:
+    return "cmp.lt";
+  case Opcode::CmpLe:
+    return "cmp.le";
+  case Opcode::CmpGt:
+    return "cmp.gt";
+  case Opcode::CmpGe:
+    return "cmp.ge";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Prefetch:
+    return "prefetch";
+  case Opcode::SpecLoad:
+    return "load.s";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Br:
+    return "br";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::ProfCounterInc:
+    return "prof.inc";
+  case Opcode::ProfCounterRead:
+    return "prof.read";
+  case Opcode::ProfCounterAddTo:
+    return "prof.addto";
+  case Opcode::ProfStride:
+    return "prof.stride";
+  }
+  assert(false && "unknown opcode");
+  return "<invalid>";
+}
+
+bool sprof::isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Jmp:
+  case Opcode::Br:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sprof::hasDest(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::Select:
+  case Opcode::Load:
+  case Opcode::SpecLoad:
+  case Opcode::Call:
+  case Opcode::ProfCounterRead:
+  case Opcode::ProfCounterAddTo:
+    return true;
+  default:
+    return false;
+  }
+}
+
+unsigned sprof::numOperands(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return 1;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return 2;
+  case Opcode::Select:
+    return 3;
+  case Opcode::Load:
+  case Opcode::SpecLoad:
+    return 1; // address
+  case Opcode::Store:
+    return 2; // address, value
+  case Opcode::Prefetch:
+    return 1; // address
+  case Opcode::Jmp:
+    return 0;
+  case Opcode::Br:
+    return 1; // condition
+  case Opcode::Call:
+    return 0; // arguments are carried separately
+  case Opcode::Ret:
+    return 1; // optional return value
+  case Opcode::Halt:
+    return 0;
+  case Opcode::ProfCounterInc:
+    return 0;
+  case Opcode::ProfCounterRead:
+    return 0;
+  case Opcode::ProfCounterAddTo:
+    return 1;
+  case Opcode::ProfStride:
+    return 1; // address
+  }
+  assert(false && "unknown opcode");
+  return 0;
+}

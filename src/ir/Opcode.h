@@ -1,0 +1,87 @@
+//===- ir/Opcode.h - IR instruction opcodes ---------------------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes for the StrideProf register-machine IR. The IR is deliberately
+/// small: enough to express the pointer-chasing loops the paper studies, the
+/// profiling instrumentation of Figures 11-14 (edge counters, trip-count
+/// predicates, calls into the stride-profiling runtime), and the prefetching
+/// transformations of Figure 3 (including Itanium-style qualifying
+/// predicates for the conditional WSST prefetch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_IR_OPCODE_H
+#define SPROF_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace sprof {
+
+enum class Opcode : uint8_t {
+  // Data movement and arithmetic. Operands may be registers or immediates.
+  Mov,   // dst = a
+  Add,   // dst = a + b
+  Sub,   // dst = a - b
+  Mul,   // dst = a * b
+  Shl,   // dst = a << b
+  Shr,   // dst = a >> b (arithmetic)
+  And,   // dst = a & b
+  Or,    // dst = a | b
+  Xor,   // dst = a ^ b
+  CmpEq, // dst = (a == b)
+  CmpNe, // dst = (a != b)
+  CmpLt, // dst = (a < b), signed
+  CmpLe, // dst = (a <= b), signed
+  CmpGt, // dst = (a > b), signed
+  CmpGe, // dst = (a >= b), signed
+  Select, // dst = a ? b : c
+
+  // Memory. Addresses are a register plus a signed immediate offset; all
+  // accesses are 8 bytes wide (the workloads lay out data accordingly).
+  Load,     // dst = mem[a + Imm]; carries a module-unique load site id
+  Store,    // mem[a + Imm] = b
+  Prefetch, // non-faulting touch of mem[a + Imm]
+  SpecLoad, // dst = mem[a + Imm], non-blocking/non-faulting (Itanium ld.s);
+            // used by dependent prefetching to chase one pointer ahead
+
+  // Control flow. Every basic block ends in exactly one terminator.
+  Jmp,  // goto Target0
+  Br,   // if (a != 0) goto Target0 else goto Target1
+  Call, // dst = Callee(args...), arguments land in the callee's r0..rN-1
+  Ret,  // return a (or nothing)
+  Halt, // stop the program (valid only in the entry function)
+
+  // Profiling pseudo-ops, inserted by the instrumentation passes. Counters
+  // live in a dedicated array owned by the interpreter, mirroring the
+  // counter memory a real instrumented binary would own.
+  ProfCounterInc,   // counters[Imm]++
+  ProfCounterRead,  // dst = counters[Imm]
+  ProfCounterAddTo, // dst = a + counters[Imm]
+  ProfStride,       // strideProf(a + Imm) for load site SiteId (Figure 6/9)
+};
+
+/// Number of distinct opcodes (for trait tables).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::ProfStride) + 1;
+
+/// Returns the mnemonic used by the textual printer.
+const char *opcodeName(Opcode Op);
+
+/// Returns true for instructions that must terminate a basic block.
+bool isTerminator(Opcode Op);
+
+/// Returns true for instructions that write a destination register. Call
+/// may or may not (void calls); this reports the *capability*.
+bool hasDest(Opcode Op);
+
+/// Returns the number of generic operands (A/B/C) the opcode consumes.
+unsigned numOperands(Opcode Op);
+
+} // namespace sprof
+
+#endif // SPROF_IR_OPCODE_H

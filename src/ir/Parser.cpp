@@ -1,0 +1,462 @@
+//===- ir/Parser.cpp - Textual IR parser ------------------------------------===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace sprof;
+
+namespace {
+
+/// A tiny cursor over one line of text.
+class LineCursor {
+public:
+  explicit LineCursor(const std::string &Line) : Text(Line) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  bool consume(const std::string &Token) {
+    skipSpace();
+    if (Text.compare(Pos, Token.size(), Token) != 0)
+      return false;
+    Pos += Token.size();
+    return true;
+  }
+
+  bool peek(char C) {
+    skipSpace();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+
+  /// Reads an identifier: letters, digits, '_', '.', '-' (block and
+  /// function names).
+  bool ident(std::string &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.' || C == '-')
+        ++Pos;
+      else
+        break;
+    }
+    if (Pos == Start)
+      return false;
+    Out = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+  size_t position() const { return Pos; }
+  void setPosition(size_t P) { Pos = P; }
+
+  bool integer(int64_t &Out) {
+    skipSpace();
+    const char *Begin = Text.c_str() + Pos;
+    char *End = nullptr;
+    long long V = std::strtoll(Begin, &End, 10);
+    if (End == Begin)
+      return false;
+    Out = V;
+    Pos += static_cast<size_t>(End - Begin);
+    return true;
+  }
+
+  /// Strips a trailing "; ..." comment.
+  static std::string stripComment(const std::string &Line,
+                                  bool *HadInstrMark = nullptr) {
+    size_t C = Line.find(';');
+    if (HadInstrMark)
+      *HadInstrMark = Line.find("; instr") != std::string::npos;
+    return C == std::string::npos ? Line : Line.substr(0, C);
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+class ParserImpl {
+public:
+  explicit ParserImpl(std::istream &IS) : IS(IS) {}
+
+  ParseResult run() {
+    ParseResult R;
+    if (!parseModuleHeader(R.M)) {
+      R.Error = error("expected 'module <name>' header");
+      return R;
+    }
+    while (nextInterestingLine()) {
+      if (!startsWith(Current, "func ")) {
+        R.Error = error("expected 'func' or end of input");
+        return R;
+      }
+      if (!parseFunction(R.M)) {
+        R.Error = Err;
+        return R;
+      }
+    }
+    if (!fixupCalls(R.M)) {
+      R.Error = Err;
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  static bool startsWith(const std::string &S, const std::string &P) {
+    return S.compare(0, P.size(), P) == 0;
+  }
+
+  std::string error(const std::string &Message) {
+    return "line " + std::to_string(LineNo) + ": " + Message;
+  }
+
+  bool fail(const std::string &Message) {
+    Err = error(Message);
+    return false;
+  }
+
+  /// Reads the next non-empty line into Current. Returns false at EOF.
+  bool nextLine() {
+    while (std::getline(IS, Current)) {
+      ++LineNo;
+      return true;
+    }
+    return false;
+  }
+
+  bool nextInterestingLine() {
+    while (nextLine()) {
+      std::string Stripped = LineCursor::stripComment(Current);
+      bool AllSpace = true;
+      for (char C : Stripped)
+        if (!std::isspace(static_cast<unsigned char>(C)))
+          AllSpace = false;
+      if (!AllSpace)
+        return true;
+    }
+    return false;
+  }
+
+  bool parseModuleHeader(Module &M) {
+    if (!nextInterestingLine() || !startsWith(Current, "module"))
+      return false;
+    // "module <name>  ; sites=N counters=M"
+    std::string NoComment = Current;
+    size_t Semi = Current.find(';');
+    if (Semi != std::string::npos) {
+      NoComment = Current.substr(0, Semi);
+      // Parse sites/counters from the comment.
+      std::string Comment = Current.substr(Semi);
+      size_t SP = Comment.find("sites=");
+      size_t CP = Comment.find("counters=");
+      size_t EP = Comment.find("entry=");
+      if (SP != std::string::npos)
+        M.NumLoadSites = static_cast<uint32_t>(
+            std::strtoul(Comment.c_str() + SP + 6, nullptr, 10));
+      if (CP != std::string::npos)
+        M.NumCounters = static_cast<uint32_t>(
+            std::strtoul(Comment.c_str() + CP + 9, nullptr, 10));
+      if (EP != std::string::npos)
+        M.EntryFunction = static_cast<uint32_t>(
+            std::strtoul(Comment.c_str() + EP + 6, nullptr, 10));
+    }
+    LineCursor C(NoComment);
+    C.consume("module");
+    std::string Name;
+    if (C.ident(Name))
+      M.Name = Name;
+    return true;
+  }
+
+  bool parseFunction(Module &M) {
+    // Current is "func <name>(params=P, regs=R) {"
+    LineCursor C(Current);
+    C.consume("func");
+    std::string Name;
+    if (!C.ident(Name))
+      return fail("expected function name");
+    int64_t Params = 0, Regs = 0;
+    if (!C.consume("(") || !C.consume("params=") || !C.integer(Params) ||
+        !C.consume(",") || !C.consume("regs=") || !C.integer(Regs) ||
+        !C.consume(")") || !C.consume("{"))
+      return fail("malformed function header");
+
+    uint32_t FuncIdx = M.newFunction(Name, static_cast<uint32_t>(Params));
+    Function &F = M.Functions[FuncIdx];
+    F.NumRegs = static_cast<uint32_t>(Regs);
+
+    // Per-function state for branch fixups.
+    std::map<std::string, uint32_t> BlockByName;
+    struct TargetFixup {
+      uint32_t Block;
+      uint32_t Inst;
+      unsigned Slot;
+      std::string Target;
+    };
+    std::vector<TargetFixup> Fixups;
+    uint32_t CurBlock = NoId;
+
+    while (nextInterestingLine()) {
+      std::string Stripped = LineCursor::stripComment(Current);
+      {
+        LineCursor LC(Stripped);
+        if (LC.consume("}"))
+          break;
+      }
+
+      // Block label: "<name>:".
+      {
+        LineCursor LC(Stripped);
+        std::string Label;
+        if (LC.ident(Label) && LC.consume(":") && LC.atEnd()) {
+          if (BlockByName.count(Label))
+            return fail("duplicate block name '" + Label +
+                        "' (targets would be ambiguous)");
+          CurBlock = F.newBlock(Label);
+          BlockByName.emplace(Label, CurBlock);
+          continue;
+        }
+      }
+
+      if (CurBlock == NoId)
+        return fail("instruction before first block label");
+      Instruction I;
+      std::string JmpTarget, BrTarget0, BrTarget1;
+      if (!parseInstruction(Stripped, I, JmpTarget, BrTarget0, BrTarget1))
+        return false;
+      uint32_t InstIdx = static_cast<uint32_t>(F.Blocks[CurBlock].Insts.size());
+      if (I.Op == Opcode::Jmp)
+        Fixups.push_back({CurBlock, InstIdx, 0, JmpTarget});
+      if (I.Op == Opcode::Br) {
+        Fixups.push_back({CurBlock, InstIdx, 0, BrTarget0});
+        Fixups.push_back({CurBlock, InstIdx, 1, BrTarget1});
+      }
+      F.Blocks[CurBlock].Insts.push_back(I);
+    }
+
+    for (const TargetFixup &FX : Fixups) {
+      auto It = BlockByName.find(FX.Target);
+      if (It == BlockByName.end())
+        return fail("unknown branch target '" + FX.Target + "'");
+      Instruction &I = F.Blocks[FX.Block].Insts[FX.Inst];
+      if (FX.Slot == 0)
+        I.Target0 = It->second;
+      else
+        I.Target1 = It->second;
+    }
+    return true;
+  }
+
+  /// Parses "rN" or an integer into an operand.
+  bool parseOperand(LineCursor &C, Operand &O) {
+    if (C.peek('r')) {
+      C.consume("r");
+      int64_t N;
+      if (!C.integer(N))
+        return fail("expected register number");
+      O = Operand::reg(static_cast<Reg>(N));
+      return true;
+    }
+    int64_t V;
+    if (!C.integer(V))
+      return fail("expected operand");
+    O = Operand::imm(V);
+    return true;
+  }
+
+  /// Parses "[rA+imm]" (or "[rA-imm]") into I.A / I.Imm.
+  bool parseMemRef(LineCursor &C, Instruction &I) {
+    if (!C.consume("["))
+      return fail("expected '['");
+    if (!parseOperand(C, I.A) || !I.A.isReg())
+      return fail("memory base must be a register");
+    int64_t Off;
+    if (!C.integer(Off)) // the printer emits an explicit sign
+      return fail("expected memory offset");
+    I.Imm = Off;
+    if (!C.consume("]"))
+      return fail("expected ']'");
+    return true;
+  }
+
+  bool parseInstruction(const std::string &Stripped, Instruction &I,
+                        std::string &JmpTarget, std::string &BrTarget0,
+                        std::string &BrTarget1) {
+    bool InstrMark = false;
+    LineCursor::stripComment(Current, &InstrMark);
+    I.IsInstrumentation = InstrMark;
+
+    LineCursor C(Stripped);
+
+    // Optional "(p rN)" qualifying predicate.
+    if (C.consume("(p")) {
+      Operand P;
+      if (!parseOperand(C, P) || !P.isReg() || !C.consume(")"))
+        return fail("malformed predicate");
+      I.Pred = P.getReg();
+    }
+
+    // Optional "rD = " (try and roll back if it is not there).
+    {
+      size_t Save = C.position();
+      int64_t N;
+      if (C.consume("r") && C.integer(N) && C.consume("="))
+        I.Dst = static_cast<Reg>(N);
+      else
+        C.setPosition(Save);
+    }
+
+    std::string Mnemonic;
+    if (!C.ident(Mnemonic))
+      return fail("expected mnemonic");
+    if (!opcodeByName(Mnemonic, I.Op))
+      return fail("unknown mnemonic '" + Mnemonic + "'");
+
+    switch (I.Op) {
+    case Opcode::Load:
+    case Opcode::SpecLoad:
+    case Opcode::Prefetch:
+    case Opcode::ProfStride:
+      if (!parseMemRef(C, I))
+        return false;
+      if (C.consume("site:")) {
+        int64_t S;
+        if (!C.integer(S))
+          return fail("expected site id");
+        I.SiteId = static_cast<uint32_t>(S);
+      }
+      return true;
+    case Opcode::Store:
+      if (!parseMemRef(C, I) || !C.consume(","))
+        return fail("malformed store");
+      return parseOperand(C, I.B);
+    case Opcode::Jmp:
+      if (!C.ident(JmpTarget))
+        return fail("expected jump target");
+      return true;
+    case Opcode::Br:
+      if (!parseOperand(C, I.A) || !C.consume(","))
+        return fail("malformed branch");
+      if (!C.ident(BrTarget0) || !C.consume(",") || !C.ident(BrTarget1))
+        return fail("expected branch targets");
+      return true;
+    case Opcode::Call: {
+      // The callee may be defined later in the file; record its name in
+      // instruction order and resolve in fixupCalls().
+      std::string Callee;
+      if (!C.ident(Callee) || !C.consume("("))
+        return fail("malformed call");
+      unsigned NArgs = 0;
+      if (!C.peek(')')) {
+        while (true) {
+          if (NArgs == MaxCallArgs)
+            return fail("too many call arguments");
+          if (!parseOperand(C, I.Args[NArgs]))
+            return false;
+          ++NArgs;
+          if (!C.consume(","))
+            break;
+        }
+      }
+      I.NumArgs = static_cast<uint8_t>(NArgs);
+      if (!C.consume(")"))
+        return fail("expected ')'");
+      CallSites.push_back(Callee);
+      return true;
+    }
+    case Opcode::Ret:
+      if (!C.atEnd())
+        return parseOperand(C, I.A);
+      return true;
+    case Opcode::ProfCounterInc:
+    case Opcode::ProfCounterRead:
+      if (!C.consume("ctr:"))
+        return fail("expected counter id");
+      return C.integer(I.Imm) ? true : fail("expected counter id");
+    case Opcode::ProfCounterAddTo:
+      if (!parseOperand(C, I.A) || !C.consume(", ctr:"))
+        return fail("malformed prof.addto");
+      return C.integer(I.Imm) ? true : fail("expected counter id");
+    default: {
+      // Generic operand list.
+      unsigned N = numOperands(I.Op);
+      Operand *Ops[3] = {&I.A, &I.B, &I.C};
+      for (unsigned K = 0; K != N; ++K) {
+        if (K != 0 && !C.consume(","))
+          return fail("expected ','");
+        if (!parseOperand(C, *Ops[K]))
+          return false;
+      }
+      return true;
+    }
+    }
+  }
+
+  bool opcodeByName(const std::string &Name, Opcode &Op) {
+    for (unsigned K = 0; K != NumOpcodes; ++K) {
+      Opcode Candidate = static_cast<Opcode>(K);
+      if (Name == opcodeName(Candidate)) {
+        Op = Candidate;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool fixupCalls(Module &M) {
+    // Resolve call targets by name, in instruction order per function.
+    size_t Next = 0;
+    for (Function &F : M.Functions)
+      for (BasicBlock &BB : F.Blocks)
+        for (Instruction &I : BB.Insts) {
+          if (I.Op != Opcode::Call)
+            continue;
+          if (Next >= CallSites.size())
+            return fail("internal: call bookkeeping out of sync");
+          uint32_t Callee = M.findFunction(CallSites[Next++]);
+          if (Callee == NoId)
+            return fail("call to unknown function '" +
+                        CallSites[Next - 1] + "'");
+          I.Callee = Callee;
+        }
+    return true;
+  }
+
+  std::istream &IS;
+  std::string Current;
+  /// Callee names of Call instructions, in global parse order.
+  std::vector<std::string> CallSites;
+  unsigned LineNo = 0;
+  std::string Err;
+};
+
+} // namespace
+
+ParseResult sprof::parseModule(std::istream &IS) {
+  return ParserImpl(IS).run();
+}
+
+ParseResult sprof::parseModule(const std::string &Text) {
+  std::istringstream SS(Text);
+  return parseModule(SS);
+}

@@ -1,0 +1,40 @@
+//===- ir/Parser.h - Textual IR parser --------------------------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by Module::print back into a Module,
+/// so IR can be dumped, edited, and reloaded (round-trip guaranteed by the
+/// test suite). Used for debugging pipelines and for storing regression
+/// inputs as text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_IR_PARSER_H
+#define SPROF_IR_PARSER_H
+
+#include "ir/Module.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace sprof {
+
+/// Result of a parse: either a module or a diagnostic.
+struct ParseResult {
+  Module M;
+  bool Ok = false;
+  std::string Error; ///< "line N: message" when !Ok
+};
+
+/// Parses a module in the printer's textual format from \p IS.
+ParseResult parseModule(std::istream &IS);
+
+/// Convenience overload for in-memory text.
+ParseResult parseModule(const std::string &Text);
+
+} // namespace sprof
+
+#endif // SPROF_IR_PARSER_H

@@ -1,0 +1,166 @@
+//===- ir/Verifier.cpp - IR well-formedness checks --------------------------===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <set>
+#include <sstream>
+
+using namespace sprof;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    if (M.Functions.empty())
+      addError("module has no functions");
+    else if (M.EntryFunction >= M.Functions.size())
+      addError("entry function index out of range");
+    for (const Function &F : M.Functions)
+      verifyFunction(F);
+    return std::move(Errors);
+  }
+
+private:
+  void addError(const std::string &Message) { Errors.push_back(Message); }
+
+  void addError(const Function &F, const BasicBlock &BB,
+                const std::string &Message) {
+    addError("function " + F.Name + ", block " + BB.Name + ": " + Message);
+  }
+
+  void verifyFunction(const Function &F) {
+    if (F.Blocks.empty()) {
+      addError("function " + F.Name + ": no blocks");
+      return;
+    }
+    if (F.NumParams > F.NumRegs)
+      addError("function " + F.Name + ": NumParams exceeds NumRegs");
+    for (const BasicBlock &BB : F.Blocks)
+      verifyBlock(F, BB);
+  }
+
+  void verifyBlock(const Function &F, const BasicBlock &BB) {
+    if (!BB.hasTerminator()) {
+      addError(F, BB, "missing terminator");
+      return;
+    }
+    for (size_t II = 0, IE = BB.Insts.size(); II != IE; ++II) {
+      const Instruction &I = BB.Insts[II];
+      if (I.isTerminator() && II + 1 != IE)
+        addError(F, BB, std::string("terminator '") + opcodeName(I.Op) +
+                            "' in block interior");
+      verifyInstruction(F, BB, I);
+    }
+  }
+
+  void verifyInstruction(const Function &F, const BasicBlock &BB,
+                         const Instruction &I) {
+    const std::string OpName = opcodeName(I.Op);
+    auto CheckReg = [&](Reg R, const char *What) {
+      if (R != NoReg && R >= F.NumRegs)
+        addError(F, BB, std::string(What) + " register r" +
+                            std::to_string(R) + " out of range in '" +
+                            OpName + "'");
+    };
+    auto CheckOperand = [&](const Operand &O, const char *What) {
+      if (O.isReg())
+        CheckReg(O.getReg(), What);
+    };
+    auto CheckTarget = [&](uint32_t T) {
+      if (T >= F.Blocks.size())
+        addError(F, BB, "branch target " + std::to_string(T) +
+                            " out of range in '" + OpName + "'");
+    };
+
+    CheckReg(I.Pred, "predicate");
+    if (hasDest(I.Op) && I.Op != Opcode::Call && I.Dst == NoReg)
+      addError(F, BB, "'" + OpName + "' lacks a destination");
+    CheckReg(I.Dst, "destination");
+    CheckOperand(I.A, "operand A");
+    CheckOperand(I.B, "operand B");
+    CheckOperand(I.C, "operand C");
+
+    // Operand presence for generic opcodes; Ret's operand is optional.
+    if (I.Op != Opcode::Ret) {
+      unsigned Needed = numOperands(I.Op);
+      const Operand *Ops[3] = {&I.A, &I.B, &I.C};
+      for (unsigned K = 0; K != Needed; ++K)
+        if (Ops[K]->isNone())
+          addError(F, BB, "'" + OpName + "' missing operand " +
+                              std::to_string(K));
+    }
+
+    switch (I.Op) {
+    case Opcode::Load:
+    case Opcode::SpecLoad:
+    case Opcode::Prefetch:
+    case Opcode::Store:
+    case Opcode::ProfStride:
+      if (!I.A.isReg())
+        addError(F, BB, "'" + OpName + "' address must be a register");
+      break;
+    case Opcode::Jmp:
+      CheckTarget(I.Target0);
+      break;
+    case Opcode::Br:
+      CheckTarget(I.Target0);
+      CheckTarget(I.Target1);
+      break;
+    case Opcode::Call: {
+      if (I.Callee >= M.Functions.size()) {
+        addError(F, BB,
+                 "call to out-of-range function " + std::to_string(I.Callee));
+        break;
+      }
+      const Function &Callee = M.Functions[I.Callee];
+      if (I.NumArgs != Callee.NumParams)
+        addError(F, BB, "call to " + Callee.Name + " passes " +
+                            std::to_string(unsigned(I.NumArgs)) +
+                            " args, expected " +
+                            std::to_string(Callee.NumParams));
+      for (unsigned A = 0; A != I.NumArgs; ++A)
+        CheckOperand(I.Args[A], "call argument");
+      break;
+    }
+    case Opcode::ProfCounterInc:
+    case Opcode::ProfCounterRead:
+    case Opcode::ProfCounterAddTo:
+      if (I.Imm < 0 || static_cast<uint64_t>(I.Imm) >= M.NumCounters)
+        addError(F, BB, "counter id " + std::to_string(I.Imm) +
+                            " out of range");
+      break;
+    default:
+      break;
+    }
+
+    // Load site bookkeeping: every Load carries a valid, unique site id.
+    if (I.Op == Opcode::Load) {
+      if (I.SiteId == NoId || I.SiteId >= M.NumLoadSites)
+        addError(F, BB, "load with invalid site id");
+      else if (!SeenSites.insert(I.SiteId).second)
+        addError(F, BB, "duplicate load site id " + std::to_string(I.SiteId));
+    }
+    if (I.Op == Opcode::ProfStride &&
+        (I.SiteId == NoId || I.SiteId >= M.NumLoadSites))
+      addError(F, BB, "prof.stride with invalid site id");
+  }
+
+  const Module &M;
+  std::vector<std::string> Errors;
+  std::set<uint32_t> SeenSites;
+};
+
+} // namespace
+
+std::vector<std::string> sprof::verifyModule(const Module &M) {
+  return VerifierImpl(M).run();
+}
+
+bool sprof::isWellFormed(const Module &M) { return verifyModule(M).empty(); }

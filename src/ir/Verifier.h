@@ -1,0 +1,31 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Opcode.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_IR_VERIFIER_H
+#define SPROF_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Checks structural invariants of \p M: every block ends in exactly one
+/// terminator (and has no interior terminators), register and block indices
+/// are in range, call targets and argument counts are valid, load site ids
+/// are in range and unique across Load instructions, counter ids are in
+/// range, and the entry function exists.
+///
+/// \returns the list of violations (empty when the module is well-formed).
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience wrapper: true when verifyModule reports no violations.
+bool isWellFormed(const Module &M);
+
+} // namespace sprof
+
+#endif // SPROF_IR_VERIFIER_H

@@ -1,0 +1,166 @@
+//===- memsys/Cache.cpp - Set-associative cache hierarchy ------------------===//
+//
+// Part of the StrideProf project (see Cache.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsys/Cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sprof;
+
+CacheLevel::CacheLevel(const CacheLevelConfig &Config) : Config(Config) {
+  assert(Config.SizeBytes % (Config.LineBytes * Config.Associativity) == 0 &&
+         "cache size must be a whole number of sets");
+  NumSets = Config.SizeBytes / (Config.LineBytes * Config.Associativity);
+  Ways.resize(NumSets * Config.Associativity);
+}
+
+bool CacheLevel::probe(uint64_t LineAddr, uint64_t &ReadyTime,
+                       bool *WasUnusedPrefetch) {
+  uint64_t Set = LineAddr % NumSets;
+  Way *Base = &Ways[Set * Config.Associativity];
+  for (unsigned W = 0; W != Config.Associativity; ++W) {
+    Way &Entry = Base[W];
+    if (Entry.Valid && Entry.Tag == LineAddr) {
+      Entry.LastUse = ++UseClock;
+      ReadyTime = Entry.ReadyTime;
+      if (WasUnusedPrefetch) {
+        *WasUnusedPrefetch = Entry.UnusedPrefetch;
+        Entry.UnusedPrefetch = false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheLevel::fill(uint64_t LineAddr, uint64_t ReadyTime,
+                      bool Prefetched) {
+  uint64_t Set = LineAddr % NumSets;
+  Way *Base = &Ways[Set * Config.Associativity];
+  // Reuse an existing entry for the same line (refresh ready time).
+  for (unsigned W = 0; W != Config.Associativity; ++W) {
+    Way &Entry = Base[W];
+    if (Entry.Valid && Entry.Tag == LineAddr) {
+      Entry.ReadyTime = std::min(Entry.ReadyTime, ReadyTime);
+      Entry.LastUse = ++UseClock;
+      return;
+    }
+  }
+  // Victim: first invalid way, else LRU.
+  Way *Victim = Base;
+  for (unsigned W = 0; W != Config.Associativity; ++W) {
+    Way &Entry = Base[W];
+    if (!Entry.Valid) {
+      Victim = &Entry;
+      break;
+    }
+    if (Entry.LastUse < Victim->LastUse)
+      Victim = &Entry;
+  }
+  if (Victim->Valid && Victim->UnusedPrefetch && EvictUnusedCounter)
+    ++*EvictUnusedCounter;
+  Victim->Valid = true;
+  Victim->Tag = LineAddr;
+  Victim->ReadyTime = ReadyTime;
+  Victim->LastUse = ++UseClock;
+  Victim->UnusedPrefetch = Prefetched;
+}
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &Config)
+    : Config(Config) {
+  assert(!Config.Levels.empty() && "hierarchy needs at least one level");
+  LineBytes = Config.Levels.front().LineBytes;
+  for (const CacheLevelConfig &L : Config.Levels) {
+    assert(L.LineBytes == LineBytes &&
+           "all levels must share one line size");
+    Levels.emplace_back(L);
+  }
+  Stats.Levels.resize(Levels.size());
+  // Prefetch usefulness is accounted at the L1 level.
+  Levels.front().setEvictUnusedCounter(&Stats.PrefetchesUnused);
+}
+
+size_t MemoryHierarchy::findLine(uint64_t Line, uint64_t &ReadyTime) {
+  for (size_t L = 0; L != Levels.size(); ++L)
+    if (Levels[L].probe(Line, ReadyTime))
+      return L;
+  return Levels.size();
+}
+
+uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now) {
+  ++Stats.DemandAccesses;
+  uint64_t Line = lineAddr(Addr);
+  uint64_t ReadyTime = 0;
+  // Probe L1 separately so first use of a prefetched line is observed.
+  size_t Hit;
+  bool FirstPrefetchUse = false;
+  if (Levels[0].probe(Line, ReadyTime, &FirstPrefetchUse)) {
+    Hit = 0;
+    if (FirstPrefetchUse)
+      ++Stats.PrefetchesUseful;
+  } else {
+    Hit = Levels.size();
+    for (size_t L = 1; L != Levels.size(); ++L)
+      if (Levels[L].probe(Line, ReadyTime)) {
+        Hit = L;
+        break;
+      }
+  }
+
+  uint64_t Latency;
+  if (Hit == Levels.size()) {
+    // Full miss: stall to memory.
+    Latency = Config.MemoryLatency;
+    ++Stats.Levels.back().Misses;
+    for (size_t L = 0; L != Levels.size(); ++L) {
+      if (L < Levels.size() - 1)
+        ++Stats.Levels[L].Misses;
+      Levels[L].fill(Line, Now + Latency);
+    }
+  } else {
+    // Hit at level Hit; latency is that level's hit latency, plus any
+    // residual fill time when the line is still in flight (from a late
+    // prefetch or an overlapping demand fill of the same line).
+    Latency = Levels[Hit].config().HitLatency;
+    if (ReadyTime > Now) {
+      Latency = std::max<uint64_t>(Latency, ReadyTime - Now);
+      if (FirstPrefetchUse)
+        ++Stats.LatePrefetchHits;
+    }
+    ++Stats.Levels[Hit].Hits;
+    for (size_t L = 0; L != Hit; ++L) {
+      ++Stats.Levels[L].Misses;
+      Levels[L].fill(Line, Now + Latency);
+    }
+  }
+  // The first hit-latency cycles overlap with the pipeline's base load
+  // cost; report the full latency and let the caller discount.
+  Stats.StallCycles += Latency;
+  return Latency;
+}
+
+void MemoryHierarchy::prefetch(uint64_t Addr, uint64_t Now) {
+  ++Stats.PrefetchesIssued;
+  uint64_t Line = lineAddr(Addr);
+  uint64_t ReadyTime = 0;
+  size_t Hit = findLine(Line, ReadyTime);
+  if (Hit == 0) {
+    ++Stats.PrefetchesRedundant;
+    return; // already (or about to be) in L1
+  }
+  uint64_t Latency = Hit == Levels.size() ? Config.MemoryLatency
+                                          : Levels[Hit].config().HitLatency;
+  uint64_t Ready = Now + Latency;
+  if (Hit != Levels.size() && ReadyTime > Now)
+    Ready = std::max(Ready, ReadyTime);
+  for (size_t L = 0; L != Hit && L != Levels.size(); ++L)
+    Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0);
+  if (Hit == Levels.size())
+    for (size_t L = 0; L != Levels.size(); ++L)
+      Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0);
+}
+

@@ -1,0 +1,145 @@
+//===- memsys/Cache.h - Set-associative cache hierarchy --------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A timing-aware cache hierarchy standing in for the paper's 733 MHz
+/// Itanium memory system: 16KB 4-way L1D, 96KB 6-way unified L2, 2MB 4-way
+/// unified L3 (Section 4). Lines carry a *ready time* so that prefetches
+/// issued K iterations ahead (Figure 3) overlap with execution: a demand
+/// load that arrives before its prefetched line is ready stalls only for
+/// the remaining cycles (a "late" prefetch), which is exactly the effect
+/// the paper's prefetch-distance heuristic trades against cache pollution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_MEMSYS_CACHE_H
+#define SPROF_MEMSYS_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Geometry and latency of one cache level.
+struct CacheLevelConfig {
+  std::string Name = "L1";
+  uint64_t SizeBytes = 16 * 1024;
+  unsigned Associativity = 4;
+  unsigned LineBytes = 64;
+  /// Load-to-use latency when hitting in this level.
+  uint32_t HitLatency = 2;
+};
+
+/// Whole-hierarchy configuration. Defaults model the paper's Itanium.
+struct MemoryConfig {
+  std::vector<CacheLevelConfig> Levels = {
+      {"L1D", 16 * 1024, 4, 64, 2},
+      {"L2", 96 * 1024, 6, 64, 9},
+      {"L3", 2 * 1024 * 1024, 4, 64, 24},
+  };
+  /// Latency of a main-memory access.
+  uint32_t MemoryLatency = 160;
+};
+
+/// Per-level and prefetch statistics.
+struct MemoryStats {
+  struct LevelStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+  std::vector<LevelStats> Levels;
+  uint64_t DemandAccesses = 0;
+  uint64_t PrefetchesIssued = 0;
+  /// Prefetches that found the line already cached (useless).
+  uint64_t PrefetchesRedundant = 0;
+  /// Demand accesses that hit a line whose fill was still in flight.
+  uint64_t LatePrefetchHits = 0;
+  /// Prefetched lines used by a demand access before eviction (coverage).
+  uint64_t PrefetchesUseful = 0;
+  /// Prefetched lines evicted from L1 without ever being used (accuracy
+  /// complement: cache pollution).
+  uint64_t PrefetchesUnused = 0;
+  /// Total stall cycles incurred by demand accesses.
+  uint64_t StallCycles = 0;
+};
+
+/// One set-associative, LRU, timing-aware cache level.
+class CacheLevel {
+public:
+  explicit CacheLevel(const CacheLevelConfig &Config);
+
+  /// Probes for \p LineAddr. On hit, refreshes LRU state and returns the
+  /// cycle at which the line is (or was) ready; on miss returns false.
+  /// \p WasUnusedPrefetch (optional) reports whether this is the first
+  /// demand touch of a prefetched line (and clears the mark).
+  bool probe(uint64_t LineAddr, uint64_t &ReadyTime,
+             bool *WasUnusedPrefetch = nullptr);
+
+  /// Inserts \p LineAddr with the given ready time, evicting the LRU way.
+  /// \p Prefetched marks the line as an as-yet-unused prefetch.
+  void fill(uint64_t LineAddr, uint64_t ReadyTime, bool Prefetched = false);
+
+  /// When set, incremented every time an unused prefetched line is
+  /// evicted (pollution accounting).
+  void setEvictUnusedCounter(uint64_t *Counter) {
+    EvictUnusedCounter = Counter;
+  }
+
+  const CacheLevelConfig &config() const { return Config; }
+
+private:
+  struct Way {
+    uint64_t Tag = ~0ull;
+    uint64_t ReadyTime = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+    bool UnusedPrefetch = false;
+  };
+
+  uint64_t *EvictUnusedCounter = nullptr;
+
+  CacheLevelConfig Config;
+  uint64_t NumSets;
+  std::vector<Way> Ways; // NumSets * Associativity, set-major
+  uint64_t UseClock = 0;
+};
+
+/// The full hierarchy. All timing is in CPU cycles; the caller supplies the
+/// current cycle on each access.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const MemoryConfig &Config);
+
+  /// Demand load of \p Addr at cycle \p Now.
+  /// \returns the total load-to-use latency in cycles (>= L1 hit latency).
+  uint64_t demandAccess(uint64_t Addr, uint64_t Now);
+
+  /// Non-blocking prefetch of \p Addr issued at cycle \p Now. Fills every
+  /// level with ready time Now + (latency of the providing level).
+  void prefetch(uint64_t Addr, uint64_t Now);
+
+  const MemoryStats &stats() const { return Stats; }
+  unsigned lineBytes() const { return LineBytes; }
+
+private:
+  uint64_t lineAddr(uint64_t Addr) const { return Addr / LineBytes; }
+
+  /// Finds the first level holding the line. Returns the level index and
+  /// its ready time, or Levels.size() on full miss.
+  size_t findLine(uint64_t Line, uint64_t &ReadyTime);
+
+  MemoryConfig Config;
+  std::vector<CacheLevel> Levels;
+  unsigned LineBytes;
+  MemoryStats Stats;
+};
+
+} // namespace sprof
+
+#endif // SPROF_MEMSYS_CACHE_H

@@ -1,0 +1,64 @@
+//===- prefetch/PrefetchInsertion.h - Prefetch code generation --*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts the prefetching code sequences of paper Section 2.2 / Figure 3
+/// for the decisions produced by the feedback pass:
+///
+///   * SSST  -- "prefetch (P + K*S)" with a compile-time-constant offset,
+///              one instruction before the load (Figure 3c). Out-loop SSST
+///              loads use the fixed distance selected by feedback.
+///   * PMST  -- save the previous address in a scratch register, subtract
+///              to get the runtime stride, and "prefetch (P + K*stride)"
+///              with K a power of two so the multiply is a shift
+///              (Figure 3d).
+///   * WSST  -- like PMST but the prefetch is guarded by the predicate
+///              "stride == profiled stride" (Figure 3e, Itanium
+///              predication).
+///
+/// The inserted instructions are ordinary program code (not
+/// instrumentation): their cycles are part of the measured run, exactly the
+/// overhead the paper's selective classification is designed to keep small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_PREFETCH_PREFETCHINSERTION_H
+#define SPROF_PREFETCH_PREFETCHINSERTION_H
+
+#include "feedback/Classifier.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace sprof {
+
+/// Statistics about what was inserted (for benches and tests).
+struct PrefetchInsertionStats {
+  unsigned SsstPrefetches = 0;
+  unsigned PmstPrefetches = 0;
+  unsigned WsstPrefetches = 0;
+  unsigned OutLoopPrefetches = 0;
+  unsigned DependentPrefetches = 0;
+  unsigned InstructionsAdded = 0;
+};
+
+/// Applies \p Decisions to \p M in place. \p M must be a fresh copy of the
+/// module the feedback pass analyzed (same load site numbering).
+PrefetchInsertionStats insertPrefetches(
+    Module &M, const std::vector<PrefetchDecision> &Decisions);
+
+/// Applies the full feedback result, including dependent-prefetch plans
+/// (Section 6 future work): for each plan, a speculative load chases the
+/// base pointer K strides ahead and a prefetch touches the dependent
+/// load's target line through it.
+PrefetchInsertionStats insertPrefetches(Module &M,
+                                        const FeedbackResult &Feedback);
+
+} // namespace sprof
+
+#endif // SPROF_PREFETCH_PREFETCHINSERTION_H

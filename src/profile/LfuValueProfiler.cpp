@@ -1,0 +1,111 @@
+//===- profile/LfuValueProfiler.cpp - Calder-style LFU value profiler ------===//
+//
+// Part of the StrideProf project (see LfuValueProfiler.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/LfuValueProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sprof;
+
+LfuValueProfiler::LfuValueProfiler(const LfuConfig &Config) : Config(Config) {
+  assert(Config.TempSize > 0 && "temp buffer must have at least one entry");
+  assert(Config.FinalSize > 0 && "final buffer must have at least one entry");
+  Temp.reserve(Config.TempSize);
+  Final.reserve(Config.FinalSize + Config.TempSize);
+}
+
+unsigned LfuValueProfiler::add(int64_t Value) {
+  ++TotalAdded;
+  unsigned Work = 0;
+
+  // Linear scan of the temp buffer for a (coarsened) match.
+  for (ValueCount &E : Temp) {
+    ++Work;
+    if (sameValue(E.Value, Value)) {
+      ++E.Count;
+      if (++UpdatesSinceMerge >= Config.MergeInterval)
+        Work += merge();
+      return Work;
+    }
+  }
+
+  if (Temp.size() < Config.TempSize) {
+    Temp.push_back(ValueCount{Value, 1});
+  } else {
+    // Replace the least frequently used entry.
+    auto LfuIt = std::min_element(Temp.begin(), Temp.end(),
+                                  [](const ValueCount &A,
+                                     const ValueCount &B) {
+                                    return A.Count < B.Count;
+                                  });
+    Work += static_cast<unsigned>(Temp.size());
+    *LfuIt = ValueCount{Value, 1};
+  }
+  if (++UpdatesSinceMerge >= Config.MergeInterval)
+    Work += merge();
+  return Work;
+}
+
+unsigned LfuValueProfiler::merge() {
+  ++NumMerges;
+  UpdatesSinceMerge = 0;
+
+  // Combine: fold temp entries into the final buffer, coalescing values
+  // that compare equal under the coarsening shift.
+  unsigned Work = 0;
+  for (const ValueCount &T : Temp) {
+    bool Found = false;
+    for (ValueCount &F : Final) {
+      ++Work;
+      if (sameValue(F.Value, T.Value)) {
+        F.Count += T.Count;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      Final.push_back(T);
+  }
+  Temp.clear();
+
+  // Keep the highest-frequency entries.
+  std::sort(Final.begin(), Final.end(),
+            [](const ValueCount &A, const ValueCount &B) {
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              return A.Value < B.Value;
+            });
+  if (Final.size() > Config.FinalSize)
+    Final.resize(Config.FinalSize);
+  Work += static_cast<unsigned>(Final.size());
+  return Work;
+}
+
+std::vector<ValueCount> LfuValueProfiler::topValues() const {
+  std::vector<ValueCount> Merged = Final;
+  for (const ValueCount &T : Temp) {
+    bool Found = false;
+    for (ValueCount &F : Merged)
+      if (sameValue(F.Value, T.Value)) {
+        F.Count += T.Count;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      Merged.push_back(T);
+  }
+  std::sort(Merged.begin(), Merged.end(),
+            [](const ValueCount &A, const ValueCount &B) {
+              if (A.Count != B.Count)
+                return A.Count > B.Count;
+              return A.Value < B.Value;
+            });
+  if (Merged.size() > Config.FinalSize)
+    Merged.resize(Config.FinalSize);
+  return Merged;
+}

@@ -1,0 +1,123 @@
+//===- profile/StrideProfiler.cpp - The strideProf runtime routine ---------===//
+//
+// Part of the StrideProf project (see LfuValueProfiler.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/StrideProfiler.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+StrideProfiler::StrideProfiler(uint32_t NumSites,
+                               const StrideProfilerConfig &Config)
+    : Config(Config) {
+  Sites.reserve(NumSites);
+  for (uint32_t I = 0; I != NumSites; ++I) {
+    StrideSiteData D;
+    D.Lfu = LfuValueProfiler(Config.Lfu);
+    Sites.push_back(std::move(D));
+  }
+}
+
+uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
+                                 uint64_t GlobalRefIndex) {
+  assert(SiteId < Sites.size() && "site id out of range");
+  StrideSiteData &D = Sites[SiteId];
+  const StrideCostModel &C = Config.Costs;
+
+  ++TotalInvocations;
+  ++D.Invocations;
+  uint64_t Cost = C.CallOverhead;
+
+  // Use-distance statistic (Section 6): gap in global memory references
+  // between successive visits to this site. Tracked before sampling so the
+  // average is unbiased.
+  if (GlobalRefIndex != 0) {
+    if (D.PrevGlobalRef != 0 && GlobalRefIndex > D.PrevGlobalRef) {
+      D.RefGapSum += GlobalRefIndex - D.PrevGlobalRef;
+      ++D.RefGapCount;
+    }
+    D.PrevGlobalRef = GlobalRefIndex;
+  }
+
+  if (Config.Sampling.Enabled) {
+    // Chunk sampling (Figure 9): global skip/profile phases.
+    Cost += C.ChunkCheckCost;
+    if (NumberSkipped < Config.Sampling.ChunkSkip) {
+      ++NumberSkipped;
+      return Cost;
+    }
+    if (NumberProfiled == Config.Sampling.ChunkProfile) {
+      // Phase flip: reset both counters; this reference is skipped too,
+      // exactly as in Figure 9. The next profiled chunk is a new epoch.
+      NumberProfiled = 0;
+      NumberSkipped = 0;
+      ++ChunkEpoch;
+      return Cost;
+    }
+    ++NumberProfiled;
+
+    // Fine sampling: 1 of every FineInterval references per site.
+    Cost += C.FineCheckCost;
+    if (D.NumberToSkip > 0) {
+      --D.NumberToSkip;
+      return Cost;
+    }
+    D.NumberToSkip = Config.Sampling.FineInterval - 1;
+  }
+
+  ++TotalProcessed;
+  ++D.Processed;
+
+  // Re-anchor at chunk boundaries: a "stride" spanning a skipped chunk is
+  // not a stride (see StrideSiteData::LastChunkEpoch).
+  if (Config.Sampling.Enabled && D.LastChunkEpoch != ChunkEpoch) {
+    D.LastChunkEpoch = ChunkEpoch;
+    D.HasPrevAddress = false;
+    D.HasPrevStride = false;
+  }
+
+  // First observation of this site: just remember the address.
+  if (!D.HasPrevAddress) {
+    D.PrevAddress = Address;
+    D.HasPrevAddress = true;
+    Cost += C.ZeroStrideCost;
+    return Cost;
+  }
+
+  // Zero-stride shortcut (Figure 7): addresses equal under the coarsening
+  // shift bypass the heavy LFU path entirely.
+  if (sameAddress(Address, D.PrevAddress)) {
+    ++D.NumZeroStride;
+    Cost += C.ZeroStrideCost;
+    return Cost;
+  }
+
+  int64_t Stride = static_cast<int64_t>(Address) -
+                   static_cast<int64_t>(D.PrevAddress);
+  Cost += C.CoreCost;
+
+  // Stride-difference bookkeeping: a high share of zero differences marks
+  // a *phased* stride sequence (Figure 4), which PMST classification needs.
+  if (D.HasPrevStride) {
+    if (Stride - D.PrevStride == 0)
+      ++D.NumZeroDiff;
+    else
+      D.PrevStride = Stride;
+  } else {
+    D.PrevStride = Stride;
+    D.HasPrevStride = true;
+  }
+
+  D.PrevAddress = Address;
+  ++D.NumNonZeroStride;
+
+  ++TotalLfuCalls;
+  ++D.LfuCalls;
+  unsigned Work = D.Lfu.add(Stride);
+  Cost += C.LfuBaseCost + static_cast<uint64_t>(C.LfuPerWorkCost) * Work;
+  return Cost;
+}

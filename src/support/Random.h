@@ -1,0 +1,87 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic RNG (SplitMix64 seeded xoshiro256**) used by the
+/// synthetic workload generators. We avoid <random> engines so that every
+/// platform produces bit-identical workloads and therefore bit-identical
+/// profiles and experiment tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_SUPPORT_RANDOM_H
+#define SPROF_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sprof {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64 so that a single 64-bit seed fills the full state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 to expand the seed into four state words.
+    for (auto &Word : State) {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be non-zero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be non-zero");
+    // Multiply-shift reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) {
+    assert(Percent <= 100 && "probability out of range");
+    return below(100) < Percent;
+  }
+
+  /// Returns a double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace sprof
+
+#endif // SPROF_SUPPORT_RANDOM_H

@@ -1,0 +1,40 @@
+//===- support/Stats.cpp - Small statistics helpers -----------------------===//
+//
+// Part of the StrideProf project (see Random.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sprof;
+
+double sprof::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double sprof::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double sprof::percent(double Part, double Whole) {
+  return Whole == 0.0 ? 0.0 : 100.0 * Part / Whole;
+}
+
+double sprof::ratio(double Num, double Den) {
+  return Den == 0.0 ? 0.0 : Num / Den;
+}

@@ -1,0 +1,36 @@
+//===- support/Stats.h - Small statistics helpers --------------*- C++ -*-===//
+//
+// Part of the StrideProf project (see Random.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / geometric-mean / percentage helpers used when summarizing
+/// experiment tables the way the paper's figures do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_SUPPORT_STATS_H
+#define SPROF_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sprof {
+
+/// Arithmetic mean; returns 0 for an empty sequence.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean; returns 0 for an empty sequence. All values must be
+/// positive.
+double geomean(const std::vector<double> &Values);
+
+/// Returns 100 * Part / Whole, or 0 when Whole is zero.
+double percent(double Part, double Whole);
+
+/// Safe ratio: Num / Den, or 0 when Den is zero.
+double ratio(double Num, double Den);
+
+} // namespace sprof
+
+#endif // SPROF_SUPPORT_STATS_H

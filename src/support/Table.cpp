@@ -1,0 +1,72 @@
+//===- support/Table.cpp - Fixed-width text tables -------------------------===//
+//
+// Part of the StrideProf project (see Random.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+using namespace sprof;
+
+Table &Table::row(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+  return *this;
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::fmtPercent(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Value);
+  return Buf;
+}
+
+std::string Table::fmtInt(uint64_t Value) {
+  return std::to_string(Value);
+}
+
+void Table::print(std::ostream &OS) const {
+  OS << "== " << Title << " ==\n";
+  if (Rows.empty())
+    return;
+
+  // Column widths across all rows.
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I != 0)
+        OS << "  ";
+      // Left-justify the first column (labels), right-justify the rest.
+      if (I == 0)
+        OS << std::left;
+      else
+        OS << std::right;
+      OS << std::setw(static_cast<int>(Widths[I])) << Row[I];
+    }
+    OS << '\n';
+  };
+
+  PrintRow(Rows.front());
+  size_t RuleWidth = 0;
+  for (size_t I = 0, E = Widths.size(); I != E; ++I)
+    RuleWidth += Widths[I] + (I == 0 ? 0 : 2);
+  OS << std::string(RuleWidth, '-') << '\n';
+  for (size_t I = 1, E = Rows.size(); I != E; ++I)
+    PrintRow(Rows[I]);
+  OS.flush();
+}

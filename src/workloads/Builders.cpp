@@ -1,0 +1,141 @@
+//===- workloads/Builders.cpp - Shared workload-building helpers -----------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+void sprof::emitCountedLoop(IRBuilder &B, Operand Count,
+                            const std::function<void(IRBuilder &, Reg)> &Body,
+                            const std::string &Tag) {
+  Function &F = B.function();
+  uint32_t Header = F.newBlock(Tag + ".head");
+  uint32_t BodyBB = F.newBlock(Tag + ".body");
+  uint32_t Exit = F.newBlock(Tag + ".exit");
+
+  Reg I = B.movImm(0);
+  B.jmp(Header);
+
+  B.setBlock(Header);
+  Reg C = B.cmp(Opcode::CmpNe, Operand::reg(I), Count);
+  B.br(Operand::reg(C), BodyBB, Exit);
+
+  B.setBlock(BodyBB);
+  Body(B, I);
+  B.add(Operand::reg(I), Operand::imm(1), I);
+  B.jmp(Header);
+
+  B.setBlock(Exit);
+}
+
+void sprof::emitPointerLoop(IRBuilder &B, Reg PtrReg,
+                            const std::function<void(IRBuilder &, Reg)> &Body,
+                            const std::string &Tag) {
+  Function &F = B.function();
+  uint32_t Header = F.newBlock(Tag + ".head");
+  uint32_t BodyBB = F.newBlock(Tag + ".body");
+  uint32_t Exit = F.newBlock(Tag + ".exit");
+
+  B.jmp(Header);
+
+  B.setBlock(Header);
+  Reg C = B.cmp(Opcode::CmpNe, Operand::reg(PtrReg), Operand::imm(0));
+  B.br(Operand::reg(C), BodyBB, Exit);
+
+  B.setBlock(BodyBB);
+  Body(B, PtrReg);
+  B.jmp(Header);
+
+  B.setBlock(Exit);
+}
+
+uint64_t sprof::buildList(SimMemory &Mem, BumpAllocator &A, Rng &R,
+                          const ListSpec &Spec,
+                          std::vector<uint64_t> *AddrsOut) {
+  assert(Spec.Count > 0 && "empty list");
+  assert(Spec.NodeBytes >= Spec.NextOffset + 8 &&
+         "next pointer must fit in the node");
+  std::vector<uint64_t> Addrs;
+  Addrs.reserve(Spec.Count);
+  for (uint64_t I = 0; I != Spec.Count; ++I) {
+    if (Spec.NoisePercent &&
+        R.chancePercent(Spec.NoisePercent))
+      A.skip(8 + R.below(Spec.NoiseMaxSkip));
+    Addrs.push_back(A.alloc(Spec.NodeBytes, 8));
+  }
+  for (uint64_t I = 0; I != Spec.Count; ++I) {
+    uint64_t Next = I + 1 != Spec.Count ? Addrs[I + 1] : 0;
+    Mem.write64(Addrs[I] + Spec.NextOffset, static_cast<int64_t>(Next));
+  }
+  uint64_t Head = Addrs[0];
+  if (AddrsOut)
+    *AddrsOut = std::move(Addrs);
+  return Head;
+}
+
+uint64_t sprof::buildArray(BumpAllocator &A, uint64_t Count,
+                           uint64_t ElemBytes, uint64_t Align) {
+  return A.alloc(Count * ElemBytes, Align);
+}
+
+void sprof::emitIrregularLoop(IRBuilder &B, uint64_t Iters,
+                              uint64_t TableBase, unsigned TableEntriesLog2,
+                              uint64_t Seed, Reg AccReg,
+                              const std::string &Tag, uint32_t LoadHelper) {
+  assert(TableEntriesLog2 < 40 && "table too large");
+  const int64_t Mask = (1ll << TableEntriesLog2) - 1;
+  Reg State = B.movImm(static_cast<int64_t>(Seed | 1));
+  // The table base doubles as a "global" reloaded every iteration, the way
+  // C programs reload a bound or configuration word in hot loops. Its
+  // address never changes, so it contributes the paper's ~32% zero-stride
+  // share (Figure 22) that the strideProf shortcut handles without LFU --
+  // and, being loop-invariant, it is exactly what the check methods refuse
+  // to profile in the first place (Section 3.2).
+  Reg Base = B.movImm(static_cast<int64_t>(TableBase));
+  emitCountedLoop(
+      B, Operand::imm(static_cast<int64_t>(Iters)),
+      [&](IRBuilder &IB, Reg) {
+        Reg Bound = IB.load(Base, 0);
+        IB.bxor(Operand::reg(AccReg), Operand::reg(Bound), AccReg);
+        // xorshift64 step (arithmetic shifts are fine; we mask below).
+        Reg T1 = IB.shl(Operand::reg(State), Operand::imm(13));
+        IB.bxor(Operand::reg(State), Operand::reg(T1), State);
+        Reg T2 = IB.shr(Operand::reg(State), Operand::imm(7));
+        IB.bxor(Operand::reg(State), Operand::reg(T2), State);
+        Reg T3 = IB.shl(Operand::reg(State), Operand::imm(17));
+        IB.bxor(Operand::reg(State), Operand::reg(T3), State);
+        Reg Idx = IB.band(Operand::reg(State), Operand::imm(Mask));
+        Reg Off = IB.shl(Operand::reg(Idx), Operand::imm(3));
+        Reg Addr = IB.add(Operand::reg(Off),
+                          Operand::imm(static_cast<int64_t>(TableBase)));
+        Reg V = IB.load(Addr, 0);
+        IB.add(Operand::reg(AccReg), Operand::reg(V), AccReg);
+        if (LoadHelper != NoId) {
+          // A second, out-loop random load through the helper; flip some
+          // index bits so the two loads touch different lines.
+          Reg Idx2 = IB.bxor(Operand::reg(Idx), Operand::imm(Mask >> 1));
+          Reg Off2 = IB.shl(Operand::reg(Idx2), Operand::imm(3));
+          Reg Addr2 = IB.add(Operand::reg(Off2),
+                             Operand::imm(static_cast<int64_t>(TableBase)));
+          Reg V2 = IB.call(LoadHelper, {Operand::reg(Addr2)}, IB.newReg());
+          IB.add(Operand::reg(AccReg), Operand::reg(V2), AccReg);
+        }
+      },
+      Tag);
+}
+
+uint32_t sprof::makeLoadHelper(IRBuilder &B, const std::string &Name) {
+  uint32_t Fn = B.startFunction(Name, 1);
+  Reg Addr = 0;
+  Reg V = B.load(Addr, 0);
+  Reg W = B.load(Addr, 8); // same line: no extra miss, one more out-loop ref
+  Reg S = B.add(Operand::reg(V), Operand::reg(W));
+  B.ret(Operand::reg(S));
+  return Fn;
+}

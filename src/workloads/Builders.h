@@ -1,0 +1,89 @@
+//===- workloads/Builders.h - Shared workload-building helpers --*- C++ -*-===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the workload generators: IR loop emitters and memory
+/// layout builders (linked lists and arrays with a controllable fraction of
+/// out-of-order allocation, which is the knob that dials a load's dominant
+/// stride percentage).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_WORKLOADS_BUILDERS_H
+#define SPROF_WORKLOADS_BUILDERS_H
+
+#include "interp/SimMemory.h"
+#include "ir/IRBuilder.h"
+#include "support/Random.h"
+
+#include <functional>
+#include <vector>
+
+namespace sprof {
+
+/// Emits `for (i = 0; i != Count; ++i) Body(i)`. The body callback receives
+/// the builder positioned in the loop-body block and the induction register;
+/// it must not emit terminators. On return, the builder is positioned in
+/// the loop-exit block. The loop header holds only the bound check, so its
+/// outgoing-edge frequencies give the trip count (Figure 10).
+void emitCountedLoop(IRBuilder &B, Operand Count,
+                     const std::function<void(IRBuilder &, Reg)> &Body,
+                     const std::string &Tag = "loop");
+
+/// Emits `while (PtrReg != 0) Body(PtrReg)`. The body callback receives the
+/// builder positioned in the loop-body block and \p PtrReg; it must advance
+/// the chase by writing the next pointer into \p PtrReg and must not emit
+/// terminators. On return, the builder is in the exit block.
+void emitPointerLoop(IRBuilder &B, Reg PtrReg,
+                     const std::function<void(IRBuilder &, Reg)> &Body,
+                     const std::string &Tag = "chase");
+
+/// Linked-list layout specification.
+struct ListSpec {
+  uint64_t Count = 1000;
+  uint64_t NodeBytes = 32;
+  /// Percentage of nodes preceded by a random allocation gap. 0 gives a
+  /// perfectly constant stride; ~6 reproduces parser's 94% stability.
+  unsigned NoisePercent = 0;
+  uint64_t NoiseMaxSkip = 4096;
+  /// Offset of the embedded next pointer within a node.
+  uint64_t NextOffset = 0;
+};
+
+/// Allocates and chains a list in allocation order; returns the head
+/// address (last node's next is null). Optionally returns all node
+/// addresses in chain order.
+uint64_t buildList(SimMemory &Mem, BumpAllocator &A, Rng &R,
+                   const ListSpec &Spec,
+                   std::vector<uint64_t> *AddrsOut = nullptr);
+
+/// Allocates a contiguous array of Count * ElemBytes, zero-initialized
+/// lazily (SimMemory reads unmapped memory as zero). Returns the base.
+uint64_t buildArray(BumpAllocator &A, uint64_t Count, uint64_t ElemBytes,
+                    uint64_t Align = 64);
+
+/// Emits a counted loop doing \p Iters iterations of xorshift updates plus
+/// one dependent random 8-byte load from a 2^\p TableEntriesLog2 entry
+/// table at \p TableBase, accumulating into \p AccReg. This is the
+/// "irregular, stride-free work" component every SPECINT-like workload
+/// carries; its random loads are unprefetchable by design and set each
+/// benchmark's ceiling on stride-prefetching gains.
+void emitIrregularLoop(IRBuilder &B, uint64_t Iters, uint64_t TableBase,
+                       unsigned TableEntriesLog2, uint64_t Seed, Reg AccReg,
+                       const std::string &Tag = "irr",
+                       uint32_t LoadHelper = NoId);
+
+/// Creates `name(addr) { return mem[addr]; }`. Loads issued through this
+/// helper are *out-loop* loads in the paper's sense (the helper body has no
+/// loop), which is how the workloads reproduce the Figure-17 in-loop /
+/// out-loop reference mix. Leaves the builder positioned in the new
+/// function; callers typically create helpers before their main function.
+uint32_t makeLoadHelper(IRBuilder &B, const std::string &Name);
+
+} // namespace sprof
+
+#endif // SPROF_WORKLOADS_BUILDERS_H

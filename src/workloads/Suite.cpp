@@ -1,0 +1,38 @@
+//===- workloads/Suite.cpp - The Figure-15 workload suite -------------------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace sprof;
+
+const char *sprof::dataSetName(DataSet DS) {
+  return DS == DataSet::Train ? "train" : "ref";
+}
+
+std::vector<std::unique_ptr<Workload>> sprof::makeSpecIntSuite() {
+  std::vector<std::unique_ptr<Workload>> Suite;
+  Suite.push_back(makeGzipLike());
+  Suite.push_back(makeVprLike());
+  Suite.push_back(makeGccLike());
+  Suite.push_back(makeMcfLike());
+  Suite.push_back(makeCraftyLike());
+  Suite.push_back(makeParserLike());
+  Suite.push_back(makeEonLike());
+  Suite.push_back(makePerlbmkLike());
+  Suite.push_back(makeGapLike());
+  Suite.push_back(makeVortexLike());
+  Suite.push_back(makeBzip2Like());
+  Suite.push_back(makeTwolfLike());
+  return Suite;
+}
+
+std::unique_ptr<Workload> sprof::makeWorkloadByName(const std::string &Name) {
+  for (auto &W : makeSpecIntSuite())
+    if (W->info().Name == Name)
+      return std::move(W);
+  return nullptr;
+}

@@ -1,0 +1,83 @@
+//===- workloads/Workload.h - Synthetic SPECINT2000-shaped programs -*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 12 synthetic workloads standing in for SPECINT2000 (Figure 15). Each
+/// workload builds an IR module plus an initial memory image whose dynamic
+/// load population reproduces the per-program memory behaviour the paper
+/// reports: mcf's strongly-strided pointer walks over sequentially
+/// allocated arcs, parser's 94%-stable list/string strides, gap's 4- and
+/// 2-dominant-stride garbage-collection loads, and the mostly stride-free
+/// behaviour of gzip/gcc/crafty/perlbmk. Train and Ref data sets differ in
+/// size and random seed, which is what the Figure 23-25 sensitivity
+/// experiments exercise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_WORKLOADS_WORKLOAD_H
+#define SPROF_WORKLOADS_WORKLOAD_H
+
+#include "interp/SimMemory.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Which input data set to build (paper Section 4.3).
+enum class DataSet { Train, Ref };
+
+const char *dataSetName(DataSet DS);
+
+/// Figure-15 style metadata.
+struct WorkloadInfo {
+  std::string Name;
+  std::string Lang;
+  std::string Description;
+};
+
+/// A ready-to-run program: IR plus its initial memory image. Copy the
+/// module before transforming it and the memory before running it.
+struct Program {
+  Module M;
+  SimMemory Memory;
+};
+
+/// One synthetic benchmark.
+class Workload {
+public:
+  virtual ~Workload() = default;
+  virtual WorkloadInfo info() const = 0;
+  virtual Program build(DataSet DS) const = 0;
+};
+
+/// Factories, one per SPECINT2000 program.
+std::unique_ptr<Workload> makeGzipLike();
+std::unique_ptr<Workload> makeVprLike();
+std::unique_ptr<Workload> makeGccLike();
+std::unique_ptr<Workload> makeMcfLike();
+std::unique_ptr<Workload> makeCraftyLike();
+std::unique_ptr<Workload> makeParserLike();
+std::unique_ptr<Workload> makeEonLike();
+std::unique_ptr<Workload> makePerlbmkLike();
+std::unique_ptr<Workload> makeGapLike();
+std::unique_ptr<Workload> makeVortexLike();
+std::unique_ptr<Workload> makeBzip2Like();
+std::unique_ptr<Workload> makeTwolfLike();
+
+/// The whole suite in Figure-15 order.
+std::vector<std::unique_ptr<Workload>> makeSpecIntSuite();
+
+/// Lookup by Figure-15 name ("181.mcf", ...); returns nullptr when unknown.
+std::unique_ptr<Workload> makeWorkloadByName(const std::string &Name);
+
+} // namespace sprof
+
+#endif // SPROF_WORKLOADS_WORKLOAD_H

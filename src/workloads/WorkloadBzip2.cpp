@@ -1,0 +1,95 @@
+//===- workloads/WorkloadBzip2.cpp - 256.bzip2-like workload ----------------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 256.bzip2 stand-in: block-sorting compression. The sort walks a
+/// large block with a stride that is constant within each sorting phase but
+/// changes between phases -- a phased multi-stride (PMST) pattern that the
+/// runtime-stride prefetch of Figure 3d can follow. Suffix comparisons at
+/// random offsets supply the stride-free bulk. Gain ~1.03x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+#include "workloads/Workload.h"
+
+using namespace sprof;
+
+namespace {
+
+class Bzip2Like final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"256.bzip2", "C", "Compression"};
+  }
+
+  Program build(DataSet DS) const override {
+    const bool Ref = DS == DataSet::Ref;
+    const uint64_t BlockWords = 1ull << 19; // 4MB block
+    const unsigned Phases = Ref ? 6 : 3;
+    const uint64_t CmpIters = Ref ? 240000 : 80000;
+    const uint64_t Seed = Ref ? 0x5EED0256 : 0x7EA10256;
+
+    Program Prog;
+    Prog.M.Name = "256.bzip2";
+    BumpAllocator A;
+    Rng R(Seed);
+
+    uint64_t Block = buildArray(A, BlockWords, 8);
+    for (uint64_t I = 0; I < BlockWords; I += 11)
+      Prog.Memory.write64(Block + I * 8, static_cast<int64_t>(R.below(255)));
+
+    IRBuilder B(Prog.M);
+    uint32_t Cmp = makeLoadHelper(B, "suffix_cmp");
+
+    uint32_t Main = B.startFunction("main", 0);
+    Prog.M.EntryFunction = Main;
+    Reg Acc = B.movImm(0);
+
+    // One bucket loop per phase; the stride doubles each phase
+    // (16, 32, 64, ...), each phase touching ~11000 elements. Using the
+    // same IR loop for every phase makes the single load site see a phased
+    // multi-stride sequence.
+    const uint64_t PerPhase = 7000;
+    Reg Q = B.movImm(static_cast<int64_t>(Block));
+    Reg Stride = B.movImm(16);
+    emitCountedLoop(
+        B, Operand::imm(Phases),
+        [&](IRBuilder &OB, Reg) {
+          OB.mov(Operand::imm(static_cast<int64_t>(Block)), Q);
+          emitCountedLoop(
+              OB, Operand::imm(static_cast<int64_t>(PerPhase)),
+              [&](IRBuilder &IB, Reg) {
+                Reg V = IB.load(Q, 0);
+                IB.add(Operand::reg(Acc), Operand::reg(V), Acc);
+                IB.add(Operand::reg(Q), Operand::reg(Stride), Q);
+              },
+              "radix");
+          //6% of iterations would overflow the block at the largest
+          // stride; the doubling is capped to keep addresses in range.
+          Reg Db = OB.shl(Operand::reg(Stride), Operand::imm(1));
+          Reg Cap = OB.cmp(Opcode::CmpLe, Operand::reg(Db),
+                           Operand::imm(256));
+          OB.select(Operand::reg(Cap), Operand::reg(Db),
+                    Operand::imm(16), Stride);
+
+          // Suffix comparisons at random offsets.
+          emitIrregularLoop(OB, CmpIters / Phases, Block, 19, Seed ^ 0xB21,
+                            Acc, "suffix", Cmp);
+        },
+        "sort");
+
+    B.ret(Operand::reg(Acc));
+    return Prog;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> sprof::makeBzip2Like() {
+  return std::make_unique<Bzip2Like>();
+}

@@ -1,0 +1,111 @@
+//===- workloads/WorkloadCrafty.cpp - 186.crafty-like workload --------------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 186.crafty stand-in: chess search. Bitboard arithmetic over small
+/// lookup tables that live in L1/L2 -- there is nothing for stride
+/// prefetching to win (paper: ~1.00x), but the dense in-loop load stream is
+/// exactly what makes the naive profiling methods expensive in Figure 20.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+#include "workloads/Workload.h"
+
+using namespace sprof;
+
+namespace {
+
+class CraftyLike final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"186.crafty", "C", "Game Playing: Chess"};
+  }
+
+  Program build(DataSet DS) const override {
+    const bool Ref = DS == DataSet::Ref;
+    const uint64_t Nodes = Ref ? 260000 : 90000; // searched positions
+    const uint64_t Seed = Ref ? 0x5EED0186 : 0x7EA10186;
+
+    Program Prog;
+    Prog.M.Name = "186.crafty";
+    BumpAllocator A;
+    Rng R(Seed);
+
+    // Attack tables: 64 entries each (512B), L1-resident.
+    uint64_t Rook = buildArray(A, 64, 8);
+    uint64_t Bishop = buildArray(A, 64, 8);
+    for (uint64_t I = 0; I != 64; ++I) {
+      Prog.Memory.write64(Rook + I * 8, static_cast<int64_t>(R.next()));
+      Prog.Memory.write64(Bishop + I * 8, static_cast<int64_t>(R.next()));
+    }
+    // Transposition table: 1MB (L3-resident).
+    const unsigned TtLog2 = 17;
+    uint64_t Tt = buildArray(A, 1ull << TtLog2, 8);
+
+    IRBuilder B(Prog.M);
+
+    // Evaluate(): straight-line bitboard math with out-loop table loads.
+    uint32_t Eval = B.startFunction("evaluate", 1);
+    {
+      Reg Sq = 0;
+      Reg Masked = B.band(Operand::reg(Sq), Operand::imm(63));
+      Reg Off = B.shl(Operand::reg(Masked), Operand::imm(3));
+      Reg RAddr = B.add(Operand::reg(Off),
+                        Operand::imm(static_cast<int64_t>(Rook)));
+      Reg V1 = B.load(RAddr, 0);
+      Reg BAddr = B.add(Operand::reg(Off),
+                        Operand::imm(static_cast<int64_t>(Bishop)));
+      Reg V2 = B.load(BAddr, 0);
+      Reg X = B.bxor(Operand::reg(V1), Operand::reg(V2));
+      B.ret(Operand::reg(X));
+    }
+
+    uint32_t Main = B.startFunction("main", 0);
+    Prog.M.EntryFunction = Main;
+    Reg Acc = B.movImm(0);
+    Reg St = B.movImm(static_cast<int64_t>(Seed | 1));
+
+    emitCountedLoop(
+        B, Operand::imm(static_cast<int64_t>(Nodes)),
+        [&](IRBuilder &IB, Reg) {
+          // Position hashing and move generation (in-loop table loads).
+          Reg T = IB.shl(Operand::reg(St), Operand::imm(13));
+          IB.bxor(Operand::reg(St), Operand::reg(T), St);
+          Reg T2 = IB.shr(Operand::reg(St), Operand::imm(7));
+          IB.bxor(Operand::reg(St), Operand::reg(T2), St);
+          Reg Sq = IB.band(Operand::reg(St), Operand::imm(63));
+          Reg Off = IB.shl(Operand::reg(Sq), Operand::imm(3));
+          Reg RA = IB.add(Operand::reg(Off),
+                          Operand::imm(static_cast<int64_t>(Rook)));
+          Reg Att = IB.load(RA, 0);
+          IB.add(Operand::reg(Acc), Operand::reg(Att), Acc);
+
+          // Transposition probe (stride-free, mostly L3 hits).
+          Reg TIdx = IB.band(Operand::reg(St),
+                             Operand::imm((1ll << TtLog2) - 1));
+          Reg TOff = IB.shl(Operand::reg(TIdx), Operand::imm(3));
+          Reg TA = IB.add(Operand::reg(TOff),
+                          Operand::imm(static_cast<int64_t>(Tt)));
+          Reg Hit = IB.load(TA, 0);
+          IB.add(Operand::reg(Acc), Operand::reg(Hit), Acc);
+
+          Reg E = IB.call(Eval, {Operand::reg(St)}, IB.newReg());
+          IB.add(Operand::reg(Acc), Operand::reg(E), Acc);
+        },
+        "search");
+
+    B.ret(Operand::reg(Acc));
+    return Prog;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> sprof::makeCraftyLike() {
+  return std::make_unique<CraftyLike>();
+}

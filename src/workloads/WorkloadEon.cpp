@@ -1,0 +1,88 @@
+//===- workloads/WorkloadEon.cpp - 252.eon-like workload --------------------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 252.eon stand-in: C++ probabilistic ray tracing. Heavy arithmetic
+/// over an array of 64-byte objects walked sequentially (an SSST stream
+/// whose working set sits inside L3, so prefetching only shaves L2/L3 hit
+/// latency) plus scene-graph lookups. Gain ~1.01x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+#include "workloads/Workload.h"
+
+using namespace sprof;
+
+namespace {
+
+class EonLike final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"252.eon", "C++", "Computer Visualization"};
+  }
+
+  Program build(DataSet DS) const override {
+    const bool Ref = DS == DataSet::Ref;
+    const uint64_t NumTris = 8192; // 64B each: 512KB, inside L3
+    const unsigned Passes = 2;
+    const uint64_t Seed = Ref ? 0x5EED0252 : 0x7EA10252;
+
+    Program Prog;
+    Prog.M.Name = "252.eon";
+    BumpAllocator A;
+    Rng R(Seed);
+
+    uint64_t Tris = buildArray(A, NumTris, 64);
+    for (uint64_t I = 0; I != NumTris; ++I)
+      Prog.Memory.write64(Tris + I * 64,
+                          static_cast<int64_t>(1 + R.below(255)));
+
+    const unsigned SceneLog2 = 20; // 8MB scene index
+    uint64_t Scene = buildArray(A, 1ull << SceneLog2, 8);
+
+    IRBuilder B(Prog.M);
+    uint32_t Shade = makeLoadHelper(B, "shade_lookup");
+
+    uint32_t Main = B.startFunction("main", 0);
+    Prog.M.EntryFunction = Main;
+    Reg Acc = B.movImm(1);
+
+    emitCountedLoop(
+        B, Operand::imm(Passes),
+        [&](IRBuilder &OB, Reg) {
+          // Render pass: sequential walk with real math per triangle.
+          Reg Q = OB.mov(Operand::imm(static_cast<int64_t>(Tris)));
+          emitCountedLoop(
+              OB, Operand::imm(static_cast<int64_t>(NumTris)),
+              [&](IRBuilder &IB, Reg) {
+                Reg X = IB.load(Q, 0);
+                Reg Y = IB.load(Q, 8);
+                Reg M1 = IB.mul(Operand::reg(X), Operand::reg(Y));
+                Reg M2 = IB.mul(Operand::reg(M1), Operand::reg(X));
+                Reg S1 = IB.shr(Operand::reg(M2), Operand::imm(7));
+                IB.add(Operand::reg(Acc), Operand::reg(S1), Acc);
+                IB.add(Operand::reg(Q), Operand::imm(64), Q);
+              },
+              "render");
+
+          // Scene-graph sampling (stride-free, partly out-loop).
+          emitIrregularLoop(OB, Ref ? 120000 : 40000, Scene, SceneLog2,
+                            Seed ^ 0xE00, Acc, "sample", Shade);
+        },
+        "frames");
+
+    B.ret(Operand::reg(Acc));
+    return Prog;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> sprof::makeEonLike() {
+  return std::make_unique<EonLike>();
+}

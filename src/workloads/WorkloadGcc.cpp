@@ -1,0 +1,120 @@
+//===- workloads/WorkloadGcc.cpp - 176.gcc-like workload --------------------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 176.gcc stand-in: a compiler doing many short passes. Its loops have
+/// low trip counts (well under the paper's TT=128), so the trip-count
+/// filter removes every candidate load; the RTL chain is allocated with
+/// heavy churn (50% noise), so even the pointer chase has no dominant
+/// stride. Expected gain ~1.00x; what matters here is the *overhead* side:
+/// gcc's load population is what naive methods pay for profiling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+#include "workloads/Workload.h"
+
+using namespace sprof;
+
+namespace {
+
+class GccLike final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"176.gcc", "C", "C programming language compiler"};
+  }
+
+  Program build(DataSet DS) const override {
+    const bool Ref = DS == DataSet::Ref;
+    const uint64_t NumInsns = Ref ? 30000 : 10000;
+    const uint64_t Functions = Ref ? 900 : 300; // compiled functions
+    const uint64_t Seed = Ref ? 0x5EED0176 : 0x7EA10176;
+
+    Program Prog;
+    Prog.M.Name = "176.gcc";
+    BumpAllocator A;
+    Rng R(Seed);
+
+    // RTL instruction chain with heavy allocation churn: no stride.
+    std::vector<uint64_t> Insns;
+    ListSpec Spec;
+    Spec.Count = NumInsns;
+    Spec.NodeBytes = 64;
+    Spec.NoisePercent = 50;
+    Spec.NoiseMaxSkip = 8192;
+    uint64_t Head = buildList(Prog.Memory, A, R, Spec, &Insns);
+    for (uint64_t Addr : Insns)
+      Prog.Memory.write64(Addr + 8, static_cast<int64_t>(R.below(64)));
+
+    // Symbol table: 2MB.
+    const unsigned SymLog2 = 18;
+    uint64_t Symtab = buildArray(A, 1ull << SymLog2, 8);
+
+    IRBuilder B(Prog.M);
+    uint32_t LookupFn = makeLoadHelper(B, "symbol_lookup");
+
+    // A "pass" helper: a short, low-trip-count loop over a scratch array
+    // (TT filter removes these loads from prefetch consideration).
+    const uint64_t Scratch = buildArray(A, 64, 8);
+    uint32_t PassFn = B.startFunction("fold_const", 1);
+    {
+      Reg N = 0;
+      Reg Sum = B.movImm(0);
+      Reg Q = B.movImm(static_cast<int64_t>(Scratch));
+      emitCountedLoop(
+          B, Operand::reg(N),
+          [&](IRBuilder &IB, Reg) {
+            Reg V = IB.load(Q, 0);
+            IB.add(Operand::reg(Sum), Operand::reg(V), Sum);
+            IB.add(Operand::reg(Q), Operand::imm(8), Q);
+          },
+          "fold");
+      B.ret(Operand::reg(Sum));
+    }
+
+    uint32_t Main = B.startFunction("main", 0);
+    Prog.M.EntryFunction = Main;
+    Reg Acc = B.movImm(0);
+    Reg P = B.mov(Operand::imm(static_cast<int64_t>(Head)));
+
+    // Compile each function: chase the next slice of the RTL chain, run a
+    // short pass loop, and probe the symbol table.
+    emitCountedLoop(
+        B, Operand::imm(static_cast<int64_t>(Functions)),
+        [&](IRBuilder &OB, Reg) {
+          // Walk ~33 insns per compiled function (low trip count), wrapping
+          // to the head of the chain when it runs out.
+          emitCountedLoop(
+              OB, Operand::imm(33),
+              [&](IRBuilder &IB, Reg) {
+                Reg Live = IB.cmp(Opcode::CmpNe, Operand::reg(P),
+                                  Operand::imm(0));
+                IB.select(Operand::reg(Live), Operand::reg(P),
+                          Operand::imm(static_cast<int64_t>(Head)), P);
+                Reg Code = IB.load(P, 8);
+                IB.add(Operand::reg(Acc), Operand::reg(Code), Acc);
+                IB.load(P, 0, P);
+              },
+              "rtl");
+          Reg S = OB.call(PassFn, {Operand::imm(17)}, OB.newReg());
+          OB.add(Operand::reg(Acc), Operand::reg(S), Acc);
+        },
+        "compile");
+
+    emitIrregularLoop(B, Ref ? 90000 : 30000, Symtab, SymLog2, Seed ^ 0x6CC,
+                      Acc, "symtab", LookupFn);
+
+    B.ret(Operand::reg(Acc));
+    return Prog;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> sprof::makeGccLike() {
+  return std::make_unique<GccLike>();
+}

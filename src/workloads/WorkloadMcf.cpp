@@ -1,0 +1,151 @@
+//===- workloads/WorkloadMcf.cpp - 181.mcf-like workload --------------------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 181.mcf stand-in: combinatorial optimization over a network whose
+/// arc structs are allocated sequentially and then traversed through
+/// embedded pointers (the paper's flagship strong-single-stride case,
+/// 1.59x). Each pass walks the arc chain (SSST loads with a 128-byte
+/// dominant stride over a >L3 working set), does two dependent random node
+/// lookups per arc (the unprefetchable share), and scans every third arc by
+/// address arithmetic (a second SSST stream). A per-arc helper call
+/// provides out-loop loads landing on already-prefetched lines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+#include "workloads/Workload.h"
+
+using namespace sprof;
+
+namespace {
+
+struct McfParams {
+  uint64_t NumArcs;
+  unsigned Passes;
+  uint64_t IrregularIters;
+  uint64_t Seed;
+};
+
+class McfLike final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"181.mcf", "C", "Combinatorial Optimization"};
+  }
+
+  Program build(DataSet DS) const override {
+    McfParams P = DS == DataSet::Ref
+                      ? McfParams{80000, 3, 180000, 0x5EED0181}
+                      : McfParams{24000, 2, 30000, 0x7EA10181};
+
+    Program Prog;
+    Prog.M.Name = "181.mcf";
+    BumpAllocator A;
+    Rng R(P.Seed);
+
+    // Arc structs, 128 bytes, allocated (and chained) in traversal order
+    // with 2% allocation noise. Fields: +0 next, +8 cost, +16 tail index,
+    // +64 flow (second cache line).
+    std::vector<uint64_t> Arcs;
+    ListSpec Spec;
+    Spec.Count = P.NumArcs;
+    Spec.NodeBytes = 128;
+    Spec.NoisePercent = 2;
+    Spec.NoiseMaxSkip = 1024;
+    uint64_t Head = buildList(Prog.Memory, A, R, Spec, &Arcs);
+    for (uint64_t Addr : Arcs) {
+      Prog.Memory.write64(Addr + 8, static_cast<int64_t>(R.below(512)));
+      Prog.Memory.write64(Addr + 64, static_cast<int64_t>(R.below(64)));
+    }
+
+    // Node potential table: 2^20 entries (8MB), randomly indexed.
+    const unsigned NodeLog2 = 20;
+    uint64_t NodeBase = buildArray(A, 1ull << NodeLog2, 8);
+
+    IRBuilder B(Prog.M);
+    uint32_t Probe = makeLoadHelper(B, "node_probe");
+
+    // Out-of-loop loads: a helper reading two more arc fields.
+    uint32_t Helper = B.startFunction("refresh_arc", 1);
+    {
+      Reg Arc = 0;
+      Reg V1 = B.load(Arc, 24);
+      Reg V2 = B.load(Arc, 32);
+      Reg S = B.add(Operand::reg(V1), Operand::reg(V2));
+      B.ret(Operand::reg(S));
+    }
+
+    uint32_t Main = B.startFunction("main", 0);
+    Prog.M.EntryFunction = Main;
+
+    Reg Acc = B.movImm(0);
+    Reg Rng1 = B.movImm(static_cast<int64_t>(P.Seed | 1));
+
+    emitCountedLoop(
+        B, Operand::imm(P.Passes),
+        [&](IRBuilder &OB, Reg) {
+          // Price-update pass: pointer chase over the arc chain.
+          Reg Ptr = OB.mov(Operand::imm(static_cast<int64_t>(Head)));
+          emitPointerLoop(
+              OB, Ptr,
+              [&](IRBuilder &IB, Reg Arc) {
+                Reg Cost = IB.load(Arc, 8);
+                Reg Flow = IB.load(Arc, 64);
+                IB.add(Operand::reg(Acc), Operand::reg(Cost), Acc);
+                IB.add(Operand::reg(Acc), Operand::reg(Flow), Acc);
+
+                // Two dependent random node lookups (unprefetchable).
+                for (int K = 0; K != 2; ++K) {
+                  Reg T = IB.shl(Operand::reg(Rng1), Operand::imm(13));
+                  IB.bxor(Operand::reg(Rng1), Operand::reg(T), Rng1);
+                  Reg T2 = IB.shr(Operand::reg(Rng1), Operand::imm(7));
+                  IB.bxor(Operand::reg(Rng1), Operand::reg(T2), Rng1);
+                  Reg Idx = IB.band(Operand::reg(Rng1),
+                                    Operand::imm((1ll << NodeLog2) - 1));
+                  Reg Off = IB.shl(Operand::reg(Idx), Operand::imm(3));
+                  Reg NAddr = IB.add(
+                      Operand::reg(Off),
+                      Operand::imm(static_cast<int64_t>(NodeBase)));
+                  Reg Pot = IB.load(NAddr, 0);
+                  IB.add(Operand::reg(Acc), Operand::reg(Pot), Acc);
+                }
+
+                Reg H = IB.call(Helper, {Operand::reg(Arc)}, IB.newReg());
+                IB.add(Operand::reg(Acc), Operand::reg(H), Acc);
+
+                // Advance the chase last so all arc loads share the
+                // pre-update pointer value (one equivalent-load set).
+                IB.load(Arc, 0, Arc);
+              },
+              "arcs");
+
+          // Basis scan: every third arc by address arithmetic.
+          Reg Q = OB.mov(Operand::imm(static_cast<int64_t>(Arcs[0])));
+          emitCountedLoop(
+              OB, Operand::imm(static_cast<int64_t>(P.NumArcs / 3)),
+              [&](IRBuilder &IB, Reg) {
+                Reg V = IB.load(Q, 8);
+                IB.add(Operand::reg(Acc), Operand::reg(V), Acc);
+                IB.add(Operand::reg(Q), Operand::imm(384), Q);
+              },
+              "basis");
+        },
+        "passes");
+
+    emitIrregularLoop(B, P.IrregularIters, NodeBase, NodeLog2,
+                      P.Seed ^ 0x1234, Acc, "misc", Probe);
+
+    B.ret(Operand::reg(Acc));
+    return Prog;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> sprof::makeMcfLike() {
+  return std::make_unique<McfLike>();
+}

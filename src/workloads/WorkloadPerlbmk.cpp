@@ -1,0 +1,105 @@
+//===- workloads/WorkloadPerlbmk.cpp - 253.perlbmk-like workload ------------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 253.perlbmk stand-in: a bytecode interpreter. The op-node chain is
+/// allocated with 45% churn, leaving its dominant stride below every
+/// classification threshold; hash-based symbol lookups are stride-free.
+/// Expected gain ~1.00-1.01x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+#include "workloads/Workload.h"
+
+using namespace sprof;
+
+namespace {
+
+class PerlbmkLike final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"253.perlbmk", "C", "PERL programming language"};
+  }
+
+  Program build(DataSet DS) const override {
+    const bool Ref = DS == DataSet::Ref;
+    const uint64_t NumOps = Ref ? 30000 : 10000;
+    const unsigned Passes = Ref ? 3 : 2;
+    const uint64_t Seed = Ref ? 0x5EED0253 : 0x7EA10253;
+
+    Program Prog;
+    Prog.M.Name = "253.perlbmk";
+    BumpAllocator A;
+    Rng R(Seed);
+
+    // Op tree with heavy allocation churn: dominant stride ~55% with rare
+    // zero diffs -- misses SSST and PMST, and WSST prefetching is off.
+    std::vector<uint64_t> Ops;
+    ListSpec Spec;
+    Spec.Count = NumOps;
+    Spec.NodeBytes = 48;
+    Spec.NoisePercent = 45;
+    Spec.NoiseMaxSkip = 4096;
+    uint64_t Head = buildList(Prog.Memory, A, R, Spec, &Ops);
+    for (uint64_t Addr : Ops)
+      Prog.Memory.write64(Addr + 8, static_cast<int64_t>(R.below(16)));
+
+    const unsigned SymLog2 = 18; // 2MB symbol table
+    uint64_t Symtab = buildArray(A, 1ull << SymLog2, 8);
+
+    IRBuilder B(Prog.M);
+    uint32_t Fetch = makeLoadHelper(B, "hv_fetch");
+
+    uint32_t Main = B.startFunction("main", 0);
+    Prog.M.EntryFunction = Main;
+    Reg Acc = B.movImm(0);
+
+    emitCountedLoop(
+        B, Operand::imm(Passes),
+        [&](IRBuilder &OB, Reg) {
+          // Dispatch loop: chase the op chain, branch on opcode.
+          Reg P = OB.mov(Operand::imm(static_cast<int64_t>(Head)));
+          emitPointerLoop(
+              OB, P,
+              [&](IRBuilder &IB, Reg Op) {
+                Reg Code = IB.load(Op, 8);
+                // A two-way "dispatch" so the edge profile has biased
+                // branches inside the loop.
+                Function &F = IB.function();
+                uint32_t TakenBB = F.newBlock("op.binop");
+                uint32_t OtherBB = F.newBlock("op.other");
+                uint32_t JoinBB = F.newBlock("op.join");
+                Reg IsBin = IB.cmp(Opcode::CmpLt, Operand::reg(Code),
+                                   Operand::imm(12));
+                IB.br(Operand::reg(IsBin), TakenBB, OtherBB);
+                IB.setBlock(TakenBB);
+                IB.add(Operand::reg(Acc), Operand::reg(Code), Acc);
+                IB.jmp(JoinBB);
+                IB.setBlock(OtherBB);
+                IB.bxor(Operand::reg(Acc), Operand::reg(Code), Acc);
+                IB.jmp(JoinBB);
+                IB.setBlock(JoinBB);
+                IB.load(Op, 0, Op);
+              },
+              "dispatch");
+
+          emitIrregularLoop(OB, Ref ? 50000 : 16000, Symtab, SymLog2,
+                            Seed ^ 0x9E71, Acc, "symbols", Fetch);
+        },
+        "runs");
+
+    B.ret(Operand::reg(Acc));
+    return Prog;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> sprof::makePerlbmkLike() {
+  return std::make_unique<PerlbmkLike>();
+}

@@ -1,0 +1,307 @@
+//===- tests/test_analysis.cpp - CFG analysis unit tests --------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CfgEdit.h"
+#include "analysis/ControlEquivalence.h"
+#include "analysis/Dominators.h"
+#include "analysis/EquivalentLoads.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+namespace {
+
+/// Builds a diamond: entry -> (left | right) -> join -> exit(halt).
+Module makeDiamond() {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t Left = F.newBlock("left");
+  uint32_t Right = F.newBlock("right");
+  uint32_t Join = F.newBlock("join");
+
+  Reg C = B.movImm(1);
+  B.br(Operand::reg(C), Left, Right);
+  B.setBlock(Left);
+  B.jmp(Join);
+  B.setBlock(Right);
+  B.jmp(Join);
+  B.setBlock(Join);
+  B.halt();
+  return M;
+}
+
+/// Builds a nested loop:
+///   entry -> outer.head
+///   outer.head -> inner.head | exit
+///   inner.head -> inner.body | outer.latch
+///   inner.body -> inner.head
+///   outer.latch -> outer.head
+Module makeNestedLoops() {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t OuterHead = F.newBlock("outer.head");
+  uint32_t InnerHead = F.newBlock("inner.head");
+  uint32_t InnerBody = F.newBlock("inner.body");
+  uint32_t OuterLatch = F.newBlock("outer.latch");
+  uint32_t Exit = F.newBlock("exit");
+
+  Reg I = B.movImm(0);
+  Reg J = B.movImm(0);
+  B.jmp(OuterHead);
+
+  B.setBlock(OuterHead);
+  Reg C1 = B.cmp(Opcode::CmpLt, Operand::reg(I), Operand::imm(10));
+  B.br(Operand::reg(C1), InnerHead, Exit);
+
+  B.setBlock(InnerHead);
+  Reg C2 = B.cmp(Opcode::CmpLt, Operand::reg(J), Operand::imm(10));
+  B.br(Operand::reg(C2), InnerBody, OuterLatch);
+
+  B.setBlock(InnerBody);
+  B.add(Operand::reg(J), Operand::imm(1), J);
+  B.jmp(InnerHead);
+
+  B.setBlock(OuterLatch);
+  B.add(Operand::reg(I), Operand::imm(1), I);
+  B.movImm(0, J);
+  B.jmp(OuterHead);
+
+  B.setBlock(Exit);
+  B.halt();
+  return M;
+}
+
+/// Irreducible: entry branches into the middle of a cycle a <-> b.
+Module makeIrreducible() {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t A = F.newBlock("a");
+  uint32_t Bb = F.newBlock("b");
+  uint32_t Exit = F.newBlock("exit");
+
+  Reg C = B.movImm(1);
+  B.br(Operand::reg(C), A, Bb); // two-entry cycle
+
+  B.setBlock(A);
+  Reg C2 = B.cmp(Opcode::CmpLt, Operand::reg(C), Operand::imm(5));
+  B.br(Operand::reg(C2), Bb, Exit);
+
+  B.setBlock(Bb);
+  B.jmp(A);
+
+  B.setBlock(Exit);
+  B.halt();
+  return M;
+}
+
+} // namespace
+
+TEST(Dominators, DiamondStructure) {
+  Module M = makeDiamond();
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  // Entry dominates everything.
+  for (uint32_t Bl = 0; Bl != 4; ++Bl)
+    EXPECT_TRUE(DT.dominates(0, Bl));
+  // Neither branch side dominates the join.
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_FALSE(DT.dominates(2, 3));
+  EXPECT_EQ(DT.idom(3), 0u);
+}
+
+TEST(Dominators, PostDominatorsOfDiamond) {
+  Module M = makeDiamond();
+  const Function &F = M.Functions[0];
+  DomTree PDT = DomTree::backward(F);
+  // Join post-dominates everything.
+  for (uint32_t Bl = 0; Bl != 3; ++Bl)
+    EXPECT_TRUE(PDT.dominates(3, Bl));
+  EXPECT_FALSE(PDT.dominates(1, 0));
+}
+
+TEST(Dominators, UnreachableBlocks) {
+  Module M = makeDiamond();
+  Function &F = M.Functions[0];
+  uint32_t Dead = F.newBlock("dead");
+  Instruction I;
+  I.Op = Opcode::Halt;
+  F.Blocks[Dead].Insts.push_back(I);
+  DomTree DT = DomTree::forward(F);
+  EXPECT_FALSE(DT.isReachable(Dead));
+  EXPECT_FALSE(DT.dominates(0, Dead));
+}
+
+TEST(LoopInfo, FindsNestedLoops) {
+  Module M = makeNestedLoops();
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  LoopInfo LI(F, DT);
+  ASSERT_EQ(LI.loops().size(), 2u);
+
+  // Identify loops by header name.
+  uint32_t InnerIdx = ~0u, OuterIdx = ~0u;
+  for (uint32_t L = 0; L != 2; ++L) {
+    if (F.Blocks[LI.loops()[L].Header].Name == "inner.head")
+      InnerIdx = L;
+    if (F.Blocks[LI.loops()[L].Header].Name == "outer.head")
+      OuterIdx = L;
+  }
+  ASSERT_NE(InnerIdx, ~0u);
+  ASSERT_NE(OuterIdx, ~0u);
+  EXPECT_EQ(LI.loops()[InnerIdx].Parent, OuterIdx);
+  EXPECT_EQ(LI.loops()[InnerIdx].Depth, 2u);
+  EXPECT_EQ(LI.loops()[OuterIdx].Depth, 1u);
+
+  // The inner body's innermost loop is the inner loop.
+  EXPECT_EQ(LI.innermostLoop(3), InnerIdx);
+  // The outer latch belongs only to the outer loop.
+  EXPECT_EQ(LI.innermostLoop(4), OuterIdx);
+  EXPECT_TRUE(LI.isInLoop(3));
+  EXPECT_FALSE(LI.isInLoop(5)); // exit
+}
+
+TEST(LoopInfo, EnteringAndHeaderOutEdges) {
+  Module M = makeNestedLoops();
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  LoopInfo LI(F, DT);
+  uint32_t OuterIdx =
+      F.Blocks[LI.loops()[0].Header].Name == "outer.head" ? 0 : 1;
+
+  std::vector<Edge> Entering = LI.enteringEdges(OuterIdx);
+  ASSERT_EQ(Entering.size(), 1u);
+  EXPECT_EQ(Entering[0].From, 0u); // function entry
+
+  std::vector<Edge> HeadOut = LI.headerOutEdges(OuterIdx);
+  EXPECT_EQ(HeadOut.size(), 2u);
+}
+
+TEST(LoopInfo, IrreducibleCycleDetected) {
+  Module M = makeIrreducible();
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  LoopInfo LI(F, DT);
+  EXPECT_TRUE(LI.isIrreducible(1));
+  EXPECT_TRUE(LI.isIrreducible(2));
+  EXPECT_FALSE(LI.isIrreducible(0));
+  // Blocks in the irreducible cycle are not "in loop" for profiling.
+  EXPECT_FALSE(LI.isInLoop(1));
+  EXPECT_FALSE(LI.isInLoop(2));
+}
+
+TEST(LoopInfo, LoopInvariantRegisters) {
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  LoopInfo LI(F, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  // The chase pointer register is redefined in the loop.
+  Reg P = F.Blocks[2].Insts[0].A.getReg();
+  EXPECT_FALSE(LI.isLoopInvariantReg(0, P));
+  // The condition register is defined in the loop too (header).
+  // A register never defined in the loop is invariant.
+  Reg Fresh = 100; // beyond any defined register? ensure valid index
+  (void)Fresh;
+  EXPECT_TRUE(LI.isLoopInvariantReg(0, F.NumRegs + 10));
+}
+
+TEST(ControlEquivalence, DiamondClasses) {
+  Module M = makeDiamond();
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  DomTree PDT = DomTree::backward(F);
+  ControlEquivalence CE(F, DT, PDT);
+  // Entry and join always execute together; the two arms do not.
+  EXPECT_TRUE(CE.equivalent(0, 3));
+  EXPECT_FALSE(CE.equivalent(0, 1));
+  EXPECT_FALSE(CE.equivalent(1, 2));
+}
+
+TEST(EquivalentLoads, GroupsSameBlockSameBase) {
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  DomTree PDT = DomTree::backward(F);
+  LoopInfo LI(F, DT);
+  ControlEquivalence CE(F, DT, PDT);
+  std::vector<EquivalentLoadSet> Sets = partitionEquivalentLoads(F, LI, CE);
+  ASSERT_EQ(Sets.size(), 1u);
+  EXPECT_EQ(Sets[0].Members.size(), 2u);
+  // Representative is the smallest offset (the next-pointer load at +0).
+  EXPECT_EQ(Sets[0].representative().Offset, 0);
+}
+
+TEST(EquivalentLoads, RedefinitionSplitsGroups) {
+  // v = load p+8; p = load p+0; w = load p+8  -- the two +8 loads see
+  // different p values and must not group.
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x1000);
+  B.load(P, 8);
+  B.load(P, 0, P);
+  B.load(P, 8);
+  B.halt();
+  const Function &F = M.Functions[0];
+  DomTree DT = DomTree::forward(F);
+  DomTree PDT = DomTree::backward(F);
+  LoopInfo LI(F, DT);
+  ControlEquivalence CE(F, DT, PDT);
+  std::vector<EquivalentLoadSet> Sets = partitionEquivalentLoads(F, LI, CE);
+  // First two loads share the original P; the third is alone.
+  ASSERT_EQ(Sets.size(), 2u);
+  size_t Sizes[2] = {Sets[0].Members.size(), Sets[1].Members.size()};
+  EXPECT_EQ(Sizes[0] + Sizes[1], 3u);
+}
+
+TEST(EquivalentLoads, CoverLoadsPickOnePerCacheLine) {
+  EquivalentLoadSet Set;
+  for (int64_t Off : {0, 8, 16, 64, 72, 130}) {
+    LoadMember M;
+    M.SiteId = static_cast<uint32_t>(Off);
+    M.Offset = Off;
+    Set.Members.push_back(M);
+  }
+  std::vector<LoadMember> Cover = Set.coverLoads(64);
+  ASSERT_EQ(Cover.size(), 3u);
+  EXPECT_EQ(Cover[0].Offset, 0);
+  EXPECT_EQ(Cover[1].Offset, 64);
+  EXPECT_EQ(Cover[2].Offset, 130);
+}
+
+TEST(CfgEdit, SplitEdgePreservesSemantics) {
+  Module M = makeDiamond();
+  Function &F = M.Functions[0];
+  uint32_t NumBlocks = static_cast<uint32_t>(F.Blocks.size());
+  uint32_t NewBlock = splitEdge(F, Edge{0, 0});
+  EXPECT_EQ(NewBlock, NumBlocks);
+  EXPECT_EQ(F.Blocks[0].successor(0), NewBlock);
+  EXPECT_EQ(F.Blocks[NewBlock].successor(0), 1u);
+  EXPECT_TRUE(isWellFormed(M));
+}
+
+TEST(CfgEdit, PlacementClassification) {
+  Module M = makeDiamond();
+  const Function &F = M.Functions[0];
+  // left -> join: source has one successor.
+  EXPECT_EQ(classifyEdgePlacement(F, Edge{1, 0}), EdgePlacement::SourceEnd);
+  // entry -> left: two successors, but left has a single predecessor...
+  // placement inserts at left's top.
+  EXPECT_EQ(classifyEdgePlacement(F, Edge{0, 0}), EdgePlacement::DestTop);
+}

@@ -1,0 +1,279 @@
+//===- tests/test_edge_cases.cpp - Edge-case and corner tests ---------------===//
+//
+// Part of the StrideProf project test suite: corners the main suites do
+// not reach -- negative offsets, aliasing, deep recursion, irreducible
+// regions, critical-edge profiles, rule-2 equivalent loads, and
+// degenerate profiles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ControlEquivalence.h"
+#include "analysis/Dominators.h"
+#include "analysis/EquivalentLoads.h"
+#include "analysis/LoopInfo.h"
+#include "driver/Pipeline.h"
+#include "instrument/Instrumentation.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+TEST(InterpreterEdge, NegativeOffsetsWork) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x2000);
+  B.store(P, -16, Operand::imm(99));
+  Reg V = B.load(P, -16);
+  B.ret(Operand::reg(V));
+  Interpreter I(M, SimMemory());
+  EXPECT_EQ(I.run().ExitValue, 99);
+}
+
+TEST(InterpreterEdge, StoreLoadAliasing) {
+  // A store must be visible to a subsequent load of the same address even
+  // when issued through different registers.
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x3000);
+  Reg Q = B.add(Operand::reg(P), Operand::imm(8));
+  B.store(P, 8, Operand::imm(1234));
+  Reg V = B.load(Q, 0);
+  B.ret(Operand::reg(V));
+  Interpreter I(M, SimMemory());
+  EXPECT_EQ(I.run().ExitValue, 1234);
+}
+
+TEST(InterpreterEdge, DeepRecursionSurvives) {
+  // sum(n) = n == 0 ? 0 : n + sum(n-1) with n = 20000: the call stack is
+  // heap-allocated frames, not the host stack.
+  Module M;
+  IRBuilder B(M);
+  uint32_t Fn = B.startFunction("sum", 1);
+  {
+    Function &F = B.function();
+    uint32_t BaseBB = F.newBlock("base");
+    uint32_t RecBB = F.newBlock("rec");
+    Reg N = 0;
+    Reg C = B.cmp(Opcode::CmpEq, Operand::reg(N), Operand::imm(0));
+    B.br(Operand::reg(C), BaseBB, RecBB);
+    B.setBlock(BaseBB);
+    B.ret(Operand::imm(0));
+    B.setBlock(RecBB);
+    Reg N1 = B.sub(Operand::reg(N), Operand::imm(1));
+    Reg Sub = B.call(Fn, {Operand::reg(N1)}, B.newReg());
+    Reg R = B.add(Operand::reg(N), Operand::reg(Sub));
+    B.ret(Operand::reg(R));
+  }
+  B.startFunction("main", 0);
+  M.EntryFunction = 1;
+  Reg R = B.call(Fn, {Operand::imm(20000)}, B.newReg());
+  B.ret(Operand::reg(R));
+  Interpreter I(M, SimMemory());
+  EXPECT_EQ(I.run().ExitValue, 20000ll * 20001 / 2);
+}
+
+TEST(InterpreterEdge, PredicatedPrefetchIssuesOnlyWhenTrue) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x9000);
+  Reg On = B.movImm(1);
+  Reg Off = B.movImm(0);
+  Instruction Pf1;
+  Pf1.Op = Opcode::Prefetch;
+  Pf1.A = Operand::reg(P);
+  Pf1.Pred = On;
+  B.insert(Pf1);
+  Instruction Pf2 = Pf1;
+  Pf2.Imm = 4096;
+  Pf2.Pred = Off;
+  B.insert(Pf2);
+  B.halt();
+  Interpreter I(M, SimMemory());
+  MemoryHierarchy MH{MemoryConfig()};
+  I.attachMemory(&MH);
+  ASSERT_TRUE(I.run().Completed);
+  EXPECT_EQ(MH.stats().PrefetchesIssued, 1u);
+}
+
+TEST(EquivalentLoadsEdge, InvariantBaseGroupsAcrossBlocks) {
+  // Loads off a loop-invariant base in control-equivalent blocks of the
+  // same loop group together (rule 2).
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t Header = F.newBlock("head");
+  uint32_t Body1 = F.newBlock("body1");
+  uint32_t Body2 = F.newBlock("body2");
+  uint32_t Exit = F.newBlock("exit");
+
+  Reg Base = B.movImm(0x1000);
+  Reg I = B.movImm(0);
+  B.jmp(Header);
+  B.setBlock(Header);
+  Reg C = B.cmp(Opcode::CmpLt, Operand::reg(I), Operand::imm(100));
+  B.br(Operand::reg(C), Body1, Exit);
+  B.setBlock(Body1);
+  B.load(Base, 0);
+  B.jmp(Body2);
+  B.setBlock(Body2);
+  B.load(Base, 128);
+  B.add(Operand::reg(I), Operand::imm(1), I);
+  B.jmp(Header);
+  B.setBlock(Exit);
+  B.halt();
+
+  DomTree DT = DomTree::forward(F);
+  DomTree PDT = DomTree::backward(F);
+  LoopInfo LI(F, DT);
+  ControlEquivalence CE(F, DT, PDT);
+  std::vector<EquivalentLoadSet> Sets = partitionEquivalentLoads(F, LI, CE);
+  ASSERT_EQ(Sets.size(), 1u);
+  EXPECT_EQ(Sets[0].Members.size(), 2u);
+  // Offsets 0 and 128 are two cache lines: two cover loads.
+  EXPECT_EQ(Sets[0].coverLoads(64).size(), 2u);
+}
+
+TEST(InstrumentationEdge, IrreducibleLoadsTreatedAsOutLoop) {
+  // A load inside an irreducible cycle: naive-loop must skip it (it is an
+  // out-loop load per Section 2), naive-all must profile it.
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t A = F.newBlock("a");
+  uint32_t Bb = F.newBlock("b");
+  uint32_t Exit = F.newBlock("exit");
+  Reg P = B.movImm(0x1000);
+  Reg C = B.movImm(1);
+  B.br(Operand::reg(C), A, Bb);
+  B.setBlock(A);
+  B.load(P, 0, P);
+  Reg C2 = B.cmp(Opcode::CmpNe, Operand::reg(P), Operand::imm(0));
+  B.br(Operand::reg(C2), Bb, Exit);
+  B.setBlock(Bb);
+  B.jmp(A);
+  B.setBlock(Exit);
+  B.halt();
+
+  auto CountStrides = [](Module Mod, ProfilingMethod Method) {
+    instrumentModule(Mod, Method);
+    unsigned N = 0;
+    for (const Function &Fn : Mod.Functions)
+      for (const BasicBlock &BB : Fn.Blocks)
+        for (const Instruction &I : BB.Insts)
+          if (I.Op == Opcode::ProfStride)
+            ++N;
+    return N;
+  };
+  EXPECT_EQ(CountStrides(M, ProfilingMethod::NaiveLoop), 0u);
+  EXPECT_EQ(CountStrides(M, ProfilingMethod::EdgeCheck), 0u);
+  EXPECT_EQ(CountStrides(M, ProfilingMethod::NaiveAll), 1u);
+}
+
+TEST(InstrumentationEdge, CriticalEdgeProfilesAreExact) {
+  // A diamond whose arms both branch to two shared targets produces
+  // critical edges; split-based counters must still be exact.
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t Left = F.newBlock("left");
+  uint32_t Right = F.newBlock("right");
+  uint32_t T1 = F.newBlock("t1");
+  uint32_t T2 = F.newBlock("t2");
+  uint32_t Join = F.newBlock("join");
+
+  Reg I = B.movImm(0);
+  Reg Flag = B.movImm(1);
+  B.br(Operand::reg(Flag), Left, Right);
+  B.setBlock(Left);
+  Reg C1 = B.cmp(Opcode::CmpLt, Operand::reg(I), Operand::imm(1));
+  B.br(Operand::reg(C1), T1, T2); // critical: T1/T2 have 2 preds each
+  B.setBlock(Right);
+  Reg C2 = B.cmp(Opcode::CmpLt, Operand::reg(I), Operand::imm(2));
+  B.br(Operand::reg(C2), T1, T2);
+  B.setBlock(T1);
+  B.jmp(Join);
+  B.setBlock(T2);
+  B.jmp(Join);
+  B.setBlock(Join);
+  B.halt();
+
+  InstrumentationResult R = instrumentModule(M, ProfilingMethod::EdgeOnly);
+  ASSERT_TRUE(isWellFormed(M));
+  Interpreter In(M, SimMemory());
+  ASSERT_TRUE(In.run().Completed);
+  // Executed path: entry -> left -> t1 -> join.
+  auto Freq = [&](uint32_t From, unsigned Slot) {
+    return In.counters()[R.EdgeCounters[0].at(Edge{From, Slot})];
+  };
+  EXPECT_EQ(Freq(0, 0), 1u); // entry -> left
+  EXPECT_EQ(Freq(0, 1), 0u); // entry -> right
+  EXPECT_EQ(Freq(Left, 0), 1u);
+  EXPECT_EQ(Freq(Left, 1), 0u);
+  EXPECT_EQ(Freq(Right, 0), 0u);
+  EXPECT_EQ(Freq(Right, 1), 0u);
+  EXPECT_EQ(Freq(T1, 0), 1u);
+  EXPECT_EQ(Freq(T2, 0), 0u);
+}
+
+TEST(FeedbackEdge, EmptyProfilesYieldNoDecisions) {
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  EdgeProfile EP(1);
+  StrideProfile SP(M.NumLoadSites);
+  FeedbackResult R = runFeedback(M, EP, SP);
+  EXPECT_TRUE(R.Decisions.empty());
+  EXPECT_TRUE(R.DependentDecisions.empty());
+}
+
+TEST(FeedbackEdge, ZeroStrideDominatedLoadIsNotPrefetched) {
+  // A profile dominated by zero strides: top1 share is small even though
+  // the only non-zero stride is perfectly stable.
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 1);
+  EP.setFrequency(0, Edge{1, 0}, 100000);
+  EP.setFrequency(0, Edge{1, 1}, 1);
+  EP.setFrequency(0, Edge{2, 0}, 100000);
+  StrideProfile SP(M.NumLoadSites);
+  StrideSiteSummary &S = SP.site(N);
+  S.TotalStrides = 100000;
+  S.NumZeroStride = 80000;
+  S.NumZeroDiff = 2000;
+  S.TopStrides = {{64, 20000}}; // 20% of total
+  FeedbackResult R = runFeedback(M, EP, SP);
+  EXPECT_TRUE(R.Decisions.empty());
+  EXPECT_EQ(R.SiteClass[N], StrideClass::None);
+}
+
+TEST(PipelineEdge, ProfilesFromDifferentMethodsAgreeOnHotStrides) {
+  // naive-loop and edge-check must find the same dominant stride for the
+  // mcf arc chain, despite profiling different reference subsets.
+  auto W = makeMcfLike();
+  Pipeline P(*W);
+  auto TopStrideOfBusiest = [&](ProfilingMethod M) {
+    ProfileRunResult R = P.runProfile(M, DataSet::Train, false);
+    uint64_t Best = 0;
+    int64_t Value = 0;
+    for (uint32_t S = 0; S != R.Strides.numSites(); ++S) {
+      const StrideSiteSummary &Sum = R.Strides.site(S);
+      if (Sum.top1Freq() > Best) {
+        Best = Sum.top1Freq();
+        Value = Sum.top1Stride();
+      }
+    }
+    return Value;
+  };
+  EXPECT_EQ(TopStrideOfBusiest(ProfilingMethod::NaiveLoop),
+            TopStrideOfBusiest(ProfilingMethod::EdgeCheck));
+}

@@ -1,0 +1,260 @@
+//===- tests/test_extensions.cpp - Section-6 future-work extensions ---------===//
+//
+// Part of the StrideProf project test suite: the three extensions the
+// paper sketches as future work -- use-distance profiling, dependent-load
+// prefetching through speculative loads, and the allocation-order effect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "instrument/Instrumentation.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "prefetch/PrefetchInsertion.h"
+
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+//===----------------------------------------------------------------------===//
+// SpecLoad opcode semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(SpecLoad, ReadsValueWithoutStalling) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x1000);
+  Instruction Spec;
+  Spec.Op = Opcode::SpecLoad;
+  Spec.Dst = B.newReg();
+  Spec.A = Operand::reg(P);
+  Spec.Imm = 8;
+  B.insert(Spec);
+  B.ret(Operand::reg(Spec.Dst));
+
+  SimMemory Mem;
+  Mem.write64(0x1008, 77);
+  Interpreter I(M, std::move(Mem));
+  MemoryHierarchy MH{MemoryConfig()};
+  I.attachMemory(&MH);
+  RunStats S = I.run();
+  EXPECT_EQ(S.ExitValue, 77);
+  // No demand-stall cycles: the speculative load issues like a prefetch.
+  EXPECT_EQ(S.MemStallCycles, 0u);
+  EXPECT_EQ(MH.stats().PrefetchesIssued, 1u);
+}
+
+TEST(SpecLoad, VerifierAcceptsAndPrinterPrints) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x1000);
+  Instruction Spec;
+  Spec.Op = Opcode::SpecLoad;
+  Spec.Dst = B.newReg();
+  Spec.A = Operand::reg(P);
+  B.insert(Spec);
+  B.halt();
+  EXPECT_TRUE(isWellFormed(M));
+  std::ostringstream OS;
+  M.print(OS);
+  EXPECT_NE(OS.str().find("load.s"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Use-distance profiling.
+//===----------------------------------------------------------------------===//
+
+TEST(UseDistance, GapStatisticTracksGlobalReferences) {
+  StrideProfilerConfig C;
+  StrideProfiler P(1, C);
+  // Site visited at global reference indices 10, 50, 90: gaps of 40.
+  P.profile(0, 0x1000, 10);
+  P.profile(0, 0x1040, 50);
+  P.profile(0, 0x1080, 90);
+  StrideProfile SP = StrideProfile::fromProfiler(P);
+  EXPECT_EQ(SP.site(0).RefGapCount, 2u);
+  EXPECT_DOUBLE_EQ(SP.site(0).avgRefGap(), 40.0);
+}
+
+TEST(UseDistance, FilterVetoesLongGapLoads) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 1);
+  EP.setFrequency(0, Edge{1, 0}, 100000);
+  EP.setFrequency(0, Edge{1, 1}, 1);
+  EP.setFrequency(0, Edge{2, 0}, 100000);
+  StrideProfile SP(M.NumLoadSites);
+  StrideSiteSummary &S = SP.site(NextSite);
+  S.TotalStrides = 100000;
+  S.TopStrides = {{128, 95000}};
+  S.RefGapSum = 100000 * 500; // average gap of 500 references
+  S.RefGapCount = 100000;
+
+  ClassifierConfig Off;
+  EXPECT_FALSE(runFeedback(M, EP, SP, Off).Decisions.empty());
+
+  ClassifierConfig On;
+  On.EnableUseDistanceFilter = true;
+  On.MaxAvgRefGap = 64.0;
+  EXPECT_TRUE(runFeedback(M, EP, SP, On).Decisions.empty());
+
+  // Short gaps survive the filter.
+  S.RefGapSum = 100000 * 3;
+  EXPECT_FALSE(runFeedback(M, EP, SP, On).Decisions.empty());
+}
+
+TEST(UseDistance, InterpreterFeedsGlobalIndices) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  instrumentModule(M, ProfilingMethod::NaiveLoop);
+  SimMemory Mem;
+  test::fillChaseList(Mem, 1000, 64);
+  StrideProfilerConfig PC;
+  StrideProfiler P(M.NumLoadSites, PC);
+  Interpreter I(M, std::move(Mem));
+  I.attachProfiler(&P);
+  ASSERT_TRUE(I.run().Completed);
+  // Both loads execute once per iteration: each site's visits are two
+  // global references apart.
+  StrideProfile SP = StrideProfile::fromProfiler(P);
+  EXPECT_NEAR(SP.site(DataSite).avgRefGap(), 2.0, 0.01);
+  EXPECT_NEAR(SP.site(NextSite).avgRefGap(), 2.0, 0.01);
+}
+
+//===----------------------------------------------------------------------===//
+// Dependent-load prefetching.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds `while (p) { q = p->ptr; v = *q; p = p->next; }` over a strided
+/// node list pointing at randomly placed payloads, and returns the module,
+/// the memory, and the site ids.
+struct IndirectSetup {
+  Module M;
+  SimMemory Mem;
+  uint32_t PtrSite, ValSite, NextSite;
+};
+
+IndirectSetup makeIndirect(uint64_t Count) {
+  IndirectSetup S;
+  IRBuilder B(S.M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t Header = F.newBlock("head");
+  uint32_t Body = F.newBlock("body");
+  uint32_t Exit = F.newBlock("exit");
+  Reg P = B.movImm(0x1000);
+  Reg Acc = B.movImm(0);
+  B.jmp(Header);
+  B.setBlock(Header);
+  Reg C = B.cmp(Opcode::CmpNe, Operand::reg(P), Operand::imm(0));
+  B.br(Operand::reg(C), Body, Exit);
+  B.setBlock(Body);
+  Reg Q = B.load(P, 8);
+  S.PtrSite = B.lastSiteId();
+  Reg V = B.load(Q, 0);
+  S.ValSite = B.lastSiteId();
+  B.add(Operand::reg(Acc), Operand::reg(V), Acc);
+  B.load(P, 0, P);
+  S.NextSite = B.lastSiteId();
+  B.jmp(Header);
+  B.setBlock(Exit);
+  B.ret(Operand::reg(Acc));
+
+  // Nodes at constant stride 64; payloads pseudo-randomly scattered.
+  uint64_t PayloadBase = 0x4000000;
+  uint64_t Addr = 0x1000;
+  uint64_t H = 0x9E3779B97F4A7C15ull;
+  for (uint64_t I = 0; I != Count; ++I) {
+    H ^= H << 13;
+    H ^= H >> 7;
+    H ^= H << 17;
+    uint64_t Payload = PayloadBase + (H % Count) * 64;
+    uint64_t Next = I + 1 != Count ? Addr + 64 : 0;
+    S.Mem.write64(Addr + 0, static_cast<int64_t>(Next));
+    S.Mem.write64(Addr + 8, static_cast<int64_t>(Payload));
+    S.Mem.write64(Payload, static_cast<int64_t>(I));
+    Addr += 64;
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(DependentPrefetch, PlannerFindsDependentLoads) {
+  IndirectSetup S = makeIndirect(4000);
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 1);
+  EP.setFrequency(0, Edge{1, 0}, 100000);
+  EP.setFrequency(0, Edge{1, 1}, 1);
+  EP.setFrequency(0, Edge{2, 0}, 100000);
+  StrideProfile SP(S.M.NumLoadSites);
+  StrideSiteSummary &Base = SP.site(S.PtrSite);
+  Base.TotalStrides = 100000;
+  Base.TopStrides = {{64, 98000}};
+  // The value load has no stride profile worth using.
+  StrideSiteSummary &Dep = SP.site(S.ValSite);
+  Dep.TotalStrides = 100000;
+  Dep.TopStrides = {{8, 900}, {-64, 800}};
+
+  ClassifierConfig Off;
+  FeedbackResult R0 = runFeedback(S.M, EP, SP, Off);
+  EXPECT_TRUE(R0.DependentDecisions.empty());
+
+  ClassifierConfig On;
+  On.EnableDependentPrefetch = true;
+  FeedbackResult R1 = runFeedback(S.M, EP, SP, On);
+  ASSERT_EQ(R1.DependentDecisions.size(), 1u);
+  EXPECT_EQ(R1.DependentDecisions[0].BaseSiteId, S.PtrSite);
+  EXPECT_EQ(R1.DependentDecisions[0].DepSiteId, S.ValSite);
+  EXPECT_EQ(R1.DependentDecisions[0].BaseStride, 64);
+
+  // Insertion emits a speculative load and one prefetch through it.
+  Module M2 = S.M;
+  PrefetchInsertionStats Stats = insertPrefetches(M2, R1);
+  EXPECT_EQ(Stats.DependentPrefetches, 1u);
+  EXPECT_TRUE(isWellFormed(M2));
+  unsigned SpecLoads = 0;
+  for (const BasicBlock &BB : M2.Functions[0].Blocks)
+    for (const Instruction &I : BB.Insts)
+      if (I.Op == Opcode::SpecLoad)
+        ++SpecLoads;
+  EXPECT_EQ(SpecLoads, 1u);
+}
+
+TEST(DependentPrefetch, SpeedsUpIndirectChase) {
+  IndirectSetup S = makeIndirect(30000); // payload region ~1.9MB
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 1);
+  EP.setFrequency(0, Edge{1, 0}, 30000);
+  EP.setFrequency(0, Edge{1, 1}, 1);
+  EP.setFrequency(0, Edge{2, 0}, 30000);
+  StrideProfile SP(S.M.NumLoadSites);
+  StrideSiteSummary &Base = SP.site(S.PtrSite);
+  Base.TotalStrides = 30000;
+  Base.TopStrides = {{64, 29500}};
+
+  uint64_t Cycles[2];
+  for (int Dep = 0; Dep != 2; ++Dep) {
+    ClassifierConfig Cfg;
+    Cfg.EnableDependentPrefetch = Dep != 0;
+    Module M2 = S.M;
+    FeedbackResult FB = runFeedback(M2, EP, SP, Cfg);
+    insertPrefetches(M2, FB);
+    Interpreter I(M2, S.Mem);
+    MemoryHierarchy MH{MemoryConfig()};
+    I.attachMemory(&MH);
+    RunStats Stats = I.run();
+    ASSERT_TRUE(Stats.Completed);
+    Cycles[Dep] = Stats.Cycles;
+  }
+  // Chasing the payload pointer ahead must recover a further large
+  // fraction of the stall time.
+  EXPECT_LT(Cycles[1], Cycles[0] * 8 / 10);
+}

@@ -1,0 +1,257 @@
+//===- tests/test_feedback.cpp - Figure-5 classifier tests ------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "feedback/Classifier.h"
+#include "ir/IRBuilder.h"
+
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+namespace {
+
+StrideSiteSummary makeSummary(uint64_t Total, uint64_t ZeroDiff,
+                              std::vector<ValueCount> Top) {
+  StrideSiteSummary S;
+  S.SiteId = 0;
+  S.TotalStrides = Total;
+  S.NumZeroDiff = ZeroDiff;
+  S.TopStrides = std::move(Top);
+  return S;
+}
+
+} // namespace
+
+TEST(Classifier, SsstDetection) {
+  // 80% dominant stride -> SSST (threshold 70%).
+  StrideSiteSummary S = makeSummary(1000, 100, {{128, 800}, {64, 50}});
+  EXPECT_EQ(classifyStrideSummary(S, {}), StrideClass::SSST);
+}
+
+TEST(Classifier, SsstThresholdIsStrict) {
+  // Exactly 70% is not ">" the threshold.
+  StrideSiteSummary S = makeSummary(1000, 0, {{128, 700}});
+  ClassifierConfig C;
+  C.WsstDiffThreshold = 0.10;
+  EXPECT_NE(classifyStrideSummary(S, C), StrideClass::SSST);
+}
+
+TEST(Classifier, PmstDetection) {
+  // The paper's example: strides 32/60/1024 together >60% of the time and
+  // 40%+ zero differences.
+  StrideSiteSummary S = makeSummary(
+      1000, 450, {{32, 280}, {60, 250}, {1024, 150}, {8, 60}});
+  EXPECT_EQ(classifyStrideSummary(S, {}), StrideClass::PMST);
+}
+
+TEST(Classifier, AlternatedStridesAreNotPmst) {
+  // Same value profile but no zero differences (Figure 4c).
+  StrideSiteSummary S = makeSummary(
+      1000, 10, {{32, 280}, {60, 250}, {1024, 150}, {8, 60}});
+  EXPECT_NE(classifyStrideSummary(S, {}), StrideClass::PMST);
+}
+
+TEST(Classifier, WsstDetection) {
+  // The paper's example: stride 32 in ~25-30% of strides, >=10% zero
+  // diffs.
+  StrideSiteSummary S = makeSummary(1000, 150, {{32, 300}, {64, 100}});
+  EXPECT_EQ(classifyStrideSummary(S, {}), StrideClass::WSST);
+}
+
+TEST(Classifier, NoStridePattern) {
+  StrideSiteSummary S = makeSummary(1000, 20, {{32, 90}, {64, 80}});
+  EXPECT_EQ(classifyStrideSummary(S, {}), StrideClass::None);
+  StrideSiteSummary Empty;
+  EXPECT_EQ(classifyStrideSummary(Empty, {}), StrideClass::None);
+}
+
+TEST(Classifier, Figure10TripCount) {
+  // freq(b2->b2)=980, freq(b2->b3)=20, freq(b1->b2)=20 => TC = 50.
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  const Function &F = M.Functions[0];
+  EdgeProfile EP(1);
+  // head(1): slot0 -> body, slot1 -> exit; entry(0) slot0 -> head.
+  EP.setFrequency(0, Edge{1, 0}, 980);
+  EP.setFrequency(0, Edge{1, 1}, 20);
+  EP.setFrequency(0, Edge{0, 0}, 20);
+  double TC = loopTripCount(F, 0, {Edge{0, 0}}, {Edge{1, 0}, Edge{1, 1}},
+                            EP);
+  EXPECT_DOUBLE_EQ(TC, 50.0);
+}
+
+TEST(Feedback, EndToEndSsstPlan) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 1);      // entry -> head
+  EP.setFrequency(0, Edge{1, 0}, 100000); // head -> body
+  EP.setFrequency(0, Edge{1, 1}, 1);      // head -> exit
+  EP.setFrequency(0, Edge{2, 0}, 100000); // body -> head
+
+  StrideProfile SP(M.NumLoadSites);
+  // Profile for the representative (the +0 next load is at offset 0 and
+  // is the representative of the set {next@0, data@8}).
+  StrideSiteSummary &S = SP.site(NextSite);
+  S.TotalStrides = 100000;
+  S.NumZeroDiff = 90000;
+  S.TopStrides = {{128, 95000}};
+
+  FeedbackResult R = runFeedback(M, EP, SP);
+  ASSERT_EQ(R.Decisions.size(), 1u); // both loads on one cache line
+  EXPECT_EQ(R.Decisions[0].Kind, StrideClass::SSST);
+  EXPECT_EQ(R.Decisions[0].StrideValue, 128);
+  // trip = 100001/1 -> K capped at C=8.
+  EXPECT_EQ(R.Decisions[0].Distance, 8u);
+  EXPECT_TRUE(R.SiteInLoop[NextSite]);
+  EXPECT_GT(R.SiteTripCount[NextSite], 128.0);
+}
+
+TEST(Feedback, FrequencyFilterRemovesColdLoads) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 1);
+  EP.setFrequency(0, Edge{1, 0}, 1500); // below FT=2000
+  EP.setFrequency(0, Edge{1, 1}, 1);
+  EP.setFrequency(0, Edge{2, 0}, 1500);
+  StrideProfile SP(M.NumLoadSites);
+  StrideSiteSummary &S = SP.site(NextSite);
+  S.TotalStrides = 1500;
+  S.TopStrides = {{128, 1400}};
+  FeedbackResult R = runFeedback(M, EP, SP);
+  EXPECT_TRUE(R.Decisions.empty());
+}
+
+TEST(Feedback, TripCountFilterRemovesShortLoops) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  EdgeProfile EP(1);
+  // 100000 executions but trip count 100000/1000 = 100 <= 128.
+  EP.setFrequency(0, Edge{0, 0}, 1000);
+  EP.setFrequency(0, Edge{1, 0}, 100000);
+  EP.setFrequency(0, Edge{1, 1}, 1000);
+  EP.setFrequency(0, Edge{2, 0}, 100000);
+  StrideProfile SP(M.NumLoadSites);
+  StrideSiteSummary &S = SP.site(NextSite);
+  S.TotalStrides = 100000;
+  S.TopStrides = {{128, 95000}};
+  FeedbackResult R = runFeedback(M, EP, SP);
+  EXPECT_TRUE(R.Decisions.empty());
+}
+
+TEST(Feedback, DistanceScalesWithTripCount) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  EdgeProfile EP(1);
+  // trip ~ 400 -> K = min(400/128, 8) = 3.
+  EP.setFrequency(0, Edge{0, 0}, 250);
+  EP.setFrequency(0, Edge{1, 0}, 100000);
+  EP.setFrequency(0, Edge{1, 1}, 250);
+  EP.setFrequency(0, Edge{2, 0}, 100000);
+  StrideProfile SP(M.NumLoadSites);
+  StrideSiteSummary &S = SP.site(NextSite);
+  S.TotalStrides = 100000;
+  S.NumZeroDiff = 60000;
+  S.TopStrides = {{128, 95000}};
+  FeedbackResult R = runFeedback(M, EP, SP);
+  ASSERT_EQ(R.Decisions.size(), 1u);
+  EXPECT_EQ(R.Decisions[0].Distance, 3u);
+}
+
+TEST(Feedback, PmstDistanceIsPowerOfTwo) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 140);
+  EP.setFrequency(0, Edge{1, 0}, 100000); // trip ~ 714 -> K=5 -> pow2 4
+  EP.setFrequency(0, Edge{1, 1}, 140);
+  EP.setFrequency(0, Edge{2, 0}, 100000);
+  StrideProfile SP(M.NumLoadSites);
+  StrideSiteSummary &S = SP.site(NextSite);
+  S.TotalStrides = 100000;
+  S.NumZeroDiff = 50000;
+  S.TopStrides = {{128, 30000}, {64, 20000}, {32, 9000}, {256, 4000}};
+  FeedbackResult R = runFeedback(M, EP, SP);
+  ASSERT_EQ(R.Decisions.size(), 1u);
+  EXPECT_EQ(R.Decisions[0].Kind, StrideClass::PMST);
+  EXPECT_EQ(R.Decisions[0].Distance, 4u);
+}
+
+TEST(Feedback, WsstDisabledByDefaultEnabledByConfig) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  EdgeProfile EP(1);
+  EP.setFrequency(0, Edge{0, 0}, 10);
+  EP.setFrequency(0, Edge{1, 0}, 100000);
+  EP.setFrequency(0, Edge{1, 1}, 10);
+  EP.setFrequency(0, Edge{2, 0}, 100000);
+  StrideProfile SP(M.NumLoadSites);
+  StrideSiteSummary &S = SP.site(NextSite);
+  S.TotalStrides = 100000;
+  S.NumZeroDiff = 15000;
+  S.TopStrides = {{128, 30000}};
+  FeedbackResult R = runFeedback(M, EP, SP);
+  EXPECT_TRUE(R.Decisions.empty()); // WSST prefetching off (paper default)
+  EXPECT_EQ(R.SiteClass[NextSite], StrideClass::WSST);
+
+  ClassifierConfig C;
+  C.EnableWsstPrefetch = true;
+  FeedbackResult R2 = runFeedback(M, EP, SP, C);
+  ASSERT_EQ(R2.Decisions.size(), 1u);
+  EXPECT_EQ(R2.Decisions[0].Kind, StrideClass::WSST);
+}
+
+TEST(Feedback, OutLoopOnlySsstGetsFixedDistance) {
+  // Straight-line function with an out-loop load.
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x1000);
+  B.load(P, 0);
+  uint32_t Site = B.lastSiteId();
+  B.halt();
+
+  EdgeProfile EP(1); // no edges at all: block frequency falls back to 0...
+  // Single-block function: frequency comes from incoming edges; there are
+  // none, so feed the classifier a load frequency through a synthetic
+  // self-check: out-loop loads pass the FT filter only if blockFrequency
+  // works; here we accept the filter behaviour: build a two-block version
+  // instead.
+  (void)EP;
+  (void)Site;
+
+  Module M2;
+  IRBuilder B2(M2);
+  B2.startFunction("main", 0);
+  Function &F2 = B2.function();
+  uint32_t Next = F2.newBlock("next");
+  Reg P2 = B2.movImm(0x1000);
+  B2.jmp(Next);
+  B2.setBlock(Next);
+  B2.load(P2, 0);
+  uint32_t Site2 = B2.lastSiteId();
+  B2.halt();
+
+  EdgeProfile EP2(1);
+  EP2.setFrequency(0, Edge{0, 0}, 50000);
+  StrideProfile SP(M2.NumLoadSites);
+  StrideSiteSummary &S = SP.site(Site2);
+  S.TotalStrides = 50000;
+  S.TopStrides = {{64, 45000}};
+  FeedbackResult R = runFeedback(M2, EP2, SP);
+  ASSERT_EQ(R.Decisions.size(), 1u);
+  EXPECT_FALSE(R.Decisions[0].InLoop);
+  EXPECT_EQ(R.Decisions[0].Distance, ClassifierConfig().OutLoopPrefetchDistance);
+
+  // PMST-grade profiles on out-loop loads are not prefetched (2.3).
+  S.TopStrides = {{64, 20000}, {32, 15000}, {16, 9000}, {8, 7000}};
+  S.NumZeroDiff = 25000;
+  FeedbackResult R2 = runFeedback(M2, EP2, SP);
+  EXPECT_TRUE(R2.Decisions.empty());
+}

@@ -1,0 +1,246 @@
+//===- tests/test_interp.cpp - Interpreter unit tests -----------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+TEST(SimMemory, ReadsUnmappedAsZeroWithoutAllocating) {
+  SimMemory M;
+  EXPECT_EQ(M.read64(0xDEADBEEF), 0);
+  EXPECT_EQ(M.numPages(), 0u);
+  M.write64(0xDEADBEEF, 7);
+  EXPECT_EQ(M.read64(0xDEADBEEF), 7);
+  EXPECT_EQ(M.numPages(), 1u);
+}
+
+TEST(SimMemory, CopyIsIndependent) {
+  SimMemory A;
+  A.write64(0x100, 42);
+  SimMemory B = A;
+  B.write64(0x100, 7);
+  EXPECT_EQ(A.read64(0x100), 42);
+  EXPECT_EQ(B.read64(0x100), 7);
+}
+
+TEST(BumpAllocator, AlignsAndSkips) {
+  BumpAllocator A(0x1000);
+  uint64_t P1 = A.alloc(10, 8);
+  EXPECT_EQ(P1, 0x1000u);
+  uint64_t P2 = A.alloc(8, 64);
+  EXPECT_EQ(P2 % 64, 0u);
+  A.skip(100);
+  uint64_t P3 = A.alloc(8, 8);
+  EXPECT_GE(P3, P2 + 8 + 100);
+}
+
+namespace {
+
+/// Runs a module with no memory system attached and returns the stats.
+RunStats runFlat(const Module &M, SimMemory Mem = SimMemory()) {
+  Interpreter I(M, std::move(Mem));
+  return I.run();
+}
+
+} // namespace
+
+TEST(Interpreter, ArithmeticAndExitValue) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg A = B.movImm(6);
+  Reg Bv = B.movImm(7);
+  Reg C = B.mul(Operand::reg(A), Operand::reg(Bv));
+  Reg D = B.add(Operand::reg(C), Operand::imm(-2));
+  B.ret(Operand::reg(D));
+  RunStats S = runFlat(M);
+  EXPECT_TRUE(S.Completed);
+  EXPECT_EQ(S.ExitValue, 40);
+}
+
+TEST(Interpreter, LoadsStoresAndSiteCounts) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  SimMemory Mem;
+  test::fillChaseList(Mem, 10, 64);
+  RunStats S = runFlat(M, std::move(Mem));
+  EXPECT_TRUE(S.Completed);
+  EXPECT_EQ(S.LoadRefs, 20u);
+  EXPECT_EQ(S.SiteCounts[DataSite], 10u);
+  EXPECT_EQ(S.SiteCounts[NextSite], 10u);
+}
+
+TEST(Interpreter, CallsAndReturns) {
+  Module M;
+  IRBuilder B(M);
+  uint32_t Sq = B.startFunction("square", 1);
+  {
+    Reg X = 0;
+    Reg R = B.mul(Operand::reg(X), Operand::reg(X));
+    B.ret(Operand::reg(R));
+  }
+  B.startFunction("main", 0);
+  M.EntryFunction = 1;
+  Reg R = B.call(Sq, {Operand::imm(9)}, B.newReg());
+  B.ret(Operand::reg(R));
+  RunStats S = runFlat(M);
+  EXPECT_EQ(S.ExitValue, 81);
+}
+
+TEST(Interpreter, RecursionWorks) {
+  // fact(n) = n <= 1 ? 1 : n * fact(n - 1)
+  Module M;
+  IRBuilder B(M);
+  uint32_t Fact = B.startFunction("fact", 1);
+  {
+    Function &F = B.function();
+    uint32_t BaseBB = F.newBlock("base");
+    uint32_t RecBB = F.newBlock("rec");
+    Reg N = 0;
+    Reg C = B.cmp(Opcode::CmpLe, Operand::reg(N), Operand::imm(1));
+    B.br(Operand::reg(C), BaseBB, RecBB);
+    B.setBlock(BaseBB);
+    B.ret(Operand::imm(1));
+    B.setBlock(RecBB);
+    Reg N1 = B.sub(Operand::reg(N), Operand::imm(1));
+    Reg Sub = B.call(Fact, {Operand::reg(N1)}, B.newReg());
+    Reg R = B.mul(Operand::reg(N), Operand::reg(Sub));
+    B.ret(Operand::reg(R));
+  }
+  B.startFunction("main", 0);
+  M.EntryFunction = 1;
+  Reg R = B.call(Fact, {Operand::imm(6)}, B.newReg());
+  B.ret(Operand::reg(R));
+  RunStats S = runFlat(M);
+  EXPECT_EQ(S.ExitValue, 720);
+}
+
+TEST(Interpreter, PredicationSquashes) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg PTrue = B.movImm(1);
+  Reg PFalse = B.movImm(0);
+  Reg V = B.movImm(5);
+  // Predicated-on add executes; predicated-off add is squashed.
+  Instruction I1;
+  I1.Op = Opcode::Add;
+  I1.Dst = V;
+  I1.A = Operand::reg(V);
+  I1.B = Operand::imm(10);
+  I1.Pred = PTrue;
+  B.insert(I1);
+  Instruction I2 = I1;
+  I2.B = Operand::imm(100);
+  I2.Pred = PFalse;
+  B.insert(I2);
+  B.ret(Operand::reg(V));
+  RunStats S = runFlat(M);
+  EXPECT_EQ(S.ExitValue, 15);
+}
+
+TEST(Interpreter, CycleBucketsAreDisjoint) {
+  uint32_t DS, NS;
+  Module M = test::makeChaseModule(DS, NS);
+  SimMemory Mem;
+  test::fillChaseList(Mem, 100, 64);
+  Interpreter I(M, std::move(Mem));
+  MemoryHierarchy MH{MemoryConfig()};
+  I.attachMemory(&MH);
+  RunStats S = I.run();
+  EXPECT_EQ(S.Cycles, S.BaseCycles + S.MemStallCycles +
+                          S.InstrumentationCycles + S.RuntimeCycles);
+  EXPECT_GT(S.MemStallCycles, 0u);
+  EXPECT_EQ(S.InstrumentationCycles, 0u);
+  EXPECT_EQ(S.RuntimeCycles, 0u);
+}
+
+TEST(Interpreter, PrefetchReducesStallCycles) {
+  // Same chase twice: once plain, once with a prefetch two nodes ahead.
+  for (int WithPrefetch = 0; WithPrefetch != 2; ++WithPrefetch) {
+    Module M;
+    IRBuilder B(M);
+    B.startFunction("main", 0);
+    Function &F = B.function();
+    uint32_t Header = F.newBlock("head");
+    uint32_t Body = F.newBlock("body");
+    uint32_t Exit = F.newBlock("exit");
+    Reg P = B.movImm(0x1000);
+    B.jmp(Header);
+    B.setBlock(Header);
+    Reg C = B.cmp(Opcode::CmpNe, Operand::reg(P), Operand::imm(0));
+    B.br(Operand::reg(C), Body, Exit);
+    B.setBlock(Body);
+    if (WithPrefetch)
+      B.prefetch(P, 8 * 256); // eight strides ahead
+    B.load(P, 8);
+    // Busy work so the prefetch has time to complete.
+    Reg W = B.movImm(1);
+    for (int K = 0; K != 30; ++K)
+      B.add(Operand::reg(W), Operand::imm(1), W);
+    B.load(P, 0, P);
+    B.jmp(Header);
+    B.setBlock(Exit);
+    B.halt();
+
+    SimMemory Mem;
+    test::fillChaseList(Mem, 4000, 256);
+    Interpreter I(M, std::move(Mem));
+    MemoryHierarchy MH{MemoryConfig()};
+    I.attachMemory(&MH);
+    RunStats S = I.run();
+    static uint64_t PlainCycles = 0;
+    if (!WithPrefetch)
+      PlainCycles = S.Cycles;
+    else
+      EXPECT_LT(S.Cycles * 2, PlainCycles); // at least 2x faster
+  }
+}
+
+TEST(Interpreter, MaxInstructionLimitStopsRunaways) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t LoopBB = F.newBlock("spin");
+  B.jmp(LoopBB);
+  B.setBlock(LoopBB);
+  B.jmp(LoopBB);
+  Interpreter I(M, SimMemory());
+  RunStats S = I.run(/*MaxInstructions=*/1000);
+  EXPECT_FALSE(S.Completed);
+  EXPECT_EQ(S.Instructions, 1000u);
+}
+
+TEST(Interpreter, ProfCountersAccumulate) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  uint32_t Ctr = M.newCounter();
+  for (int K = 0; K != 5; ++K) {
+    Instruction I;
+    I.Op = Opcode::ProfCounterInc;
+    I.Imm = Ctr;
+    I.IsInstrumentation = true;
+    B.insert(I);
+  }
+  Instruction RD;
+  RD.Op = Opcode::ProfCounterRead;
+  RD.Dst = B.newReg();
+  RD.Imm = Ctr;
+  RD.IsInstrumentation = true;
+  B.insert(RD);
+  B.ret(Operand::reg(RD.Dst));
+  Interpreter I(M, SimMemory());
+  RunStats S = I.run();
+  EXPECT_EQ(S.ExitValue, 5);
+  EXPECT_EQ(I.counters()[Ctr], 5u);
+  EXPECT_GT(S.InstrumentationCycles, 0u);
+}

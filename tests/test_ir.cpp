@@ -1,0 +1,162 @@
+//===- tests/test_ir.cpp - IR core unit tests -------------------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sprof;
+
+TEST(Operand, Constructors) {
+  Operand R = Operand::reg(3);
+  EXPECT_TRUE(R.isReg());
+  EXPECT_FALSE(R.isImm());
+  EXPECT_EQ(R.getReg(), 3u);
+
+  Operand I = Operand::imm(-42);
+  EXPECT_TRUE(I.isImm());
+  EXPECT_EQ(I.getImm(), -42);
+
+  Operand N = Operand::none();
+  EXPECT_TRUE(N.isNone());
+}
+
+TEST(Opcode, TerminatorClassification) {
+  EXPECT_TRUE(isTerminator(Opcode::Jmp));
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_TRUE(isTerminator(Opcode::Halt));
+  EXPECT_FALSE(isTerminator(Opcode::Call));
+  EXPECT_FALSE(isTerminator(Opcode::Load));
+  EXPECT_FALSE(isTerminator(Opcode::ProfStride));
+}
+
+TEST(Opcode, DestClassification) {
+  EXPECT_TRUE(hasDest(Opcode::Load));
+  EXPECT_TRUE(hasDest(Opcode::Add));
+  EXPECT_TRUE(hasDest(Opcode::ProfCounterRead));
+  EXPECT_FALSE(hasDest(Opcode::Store));
+  EXPECT_FALSE(hasDest(Opcode::Prefetch));
+  EXPECT_FALSE(hasDest(Opcode::ProfCounterInc));
+}
+
+TEST(IRBuilder, AssignsUniqueLoadSites) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x1000);
+  B.load(P, 0);
+  uint32_t S0 = B.lastSiteId();
+  B.load(P, 8);
+  uint32_t S1 = B.lastSiteId();
+  B.halt();
+
+  EXPECT_NE(S0, S1);
+  EXPECT_EQ(M.NumLoadSites, 2u);
+}
+
+TEST(Module, LocateLoadSites) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  std::vector<SiteLocation> Locs = M.locateLoadSites();
+  ASSERT_EQ(Locs.size(), 2u);
+  EXPECT_TRUE(Locs[DataSite].isValid());
+  EXPECT_TRUE(Locs[NextSite].isValid());
+  EXPECT_EQ(Locs[DataSite].Block, Locs[NextSite].Block);
+  EXPECT_LT(Locs[DataSite].Inst, Locs[NextSite].Inst);
+}
+
+TEST(Function, EdgesAndPredecessors) {
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  const Function &F = M.Functions[0];
+  // entry->head, head->body, head->exit, body->head.
+  std::vector<Edge> Edges = F.edges();
+  EXPECT_EQ(Edges.size(), 4u);
+
+  std::vector<uint32_t> HeadPreds = F.predecessors(1);
+  ASSERT_EQ(HeadPreds.size(), 2u); // entry and body
+}
+
+TEST(Verifier, AcceptsWellFormedModule) {
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  std::vector<std::string> Errors = verifyModule(M);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors.front());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  B.movImm(1);
+  // No terminator.
+  EXPECT_FALSE(isWellFormed(M));
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x1000);
+  B.load(P, 0);
+  B.halt();
+  // Corrupt a register index.
+  M.Functions[0].Blocks[0].Insts[1].A = Operand::reg(999);
+  EXPECT_FALSE(isWellFormed(M));
+}
+
+TEST(Verifier, RejectsBadBranchTarget) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  B.halt();
+  M.Functions[0].Blocks[0].Insts[0].Op = Opcode::Jmp;
+  M.Functions[0].Blocks[0].Insts[0].Target0 = 7;
+  EXPECT_FALSE(isWellFormed(M));
+}
+
+TEST(Verifier, RejectsDuplicateSiteIds) {
+  Module M;
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Reg P = B.movImm(0x1000);
+  B.load(P, 0);
+  B.load(P, 8);
+  B.halt();
+  M.Functions[0].Blocks[0].Insts[2].SiteId =
+      M.Functions[0].Blocks[0].Insts[1].SiteId;
+  EXPECT_FALSE(isWellFormed(M));
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Module M;
+  IRBuilder B(M);
+  uint32_t Callee = B.startFunction("f", 2);
+  B.ret(Operand::imm(0));
+  B.startFunction("main", 0);
+  B.call(Callee, {Operand::imm(1)}); // one arg, needs two
+  B.halt();
+  M.EntryFunction = 1;
+  EXPECT_FALSE(isWellFormed(M));
+}
+
+TEST(Printer, ProducesReadableText) {
+  uint32_t D, N;
+  Module M = test::makeChaseModule(D, N);
+  std::ostringstream OS;
+  M.print(OS);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("module chase"), std::string::npos);
+  EXPECT_NE(Text.find("load"), std::string::npos);
+  EXPECT_NE(Text.find("halt"), std::string::npos);
+  EXPECT_NE(Text.find("site:"), std::string::npos);
+}

@@ -1,0 +1,146 @@
+//===- tests/test_memsys.cpp - Cache hierarchy unit tests -------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsys/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+namespace {
+
+MemoryConfig tinyConfig() {
+  MemoryConfig C;
+  C.Levels = {
+      {"L1", 1024, 2, 64, 2},   // 8 sets
+      {"L2", 8192, 4, 64, 9},   // 32 sets
+      {"L3", 65536, 4, 64, 24}, // 256 sets
+  };
+  C.MemoryLatency = 160;
+  return C;
+}
+
+} // namespace
+
+TEST(CacheLevel, ProbeMissThenHit) {
+  CacheLevel L(CacheLevelConfig{"L1", 1024, 2, 64, 2});
+  uint64_t Ready = 0;
+  EXPECT_FALSE(L.probe(100, Ready));
+  L.fill(100, 5);
+  ASSERT_TRUE(L.probe(100, Ready));
+  EXPECT_EQ(Ready, 5u);
+}
+
+TEST(CacheLevel, LruEviction) {
+  // 2-way: fill three lines into the same set, the least recently used
+  // falls out.
+  CacheLevel L(CacheLevelConfig{"L1", 1024, 2, 64, 2});
+  const uint64_t NumSets = 8;
+  uint64_t A = 0, B = NumSets, C = 2 * NumSets; // same set (set 0)
+  uint64_t Ready = 0;
+  L.fill(A, 0);
+  L.fill(B, 0);
+  ASSERT_TRUE(L.probe(A, Ready)); // A most recently used
+  L.fill(C, 0);                   // evicts B
+  EXPECT_TRUE(L.probe(A, Ready));
+  EXPECT_FALSE(L.probe(B, Ready));
+  EXPECT_TRUE(L.probe(C, Ready));
+}
+
+TEST(MemoryHierarchy, MissFillsAllLevelsThenHitsL1) {
+  MemoryHierarchy MH(tinyConfig());
+  uint64_t Lat = MH.demandAccess(0x1000, 0);
+  EXPECT_EQ(Lat, 160u);
+  Lat = MH.demandAccess(0x1008, 200); // same line
+  EXPECT_EQ(Lat, 2u);
+  EXPECT_EQ(MH.stats().Levels[0].Hits, 1u);
+  EXPECT_EQ(MH.stats().Levels[2].Misses, 1u);
+}
+
+TEST(MemoryHierarchy, L2HitAfterL1Eviction) {
+  MemoryHierarchy MH(tinyConfig());
+  // Fill line X, then stream enough lines through its L1 set to evict it
+  // from L1 while it stays in L2 (L2 has 4 ways over 32 sets).
+  MH.demandAccess(0, 0);
+  // L1: 8 sets, 2 ways -> lines 8 and 16 map to set 0 as well.
+  MH.demandAccess(8 * 64, 0);
+  MH.demandAccess(16 * 64, 0);
+  uint64_t Lat = MH.demandAccess(0, 1000);
+  EXPECT_EQ(Lat, 9u); // L2 hit
+}
+
+TEST(MemoryHierarchy, PrefetchHidesMissLatency) {
+  MemoryHierarchy MH(tinyConfig());
+  MH.prefetch(0x4000, 0);
+  // Long after the fill completes: a full L1 hit.
+  uint64_t Lat = MH.demandAccess(0x4000, 1000);
+  EXPECT_EQ(Lat, 2u);
+  EXPECT_EQ(MH.stats().PrefetchesIssued, 1u);
+  EXPECT_EQ(MH.stats().LatePrefetchHits, 0u);
+}
+
+TEST(MemoryHierarchy, LatePrefetchStallsPartially) {
+  MemoryHierarchy MH(tinyConfig());
+  MH.prefetch(0x4000, 0); // ready at 160
+  uint64_t Lat = MH.demandAccess(0x4000, 100);
+  EXPECT_EQ(Lat, 60u); // 160 - 100
+  EXPECT_EQ(MH.stats().LatePrefetchHits, 1u);
+}
+
+TEST(MemoryHierarchy, RedundantPrefetchDetected) {
+  MemoryHierarchy MH(tinyConfig());
+  MH.demandAccess(0x4000, 0);
+  MH.prefetch(0x4000, 10);
+  EXPECT_EQ(MH.stats().PrefetchesRedundant, 1u);
+}
+
+TEST(MemoryHierarchy, StreamingBeyondCapacityAlwaysMisses) {
+  MemoryHierarchy MH(tinyConfig());
+  // Two sequential sweeps over 2x the L3 capacity: LRU keeps evicting the
+  // lines we are about to need, so the second sweep misses as well.
+  const uint64_t Lines = 2 * 65536 / 64;
+  for (int Sweep = 0; Sweep != 2; ++Sweep)
+    for (uint64_t L = 0; L != Lines; ++L)
+      MH.demandAccess(L * 64, 0);
+  EXPECT_EQ(MH.stats().Levels[2].Misses, 2 * Lines);
+}
+
+TEST(MemoryHierarchy, DefaultConfigIsItanium) {
+  MemoryConfig C;
+  ASSERT_EQ(C.Levels.size(), 3u);
+  EXPECT_EQ(C.Levels[0].SizeBytes, 16u * 1024);
+  EXPECT_EQ(C.Levels[0].Associativity, 4u);
+  EXPECT_EQ(C.Levels[1].SizeBytes, 96u * 1024);
+  EXPECT_EQ(C.Levels[1].Associativity, 6u);
+  EXPECT_EQ(C.Levels[2].SizeBytes, 2u * 1024 * 1024);
+  EXPECT_EQ(C.Levels[2].Associativity, 4u);
+}
+
+TEST(MemoryHierarchy, PrefetchUsefulnessAccounting) {
+  MemoryHierarchy MH{MemoryConfig()};
+  // Useful prefetch: prefetched, then demanded.
+  MH.prefetch(0x10000, 0);
+  MH.demandAccess(0x10000, 1000);
+  EXPECT_EQ(MH.stats().PrefetchesUseful, 1u);
+  EXPECT_EQ(MH.stats().PrefetchesUnused, 0u);
+  // Second touch of the same line is a plain hit, not another "useful".
+  MH.demandAccess(0x10000, 2000);
+  EXPECT_EQ(MH.stats().PrefetchesUseful, 1u);
+}
+
+TEST(MemoryHierarchy, UnusedPrefetchCountedOnEviction) {
+  MemoryConfig Small;
+  Small.Levels = {{"L1", 1024, 2, 64, 2}}; // 8 sets, 2 ways
+  MemoryHierarchy MH(Small);
+  // Prefetch a line into set 0, then push two demand lines through the
+  // same set: the prefetched line is evicted without use.
+  MH.prefetch(0, 0);
+  MH.demandAccess(8 * 64, 10);
+  MH.demandAccess(16 * 64, 20);
+  MH.demandAccess(24 * 64, 30);
+  EXPECT_EQ(MH.stats().PrefetchesUnused, 1u);
+  EXPECT_EQ(MH.stats().PrefetchesUseful, 0u);
+}

@@ -1,0 +1,161 @@
+//===- tests/test_prefetch.cpp - Prefetch insertion tests -------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "prefetch/PrefetchInsertion.h"
+
+#include "TestHelpers.h"
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+namespace {
+
+unsigned countOps(const Module &M, Opcode Op) {
+  unsigned N = 0;
+  for (const Function &F : M.Functions)
+    for (const BasicBlock &BB : F.Blocks)
+      for (const Instruction &I : BB.Insts)
+        if (I.Op == Op)
+          ++N;
+  return N;
+}
+
+PrefetchDecision makeDecision(uint32_t Site, StrideClass Kind,
+                              int64_t Stride, unsigned K,
+                              bool InLoop = true) {
+  PrefetchDecision D;
+  D.SiteId = Site;
+  D.Kind = Kind;
+  D.StrideValue = Stride;
+  D.Distance = K;
+  D.InLoop = InLoop;
+  return D;
+}
+
+} // namespace
+
+TEST(PrefetchInsertion, SsstInsertsConstantOffsetPrefetch) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  PrefetchInsertionStats S = insertPrefetches(
+      M, {makeDecision(NextSite, StrideClass::SSST, 128, 8)});
+  EXPECT_TRUE(isWellFormed(M));
+  EXPECT_EQ(S.SsstPrefetches, 1u);
+  EXPECT_EQ(S.InstructionsAdded, 1u);
+  ASSERT_EQ(countOps(M, Opcode::Prefetch), 1u);
+  for (const BasicBlock &BB : M.Functions[0].Blocks)
+    for (const Instruction &I : BB.Insts)
+      if (I.Op == Opcode::Prefetch) {
+        EXPECT_EQ(I.Imm, 8 * 128); // load offset 0 + K*S
+        EXPECT_EQ(I.Pred, NoReg);
+      }
+}
+
+TEST(PrefetchInsertion, PmstComputesRuntimeStride) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  PrefetchInsertionStats S = insertPrefetches(
+      M, {makeDecision(NextSite, StrideClass::PMST, 0, 4)});
+  EXPECT_TRUE(isWellFormed(M));
+  EXPECT_EQ(S.PmstPrefetches, 1u);
+  // add(ea), sub(stride), mov(save), shl, add(pf addr), prefetch.
+  EXPECT_EQ(S.InstructionsAdded, 6u);
+  EXPECT_EQ(countOps(M, Opcode::Prefetch), 1u);
+  EXPECT_EQ(countOps(M, Opcode::Shl), 1u);
+}
+
+TEST(PrefetchInsertion, WsstGuardsWithPredicate) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  PrefetchInsertionStats S = insertPrefetches(
+      M, {makeDecision(NextSite, StrideClass::WSST, 64, 2)});
+  EXPECT_TRUE(isWellFormed(M));
+  EXPECT_EQ(S.WsstPrefetches, 1u);
+  bool FoundGuarded = false;
+  for (const BasicBlock &BB : M.Functions[0].Blocks)
+    for (const Instruction &I : BB.Insts)
+      if (I.Op == Opcode::Prefetch) {
+        EXPECT_NE(I.Pred, NoReg);
+        EXPECT_EQ(I.Imm, 2 * 64);
+        FoundGuarded = true;
+      }
+  EXPECT_TRUE(FoundGuarded);
+}
+
+TEST(PrefetchInsertion, MultipleDecisionsSameBlock) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  PrefetchInsertionStats S = insertPrefetches(
+      M, {makeDecision(NextSite, StrideClass::SSST, 128, 8),
+          makeDecision(DataSite, StrideClass::SSST, 128, 8)});
+  EXPECT_TRUE(isWellFormed(M));
+  EXPECT_EQ(S.SsstPrefetches, 2u);
+  EXPECT_EQ(countOps(M, Opcode::Prefetch), 2u);
+}
+
+TEST(PrefetchInsertion, SsstPrefetchSpeedsUpStridedChase) {
+  // End-to-end: a strided chase with a big working set runs faster with
+  // the inserted SSST prefetch.
+  uint32_t DataSite, NextSite;
+  uint64_t Plain = 0, Fast = 0;
+  for (int WithPf = 0; WithPf != 2; ++WithPf) {
+    Module M = test::makeChaseModule(DataSite, NextSite);
+    if (WithPf)
+      insertPrefetches(
+          M, {makeDecision(NextSite, StrideClass::SSST, 256, 8)});
+    SimMemory Mem;
+    test::fillChaseList(Mem, 30000, 256); // 7.5MB: beyond L3
+    Interpreter I(M, std::move(Mem));
+    MemoryHierarchy MH{MemoryConfig()};
+    I.attachMemory(&MH);
+    RunStats S = I.run();
+    ASSERT_TRUE(S.Completed);
+    (WithPf ? Fast : Plain) = S.Cycles;
+  }
+  // The loop body is tiny, so a distance-8 prefetch is late but still
+  // overlaps a large part of each miss.
+  EXPECT_LT(Fast, Plain * 9 / 10);
+}
+
+TEST(PrefetchInsertion, PmstPrefetchSpeedsUpPhasedChase) {
+  uint32_t DataSite, NextSite;
+  uint64_t Plain = 0, Fast = 0;
+  for (int WithPf = 0; WithPf != 2; ++WithPf) {
+    Module M = test::makeChaseModule(DataSite, NextSite);
+    if (WithPf)
+      insertPrefetches(M,
+                       {makeDecision(NextSite, StrideClass::PMST, 0, 8)});
+    // Phased strides: 4000 nodes at 192B, then 4000 at 320B.
+    SimMemory Mem;
+    uint64_t Addr = 0x1000;
+    for (int I2 = 0; I2 != 8000; ++I2) {
+      uint64_t Stride = I2 < 4000 ? 192 : 320;
+      uint64_t Next = I2 != 7999 ? Addr + Stride : 0;
+      Mem.write64(Addr, static_cast<int64_t>(Next));
+      Mem.write64(Addr + 8, I2);
+      Addr += Stride;
+    }
+    Interpreter I(M, std::move(Mem));
+    MemoryHierarchy MH{MemoryConfig()};
+    I.attachMemory(&MH);
+    RunStats S = I.run();
+    ASSERT_TRUE(S.Completed);
+    (WithPf ? Fast : Plain) = S.Cycles;
+  }
+  EXPECT_LT(Fast, Plain * 9 / 10);
+}
+
+TEST(PrefetchInsertion, NoDecisionsNoChanges) {
+  uint32_t DataSite, NextSite;
+  Module M = test::makeChaseModule(DataSite, NextSite);
+  Module Copy = M;
+  PrefetchInsertionStats S =
+      insertPrefetches(M, std::vector<PrefetchDecision>());
+  EXPECT_EQ(S.InstructionsAdded, 0u);
+  EXPECT_EQ(countOps(M, Opcode::Prefetch), countOps(Copy, Opcode::Prefetch));
+}

@@ -1,0 +1,334 @@
+//===- tests/test_properties.cpp - Parameterized property tests -------------===//
+//
+// Part of the StrideProf project test suite: property-style sweeps over
+// configuration spaces (LFU buffer geometries, cache associativities,
+// sampling parameters, classifier thresholds) checking invariants rather
+// than fixed values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "feedback/Classifier.h"
+#include "memsys/Cache.h"
+#include "profile/LfuValueProfiler.h"
+#include "profile/StrideProfiler.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+using namespace sprof;
+
+//===----------------------------------------------------------------------===//
+// LFU profiler properties over buffer geometries.
+//===----------------------------------------------------------------------===//
+
+class LfuGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned,
+                                                 unsigned>> {};
+
+// A value occupying >60% of a long stream must surface as top-1 regardless
+// of buffer geometry: the paper's classifier depends on LFU never losing a
+// strongly dominant stride.
+TEST_P(LfuGeometry, DominantValueAlwaysSurvives) {
+  auto [TempSize, FinalSize, MergeInterval] = GetParam();
+  LfuConfig C;
+  C.TempSize = TempSize;
+  C.FinalSize = FinalSize;
+  C.MergeInterval = MergeInterval;
+  C.CoarsenShift = 0;
+  LfuValueProfiler L(C);
+
+  Rng R(0x1F0 + TempSize * 131 + FinalSize);
+  uint64_t DominantCount = 0;
+  for (int I = 0; I != 20000; ++I) {
+    if (R.chancePercent(65)) {
+      L.add(4096);
+      ++DominantCount;
+    } else {
+      L.add(static_cast<int64_t>(R.below(1000)) * 16 + 8192);
+    }
+  }
+  std::vector<ValueCount> Top = L.topValues();
+  ASSERT_FALSE(Top.empty());
+  EXPECT_EQ(Top[0].Value, 4096);
+  // The reported count never exceeds the true count and, because a
+  // dominant value is never the LFU victim once established, it stays
+  // close to it.
+  EXPECT_LE(Top[0].Count, DominantCount);
+  EXPECT_GE(Top[0].Count, DominantCount * 9 / 10);
+}
+
+// Reported counts never exceed the number of adds, in any geometry.
+TEST_P(LfuGeometry, CountsNeverExceedAdds) {
+  auto [TempSize, FinalSize, MergeInterval] = GetParam();
+  LfuConfig C;
+  C.TempSize = TempSize;
+  C.FinalSize = FinalSize;
+  C.MergeInterval = MergeInterval;
+  LfuValueProfiler L(C);
+  Rng R(0x77 + MergeInterval);
+  for (int I = 0; I != 5000; ++I)
+    L.add(static_cast<int64_t>(R.below(64)) * 256);
+  uint64_t Sum = 0;
+  for (const ValueCount &VC : L.topValues())
+    Sum += VC.Count;
+  EXPECT_LE(Sum, L.totalAdded());
+  EXPECT_LE(L.topValues().size(), static_cast<size_t>(FinalSize));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LfuGeometry,
+    ::testing::Values(std::make_tuple(2u, 1u, 16u),
+                      std::make_tuple(4u, 2u, 64u),
+                      std::make_tuple(8u, 4u, 256u),
+                      std::make_tuple(16u, 8u, 1024u),
+                      std::make_tuple(16u, 8u, 64u),
+                      std::make_tuple(32u, 16u, 4096u)));
+
+//===----------------------------------------------------------------------===//
+// Cache properties over associativities.
+//===----------------------------------------------------------------------===//
+
+class CacheAssoc : public ::testing::TestWithParam<unsigned> {};
+
+// A working set of exactly W lines mapping to one set never misses after
+// warmup in a W-way cache, and always misses with W+1 lines (LRU).
+TEST_P(CacheAssoc, LruResidency) {
+  unsigned Ways = GetParam();
+  CacheLevelConfig Cfg{"L", 64ull * 8 * Ways, Ways, 64, 2};
+  const uint64_t NumSets = 8;
+
+  {
+    CacheLevel L(Cfg);
+    uint64_t Ready;
+    for (int Round = 0; Round != 4; ++Round)
+      for (unsigned W = 0; W != Ways; ++W) {
+        uint64_t Line = W * NumSets; // all in set 0
+        if (!L.probe(Line, Ready))
+          L.fill(Line, 0);
+      }
+    // After warmup everything hits.
+    for (unsigned W = 0; W != Ways; ++W)
+      EXPECT_TRUE(L.probe(W * NumSets, Ready));
+  }
+  {
+    CacheLevel L(Cfg);
+    uint64_t Ready;
+    unsigned Misses = 0;
+    for (int Round = 0; Round != 4; ++Round)
+      for (unsigned W = 0; W != Ways + 1; ++W) {
+        uint64_t Line = W * NumSets;
+        if (!L.probe(Line, Ready)) {
+          ++Misses;
+          L.fill(Line, 0);
+        }
+      }
+    // LRU + sequential sweep of W+1 lines over W ways: every access
+    // misses.
+    EXPECT_EQ(Misses, 4 * (Ways + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheAssoc,
+                         ::testing::Values(1u, 2u, 4u, 6u, 8u));
+
+// Hierarchy invariant: per-level hits + misses are consistent and stall
+// cycles equal the sum of returned latencies.
+TEST(CacheProperties, AccountingConsistent) {
+  MemoryHierarchy MH{MemoryConfig()};
+  Rng R(0xCAFE);
+  uint64_t LatencySum = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I)
+    LatencySum += MH.demandAccess(R.below(1 << 22), I * 3);
+  const MemoryStats &S = MH.stats();
+  EXPECT_EQ(S.DemandAccesses, static_cast<uint64_t>(N));
+  EXPECT_EQ(S.StallCycles, LatencySum);
+  uint64_t L1Seen = S.Levels[0].Hits + S.Levels[0].Misses;
+  EXPECT_EQ(L1Seen, static_cast<uint64_t>(N));
+  // Lower levels only see upper-level misses.
+  EXPECT_LE(S.Levels[1].Hits + S.Levels[1].Misses, L1Seen);
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling properties over (chunk, fine) parameters.
+//===----------------------------------------------------------------------===//
+
+class SamplingParams
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t,
+                                                 uint32_t>> {};
+
+// Closed form: with chunk (skip N1, profile N2) and fine interval F, the
+// processed share approaches N2 / (N1 + N2 + 1) / F.
+TEST_P(SamplingParams, ProcessedShareMatchesClosedForm) {
+  auto [Skip, Profile, Fine] = GetParam();
+  StrideProfilerConfig C;
+  C.Sampling.Enabled = true;
+  C.Sampling.ChunkSkip = Skip;
+  C.Sampling.ChunkProfile = Profile;
+  C.Sampling.FineInterval = Fine;
+  StrideProfiler P(1, C);
+
+  const uint64_t N = 200000;
+  uint64_t Addr = 0;
+  for (uint64_t I = 0; I != N; ++I) {
+    P.profile(0, Addr);
+    Addr += 64;
+  }
+  double Expected = static_cast<double>(Profile) /
+                    static_cast<double>(Skip + Profile + 1) /
+                    static_cast<double>(Fine);
+  double Actual = static_cast<double>(P.totalProcessed()) /
+                  static_cast<double>(N);
+  EXPECT_NEAR(Actual, Expected, Expected * 0.1 + 0.001);
+  // Strides recovered by fromProfiler are the true ones regardless of F.
+  StrideProfile SP = StrideProfile::fromProfiler(P);
+  ASSERT_FALSE(SP.site(0).TopStrides.empty());
+  EXPECT_EQ(SP.site(0).TopStrides[0].Value, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, SamplingParams,
+    ::testing::Values(std::make_tuple(600ull, 150ull, 4u),
+                      std::make_tuple(2000ull, 500ull, 4u),
+                      std::make_tuple(1000ull, 1000ull, 2u),
+                      std::make_tuple(100ull, 900ull, 1u),
+                      std::make_tuple(8000ull, 2000ull, 8u)));
+
+//===----------------------------------------------------------------------===//
+// Classifier threshold properties.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+StrideSiteSummary summaryWithShares(double Top1, double Top4Extra,
+                                    double ZeroDiff) {
+  StrideSiteSummary S;
+  S.TotalStrides = 10000;
+  S.NumZeroDiff = static_cast<uint64_t>(ZeroDiff * 10000);
+  S.TopStrides = {{128, static_cast<uint64_t>(Top1 * 10000)},
+                  {64, static_cast<uint64_t>(Top4Extra * 10000 / 3)},
+                  {32, static_cast<uint64_t>(Top4Extra * 10000 / 3)},
+                  {256, static_cast<uint64_t>(Top4Extra * 10000 / 3)}};
+  return S;
+}
+
+unsigned classRank(StrideClass C) {
+  switch (C) {
+  case StrideClass::SSST:
+    return 3;
+  case StrideClass::PMST:
+    return 2;
+  case StrideClass::WSST:
+    return 1;
+  case StrideClass::None:
+    return 0;
+  }
+  return 0;
+}
+
+} // namespace
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+// Raising the SSST threshold can only demote classifications, never
+// promote them.
+TEST_P(ThresholdSweep, SsstThresholdMonotone) {
+  double Top1 = GetParam();
+  StrideSiteSummary S = summaryWithShares(Top1, 0.15, 0.5);
+  ClassifierConfig Lo, Hi;
+  Lo.SsstThreshold = 0.5;
+  Hi.SsstThreshold = 0.9;
+  StrideClass CLo = classifyStrideSummary(S, Lo);
+  StrideClass CHi = classifyStrideSummary(S, Hi);
+  // With a lower threshold the class is at least as strong.
+  EXPECT_GE(classRank(CLo), classRank(CHi));
+}
+
+// The zero-diff share separates PMST from nothing at fixed value shares.
+TEST_P(ThresholdSweep, ZeroDiffGatesPmst) {
+  double Top1 = GetParam();
+  if (Top1 > 0.55)
+    GTEST_SKIP() << "value share would classify SSST first";
+  StrideSiteSummary Phased = summaryWithShares(Top1, 0.45, 0.6);
+  StrideSiteSummary Alternated = summaryWithShares(Top1, 0.45, 0.02);
+  ClassifierConfig C;
+  C.SsstThreshold = 0.99; // isolate the PMST test
+  C.WsstThreshold = 0.99;
+  EXPECT_EQ(classifyStrideSummary(Phased, C), StrideClass::PMST);
+  EXPECT_EQ(classifyStrideSummary(Alternated, C), StrideClass::None);
+}
+
+INSTANTIATE_TEST_SUITE_P(Top1Shares, ThresholdSweep,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.8,
+                                           0.95));
+
+//===----------------------------------------------------------------------===//
+// Serialization round-trip over randomized profiles.
+//===----------------------------------------------------------------------===//
+
+class RoundTripSeed : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripSeed, RandomProfilesSurviveSerialization) {
+  Rng R(GetParam());
+  const uint32_t NumSites = 40;
+  const size_t NumFuncs = 5;
+
+  StrideProfile SP(NumSites);
+  for (uint32_t S = 0; S != NumSites; ++S) {
+    if (R.chancePercent(30))
+      continue; // unprofiled site
+    StrideSiteSummary &Sum = SP.site(S);
+    Sum.TotalStrides = 1 + R.below(100000);
+    Sum.NumZeroStride = R.below(Sum.TotalStrides + 1);
+    Sum.NumZeroDiff = R.below(Sum.TotalStrides + 1);
+    Sum.RefGapSum = R.below(1000000);
+    Sum.RefGapCount = R.below(1000);
+    unsigned N = 1 + static_cast<unsigned>(R.below(8));
+    for (unsigned K = 0; K != N; ++K)
+      Sum.TopStrides.push_back(
+          ValueCount{R.range(-4096, 4096), 1 + R.below(50000)});
+  }
+  EdgeProfile EP(NumFuncs);
+  for (uint32_t F = 0; F != NumFuncs; ++F) {
+    EP.setEntryCount(F, R.below(10000));
+    for (unsigned E = 0; E != 6; ++E)
+      EP.setFrequency(F, Edge{static_cast<uint32_t>(R.below(20)),
+                              static_cast<unsigned>(R.below(2))},
+                      R.below(1u << 30));
+  }
+
+  std::stringstream SS;
+  writeProfiles(EP, SP, SS);
+  EdgeProfile EP2;
+  StrideProfile SP2;
+  ASSERT_TRUE(readProfiles(SS, NumFuncs, NumSites, EP2, SP2));
+
+  for (uint32_t F = 0; F != NumFuncs; ++F) {
+    EXPECT_EQ(EP2.entryCount(F), EP.entryCount(F));
+    for (const auto &[E, Count] : EP.functionEdges(F))
+      EXPECT_EQ(EP2.frequency(F, E), Count);
+  }
+  for (uint32_t S = 0; S != NumSites; ++S) {
+    const StrideSiteSummary &A = SP.site(S);
+    const StrideSiteSummary &B = SP2.site(S);
+    EXPECT_EQ(A.TotalStrides, B.TotalStrides);
+    EXPECT_EQ(A.NumZeroStride, B.NumZeroStride);
+    EXPECT_EQ(A.NumZeroDiff, B.NumZeroDiff);
+    if (A.TotalStrides != 0) {
+      EXPECT_EQ(A.RefGapSum, B.RefGapSum);
+      EXPECT_EQ(A.RefGapCount, B.RefGapCount);
+    }
+    ASSERT_EQ(A.TopStrides.size(), B.TopStrides.size());
+    for (size_t K = 0; K != A.TopStrides.size(); ++K) {
+      EXPECT_EQ(A.TopStrides[K].Value, B.TopStrides[K].Value);
+      EXPECT_EQ(A.TopStrides[K].Count, B.TopStrides[K].Count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSeed,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           0xDEADBEEFull));

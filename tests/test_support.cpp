@@ -1,0 +1,105 @@
+//===- tests/test_support.cpp - Support library unit tests ------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sprof;
+
+TEST(Random, DeterministicForSeed) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I != 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  Rng A2(42), C2(43);
+  bool Differs = false;
+  for (int I = 0; I != 10; ++I)
+    if (A2.next() != C2.next())
+      Differs = true;
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Random, BelowStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Random, RangeIsInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 20000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Random, ChancePercentExtremes) {
+  Rng R(5);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.chancePercent(0));
+    EXPECT_TRUE(R.chancePercent(100));
+  }
+}
+
+TEST(Random, ChancePercentApproximatesProbability) {
+  Rng R(9);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    if (R.chancePercent(30))
+      ++Hits;
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.30, 0.01);
+}
+
+TEST(Stats, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentAndRatioHandleZeroDenominators) {
+  EXPECT_DOUBLE_EQ(percent(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent(25.0, 100.0), 25.0);
+  EXPECT_DOUBLE_EQ(ratio(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ratio(3.0, 6.0), 0.5);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table T("demo");
+  T.row({"name", "value"});
+  T.row({"alpha", "1.00x"});
+  T.row({"b", "10.25x"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("== demo =="), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  // Right-justified numeric column: the shorter value is padded.
+  EXPECT_NE(Out.find(" 1.00x"), std::string::npos);
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+  EXPECT_EQ(Table::fmtPercent(12.345, 1), "12.3%");
+  EXPECT_EQ(Table::fmtInt(98765), "98765");
+}
