@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/sprof_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/sprof_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/sprof_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/sprof_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sprof_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/sprof_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sprof_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sprof_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

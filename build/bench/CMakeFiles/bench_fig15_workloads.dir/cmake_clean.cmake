@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_workloads.dir/bench_fig15_workloads.cpp.o"
+  "CMakeFiles/bench_fig15_workloads.dir/bench_fig15_workloads.cpp.o.d"
+  "bench_fig15_workloads"
+  "bench_fig15_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_loadmix.dir/bench_fig17_loadmix.cpp.o"
+  "CMakeFiles/bench_fig17_loadmix.dir/bench_fig17_loadmix.cpp.o.d"
+  "bench_fig17_loadmix"
+  "bench_fig17_loadmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_loadmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

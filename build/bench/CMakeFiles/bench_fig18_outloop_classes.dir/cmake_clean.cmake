@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_outloop_classes.dir/bench_fig18_outloop_classes.cpp.o"
+  "CMakeFiles/bench_fig18_outloop_classes.dir/bench_fig18_outloop_classes.cpp.o.d"
+  "bench_fig18_outloop_classes"
+  "bench_fig18_outloop_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_outloop_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_train_vs_ref.dir/bench_fig23_train_vs_ref.cpp.o"
+  "CMakeFiles/bench_fig23_train_vs_ref.dir/bench_fig23_train_vs_ref.cpp.o.d"
+  "bench_fig23_train_vs_ref"
+  "bench_fig23_train_vs_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_train_vs_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig23_train_vs_ref.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_train_vs_ref.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_edge_sensitivity.dir/bench_fig24_edge_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig24_edge_sensitivity.dir/bench_fig24_edge_sensitivity.cpp.o.d"
+  "bench_fig24_edge_sensitivity"
+  "bench_fig24_edge_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_edge_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

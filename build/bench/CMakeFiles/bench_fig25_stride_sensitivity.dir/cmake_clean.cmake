@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_stride_sensitivity.dir/bench_fig25_stride_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig25_stride_sensitivity.dir/bench_fig25_stride_sensitivity.cpp.o.d"
+  "bench_fig25_stride_sensitivity"
+  "bench_fig25_stride_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_stride_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefetch_quality.dir/bench_prefetch_quality.cpp.o"
+  "CMakeFiles/bench_prefetch_quality.dir/bench_prefetch_quality.cpp.o.d"
+  "bench_prefetch_quality"
+  "bench_prefetch_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefetch_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_methods.dir/explore_methods.cpp.o"
+  "CMakeFiles/explore_methods.dir/explore_methods.cpp.o.d"
+  "explore_methods"
+  "explore_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

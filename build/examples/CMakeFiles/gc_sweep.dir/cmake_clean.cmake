@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_sweep.dir/gc_sweep.cpp.o"
+  "CMakeFiles/gc_sweep.dir/gc_sweep.cpp.o.d"
+  "gc_sweep"
+  "gc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

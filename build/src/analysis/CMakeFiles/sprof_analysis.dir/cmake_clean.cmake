@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_analysis.dir/CfgEdit.cpp.o"
+  "CMakeFiles/sprof_analysis.dir/CfgEdit.cpp.o.d"
+  "CMakeFiles/sprof_analysis.dir/ControlEquivalence.cpp.o"
+  "CMakeFiles/sprof_analysis.dir/ControlEquivalence.cpp.o.d"
+  "CMakeFiles/sprof_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/sprof_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/sprof_analysis.dir/EquivalentLoads.cpp.o"
+  "CMakeFiles/sprof_analysis.dir/EquivalentLoads.cpp.o.d"
+  "CMakeFiles/sprof_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/sprof_analysis.dir/LoopInfo.cpp.o.d"
+  "libsprof_analysis.a"
+  "libsprof_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_driver.dir/Experiments.cpp.o"
+  "CMakeFiles/sprof_driver.dir/Experiments.cpp.o.d"
+  "CMakeFiles/sprof_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/sprof_driver.dir/Pipeline.cpp.o.d"
+  "libsprof_driver.a"
+  "libsprof_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_feedback.dir/Classifier.cpp.o"
+  "CMakeFiles/sprof_feedback.dir/Classifier.cpp.o.d"
+  "libsprof_feedback.a"
+  "libsprof_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_instrument.dir/Instrumentation.cpp.o"
+  "CMakeFiles/sprof_instrument.dir/Instrumentation.cpp.o.d"
+  "libsprof_instrument.a"
+  "libsprof_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

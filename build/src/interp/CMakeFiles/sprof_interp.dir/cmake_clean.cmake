@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/sprof_interp.dir/Interpreter.cpp.o.d"
+  "libsprof_interp.a"
+  "libsprof_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_ir.dir/Function.cpp.o"
+  "CMakeFiles/sprof_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/sprof_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/sprof_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/sprof_ir.dir/Module.cpp.o"
+  "CMakeFiles/sprof_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/sprof_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/sprof_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/sprof_ir.dir/Parser.cpp.o"
+  "CMakeFiles/sprof_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/sprof_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/sprof_ir.dir/Verifier.cpp.o.d"
+  "libsprof_ir.a"
+  "libsprof_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

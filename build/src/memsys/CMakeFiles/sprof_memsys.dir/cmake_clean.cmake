@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_memsys.dir/Cache.cpp.o"
+  "CMakeFiles/sprof_memsys.dir/Cache.cpp.o.d"
+  "libsprof_memsys.a"
+  "libsprof_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_prefetch.dir/PrefetchInsertion.cpp.o"
+  "CMakeFiles/sprof_prefetch.dir/PrefetchInsertion.cpp.o.d"
+  "libsprof_prefetch.a"
+  "libsprof_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

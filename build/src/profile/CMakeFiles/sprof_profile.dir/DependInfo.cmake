@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/LfuValueProfiler.cpp" "src/profile/CMakeFiles/sprof_profile.dir/LfuValueProfiler.cpp.o" "gcc" "src/profile/CMakeFiles/sprof_profile.dir/LfuValueProfiler.cpp.o.d"
+  "/root/repo/src/profile/ProfileData.cpp" "src/profile/CMakeFiles/sprof_profile.dir/ProfileData.cpp.o" "gcc" "src/profile/CMakeFiles/sprof_profile.dir/ProfileData.cpp.o.d"
+  "/root/repo/src/profile/StrideProfiler.cpp" "src/profile/CMakeFiles/sprof_profile.dir/StrideProfiler.cpp.o" "gcc" "src/profile/CMakeFiles/sprof_profile.dir/StrideProfiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_profile.dir/LfuValueProfiler.cpp.o"
+  "CMakeFiles/sprof_profile.dir/LfuValueProfiler.cpp.o.d"
+  "CMakeFiles/sprof_profile.dir/ProfileData.cpp.o"
+  "CMakeFiles/sprof_profile.dir/ProfileData.cpp.o.d"
+  "CMakeFiles/sprof_profile.dir/StrideProfiler.cpp.o"
+  "CMakeFiles/sprof_profile.dir/StrideProfiler.cpp.o.d"
+  "libsprof_profile.a"
+  "libsprof_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

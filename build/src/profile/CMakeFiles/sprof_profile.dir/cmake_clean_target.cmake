@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsprof_profile.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_support.dir/Stats.cpp.o"
+  "CMakeFiles/sprof_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/sprof_support.dir/Table.cpp.o"
+  "CMakeFiles/sprof_support.dir/Table.cpp.o.d"
+  "libsprof_support.a"
+  "libsprof_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Builders.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/Builders.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/Builders.cpp.o.d"
+  "/root/repo/src/workloads/Suite.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/Suite.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/Suite.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadBzip2.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadBzip2.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadBzip2.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadCrafty.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadCrafty.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadCrafty.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadEon.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadEon.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadEon.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadGap.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadGap.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadGap.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadGcc.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadGcc.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadGcc.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadGzip.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadGzip.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadGzip.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadMcf.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadMcf.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadMcf.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadParser.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadParser.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadParser.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadPerlbmk.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadPerlbmk.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadPerlbmk.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadTwolf.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadTwolf.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadTwolf.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadVortex.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadVortex.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadVortex.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadVpr.cpp" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadVpr.cpp.o" "gcc" "src/workloads/CMakeFiles/sprof_workloads.dir/WorkloadVpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sprof_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sprof_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/sprof_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sprof_profile.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_workloads.dir/Builders.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/Builders.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/Suite.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/Suite.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadBzip2.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadBzip2.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadCrafty.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadCrafty.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadEon.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadEon.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadGap.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadGap.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadGcc.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadGcc.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadGzip.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadGzip.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadMcf.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadMcf.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadParser.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadParser.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadPerlbmk.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadPerlbmk.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadTwolf.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadTwolf.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadVortex.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadVortex.cpp.o.d"
+  "CMakeFiles/sprof_workloads.dir/WorkloadVpr.cpp.o"
+  "CMakeFiles/sprof_workloads.dir/WorkloadVpr.cpp.o.d"
+  "libsprof_workloads.a"
+  "libsprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/sprof_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/sprof_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/sprof_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_feedback.cpp" "tests/CMakeFiles/sprof_tests.dir/test_feedback.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_feedback.cpp.o.d"
+  "/root/repo/tests/test_instrument.cpp" "tests/CMakeFiles/sprof_tests.dir/test_instrument.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_instrument.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/sprof_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/sprof_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_memsys.cpp" "tests/CMakeFiles/sprof_tests.dir/test_memsys.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_memsys.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/sprof_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/sprof_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_prefetch.cpp" "tests/CMakeFiles/sprof_tests.dir/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_prefetch.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/sprof_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sprof_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_semantics.cpp" "tests/CMakeFiles/sprof_tests.dir/test_semantics.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_semantics.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/sprof_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/sprof_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/sprof_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/sprof_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/sprof_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sprof_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/sprof_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sprof_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sprof_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprof_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_edge_cases.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_edge_cases.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_feedback.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_feedback.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_instrument.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_instrument.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_interp.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_interp.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_ir.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_ir.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_memsys.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_memsys.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_parser.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_parser.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_pipeline.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_prefetch.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_prefetch.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_profile.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_profile.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_semantics.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_semantics.cpp.o.d"
+  "CMakeFiles/sprof_tests.dir/test_support.cpp.o"
+  "CMakeFiles/sprof_tests.dir/test_support.cpp.o.d"
+  "sprof_tests"
+  "sprof_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprof_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
