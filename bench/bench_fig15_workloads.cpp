@@ -23,16 +23,24 @@ int main() {
   Table T("Figure 15: SPECINT2000-shaped synthetic benchmarks");
   T.row({"program", "lang", "description", "train Minstr", "ref Minstr",
          "ref Mloads"});
+  RunStats SuiteTrain, SuiteRef;
+  SuiteTrain.Completed = SuiteRef.Completed = true;
   for (const auto &W : makeSpecIntSuite()) {
     WorkloadInfo Info = W->info();
     Pipeline P(*W);
     RunStats Train = P.runBaseline(DataSet::Train);
     RunStats Ref = P.runBaseline(DataSet::Ref);
+    SuiteTrain += Train;
+    SuiteRef += Ref;
     T.row({Info.Name, Info.Lang, Info.Description,
            Table::fmt(Train.Instructions / 1e6, 1),
            Table::fmt(Ref.Instructions / 1e6, 1),
            Table::fmt(Ref.LoadRefs / 1e6, 1)});
   }
+  T.row({"suite total", "-", "-",
+         Table::fmt(SuiteTrain.Instructions / 1e6, 1),
+         Table::fmt(SuiteRef.Instructions / 1e6, 1),
+         Table::fmt(SuiteRef.LoadRefs / 1e6, 1)});
   T.print(std::cout);
   return 0;
 }

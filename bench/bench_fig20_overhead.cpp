@@ -21,7 +21,7 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   std::vector<ProfilingMethod> Methods = paperStrideMethods();
 
   Table T("Figure 20: profiling overhead over edge profiling alone "
@@ -32,6 +32,7 @@ int main() {
   T.row(Header);
 
   std::map<ProfilingMethod, std::vector<double>> PerMethod;
+  std::vector<BenchMeasurement> Measurements;
   for (const auto &W : makeSpecIntSuite()) {
     BenchMeasurement BM = measureBenchmark(*W);
     std::vector<std::string> Row = {BM.Name};
@@ -45,6 +46,7 @@ int main() {
     }
     T.row(Row);
     std::cerr << "measured " << BM.Name << "\n";
+    Measurements.push_back(std::move(BM));
   }
 
   std::vector<std::string> AvgRow = {"average"};
@@ -57,5 +59,7 @@ int main() {
   T.row(AvgRow);
   T.row(PaperRow);
   T.print(std::cout);
+  if (auto Path = benchReportPath(Argc, Argv, "bench_fig20_overhead.json"))
+    writeBenchReport(*Path, "figure-20-overhead", Measurements);
   return 0;
 }

@@ -21,7 +21,7 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   std::vector<ProfilingMethod> Methods = paperStrideMethods();
 
   Table T("Figure 21: % of load references processed in strideProf "
@@ -32,6 +32,7 @@ int main() {
   T.row(Header);
 
   std::map<ProfilingMethod, std::vector<double>> PerMethod;
+  std::vector<BenchMeasurement> Measurements;
   for (const auto &W : makeSpecIntSuite()) {
     BenchMeasurement BM = measureBenchmark(*W);
     std::vector<std::string> Row = {BM.Name};
@@ -44,6 +45,7 @@ int main() {
     }
     T.row(Row);
     std::cerr << "measured " << BM.Name << "\n";
+    Measurements.push_back(std::move(BM));
   }
 
   std::vector<std::string> AvgRow = {"average"};
@@ -56,5 +58,7 @@ int main() {
   T.row(AvgRow);
   T.row(PaperRow);
   T.print(std::cout);
+  if (auto Path = benchReportPath(Argc, Argv, "bench_fig21_strideprof_rate.json"))
+    writeBenchReport(*Path, "figure-21-strideprof-rate", Measurements);
   return 0;
 }

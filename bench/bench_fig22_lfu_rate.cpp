@@ -20,7 +20,7 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   std::vector<ProfilingMethod> Methods = paperStrideMethods();
 
   Table T("Figure 22: % of load references processed by the LFU routine "
@@ -31,6 +31,7 @@ int main() {
   T.row(Header);
 
   std::map<ProfilingMethod, std::vector<double>> Lfu, ZeroShare;
+  std::vector<BenchMeasurement> Measurements;
   for (const auto &W : makeSpecIntSuite()) {
     BenchMeasurement BM = measureBenchmark(*W);
     std::vector<std::string> Row = {BM.Name};
@@ -46,6 +47,7 @@ int main() {
     }
     T.row(Row);
     std::cerr << "measured " << BM.Name << "\n";
+    Measurements.push_back(std::move(BM));
   }
 
   std::vector<std::string> AvgRow = {"average"};
@@ -59,5 +61,7 @@ int main() {
   T.print(std::cout);
   std::cout << "(paper: for naive-all, 100% of references reach strideProf"
             << " but only ~68% reach LFU; ~32% are zero strides)\n";
+  if (auto Path = benchReportPath(Argc, Argv, "bench_fig22_lfu_rate.json"))
+    writeBenchReport(*Path, "figure-22-lfu-rate", Measurements);
   return 0;
 }

@@ -14,10 +14,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Obs.h"
 #include "profile/LfuValueProfiler.h"
 #include "profile/StrideProfiler.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 using namespace sprof;
 
@@ -100,6 +105,24 @@ void BM_StrideProfRandomStride(benchmark::State &State) {
 }
 BENCHMARK(BM_StrideProfRandomStride);
 
+void BM_StrideProfConstantStrideTelemetry(benchmark::State &State) {
+  // Constant-stride stream with a live ObsSession attached: measures the
+  // cost of the telemetry sinks (cached-pointer counter bumps + one
+  // histogram record per call) against BM_StrideProfConstantStride.
+  ObsConfig OC;
+  OC.Enabled = true;
+  ObsSession Session(OC);
+  StrideProfilerConfig C;
+  StrideProfiler P(1, C);
+  P.attachObs(&Session);
+  uint64_t Addr = 0x100000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(P.profile(0, Addr));
+    Addr += 128;
+  }
+}
+BENCHMARK(BM_StrideProfConstantStrideTelemetry);
+
 void BM_StrideProfSampled(benchmark::State &State) {
   // With sampling, most invocations exit at the chunk/fine checks.
   StrideProfilerConfig C;
@@ -115,4 +138,23 @@ BENCHMARK(BM_StrideProfSampled);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus the SPROF_BENCH_JSON hook: when the
+// environment variable names a file, the run also emits google-benchmark's
+// machine-readable JSON there (equivalent to passing --benchmark_out=...).
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutArg, FormatArg;
+  if (const char *Path = std::getenv("SPROF_BENCH_JSON")) {
+    OutArg = std::string("--benchmark_out=") + Path;
+    FormatArg = "--benchmark_out_format=json";
+    Args.push_back(OutArg.data());
+    Args.push_back(FormatArg.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,14 +15,16 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/driver/CMakeFiles/sprof_driver.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/sprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sprof_obs_report.dir/DependInfo.cmake"
   "/root/repo/build/src/instrument/CMakeFiles/sprof_instrument.dir/DependInfo.cmake"
   "/root/repo/build/src/prefetch/CMakeFiles/sprof_prefetch.dir/DependInfo.cmake"
   "/root/repo/build/src/feedback/CMakeFiles/sprof_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sprof_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/interp/CMakeFiles/sprof_interp.dir/DependInfo.cmake"
   "/root/repo/build/src/memsys/CMakeFiles/sprof_memsys.dir/DependInfo.cmake"
   "/root/repo/build/src/profile/CMakeFiles/sprof_profile.dir/DependInfo.cmake"
-  "/root/repo/build/src/analysis/CMakeFiles/sprof_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/sprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sprof_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/sprof_support.dir/DependInfo.cmake"
   )
 

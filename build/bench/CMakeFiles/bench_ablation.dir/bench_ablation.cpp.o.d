@@ -178,7 +178,8 @@ bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/memsys/Cache.h \
- /root/repo/src/prefetch/PrefetchInsertion.h \
+ /root/repo/src/obs/Obs.h /root/repo/src/obs/Metrics.h \
+ /root/repo/src/obs/Trace.h /root/repo/src/prefetch/PrefetchInsertion.h \
  /root/repo/src/workloads/Workload.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -217,11 +218,13 @@ bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /root/repo/src/support/Random.h /root/repo/src/support/Table.h \
- /root/repo/src/workloads/Builders.h /root/repo/src/ir/IRBuilder.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/obs/Json.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/optional /root/repo/src/support/Random.h \
+ /root/repo/src/support/Table.h /root/repo/src/workloads/Builders.h \
+ /root/repo/src/ir/IRBuilder.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/iostream \

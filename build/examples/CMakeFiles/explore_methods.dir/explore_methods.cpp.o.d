@@ -178,7 +178,8 @@ examples/CMakeFiles/explore_methods.dir/explore_methods.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/memsys/Cache.h \
- /root/repo/src/prefetch/PrefetchInsertion.h \
+ /root/repo/src/obs/Obs.h /root/repo/src/obs/Metrics.h \
+ /root/repo/src/obs/Trace.h /root/repo/src/prefetch/PrefetchInsertion.h \
  /root/repo/src/workloads/Workload.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -217,7 +218,9 @@ examples/CMakeFiles/explore_methods.dir/explore_methods.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
- /root/repo/src/support/Stats.h /usr/include/c++/12/cstddef \
- /root/repo/src/support/Table.h /usr/include/c++/12/iostream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/obs/Json.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/optional /root/repo/src/support/Stats.h \
+ /usr/include/c++/12/cstddef /root/repo/src/support/Table.h \
+ /usr/include/c++/12/iostream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc

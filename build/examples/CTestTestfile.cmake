@@ -5,12 +5,16 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(example_quickstart "/root/repo/build/examples/quickstart")
-set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_profile_workflow "/root/repo/build/examples/profile_workflow")
-set_tests_properties(example_profile_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_profile_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_gc_sweep "/root/repo/build/examples/gc_sweep")
-set_tests_properties(example_gc_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_gc_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_runtime_demo "/root/repo/build/examples/runtime_demo")
-set_tests_properties(example_runtime_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_runtime_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_explore_methods "/root/repo/build/examples/explore_methods" "197.parser")
-set_tests_properties(example_explore_methods PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_explore_methods PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_telemetry_demo "/root/repo/build/examples/telemetry_demo" "telemetry_report.json" "telemetry_trace.json")
+set_tests_properties(example_telemetry_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(telemetry_schema "/root/repo/scripts/check_telemetry_schema.sh" "/root/repo/build/examples/telemetry_demo" "/root/repo/build/examples")
+set_tests_properties(telemetry_schema PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -169,7 +169,8 @@ src/feedback/CMakeFiles/sprof_feedback.dir/Classifier.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/obs/Obs.h \
+ /root/repo/src/obs/Metrics.h /root/repo/src/obs/Trace.h \
  /root/repo/src/analysis/ControlEquivalence.h \
  /root/repo/src/analysis/Dominators.h \
  /root/repo/src/analysis/EquivalentLoads.h \

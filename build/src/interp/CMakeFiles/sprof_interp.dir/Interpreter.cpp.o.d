@@ -170,4 +170,7 @@ src/interp/CMakeFiles/sprof_interp.dir/Interpreter.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/memsys/Cache.h \
  /root/repo/src/profile/StrideProfiler.h \
- /root/repo/src/profile/LfuValueProfiler.h
+ /root/repo/src/profile/LfuValueProfiler.h /root/repo/src/obs/Obs.h \
+ /root/repo/src/obs/Metrics.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/Trace.h

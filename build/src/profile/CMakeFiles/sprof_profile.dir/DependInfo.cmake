@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ir/CMakeFiles/sprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sprof_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/sprof_support.dir/DependInfo.cmake"
   )
 

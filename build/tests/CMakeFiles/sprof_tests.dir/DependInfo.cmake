@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/sprof_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_interp.cpp.o.d"
   "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/sprof_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_ir.cpp.o.d"
   "/root/repo/tests/test_memsys.cpp" "tests/CMakeFiles/sprof_tests.dir/test_memsys.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_memsys.cpp.o.d"
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/sprof_tests.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_obs.cpp.o.d"
   "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/sprof_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_parser.cpp.o.d"
   "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/sprof_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_pipeline.cpp.o.d"
   "/root/repo/tests/test_prefetch.cpp" "tests/CMakeFiles/sprof_tests.dir/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/sprof_tests.dir/test_prefetch.cpp.o.d"
@@ -29,14 +30,16 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/driver/CMakeFiles/sprof_driver.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/sprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sprof_obs_report.dir/DependInfo.cmake"
   "/root/repo/build/src/instrument/CMakeFiles/sprof_instrument.dir/DependInfo.cmake"
   "/root/repo/build/src/prefetch/CMakeFiles/sprof_prefetch.dir/DependInfo.cmake"
   "/root/repo/build/src/feedback/CMakeFiles/sprof_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sprof_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/interp/CMakeFiles/sprof_interp.dir/DependInfo.cmake"
   "/root/repo/build/src/memsys/CMakeFiles/sprof_memsys.dir/DependInfo.cmake"
   "/root/repo/build/src/profile/CMakeFiles/sprof_profile.dir/DependInfo.cmake"
-  "/root/repo/build/src/analysis/CMakeFiles/sprof_analysis.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/sprof_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/sprof_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/support/CMakeFiles/sprof_support.dir/DependInfo.cmake"
   )
 

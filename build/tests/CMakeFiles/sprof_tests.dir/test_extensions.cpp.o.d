@@ -178,7 +178,8 @@ tests/CMakeFiles/sprof_tests.dir/test_extensions.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/memsys/Cache.h \
- /root/repo/src/prefetch/PrefetchInsertion.h \
+ /root/repo/src/obs/Obs.h /root/repo/src/obs/Metrics.h \
+ /root/repo/src/obs/Trace.h /root/repo/src/prefetch/PrefetchInsertion.h \
  /root/repo/src/workloads/Workload.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Validates the machine-readable telemetry artifacts: runs the
+# telemetry_demo example and checks the run report against the
+# "sprof.run_report/1" schema plus the Chrome trace for the pipeline's
+# phase spans. Wired into ctest as `telemetry_schema`.
+#
+# Usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]
+set -euo pipefail
+
+DEMO="${1:?usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]}"
+WORKDIR="${2:-$(mktemp -d)}"
+REPORT="$WORKDIR/telemetry_report.json"
+TRACE="$WORKDIR/telemetry_trace.json"
+
+"$DEMO" "$REPORT" "$TRACE" > /dev/null
+
+python3 - "$REPORT" "$TRACE" <<'EOF'
+import json
+import sys
+
+report_path, trace_path = sys.argv[1], sys.argv[2]
+failures = []
+
+
+def check(cond, message):
+    if not cond:
+        failures.append(message)
+
+
+with open(report_path) as f:
+    report = json.load(f)
+
+check(report.get("schema") == "sprof.run_report/1",
+      f"unexpected schema: {report.get('schema')!r}")
+for key in ("workload", "config", "profile_run", "baseline_run",
+            "timed_run", "speedup", "metrics"):
+    check(key in report, f"report is missing {key!r}")
+
+profile = report.get("profile_run", {})
+check("method" in profile, "profile_run.method missing")
+sites = profile.get("stride_profile", {}).get("sites", [])
+check(len(sites) > 0, "stride_profile.sites is empty")
+for site in sites:
+    check(len(site.get("top_strides", [])) <= 4,
+          "a site reports more than 4 top strides")
+    for key in ("total_strides", "zero_strides", "zero_diffs"):
+        check(key in site, f"stride site missing {key!r}")
+
+classification = report.get("timed_run", {}).get("classification", {})
+check("thresholds" in classification, "classification.thresholds missing")
+check("class_counts" in classification, "classification.class_counts missing")
+
+metrics = report.get("metrics", {})
+for section in ("counters", "gauges", "histograms"):
+    check(section in metrics, f"metrics.{section} missing")
+check("strideprof.invocations" in metrics.get("counters", {}),
+      "counter strideprof.invocations missing")
+
+sampling = (report.get("config", {}).get("profiler", {}).get("sampling"))
+check(isinstance(sampling, dict) and "enabled" in sampling,
+      "config.profiler.sampling missing")
+
+with open(trace_path) as f:
+    trace = json.load(f)
+
+events = trace.get("traceEvents", [])
+check(len(events) > 0, "trace has no events")
+names = {event.get("name") for event in events}
+for phase in ("run-profile", "instrument", "execute", "strideprof-harvest",
+              "run-baseline", "timed-run", "classify", "prefetch-insert"):
+    check(phase in names, f"trace is missing phase span {phase!r}")
+for event in events:
+    check(event.get("ph") == "X", f"non-complete event: {event}")
+    check(isinstance(event.get("ts"), int) and isinstance(event.get("dur"), int),
+          f"event without integer ts/dur: {event}")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"telemetry schema OK ({len(sites)} stride sites, "
+      f"{len(events)} trace spans)")
+EOF

@@ -11,6 +11,9 @@
 #include "analysis/LoopInfo.h"
 #include "support/Stats.h"
 
+#include <cstring>
+#include <iostream>
+
 using namespace sprof;
 
 PopulationRow sprof::classifyLoadPopulation(const Workload &W,
@@ -110,6 +113,68 @@ sprof::measureSensitivity(const Workload &W, const PipelineConfig &Config) {
   R.EdgeRefStrideTrain = Speedup(Ref.Edges, Train.Strides);
   R.EdgeTrainStrideRef = Speedup(Train.Edges, Ref.Strides);
   return R;
+}
+
+JsonValue sprof::methodMeasurementToJson(const MethodMeasurement &M) {
+  JsonValue J = JsonValue::object();
+  J.set("speedup", M.Speedup);
+  J.set("profiled_cycles", M.ProfiledCycles);
+  J.set("stride_invocations", M.StrideInvocations);
+  J.set("stride_processed", M.StrideProcessed);
+  J.set("lfu_calls", M.LfuCalls);
+  J.set("train_load_refs", M.TrainLoadRefs);
+  JsonValue P = JsonValue::object();
+  P.set("ssst", M.Prefetches.SsstPrefetches)
+      .set("pmst", M.Prefetches.PmstPrefetches)
+      .set("wsst", M.Prefetches.WsstPrefetches)
+      .set("out_loop", M.Prefetches.OutLoopPrefetches)
+      .set("dependent", M.Prefetches.DependentPrefetches)
+      .set("instructions_added", M.Prefetches.InstructionsAdded);
+  J.set("prefetches", std::move(P));
+  return J;
+}
+
+JsonValue sprof::benchMeasurementToJson(const BenchMeasurement &BM) {
+  JsonValue J = JsonValue::object();
+  J.set("name", BM.Name);
+  J.set("baseline_ref_cycles", BM.BaselineRefCycles);
+  J.set("edge_only_train_cycles", BM.EdgeOnlyTrainCycles);
+  JsonValue Methods = JsonValue::object();
+  for (const auto &[M, MM] : BM.Methods)
+    Methods.set(profilingMethodName(M), methodMeasurementToJson(MM));
+  J.set("methods", std::move(Methods));
+  return J;
+}
+
+bool sprof::writeBenchReport(
+    const std::string &Path, const std::string &Figure,
+    const std::vector<BenchMeasurement> &Measurements) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "sprof.bench_report/1");
+  Root.set("figure", Figure);
+  JsonValue Benchmarks = JsonValue::array();
+  for (const BenchMeasurement &BM : Measurements)
+    Benchmarks.push(benchMeasurementToJson(BM));
+  Root.set("benchmarks", std::move(Benchmarks));
+  if (!writeJsonFile(Path, Root)) {
+    std::cerr << "warning: could not write bench report to " << Path
+              << "\n";
+    return false;
+  }
+  std::cerr << "bench report written to " << Path << "\n";
+  return true;
+}
+
+std::optional<std::string> sprof::benchReportPath(
+    int Argc, char **Argv, const std::string &DefaultPath) {
+  std::optional<std::string> Path = DefaultPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--no-json") == 0)
+      Path = std::nullopt;
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      Path = std::string(Argv[I] + 7);
+  }
+  return Path;
 }
 
 std::optional<double> sprof::paperFig16Speedup(const std::string &Bench) {

@@ -16,6 +16,7 @@
 #define SPROF_DRIVER_EXPERIMENTS_H
 
 #include "driver/Pipeline.h"
+#include "obs/Json.h"
 
 #include <map>
 #include <optional>
@@ -78,6 +79,24 @@ struct SensitivityMeasurement {
 
 SensitivityMeasurement measureSensitivity(const Workload &W,
                                           const PipelineConfig &Config = {});
+
+/// Machine-readable bench output. The bundles serialize under the stable
+/// schema "sprof.bench_report/1"; every figure bench can emit its raw
+/// measurements so downstream tooling (plots, regression gates) need not
+/// scrape the tables.
+JsonValue methodMeasurementToJson(const MethodMeasurement &M);
+JsonValue benchMeasurementToJson(const BenchMeasurement &BM);
+
+/// Writes {"schema", "figure", "benchmarks": [...]} to \p Path.
+/// \returns false (and prints to stderr) when the file cannot be written.
+bool writeBenchReport(const std::string &Path, const std::string &Figure,
+                      const std::vector<BenchMeasurement> &Measurements);
+
+/// Shared bench CLI convention: `--json=PATH` overrides \p DefaultPath and
+/// `--no-json` disables the report (returns nullopt). Unknown arguments
+/// are ignored.
+std::optional<std::string> benchReportPath(int Argc, char **Argv,
+                                           const std::string &DefaultPath);
 
 /// Paper-published Figure 16 speedups (edge-check) where the text gives
 /// them explicitly; nullopt elsewhere.

@@ -8,6 +8,7 @@
 #include "driver/Pipeline.h"
 
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 
 #include <cassert>
 
@@ -15,24 +16,35 @@ using namespace sprof;
 
 ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
                                       bool WithMemorySystem) const {
-  Program Prog = W.build(DS);
+  ObsSession *Obs = Session.get();
+  TraceSpan Span(Obs, "run-profile", "pipeline", /*Level=*/1);
+
+  Program Prog = [&] {
+    TraceSpan BS(Obs, "build-workload", "pipeline", /*Level=*/1);
+    return W.build(DS);
+  }();
   assert(isWellFormed(Prog.M) && "workload built a malformed module");
 
   ProfileRunResult Result;
   Result.Method = Method;
-  Result.Instr = instrumentModule(Prog.M, Method, Config.Instrument);
+  Result.Instr = instrumentModule(Prog.M, Method, Config.Instrument, Obs);
   assert(isWellFormed(Prog.M) && "instrumentation broke the module");
 
   StrideProfilerConfig PC = Config.Profiler;
   PC.Sampling.Enabled = methodUsesSampling(Method);
   StrideProfiler Profiler(Prog.M.NumLoadSites, PC);
+  Profiler.attachObs(Obs);
 
   Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
   MemoryHierarchy MH(Config.Memory);
   if (WithMemorySystem)
     I.attachMemory(&MH);
   I.attachProfiler(&Profiler);
-  Result.Stats = I.run();
+  I.attachObs(Obs);
+  {
+    TraceSpan ES(Obs, "execute", "interp", /*Level=*/1);
+    Result.Stats = I.run();
+  }
   assert(Result.Stats.Completed && "profile run did not complete");
 
   // Harvest the edge profile from the counters.
@@ -47,37 +59,80 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
                                  Counters[Result.Instr.EntryCounters[FI]]);
   }
 
-  Result.Strides = StrideProfile::fromProfiler(Profiler);
+  {
+    TraceSpan HS(Obs, "strideprof-harvest", "profile", /*Level=*/1);
+    Result.Strides = StrideProfile::fromProfiler(Profiler);
+  }
   Result.StrideInvocations = Profiler.totalInvocations();
   Result.StrideProcessed = Profiler.totalProcessed();
   Result.LfuCalls = Profiler.totalLfuCalls();
+
+  if (Obs) {
+    Obs->counter("pipeline.profile_runs")->inc();
+    Obs->counter("pipeline.profile_cycles")->inc(Result.Stats.Cycles);
+    Obs->counter("strideprof.invocations")->inc(Result.StrideInvocations);
+    Obs->counter("strideprof.processed")->inc(Result.StrideProcessed);
+    Obs->counter("strideprof.lfu_calls")->inc(Result.LfuCalls);
+  }
   return Result;
 }
 
 RunStats Pipeline::runBaseline(DataSet DS) const {
-  Program Prog = W.build(DS);
+  ObsSession *Obs = Session.get();
+  TraceSpan Span(Obs, "run-baseline", "pipeline", /*Level=*/1);
+
+  Program Prog = [&] {
+    TraceSpan BS(Obs, "build-workload", "pipeline", /*Level=*/1);
+    return W.build(DS);
+  }();
   assert(isWellFormed(Prog.M) && "workload built a malformed module");
   Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
   MemoryHierarchy MH(Config.Memory);
   I.attachMemory(&MH);
-  RunStats Stats = I.run();
+  I.attachObs(Obs);
+  RunStats Stats;
+  {
+    TraceSpan ES(Obs, "execute", "interp", /*Level=*/1);
+    Stats = I.run();
+  }
   assert(Stats.Completed && "baseline run did not complete");
+
+  if (Obs) {
+    Obs->counter("pipeline.baseline_runs")->inc();
+    Obs->counter("pipeline.baseline_cycles")->inc(Stats.Cycles);
+  }
   return Stats;
 }
 
 TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
                                        const StrideProfile &Strides) const {
-  Program Prog = W.build(DS);
+  ObsSession *Obs = Session.get();
+  TraceSpan Span(Obs, "timed-run", "pipeline", /*Level=*/1);
+
+  Program Prog = [&] {
+    TraceSpan BS(Obs, "build-workload", "pipeline", /*Level=*/1);
+    return W.build(DS);
+  }();
   TimedRunResult Result;
-  Result.Feedback = runFeedback(Prog.M, Edges, Strides, Config.Classifier);
-  Result.Prefetches = insertPrefetches(Prog.M, Result.Feedback);
+  Result.Feedback =
+      runFeedback(Prog.M, Edges, Strides, Config.Classifier, Obs);
+  Result.Prefetches = insertPrefetches(Prog.M, Result.Feedback, Obs);
   assert(isWellFormed(Prog.M) && "prefetch insertion broke the module");
 
   Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
   MemoryHierarchy MH(Config.Memory);
   I.attachMemory(&MH);
-  Result.Stats = I.run();
+  I.attachObs(Obs);
+  {
+    TraceSpan ES(Obs, "execute", "interp", /*Level=*/1);
+    Result.Stats = I.run();
+  }
   assert(Result.Stats.Completed && "prefetched run did not complete");
+
+  if (Obs) {
+    Obs->counter("pipeline.timed_runs")->inc();
+    Obs->counter("pipeline.timed_cycles")->inc(Result.Stats.Cycles);
+  }
   return Result;
 }
 

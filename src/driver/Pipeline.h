@@ -26,10 +26,13 @@
 #include "instrument/Instrumentation.h"
 #include "interp/Interpreter.h"
 #include "memsys/Cache.h"
+#include "obs/Obs.h"
 #include "prefetch/PrefetchInsertion.h"
 #include "profile/ProfileData.h"
 #include "profile/StrideProfiler.h"
 #include "workloads/Workload.h"
+
+#include <memory>
 
 namespace sprof {
 
@@ -40,6 +43,10 @@ struct PipelineConfig {
   ClassifierConfig Classifier;
   MemoryConfig Memory;
   TimingModel Timing;
+  /// Telemetry. Disabled by default; when Obs.Enabled the Pipeline owns an
+  /// ObsSession, traces every phase, and threads metric sinks through all
+  /// components. Profiles and cycle accounting are identical either way.
+  ObsConfig Obs;
 };
 
 /// Results of one instrumented (profile-generation) run.
@@ -68,7 +75,10 @@ struct TimedRunResult {
 class Pipeline {
 public:
   Pipeline(const Workload &W, PipelineConfig Config = {})
-      : W(W), Config(std::move(Config)) {}
+      : W(W), Config(std::move(Config)) {
+    if (this->Config.Obs.Enabled)
+      Session = std::make_unique<ObsSession>(this->Config.Obs);
+  }
 
   /// Steps 1-2: instrument for \p Method and run on \p DS.
   /// \p WithMemorySystem selects whether the cache hierarchy is simulated;
@@ -93,9 +103,14 @@ public:
   const PipelineConfig &config() const { return Config; }
   const Workload &workload() const { return W; }
 
+  /// The telemetry session, or nullptr when Config.Obs.Enabled is false.
+  /// Callers use it to write trace/report artifacts after the runs.
+  ObsSession *obs() const { return Session.get(); }
+
 private:
   const Workload &W;
   PipelineConfig Config;
+  std::unique_ptr<ObsSession> Session;
 };
 
 } // namespace sprof

@@ -7,6 +7,9 @@
 
 #include "feedback/Classifier.h"
 
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+
 #include "analysis/ControlEquivalence.h"
 #include "analysis/Dominators.h"
 #include "analysis/EquivalentLoads.h"
@@ -83,7 +86,10 @@ unsigned roundDownPow2(unsigned K) {
 
 FeedbackResult sprof::runFeedback(const Module &M, const EdgeProfile &EP,
                                   const StrideProfile &SP,
-                                  const ClassifierConfig &Config) {
+                                  const ClassifierConfig &Config,
+                                  ObsSession *Obs) {
+  TraceSpan Span(Obs, "classify", "feedback", /*Level=*/1);
+  uint64_t FreqFiltered = 0, TripFiltered = 0, GapFiltered = 0;
   FeedbackResult Result;
   Result.SiteClass.assign(M.NumLoadSites, StrideClass::None);
   Result.SiteTripCount.assign(M.NumLoadSites, 0.0);
@@ -149,11 +155,15 @@ FeedbackResult sprof::runFeedback(const Module &M, const EdgeProfile &EP,
       // Figure 5 filters: load frequency and loop trip count.
       const LoadMember &Rep = Set.representative();
       uint64_t LoadFreq = EP.blockFrequency(F, FI, Rep.Block);
-      if (LoadFreq <= Config.FrequencyThreshold)
+      if (LoadFreq <= Config.FrequencyThreshold) {
+        ++FreqFiltered;
         continue;
+      }
       if (InLoop &&
-          Trip <= static_cast<double>(Config.TripCountThreshold))
+          Trip <= static_cast<double>(Config.TripCountThreshold)) {
+        ++TripFiltered;
         continue;
+      }
 
       // Out-loop loads: only SSST is prefetched, with a fixed distance
       // (Section 2.3).
@@ -168,8 +178,10 @@ FeedbackResult sprof::runFeedback(const Module &M, const EdgeProfile &EP,
       // load revisited only after many other references is likely evicted
       // before use.
       if (Config.EnableUseDistanceFilter && Best->RefGapCount > 0 &&
-          Best->avgRefGap() > Config.MaxAvgRefGap)
+          Best->avgRefGap() > Config.MaxAvgRefGap) {
+        ++GapFiltered;
         continue;
+      }
 
       // Prefetch distance K = min(trip_count / TT, C), at least 1.
       unsigned K;
@@ -235,6 +247,27 @@ FeedbackResult sprof::runFeedback(const Module &M, const EdgeProfile &EP,
           break; // the pointer register is redefined
       }
     }
+  }
+
+  if (Obs) {
+    uint64_t NumClass[4] = {0, 0, 0, 0};
+    for (StrideClass C : Result.SiteClass)
+      ++NumClass[static_cast<unsigned>(C)];
+    Obs->counter("classify.sites")->inc(Result.SiteClass.size());
+    Obs->counter("classify.none")
+        ->inc(NumClass[static_cast<unsigned>(StrideClass::None)]);
+    Obs->counter("classify.ssst")
+        ->inc(NumClass[static_cast<unsigned>(StrideClass::SSST)]);
+    Obs->counter("classify.pmst")
+        ->inc(NumClass[static_cast<unsigned>(StrideClass::PMST)]);
+    Obs->counter("classify.wsst")
+        ->inc(NumClass[static_cast<unsigned>(StrideClass::WSST)]);
+    Obs->counter("classify.freq_filtered")->inc(FreqFiltered);
+    Obs->counter("classify.trip_filtered")->inc(TripFiltered);
+    Obs->counter("classify.gap_filtered")->inc(GapFiltered);
+    Obs->counter("classify.decisions")->inc(Result.Decisions.size());
+    Obs->counter("classify.dependent_decisions")
+        ->inc(Result.DependentDecisions.size());
   }
   return Result;
 }

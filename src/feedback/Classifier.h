@@ -38,6 +38,8 @@
 
 namespace sprof {
 
+class ObsSession;
+
 /// Stride-pattern classes of Section 2.2.
 enum class StrideClass : uint8_t { None, SSST, PMST, WSST };
 
@@ -124,10 +126,12 @@ StrideClass classifyStrideSummary(const StrideSiteSummary &S,
 
 /// Runs the full Figure-5 feedback pass over \p M. \p M must be the
 /// original (un-instrumented, un-prefetched) module the profiles were
-/// collected for.
+/// collected for. \p Obs (optional) receives a "classify" trace span plus
+/// classification and filter counters.
 FeedbackResult runFeedback(const Module &M, const EdgeProfile &EP,
                            const StrideProfile &SP,
-                           const ClassifierConfig &Config = {});
+                           const ClassifierConfig &Config = {},
+                           ObsSession *Obs = nullptr);
 
 /// Trip count of a loop from edge frequencies (Figure 10): header frequency
 /// divided by the total frequency entering the loop from outside.

@@ -7,6 +7,9 @@
 
 #include "instrument/Instrumentation.h"
 
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+
 #include "analysis/CfgEdit.h"
 #include "analysis/ControlEquivalence.h"
 #include "analysis/Dominators.h"
@@ -524,7 +527,9 @@ private:
 
 InstrumentationResult sprof::instrumentModule(Module &M,
                                               ProfilingMethod Method,
-                                              const InstrumentConfig &Config) {
+                                              const InstrumentConfig &Config,
+                                              ObsSession *Obs) {
+  TraceSpan Span(Obs, "instrument", "instrument", /*Level=*/1);
   InstrumentationResult Result;
   Result.Method = Method;
   Result.EdgeCounters.resize(M.Functions.size());
@@ -536,6 +541,22 @@ InstrumentationResult sprof::instrumentModule(Module &M,
        FI != FE; ++FI) {
     FunctionInstrumenter FIr(M, FI, Base, Config, Result);
     FIr.run();
+  }
+
+  if (Obs) {
+    uint64_t NumEdge = 0, NumBlock = 0, NumEntry = 0;
+    for (const auto &Map : Result.EdgeCounters)
+      NumEdge += Map.size();
+    for (const auto &Map : Result.BlockCounters)
+      NumBlock += Map.size();
+    for (uint32_t C : Result.EntryCounters)
+      NumEntry += C != NoId;
+    Obs->counter("instrument.modules")->inc();
+    Obs->counter("instrument.edge_counters")->inc(NumEdge);
+    Obs->counter("instrument.block_counters")->inc(NumBlock);
+    Obs->counter("instrument.entry_counters")->inc(NumEntry);
+    Obs->counter("instrument.profiled_sites")
+        ->inc(Result.ProfiledSites.size());
   }
   return Result;
 }

@@ -45,6 +45,8 @@
 
 namespace sprof {
 
+class ObsSession;
+
 /// The profiling configurations evaluated in the paper (Section 4).
 enum class ProfilingMethod {
   EdgeOnly,
@@ -104,9 +106,12 @@ struct InstrumentationResult {
 };
 
 /// Instruments \p M in place for \p Method. \p M must be an un-instrumented
-/// module (no profiling pseudo-ops); call on a fresh copy.
+/// module (no profiling pseudo-ops); call on a fresh copy. \p Obs
+/// (optional) receives an "instrument" trace span and counter-insertion
+/// metrics.
 InstrumentationResult instrumentModule(Module &M, ProfilingMethod Method,
-                                       const InstrumentConfig &Config = {});
+                                       const InstrumentConfig &Config = {},
+                                       ObsSession *Obs = nullptr);
 
 } // namespace sprof
 

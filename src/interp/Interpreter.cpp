@@ -7,6 +7,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace sprof;
@@ -33,6 +35,15 @@ Interpreter::Interpreter(const Module &M, SimMemory Memory,
 RunStats Interpreter::run(uint64_t MaxInstructions) {
   RunStats Stats;
   Stats.SiteCounts.assign(M.NumLoadSites, 0);
+
+  // Local telemetry tallies (flushed to the ObsSession at run exit; the
+  // per-instruction cost is a register increment whether or not telemetry
+  // is attached, never a registry lookup).
+  struct {
+    uint64_t Stores = 0, Prefetches = 0, SpecLoads = 0, Calls = 0;
+    uint64_t Branches = 0, PredSquashed = 0, CounterOps = 0;
+    uint64_t StrideTraps = 0, MaxDepth = 0;
+  } Tally;
 
   std::vector<Frame> Stack;
   {
@@ -75,6 +86,7 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
     // still consumes an issue slot.
     if (I.Pred != NoReg && F.Regs[I.Pred] == 0) {
       Charge(Timing.PredicatedOffCost, I.IsInstrumentation);
+      ++Tally.PredSquashed;
       ++F.InstIndex;
       continue;
     }
@@ -168,6 +180,7 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
       uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
       Memory.write64(Addr, Val(I.B));
       Charge(Timing.StoreCost, I.IsInstrumentation);
+      ++Tally.Stores;
       break;
     }
     case Opcode::Prefetch: {
@@ -175,6 +188,7 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
       if (Mem)
         Mem->prefetch(Addr, Now);
       Charge(Timing.PrefetchCost, I.IsInstrumentation);
+      ++Tally.Prefetches;
       break;
     }
     case Opcode::SpecLoad: {
@@ -186,16 +200,19 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
       if (Mem)
         Mem->prefetch(Addr, Now);
       Charge(Timing.LoadBaseCost, I.IsInstrumentation);
+      ++Tally.SpecLoads;
       break;
     }
 
     case Opcode::Jmp:
       Charge(Timing.DefaultCost, I.IsInstrumentation);
+      ++Tally.Branches;
       F.Block = I.Target0;
       F.InstIndex = 0;
       continue;
     case Opcode::Br:
       Charge(Timing.DefaultCost, I.IsInstrumentation);
+      ++Tally.Branches;
       F.Block = Val(I.A) != 0 ? I.Target0 : I.Target1;
       F.InstIndex = 0;
       continue;
@@ -212,6 +229,9 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
         Callee.Regs[A] = Val(I.Args[A]);
       ++F.InstIndex; // resume past the call on return
       Stack.push_back(std::move(Callee));
+      ++Tally.Calls;
+      if (Stack.size() > Tally.MaxDepth)
+        Tally.MaxDepth = Stack.size();
       continue;
     }
     case Opcode::Ret: {
@@ -237,14 +257,17 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
     case Opcode::ProfCounterInc:
       ++Counters[I.Imm];
       Charge(Timing.CounterIncCost, true);
+      ++Tally.CounterOps;
       break;
     case Opcode::ProfCounterRead:
       F.Regs[I.Dst] = static_cast<int64_t>(Counters[I.Imm]);
       Charge(Timing.CounterReadCost, true);
+      ++Tally.CounterOps;
       break;
     case Opcode::ProfCounterAddTo:
       F.Regs[I.Dst] = Val(I.A) + static_cast<int64_t>(Counters[I.Imm]);
       Charge(Timing.CounterAddToCost, true);
+      ++Tally.CounterOps;
       break;
     case Opcode::ProfStride: {
       uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
@@ -253,6 +276,7 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
         Cost = Profiler->profile(I.SiteId, Addr, Stats.LoadRefs + 1);
       Now += Cost;
       Stats.RuntimeCycles += Cost;
+      ++Tally.StrideTraps;
       break;
     }
     }
@@ -265,5 +289,47 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
   Stats.Cycles = Now;
   if (Mem)
     Stats.Mem = Mem->stats();
+
+  if (Obs) {
+    Obs->counter("interp.runs")->inc();
+    Obs->counter("interp.instructions")->inc(Stats.Instructions);
+    Obs->counter("interp.loads")->inc(Stats.LoadRefs);
+    Obs->counter("interp.stores")->inc(Tally.Stores);
+    Obs->counter("interp.prefetches")->inc(Tally.Prefetches);
+    Obs->counter("interp.spec_loads")->inc(Tally.SpecLoads);
+    Obs->counter("interp.calls")->inc(Tally.Calls);
+    Obs->counter("interp.branches")->inc(Tally.Branches);
+    Obs->counter("interp.predicated_off")->inc(Tally.PredSquashed);
+    Obs->counter("interp.counter_ops")->inc(Tally.CounterOps);
+    Obs->counter("interp.stride_traps")->inc(Tally.StrideTraps);
+    Obs->counter("interp.cycles")->inc(Stats.Cycles);
+    Obs->counter("interp.mem_stall_cycles")->inc(Stats.MemStallCycles);
+    Obs->counter("interp.instrumentation_cycles")
+        ->inc(Stats.InstrumentationCycles);
+    Obs->counter("interp.runtime_cycles")->inc(Stats.RuntimeCycles);
+    Obs->gauge("interp.max_stack_depth")
+        ->set(static_cast<double>(Tally.MaxDepth));
+    Obs->histogram("interp.run_cycles",
+                   Histogram::exponentialBounds(1024, 24))
+        ->record(Stats.Cycles);
+  }
   return Stats;
+}
+
+RunStats &RunStats::operator+=(const RunStats &Other) {
+  Completed = Completed && Other.Completed;
+  Instructions += Other.Instructions;
+  Cycles += Other.Cycles;
+  BaseCycles += Other.BaseCycles;
+  MemStallCycles += Other.MemStallCycles;
+  InstrumentationCycles += Other.InstrumentationCycles;
+  RuntimeCycles += Other.RuntimeCycles;
+  LoadRefs += Other.LoadRefs;
+  if (SiteCounts.size() < Other.SiteCounts.size())
+    SiteCounts.resize(Other.SiteCounts.size(), 0);
+  for (size_t I = 0; I != Other.SiteCounts.size(); ++I)
+    SiteCounts[I] += Other.SiteCounts[I];
+  Mem += Other.Mem;
+  ExitValue = Other.ExitValue;
+  return *this;
 }

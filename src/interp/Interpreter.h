@@ -27,6 +27,8 @@
 
 namespace sprof {
 
+class ObsSession;
+
 /// Per-opcode-class cycle costs of the in-order pipeline.
 struct TimingModel {
   uint32_t DefaultCost = 1;     ///< ALU, moves, compares, branches
@@ -66,6 +68,12 @@ struct RunStats {
 
   /// Return value of the entry function (0 when it Halts).
   int64_t ExitValue = 0;
+
+  /// Accumulates another run into this one for multi-dataset / multi-run
+  /// aggregation (suite totals, bench reports). Counts and cycle buckets
+  /// sum; SiteCounts widens to the larger vector and sums element-wise;
+  /// Completed ANDs; ExitValue keeps the last accumulated run's value.
+  RunStats &operator+=(const RunStats &Other);
 };
 
 /// Interprets one module over one memory image. Attach a MemoryHierarchy
@@ -78,6 +86,11 @@ public:
 
   void attachMemory(MemoryHierarchy *MH) { Mem = MH; }
   void attachProfiler(StrideProfiler *SP) { Profiler = SP; }
+  /// Telemetry: when attached, run() flushes per-run opcode-mix counters
+  /// and cycle histograms into the session's registry at exit. The
+  /// interpreter loop itself only maintains a handful of local tallies, so
+  /// the hot path is unchanged when detached.
+  void attachObs(ObsSession *Session) { Obs = Session; }
 
   /// Runs the entry function to completion (or until \p MaxInstructions).
   RunStats run(uint64_t MaxInstructions = 4ull << 30);
@@ -91,6 +104,7 @@ private:
   TimingModel Timing;
   MemoryHierarchy *Mem = nullptr;
   StrideProfiler *Profiler = nullptr;
+  ObsSession *Obs = nullptr;
   std::vector<uint64_t> Counters;
 };
 

@@ -67,6 +67,25 @@ struct MemoryStats {
   uint64_t PrefetchesUnused = 0;
   /// Total stall cycles incurred by demand accesses.
   uint64_t StallCycles = 0;
+
+  /// Accumulates another run's memory statistics level-wise; Levels widens
+  /// to the deeper hierarchy when the two runs were configured differently.
+  MemoryStats &operator+=(const MemoryStats &Other) {
+    if (Levels.size() < Other.Levels.size())
+      Levels.resize(Other.Levels.size());
+    for (size_t I = 0; I != Other.Levels.size(); ++I) {
+      Levels[I].Hits += Other.Levels[I].Hits;
+      Levels[I].Misses += Other.Levels[I].Misses;
+    }
+    DemandAccesses += Other.DemandAccesses;
+    PrefetchesIssued += Other.PrefetchesIssued;
+    PrefetchesRedundant += Other.PrefetchesRedundant;
+    LatePrefetchHits += Other.LatePrefetchHits;
+    PrefetchesUseful += Other.PrefetchesUseful;
+    PrefetchesUnused += Other.PrefetchesUnused;
+    StallCycles += Other.StallCycles;
+    return *this;
+  }
 };
 
 /// One set-associative, LRU, timing-aware cache level.

@@ -1,0 +1,70 @@
+//===- obs/Metrics.cpp - Low-overhead metrics registry ---------------------===//
+//
+// Part of the StrideProf project (see Metrics.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sprof;
+
+Histogram::Histogram(std::vector<uint64_t> UpperBounds)
+    : UpperBounds(std::move(UpperBounds)) {
+  assert(std::is_sorted(this->UpperBounds.begin(),
+                        this->UpperBounds.end()) &&
+         "histogram bounds must be ascending");
+  Buckets.assign(this->UpperBounds.size() + 1, 0);
+}
+
+void Histogram::record(uint64_t Sample) {
+  size_t Idx = static_cast<size_t>(
+      std::lower_bound(UpperBounds.begin(), UpperBounds.end(), Sample) -
+      UpperBounds.begin());
+  ++Buckets[Idx];
+  ++Count;
+  Sum += Sample;
+  Min = std::min(Min, Sample);
+  Max = std::max(Max, Sample);
+}
+
+std::vector<uint64_t> Histogram::exponentialBounds(uint64_t Start,
+                                                   unsigned NumBounds) {
+  std::vector<uint64_t> Bounds;
+  Bounds.reserve(NumBounds);
+  uint64_t B = Start;
+  for (unsigned I = 0; I != NumBounds; ++I) {
+    Bounds.push_back(B);
+    B *= 2;
+  }
+  return Bounds;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), Counter()).first;
+  return It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), Gauge()).first;
+  return It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name,
+                                      std::vector<uint64_t> UpperBounds) {
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name),
+                      UpperBounds.empty()
+                          ? Histogram()
+                          : Histogram(std::move(UpperBounds)))
+             .first;
+  return It->second;
+}

@@ -1,0 +1,120 @@
+//===- obs/Metrics.h - Low-overhead metrics registry ------------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: a registry of named
+/// counters, gauges, and fixed-bucket histograms that the pipeline, the
+/// interpreter, and the profiling runtime report through.
+///
+/// The design keeps the *disabled* path nearly free on hot code: producers
+/// resolve a metric once into a raw pointer (nullptr when telemetry is off)
+/// and the per-event cost is a single predictable null test. The metric
+/// objects themselves are header-inline single-word updates. Registry
+/// storage is node-based (std::map) so resolved pointers stay valid for the
+/// registry's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_OBS_METRICS_H
+#define SPROF_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sprof {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { Val += N; }
+  uint64_t value() const { return Val; }
+
+private:
+  uint64_t Val = 0;
+};
+
+/// Last-write-wins scalar (configuration values, run-level ratios).
+class Gauge {
+public:
+  void set(double V) { Val = V; }
+  double value() const { return Val; }
+
+private:
+  double Val = 0.0;
+};
+
+/// Fixed-bucket histogram over unsigned samples. Bucket I counts samples
+/// <= UpperBounds[I] (and greater than the previous bound); one overflow
+/// bucket catches the rest. Also tracks count/sum/min/max exactly.
+class Histogram {
+public:
+  /// Default bounds: powers of two 1, 2, 4, ..., 2^19.
+  Histogram() : Histogram(exponentialBounds(1, 20)) {}
+  explicit Histogram(std::vector<uint64_t> UpperBounds);
+
+  void record(uint64_t Sample);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? Min : 0; }
+  uint64_t max() const { return Max; }
+  double average() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
+                 : 0.0;
+  }
+  const std::vector<uint64_t> &bounds() const { return UpperBounds; }
+  /// Size bounds().size() + 1; the last entry is the overflow bucket.
+  const std::vector<uint64_t> &bucketCounts() const { return Buckets; }
+
+  /// Bounds Start, Start*2, ..., Start*2^(NumBounds-1).
+  static std::vector<uint64_t> exponentialBounds(uint64_t Start,
+                                                 unsigned NumBounds);
+
+private:
+  std::vector<uint64_t> UpperBounds;
+  std::vector<uint64_t> Buckets;
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = UINT64_MAX;
+  uint64_t Max = 0;
+};
+
+/// Owns all metrics of one observability session, keyed by dotted names
+/// ("strideprof.invocations"). Lookup creates on first use; repeated
+/// lookups return the same object, whose address is stable.
+class MetricsRegistry {
+public:
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  /// \p UpperBounds applies only when the histogram is created by this
+  /// call; empty means the default exponential bounds.
+  Histogram &histogram(std::string_view Name,
+                       std::vector<uint64_t> UpperBounds = {});
+
+  const std::map<std::string, Counter, std::less<>> &counters() const {
+    return Counters;
+  }
+  const std::map<std::string, Gauge, std::less<>> &gauges() const {
+    return Gauges;
+  }
+  const std::map<std::string, Histogram, std::less<>> &histograms() const {
+    return Histograms;
+  }
+
+private:
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Gauge, std::less<>> Gauges;
+  std::map<std::string, Histogram, std::less<>> Histograms;
+};
+
+} // namespace sprof
+
+#endif // SPROF_OBS_METRICS_H

@@ -1,0 +1,104 @@
+//===- obs/Obs.h - Observability configuration and session ------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the observability layer together: ObsConfig is the knob block the
+/// pipeline configuration embeds, ObsSession owns one run's metrics
+/// registry and trace collector. Producers receive an `ObsSession *` that
+/// is nullptr when telemetry is disabled, so the disabled path costs one
+/// pointer test at instrumentation-attach time and nothing per event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_OBS_OBS_H
+#define SPROF_OBS_OBS_H
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <string>
+
+namespace sprof {
+
+/// Everything configurable about telemetry collection.
+struct ObsConfig {
+  /// Master switch; off reproduces the seed pipeline bit for bit.
+  bool Enabled = false;
+
+  /// Collect counters/gauges/histograms.
+  bool CollectMetrics = true;
+
+  /// Collect phase trace spans.
+  bool CollectTrace = true;
+
+  /// Trace verbosity: 0 = nothing, 1 = pipeline phases (instrument,
+  /// execute, classify, prefetch-insert, ...), 2 = fine-grained spans
+  /// inside the phases.
+  unsigned TraceDetail = 1;
+
+  /// When non-empty, ObsSession::writeArtifacts dumps the Chrome trace
+  /// here.
+  std::string TraceOutputPath;
+
+  /// When non-empty, report writers (examples, benches) put the JSON run
+  /// report here.
+  std::string ReportOutputPath;
+};
+
+/// One telemetry session: typically one per Pipeline, spanning all the runs
+/// that pipeline drives.
+class ObsSession {
+public:
+  explicit ObsSession(ObsConfig Config) : Config(std::move(Config)) {}
+
+  const ObsConfig &config() const { return Config; }
+
+  MetricsRegistry &registry() { return Registry; }
+  const MetricsRegistry &registry() const { return Registry; }
+  TraceCollector &trace() { return Trace; }
+  const TraceCollector &trace() const { return Trace; }
+
+  /// Metric handles for producers: nullptr when metric collection is off,
+  /// so hot paths can gate on a single cached pointer.
+  Counter *counter(std::string_view Name) {
+    return Config.CollectMetrics ? &Registry.counter(Name) : nullptr;
+  }
+  Gauge *gauge(std::string_view Name) {
+    return Config.CollectMetrics ? &Registry.gauge(Name) : nullptr;
+  }
+  Histogram *histogram(std::string_view Name,
+                       std::vector<uint64_t> UpperBounds = {}) {
+    return Config.CollectMetrics
+               ? &Registry.histogram(Name, std::move(UpperBounds))
+               : nullptr;
+  }
+
+  /// The trace collector if spans at \p Level should be recorded, else
+  /// nullptr (used by TraceSpan's session constructor).
+  TraceCollector *traceAtLevel(unsigned Level) {
+    return Config.CollectTrace && Level <= Config.TraceDetail ? &Trace
+                                                              : nullptr;
+  }
+
+  /// Writes the Chrome trace to Config.TraceOutputPath when set. Returns
+  /// false only on an I/O failure.
+  bool writeArtifacts() const {
+    if (Config.TraceOutputPath.empty())
+      return true;
+    return Trace.writeChromeTraceFile(Config.TraceOutputPath);
+  }
+
+private:
+  ObsConfig Config;
+  MetricsRegistry Registry;
+  TraceCollector Trace;
+};
+
+} // namespace sprof
+
+#endif // SPROF_OBS_OBS_H

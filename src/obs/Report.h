@@ -1,0 +1,88 @@
+//===- obs/Report.h - Machine-readable run reports --------------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes pipeline results as stable-schema JSON so experiments leave a
+/// machine-readable trail next to the pretty-printed tables: edge-profile
+/// summaries, per-load-site stride top-N tables, zero/zero-stride-diff
+/// counts, classification verdicts with the configured thresholds, sampling
+/// configuration, and every metric in an ObsSession's registry.
+///
+/// The top-level document is versioned ("sprof.run_report/1"); consumers
+/// (scripts/check_telemetry_schema.sh, tests/test_obs.cpp) validate against
+/// that schema string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_OBS_REPORT_H
+#define SPROF_OBS_REPORT_H
+
+#include "driver/Pipeline.h"
+#include "obs/Json.h"
+#include "obs/Obs.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace sprof {
+
+/// Schema identifier stamped into every run report.
+inline constexpr const char *RunReportSchemaV1 = "sprof.run_report/1";
+
+/// Shaping knobs for the per-site sections.
+struct ReportOptions {
+  /// Top strides emitted per load site (the paper's classifier reads 4).
+  unsigned TopStridesPerSite = 4;
+  /// Skip sites with no observed strides (never-profiled or never-hit).
+  bool OnlyActiveSites = true;
+};
+
+// -- Section builders (each returns one JSON object) ----------------------
+JsonValue runStatsToJson(const RunStats &Stats);
+JsonValue memoryStatsToJson(const MemoryStats &Stats);
+JsonValue edgeProfileToJson(const EdgeProfile &EP);
+JsonValue strideProfileToJson(const StrideProfile &SP,
+                              const ReportOptions &Options = {});
+JsonValue prefetchStatsToJson(const PrefetchInsertionStats &Stats);
+/// Classification verdicts per site plus the thresholds they were judged
+/// against; \p SP supplies the ratios each verdict fired on.
+JsonValue feedbackToJson(const FeedbackResult &FB, const StrideProfile &SP,
+                         const ClassifierConfig &Config);
+JsonValue pipelineConfigToJson(const PipelineConfig &Config);
+JsonValue metricsToJson(const MetricsRegistry &Registry);
+
+/// The profile-generation half: method, run accounting, both profiles, and
+/// the strideProf call statistics (Figures 20-22 raw data).
+JsonValue profileRunToJson(const ProfileRunResult &R,
+                           const ReportOptions &Options = {});
+
+/// The timed half: run accounting, inserted prefetches, and the feedback
+/// verdicts. \p SP must be the stride profile the feedback pass consumed.
+JsonValue timedRunToJson(const TimedRunResult &R, const StrideProfile &SP,
+                         const ClassifierConfig &Config,
+                         const ReportOptions &Options = {});
+
+/// Assembles the full versioned report. Null sections are omitted, so the
+/// same schema serves profile-only and end-to-end runs.
+JsonValue buildRunReport(const std::string &WorkloadName,
+                         const PipelineConfig &Config,
+                         const ProfileRunResult *Profile,
+                         const TimedRunResult *Timed,
+                         const RunStats *Baseline, const ObsSession *Obs,
+                         const ReportOptions &Options = {});
+
+/// buildRunReport + pretty-printed write.
+void writeRunReport(std::ostream &OS, const std::string &WorkloadName,
+                    const PipelineConfig &Config,
+                    const ProfileRunResult *Profile,
+                    const TimedRunResult *Timed, const RunStats *Baseline,
+                    const ObsSession *Obs, const ReportOptions &Options = {});
+
+} // namespace sprof
+
+#endif // SPROF_OBS_REPORT_H

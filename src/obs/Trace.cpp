@@ -1,0 +1,93 @@
+//===- obs/Trace.cpp - Scoped phase tracing (Chrome trace events) ----------===//
+//
+// Part of the StrideProf project (see Trace.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+#include "obs/Obs.h"
+
+#include <cassert>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+using namespace sprof;
+
+static uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceCollector::TraceCollector() : EpochNs(steadyNowNs()) {}
+
+uint64_t TraceCollector::nowUs() const {
+  return (steadyNowNs() - EpochNs) / 1000;
+}
+
+size_t TraceCollector::beginSpan(std::string_view Name,
+                                 std::string_view Category) {
+  TraceEvent E;
+  E.Name = std::string(Name);
+  E.Category = std::string(Category);
+  E.StartUs = nowUs();
+  E.Depth = Depth++;
+  Events.push_back(std::move(E));
+  return Events.size() - 1;
+}
+
+void TraceCollector::endSpan(size_t Id) {
+  assert(Id < Events.size() && "bad span id");
+  assert(Events[Id].DurationUs == UINT64_MAX && "span ended twice");
+  assert(Depth > 0 && "unbalanced endSpan");
+  Events[Id].DurationUs = nowUs() - Events[Id].StartUs;
+  --Depth;
+}
+
+bool TraceCollector::hasSpan(std::string_view Name) const {
+  for (const TraceEvent &E : Events)
+    if (E.DurationUs != UINT64_MAX && E.Name == Name)
+      return true;
+  return false;
+}
+
+void TraceCollector::writeChromeTrace(std::ostream &OS) const {
+  JsonValue Root = JsonValue::object();
+  JsonValue EventsJson = JsonValue::array();
+  for (const TraceEvent &E : Events) {
+    if (E.DurationUs == UINT64_MAX)
+      continue; // never ended; an aborted run
+    JsonValue J = JsonValue::object();
+    J.set("name", E.Name);
+    J.set("cat", E.Category.empty() ? std::string("sprof") : E.Category);
+    J.set("ph", "X");
+    J.set("ts", E.StartUs);
+    J.set("dur", E.DurationUs);
+    J.set("pid", 1);
+    J.set("tid", 1);
+    EventsJson.push(std::move(J));
+  }
+  Root.set("traceEvents", std::move(EventsJson));
+  Root.set("displayTimeUnit", "ms");
+  Root.write(OS);
+  OS << '\n';
+}
+
+bool TraceCollector::writeChromeTraceFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeChromeTrace(OS);
+  return static_cast<bool>(OS);
+}
+
+TraceSpan::TraceSpan(ObsSession *Session, std::string_view Name,
+                     std::string_view Category, unsigned Level) {
+  if (TraceCollector *Collector =
+          Session ? Session->traceAtLevel(Level) : nullptr)
+    open(*Collector, Name, Category);
+}

@@ -1,0 +1,109 @@
+//===- obs/Trace.h - Scoped phase tracing (Chrome trace events) -*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer. A TraceCollector records
+/// nested begin/end phase events (instrument, execute, classify,
+/// prefetch-insert, ...) with wall-clock microsecond timestamps; TraceSpan
+/// is the RAII producer. The collector can serialize everything as Chrome
+/// `trace_event` JSON ("X" complete events), which chrome://tracing and
+/// https://ui.perfetto.dev open directly.
+///
+/// The collector is single-threaded, like the pipeline itself; depth is
+/// tracked with a simple begin/end counter so tests can assert nesting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_OBS_TRACE_H
+#define SPROF_OBS_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sprof {
+
+class ObsSession;
+
+/// One recorded span. DurationUs stays UINT64_MAX until the span ends.
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  uint64_t StartUs = 0;
+  uint64_t DurationUs = UINT64_MAX;
+  uint32_t Depth = 0; ///< nesting depth when the span began (0 = root)
+};
+
+/// Records spans against a steady clock anchored at construction.
+class TraceCollector {
+public:
+  TraceCollector();
+
+  /// Microseconds since the collector was created.
+  uint64_t nowUs() const;
+
+  /// Opens a span; the returned id is passed to endSpan. Spans must end in
+  /// LIFO order (which the RAII TraceSpan guarantees).
+  size_t beginSpan(std::string_view Name, std::string_view Category);
+  void endSpan(size_t Id);
+
+  uint32_t currentDepth() const { return Depth; }
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// True if some completed span has \p Name.
+  bool hasSpan(std::string_view Name) const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  /// Unfinished spans are skipped.
+  void writeChromeTrace(std::ostream &OS) const;
+  bool writeChromeTraceFile(const std::string &Path) const;
+
+private:
+  std::vector<TraceEvent> Events;
+  uint32_t Depth = 0;
+  uint64_t EpochNs = 0;
+};
+
+/// RAII span. Constructed against a collector (always active) or against an
+/// ObsSession (active only when the session exists, trace collection is on,
+/// and \p Level does not exceed the configured trace detail).
+class TraceSpan {
+public:
+  TraceSpan(TraceCollector *Collector, std::string_view Name,
+            std::string_view Category = "") {
+    if (Collector)
+      open(*Collector, Name, Category);
+  }
+  TraceSpan(ObsSession *Session, std::string_view Name,
+            std::string_view Category = "", unsigned Level = 1);
+  ~TraceSpan() {
+    if (C)
+      C->endSpan(Id);
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  bool active() const { return C != nullptr; }
+
+private:
+  void open(TraceCollector &Collector, std::string_view Name,
+            std::string_view Category) {
+    C = &Collector;
+    Id = C->beginSpan(Name, Category);
+  }
+
+  TraceCollector *C = nullptr;
+  size_t Id = 0;
+};
+
+} // namespace sprof
+
+#endif // SPROF_OBS_TRACE_H

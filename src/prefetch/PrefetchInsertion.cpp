@@ -7,6 +7,9 @@
 
 #include "prefetch/PrefetchInsertion.h"
 
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -153,8 +156,25 @@ std::vector<Instruction> buildSequence(Function &F,
 
 } // namespace
 
+namespace {
+
+void flushObs(ObsSession *Obs, const PrefetchInsertionStats &Stats) {
+  if (!Obs)
+    return;
+  Obs->counter("prefetch.ssst")->inc(Stats.SsstPrefetches);
+  Obs->counter("prefetch.pmst")->inc(Stats.PmstPrefetches);
+  Obs->counter("prefetch.wsst")->inc(Stats.WsstPrefetches);
+  Obs->counter("prefetch.out_loop")->inc(Stats.OutLoopPrefetches);
+  Obs->counter("prefetch.dependent")->inc(Stats.DependentPrefetches);
+  Obs->counter("prefetch.instructions_added")->inc(Stats.InstructionsAdded);
+}
+
+} // namespace
+
 PrefetchInsertionStats
-sprof::insertPrefetches(Module &M, const FeedbackResult &Feedback) {
+sprof::insertPrefetches(Module &M, const FeedbackResult &Feedback,
+                        ObsSession *Obs) {
+  TraceSpan Span(Obs, "prefetch-insert", "prefetch", /*Level=*/1);
   PrefetchInsertionStats Stats = insertPrefetches(M, Feedback.Decisions);
 
   // Dependent prefetches are inserted in a second pass; site ids survive
@@ -162,8 +182,10 @@ sprof::insertPrefetches(Module &M, const FeedbackResult &Feedback) {
   std::map<uint32_t, std::vector<const DependentPrefetchDecision *>> ByBase;
   for (const DependentPrefetchDecision &DD : Feedback.DependentDecisions)
     ByBase[DD.BaseSiteId].push_back(&DD);
-  if (ByBase.empty())
+  if (ByBase.empty()) {
+    flushObs(Obs, Stats);
     return Stats;
+  }
 
   std::vector<SiteLocation> Sites = M.locateLoadSites();
   // Process bases within one block from the highest instruction index down
@@ -212,6 +234,7 @@ sprof::insertPrefetches(Module &M, const FeedbackResult &Feedback) {
     Stats.InstructionsAdded += static_cast<unsigned>(Code.size());
     BB.Insts.insert(BB.Insts.begin() + Loc.Inst, Code.begin(), Code.end());
   }
+  flushObs(Obs, Stats);
   return Stats;
 }
 

@@ -55,9 +55,11 @@ PrefetchInsertionStats insertPrefetches(
 /// Applies the full feedback result, including dependent-prefetch plans
 /// (Section 6 future work): for each plan, a speculative load chases the
 /// base pointer K strides ahead and a prefetch touches the dependent
-/// load's target line through it.
+/// load's target line through it. \p Obs (optional) receives a
+/// "prefetch-insert" trace span and per-kind insertion counters.
 PrefetchInsertionStats insertPrefetches(Module &M,
-                                        const FeedbackResult &Feedback);
+                                        const FeedbackResult &Feedback,
+                                        ObsSession *Obs = nullptr);
 
 } // namespace sprof
 

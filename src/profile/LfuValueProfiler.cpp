@@ -7,6 +7,8 @@
 
 #include "profile/LfuValueProfiler.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -20,6 +22,13 @@ LfuValueProfiler::LfuValueProfiler(const LfuConfig &Config) : Config(Config) {
 }
 
 unsigned LfuValueProfiler::add(int64_t Value) {
+  unsigned Work = addImpl(Value);
+  if (ObsWork)
+    ObsWork->record(Work);
+  return Work;
+}
+
+unsigned LfuValueProfiler::addImpl(int64_t Value) {
   ++TotalAdded;
   unsigned Work = 0;
 
@@ -53,6 +62,8 @@ unsigned LfuValueProfiler::add(int64_t Value) {
 
 unsigned LfuValueProfiler::merge() {
   ++NumMerges;
+  if (ObsMerges)
+    ObsMerges->inc();
   UpdatesSinceMerge = 0;
 
   // Combine: fold temp entries into the final buffer, coalescing values

@@ -31,6 +31,9 @@
 
 namespace sprof {
 
+class Counter;
+class Histogram;
+
 /// Configuration for the LFU value profiler.
 struct LfuConfig {
   /// Entries in the temp buffer (LFU replacement).
@@ -73,6 +76,14 @@ public:
   /// Number of merges performed (exposed for tests/benches).
   uint64_t numMerges() const { return NumMerges; }
 
+  /// Telemetry sinks (owned by an ObsSession's registry): per-add work
+  /// histogram and merge counter. Null pointers (the default) keep the
+  /// hot path at one predictable branch per add.
+  void attachObs(Histogram *WorkHistogram, Counter *MergeCounter) {
+    ObsWork = WorkHistogram;
+    ObsMerges = MergeCounter;
+  }
+
   const LfuConfig &config() const { return Config; }
 
 private:
@@ -80,6 +91,7 @@ private:
     return (A >> Config.CoarsenShift) == (B >> Config.CoarsenShift);
   }
 
+  unsigned addImpl(int64_t Value);
   unsigned merge();
 
   LfuConfig Config;
@@ -88,6 +100,8 @@ private:
   unsigned UpdatesSinceMerge = 0;
   uint64_t TotalAdded = 0;
   uint64_t NumMerges = 0;
+  Histogram *ObsWork = nullptr;
+  Counter *ObsMerges = nullptr;
 };
 
 } // namespace sprof

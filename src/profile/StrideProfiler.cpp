@@ -7,6 +7,8 @@
 
 #include "profile/StrideProfiler.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace sprof;
@@ -22,8 +24,33 @@ StrideProfiler::StrideProfiler(uint32_t NumSites,
   }
 }
 
+void StrideProfiler::attachObs(ObsSession *Session) {
+  Obs = ObsSinks();
+  Histogram *LfuWork = nullptr;
+  Counter *LfuMerges = nullptr;
+  if (Session) {
+    Obs.ChunkSkipped = Session->counter("strideprof.chunk_skipped");
+    Obs.FineSkipped = Session->counter("strideprof.fine_skipped");
+    Obs.ZeroStrideFast = Session->counter("strideprof.zero_stride_fast");
+    Obs.Reanchored = Session->counter("strideprof.reanchored");
+    Obs.InvocationCost = Session->histogram("strideprof.invocation_cost");
+    LfuWork = Session->histogram("lfu.add_work");
+    LfuMerges = Session->counter("lfu.merges");
+  }
+  for (StrideSiteData &D : Sites)
+    D.Lfu.attachObs(LfuWork, LfuMerges);
+}
+
 uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
                                  uint64_t GlobalRefIndex) {
+  uint64_t Cost = profileImpl(SiteId, Address, GlobalRefIndex);
+  if (Obs.InvocationCost)
+    Obs.InvocationCost->record(Cost);
+  return Cost;
+}
+
+uint64_t StrideProfiler::profileImpl(uint32_t SiteId, uint64_t Address,
+                                     uint64_t GlobalRefIndex) {
   assert(SiteId < Sites.size() && "site id out of range");
   StrideSiteData &D = Sites[SiteId];
   const StrideCostModel &C = Config.Costs;
@@ -48,6 +75,8 @@ uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
     Cost += C.ChunkCheckCost;
     if (NumberSkipped < Config.Sampling.ChunkSkip) {
       ++NumberSkipped;
+      if (Obs.ChunkSkipped)
+        Obs.ChunkSkipped->inc();
       return Cost;
     }
     if (NumberProfiled == Config.Sampling.ChunkProfile) {
@@ -56,6 +85,8 @@ uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
       NumberProfiled = 0;
       NumberSkipped = 0;
       ++ChunkEpoch;
+      if (Obs.ChunkSkipped)
+        Obs.ChunkSkipped->inc();
       return Cost;
     }
     ++NumberProfiled;
@@ -64,6 +95,8 @@ uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
     Cost += C.FineCheckCost;
     if (D.NumberToSkip > 0) {
       --D.NumberToSkip;
+      if (Obs.FineSkipped)
+        Obs.FineSkipped->inc();
       return Cost;
     }
     D.NumberToSkip = Config.Sampling.FineInterval - 1;
@@ -78,6 +111,8 @@ uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
     D.LastChunkEpoch = ChunkEpoch;
     D.HasPrevAddress = false;
     D.HasPrevStride = false;
+    if (Obs.Reanchored)
+      Obs.Reanchored->inc();
   }
 
   // First observation of this site: just remember the address.
@@ -93,6 +128,8 @@ uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
   if (sameAddress(Address, D.PrevAddress)) {
     ++D.NumZeroStride;
     Cost += C.ZeroStrideCost;
+    if (Obs.ZeroStrideFast)
+      Obs.ZeroStrideFast->inc();
     return Cost;
   }
 

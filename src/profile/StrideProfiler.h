@@ -36,6 +36,8 @@
 
 namespace sprof {
 
+class ObsSession;
+
 /// Sampling configuration (Figure 9). Disabled by default, matching the
 /// non-"sample-" profiling methods.
 struct SamplingConfig {
@@ -139,7 +141,23 @@ public:
   uint64_t totalProcessed() const { return TotalProcessed; }
   uint64_t totalLfuCalls() const { return TotalLfuCalls; }
 
+  /// Resolves telemetry sinks from \p Session (nullptr detaches). With no
+  /// session attached -- the default -- profile() pays one predictable
+  /// null test per exit path and nothing else.
+  void attachObs(ObsSession *Session);
+
 private:
+  /// Cached metric handles; all null when telemetry is off.
+  struct ObsSinks {
+    Counter *ChunkSkipped = nullptr;   ///< chunk-sampling early-outs
+    Counter *FineSkipped = nullptr;    ///< fine-sampling early-outs
+    Counter *ZeroStrideFast = nullptr; ///< zero-stride shortcut hits
+    Counter *Reanchored = nullptr;     ///< chunk-boundary re-anchors
+    Histogram *InvocationCost = nullptr; ///< simulated cycles per call
+  };
+  uint64_t profileImpl(uint32_t SiteId, uint64_t Address,
+                       uint64_t GlobalRefIndex);
+
   bool sameAddress(uint64_t A, uint64_t B) const {
     return (A >> Config.AddrCoarsenShift) == (B >> Config.AddrCoarsenShift);
   }
@@ -155,6 +173,8 @@ private:
   uint64_t TotalInvocations = 0;
   uint64_t TotalProcessed = 0;
   uint64_t TotalLfuCalls = 0;
+
+  ObsSinks Obs;
 };
 
 } // namespace sprof

@@ -1,6 +1,8 @@
 //===- support/Stats.cpp - Small statistics helpers -----------------------===//
 //
-// Part of the StrideProf project (see Random.h for the project reference).
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +27,11 @@ double sprof::geomean(const std::vector<double> &Values) {
     return 0.0;
   double LogSum = 0.0;
   for (double V : Values) {
-    assert(V > 0.0 && "geomean requires positive values");
+    // A non-positive value has no logarithm; release builds used to feed
+    // one into std::log and propagate NaN/-inf into a whole summary row.
+    // Degrade to the same sentinel the empty case uses instead.
+    if (V <= 0.0)
+      return 0.0;
     LogSum += std::log(V);
   }
   return std::exp(LogSum / static_cast<double>(Values.size()));

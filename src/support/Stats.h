@@ -1,6 +1,8 @@
 //===- support/Stats.h - Small statistics helpers --------------*- C++ -*-===//
 //
-// Part of the StrideProf project (see Random.h for the project reference).
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
 //
 //===----------------------------------------------------------------------===//
 ///
@@ -21,8 +23,8 @@ namespace sprof {
 /// Arithmetic mean; returns 0 for an empty sequence.
 double mean(const std::vector<double> &Values);
 
-/// Geometric mean; returns 0 for an empty sequence. All values must be
-/// positive.
+/// Geometric mean; returns 0 for an empty sequence or when any value is
+/// non-positive (no logarithm exists, so there is no meaningful mean).
 double geomean(const std::vector<double> &Values);
 
 /// Returns 100 * Part / Whole, or 0 when Whole is zero.

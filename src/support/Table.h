@@ -1,6 +1,8 @@
 //===- support/Table.h - Fixed-width text tables ----------------*- C++ -*-===//
 //
-// Part of the StrideProf project (see Random.h for the project reference).
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
 //
 //===----------------------------------------------------------------------===//
 ///

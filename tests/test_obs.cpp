@@ -1,0 +1,391 @@
+//===- tests/test_obs.cpp - Observability layer unit tests ------------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers the telemetry subsystem: metric semantics, trace span nesting and
+/// Chrome trace emission, JSON round-trips, the versioned run report, and
+/// the guarantee that enabling telemetry does not perturb profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Obs.h"
+#include "obs/Report.h"
+#include "obs/Trace.h"
+#include "profile/ProfileData.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace sprof;
+
+namespace {
+
+/// The shared chase fixture as a Workload, so Pipeline can drive it: three
+/// passes over a 64-byte-stride linked list.
+class ChaseWorkload final : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"test.chase", "IR", "three-pass pointer chase"};
+  }
+
+  Program build(DataSet DS) const override {
+    Program Prog;
+    uint32_t DataSite = 0, NextSite = 0;
+    Prog.M = test::makePassesChaseModule(3, DataSite, NextSite);
+    test::fillChaseList(Prog.Memory, DS == DataSet::Ref ? 6000 : 2000, 64);
+    return Prog;
+  }
+};
+
+} // namespace
+
+// -- Metrics ---------------------------------------------------------------
+
+TEST(ObsMetrics, CounterAndGaugeSemantics) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+
+  Gauge G;
+  EXPECT_DOUBLE_EQ(G.value(), 0.0);
+  G.set(1.5);
+  G.set(2.5); // last write wins
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndAggregates) {
+  Histogram H({4, 16, 64});
+  for (uint64_t Sample : {1, 4, 5, 100})
+    H.record(Sample);
+
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 110u);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), 100u);
+  EXPECT_DOUBLE_EQ(H.average(), 27.5);
+
+  // Bucket I counts samples <= bound I; the last bucket is overflow.
+  ASSERT_EQ(H.bucketCounts().size(), 4u);
+  EXPECT_EQ(H.bucketCounts()[0], 2u); // 1, 4
+  EXPECT_EQ(H.bucketCounts()[1], 1u); // 5
+  EXPECT_EQ(H.bucketCounts()[2], 0u);
+  EXPECT_EQ(H.bucketCounts()[3], 1u); // 100
+}
+
+TEST(ObsMetrics, EmptyHistogramIsWellDefined) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_DOUBLE_EQ(H.average(), 0.0);
+}
+
+TEST(ObsMetrics, RegistryReturnsStableObjects) {
+  MetricsRegistry R;
+  Counter *A = &R.counter("a");
+  A->inc(7);
+  // Same name resolves to the same object; the address is stable even
+  // after other insertions (node-based storage).
+  for (int I = 0; I != 100; ++I)
+    R.counter("filler." + std::to_string(I));
+  EXPECT_EQ(&R.counter("a"), A);
+  EXPECT_EQ(R.counter("a").value(), 7u);
+  EXPECT_NE(&R.counter("b"), A);
+
+  // Custom bounds apply only on creation.
+  Histogram &H = R.histogram("h", {10, 20});
+  EXPECT_EQ(R.histogram("h", {999}).bounds(), H.bounds());
+}
+
+TEST(ObsMetrics, SessionHandlesAreNullWhenMetricsOff) {
+  ObsConfig Config;
+  Config.Enabled = true;
+  Config.CollectMetrics = false;
+  ObsSession Session(Config);
+  EXPECT_EQ(Session.counter("x"), nullptr);
+  EXPECT_EQ(Session.gauge("x"), nullptr);
+  EXPECT_EQ(Session.histogram("x"), nullptr);
+
+  Config.CollectMetrics = true;
+  ObsSession On(Config);
+  EXPECT_NE(On.counter("x"), nullptr);
+}
+
+// -- Tracing ---------------------------------------------------------------
+
+TEST(ObsTrace, NestedSpansRecordDepthAndDuration) {
+  TraceCollector C;
+  EXPECT_EQ(C.currentDepth(), 0u);
+  {
+    TraceSpan Outer(&C, "outer", "test");
+    EXPECT_EQ(C.currentDepth(), 1u);
+    {
+      TraceSpan Inner(&C, "inner", "test");
+      EXPECT_EQ(C.currentDepth(), 2u);
+    }
+    EXPECT_EQ(C.currentDepth(), 1u);
+  }
+  EXPECT_EQ(C.currentDepth(), 0u);
+
+  ASSERT_EQ(C.events().size(), 2u);
+  const TraceEvent &Outer = C.events()[0];
+  const TraceEvent &Inner = C.events()[1];
+  EXPECT_EQ(Outer.Name, "outer");
+  EXPECT_EQ(Outer.Depth, 0u);
+  EXPECT_EQ(Inner.Name, "inner");
+  EXPECT_EQ(Inner.Depth, 1u);
+  // Both spans completed, and the inner one nests inside the outer.
+  ASSERT_NE(Outer.DurationUs, UINT64_MAX);
+  ASSERT_NE(Inner.DurationUs, UINT64_MAX);
+  EXPECT_GE(Inner.StartUs, Outer.StartUs);
+  EXPECT_LE(Inner.StartUs + Inner.DurationUs,
+            Outer.StartUs + Outer.DurationUs);
+  EXPECT_TRUE(C.hasSpan("outer"));
+  EXPECT_FALSE(C.hasSpan("missing"));
+}
+
+TEST(ObsTrace, ChromeTraceIsValidJson) {
+  TraceCollector C;
+  {
+    TraceSpan A(&C, "phase-a", "pipeline");
+    TraceSpan B(&C, "phase-b", "interp");
+  }
+  std::ostringstream OS;
+  C.writeChromeTrace(OS);
+
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(OS.str(), Doc, &Error)) << Error;
+  const JsonValue *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->size(), 2u);
+  for (const JsonValue &E : Events->items()) {
+    EXPECT_EQ(E.get("ph")->asString(), "X");
+    EXPECT_NE(E.get("name"), nullptr);
+    EXPECT_NE(E.get("ts"), nullptr);
+    EXPECT_NE(E.get("dur"), nullptr);
+    EXPECT_NE(E.get("pid"), nullptr);
+    EXPECT_NE(E.get("tid"), nullptr);
+  }
+}
+
+TEST(ObsTrace, TraceDetailGatesSessionSpans) {
+  ObsConfig Config;
+  Config.Enabled = true;
+  Config.TraceDetail = 1;
+  ObsSession Session(Config);
+  {
+    TraceSpan Coarse(&Session, "coarse", "test", /*Level=*/1);
+    TraceSpan Fine(&Session, "fine", "test", /*Level=*/2);
+    EXPECT_TRUE(Coarse.active());
+    EXPECT_FALSE(Fine.active());
+  }
+  EXPECT_TRUE(Session.trace().hasSpan("coarse"));
+  EXPECT_FALSE(Session.trace().hasSpan("fine"));
+
+  Config.CollectTrace = false;
+  ObsSession NoTrace(Config);
+  TraceSpan S(&NoTrace, "coarse", "test", /*Level=*/1);
+  EXPECT_FALSE(S.active());
+
+  // A null session is always inert.
+  TraceSpan Null(static_cast<ObsSession *>(nullptr), "x");
+  EXPECT_FALSE(Null.active());
+}
+
+// -- JSON ------------------------------------------------------------------
+
+TEST(ObsJson, RoundTripPreservesValuesAndEscapes) {
+  JsonValue Root = JsonValue::object();
+  Root.set("int", int64_t{-42});
+  Root.set("big", uint64_t{1} << 53);
+  Root.set("double", 2.5);
+  Root.set("bool", true);
+  Root.set("null", JsonValue());
+  Root.set("tricky", "quote \" backslash \\ newline \n tab \t");
+  JsonValue Arr = JsonValue::array();
+  Arr.push(1);
+  Arr.push("two");
+  Arr.push(JsonValue::object().set("nested", 3));
+  Root.set("arr", std::move(Arr));
+
+  JsonValue Back;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Root.str(), Back, &Error)) << Error;
+  EXPECT_EQ(Back.get("int")->asInt(), -42);
+  EXPECT_EQ(Back.get("big")->asUInt(), uint64_t{1} << 53);
+  EXPECT_DOUBLE_EQ(Back.get("double")->asDouble(), 2.5);
+  EXPECT_TRUE(Back.get("bool")->asBool());
+  EXPECT_TRUE(Back.get("null")->isNull());
+  EXPECT_EQ(Back.get("tricky")->asString(),
+            "quote \" backslash \\ newline \n tab \t");
+  ASSERT_EQ(Back.get("arr")->size(), 3u);
+  EXPECT_EQ(Back.get("arr")->at(2).get("nested")->asInt(), 3);
+  // Serialization is deterministic: a second round-trip is a fixpoint.
+  EXPECT_EQ(Back.str(), Root.str());
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  JsonValue Out;
+  std::string Error;
+  EXPECT_FALSE(JsonValue::parse("{\"a\": }", Out, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(JsonValue::parse("[1, 2", Out));
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing", Out));
+  EXPECT_TRUE(JsonValue::parse("  [1, 2, 3]  ", Out));
+}
+
+// -- Run reports -----------------------------------------------------------
+
+TEST(ObsReport, RunReportRoundTripsWithStableSchema) {
+  ChaseWorkload W;
+  PipelineConfig Config;
+  Config.Obs.Enabled = true;
+  Config.Obs.TraceDetail = 2;
+  Pipeline P(W, Config);
+
+  ProfileRunResult Prof =
+      P.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train);
+  RunStats Baseline = P.runBaseline(DataSet::Ref);
+  TimedRunResult Timed =
+      P.runPrefetched(DataSet::Ref, Prof.Edges, Prof.Strides);
+
+  JsonValue Report = buildRunReport(W.info().Name, P.config(), &Prof,
+                                    &Timed, &Baseline, P.obs());
+  JsonValue Back;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Report.str(), Back, &Error)) << Error;
+
+  EXPECT_EQ(Back.get("schema")->asString(), RunReportSchemaV1);
+  EXPECT_EQ(Back.get("workload")->asString(), "test.chase");
+  EXPECT_EQ(Back.get("profile_run")->get("method")->asString(),
+            "edge-check");
+
+  // Per-site stride sections carry at most the configured top-N strides
+  // and the raw zero / zero-diff counts.
+  const JsonValue *Sites =
+      Back.get("profile_run")->get("stride_profile")->get("sites");
+  ASSERT_NE(Sites, nullptr);
+  ASSERT_GT(Sites->size(), 0u);
+  for (const JsonValue &S : Sites->items()) {
+    EXPECT_LE(S.get("top_strides")->size(), 4u);
+    EXPECT_NE(S.get("zero_strides"), nullptr);
+    EXPECT_NE(S.get("zero_diffs"), nullptr);
+  }
+
+  // Classification verdicts reference the thresholds block.
+  const JsonValue *Classification =
+      Back.get("timed_run")->get("classification");
+  ASSERT_NE(Classification, nullptr);
+  EXPECT_EQ(Classification->get("thresholds")->get("trip_count")->asUInt(),
+            Config.Classifier.TripCountThreshold);
+  ASSERT_GT(Classification->get("decisions")->size(), 0u);
+
+  // Registry counters land in the report and agree with the pipeline's
+  // own accounting.
+  const JsonValue *Counters = Back.get("metrics")->get("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_EQ(Counters->get("strideprof.invocations")->asUInt(),
+            Prof.StrideInvocations);
+  EXPECT_EQ(Counters->get("pipeline.profile_runs")->asUInt(), 1u);
+  EXPECT_EQ(Counters->get("pipeline.baseline_runs")->asUInt(), 1u);
+  EXPECT_EQ(Counters->get("pipeline.timed_runs")->asUInt(), 1u);
+
+  EXPECT_GT(Back.get("speedup")->asDouble(), 0.0);
+
+  // Every pipeline phase left a trace span.
+  for (const char *Phase : {"run-profile", "instrument", "execute",
+                            "strideprof-harvest", "run-baseline",
+                            "timed-run", "classify", "prefetch-insert"})
+    EXPECT_TRUE(P.obs()->trace().hasSpan(Phase)) << Phase;
+}
+
+TEST(ObsReport, DisabledTelemetryLeavesProfilesBitIdentical) {
+  ChaseWorkload W;
+
+  PipelineConfig Off;
+  ASSERT_FALSE(Off.Obs.Enabled); // default off
+  Pipeline POff(W, Off);
+
+  PipelineConfig On;
+  On.Obs.Enabled = true;
+  On.Obs.TraceDetail = 2;
+  Pipeline POn(W, On);
+
+  ProfileRunResult ROff =
+      POff.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train);
+  ProfileRunResult ROn =
+      POn.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train);
+
+  // Identical profiles, byte for byte, and identical cycle accounting:
+  // telemetry only observes.
+  std::ostringstream SOff, SOn;
+  writeProfiles(ROff.Edges, ROff.Strides, SOff);
+  writeProfiles(ROn.Edges, ROn.Strides, SOn);
+  EXPECT_EQ(SOff.str(), SOn.str());
+  EXPECT_EQ(ROff.Stats.Cycles, ROn.Stats.Cycles);
+  EXPECT_EQ(ROff.Stats.Instructions, ROn.Stats.Instructions);
+  EXPECT_EQ(ROff.StrideInvocations, ROn.StrideInvocations);
+
+  EXPECT_EQ(POff.obs(), nullptr);
+  ASSERT_NE(POn.obs(), nullptr);
+  EXPECT_GT(POn.obs()->trace().events().size(), 0u);
+}
+
+// -- RunStats accumulation -------------------------------------------------
+
+TEST(ObsReport, RunStatsAccumulate) {
+  RunStats A;
+  A.Completed = true;
+  A.Instructions = 100;
+  A.Cycles = 500;
+  A.BaseCycles = 300;
+  A.MemStallCycles = 200;
+  A.LoadRefs = 10;
+  A.SiteCounts = {1, 2};
+  A.Mem.Levels.resize(1);
+  A.Mem.Levels[0].Hits = 5;
+  A.ExitValue = 1;
+
+  RunStats B;
+  B.Completed = true;
+  B.Instructions = 50;
+  B.Cycles = 250;
+  B.InstrumentationCycles = 25;
+  B.LoadRefs = 5;
+  B.SiteCounts = {10, 20, 30}; // wider than A
+  B.Mem.Levels.resize(2);
+  B.Mem.Levels[0].Misses = 3;
+  B.ExitValue = 7;
+
+  A += B;
+  EXPECT_TRUE(A.Completed);
+  EXPECT_EQ(A.Instructions, 150u);
+  EXPECT_EQ(A.Cycles, 750u);
+  EXPECT_EQ(A.BaseCycles, 300u);
+  EXPECT_EQ(A.InstrumentationCycles, 25u);
+  EXPECT_EQ(A.LoadRefs, 15u);
+  ASSERT_EQ(A.SiteCounts.size(), 3u);
+  EXPECT_EQ(A.SiteCounts[0], 11u);
+  EXPECT_EQ(A.SiteCounts[1], 22u);
+  EXPECT_EQ(A.SiteCounts[2], 30u);
+  ASSERT_EQ(A.Mem.Levels.size(), 2u);
+  EXPECT_EQ(A.Mem.Levels[0].Hits, 5u);
+  EXPECT_EQ(A.Mem.Levels[0].Misses, 3u);
+  EXPECT_EQ(A.ExitValue, 7);
+
+  RunStats Incomplete;
+  Incomplete.Completed = false;
+  A += Incomplete;
+  EXPECT_FALSE(A.Completed);
+}

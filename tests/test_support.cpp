@@ -74,6 +74,15 @@ TEST(Stats, MeanAndGeomean) {
   EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
 }
 
+TEST(Stats, GeomeanDegradesOnNonPositiveValues) {
+  // No logarithm exists, so the helper returns the empty-sequence
+  // sentinel instead of propagating NaN/-inf into summary rows.
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({2.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({-1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, 4.0, -2.0}), 0.0);
+}
+
 TEST(Stats, PercentAndRatioHandleZeroDenominators) {
   EXPECT_DOUBLE_EQ(percent(1.0, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(percent(25.0, 100.0), 25.0);
