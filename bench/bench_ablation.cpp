@@ -43,7 +43,8 @@ public:
     return {"ablation.chase", "IR", "parameterized indirect chase"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const uint64_t Count = DS == DataSet::Ref ? 50000 : 16000;
     Program Prog;
     Prog.M.Name = "ablation.chase";
@@ -90,123 +91,249 @@ private:
   bool RandomPayload;
 };
 
-double speedupWith(const Workload &W, const PipelineConfig &Config,
-                   ProfilingMethod Method = ProfilingMethod::EdgeCheck) {
-  Pipeline P(W, Config);
-  return P.speedup(Method, DataSet::Train, DataSet::Ref);
-}
-
 std::vector<std::string> headliners() {
   return {"181.mcf", "254.gap", "197.parser"};
 }
 
+/// Queues a train-input profile run on \p Engine and returns a handle to
+/// the profile it will produce. Feedback-side ablations (classifier and
+/// prefetch knobs) share one profile instead of re-profiling per
+/// configuration.
+struct ProfileHandle {
+  std::shared_ptr<ProfileRunResult> Profile;
+  JobId Job;
+};
+
+ProfileHandle queueProfile(ExperimentEngine &Engine, const std::string &Tag,
+                           const Workload &W, const PipelineConfig &Config,
+                           ProfilingMethod Method) {
+  auto PR = std::make_shared<ProfileRunResult>();
+  JobId Job = Engine.addJob(
+      "profile:" + Tag, "run-job",
+      [&W, Config, Method, PR](ObsSession *JobObs) {
+        Pipeline P(W, Config, JobObs);
+        *PR = P.runProfile(Method, DataSet::Train,
+                           /*WithMemorySystem=*/false);
+      });
+  return {PR, Job};
+}
+
+/// Queues the timed half (baseline + prefetched run on ref) against an
+/// already-queued profile; *Out receives the speedup after Engine.run().
+void queueSpeedup(ExperimentEngine &Engine, const std::string &Tag,
+                  const Workload &W, const PipelineConfig &Config,
+                  const ProfileHandle &Profile, double *Out) {
+  std::shared_ptr<ProfileRunResult> PR = Profile.Profile;
+  Engine.addJob(
+      "feedback:" + Tag, "feedback-job",
+      [&W, Config, PR, Out](ObsSession *JobObs) {
+        Pipeline P(W, Config, JobObs);
+        *Out = P.speedup(DataSet::Ref, PR->Edges, PR->Strides);
+      },
+      {Profile.Job});
+}
+
+/// queueProfile + queueSpeedup with the same configuration.
+ProfileHandle queueChain(ExperimentEngine &Engine, const std::string &Tag,
+                         const Workload &W, const PipelineConfig &Config,
+                         double *Out,
+                         ProfilingMethod Method = ProfilingMethod::EdgeCheck) {
+  ProfileHandle H = queueProfile(Engine, Tag, W, Config, Method);
+  queueSpeedup(Engine, Tag, W, Config, H, Out);
+  return H;
+}
+
 } // namespace
 
-int main() {
-  // --- 1. WSST prefetching ------------------------------------------------
+int main(int Argc, char **Argv) {
+  // Every ablation below queues its runs on one engine graph; feedback-side
+  // ablations (classifier/prefetch knobs) share the default train profile
+  // of their benchmark instead of re-profiling per configuration, and all
+  // independent runs overlap across --threads workers.
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
+  const std::vector<std::string> Names = headliners();
+  const size_t NH = Names.size();
+
+  std::vector<std::unique_ptr<Workload>> Owned;
+  std::vector<const Workload *> HW;
+  for (const std::string &Name : Names) {
+    Owned.push_back(makeWorkloadByName(Name));
+    HW.push_back(Owned.back().get());
+  }
+
+  // Default chain per headliner; its speedup is the shared "default"
+  // column of ablations 1, 3 (C=8), 5 (edge-check), and 8.
+  std::vector<double> DefaultSpeedup(NH, 1.0);
+  std::vector<ProfileHandle> DefaultProfile(NH);
+  for (size_t I = 0; I != NH; ++I)
+    DefaultProfile[I] = queueChain(Engine, Names[I] + "/default", *HW[I],
+                                   {}, &DefaultSpeedup[I]);
+
+  // 1. WSST prefetching (classifier-side: shares the default profile).
+  std::vector<double> WsstOn(NH, 1.0);
+  for (size_t I = 0; I != NH; ++I) {
+    PipelineConfig On;
+    On.Classifier.EnableWsstPrefetch = true;
+    queueSpeedup(Engine, Names[I] + "/wsst-on", *HW[I], On,
+                 DefaultProfile[I], &WsstOn[I]);
+  }
+
+  // 2. is_same_value coarsening (profiler-side: needs its own profile).
+  std::vector<double> Coarsen0(NH, 1.0);
+  for (size_t I = 0; I != NH; ++I) {
+    PipelineConfig Exact;
+    Exact.Profiler.AddrCoarsenShift = 0;
+    Exact.Profiler.Lfu.CoarsenShift = 0;
+    queueChain(Engine, Names[I] + "/coarsen0", *HW[I], Exact,
+               &Coarsen0[I]);
+  }
+
+  // 3. Prefetch distance sweep (prefetch-side: shares the default
+  // profile; C=8 is the default chain itself).
+  const unsigned Distances[] = {1u, 2u, 4u, 8u, 16u};
+  std::vector<std::vector<double>> Dist(NH,
+                                        std::vector<double>(5, 1.0));
+  for (size_t I = 0; I != NH; ++I)
+    for (size_t CI = 0; CI != 5; ++CI) {
+      if (Distances[CI] == 8)
+        continue;
+      PipelineConfig Cfg;
+      Cfg.Classifier.MaxPrefetchDistance = Distances[CI];
+      queueSpeedup(Engine,
+                   Names[I] + "/dist" + std::to_string(Distances[CI]),
+                   *HW[I], Cfg, DefaultProfile[I], &Dist[I][CI]);
+    }
+
+  // 4. Trip-count threshold sweep (instrumentation-side: full chains;
+  // TT=128 is the default chain).
+  const uint64_t Trips[] = {32ull, 128ull, 512ull};
+  std::vector<std::vector<double>> Tt(NH, std::vector<double>(3, 1.0));
+  for (size_t I = 0; I != NH; ++I)
+    for (size_t TI = 0; TI != 3; ++TI) {
+      if (Trips[TI] == 128)
+        continue;
+      PipelineConfig Cfg;
+      Cfg.Instrument.TripCountThreshold = Trips[TI];
+      Cfg.Classifier.TripCountThreshold = Trips[TI];
+      queueChain(Engine, Names[I] + "/tt" + std::to_string(Trips[TI]),
+                 *HW[I], Cfg, &Tt[I][TI]);
+    }
+
+  // 5. Block-check vs edge-check (different instrumentation: full chain).
+  std::vector<double> BlockCheck(NH, 1.0);
+  for (size_t I = 0; I != NH; ++I)
+    queueChain(Engine, Names[I] + "/block-check", *HW[I], {},
+               &BlockCheck[I], ProfilingMethod::BlockCheck);
+
+  // 6. Dependent-load prefetching (classifier-side: shared profile).
+  IndirectChase ChaseRandom(/*NoisePercent=*/4, /*RandomPayload=*/true);
+  double DepOff = 1.0, DepOn = 1.0;
+  ProfileHandle ChaseProfile =
+      queueChain(Engine, "chase/default", ChaseRandom, {}, &DepOff);
+  {
+    PipelineConfig Dep;
+    Dep.Classifier.EnableDependentPrefetch = true;
+    queueSpeedup(Engine, "chase/dependent", ChaseRandom, Dep,
+                 ChaseProfile, &DepOn);
+  }
+
+  // 7. Allocation-order sensitivity: chain per noise level; the profile
+  // also feeds the top1-share analysis after the run.
+  const unsigned Noises[] = {0u, 5u, 15u, 30u, 50u};
+  std::vector<std::unique_ptr<IndirectChase>> NoiseW;
+  std::vector<double> NoiseSpeedup(5, 1.0);
+  std::vector<ProfileHandle> NoiseProfile(5);
+  for (size_t NI = 0; NI != 5; ++NI) {
+    NoiseW.push_back(std::make_unique<IndirectChase>(
+        Noises[NI], /*RandomPayload=*/false));
+    NoiseProfile[NI] =
+        queueChain(Engine, "chase/noise" + std::to_string(Noises[NI]),
+                   *NoiseW[NI], {}, &NoiseSpeedup[NI]);
+  }
+
+  // 8. Use-distance filter (classifier-side: shared profile).
+  std::vector<double> UseDistOn(NH, 1.0);
+  for (size_t I = 0; I != NH; ++I) {
+    PipelineConfig On;
+    On.Classifier.EnableUseDistanceFilter = true;
+    queueSpeedup(Engine, Names[I] + "/use-distance", *HW[I], On,
+                 DefaultProfile[I], &UseDistOn[I]);
+  }
+
+  Engine.run();
+
   {
     Table T("Ablation 1: WSST prefetching (paper disables it)");
     T.row({"benchmark", "WSST off (default)", "WSST on"});
-    for (const std::string &Name : headliners()) {
-      auto W = makeWorkloadByName(Name);
-      PipelineConfig On;
-      On.Classifier.EnableWsstPrefetch = true;
-      T.row({Name, Table::fmt(speedupWith(*W, {})) + "x",
-             Table::fmt(speedupWith(*W, On)) + "x"});
-    }
+    for (size_t I = 0; I != NH; ++I)
+      T.row({Names[I], Table::fmt(DefaultSpeedup[I]) + "x",
+             Table::fmt(WsstOn[I]) + "x"});
     T.print(std::cout);
   }
 
-  // --- 2. is_same_value coarsening -----------------------------------------
   {
     Table T("Ablation 2: is_same_value coarsening (Figure 7)");
     T.row({"benchmark", "coarsen=4 (default)", "coarsen=0 (Figure 6)"});
-    for (const std::string &Name : headliners()) {
-      auto W = makeWorkloadByName(Name);
-      PipelineConfig Exact;
-      Exact.Profiler.AddrCoarsenShift = 0;
-      Exact.Profiler.Lfu.CoarsenShift = 0;
-      T.row({Name, Table::fmt(speedupWith(*W, {})) + "x",
-             Table::fmt(speedupWith(*W, Exact)) + "x"});
-    }
+    for (size_t I = 0; I != NH; ++I)
+      T.row({Names[I], Table::fmt(DefaultSpeedup[I]) + "x",
+             Table::fmt(Coarsen0[I]) + "x"});
     T.print(std::cout);
   }
 
-  // --- 3. Prefetch distance sweep ------------------------------------------
   {
     Table T("Ablation 3: max prefetch distance C");
     T.row({"benchmark", "C=1", "C=2", "C=4", "C=8 (default)", "C=16"});
-    for (const std::string &Name : headliners()) {
-      std::vector<std::string> Row = {Name};
-      for (unsigned C : {1u, 2u, 4u, 8u, 16u}) {
-        auto W = makeWorkloadByName(Name);
-        PipelineConfig Cfg;
-        Cfg.Classifier.MaxPrefetchDistance = C;
-        Row.push_back(Table::fmt(speedupWith(*W, Cfg)) + "x");
-      }
+    for (size_t I = 0; I != NH; ++I) {
+      std::vector<std::string> Row = {Names[I]};
+      for (size_t CI = 0; CI != 5; ++CI)
+        Row.push_back(Table::fmt(Distances[CI] == 8 ? DefaultSpeedup[I]
+                                                    : Dist[I][CI]) +
+                      "x");
       T.row(Row);
     }
     T.print(std::cout);
   }
 
-  // --- 4. Trip-count threshold sweep ---------------------------------------
   {
     Table T("Ablation 4: trip-count threshold TT");
     T.row({"benchmark", "TT=32", "TT=128 (default)", "TT=512"});
-    for (const std::string &Name : headliners()) {
-      std::vector<std::string> Row = {Name};
-      for (uint64_t TT : {32ull, 128ull, 512ull}) {
-        auto W = makeWorkloadByName(Name);
-        PipelineConfig Cfg;
-        Cfg.Instrument.TripCountThreshold = TT;
-        Cfg.Classifier.TripCountThreshold = TT;
-        Row.push_back(Table::fmt(speedupWith(*W, Cfg)) + "x");
-      }
+    for (size_t I = 0; I != NH; ++I) {
+      std::vector<std::string> Row = {Names[I]};
+      for (size_t TI = 0; TI != 3; ++TI)
+        Row.push_back(Table::fmt(Trips[TI] == 128 ? DefaultSpeedup[I]
+                                                  : Tt[I][TI]) +
+                      "x");
       T.row(Row);
     }
     T.print(std::cout);
   }
 
-  // --- 5. Block-check vs edge-check ----------------------------------------
   {
     Table T("Ablation 5: block-check vs edge-check (same profile claim)");
     T.row({"benchmark", "edge-check", "block-check"});
-    for (const std::string &Name : headliners()) {
-      auto W = makeWorkloadByName(Name);
-      T.row({Name,
-             Table::fmt(speedupWith(*W, {}, ProfilingMethod::EdgeCheck)) +
-                 "x",
-             Table::fmt(speedupWith(*W, {}, ProfilingMethod::BlockCheck)) +
-                 "x"});
-    }
+    for (size_t I = 0; I != NH; ++I)
+      T.row({Names[I], Table::fmt(DefaultSpeedup[I]) + "x",
+             Table::fmt(BlockCheck[I]) + "x"});
     T.print(std::cout);
   }
 
-  // --- 6. Dependent-load prefetching (Section 6 future work) ---------------
   {
     Table T("Ablation 6: dependent-load prefetching "
             "(indirect chase, randomly allocated payload)");
     T.row({"configuration", "speedup"});
-    IndirectChase W(/*NoisePercent=*/4, /*RandomPayload=*/true);
     T.row({"stride prefetch only (paper system)",
-           Table::fmt(speedupWith(W, {})) + "x"});
-    PipelineConfig Dep;
-    Dep.Classifier.EnableDependentPrefetch = true;
+           Table::fmt(DepOff) + "x"});
     T.row({"+ dependent prefetch (load.s chase)",
-           Table::fmt(speedupWith(W, Dep)) + "x"});
+           Table::fmt(DepOn) + "x"});
     T.print(std::cout);
   }
 
-  // --- 7. Allocation order (Section 6 future work) --------------------------
   {
     Table T("Ablation 7: allocation-order sensitivity "
             "(indirect chase, strided payload, noise sweep)");
     T.row({"allocation noise", "top1 stride share", "speedup"});
-    for (unsigned Noise : {0u, 5u, 15u, 30u, 50u}) {
-      IndirectChase W(Noise, /*RandomPayload=*/false);
-      Pipeline P(W, {});
-      ProfileRunResult PR = P.runProfile(ProfilingMethod::EdgeCheck,
-                                         DataSet::Train, false);
+    for (size_t NI = 0; NI != 5; ++NI) {
+      const ProfileRunResult &PR = *NoiseProfile[NI].Profile;
       // Dominant-stride share of the noisiest hot site (the node chase;
       // the payload site stays at ~100% since only the node allocation is
       // perturbed).
@@ -217,25 +344,20 @@ int main() {
           Share = std::min(Share, double(Sum.top1Freq()) /
                                       double(Sum.TotalStrides));
       }
-      T.row({std::to_string(Noise) + "%",
+      T.row({std::to_string(Noises[NI]) + "%",
              Table::fmtPercent(100.0 * Share),
-             Table::fmt(speedupWith(W, {})) + "x"});
+             Table::fmt(NoiseSpeedup[NI]) + "x"});
     }
     T.print(std::cout);
   }
 
-  // --- 8. Use-distance filter (Section 6 future work) -----------------------
   {
     Table T("Ablation 8: use-distance filter on the headliners "
             "(should not veto hot-loop prefetches)");
     T.row({"benchmark", "filter off", "filter on (gap<=64)"});
-    for (const std::string &Name : headliners()) {
-      auto W = makeWorkloadByName(Name);
-      PipelineConfig On;
-      On.Classifier.EnableUseDistanceFilter = true;
-      T.row({Name, Table::fmt(speedupWith(*W, {})) + "x",
-             Table::fmt(speedupWith(*W, On)) + "x"});
-    }
+    for (size_t I = 0; I != NH; ++I)
+      T.row({Names[I], Table::fmt(DefaultSpeedup[I]) + "x",
+             Table::fmt(UseDistOn[I]) + "x"});
     T.print(std::cout);
   }
   return 0;

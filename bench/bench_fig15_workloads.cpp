@@ -12,30 +12,29 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "driver/Pipeline.h"
+#include "driver/Experiments.h"
 #include "support/Table.h"
 
 #include <iostream>
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   Table T("Figure 15: SPECINT2000-shaped synthetic benchmarks");
   T.row({"program", "lang", "description", "train Minstr", "ref Minstr",
          "ref Mloads"});
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
   RunStats SuiteTrain, SuiteRef;
   SuiteTrain.Completed = SuiteRef.Completed = true;
-  for (const auto &W : makeSpecIntSuite()) {
-    WorkloadInfo Info = W->info();
-    Pipeline P(*W);
-    RunStats Train = P.runBaseline(DataSet::Train);
-    RunStats Ref = P.runBaseline(DataSet::Ref);
-    SuiteTrain += Train;
-    SuiteRef += Ref;
-    T.row({Info.Name, Info.Lang, Info.Description,
-           Table::fmt(Train.Instructions / 1e6, 1),
-           Table::fmt(Ref.Instructions / 1e6, 1),
-           Table::fmt(Ref.LoadRefs / 1e6, 1)});
+  for (const BaselineMeasurement &BM :
+       measureSuiteBaselines(Engine, workloadPointers(Suite))) {
+    SuiteTrain += BM.Train;
+    SuiteRef += BM.Ref;
+    T.row({BM.Info.Name, BM.Info.Lang, BM.Info.Description,
+           Table::fmt(BM.Train.Instructions / 1e6, 1),
+           Table::fmt(BM.Ref.Instructions / 1e6, 1),
+           Table::fmt(BM.Ref.LoadRefs / 1e6, 1)});
   }
   T.row({"suite total", "-", "-",
          Table::fmt(SuiteTrain.Instructions / 1e6, 1),

@@ -22,7 +22,7 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   std::vector<ProfilingMethod> Methods = paperStrideMethods();
 
   Table T("Figure 16: speedup of stride prefetching "
@@ -33,9 +33,13 @@ int main() {
   Header.push_back("paper(edge-check)");
   T.row(Header);
 
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
+  std::vector<BenchMeasurement> Measurements =
+      measureSuite(Engine, workloadPointers(Suite), {}, Methods);
+
   std::map<ProfilingMethod, std::vector<double>> PerMethod;
-  for (const auto &W : makeSpecIntSuite()) {
-    BenchMeasurement BM = measureBenchmark(*W);
+  for (const BenchMeasurement &BM : Measurements) {
     std::vector<std::string> Row = {BM.Name};
     for (ProfilingMethod M : Methods) {
       double S = BM.Methods.at(M).Speedup;
@@ -45,7 +49,6 @@ int main() {
     auto Paper = paperFig16Speedup(BM.Name);
     Row.push_back(Paper ? Table::fmt(*Paper) + "x" : "-");
     T.row(Row);
-    std::cerr << "measured " << BM.Name << "\n";
   }
 
   std::vector<std::string> AvgRow = {"average"};

@@ -14,7 +14,7 @@
 
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
-#include "driver/Pipeline.h"
+#include "driver/Experiments.h"
 #include "support/Stats.h"
 #include "support/Table.h"
 
@@ -22,36 +22,56 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   Table T("Figure 17: in-loop vs out-loop dynamic load references (ref)");
   T.row({"benchmark", "in-loop", "out-loop"});
 
-  std::vector<double> InLoopShares;
-  for (const auto &W : makeSpecIntSuite()) {
-    Program Prog = W->build(DataSet::Ref);
-    Interpreter I(Prog.M, std::move(Prog.Memory));
-    RunStats S = I.run();
+  auto Suite = makeSpecIntSuite();
+  std::vector<const Workload *> Workloads = workloadPointers(Suite);
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
 
-    // Per-site in-loop classification.
-    std::vector<SiteLocation> Sites = Prog.M.locateLoadSites();
-    uint64_t InLoop = 0, OutLoop = 0;
-    for (uint32_t FI = 0; FI != Prog.M.Functions.size(); ++FI) {
-      const Function &F = Prog.M.Functions[FI];
-      DomTree DT = DomTree::forward(F);
-      LoopInfo LI(F, DT);
-      for (uint32_t Site = 0; Site != Prog.M.NumLoadSites; ++Site) {
-        if (Sites[Site].Func != FI)
-          continue;
-        if (LI.isInLoop(Sites[Site].Block))
-          InLoop += S.SiteCounts[Site];
-        else
-          OutLoop += S.SiteCounts[Site];
-      }
-    }
-    double InPct = percent(static_cast<double>(InLoop),
-                           static_cast<double>(InLoop + OutLoop));
-    InLoopShares.push_back(InPct);
-    T.row({W->info().Name, Table::fmtPercent(InPct),
+  // One self-contained job per benchmark: run the reference input
+  // uninstrumented and split its dynamic loads by the loop nesting of
+  // their sites.
+  std::vector<double> InLoopShares(Workloads.size(), 0.0);
+  for (size_t WI = 0; WI != Workloads.size(); ++WI) {
+    const Workload *W = Workloads[WI];
+    double *Share = &InLoopShares[WI];
+    Engine.addJob("loadmix:" + W->info().Name, "run-job",
+                  [W, Share](ObsSession *) {
+                    Program Prog = W->build(DataSet::Ref);
+                    Interpreter I(Prog.M, std::move(Prog.Memory));
+                    RunStats S = I.run();
+
+                    // Per-site in-loop classification.
+                    std::vector<SiteLocation> Sites =
+                        Prog.M.locateLoadSites();
+                    uint64_t InLoop = 0, OutLoop = 0;
+                    for (uint32_t FI = 0; FI != Prog.M.Functions.size();
+                         ++FI) {
+                      const Function &F = Prog.M.Functions[FI];
+                      DomTree DT = DomTree::forward(F);
+                      LoopInfo LI(F, DT);
+                      for (uint32_t Site = 0;
+                           Site != Prog.M.NumLoadSites; ++Site) {
+                        if (Sites[Site].Func != FI)
+                          continue;
+                        if (LI.isInLoop(Sites[Site].Block))
+                          InLoop += S.SiteCounts[Site];
+                        else
+                          OutLoop += S.SiteCounts[Site];
+                      }
+                    }
+                    *Share = percent(
+                        static_cast<double>(InLoop),
+                        static_cast<double>(InLoop + OutLoop));
+                  });
+  }
+  Engine.run();
+
+  for (size_t WI = 0; WI != Workloads.size(); ++WI) {
+    double InPct = InLoopShares[WI];
+    T.row({Workloads[WI]->info().Name, Table::fmtPercent(InPct),
            Table::fmtPercent(100.0 - InPct)});
   }
   double Avg = mean(InLoopShares);

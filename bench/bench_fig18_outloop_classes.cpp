@@ -22,13 +22,15 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   Table T("Figure 18: out-loop load references by stride property "
           "(% of all load refs, naive-all profile)");
   T.row({"benchmark", "SSST", "PMST", "WSST", "no-stride"});
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
   std::vector<double> S, P, W, N;
-  for (const auto &Wl : makeSpecIntSuite()) {
-    PopulationRow R = classifyLoadPopulation(*Wl, /*InLoopWanted=*/false);
+  for (const PopulationRow &R : classifySuitePopulation(
+           Engine, workloadPointers(Suite), /*InLoopWanted=*/false)) {
     S.push_back(R.SsstPct);
     P.push_back(R.PmstPct);
     W.push_back(R.WsstPct);
@@ -36,7 +38,6 @@ int main() {
     T.row({R.Bench, Table::fmtPercent(R.SsstPct),
            Table::fmtPercent(R.PmstPct), Table::fmtPercent(R.WsstPct),
            Table::fmtPercent(R.NonePct)});
-    std::cerr << "measured " << R.Bench << "\n";
   }
   T.row({"average", Table::fmtPercent(mean(S)), Table::fmtPercent(mean(P)),
          Table::fmtPercent(mean(W)), Table::fmtPercent(mean(N))});

@@ -31,10 +31,13 @@ int main(int Argc, char **Argv) {
     Header.push_back(profilingMethodName(M));
   T.row(Header);
 
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
+  std::vector<BenchMeasurement> Measurements =
+      measureSuite(Engine, workloadPointers(Suite), {}, Methods);
+
   std::map<ProfilingMethod, std::vector<double>> PerMethod;
-  std::vector<BenchMeasurement> Measurements;
-  for (const auto &W : makeSpecIntSuite()) {
-    BenchMeasurement BM = measureBenchmark(*W);
+  for (const BenchMeasurement &BM : Measurements) {
     std::vector<std::string> Row = {BM.Name};
     for (ProfilingMethod M : Methods) {
       double Overhead =
@@ -45,8 +48,6 @@ int main(int Argc, char **Argv) {
       Row.push_back(Table::fmtPercent(100.0 * Overhead, 0));
     }
     T.row(Row);
-    std::cerr << "measured " << BM.Name << "\n";
-    Measurements.push_back(std::move(BM));
   }
 
   std::vector<std::string> AvgRow = {"average"};

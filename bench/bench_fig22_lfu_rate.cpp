@@ -30,10 +30,13 @@ int main(int Argc, char **Argv) {
     Header.push_back(profilingMethodName(M));
   T.row(Header);
 
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
+  std::vector<BenchMeasurement> Measurements =
+      measureSuite(Engine, workloadPointers(Suite), {}, Methods);
+
   std::map<ProfilingMethod, std::vector<double>> Lfu, ZeroShare;
-  std::vector<BenchMeasurement> Measurements;
-  for (const auto &W : makeSpecIntSuite()) {
-    BenchMeasurement BM = measureBenchmark(*W);
+  for (const BenchMeasurement &BM : Measurements) {
     std::vector<std::string> Row = {BM.Name};
     for (ProfilingMethod M : Methods) {
       const MethodMeasurement &MM = BM.Methods.at(M);
@@ -46,8 +49,6 @@ int main(int Argc, char **Argv) {
       Row.push_back(Table::fmtPercent(Pct));
     }
     T.row(Row);
-    std::cerr << "measured " << BM.Name << "\n";
-    Measurements.push_back(std::move(BM));
   }
 
   std::vector<std::string> AvgRow = {"average"};

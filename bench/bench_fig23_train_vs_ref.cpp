@@ -22,17 +22,18 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   Table T("Figure 23: train-profile vs ref-profile speedups "
           "(sample-edge-check, run=ref)");
   T.row({"benchmark", "train", "ref"});
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
   std::vector<double> Train, Ref;
-  for (const auto &W : makeSpecIntSuite()) {
-    SensitivityMeasurement R = measureSensitivity(*W);
+  for (const SensitivityMeasurement &R :
+       measureSuiteSensitivity(Engine, workloadPointers(Suite))) {
     Train.push_back(R.Train);
     Ref.push_back(R.Ref);
     T.row({R.Name, Table::fmt(R.Train) + "x", Table::fmt(R.Ref) + "x"});
-    std::cerr << "measured " << R.Name << "\n";
   }
   T.row({"average", Table::fmt(mean(Train)) + "x",
          Table::fmt(mean(Ref)) + "x"});

@@ -21,18 +21,19 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   Table T("Figure 25: train vs edge.train-stride.ref speedups "
           "(sample-edge-check, run=ref)");
   T.row({"benchmark", "train", "edge.train-stride.ref"});
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
   std::vector<double> Train, Mixed;
-  for (const auto &W : makeSpecIntSuite()) {
-    SensitivityMeasurement R = measureSensitivity(*W);
+  for (const SensitivityMeasurement &R :
+       measureSuiteSensitivity(Engine, workloadPointers(Suite))) {
     Train.push_back(R.Train);
     Mixed.push_back(R.EdgeTrainStrideRef);
     T.row({R.Name, Table::fmt(R.Train) + "x",
            Table::fmt(R.EdgeTrainStrideRef) + "x"});
-    std::cerr << "measured " << R.Name << "\n";
   }
   T.row({"average", Table::fmt(mean(Train)) + "x",
          Table::fmt(mean(Mixed)) + "x"});

@@ -23,25 +23,25 @@
 
 using namespace sprof;
 
-int main() {
+int main(int Argc, char **Argv) {
   Table T("Prefetch quality (edge-check profile, ref input)");
   T.row({"benchmark", "issued", "redundant", "late", "useful", "unused",
          "accuracy"});
-  for (const auto &W : makeSpecIntSuite()) {
-    Pipeline P(*W);
-    ProfileRunResult Prof = P.runProfile(ProfilingMethod::EdgeCheck,
-                                         DataSet::Train,
-                                         /*WithMemorySystem=*/false);
-    TimedRunResult R = P.runPrefetched(DataSet::Ref, Prof.Edges,
-                                       Prof.Strides);
-    const MemoryStats &S = R.Stats.Mem;
+  auto Suite = makeSpecIntSuite();
+  ExperimentEngine Engine({benchThreads(Argc, Argv)});
+  std::vector<BenchMeasurement> Measurements =
+      measureSuite(Engine, workloadPointers(Suite), {},
+                   {ProfilingMethod::EdgeCheck});
+  for (const BenchMeasurement &BM : Measurements) {
+    const MemoryStats &S =
+        BM.Methods.at(ProfilingMethod::EdgeCheck).RefMemory;
     if (S.PrefetchesIssued == 0) {
-      T.row({W->info().Name, "0", "-", "-", "-", "-", "-"});
+      T.row({BM.Name, "0", "-", "-", "-", "-", "-"});
       continue;
     }
     double NonRedundant = static_cast<double>(S.PrefetchesIssued -
                                               S.PrefetchesRedundant);
-    T.row({W->info().Name, Table::fmtInt(S.PrefetchesIssued),
+    T.row({BM.Name, Table::fmtInt(S.PrefetchesIssued),
            Table::fmtInt(S.PrefetchesRedundant),
            Table::fmtInt(S.LatePrefetchHits),
            Table::fmtInt(S.PrefetchesUseful),
@@ -49,7 +49,6 @@ int main() {
            Table::fmtPercent(
                percent(static_cast<double>(S.PrefetchesUseful),
                        NonRedundant))});
-    std::cerr << "measured " << W->info().Name << "\n";
   }
   T.print(std::cout);
   std::cout << "(accuracy = useful / non-redundant issued; 'unused' lines"

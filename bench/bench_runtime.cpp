@@ -16,11 +16,13 @@
 
 #include "obs/Obs.h"
 #include "profile/LfuValueProfiler.h"
+#include "profile/ProfileStore.h"
 #include "profile/StrideProfiler.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -122,6 +124,65 @@ void BM_StrideProfConstantStrideTelemetry(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_StrideProfConstantStrideTelemetry);
+
+// A synthetic but realistically shaped profile shard: NumSites stride
+// tables populated through the real profiler, plus an edge profile with a
+// handful of counters per function. \p Salt perturbs counts/strides so
+// different shards do not collapse to identical tables.
+ProfileStore makeShard(uint32_t NumSites, uint64_t Salt) {
+  StrideProfilerConfig C;
+  StrideProfiler P(NumSites, C);
+  uint64_t R = 0x1234 + Salt;
+  for (uint32_t Site = 0; Site != NumSites; ++Site) {
+    uint64_t Addr = 0x100000;
+    uint64_t Stride = 8 * (1 + ((Site + Salt) & 7));
+    for (unsigned I = 0; I != 64; ++I) {
+      P.profile(Site, Addr);
+      Addr += (nextRand(R) & 15) ? Stride : (nextRand(R) & 0xFFF);
+    }
+  }
+  EdgeProfile Edges(4);
+  for (uint32_t F = 0; F != 4; ++F) {
+    Edges.setEntryCount(F, 100 + Salt + F);
+    for (uint32_t B = 0; B != 8; ++B)
+      Edges.setFrequency(F, Edge{B, 0}, (B + 1) * 10 + Salt);
+  }
+  return ProfileStore({"bench.synthetic", "edge-check", "train"},
+                      std::move(Edges), StrideProfile::fromProfiler(P));
+}
+
+void BM_ProfileStoreMerge(benchmark::State &State) {
+  // Shard merge throughput: union 8 shards' stride tables and edge
+  // counters, then one LFU-style truncation — the per-aggregation cost of
+  // the sharded-profile workflow.
+  const uint32_t NumSites = static_cast<uint32_t>(State.range(0));
+  std::vector<ProfileStore> Shards;
+  for (uint64_t S = 0; S != 8; ++S)
+    Shards.push_back(makeShard(NumSites, S));
+  std::vector<const ProfileStore *> Ptrs;
+  for (const ProfileStore &S : Shards)
+    Ptrs.push_back(&S);
+  for (auto _ : State) {
+    ProfileStore Merged;
+    bool Ok = ProfileStore::mergeShards(Ptrs, 8, Merged);
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Merged);
+  }
+}
+BENCHMARK(BM_ProfileStoreMerge)->Arg(16)->Arg(256);
+
+void BM_ProfileStoreSaveLoad(benchmark::State &State) {
+  // Serialization round-trip: text write + parse of one mid-size store.
+  ProfileStore Store = makeShard(256, 0);
+  for (auto _ : State) {
+    std::string Text = Store.toString();
+    ProfileStore Loaded;
+    bool Ok = ProfileStore::loadString(Text, Loaded);
+    benchmark::DoNotOptimize(Ok);
+    benchmark::DoNotOptimize(Loaded);
+  }
+}
+BENCHMARK(BM_ProfileStoreSaveLoad);
 
 void BM_StrideProfSampled(benchmark::State &State) {
   // With sampling, most invocations exit at the chunk/fine checks.

@@ -9,19 +9,17 @@
 /// The usability scenario of paper Section 3.2: in a cross-compilation
 /// setting the instrumented binary runs on a different machine, so profiles
 /// must round-trip through files. This example instruments 181.mcf-like
-/// with the single-pass sample-edge-check method, writes the combined
-/// edge+stride profile to disk, reads it back (as the feedback compilation
-/// would), and verifies the rebuilt binary performs identically to one fed
-/// the in-memory profiles.
+/// with the single-pass sample-edge-check method, saves the combined
+/// edge+stride profile as a versioned sprof.profile/1 file, loads it back
+/// (as the feedback compilation would), and verifies the rebuilt binary
+/// performs identically to one fed the in-memory profiles.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
-#include "profile/ProfileData.h"
+#include "profile/ProfileStore.h"
 
-#include <fstream>
 #include <iostream>
-#include <sstream>
 
 using namespace sprof;
 
@@ -34,29 +32,33 @@ int main() {
                                        DataSet::Train,
                                        /*WithMemorySystem=*/false);
 
-  // Ship the profiles as a file.
+  // Ship the profiles as a file, stamped with their provenance so the
+  // feedback compilation can refuse profiles from the wrong program.
   const char *Path = "mcf.sprof.txt";
-  {
-    std::ofstream OS(Path);
-    writeProfiles(Prof.Edges, Prof.Strides, OS);
+  ProfileStore Store({W->info().Name,
+                      profilingMethodName(ProfilingMethod::SampleEdgeCheck),
+                      dataSetName(DataSet::Train)},
+                     Prof.Edges, Prof.Strides);
+  if (!Store.saveFile(Path)) {
+    std::cerr << "error: cannot write " << Path << "\n";
+    return 1;
   }
   std::cout << "wrote combined edge+stride profile to " << Path << "\n";
 
-  // Pass 2 (on the "build machine"): read the profile back and compile
+  // Pass 2 (on the "build machine"): load the profile back and compile
   // with feedback.
-  Program Fresh = W->build(DataSet::Ref);
-  EdgeProfile Edges;
-  StrideProfile Strides;
-  {
-    std::ifstream IS(Path);
-    if (!readProfiles(IS, Fresh.M.Functions.size(), Fresh.M.NumLoadSites,
-                      Edges, Strides)) {
-      std::cerr << "error: malformed profile file\n";
-      return 1;
-    }
+  ProfileStore Loaded;
+  std::string Error;
+  if (!ProfileStore::loadFile(Path, Loaded, &Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
   }
+  std::cout << "loaded profile: workload " << Loaded.meta().Workload
+            << ", method " << Loaded.meta().Method << ", dataset "
+            << Loaded.meta().DataSet << "\n";
 
-  TimedRunResult FromDisk = P.runPrefetched(DataSet::Ref, Edges, Strides);
+  TimedRunResult FromDisk =
+      P.runPrefetched(DataSet::Ref, Loaded.edges(), Loaded.strides());
   TimedRunResult FromMemory =
       P.runPrefetched(DataSet::Ref, Prof.Edges, Prof.Strides);
 

@@ -34,7 +34,8 @@ public:
     return {"quickstart.chase", "IR", "Figure 3 pointer chase"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const uint64_t Count = DS == DataSet::Ref ? 60000 : 20000;
     Program Prog;
     Prog.M.Name = "quickstart";

@@ -1,0 +1,183 @@
+//===- driver/Engine.cpp - Parallel experiment engine ----------------------===//
+//
+// Part of the StrideProf project (see Engine.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Engine.h"
+
+#include <string>
+#include <utility>
+
+using namespace sprof;
+
+const SweepCell *SweepResult::find(const Workload *W, ProfilingMethod Method,
+                                   DataSet ProfileDS,
+                                   uint64_t SeedOffset) const {
+  for (const SweepCell &Cell : Cells)
+    if (Cell.W == W && Cell.Method == Method &&
+        Cell.ProfileDS == ProfileDS && Cell.SeedOffset == SeedOffset)
+      return &Cell;
+  return nullptr;
+}
+
+ExperimentEngine::ExperimentEngine(EngineOptions Opts)
+    : Opts(std::move(Opts)) {
+  if (this->Opts.Threads == 0)
+    this->Opts.Threads = 1;
+  if (this->Opts.Obs.Enabled)
+    Session = std::make_unique<ObsSession>(this->Opts.Obs);
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+JobId ExperimentEngine::addJob(std::string Name, std::string Category,
+                               JobFn Fn, std::vector<JobId> Deps) {
+  // One slot per job, indexed by JobId. Capture the index, not an element
+  // pointer: later addJob calls may reallocate the vector, and by the time
+  // jobs run no further push_back can happen, so JobObs[Index] is stable.
+  JobObs.push_back(nullptr);
+  const size_t Index = JobObs.size() - 1;
+  ObsSession *S = Session.get();
+  return Graph.add(
+      std::move(Name), std::move(Category),
+      [this, S, Index, Fn = std::move(Fn)](uint32_t /*Worker*/) {
+        ObsSession *Scope = nullptr;
+        if (S) {
+          JobObs[Index] = std::make_unique<ObsSession>(S->jobConfig());
+          Scope = JobObs[Index].get();
+        }
+        Fn(Scope);
+      },
+      std::move(Deps));
+}
+
+void ExperimentEngine::run() {
+  const uint64_t SessionStartUs = Session ? Session->trace().nowUs() : 0;
+  Outcomes = Graph.run(Opts.Threads);
+
+  // Fold per-job telemetry in JobId order so the session registry, the
+  // trace, and the "jobs" array never depend on completion order.
+  if (Session) {
+    for (JobId Id = 0; Id != Outcomes.size(); ++Id) {
+      const JobOutcome &O = Outcomes[Id];
+      const uint64_t StartUs = SessionStartUs + O.StartUs;
+      JobRecord R;
+      R.Name = Graph.name(Id);
+      R.Category = Graph.category(Id);
+      R.StartUs = StartUs;
+      R.DurationUs = O.DurationUs;
+      R.Worker = O.Worker;
+      R.Ok = O.Ok;
+      if (!O.Ok)
+        R.Error = O.Error;
+      if (ObsSession *Scope = JobObs[Id].get()) {
+        Session->registry().merge(Scope->registry());
+        R.Metrics = Scope->registry();
+        if (O.Ran) {
+          Session->trace().appendCompletedSpan(R.Name, R.Category, StartUs,
+                                               O.DurationUs, O.Worker,
+                                               /*Depth=*/0);
+          Session->trace().appendForeign(Scope->trace(), StartUs, O.Worker,
+                                         /*DepthBase=*/1);
+        }
+      }
+      Session->recordJob(std::move(R));
+    }
+  }
+
+  // Reset for the next wave before any rethrow, so a caught failure leaves
+  // the engine usable.
+  Graph = JobGraph();
+  JobObs.clear();
+
+  for (const JobOutcome &O : Outcomes)
+    if (O.Exception)
+      std::rethrow_exception(O.Exception);
+}
+
+SweepResult ExperimentEngine::runSweep(const SweepSpec &Spec) {
+  SweepResult Result;
+  const size_t CellsPerWorkload = Spec.SeedOffsets.size() *
+                                  Spec.Methods.size() *
+                                  Spec.ProfileInputs.size();
+  Result.Cells.resize(Spec.Workloads.size() * CellsPerWorkload);
+  if (Spec.Baseline)
+    Result.BaselineCycles.assign(Spec.Workloads.size(), 0);
+
+  size_t Idx = 0;
+  for (size_t WI = 0; WI != Spec.Workloads.size(); ++WI) {
+    const Workload *W = Spec.Workloads[WI];
+    const std::string WName = W->info().Name;
+
+    if (Spec.Baseline) {
+      uint64_t *BaseOut = &Result.BaselineCycles[WI];
+      addJob("baseline:" + WName, "baseline-job",
+             [W, &Spec, BaseOut](ObsSession *JobObs) {
+               Pipeline P(*W, Spec.Config, JobObs);
+               *BaseOut = P.runBaseline(Spec.FeedbackInput).Cycles;
+             });
+    }
+
+    for (uint64_t Seed : Spec.SeedOffsets) {
+      for (ProfilingMethod Method : Spec.Methods) {
+        for (DataSet DS : Spec.ProfileInputs) {
+          SweepCell *Cell = &Result.Cells[Idx++];
+          Cell->W = W;
+          Cell->Method = Method;
+          Cell->ProfileDS = DS;
+          Cell->SeedOffset = Seed;
+
+          std::string Tag = WName + "/" +
+                            profilingMethodName(Method) + "/" +
+                            dataSetName(DS);
+          if (Seed != 0)
+            Tag += "/seed" + std::to_string(Seed);
+
+          JobId RunId = addJob(
+              "profile:" + Tag, "run-job",
+              [Cell, &Spec](ObsSession *JobObs) {
+                PipelineConfig C = Spec.Config;
+                C.WorkloadSeedOffset = Cell->SeedOffset;
+                Pipeline P(*Cell->W, C, JobObs);
+                Cell->Profile = P.runProfile(Cell->Method, Cell->ProfileDS,
+                                             Spec.WithMemorySystem);
+              });
+
+          if (Spec.Feedback)
+            addJob(
+                "feedback:" + Tag, "feedback-job",
+                [Cell, &Spec](ObsSession *JobObs) {
+                  PipelineConfig C = Spec.Config;
+                  C.WorkloadSeedOffset = Cell->SeedOffset;
+                  Pipeline P(*Cell->W, C, JobObs);
+                  Cell->Timed = P.runPrefetched(Spec.FeedbackInput,
+                                                Cell->Profile.Edges,
+                                                Cell->Profile.Strides);
+                  Cell->HasFeedback = true;
+                },
+                {RunId});
+        }
+      }
+    }
+  }
+
+  run();
+
+  if (Spec.Baseline && Spec.Feedback) {
+    Idx = 0;
+    for (size_t WI = 0; WI != Spec.Workloads.size(); ++WI)
+      for (size_t CI = 0; CI != CellsPerWorkload; ++CI, ++Idx) {
+        SweepCell &Cell = Result.Cells[Idx];
+        if (Cell.HasFeedback && Cell.Timed.Stats.Cycles != 0)
+          Cell.Speedup =
+              static_cast<double>(Result.BaselineCycles[WI]) /
+              static_cast<double>(Cell.Timed.Stats.Cycles);
+      }
+  }
+  return Result;
+}
+
+bool ExperimentEngine::writeArtifacts() const {
+  return Session ? Session->writeArtifacts() : true;
+}

@@ -1,0 +1,156 @@
+//===- driver/Engine.h - Parallel experiment engine -------------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ExperimentEngine runs experiment jobs — pipeline runs over a
+/// workload × method × input × seed grid — on a JobGraph thread pool with
+/// per-job isolation:
+///
+///   * every job constructs its own Pipeline (and therefore rebuilds its
+///     own Program) and owns its RNG seed via PipelineConfig's
+///     WorkloadSeedOffset, so jobs share no mutable state and an N-thread
+///     sweep is bit-identical to the serial one;
+///   * every job runs against a private ObsSession (when session telemetry
+///     is on); after the graph drains, job scopes fold into the session
+///     registry/trace in deterministic JobId order, one span per job lands
+///     on the worker's trace lane, and the run report gains a "jobs"
+///     array.
+///
+/// Two levels of API: addJob()/run() schedules arbitrary closures with
+/// dependencies (the suite helpers in Experiments.h use this), and
+/// runSweep() expands a declarative SweepSpec into independent RunJobs
+/// (instrument → interpret → profile) plus dependent FeedbackJobs
+/// (classify → prefetch → timed run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_DRIVER_ENGINE_H
+#define SPROF_DRIVER_ENGINE_H
+
+#include "driver/JobGraph.h"
+#include "driver/Pipeline.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Engine-level knobs.
+struct EngineOptions {
+  /// Worker threads. 1 executes jobs inline in deterministic topological
+  /// order; results never depend on this value.
+  unsigned Threads = 1;
+  /// Session-level telemetry; jobs get derived scopes (ObsSession's
+  /// jobConfig).
+  ObsConfig Obs;
+};
+
+/// A declarative sweep: the cross product of workloads × seed offsets ×
+/// profiling methods × profile inputs, each cell one independent RunJob,
+/// optionally followed by a dependent FeedbackJob on the feedback input.
+struct SweepSpec {
+  std::vector<const Workload *> Workloads;
+  std::vector<ProfilingMethod> Methods = {ProfilingMethod::EdgeCheck};
+  std::vector<DataSet> ProfileInputs = {DataSet::Train};
+  /// Workload seed offsets (see BuildRequest); one grid slice per entry.
+  /// Offset 0 is the canonical build.
+  std::vector<uint64_t> SeedOffsets = {0};
+  PipelineConfig Config;
+  /// Simulate the cache hierarchy during profile runs (profiles do not
+  /// depend on it; overhead measurements keep it on).
+  bool WithMemorySystem = true;
+  /// Add one FeedbackJob per cell: classify the cell's profiles, insert
+  /// prefetches, and time the result on FeedbackInput.
+  bool Feedback = false;
+  DataSet FeedbackInput = DataSet::Ref;
+  /// Add one baseline timed run per workload on FeedbackInput (denominator
+  /// for per-cell speedups).
+  bool Baseline = false;
+};
+
+/// One grid cell of a finished sweep.
+struct SweepCell {
+  const Workload *W = nullptr;
+  ProfilingMethod Method = ProfilingMethod::EdgeOnly;
+  DataSet ProfileDS = DataSet::Train;
+  uint64_t SeedOffset = 0;
+  ProfileRunResult Profile;
+  /// Set by the cell's FeedbackJob (SweepSpec::Feedback).
+  bool HasFeedback = false;
+  TimedRunResult Timed;
+  /// Baseline cycles / prefetched cycles; 0 unless both Baseline and
+  /// Feedback were requested.
+  double Speedup = 0.0;
+};
+
+/// All cells in deterministic order: workload-major, then seed offset,
+/// then method, then profile input.
+struct SweepResult {
+  std::vector<SweepCell> Cells;
+  /// Per-workload baseline cycles (parallel to SweepSpec::Workloads);
+  /// empty unless SweepSpec::Baseline.
+  std::vector<uint64_t> BaselineCycles;
+
+  /// The first cell matching the coordinates, or nullptr.
+  const SweepCell *find(const Workload *W, ProfilingMethod Method,
+                        DataSet ProfileDS = DataSet::Train,
+                        uint64_t SeedOffset = 0) const;
+};
+
+/// Schedules experiment jobs over a fixed-size thread pool. Reusable: each
+/// run() executes the jobs added since the previous run().
+class ExperimentEngine {
+public:
+  explicit ExperimentEngine(EngineOptions Opts = {});
+  ~ExperimentEngine();
+
+  unsigned threads() const { return Opts.Threads; }
+
+  /// The session, or nullptr when Opts.Obs.Enabled is false.
+  ObsSession *obs() const { return Session.get(); }
+
+  /// The job body. \p JobObs is the job's private telemetry scope
+  /// (nullptr when telemetry is off); pass it to Pipeline's
+  /// external-session constructor.
+  using JobFn = std::function<void(ObsSession *JobObs)>;
+
+  /// Schedules \p Fn after \p Deps. Categories name job kinds in traces
+  /// and reports ("run-job", "feedback-job", ...).
+  JobId addJob(std::string Name, std::string Category, JobFn Fn,
+               std::vector<JobId> Deps = {});
+
+  /// Executes all pending jobs, folds job telemetry into the session, and
+  /// resets the graph for the next wave. If any job threw, rethrows the
+  /// first failure (in JobId order) after the fold; jobs downstream of a
+  /// failure are skipped, all others still run.
+  void run();
+
+  /// Outcomes of the most recent run(), indexed by the JobIds it drained.
+  const std::vector<JobOutcome> &lastOutcomes() const { return Outcomes; }
+
+  /// Expands \p Spec into jobs, runs them, and assembles the grid.
+  SweepResult runSweep(const SweepSpec &Spec);
+
+  /// Writes session artifacts (Chrome trace) per the session config.
+  bool writeArtifacts() const;
+
+private:
+  EngineOptions Opts;
+  std::unique_ptr<ObsSession> Session;
+  JobGraph Graph;
+  /// One slot per pending job; the job's wrapper fills it at job start.
+  /// Preallocated in addJob so worker threads never resize the vector.
+  std::vector<std::unique_ptr<ObsSession>> JobObs;
+  std::vector<JobOutcome> Outcomes;
+};
+
+} // namespace sprof
+
+#endif // SPROF_DRIVER_ENGINE_H

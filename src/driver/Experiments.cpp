@@ -11,22 +11,26 @@
 #include "analysis/LoopInfo.h"
 #include "support/Stats.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 using namespace sprof;
 
-PopulationRow sprof::classifyLoadPopulation(const Workload &W,
+/// classifyLoadPopulation body, parameterized over the telemetry scope so
+/// engine jobs can run it against their job session.
+static PopulationRow classifyPopulationImpl(const Workload &W,
                                             bool InLoopWanted,
-                                            const PipelineConfig &Config) {
-  Pipeline P(W, Config);
+                                            const PipelineConfig &Config,
+                                            ObsSession *Obs) {
+  Pipeline P(W, Config, Obs);
   // Naive-all profiles every load; run on the reference input so the
   // population weights match the performance runs.
   ProfileRunResult PR = P.runProfile(ProfilingMethod::NaiveAll, DataSet::Ref,
                                      /*WithMemorySystem=*/false);
 
   // In-loop classification per site on the original module.
-  Program Prog = W.build(DataSet::Ref);
+  Program Prog = W.build({DataSet::Ref, Config.WorkloadSeedOffset});
   std::vector<SiteLocation> Sites = Prog.M.locateLoadSites();
   std::vector<bool> SiteInLoop(Prog.M.NumLoadSites, false);
   for (uint32_t FI = 0; FI != Prog.M.Functions.size(); ++FI) {
@@ -62,57 +66,235 @@ PopulationRow sprof::classifyLoadPopulation(const Workload &W,
   return Row;
 }
 
+PopulationRow sprof::classifyLoadPopulation(const Workload &W,
+                                            bool InLoopWanted,
+                                            const PipelineConfig &Config) {
+  return classifyPopulationImpl(W, InLoopWanted, Config, /*Obs=*/nullptr);
+}
+
+std::vector<const Workload *> sprof::workloadPointers(
+    const std::vector<std::unique_ptr<Workload>> &Suite) {
+  std::vector<const Workload *> Ptrs;
+  Ptrs.reserve(Suite.size());
+  for (const auto &W : Suite)
+    Ptrs.push_back(W.get());
+  return Ptrs;
+}
+
+std::vector<BenchMeasurement>
+sprof::measureSuite(ExperimentEngine &Engine,
+                    const std::vector<const Workload *> &Workloads,
+                    const PipelineConfig &Config,
+                    const std::vector<ProfilingMethod> &Methods) {
+  std::vector<BenchMeasurement> Results(Workloads.size());
+  // Profiles flow from each RunJob to its FeedbackJob through these
+  // preallocated slots; nothing is shared between (workload, method)
+  // pairs.
+  std::vector<ProfileRunResult> Profiles(Workloads.size() * Methods.size());
+
+  for (size_t WI = 0; WI != Workloads.size(); ++WI) {
+    const Workload *W = Workloads[WI];
+    BenchMeasurement &BM = Results[WI];
+    BM.Name = W->info().Name;
+    // Populate the method map up front: jobs then write through stable
+    // references without mutating the map concurrently.
+    for (ProfilingMethod M : Methods)
+      BM.Methods.emplace(M, MethodMeasurement{});
+
+    Engine.addJob("baseline:" + BM.Name + "/ref", "baseline-job",
+                  [W, &Config, &BM](ObsSession *JobObs) {
+                    Pipeline P(*W, Config, JobObs);
+                    BM.BaselineRefCycles =
+                        P.runBaseline(DataSet::Ref).Cycles;
+                  });
+    Engine.addJob("profile:" + BM.Name + "/edge-only/train", "run-job",
+                  [W, &Config, &BM](ObsSession *JobObs) {
+                    Pipeline P(*W, Config, JobObs);
+                    BM.EdgeOnlyTrainCycles =
+                        P.runProfile(ProfilingMethod::EdgeOnly,
+                                     DataSet::Train)
+                            .Stats.Cycles;
+                  });
+
+    for (size_t MI = 0; MI != Methods.size(); ++MI) {
+      ProfilingMethod M = Methods[MI];
+      MethodMeasurement *MM = &BM.Methods.at(M);
+      ProfileRunResult *PR = &Profiles[WI * Methods.size() + MI];
+      std::string Tag =
+          BM.Name + "/" + profilingMethodName(M) + "/train";
+
+      JobId Run = Engine.addJob(
+          "profile:" + Tag, "run-job",
+          [W, &Config, M, MM, PR](ObsSession *JobObs) {
+            Pipeline P(*W, Config, JobObs);
+            *PR = P.runProfile(M, DataSet::Train);
+            MM->ProfiledCycles = PR->Stats.Cycles;
+            MM->StrideInvocations = PR->StrideInvocations;
+            MM->StrideProcessed = PR->StrideProcessed;
+            MM->LfuCalls = PR->LfuCalls;
+            MM->TrainLoadRefs = PR->Stats.LoadRefs;
+          });
+      Engine.addJob(
+          "feedback:" + Tag, "feedback-job",
+          [W, &Config, MM, PR](ObsSession *JobObs) {
+            Pipeline P(*W, Config, JobObs);
+            TimedRunResult TR =
+                P.runPrefetched(DataSet::Ref, PR->Edges, PR->Strides);
+            MM->Prefetches = TR.Prefetches;
+            MM->PrefetchedRefCycles = TR.Stats.Cycles;
+            MM->RefMemory = TR.Stats.Mem;
+          },
+          {Run});
+    }
+  }
+
+  Engine.run();
+
+  for (BenchMeasurement &BM : Results)
+    for (auto &[M, MM] : BM.Methods)
+      if (MM.PrefetchedRefCycles != 0)
+        MM.Speedup = static_cast<double>(BM.BaselineRefCycles) /
+                     static_cast<double>(MM.PrefetchedRefCycles);
+  return Results;
+}
+
 BenchMeasurement
 sprof::measureBenchmark(const Workload &W, const PipelineConfig &Config,
                         const std::vector<ProfilingMethod> &Methods) {
-  Pipeline P(W, Config);
-  BenchMeasurement Result;
-  Result.Name = W.info().Name;
+  ExperimentEngine Engine;
+  return std::move(measureSuite(Engine, {&W}, Config, Methods).front());
+}
 
-  Result.BaselineRefCycles = P.runBaseline(DataSet::Ref).Cycles;
-  Result.EdgeOnlyTrainCycles =
-      P.runProfile(ProfilingMethod::EdgeOnly, DataSet::Train).Stats.Cycles;
-
-  for (ProfilingMethod M : Methods) {
-    MethodMeasurement MM;
-    ProfileRunResult PR = P.runProfile(M, DataSet::Train);
-    MM.ProfiledCycles = PR.Stats.Cycles;
-    MM.StrideInvocations = PR.StrideInvocations;
-    MM.StrideProcessed = PR.StrideProcessed;
-    MM.LfuCalls = PR.LfuCalls;
-    MM.TrainLoadRefs = PR.Stats.LoadRefs;
-
-    TimedRunResult TR = P.runPrefetched(DataSet::Ref, PR.Edges, PR.Strides);
-    MM.Prefetches = TR.Prefetches;
-    MM.Speedup = static_cast<double>(Result.BaselineRefCycles) /
-                 static_cast<double>(TR.Stats.Cycles);
-    Result.Methods.emplace(M, MM);
+std::vector<PopulationRow> sprof::classifySuitePopulation(
+    ExperimentEngine &Engine, const std::vector<const Workload *> &Workloads,
+    bool InLoopWanted, const PipelineConfig &Config) {
+  std::vector<PopulationRow> Results(Workloads.size());
+  for (size_t WI = 0; WI != Workloads.size(); ++WI) {
+    const Workload *W = Workloads[WI];
+    PopulationRow *Row = &Results[WI];
+    Engine.addJob("classify:" + W->info().Name, "run-job",
+                  [W, InLoopWanted, &Config, Row](ObsSession *JobObs) {
+                    *Row = classifyPopulationImpl(*W, InLoopWanted, Config,
+                                                  JobObs);
+                  });
   }
-  return Result;
+  Engine.run();
+  return Results;
+}
+
+std::vector<SensitivityMeasurement> sprof::measureSuiteSensitivity(
+    ExperimentEngine &Engine, const std::vector<const Workload *> &Workloads,
+    const PipelineConfig &Config) {
+  std::vector<SensitivityMeasurement> Results(Workloads.size());
+  struct Slot {
+    ProfileRunResult Train, Ref;
+    uint64_t BaseCycles = 0;
+    uint64_t Cycles[4] = {0, 0, 0, 0}; ///< train, ref, er-st, et-sr
+  };
+  std::vector<Slot> Slots(Workloads.size());
+
+  for (size_t WI = 0; WI != Workloads.size(); ++WI) {
+    const Workload *W = Workloads[WI];
+    const std::string Name = W->info().Name;
+    Results[WI].Name = Name;
+    Slot *S = &Slots[WI];
+
+    Engine.addJob("baseline:" + Name + "/ref", "baseline-job",
+                  [W, &Config, S](ObsSession *JobObs) {
+                    Pipeline P(*W, Config, JobObs);
+                    S->BaseCycles = P.runBaseline(DataSet::Ref).Cycles;
+                  });
+    JobId TrainJob = Engine.addJob(
+        "profile:" + Name + "/sample-edge-check/train", "run-job",
+        [W, &Config, S](ObsSession *JobObs) {
+          Pipeline P(*W, Config, JobObs);
+          S->Train = P.runProfile(ProfilingMethod::SampleEdgeCheck,
+                                  DataSet::Train,
+                                  /*WithMemorySystem=*/false);
+        });
+    JobId RefJob = Engine.addJob(
+        "profile:" + Name + "/sample-edge-check/ref", "run-job",
+        [W, &Config, S](ObsSession *JobObs) {
+          Pipeline P(*W, Config, JobObs);
+          S->Ref = P.runProfile(ProfilingMethod::SampleEdgeCheck,
+                                DataSet::Ref,
+                                /*WithMemorySystem=*/false);
+        });
+
+    // The four Figure 23-25 binaries: every edge × stride profile pairing,
+    // each timed on the reference input.
+    struct Combo {
+      const char *Tag;
+      bool EdgeFromTrain, StrideFromTrain;
+      std::vector<JobId> Deps;
+    };
+    const Combo Combos[4] = {
+        {"train", true, true, {TrainJob}},
+        {"ref", false, false, {RefJob}},
+        {"edge-ref.stride-train", false, true, {TrainJob, RefJob}},
+        {"edge-train.stride-ref", true, false, {TrainJob, RefJob}},
+    };
+    for (unsigned CI = 0; CI != 4; ++CI) {
+      const Combo &C = Combos[CI];
+      Engine.addJob(
+          "feedback:" + Name + "/" + C.Tag, "feedback-job",
+          [W, &Config, S, C, CI](ObsSession *JobObs) {
+            Pipeline P(*W, Config, JobObs);
+            const EdgeProfile &EP =
+                C.EdgeFromTrain ? S->Train.Edges : S->Ref.Edges;
+            const StrideProfile &SP =
+                C.StrideFromTrain ? S->Train.Strides : S->Ref.Strides;
+            S->Cycles[CI] =
+                P.runPrefetched(DataSet::Ref, EP, SP).Stats.Cycles;
+          },
+          C.Deps);
+    }
+  }
+
+  Engine.run();
+
+  for (size_t WI = 0; WI != Workloads.size(); ++WI) {
+    const Slot &S = Slots[WI];
+    auto Ratio = [&](uint64_t Cycles) {
+      return Cycles ? static_cast<double>(S.BaseCycles) /
+                          static_cast<double>(Cycles)
+                    : 1.0;
+    };
+    Results[WI].Train = Ratio(S.Cycles[0]);
+    Results[WI].Ref = Ratio(S.Cycles[1]);
+    Results[WI].EdgeRefStrideTrain = Ratio(S.Cycles[2]);
+    Results[WI].EdgeTrainStrideRef = Ratio(S.Cycles[3]);
+  }
+  return Results;
 }
 
 SensitivityMeasurement
 sprof::measureSensitivity(const Workload &W, const PipelineConfig &Config) {
-  Pipeline P(W, Config);
-  SensitivityMeasurement R;
-  R.Name = W.info().Name;
+  ExperimentEngine Engine;
+  return std::move(measureSuiteSensitivity(Engine, {&W}, Config).front());
+}
 
-  ProfileRunResult Train = P.runProfile(ProfilingMethod::SampleEdgeCheck,
-                                        DataSet::Train,
-                                        /*WithMemorySystem=*/false);
-  ProfileRunResult Ref = P.runProfile(ProfilingMethod::SampleEdgeCheck,
-                                      DataSet::Ref,
-                                      /*WithMemorySystem=*/false);
-  uint64_t Base = P.runBaseline(DataSet::Ref).Cycles;
-  auto Speedup = [&](const EdgeProfile &EP, const StrideProfile &SP) {
-    TimedRunResult T = P.runPrefetched(DataSet::Ref, EP, SP);
-    return static_cast<double>(Base) / static_cast<double>(T.Stats.Cycles);
-  };
-  R.Train = Speedup(Train.Edges, Train.Strides);
-  R.Ref = Speedup(Ref.Edges, Ref.Strides);
-  R.EdgeRefStrideTrain = Speedup(Ref.Edges, Train.Strides);
-  R.EdgeTrainStrideRef = Speedup(Train.Edges, Ref.Strides);
-  return R;
+std::vector<BaselineMeasurement> sprof::measureSuiteBaselines(
+    ExperimentEngine &Engine, const std::vector<const Workload *> &Workloads,
+    const PipelineConfig &Config) {
+  std::vector<BaselineMeasurement> Results(Workloads.size());
+  for (size_t WI = 0; WI != Workloads.size(); ++WI) {
+    const Workload *W = Workloads[WI];
+    BaselineMeasurement *BM = &Results[WI];
+    BM->Info = W->info();
+    Engine.addJob("baseline:" + BM->Info.Name + "/train", "baseline-job",
+                  [W, &Config, BM](ObsSession *JobObs) {
+                    Pipeline P(*W, Config, JobObs);
+                    BM->Train = P.runBaseline(DataSet::Train);
+                  });
+    Engine.addJob("baseline:" + BM->Info.Name + "/ref", "baseline-job",
+                  [W, &Config, BM](ObsSession *JobObs) {
+                    Pipeline P(*W, Config, JobObs);
+                    BM->Ref = P.runBaseline(DataSet::Ref);
+                  });
+  }
+  Engine.run();
+  return Results;
 }
 
 JsonValue sprof::methodMeasurementToJson(const MethodMeasurement &M) {
@@ -123,6 +305,7 @@ JsonValue sprof::methodMeasurementToJson(const MethodMeasurement &M) {
   J.set("stride_processed", M.StrideProcessed);
   J.set("lfu_calls", M.LfuCalls);
   J.set("train_load_refs", M.TrainLoadRefs);
+  J.set("prefetched_ref_cycles", M.PrefetchedRefCycles);
   JsonValue P = JsonValue::object();
   P.set("ssst", M.Prefetches.SsstPrefetches)
       .set("pmst", M.Prefetches.PmstPrefetches)
@@ -175,6 +358,23 @@ std::optional<std::string> sprof::benchReportPath(
       Path = std::string(Argv[I] + 7);
   }
   return Path;
+}
+
+unsigned sprof::benchThreads(int Argc, char **Argv, unsigned Default) {
+  unsigned Threads = Default;
+  auto Parse = [&](const char *Value) {
+    char *End = nullptr;
+    unsigned long N = std::strtoul(Value, &End, 10);
+    if (End != Value && *End == '\0' && N >= 1 && N <= 1024)
+      Threads = static_cast<unsigned>(N);
+  };
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--threads=", 10) == 0)
+      Parse(Argv[I] + 10);
+    else if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc)
+      Parse(Argv[++I]);
+  }
+  return Threads;
 }
 
 std::optional<double> sprof::paperFig16Speedup(const std::string &Bench) {

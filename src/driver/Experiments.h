@@ -15,6 +15,7 @@
 #ifndef SPROF_DRIVER_EXPERIMENTS_H
 #define SPROF_DRIVER_EXPERIMENTS_H
 
+#include "driver/Engine.h"
 #include "driver/Pipeline.h"
 #include "obs/Json.h"
 
@@ -33,7 +34,11 @@ struct MethodMeasurement {
   uint64_t StrideProcessed = 0;
   uint64_t LfuCalls = 0;
   uint64_t TrainLoadRefs = 0;    ///< total dynamic loads in the train run
+  uint64_t PrefetchedRefCycles = 0; ///< prefetched ref-run cycles
   PrefetchInsertionStats Prefetches;
+  /// Cache/prefetch accounting of the prefetched reference run
+  /// (coverage/accuracy tables).
+  MemoryStats RefMemory;
 };
 
 /// Per-benchmark measurement bundle reused across figures.
@@ -80,6 +85,45 @@ struct SensitivityMeasurement {
 SensitivityMeasurement measureSensitivity(const Workload &W,
                                           const PipelineConfig &Config = {});
 
+// -- Engine-based suite drivers -------------------------------------------
+//
+// Each expands the whole suite into one job graph on \p Engine, so
+// independent runs overlap across the engine's worker threads. Results are
+// identical to looping the single-workload helpers above, for any thread
+// count (every job rebuilds its own Program and owns its seed).
+
+/// Borrow raw pointers from an owning suite (makeSpecIntSuite) for the
+/// duration of an engine call.
+std::vector<const Workload *>
+workloadPointers(const std::vector<std::unique_ptr<Workload>> &Suite);
+
+std::vector<BenchMeasurement> measureSuite(
+    ExperimentEngine &Engine, const std::vector<const Workload *> &Workloads,
+    const PipelineConfig &Config = {},
+    const std::vector<ProfilingMethod> &Methods = paperStrideMethods());
+
+std::vector<PopulationRow>
+classifySuitePopulation(ExperimentEngine &Engine,
+                        const std::vector<const Workload *> &Workloads,
+                        bool InLoopWanted, const PipelineConfig &Config = {});
+
+std::vector<SensitivityMeasurement>
+measureSuiteSensitivity(ExperimentEngine &Engine,
+                        const std::vector<const Workload *> &Workloads,
+                        const PipelineConfig &Config = {});
+
+/// One Figure-15 row: uninstrumented run accounting on both inputs.
+struct BaselineMeasurement {
+  WorkloadInfo Info;
+  RunStats Train;
+  RunStats Ref;
+};
+
+std::vector<BaselineMeasurement>
+measureSuiteBaselines(ExperimentEngine &Engine,
+                      const std::vector<const Workload *> &Workloads,
+                      const PipelineConfig &Config = {});
+
 /// Machine-readable bench output. The bundles serialize under the stable
 /// schema "sprof.bench_report/1"; every figure bench can emit its raw
 /// measurements so downstream tooling (plots, regression gates) need not
@@ -97,6 +141,12 @@ bool writeBenchReport(const std::string &Path, const std::string &Figure,
 /// are ignored.
 std::optional<std::string> benchReportPath(int Argc, char **Argv,
                                            const std::string &DefaultPath);
+
+/// Shared bench CLI convention: `--threads=N` or `--threads N` selects the
+/// engine's worker count (results are thread-count-invariant; this only
+/// changes wall-clock time). Invalid or missing values fall back to
+/// \p Default.
+unsigned benchThreads(int Argc, char **Argv, unsigned Default = 1);
 
 /// Paper-published Figure 16 speedups (edge-check) where the text gives
 /// them explicitly; nullopt elsewhere.

@@ -1,0 +1,166 @@
+//===- driver/JobGraph.cpp - Dependency-aware job scheduler ----------------===//
+//
+// Part of the StrideProf project (see JobGraph.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/JobGraph.h"
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+using namespace sprof;
+
+JobId JobGraph::add(std::string Name, std::string Category, WorkFn Work,
+                    std::vector<JobId> Deps) {
+  assert(!Executed && "graph already ran");
+  JobId Id = Nodes.size();
+  for (JobId Dep : Deps) {
+    assert(Dep < Id && "dependency does not exist yet");
+    Nodes[Dep].Dependents.push_back(Id);
+  }
+  Node N;
+  N.Name = std::move(Name);
+  N.Category = std::move(Category);
+  N.Work = std::move(Work);
+  N.Deps = std::move(Deps);
+  Nodes.push_back(std::move(N));
+  return Id;
+}
+
+namespace {
+
+/// Shared scheduler state; workers coordinate through one mutex.
+struct RunState {
+  std::mutex Mu;
+  std::condition_variable Ready;
+  std::deque<JobId> Queue; ///< jobs whose dependencies all finished
+  std::vector<unsigned> Indegree;
+  std::vector<JobId> FailedDep; ///< first failed dependency, or NoDep
+  size_t Remaining = 0;         ///< jobs not yet finished or skipped
+
+  static constexpr JobId NoDep = static_cast<JobId>(-1);
+};
+
+uint64_t steadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+std::vector<JobOutcome> JobGraph::run(unsigned Threads) {
+  assert(!Executed && "graph already ran");
+  Executed = true;
+  if (Threads == 0)
+    Threads = 1;
+
+  std::vector<JobOutcome> Outcomes(Nodes.size());
+  RunState S;
+  S.Indegree.resize(Nodes.size());
+  S.FailedDep.assign(Nodes.size(), RunState::NoDep);
+  S.Remaining = Nodes.size();
+  for (JobId Id = 0; Id != Nodes.size(); ++Id) {
+    S.Indegree[Id] = static_cast<unsigned>(Nodes[Id].Deps.size());
+    if (S.Indegree[Id] == 0)
+      S.Queue.push_back(Id);
+  }
+
+  const uint64_t EpochUs = steadyNowUs();
+
+  // Called with S.Mu held after a job finished (or was skipped): release
+  // the job's dependents, propagating the failure when it failed.
+  auto finish = [&](JobId Id, bool Failed) {
+    --S.Remaining;
+    for (JobId Dep : Nodes[Id].Dependents) {
+      if (Failed && S.FailedDep[Dep] == RunState::NoDep)
+        S.FailedDep[Dep] = Id;
+      if (--S.Indegree[Dep] == 0)
+        S.Queue.push_back(Dep);
+    }
+  };
+
+  auto execute = [&](JobId Id, uint32_t Worker) {
+    JobOutcome &O = Outcomes[Id];
+    O.Worker = Worker;
+    O.StartUs = steadyNowUs() - EpochUs;
+    O.Ran = true;
+    try {
+      Nodes[Id].Work(Worker);
+      O.Ok = true;
+    } catch (const std::exception &E) {
+      O.Ok = false;
+      O.Error = E.what();
+      O.Exception = std::current_exception();
+    } catch (...) {
+      O.Ok = false;
+      O.Error = "unknown exception";
+      O.Exception = std::current_exception();
+    }
+    O.DurationUs = steadyNowUs() - EpochUs - O.StartUs;
+  };
+
+  auto skip = [&](JobId Id) {
+    JobOutcome &O = Outcomes[Id];
+    O.Ran = false;
+    O.Ok = false;
+    O.StartUs = steadyNowUs() - EpochUs;
+    O.Error = "skipped: dependency '" + Nodes[S.FailedDep[Id]].Name +
+              "' failed";
+  };
+
+  if (Threads == 1 || Nodes.size() <= 1) {
+    // Inline execution in deterministic topological order.
+    while (!S.Queue.empty()) {
+      JobId Id = S.Queue.front();
+      S.Queue.pop_front();
+      if (S.FailedDep[Id] != RunState::NoDep)
+        skip(Id);
+      else
+        execute(Id, /*Worker=*/0);
+      finish(Id, /*Failed=*/!Outcomes[Id].Ok);
+    }
+    assert(S.Remaining == 0 && "cycle in job graph");
+    return Outcomes;
+  }
+
+  auto worker = [&](uint32_t Worker) {
+    std::unique_lock<std::mutex> Lock(S.Mu);
+    while (true) {
+      S.Ready.wait(Lock,
+                   [&] { return !S.Queue.empty() || S.Remaining == 0; });
+      if (S.Queue.empty())
+        return; // Remaining == 0: all done
+      JobId Id = S.Queue.front();
+      S.Queue.pop_front();
+      if (S.FailedDep[Id] != RunState::NoDep) {
+        skip(Id);
+        finish(Id, /*Failed=*/true);
+        S.Ready.notify_all();
+        continue;
+      }
+      Lock.unlock();
+      execute(Id, Worker);
+      Lock.lock();
+      finish(Id, /*Failed=*/!Outcomes[Id].Ok);
+      S.Ready.notify_all();
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (uint32_t WI = 0; WI != Threads; ++WI)
+    Pool.emplace_back(worker, WI);
+  for (std::thread &T : Pool)
+    T.join();
+  assert(S.Remaining == 0 && "cycle in job graph");
+  return Outcomes;
+}

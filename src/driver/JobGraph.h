@@ -1,0 +1,94 @@
+//===- driver/JobGraph.h - Dependency-aware job scheduler -------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small DAG scheduler: jobs are closures with explicit dependencies,
+/// executed by a fixed-size thread pool. The experiment engine builds one
+/// graph per sweep — independent profile runs fan out across workers,
+/// feedback runs wait on the profile they consume.
+///
+/// Scheduling affects only wall-clock time, never results: every job must
+/// be self-contained (jobs here share no mutable state; each engine job
+/// rebuilds its own Program and owns its RNG seed), so an N-thread run is
+/// bit-identical to the serial one. With Threads == 1 the graph executes
+/// inline on the calling thread in deterministic topological (insertion)
+/// order; with more threads, ready jobs are handed to workers in the same
+/// order, and only completion order varies.
+///
+/// A job that throws fails alone: the exception is captured per job
+/// (std::exception_ptr), its transitive dependents are skipped, and every
+/// other job still runs. The caller inspects the outcome vector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_DRIVER_JOBGRAPH_H
+#define SPROF_DRIVER_JOBGRAPH_H
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Index of a job within its graph; add() hands them out densely from 0.
+using JobId = size_t;
+
+/// What happened to one job. Timestamps are microseconds on a steady
+/// clock anchored at JobGraph::run() entry, so callers can shift them
+/// onto any other clock.
+struct JobOutcome {
+  bool Ran = false; ///< false when skipped (failed dependency)
+  bool Ok = false;
+  std::string Error;            ///< failure or skip reason when !Ok
+  std::exception_ptr Exception; ///< set when the job itself threw
+  uint64_t StartUs = 0;
+  uint64_t DurationUs = 0;
+  uint32_t Worker = 0; ///< worker lane that ran the job
+};
+
+/// A DAG of jobs. Build with add() (dependencies must already be in the
+/// graph, so insertion order is a topological order by construction), then
+/// execute with run(). The graph is single-use: run() may be called once.
+class JobGraph {
+public:
+  /// The work closure; \p Worker is the executing worker's index
+  /// (0..Threads-1), stable for the duration of the job.
+  using WorkFn = std::function<void(uint32_t Worker)>;
+
+  /// Adds a job depending on \p Deps (each must be a previously returned
+  /// id). Returns the new job's id.
+  JobId add(std::string Name, std::string Category, WorkFn Work,
+            std::vector<JobId> Deps = {});
+
+  size_t size() const { return Nodes.size(); }
+  const std::string &name(JobId Id) const { return Nodes[Id].Name; }
+  const std::string &category(JobId Id) const { return Nodes[Id].Category; }
+
+  /// Executes every job on \p Threads workers (clamped to at least 1) and
+  /// returns one outcome per job, indexed by JobId. Does not throw on job
+  /// failure; see JobOutcome.
+  std::vector<JobOutcome> run(unsigned Threads);
+
+private:
+  struct Node {
+    std::string Name;
+    std::string Category;
+    WorkFn Work;
+    std::vector<JobId> Deps;
+    std::vector<JobId> Dependents; ///< reverse edges, built in add()
+  };
+
+  std::vector<Node> Nodes;
+  bool Executed = false;
+};
+
+} // namespace sprof
+
+#endif // SPROF_DRIVER_JOBGRAPH_H

@@ -16,12 +16,12 @@ using namespace sprof;
 
 ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
                                       bool WithMemorySystem) const {
-  ObsSession *Obs = Session.get();
+  ObsSession *Obs = Session;
   TraceSpan Span(Obs, "run-profile", "pipeline", /*Level=*/1);
 
   Program Prog = [&] {
     TraceSpan BS(Obs, "build-workload", "pipeline", /*Level=*/1);
-    return W.build(DS);
+    return W.build({DS, Config.WorkloadSeedOffset});
   }();
   assert(isWellFormed(Prog.M) && "workload built a malformed module");
 
@@ -78,12 +78,12 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
 }
 
 RunStats Pipeline::runBaseline(DataSet DS) const {
-  ObsSession *Obs = Session.get();
+  ObsSession *Obs = Session;
   TraceSpan Span(Obs, "run-baseline", "pipeline", /*Level=*/1);
 
   Program Prog = [&] {
     TraceSpan BS(Obs, "build-workload", "pipeline", /*Level=*/1);
-    return W.build(DS);
+    return W.build({DS, Config.WorkloadSeedOffset});
   }();
   assert(isWellFormed(Prog.M) && "workload built a malformed module");
   Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
@@ -106,12 +106,12 @@ RunStats Pipeline::runBaseline(DataSet DS) const {
 
 TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
                                        const StrideProfile &Strides) const {
-  ObsSession *Obs = Session.get();
+  ObsSession *Obs = Session;
   TraceSpan Span(Obs, "timed-run", "pipeline", /*Level=*/1);
 
   Program Prog = [&] {
     TraceSpan BS(Obs, "build-workload", "pipeline", /*Level=*/1);
-    return W.build(DS);
+    return W.build({DS, Config.WorkloadSeedOffset});
   }();
   TimedRunResult Result;
   Result.Feedback =
@@ -136,12 +136,17 @@ TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
   return Result;
 }
 
+double Pipeline::speedup(DataSet RunDS, const EdgeProfile &Edges,
+                         const StrideProfile &Strides) const {
+  RunStats Base = runBaseline(RunDS);
+  TimedRunResult Pf = runPrefetched(RunDS, Edges, Strides);
+  return static_cast<double>(Base.Cycles) /
+         static_cast<double>(Pf.Stats.Cycles);
+}
+
 double Pipeline::speedup(ProfilingMethod Method, DataSet ProfileDS,
                          DataSet RunDS) const {
   ProfileRunResult P = runProfile(Method, ProfileDS,
                                   /*WithMemorySystem=*/false);
-  RunStats Base = runBaseline(RunDS);
-  TimedRunResult Pf = runPrefetched(RunDS, P.Edges, P.Strides);
-  return static_cast<double>(Base.Cycles) /
-         static_cast<double>(Pf.Stats.Cycles);
+  return speedup(RunDS, P.Edges, P.Strides);
 }

@@ -43,6 +43,10 @@ struct PipelineConfig {
   ClassifierConfig Classifier;
   MemoryConfig Memory;
   TimingModel Timing;
+  /// Mixed into every workload build this pipeline performs (see
+  /// BuildRequest). 0 reproduces the canonical builds; engine jobs that
+  /// run seed replicas each get their own offset.
+  uint64_t WorkloadSeedOffset = 0;
   /// Telemetry. Disabled by default; when Obs.Enabled the Pipeline owns an
   /// ObsSession, traces every phase, and threads metric sinks through all
   /// components. Profiles and cycle accounting are identical either way.
@@ -76,9 +80,17 @@ class Pipeline {
 public:
   Pipeline(const Workload &W, PipelineConfig Config = {})
       : W(W), Config(std::move(Config)) {
-    if (this->Config.Obs.Enabled)
-      Session = std::make_unique<ObsSession>(this->Config.Obs);
+    if (this->Config.Obs.Enabled) {
+      Owned = std::make_unique<ObsSession>(this->Config.Obs);
+      Session = Owned.get();
+    }
   }
+
+  /// Runs against an externally owned telemetry session (nullptr disables
+  /// telemetry). Config.Obs is not consulted; the experiment engine uses
+  /// this so every job's pipeline phases land in the job's metric scope.
+  Pipeline(const Workload &W, PipelineConfig Config, ObsSession *External)
+      : W(W), Config(std::move(Config)), Session(External) {}
 
   /// Steps 1-2: instrument for \p Method and run on \p DS.
   /// \p WithMemorySystem selects whether the cache hierarchy is simulated;
@@ -94,23 +106,32 @@ public:
   TimedRunResult runPrefetched(DataSet DS, const EdgeProfile &Edges,
                                const StrideProfile &Strides) const;
 
+  /// Speedup of prefetching guided by an already-collected profile:
+  /// baseline cycles / prefetched cycles, both measured on \p RunDS.
+  /// Callers sweeping feedback-side parameters (prefetch distance,
+  /// classifier thresholds, run input) should collect the profile once
+  /// and reuse it here instead of re-profiling per configuration.
+  double speedup(DataSet RunDS, const EdgeProfile &Edges,
+                 const StrideProfile &Strides) const;
+
   /// Convenience: profile with \p Method on \p ProfileDS (no cache
-  /// simulation), then measure speedup on \p RunDS.
-  /// \returns baseline cycles / prefetched cycles.
+  /// simulation), then measure speedup on \p RunDS. Each call performs a
+  /// fresh instrumented run; use the profile-taking overload to amortize.
   double speedup(ProfilingMethod Method, DataSet ProfileDS,
                  DataSet RunDS) const;
 
   const PipelineConfig &config() const { return Config; }
   const Workload &workload() const { return W; }
 
-  /// The telemetry session, or nullptr when Config.Obs.Enabled is false.
-  /// Callers use it to write trace/report artifacts after the runs.
-  ObsSession *obs() const { return Session.get(); }
+  /// The telemetry session, or nullptr when telemetry is off. Callers use
+  /// it to write trace/report artifacts after the runs.
+  ObsSession *obs() const { return Session; }
 
 private:
   const Workload &W;
   PipelineConfig Config;
-  std::unique_ptr<ObsSession> Session;
+  std::unique_ptr<ObsSession> Owned;
+  ObsSession *Session = nullptr;
 };
 
 } // namespace sprof

@@ -30,6 +30,18 @@ void Histogram::record(uint64_t Sample) {
   Max = std::max(Max, Sample);
 }
 
+void Histogram::merge(const Histogram &Other) {
+  if (Other.Count == 0)
+    return;
+  if (UpperBounds == Other.UpperBounds)
+    for (size_t I = 0; I != Buckets.size(); ++I)
+      Buckets[I] += Other.Buckets[I];
+  Count += Other.Count;
+  Sum += Other.Sum;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
 std::vector<uint64_t> Histogram::exponentialBounds(uint64_t Start,
                                                    unsigned NumBounds) {
   std::vector<uint64_t> Bounds;
@@ -54,6 +66,15 @@ Gauge &MetricsRegistry::gauge(std::string_view Name) {
   if (It == Gauges.end())
     It = Gauges.emplace(std::string(Name), Gauge()).first;
   return It->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  for (const auto &[Name, C] : Other.Counters)
+    counter(Name).inc(C.value());
+  for (const auto &[Name, G] : Other.Gauges)
+    gauge(Name).set(G.value());
+  for (const auto &[Name, H] : Other.Histograms)
+    histogram(Name, H.bounds()).merge(H);
 }
 
 Histogram &MetricsRegistry::histogram(std::string_view Name,

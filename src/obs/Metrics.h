@@ -78,6 +78,13 @@ public:
   static std::vector<uint64_t> exponentialBounds(uint64_t Start,
                                                  unsigned NumBounds);
 
+  /// Accumulates \p Other into this histogram. Exact statistics
+  /// (count/sum/min/max) always merge; bucket counts merge element-wise
+  /// when both histograms share the same bounds (the normal case, since a
+  /// metric name maps to one creation site) and are otherwise left as
+  /// this histogram's own counts.
+  void merge(const Histogram &Other);
+
 private:
   std::vector<uint64_t> UpperBounds;
   std::vector<uint64_t> Buckets;
@@ -108,6 +115,12 @@ public:
   const std::map<std::string, Histogram, std::less<>> &histograms() const {
     return Histograms;
   }
+
+  /// Folds \p Other into this registry: counters add, gauges take
+  /// \p Other's value (last write wins, like a direct set), histograms
+  /// merge per Histogram::merge. Metrics missing here are created. This
+  /// is how per-job metric scopes aggregate into a session registry.
+  void merge(const MetricsRegistry &Other);
 
 private:
   std::map<std::string, Counter, std::less<>> Counters;

@@ -22,6 +22,7 @@
 #include "obs/Trace.h"
 
 #include <string>
+#include <vector>
 
 namespace sprof {
 
@@ -50,8 +51,24 @@ struct ObsConfig {
   std::string ReportOutputPath;
 };
 
-/// One telemetry session: typically one per Pipeline, spanning all the runs
-/// that pipeline drives.
+/// Telemetry summary of one engine job: what ran, when, on which worker,
+/// whether it succeeded, and the job's own metric scope. Jobs execute
+/// against a private ObsSession; the engine folds the result into the
+/// session-level registry/trace and records one of these so the run
+/// report can emit a per-job breakdown ("jobs" array).
+struct JobRecord {
+  std::string Name;
+  std::string Category; ///< "run-job", "feedback-job", ...
+  uint64_t StartUs = 0; ///< on the session collector's clock
+  uint64_t DurationUs = 0;
+  uint32_t Worker = 0; ///< thread-pool worker index (trace track)
+  bool Ok = true;
+  std::string Error; ///< exception text when !Ok
+  MetricsRegistry Metrics; ///< the job's isolated metric scope
+};
+
+/// One telemetry session: typically one per Pipeline or per
+/// ExperimentEngine, spanning all the runs it drives.
 class ObsSession {
 public:
   explicit ObsSession(ObsConfig Config) : Config(std::move(Config)) {}
@@ -85,6 +102,20 @@ public:
                                                               : nullptr;
   }
 
+  /// Configuration for a job-scoped child session: same collection
+  /// switches, no output paths (the parent session owns the artifacts).
+  ObsConfig jobConfig() const {
+    ObsConfig C = Config;
+    C.TraceOutputPath.clear();
+    C.ReportOutputPath.clear();
+    return C;
+  }
+
+  /// Appends one finished job's record. Single-threaded like the rest of
+  /// the session; the engine serializes calls under its own lock.
+  void recordJob(JobRecord Record) { Jobs.push_back(std::move(Record)); }
+  const std::vector<JobRecord> &jobs() const { return Jobs; }
+
   /// Writes the Chrome trace to Config.TraceOutputPath when set. Returns
   /// false only on an I/O failure.
   bool writeArtifacts() const {
@@ -97,6 +128,7 @@ private:
   ObsConfig Config;
   MetricsRegistry Registry;
   TraceCollector Trace;
+  std::vector<JobRecord> Jobs;
 };
 
 } // namespace sprof

@@ -264,6 +264,27 @@ JsonValue sprof::metricsToJson(const MetricsRegistry &Registry) {
   return J;
 }
 
+JsonValue sprof::jobRecordToJson(const JobRecord &Record) {
+  JsonValue J = JsonValue::object();
+  J.set("name", Record.Name);
+  J.set("category", Record.Category);
+  J.set("start_us", Record.StartUs);
+  J.set("duration_us", Record.DurationUs);
+  J.set("worker", Record.Worker);
+  J.set("ok", Record.Ok);
+  if (!Record.Ok)
+    J.set("error", Record.Error);
+  J.set("metrics", metricsToJson(Record.Metrics));
+  return J;
+}
+
+JsonValue sprof::jobsToJson(const ObsSession &Session) {
+  JsonValue Jobs = JsonValue::array();
+  for (const JobRecord &Record : Session.jobs())
+    Jobs.push(jobRecordToJson(Record));
+  return Jobs;
+}
+
 JsonValue sprof::profileRunToJson(const ProfileRunResult &R,
                                   const ReportOptions &Options) {
   JsonValue J = JsonValue::object();
@@ -317,8 +338,11 @@ JsonValue sprof::buildRunReport(const std::string &WorkloadName,
       J.set("speedup", static_cast<double>(Baseline->Cycles) /
                            static_cast<double>(Timed->Stats.Cycles));
   }
-  if (Obs)
+  if (Obs) {
     J.set("metrics", metricsToJson(Obs->registry()));
+    if (!Obs->jobs().empty())
+      J.set("jobs", jobsToJson(*Obs));
+  }
   return J;
 }
 

@@ -55,6 +55,11 @@ JsonValue feedbackToJson(const FeedbackResult &FB, const StrideProfile &SP,
                          const ClassifierConfig &Config);
 JsonValue pipelineConfigToJson(const PipelineConfig &Config);
 JsonValue metricsToJson(const MetricsRegistry &Registry);
+/// One engine job: name, category, timing, worker lane, outcome, and the
+/// job's own metric scope.
+JsonValue jobRecordToJson(const JobRecord &Record);
+/// The session's "jobs" array (empty array when no jobs were recorded).
+JsonValue jobsToJson(const ObsSession &Session);
 
 /// The profile-generation half: method, run accounting, both profiles, and
 /// the strideProf call statistics (Figures 20-22 raw data).

@@ -48,6 +48,35 @@ void TraceCollector::endSpan(size_t Id) {
   --Depth;
 }
 
+void TraceCollector::appendCompletedSpan(std::string_view Name,
+                                         std::string_view Category,
+                                         uint64_t StartUs,
+                                         uint64_t DurationUs, uint32_t Track,
+                                         uint32_t Depth) {
+  TraceEvent E;
+  E.Name = std::string(Name);
+  E.Category = std::string(Category);
+  E.StartUs = StartUs;
+  E.DurationUs = DurationUs;
+  E.Depth = Depth;
+  E.Track = Track;
+  Events.push_back(std::move(E));
+}
+
+void TraceCollector::appendForeign(const TraceCollector &Other,
+                                   uint64_t ShiftUs, uint32_t Track,
+                                   uint32_t DepthBase) {
+  for (const TraceEvent &E : Other.Events) {
+    if (E.DurationUs == UINT64_MAX)
+      continue;
+    TraceEvent Copy = E;
+    Copy.StartUs += ShiftUs;
+    Copy.Depth += DepthBase;
+    Copy.Track = Track;
+    Events.push_back(std::move(Copy));
+  }
+}
+
 bool TraceCollector::hasSpan(std::string_view Name) const {
   for (const TraceEvent &E : Events)
     if (E.DurationUs != UINT64_MAX && E.Name == Name)
@@ -68,7 +97,7 @@ void TraceCollector::writeChromeTrace(std::ostream &OS) const {
     J.set("ts", E.StartUs);
     J.set("dur", E.DurationUs);
     J.set("pid", 1);
-    J.set("tid", 1);
+    J.set("tid", static_cast<uint64_t>(E.Track) + 1);
     EventsJson.push(std::move(J));
   }
   Root.set("traceEvents", std::move(EventsJson));

@@ -39,6 +39,11 @@ struct TraceEvent {
   uint64_t StartUs = 0;
   uint64_t DurationUs = UINT64_MAX;
   uint32_t Depth = 0; ///< nesting depth when the span began (0 = root)
+  /// Display track (Chrome trace "tid"). Spans recorded through
+  /// beginSpan stay on track 0; merged-in foreign events (engine jobs)
+  /// carry the track of the worker that ran them, so parallel jobs render
+  /// as parallel lanes instead of overlapping on one line.
+  uint32_t Track = 0;
 };
 
 /// Records spans against a steady clock anchored at construction.
@@ -59,6 +64,22 @@ public:
 
   /// True if some completed span has \p Name.
   bool hasSpan(std::string_view Name) const;
+
+  /// Appends an already-completed span (no begin/end pairing, no effect on
+  /// the current depth). \p StartUs is on THIS collector's clock; \p Track
+  /// selects the display lane. Used by the experiment engine to stamp one
+  /// span per finished job into the session trace.
+  void appendCompletedSpan(std::string_view Name, std::string_view Category,
+                           uint64_t StartUs, uint64_t DurationUs,
+                           uint32_t Track, uint32_t Depth = 0);
+
+  /// Appends every completed event of \p Other, shifted by \p ShiftUs onto
+  /// this collector's clock (\p ShiftUs = the value of nowUs() here when
+  /// \p Other's epoch started) and one nesting level below \p DepthBase,
+  /// on lane \p Track. This folds a job-local trace into the session
+  /// trace after the job finishes.
+  void appendForeign(const TraceCollector &Other, uint64_t ShiftUs,
+                     uint32_t Track, uint32_t DepthBase = 1);
 
   /// Chrome trace-event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
   /// Unfinished spans are skipped.

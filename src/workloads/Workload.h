@@ -36,6 +36,32 @@ enum class DataSet { Train, Ref };
 
 const char *dataSetName(DataSet DS);
 
+/// Identifies one program build: the input data set plus a seed offset the
+/// workload mixes into its base RNG seed. Offset 0 (the default, and what
+/// the implicit DataSet conversion produces) reproduces the canonical
+/// build bit for bit; non-zero offsets generate statistically independent
+/// replicas of the same workload shape, which sweep jobs use to own their
+/// RNG stream without sharing mutable state.
+struct BuildRequest {
+  BuildRequest(DataSet DS, uint64_t SeedOffset = 0)
+      : DS(DS), SeedOffset(SeedOffset) {}
+
+  DataSet DS;
+  uint64_t SeedOffset = 0;
+
+  /// The RNG seed a workload should use for this request. Offset 0 returns
+  /// \p BaseSeed unchanged; otherwise the offset is SplitMix64-mixed so
+  /// that consecutive offsets give uncorrelated streams.
+  uint64_t seed(uint64_t BaseSeed) const {
+    if (SeedOffset == 0)
+      return BaseSeed;
+    uint64_t Z = SeedOffset + 0x9e3779b97f4a7c15ULL;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return BaseSeed ^ (Z ^ (Z >> 31));
+  }
+};
+
 /// Figure-15 style metadata.
 struct WorkloadInfo {
   std::string Name;
@@ -55,7 +81,10 @@ class Workload {
 public:
   virtual ~Workload() = default;
   virtual WorkloadInfo info() const = 0;
-  virtual Program build(DataSet DS) const = 0;
+  /// Builds a fresh Program for \p Req. Builds are deterministic functions
+  /// of the request, so concurrent callers may build the same workload
+  /// from different threads as long as each owns its returned Program.
+  virtual Program build(const BuildRequest &Req) const = 0;
 };
 
 /// Factories, one per SPECINT2000 program.

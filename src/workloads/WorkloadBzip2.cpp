@@ -27,12 +27,13 @@ public:
     return {"256.bzip2", "C", "Compression"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t BlockWords = 1ull << 19; // 4MB block
     const unsigned Phases = Ref ? 6 : 3;
     const uint64_t CmpIters = Ref ? 240000 : 80000;
-    const uint64_t Seed = Ref ? 0x5EED0256 : 0x7EA10256;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0256 : 0x7EA10256);
 
     Program Prog;
     Prog.M.Name = "256.bzip2";

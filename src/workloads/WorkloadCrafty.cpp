@@ -26,10 +26,11 @@ public:
     return {"186.crafty", "C", "Game Playing: Chess"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t Nodes = Ref ? 260000 : 90000; // searched positions
-    const uint64_t Seed = Ref ? 0x5EED0186 : 0x7EA10186;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0186 : 0x7EA10186);
 
     Program Prog;
     Prog.M.Name = "186.crafty";

@@ -43,10 +43,12 @@ public:
     return {"254.gap", "C", "Group theory, interpreter"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     GapParams P = DS == DataSet::Ref
                       ? GapParams{22000, 2, 250000, 6000, 0x5EED0254}
                       : GapParams{9000, 2, 80000, 975, 0x7EA10254};
+    P.Seed = Req.seed(P.Seed);
 
     Program Prog;
     Prog.M.Name = "254.gap";

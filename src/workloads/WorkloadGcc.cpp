@@ -28,11 +28,12 @@ public:
     return {"176.gcc", "C", "C programming language compiler"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t NumInsns = Ref ? 30000 : 10000;
     const uint64_t Functions = Ref ? 900 : 300; // compiled functions
-    const uint64_t Seed = Ref ? 0x5EED0176 : 0x7EA10176;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0176 : 0x7EA10176);
 
     Program Prog;
     Prog.M.Name = "176.gcc";

@@ -28,12 +28,13 @@ public:
     return {"164.gzip", "C", "Compression/Decompression"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t WindowWords = 8192; // 64KB window (L2-resident)
     const unsigned Passes = Ref ? 5 : 2;
     const uint64_t HashIters = Ref ? 60000 : 20000;
-    const uint64_t Seed = Ref ? 0x5EED0164 : 0x7EA10164;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0164 : 0x7EA10164);
 
     Program Prog;
     Prog.M.Name = "164.gzip";

@@ -37,10 +37,12 @@ public:
     return {"181.mcf", "C", "Combinatorial Optimization"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     McfParams P = DS == DataSet::Ref
                       ? McfParams{80000, 3, 180000, 0x5EED0181}
                       : McfParams{24000, 2, 30000, 0x7EA10181};
+    P.Seed = Req.seed(P.Seed);
 
     Program Prog;
     Prog.M.Name = "181.mcf";

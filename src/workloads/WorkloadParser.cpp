@@ -41,10 +41,12 @@ public:
     return {"197.parser", "C", "Word Processing"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     ParserParams P = DS == DataSet::Ref
                          ? ParserParams{10000, 2, 72000, 4000, 0x5EED0197}
                          : ParserParams{4000, 2, 25000, 975, 0x7EA10197};
+    P.Seed = Req.seed(P.Seed);
 
     Program Prog;
     Prog.M.Name = "197.parser";

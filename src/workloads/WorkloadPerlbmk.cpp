@@ -26,11 +26,12 @@ public:
     return {"253.perlbmk", "C", "PERL programming language"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t NumOps = Ref ? 30000 : 10000;
     const unsigned Passes = Ref ? 3 : 2;
-    const uint64_t Seed = Ref ? 0x5EED0253 : 0x7EA10253;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0253 : 0x7EA10253);
 
     Program Prog;
     Prog.M.Name = "253.perlbmk";

@@ -26,12 +26,13 @@ public:
     return {"300.twolf", "C", "Place and route simulator"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t NumCells = Ref ? 52000 : 18000; // 48B cells
     const unsigned Passes = Ref ? 2 : 2;
     const uint64_t CostIters = Ref ? 300000 : 100000;
-    const uint64_t Seed = Ref ? 0x5EED0300 : 0x7EA10300;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0300 : 0x7EA10300);
 
     Program Prog;
     Prog.M.Name = "300.twolf";

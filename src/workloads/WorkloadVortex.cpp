@@ -27,12 +27,13 @@ public:
     return {"255.vortex", "C", "Object-oriented database"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t NumRecords = Ref ? 14000 : 5000; // 256B records
     const unsigned Passes = Ref ? 2 : 2;
     const uint64_t TreeIters = Ref ? 110000 : 35000;
-    const uint64_t Seed = Ref ? 0x5EED0255 : 0x7EA10255;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0255 : 0x7EA10255);
 
     Program Prog;
     Prog.M.Name = "255.vortex";

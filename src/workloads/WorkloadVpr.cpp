@@ -27,12 +27,13 @@ public:
     return {"175.vpr", "C", "FPGA circuit placement and routing"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     const bool Ref = DS == DataSet::Ref;
     const uint64_t NumCells = Ref ? 98304 : 49152; // 32B cells: 3MB / 1.5MB
     const unsigned Passes = Ref ? 2 : 2;
     const uint64_t SwapIters = Ref ? 190000 : 60000;
-    const uint64_t Seed = Ref ? 0x5EED0175 : 0x7EA10175;
+    const uint64_t Seed = Req.seed(Ref ? 0x5EED0175 : 0x7EA10175);
 
     Program Prog;
     Prog.M.Name = "175.vpr";

@@ -1,0 +1,280 @@
+//===- tests/test_engine.cpp - JobGraph and ExperimentEngine tests ----------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JobGraph scheduling semantics (ordering, failure propagation, dependent
+/// skipping), engine reuse after failure, per-job telemetry aggregation,
+/// and the engine's core guarantee: an N-thread sweep is bit-identical to
+/// the serial one for every profiling method.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Engine.h"
+#include "driver/Experiments.h"
+#include "instrument/Instrumentation.h"
+#include "profile/ProfileStore.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+using namespace sprof;
+using namespace sprof::test;
+
+namespace {
+
+// The chase workload from TestHelpers wrapped as a Workload; small enough
+// that a full method sweep stays fast.
+class ChaseWorkload : public Workload {
+public:
+  WorkloadInfo info() const override {
+    return {"test.chase", "c", "pointer chase"};
+  }
+  Program build(const BuildRequest &Req) const override {
+    Program P;
+    uint32_t DataSite = 0, NextSite = 0;
+    P.M = makeChaseModule(DataSite, NextSite);
+    uint64_t Seed = Req.seed(0x51dee);
+    uint64_t Count = (Req.DS == DataSet::Train ? 192 : 256) + (Seed & 31);
+    fillChaseList(P.Memory, Count, 64);
+    return P;
+  }
+};
+
+EngineOptions withThreads(unsigned N) {
+  EngineOptions Opts;
+  Opts.Threads = N;
+  return Opts;
+}
+
+std::string profileText(const SweepCell &Cell) {
+  ProfileStore Store({Cell.W->info().Name,
+                      profilingMethodName(Cell.Method),
+                      dataSetName(Cell.ProfileDS)},
+                     Cell.Profile.Edges, Cell.Profile.Strides);
+  return Store.toString();
+}
+
+TEST(JobGraph, SerialRunsInInsertionOrder) {
+  JobGraph G;
+  std::vector<int> Order;
+  for (int I = 0; I != 5; ++I)
+    G.add("job" + std::to_string(I), "test",
+          [&Order, I](uint32_t) { Order.push_back(I); });
+  std::vector<JobOutcome> Outcomes = G.run(1);
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+  ASSERT_EQ(Outcomes.size(), 5u);
+  for (const JobOutcome &O : Outcomes) {
+    EXPECT_TRUE(O.Ran);
+    EXPECT_TRUE(O.Ok);
+  }
+}
+
+TEST(JobGraph, DependenciesCompleteBeforeDependents) {
+  // A diamond per chain, run wide: every dependent asserts its
+  // dependency's side effect is already visible.
+  JobGraph G;
+  constexpr int Chains = 8;
+  std::atomic<int> DepDone[Chains];
+  std::atomic<bool> OrderViolated{false};
+  for (int I = 0; I != Chains; ++I)
+    DepDone[I] = 0;
+  for (int I = 0; I != Chains; ++I) {
+    JobId A = G.add("a" + std::to_string(I), "test",
+                    [&DepDone, I](uint32_t) { DepDone[I] = 1; });
+    JobId B = G.add(
+        "b" + std::to_string(I), "test",
+        [&DepDone, &OrderViolated, I](uint32_t) {
+          if (DepDone[I] != 1)
+            OrderViolated = true;
+          DepDone[I] = 2;
+        },
+        {A});
+    G.add(
+        "c" + std::to_string(I), "test",
+        [&DepDone, &OrderViolated, I](uint32_t) {
+          if (DepDone[I] != 2)
+            OrderViolated = true;
+        },
+        {B});
+  }
+  std::vector<JobOutcome> Outcomes = G.run(4);
+  EXPECT_FALSE(OrderViolated);
+  for (const JobOutcome &O : Outcomes)
+    EXPECT_TRUE(O.Ok);
+}
+
+TEST(JobGraph, FailurePropagatesAndSkipsDependents) {
+  JobGraph G;
+  bool IndependentRan = false, DependentRan = false, TransitiveRan = false;
+  JobId Bad = G.add("bad", "test", [](uint32_t) {
+    throw std::runtime_error("boom");
+  });
+  JobId Dep = G.add(
+      "dep", "test", [&DependentRan](uint32_t) { DependentRan = true; },
+      {Bad});
+  G.add(
+      "transitive", "test",
+      [&TransitiveRan](uint32_t) { TransitiveRan = true; }, {Dep});
+  G.add("independent", "test",
+        [&IndependentRan](uint32_t) { IndependentRan = true; });
+
+  std::vector<JobOutcome> Outcomes = G.run(1);
+  ASSERT_EQ(Outcomes.size(), 4u);
+
+  EXPECT_TRUE(Outcomes[0].Ran);
+  EXPECT_FALSE(Outcomes[0].Ok);
+  EXPECT_EQ(Outcomes[0].Error, "boom");
+  EXPECT_TRUE(static_cast<bool>(Outcomes[0].Exception));
+
+  // Direct and transitive dependents are skipped with a pointer at the
+  // root cause; unrelated jobs still run.
+  EXPECT_FALSE(DependentRan);
+  EXPECT_FALSE(TransitiveRan);
+  EXPECT_FALSE(Outcomes[1].Ran);
+  EXPECT_NE(Outcomes[1].Error.find("skipped"), std::string::npos);
+  EXPECT_NE(Outcomes[1].Error.find("bad"), std::string::npos);
+  EXPECT_FALSE(Outcomes[2].Ran);
+  EXPECT_TRUE(IndependentRan);
+  EXPECT_TRUE(Outcomes[3].Ok);
+}
+
+TEST(ExperimentEngine, RethrowsFirstFailureAndStaysReusable) {
+  ExperimentEngine Engine(withThreads(2));
+  Engine.addJob("fails", "test", [](ObsSession *) {
+    throw std::runtime_error("engine boom");
+  });
+  EXPECT_THROW(Engine.run(), std::runtime_error);
+  ASSERT_EQ(Engine.lastOutcomes().size(), 1u);
+  EXPECT_EQ(Engine.lastOutcomes()[0].Error, "engine boom");
+
+  // The failed wave is drained; the engine accepts and runs new jobs.
+  bool Ran = false;
+  Engine.addJob("ok", "test", [&Ran](ObsSession *) { Ran = true; });
+  Engine.run();
+  EXPECT_TRUE(Ran);
+  ASSERT_EQ(Engine.lastOutcomes().size(), 1u);
+  EXPECT_TRUE(Engine.lastOutcomes()[0].Ok);
+}
+
+TEST(ExperimentEngine, FoldsJobTelemetryIntoSession) {
+  EngineOptions Opts;
+  Opts.Threads = 4;
+  Opts.Obs.Enabled = true;
+  ExperimentEngine Engine(Opts);
+  ASSERT_NE(Engine.obs(), nullptr);
+
+  for (int I = 0; I != 6; ++I)
+    Engine.addJob("tick" + std::to_string(I), "test-job",
+                  [](ObsSession *JobObs) {
+                    ASSERT_NE(JobObs, nullptr);
+                    JobObs->counter("test.ticks")->inc(10);
+                  });
+  Engine.run();
+
+  // Counters from all six private job scopes merged into the session
+  // registry.
+  EXPECT_EQ(Engine.obs()->registry().counter("test.ticks").value(), 60u);
+
+  // One JobRecord per job, in JobId order regardless of completion order,
+  // each carrying its own metric scope.
+  const std::vector<JobRecord> &Jobs = Engine.obs()->jobs();
+  ASSERT_EQ(Jobs.size(), 6u);
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    EXPECT_EQ(Jobs[I].Name, "tick" + std::to_string(I));
+    EXPECT_EQ(Jobs[I].Category, "test-job");
+    EXPECT_TRUE(Jobs[I].Ok);
+    EXPECT_EQ(Jobs[I].Metrics.counters().at("test.ticks").value(), 10u);
+  }
+
+  // Each job stamped one span onto the session trace.
+  EXPECT_TRUE(Engine.obs()->trace().hasSpan("tick0"));
+  EXPECT_TRUE(Engine.obs()->trace().hasSpan("tick5"));
+}
+
+// The acceptance criterion: for every profiling method, profiles,
+// classification verdicts, and timed runs from a 4-thread sweep are byte-
+// identical to the 1-thread sweep.
+TEST(ExperimentEngine, ParallelSweepMatchesSerialForAllMethods) {
+  ChaseWorkload W;
+  SweepSpec Spec;
+  Spec.Workloads = {&W};
+  Spec.Methods = allProfilingMethods();
+  Spec.WithMemorySystem = false;
+  Spec.Feedback = true;
+  Spec.FeedbackInput = DataSet::Train;
+  Spec.Baseline = true;
+
+  ExperimentEngine Serial(withThreads(1));
+  ExperimentEngine Parallel(withThreads(4));
+  SweepResult RS = Serial.runSweep(Spec);
+  SweepResult RP = Parallel.runSweep(Spec);
+
+  ASSERT_EQ(RS.Cells.size(), Spec.Methods.size());
+  ASSERT_EQ(RP.Cells.size(), RS.Cells.size());
+  ASSERT_EQ(RS.BaselineCycles.size(), 1u);
+  EXPECT_EQ(RP.BaselineCycles, RS.BaselineCycles);
+
+  for (size_t I = 0; I != RS.Cells.size(); ++I) {
+    const SweepCell &S = RS.Cells[I];
+    const SweepCell &P = RP.Cells[I];
+    ASSERT_EQ(P.Method, S.Method);
+    SCOPED_TRACE(profilingMethodName(S.Method));
+
+    // Profiles serialize to the same bytes.
+    EXPECT_EQ(profileText(P), profileText(S));
+    EXPECT_EQ(P.Profile.Stats.Instructions, S.Profile.Stats.Instructions);
+    EXPECT_EQ(P.Profile.StrideInvocations, S.Profile.StrideInvocations);
+
+    // Identical classification verdicts and timed runs.
+    ASSERT_TRUE(S.HasFeedback);
+    ASSERT_TRUE(P.HasFeedback);
+    EXPECT_EQ(P.Timed.Feedback.SiteClass, S.Timed.Feedback.SiteClass);
+    EXPECT_EQ(P.Timed.Feedback.Decisions.size(),
+              S.Timed.Feedback.Decisions.size());
+    EXPECT_EQ(P.Timed.Stats.Cycles, S.Timed.Stats.Cycles);
+    EXPECT_EQ(P.Speedup, S.Speedup);
+    EXPECT_GT(S.Speedup, 0.0);
+  }
+}
+
+TEST(ExperimentEngine, SeedOffsetZeroReproducesStandalonePipeline) {
+  ChaseWorkload W;
+  SweepSpec Spec;
+  Spec.Workloads = {&W};
+  Spec.Methods = {ProfilingMethod::EdgeCheck};
+  Spec.SeedOffsets = {0, 1};
+  Spec.WithMemorySystem = false;
+
+  ExperimentEngine Engine(withThreads(2));
+  SweepResult R = Engine.runSweep(Spec);
+  ASSERT_EQ(R.Cells.size(), 2u);
+
+  const SweepCell *Canonical =
+      R.find(&W, ProfilingMethod::EdgeCheck, DataSet::Train, 0);
+  const SweepCell *Replica =
+      R.find(&W, ProfilingMethod::EdgeCheck, DataSet::Train, 1);
+  ASSERT_NE(Canonical, nullptr);
+  ASSERT_NE(Replica, nullptr);
+
+  // Offset 0 is the canonical build: bit-identical to a plain Pipeline.
+  Pipeline P(W);
+  ProfileRunResult Direct =
+      P.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train,
+                   /*WithMemorySystem=*/false);
+  ProfileStore DirectStore({W.info().Name, "edge-check", "train"},
+                           Direct.Edges, Direct.Strides);
+  EXPECT_EQ(profileText(*Canonical), DirectStore.toString());
+
+  // A non-zero offset owns a different RNG stream, so its profile is a
+  // genuine replica, not a copy.
+  EXPECT_NE(profileText(*Replica), profileText(*Canonical));
+}
+
+} // namespace

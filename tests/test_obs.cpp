@@ -36,7 +36,8 @@ public:
     return {"test.chase", "IR", "three-pass pointer chase"};
   }
 
-  Program build(DataSet DS) const override {
+  Program build(const BuildRequest &Req) const override {
+    const DataSet DS = Req.DS;
     Program Prog;
     uint32_t DataSite = 0, NextSite = 0;
     Prog.M = test::makePassesChaseModule(3, DataSite, NextSite);
