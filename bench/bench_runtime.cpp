@@ -12,16 +12,32 @@
 /// enhancement -- the host-machine counterparts of the simulated cost
 /// model in StrideCostModel.
 ///
+/// `bench_runtime --compare` switches to the wall-clock engine harness:
+/// Reference vs Decoded execution cores over real workloads, median-of-N
+/// wall time and instructions/sec, written to BENCH_runtime.json so the
+/// perf trajectory stays machine-readable across PRs (docs/PERFORMANCE.md).
+///
 //===----------------------------------------------------------------------===//
 
+#include "interp/Interpreter.h"
+#include "memsys/Cache.h"
+#include "obs/Json.h"
 #include "obs/Obs.h"
 #include "profile/LfuValueProfiler.h"
 #include "profile/ProfileStore.h"
 #include "profile/StrideProfiler.h"
+#include "workloads/Workload.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -197,12 +213,213 @@ void BM_StrideProfSampled(benchmark::State &State) {
 }
 BENCHMARK(BM_StrideProfSampled);
 
+// -- Engine compare harness (--compare) -----------------------------------
+
+/// One engine's measurement over one workload.
+struct EngineTiming {
+  double MedianMs = 0.0;
+  double InstructionsPerSec = 0.0;
+  RunStats Stats; ///< first run's stats (identical across runs)
+};
+
+struct CompareOptions {
+  std::vector<std::string> Workloads = {"181.mcf", "254.gap"};
+  unsigned Runs = 5;
+  DataSet DS = DataSet::Train;
+  bool WithMemsys = false;
+  std::string JsonPath = "BENCH_runtime.json";
+  bool WriteJson = true;
+  double MinSpeedup = 0.0;
+};
+
+double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  size_t N = V.size();
+  return N % 2 ? V[N / 2] : 0.5 * (V[N / 2 - 1] + V[N / 2]);
+}
+
+/// One timed execution of \p W on \p Engine (workload build excluded;
+/// decode, when the engine pre-decodes, included -- it is part of the
+/// engine's per-run cost).
+double timeOneRun(const Workload &W, DataSet DS,
+                  InterpreterConfig::Engine Engine, bool WithMemsys,
+                  RunStats &StatsOut) {
+  Program Prog = W.build({DS});
+  InterpreterConfig IC;
+  IC.Exec = Engine;
+  Interpreter I(Prog.M, std::move(Prog.Memory), TimingModel(), IC);
+  MemoryHierarchy MH{MemoryConfig()};
+  if (WithMemsys)
+    I.attachMemory(&MH);
+  auto T0 = std::chrono::steady_clock::now();
+  StatsOut = I.run();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(T1 - T0).count();
+}
+
+void finishTiming(EngineTiming &E, std::vector<double> &WallMs) {
+  E.MedianMs = medianOf(WallMs);
+  E.InstructionsPerSec =
+      E.MedianMs > 0.0 ? static_cast<double>(E.Stats.Instructions) /
+                             (E.MedianMs / 1000.0)
+                       : 0.0;
+}
+
+/// Times both engines over \p Runs rounds, alternating engines within each
+/// round so slow environmental drift (thermal throttling, noisy
+/// neighbours) biases neither side.
+void timeEnginePair(const Workload &W, DataSet DS, unsigned Runs,
+                    bool WithMemsys, EngineTiming &Ref, EngineTiming &Dec) {
+  std::vector<double> RefMs, DecMs;
+  for (unsigned R = 0; R != Runs; ++R) {
+    RunStats S;
+    RefMs.push_back(timeOneRun(W, DS, InterpreterConfig::Engine::Reference,
+                               WithMemsys, S));
+    if (R == 0)
+      Ref.Stats = S;
+    DecMs.push_back(timeOneRun(W, DS, InterpreterConfig::Engine::Decoded,
+                               WithMemsys, S));
+    if (R == 0)
+      Dec.Stats = S;
+  }
+  finishTiming(Ref, RefMs);
+  finishTiming(Dec, DecMs);
+}
+
+/// Returns true when the engines' simulated accounting agrees -- the
+/// harness doubles as a coarse differential check on real workloads.
+bool sameAccounting(const RunStats &A, const RunStats &B) {
+  return A.Completed == B.Completed && A.Instructions == B.Instructions &&
+         A.Cycles == B.Cycles && A.BaseCycles == B.BaseCycles &&
+         A.MemStallCycles == B.MemStallCycles &&
+         A.LoadRefs == B.LoadRefs && A.ExitValue == B.ExitValue;
+}
+
+int runCompare(const CompareOptions &Opts) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "sprof.bench_runtime_compare/1");
+  Root.set("dataset", Opts.DS == DataSet::Train ? "train" : "ref");
+  Root.set("runs", Opts.Runs);
+  Root.set("with_memsys", Opts.WithMemsys);
+  JsonValue Rows = JsonValue::array();
+
+  std::cout << "engine compare: Reference vs Decoded, median of "
+            << Opts.Runs << " runs, "
+            << (Opts.DS == DataSet::Train ? "train" : "ref") << " input"
+            << (Opts.WithMemsys ? ", cache hierarchy on" : "") << "\n";
+  std::printf("%-14s %14s %14s %10s %16s\n", "workload", "reference(ms)",
+              "decoded(ms)", "speedup", "decoded insn/s");
+
+  bool Ok = true;
+  double LogSum = 0.0;
+  unsigned Count = 0;
+  for (const std::string &Name : Opts.Workloads) {
+    std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+    if (!W) {
+      std::cerr << "error: unknown workload '" << Name << "'\n";
+      return 2;
+    }
+    EngineTiming Ref, Dec;
+    timeEnginePair(*W, Opts.DS, Opts.Runs, Opts.WithMemsys, Ref, Dec);
+    if (!sameAccounting(Ref.Stats, Dec.Stats)) {
+      std::cerr << "error: engines disagree on " << Name
+                << " (simulated accounting differs; run the differential "
+                   "test suite)\n";
+      Ok = false;
+    }
+    double Speedup = Dec.MedianMs > 0.0 ? Ref.MedianMs / Dec.MedianMs : 0.0;
+    LogSum += std::log(Speedup > 0.0 ? Speedup : 1.0);
+    ++Count;
+    std::printf("%-14s %14.2f %14.2f %9.2fx %16.3e\n", Name.c_str(),
+                Ref.MedianMs, Dec.MedianMs, Speedup,
+                Dec.InstructionsPerSec);
+    if (Opts.MinSpeedup > 0.0 && Speedup < Opts.MinSpeedup) {
+      std::cerr << "error: " << Name << " speedup " << Speedup
+                << "x below the --min-speedup gate of " << Opts.MinSpeedup
+                << "x\n";
+      Ok = false;
+    }
+
+    JsonValue Row = JsonValue::object();
+    Row.set("name", Name);
+    JsonValue RefJ = JsonValue::object();
+    RefJ.set("median_ms", Ref.MedianMs);
+    RefJ.set("instructions_per_sec", Ref.InstructionsPerSec);
+    JsonValue DecJ = JsonValue::object();
+    DecJ.set("median_ms", Dec.MedianMs);
+    DecJ.set("instructions_per_sec", Dec.InstructionsPerSec);
+    Row.set("reference", std::move(RefJ));
+    Row.set("decoded", std::move(DecJ));
+    Row.set("speedup", Speedup);
+    Row.set("instructions", Dec.Stats.Instructions);
+    Row.set("simulated_cycles", Dec.Stats.Cycles);
+    Row.set("accounting_identical", sameAccounting(Ref.Stats, Dec.Stats));
+    Rows.push(std::move(Row));
+  }
+  double Geomean = Count ? std::exp(LogSum / Count) : 0.0;
+  std::printf("%-14s %14s %14s %9.2fx\n", "geomean", "", "", Geomean);
+
+  Root.set("workloads", std::move(Rows));
+  Root.set("geomean_speedup", Geomean);
+  if (Opts.WriteJson) {
+    if (!writeJsonFile(Opts.JsonPath, Root))
+      std::cerr << "warning: could not write " << Opts.JsonPath << "\n";
+    else
+      std::cerr << "compare report written to " << Opts.JsonPath << "\n";
+  }
+  return Ok ? 0 : 1;
+}
+
+/// Parses the --compare family; returns nullopt when --compare is absent
+/// (micro-benchmark mode).
+std::optional<CompareOptions> parseCompareArgs(int Argc, char **Argv) {
+  bool Compare = false;
+  CompareOptions Opts;
+  for (int A = 1; A < Argc; ++A) {
+    std::string Arg = Argv[A];
+    auto Value = [&](const std::string &Prefix) -> std::optional<std::string> {
+      if (Arg.rfind(Prefix, 0) == 0)
+        return Arg.substr(Prefix.size());
+      return std::nullopt;
+    };
+    if (Arg == "--compare") {
+      Compare = true;
+    } else if (auto V = Value("--workloads=")) {
+      Opts.Workloads.clear();
+      std::stringstream SS(*V);
+      std::string Item;
+      while (std::getline(SS, Item, ','))
+        if (!Item.empty())
+          Opts.Workloads.push_back(Item);
+    } else if (auto V = Value("--runs=")) {
+      Opts.Runs = std::max(1, std::atoi(V->c_str()));
+    } else if (auto V = Value("--dataset=")) {
+      Opts.DS = (*V == "ref") ? DataSet::Ref : DataSet::Train;
+    } else if (Arg == "--with-memsys") {
+      Opts.WithMemsys = true;
+    } else if (auto V = Value("--json=")) {
+      Opts.JsonPath = *V;
+    } else if (Arg == "--no-json") {
+      Opts.WriteJson = false;
+    } else if (auto V = Value("--min-speedup=")) {
+      Opts.MinSpeedup = std::atof(V->c_str());
+    }
+  }
+  if (!Compare)
+    return std::nullopt;
+  return Opts;
+}
+
 } // namespace
 
 // Like BENCHMARK_MAIN(), plus the SPROF_BENCH_JSON hook: when the
 // environment variable names a file, the run also emits google-benchmark's
 // machine-readable JSON there (equivalent to passing --benchmark_out=...).
+// `--compare` skips the micro-suite entirely and runs the engine harness.
 int main(int argc, char **argv) {
+  if (std::optional<CompareOptions> Opts = parseCompareArgs(argc, argv))
+    return runCompare(*Opts);
+
   std::vector<char *> Args(argv, argv + argc);
   std::string OutArg, FormatArg;
   if (const char *Path = std::getenv("SPROF_BENCH_JSON")) {

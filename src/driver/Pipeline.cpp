@@ -35,7 +35,7 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
   StrideProfiler Profiler(Prog.M.NumLoadSites, PC);
   Profiler.attachObs(Obs);
 
-  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
+  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing, Config.Interp);
   MemoryHierarchy MH(Config.Memory);
   if (WithMemorySystem)
     I.attachMemory(&MH);
@@ -86,7 +86,7 @@ RunStats Pipeline::runBaseline(DataSet DS) const {
     return W.build({DS, Config.WorkloadSeedOffset});
   }();
   assert(isWellFormed(Prog.M) && "workload built a malformed module");
-  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
+  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing, Config.Interp);
   MemoryHierarchy MH(Config.Memory);
   I.attachMemory(&MH);
   I.attachObs(Obs);
@@ -119,7 +119,7 @@ TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
   Result.Prefetches = insertPrefetches(Prog.M, Result.Feedback, Obs);
   assert(isWellFormed(Prog.M) && "prefetch insertion broke the module");
 
-  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing);
+  Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing, Config.Interp);
   MemoryHierarchy MH(Config.Memory);
   I.attachMemory(&MH);
   I.attachObs(Obs);

@@ -43,6 +43,11 @@ struct PipelineConfig {
   ClassifierConfig Classifier;
   MemoryConfig Memory;
   TimingModel Timing;
+  /// Execution-core selection (Reference vs the pre-decoded Decoded
+  /// engine). Both produce bit-identical profiles and cycle accounting;
+  /// Decoded (the default) is the fast core, Reference the differential
+  /// baseline (docs/PERFORMANCE.md).
+  InterpreterConfig Interp;
   /// Mixed into every workload build this pipeline performs (see
   /// BuildRequest). 0 reproduces the canonical builds; engine jobs that
   /// run seed replicas each get their own offset.

@@ -1,0 +1,389 @@
+//===- interp/DecodedProgram.cpp - Pre-decoded instruction stream ----------===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/DecodedProgram.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace sprof;
+
+namespace {
+
+/// Per-function interning of operand immediates into constant slots.
+class ConstAllocator {
+public:
+  explicit ConstAllocator(uint32_t NumRegs) : NumRegs(NumRegs) {}
+
+  uint32_t slotFor(int64_t Imm) {
+    auto [It, Inserted] = Slots.try_emplace(
+        Imm, NumRegs + static_cast<uint32_t>(Values.size()));
+    if (Inserted)
+      Values.push_back(Imm);
+    return It->second;
+  }
+
+  const std::vector<int64_t> &values() const { return Values; }
+
+private:
+  uint32_t NumRegs;
+  std::unordered_map<int64_t, uint32_t> Slots;
+  std::vector<int64_t> Values;
+};
+
+uint32_t decodeOperand(const Operand &O, ConstAllocator &Consts) {
+  if (O.isReg())
+    return O.getReg();
+  if (O.isImm())
+    return Consts.slotFor(O.getImm());
+  // None decodes as the slot holding 0: only Ret reads a possibly-empty
+  // operand, and the reference engine treats a missing value as 0.
+  return Consts.slotFor(0);
+}
+
+constexpr uint8_t NoFuse = 0xFF;
+
+constexpr unsigned Pack(Opcode X, Opcode Y) {
+  return (static_cast<unsigned>(X) << 8) | static_cast<unsigned>(Y);
+}
+
+/// The superinstruction an adjacent (A, B) pair fuses into, or NoFuse.
+/// Every listed opcode is an unpredicated-eligible single-cost ALU op.
+/// Call and Ret must never appear in a pair: decode-time inlining splices
+/// callee bodies behind CallInlined/RetInlined pseudo-ops (which keep
+/// Op == Call / Op == Ret), and the fusion pass relies on this table never
+/// pairing across those boundaries.
+uint8_t fusedOpFor(Opcode A, Opcode B) {
+  switch (Pack(A, B)) {
+  case Pack(Opcode::Mov, Opcode::Mov):
+    return static_cast<uint8_t>(FusedOp::MovMov);
+  case Pack(Opcode::Add, Opcode::Add):
+    return static_cast<uint8_t>(FusedOp::AddAdd);
+  case Pack(Opcode::Add, Opcode::Shl):
+    return static_cast<uint8_t>(FusedOp::AddShl);
+  case Pack(Opcode::Add, Opcode::Xor):
+    return static_cast<uint8_t>(FusedOp::AddXor);
+  case Pack(Opcode::Shl, Opcode::Add):
+    return static_cast<uint8_t>(FusedOp::ShlAdd);
+  case Pack(Opcode::Shl, Opcode::Xor):
+    return static_cast<uint8_t>(FusedOp::ShlXor);
+  case Pack(Opcode::Shr, Opcode::Xor):
+    return static_cast<uint8_t>(FusedOp::ShrXor);
+  case Pack(Opcode::And, Opcode::Shl):
+    return static_cast<uint8_t>(FusedOp::AndShl);
+  case Pack(Opcode::Xor, Opcode::Shl):
+    return static_cast<uint8_t>(FusedOp::XorShl);
+  case Pack(Opcode::Xor, Opcode::Shr):
+    return static_cast<uint8_t>(FusedOp::XorShr);
+  case Pack(Opcode::Xor, Opcode::And):
+    return static_cast<uint8_t>(FusedOp::XorAnd);
+  case Pack(Opcode::Add, Opcode::Load):
+    return static_cast<uint8_t>(FusedOp::AddLoad);
+  case Pack(Opcode::And, Opcode::Load):
+    return static_cast<uint8_t>(FusedOp::AndLoad);
+  case Pack(Opcode::Load, Opcode::Add):
+    return static_cast<uint8_t>(FusedOp::LoadAdd);
+  case Pack(Opcode::Load, Opcode::And):
+    return static_cast<uint8_t>(FusedOp::LoadAnd);
+  case Pack(Opcode::Load, Opcode::Xor):
+    return static_cast<uint8_t>(FusedOp::LoadXor);
+  case Pack(Opcode::Load, Opcode::Shl):
+    return static_cast<uint8_t>(FusedOp::LoadShl);
+  case Pack(Opcode::Load, Opcode::Load):
+    return static_cast<uint8_t>(FusedOp::LoadLoad);
+  case Pack(Opcode::CmpNe, Opcode::Br):
+    return static_cast<uint8_t>(FusedOp::CmpNeBr);
+  case Pack(Opcode::CmpLt, Opcode::Br):
+    return static_cast<uint8_t>(FusedOp::CmpLtBr);
+  default:
+    return NoFuse;
+  }
+}
+
+} // namespace
+
+DecodedProgram::DecodedProgram(const Module &M)
+    : EntryFunction(M.EntryFunction) {
+  // Pass 1: lay out the flat code array. Blocks flatten in order, so the
+  // flat index of a block is the function's running instruction count.
+  size_t TotalInsts = 0;
+  for (const Function &Fn : M.Functions)
+    for (const BasicBlock &BB : Fn.Blocks)
+      TotalInsts += BB.Insts.size();
+  Code.reserve(TotalInsts);
+  Functions.reserve(M.Functions.size());
+
+  for (const Function &Fn : M.Functions) {
+    DFunction DF;
+    DF.EntryPC = static_cast<uint32_t>(Code.size());
+    DF.ConstBase = static_cast<uint32_t>(ConstPool.size());
+
+    // A call is inlinable when it is unpredicated, its callee is already
+    // decoded (helpers precede their callers in module order; recursion and
+    // forward calls simply stay real calls), and the callee is a short
+    // straight-line leaf: one block's worth of non-control instructions
+    // ending in the sole Ret. Returns the callee's decoded length, or -1.
+    auto inlinableLen = [&](const Instruction &I) -> int {
+      if (I.Op != Opcode::Call || I.Pred != NoReg ||
+          I.Callee >= Functions.size())
+        return -1;
+      const DFunction &CF = Functions[I.Callee];
+      uint32_t CEnd = I.Callee + 1 < Functions.size()
+                          ? Functions[I.Callee + 1].EntryPC
+                          : DF.EntryPC;
+      uint32_t Len = CEnd - CF.EntryPC;
+      if (Len == 0 || Len > 24 || Code[CEnd - 1].Op != Opcode::Ret)
+        return -1;
+      for (uint32_t K = CF.EntryPC; K != CEnd; ++K) {
+        switch (Code[K].Op) {
+        case Opcode::Jmp:
+        case Opcode::Br:
+        case Opcode::Call: // also rejects nested CallInlined splices
+        case Opcode::Halt:
+          return -1;
+        case Opcode::Ret:
+          if (K + 1 != CEnd)
+            return -1;
+          break;
+        default:
+          break;
+        }
+      }
+      return static_cast<int>(Len);
+    };
+
+    // Pre-scan: assign each inlinable call site a register window after the
+    // function's own registers, and size every block with its splices so
+    // the flat block start indices below come out right.
+    uint32_t InlineRegs = 0;
+    std::vector<uint32_t> SiteWindow; // consumed in decode order
+    std::vector<uint32_t> BlockPC(Fn.Blocks.size());
+    uint32_t PC = DF.EntryPC;
+    for (size_t B = 0; B != Fn.Blocks.size(); ++B) {
+      BlockPC[B] = PC;
+      for (const Instruction &I : Fn.Blocks[B].Insts) {
+        int Len = inlinableLen(I);
+        if (Len >= 0) {
+          SiteWindow.push_back(Fn.NumRegs + InlineRegs);
+          InlineRegs += Functions[I.Callee].NumRegs;
+          PC += 1 + static_cast<uint32_t>(Len);
+        } else {
+          ++PC;
+        }
+      }
+    }
+    DF.NumRegs = Fn.NumRegs + InlineRegs;
+    ConstAllocator Consts(DF.NumRegs);
+    size_t SiteIdx = 0;
+
+    for (const BasicBlock &BB : Fn.Blocks) {
+      assert(BB.hasTerminator() && "decoding a malformed block");
+      for (const Instruction &I : BB.Insts) {
+        const OpcodeInfo &Info = opcodeInfo(I.Op);
+        DInst D;
+        D.Op = I.Op;
+        D.DOp = static_cast<uint8_t>(I.Op);
+        D.IsInstrumentation = I.IsInstrumentation;
+        D.Dst = I.Dst;
+        D.Pred = I.Pred;
+        D.SiteId = I.SiteId;
+        if (Info.NumOperands >= 1 || I.Op == Opcode::Ret)
+          D.A = decodeOperand(I.A, Consts);
+        if (Info.NumOperands >= 2)
+          D.B = decodeOperand(I.B, Consts);
+        if (Info.NumOperands >= 3)
+          D.C = decodeOperand(I.C, Consts);
+        if (Info.UsesImm)
+          D.Imm = I.Imm;
+        switch (I.Op) {
+        case Opcode::Jmp:
+          D.setTarget0(BlockPC[I.Target0]);
+          break;
+        case Opcode::Br:
+          D.setTarget0(BlockPC[I.Target0]);
+          D.setTarget1(BlockPC[I.Target1]);
+          break;
+        case Opcode::Call: {
+          D.NumArgs = I.NumArgs;
+          D.setArgsBase(static_cast<uint32_t>(ArgPool.size()));
+          for (unsigned A = 0; A != I.NumArgs; ++A)
+            ArgPool.push_back(decodeOperand(I.Args[A], Consts));
+          int InlLen = inlinableLen(I);
+          if (InlLen < 0) {
+            D.setCallee(I.Callee);
+            break;
+          }
+          // Inline the callee: emit the CallInlined pseudo-op, then splice
+          // the callee's decoded body with its registers remapped into this
+          // site's window and its constants re-interned into this
+          // function's pool. The callee's fused DOps are reset to their
+          // base opcodes; the fusion pass below re-pairs the spliced
+          // stream (deterministically identical within the splice, and
+          // free to pair across the old call boundary's ALU neighbours).
+          const DFunction &CF = Functions[I.Callee];
+          uint32_t WBase = SiteWindow[SiteIdx++];
+          D.DOp = static_cast<uint8_t>(FusedOp::CallInlined);
+          D.A = WBase;
+          D.C = CF.NumRegs;
+          Code.push_back(D);
+          auto remap = [&](uint32_t Slot) -> uint32_t {
+            if (Slot < CF.NumRegs)
+              return WBase + Slot;
+            return Consts.slotFor(ConstPool[CF.ConstBase +
+                                            (Slot - CF.NumRegs)]);
+          };
+          uint32_t CEnd = CF.EntryPC + static_cast<uint32_t>(InlLen);
+          for (uint32_t K = CF.EntryPC; K != CEnd; ++K) {
+            DInst CI = Code[K]; // by value: push_back may reallocate
+            const OpcodeInfo &CInfo = opcodeInfo(CI.Op);
+            if (CI.Dst != NoReg)
+              CI.Dst = WBase + CI.Dst;
+            if (CI.Pred != NoReg)
+              CI.Pred = WBase + CI.Pred;
+            if (CInfo.NumOperands >= 1 || CI.Op == Opcode::Ret)
+              CI.A = remap(CI.A);
+            if (CInfo.NumOperands >= 2)
+              CI.B = remap(CI.B);
+            if (CInfo.NumOperands >= 3)
+              CI.C = remap(CI.C);
+            CI.PrefetchDst = 0;
+            if (CI.Op == Opcode::Ret) {
+              CI.DOp = static_cast<uint8_t>(FusedOp::RetInlined);
+              CI.Dst = D.Dst; // the call's result register (maybe NoReg)
+            } else {
+              CI.DOp = static_cast<uint8_t>(CI.Op);
+            }
+            Code.push_back(CI);
+          }
+          continue; // the call and splice are already emitted
+        }
+        default:
+          break;
+        }
+        Code.push_back(D);
+      }
+    }
+
+    DF.NumSlots =
+        DF.NumRegs + static_cast<uint32_t>(Consts.values().size());
+    ConstPool.insert(ConstPool.end(), Consts.values().begin(),
+                     Consts.values().end());
+
+    // Fusion pass: greedily pair adjacent eligible instructions. Control
+    // only ever enters a block at its head, so the one structural hazard
+    // is the second instruction being a block leader. Pairs with mixed
+    // base/instrumentation attribution stay unfused so the fused handler
+    // can charge both halves to one bucket.
+    std::vector<bool> IsLeader(Code.size() - DF.EntryPC, false);
+    for (uint32_t BPC : BlockPC)
+      IsLeader[BPC - DF.EntryPC] = true;
+    for (uint32_t K = DF.EntryPC; K + 1 < Code.size();) {
+      DInst &A = Code[K];
+      const DInst &B = Code[K + 1];
+      if (!IsLeader[K + 1 - DF.EntryPC] && A.Pred == NoReg &&
+          B.Pred == NoReg && A.IsInstrumentation == B.IsInstrumentation) {
+        uint8_t F = fusedOpFor(A.Op, B.Op);
+        if (F != NoFuse) {
+          A.DOp = F;
+          K += 2;
+          continue;
+        }
+      }
+      ++K;
+    }
+
+    Functions.push_back(DF);
+  }
+
+  // Pointer-prefetch analysis. A register that is ever used as a memory
+  // base (directly, or by being passed to a callee that dereferences its
+  // parameter) holds an address; any Add or Load that produces such a
+  // register is producing an address the program will dereference later --
+  // the advancing sweep pointer of a heap walk, the `p = p->next` of a
+  // pointer chase, an address handed to a helper call. Flag those producers
+  // so the engine can issue a host prefetch the moment the address exists,
+  // hiding host-DRAM latency that the lean dispatch loop no longer covers
+  // with overhead. Purely a host-side hint: simulated accounting is
+  // untouched.
+  const size_t NumFns = Functions.size();
+  auto fnEnd = [&](size_t F) {
+    return F + 1 != NumFns ? Functions[F + 1].EntryPC
+                           : static_cast<uint32_t>(Code.size());
+  };
+  std::vector<std::vector<bool>> BaseRegs(NumFns);
+  for (size_t F = 0; F != NumFns; ++F)
+    BaseRegs[F].assign(Functions[F].NumRegs, false);
+  // Fixpoint over the call graph (callee parameter facts flow into
+  // callers; module call graphs here are shallow, so this converges in a
+  // couple of sweeps).
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (size_t F = 0; F != NumFns; ++F) {
+      auto markBase = [&](uint32_t Slot) {
+        if (Slot < Functions[F].NumRegs && !BaseRegs[F][Slot]) {
+          BaseRegs[F][Slot] = true;
+          Changed = true;
+        }
+      };
+      for (uint32_t PC = Functions[F].EntryPC, E = fnEnd(F); PC != E; ++PC) {
+        const DInst &D = Code[PC];
+        switch (D.Op) {
+        case Opcode::Load:
+        case Opcode::Store:
+        case Opcode::Prefetch:
+        case Opcode::SpecLoad:
+          markBase(D.A);
+          break;
+        case Opcode::Call: {
+          if (D.DOp == static_cast<uint8_t>(FusedOp::CallInlined)) {
+            // The spliced body's loads mark the window slots directly;
+            // propagate window-parameter facts back to the argument regs.
+            for (unsigned Arg = 0; Arg != D.NumArgs; ++Arg)
+              if (BaseRegs[F][D.A + Arg])
+                markBase(ArgPool[D.argsBase() + Arg]);
+            break;
+          }
+          const std::vector<bool> &CalleeBases = BaseRegs[D.callee()];
+          for (unsigned Arg = 0; Arg != D.NumArgs; ++Arg)
+            if (Arg < CalleeBases.size() && CalleeBases[Arg])
+              markBase(ArgPool[D.argsBase() + Arg]);
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+  // Flag the producers. Only Add and Load results are worth the hint (the
+  // address-arithmetic and pointer-chase producers); skip when the very
+  // next instruction is the dereference -- there is no latency to hide.
+  for (size_t F = 0; F != NumFns; ++F) {
+    for (uint32_t PC = Functions[F].EntryPC, E = fnEnd(F); PC != E; ++PC) {
+      DInst &D = Code[PC];
+      if (D.Op != Opcode::Add && D.Op != Opcode::Load)
+        continue;
+      if (D.Dst >= Functions[F].NumRegs || !BaseRegs[F][D.Dst])
+        continue;
+      if (PC + 1 != E &&
+          (Code[PC + 1].Op == Opcode::Load ||
+           Code[PC + 1].Op == Opcode::SpecLoad) &&
+          Code[PC + 1].A == D.Dst)
+        continue;
+      D.PrefetchDst = 1;
+    }
+  }
+
+  // Final pass: route every predicated instruction through the Predicated
+  // dispatch slot. This must run after fusion (fusion only pairs
+  // unpredicated instructions, so no fused DOp is ever overwritten) and
+  // leaves Op untouched -- the Predicated handler re-dispatches on it once
+  // the predicate is known to be true.
+  for (DInst &D : Code)
+    if (D.Pred != NoReg)
+      D.DOp = static_cast<uint8_t>(FusedOp::Predicated);
+}

@@ -7,6 +7,8 @@
 
 #include "interp/Interpreter.h"
 
+#include "interp/DecodedInterpreter.h"
+#include "interp/DecodedProgram.h"
 #include "obs/Obs.h"
 
 #include <cassert>
@@ -15,7 +17,7 @@ using namespace sprof;
 
 namespace {
 
-/// One call frame.
+/// One call frame of the Reference engine.
 struct Frame {
   uint32_t Func;
   uint32_t Block;
@@ -27,23 +29,97 @@ struct Frame {
 } // namespace
 
 Interpreter::Interpreter(const Module &M, SimMemory Memory,
-                         const TimingModel &Timing)
-    : M(M), Memory(std::move(Memory)), Timing(Timing) {
+                         const TimingModel &Timing, InterpreterConfig Config)
+    : M(M), Memory(std::move(Memory)), Timing(Timing), Config(Config) {
   Counters.assign(M.NumCounters, 0);
 }
 
+Interpreter::~Interpreter() = default;
+
+void Interpreter::attachObs(ObsSession *Session) {
+  Sinks = ObsSinks();
+  if (!Session)
+    return;
+  Sinks.Runs = Session->counter("interp.runs");
+  Sinks.Instructions = Session->counter("interp.instructions");
+  Sinks.Loads = Session->counter("interp.loads");
+  Sinks.Stores = Session->counter("interp.stores");
+  Sinks.Prefetches = Session->counter("interp.prefetches");
+  Sinks.SpecLoads = Session->counter("interp.spec_loads");
+  Sinks.Calls = Session->counter("interp.calls");
+  Sinks.Branches = Session->counter("interp.branches");
+  Sinks.PredSquashed = Session->counter("interp.predicated_off");
+  Sinks.CounterOps = Session->counter("interp.counter_ops");
+  Sinks.StrideTraps = Session->counter("interp.stride_traps");
+  Sinks.Cycles = Session->counter("interp.cycles");
+  Sinks.MemStallCycles = Session->counter("interp.mem_stall_cycles");
+  Sinks.InstrumentationCycles =
+      Session->counter("interp.instrumentation_cycles");
+  Sinks.RuntimeCycles = Session->counter("interp.runtime_cycles");
+  Sinks.MaxStackDepth = Session->gauge("interp.max_stack_depth");
+  Sinks.RunCycles = Session->histogram("interp.run_cycles",
+                                       Histogram::exponentialBounds(1024, 24));
+}
+
+void Interpreter::flushObs(const RunStats &Stats, const ExecTally &Tally) {
+  if (Sinks.Runs)
+    Sinks.Runs->inc();
+  if (Sinks.Instructions)
+    Sinks.Instructions->inc(Stats.Instructions);
+  if (Sinks.Loads)
+    Sinks.Loads->inc(Stats.LoadRefs);
+  if (Sinks.Stores)
+    Sinks.Stores->inc(Tally.Stores);
+  if (Sinks.Prefetches)
+    Sinks.Prefetches->inc(Tally.Prefetches);
+  if (Sinks.SpecLoads)
+    Sinks.SpecLoads->inc(Tally.SpecLoads);
+  if (Sinks.Calls)
+    Sinks.Calls->inc(Tally.Calls);
+  if (Sinks.Branches)
+    Sinks.Branches->inc(Tally.Branches);
+  if (Sinks.PredSquashed)
+    Sinks.PredSquashed->inc(Tally.PredSquashed);
+  if (Sinks.CounterOps)
+    Sinks.CounterOps->inc(Tally.CounterOps);
+  if (Sinks.StrideTraps)
+    Sinks.StrideTraps->inc(Tally.StrideTraps);
+  if (Sinks.Cycles)
+    Sinks.Cycles->inc(Stats.Cycles);
+  if (Sinks.MemStallCycles)
+    Sinks.MemStallCycles->inc(Stats.MemStallCycles);
+  if (Sinks.InstrumentationCycles)
+    Sinks.InstrumentationCycles->inc(Stats.InstrumentationCycles);
+  if (Sinks.RuntimeCycles)
+    Sinks.RuntimeCycles->inc(Stats.RuntimeCycles);
+  if (Sinks.MaxStackDepth)
+    Sinks.MaxStackDepth->set(static_cast<double>(Tally.MaxDepth));
+  if (Sinks.RunCycles)
+    Sinks.RunCycles->record(Stats.Cycles);
+}
+
 RunStats Interpreter::run(uint64_t MaxInstructions) {
+  ExecTally Tally;
+  RunStats Stats;
+  if (Config.Exec == InterpreterConfig::Engine::Decoded) {
+    if (!Decoded) {
+      Decoded = std::make_unique<DecodedProgram>(M);
+      DecodedExec = std::make_unique<DecodedInterpreter>(
+          *Decoded, M.NumLoadSites, Timing, Memory, Counters);
+    }
+    DecodedExec->attach(Mem, Profiler);
+    Stats = DecodedExec->run(MaxInstructions, Tally);
+  } else {
+    Stats = runReference(MaxInstructions, Tally);
+  }
+  flushObs(Stats, Tally);
+  return Stats;
+}
+
+RunStats Interpreter::runReference(uint64_t MaxInstructions,
+                                   ExecTally &Tally) {
   RunStats Stats;
   Stats.SiteCounts.assign(M.NumLoadSites, 0);
-
-  // Local telemetry tallies (flushed to the ObsSession at run exit; the
-  // per-instruction cost is a register increment whether or not telemetry
-  // is attached, never a registry lookup).
-  struct {
-    uint64_t Stores = 0, Prefetches = 0, SpecLoads = 0, Calls = 0;
-    uint64_t Branches = 0, PredSquashed = 0, CounterOps = 0;
-    uint64_t StrideTraps = 0, MaxDepth = 0;
-  } Tally;
 
   std::vector<Frame> Stack;
   {
@@ -56,7 +132,11 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
     Stack.push_back(std::move(Entry));
   }
 
+  // Loop preamble: the closures and the frame/instruction cursors they
+  // capture are materialized once; the loop only reassigns the cursors.
   uint64_t Now = 0;
+  Frame *F = nullptr;
+  const Instruction *I = nullptr;
   auto Charge = [&](uint64_t Cost, bool Instrumentation) {
     Now += Cost;
     if (Instrumentation)
@@ -64,104 +144,103 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
     else
       Stats.BaseCycles += Cost;
   };
+  auto Val = [&](const Operand &O) -> int64_t {
+    if (O.isImm())
+      return O.getImm();
+    assert(O.isReg() && "evaluating empty operand");
+    return F->Regs[O.getReg()];
+  };
 
   while (!Stack.empty() && Stats.Instructions < MaxInstructions) {
-    Frame &F = Stack.back();
-    const Function &Fn = M.Functions[F.Func];
-    assert(F.Block < Fn.Blocks.size() && "bad block index");
-    const BasicBlock &BB = Fn.Blocks[F.Block];
-    assert(F.InstIndex < BB.Insts.size() && "fell off a basic block");
-    const Instruction &I = BB.Insts[F.InstIndex];
+    F = &Stack.back();
+    const Function &Fn = M.Functions[F->Func];
+    assert(F->Block < Fn.Blocks.size() && "bad block index");
+    const BasicBlock &BB = Fn.Blocks[F->Block];
+    assert(F->InstIndex < BB.Insts.size() && "fell off a basic block");
+    I = &BB.Insts[F->InstIndex];
 
     ++Stats.Instructions;
 
-    auto Val = [&](const Operand &O) -> int64_t {
-      if (O.isImm())
-        return O.getImm();
-      assert(O.isReg() && "evaluating empty operand");
-      return F.Regs[O.getReg()];
-    };
-
     // Qualifying predicate: a false predicate squashes the instruction but
     // still consumes an issue slot.
-    if (I.Pred != NoReg && F.Regs[I.Pred] == 0) {
-      Charge(Timing.PredicatedOffCost, I.IsInstrumentation);
+    if (I->Pred != NoReg && F->Regs[I->Pred] == 0) {
+      Charge(Timing.PredicatedOffCost, I->IsInstrumentation);
       ++Tally.PredSquashed;
-      ++F.InstIndex;
+      ++F->InstIndex;
       continue;
     }
 
-    switch (I.Op) {
+    switch (I->Op) {
     case Opcode::Mov:
-      F.Regs[I.Dst] = Val(I.A);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::Add:
-      F.Regs[I.Dst] = Val(I.A) + Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) + Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::Sub:
-      F.Regs[I.Dst] = Val(I.A) - Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) - Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::Mul:
-      F.Regs[I.Dst] = Val(I.A) * Val(I.B);
-      Charge(Timing.MulCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) * Val(I->B);
+      Charge(Timing.MulCost, I->IsInstrumentation);
       break;
     case Opcode::Shl:
-      F.Regs[I.Dst] = static_cast<int64_t>(static_cast<uint64_t>(Val(I.A))
-                                           << (Val(I.B) & 63));
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = static_cast<int64_t>(static_cast<uint64_t>(Val(I->A))
+                                             << (Val(I->B) & 63));
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::Shr:
-      F.Regs[I.Dst] = Val(I.A) >> (Val(I.B) & 63);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) >> (Val(I->B) & 63);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::And:
-      F.Regs[I.Dst] = Val(I.A) & Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) & Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::Or:
-      F.Regs[I.Dst] = Val(I.A) | Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) | Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::Xor:
-      F.Regs[I.Dst] = Val(I.A) ^ Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) ^ Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::CmpEq:
-      F.Regs[I.Dst] = Val(I.A) == Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) == Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::CmpNe:
-      F.Regs[I.Dst] = Val(I.A) != Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) != Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::CmpLt:
-      F.Regs[I.Dst] = Val(I.A) < Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) < Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::CmpLe:
-      F.Regs[I.Dst] = Val(I.A) <= Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) <= Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::CmpGt:
-      F.Regs[I.Dst] = Val(I.A) > Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) > Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::CmpGe:
-      F.Regs[I.Dst] = Val(I.A) >= Val(I.B);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) >= Val(I->B);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
     case Opcode::Select:
-      F.Regs[I.Dst] = Val(I.A) != 0 ? Val(I.B) : Val(I.C);
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      F->Regs[I->Dst] = Val(I->A) != 0 ? Val(I->B) : Val(I->C);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       break;
 
     case Opcode::Load: {
-      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
-      F.Regs[I.Dst] = Memory.read64(Addr);
-      Charge(Timing.LoadBaseCost, I.IsInstrumentation);
+      uint64_t Addr = static_cast<uint64_t>(Val(I->A) + I->Imm);
+      F->Regs[I->Dst] = Memory.read64(Addr);
+      Charge(Timing.LoadBaseCost, I->IsInstrumentation);
       uint64_t Latency =
           Mem ? Mem->demandAccess(Addr, Now) : Timing.FlatLoadLatency;
       // The pipeline hides an L1-hit's worth of latency; the rest stalls.
@@ -169,25 +248,25 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
       uint64_t Stall = Latency > Hidden ? Latency - Hidden : 0;
       Now += Stall;
       Stats.MemStallCycles += Stall;
-      if (!I.IsInstrumentation) {
+      if (!I->IsInstrumentation) {
         ++Stats.LoadRefs;
-        if (I.SiteId != NoId)
-          ++Stats.SiteCounts[I.SiteId];
+        if (I->SiteId != NoId)
+          ++Stats.SiteCounts[I->SiteId];
       }
       break;
     }
     case Opcode::Store: {
-      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
-      Memory.write64(Addr, Val(I.B));
-      Charge(Timing.StoreCost, I.IsInstrumentation);
+      uint64_t Addr = static_cast<uint64_t>(Val(I->A) + I->Imm);
+      Memory.write64(Addr, Val(I->B));
+      Charge(Timing.StoreCost, I->IsInstrumentation);
       ++Tally.Stores;
       break;
     }
     case Opcode::Prefetch: {
-      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
+      uint64_t Addr = static_cast<uint64_t>(Val(I->A) + I->Imm);
       if (Mem)
         Mem->prefetch(Addr, Now);
-      Charge(Timing.PrefetchCost, I.IsInstrumentation);
+      Charge(Timing.PrefetchCost, I->IsInstrumentation);
       ++Tally.Prefetches;
       break;
     }
@@ -195,39 +274,39 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
       // Speculative, non-blocking load (Itanium ld.s): returns the value
       // for address computation but never stalls the pipeline; it touches
       // the cache like a prefetch.
-      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
-      F.Regs[I.Dst] = Memory.read64(Addr);
+      uint64_t Addr = static_cast<uint64_t>(Val(I->A) + I->Imm);
+      F->Regs[I->Dst] = Memory.read64(Addr);
       if (Mem)
         Mem->prefetch(Addr, Now);
-      Charge(Timing.LoadBaseCost, I.IsInstrumentation);
+      Charge(Timing.LoadBaseCost, I->IsInstrumentation);
       ++Tally.SpecLoads;
       break;
     }
 
     case Opcode::Jmp:
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       ++Tally.Branches;
-      F.Block = I.Target0;
-      F.InstIndex = 0;
+      F->Block = I->Target0;
+      F->InstIndex = 0;
       continue;
     case Opcode::Br:
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       ++Tally.Branches;
-      F.Block = Val(I.A) != 0 ? I.Target0 : I.Target1;
-      F.InstIndex = 0;
+      F->Block = Val(I->A) != 0 ? I->Target0 : I->Target1;
+      F->InstIndex = 0;
       continue;
 
     case Opcode::Call: {
-      Charge(Timing.CallCost, I.IsInstrumentation);
+      Charge(Timing.CallCost, I->IsInstrumentation);
       Frame Callee;
-      Callee.Func = I.Callee;
+      Callee.Func = I->Callee;
       Callee.Block = 0;
       Callee.InstIndex = 0;
-      Callee.ReturnDst = I.Dst;
-      Callee.Regs.assign(M.Functions[I.Callee].NumRegs, 0);
-      for (unsigned A = 0; A != I.NumArgs; ++A)
-        Callee.Regs[A] = Val(I.Args[A]);
-      ++F.InstIndex; // resume past the call on return
+      Callee.ReturnDst = I->Dst;
+      Callee.Regs.assign(M.Functions[I->Callee].NumRegs, 0);
+      for (unsigned A = 0; A != I->NumArgs; ++A)
+        Callee.Regs[A] = Val(I->Args[A]);
+      ++F->InstIndex; // resume past the call on return
       Stack.push_back(std::move(Callee));
       ++Tally.Calls;
       if (Stack.size() > Tally.MaxDepth)
@@ -235,9 +314,9 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
       continue;
     }
     case Opcode::Ret: {
-      Charge(Timing.RetCost, I.IsInstrumentation);
-      int64_t RV = I.A.isNone() ? 0 : Val(I.A);
-      Reg Dst = F.ReturnDst;
+      Charge(Timing.RetCost, I->IsInstrumentation);
+      int64_t RV = I->A.isNone() ? 0 : Val(I->A);
+      Reg Dst = F->ReturnDst;
       Stack.pop_back();
       if (Stack.empty()) {
         Stats.ExitValue = RV;
@@ -249,31 +328,31 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
       continue;
     }
     case Opcode::Halt:
-      Charge(Timing.DefaultCost, I.IsInstrumentation);
+      Charge(Timing.DefaultCost, I->IsInstrumentation);
       Stats.Completed = true;
       Stack.clear();
       continue;
 
     case Opcode::ProfCounterInc:
-      ++Counters[I.Imm];
+      ++Counters[I->Imm];
       Charge(Timing.CounterIncCost, true);
       ++Tally.CounterOps;
       break;
     case Opcode::ProfCounterRead:
-      F.Regs[I.Dst] = static_cast<int64_t>(Counters[I.Imm]);
+      F->Regs[I->Dst] = static_cast<int64_t>(Counters[I->Imm]);
       Charge(Timing.CounterReadCost, true);
       ++Tally.CounterOps;
       break;
     case Opcode::ProfCounterAddTo:
-      F.Regs[I.Dst] = Val(I.A) + static_cast<int64_t>(Counters[I.Imm]);
+      F->Regs[I->Dst] = Val(I->A) + static_cast<int64_t>(Counters[I->Imm]);
       Charge(Timing.CounterAddToCost, true);
       ++Tally.CounterOps;
       break;
     case Opcode::ProfStride: {
-      uint64_t Addr = static_cast<uint64_t>(Val(I.A) + I.Imm);
+      uint64_t Addr = static_cast<uint64_t>(Val(I->A) + I->Imm);
       uint64_t Cost = 0;
       if (Profiler)
-        Cost = Profiler->profile(I.SiteId, Addr, Stats.LoadRefs + 1);
+        Cost = Profiler->profile(I->SiteId, Addr, Stats.LoadRefs + 1);
       Now += Cost;
       Stats.RuntimeCycles += Cost;
       ++Tally.StrideTraps;
@@ -283,36 +362,12 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
 
     if (Stack.empty())
       break;
-    ++F.InstIndex;
+    ++F->InstIndex;
   }
 
   Stats.Cycles = Now;
   if (Mem)
     Stats.Mem = Mem->stats();
-
-  if (Obs) {
-    Obs->counter("interp.runs")->inc();
-    Obs->counter("interp.instructions")->inc(Stats.Instructions);
-    Obs->counter("interp.loads")->inc(Stats.LoadRefs);
-    Obs->counter("interp.stores")->inc(Tally.Stores);
-    Obs->counter("interp.prefetches")->inc(Tally.Prefetches);
-    Obs->counter("interp.spec_loads")->inc(Tally.SpecLoads);
-    Obs->counter("interp.calls")->inc(Tally.Calls);
-    Obs->counter("interp.branches")->inc(Tally.Branches);
-    Obs->counter("interp.predicated_off")->inc(Tally.PredSquashed);
-    Obs->counter("interp.counter_ops")->inc(Tally.CounterOps);
-    Obs->counter("interp.stride_traps")->inc(Tally.StrideTraps);
-    Obs->counter("interp.cycles")->inc(Stats.Cycles);
-    Obs->counter("interp.mem_stall_cycles")->inc(Stats.MemStallCycles);
-    Obs->counter("interp.instrumentation_cycles")
-        ->inc(Stats.InstrumentationCycles);
-    Obs->counter("interp.runtime_cycles")->inc(Stats.RuntimeCycles);
-    Obs->gauge("interp.max_stack_depth")
-        ->set(static_cast<double>(Tally.MaxDepth));
-    Obs->histogram("interp.run_cycles",
-                   Histogram::exponentialBounds(1024, 24))
-        ->record(Stats.Cycles);
-  }
   return Stats;
 }
 

@@ -12,6 +12,17 @@
 /// instructions, profiling-runtime work) so the benches can reproduce the
 /// paper's speedup (Figure 16) and profiling-overhead (Figure 20) ratios.
 ///
+/// Two execution engines back run(), selectable via
+/// InterpreterConfig::Engine and cycle-accounting-identical by contract
+/// (enforced by tests/test_decoded.cpp):
+///
+///   * Reference walks the Module structures directly -- the simple,
+///     obviously-correct loop;
+///   * Decoded (the default) runs a pre-decoded flat instruction stream
+///     (DecodedProgram) on a threaded-dispatch core with a reusable
+///     frame/register pool (DecodedInterpreter); same simulated cycles,
+///     several times faster in wall-clock (docs/PERFORMANCE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPROF_INTERP_INTERPRETER_H
@@ -23,11 +34,17 @@
 #include "profile/StrideProfiler.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace sprof {
 
 class ObsSession;
+class Counter;
+class Gauge;
+class Histogram;
+class DecodedProgram;
+class DecodedInterpreter;
 
 /// Per-opcode-class cycle costs of the in-order pipeline.
 struct TimingModel {
@@ -44,6 +61,16 @@ struct TimingModel {
   uint32_t PredicatedOffCost = 1; ///< predicated-off slots still issue
   /// Latency assumed for loads when no MemoryHierarchy is attached.
   uint32_t FlatLoadLatency = 2;
+};
+
+/// Engine selection and future execution-core knobs.
+struct InterpreterConfig {
+  /// Which execution core run() uses. Both produce bit-identical RunStats,
+  /// profiles, and telemetry; Reference exists as the differential-testing
+  /// baseline and for debugging the Decoded core.
+  enum class Engine { Reference, Decoded };
+
+  Engine Exec = Engine::Decoded;
 };
 
 /// Outcome and accounting of one program run.
@@ -76,21 +103,32 @@ struct RunStats {
   RunStats &operator+=(const RunStats &Other);
 };
 
+/// Opcode-mix tallies both execution engines maintain during a run and
+/// flush into the telemetry session at run exit. Plain register increments
+/// on the hot path, whether or not telemetry is attached.
+struct ExecTally {
+  uint64_t Stores = 0, Prefetches = 0, SpecLoads = 0, Calls = 0;
+  uint64_t Branches = 0, PredSquashed = 0, CounterOps = 0;
+  uint64_t StrideTraps = 0, MaxDepth = 0;
+};
+
 /// Interprets one module over one memory image. Attach a MemoryHierarchy
 /// for realistic load timing and a StrideProfiler when running an
 /// instrumented module (ProfStride traps into it).
 class Interpreter {
 public:
   Interpreter(const Module &M, SimMemory Memory,
-              const TimingModel &Timing = TimingModel());
+              const TimingModel &Timing = TimingModel(),
+              InterpreterConfig Config = InterpreterConfig());
+  ~Interpreter();
 
   void attachMemory(MemoryHierarchy *MH) { Mem = MH; }
   void attachProfiler(StrideProfiler *SP) { Profiler = SP; }
-  /// Telemetry: when attached, run() flushes per-run opcode-mix counters
-  /// and cycle histograms into the session's registry at exit. The
-  /// interpreter loop itself only maintains a handful of local tallies, so
-  /// the hot path is unchanged when detached.
-  void attachObs(ObsSession *Session) { Obs = Session; }
+  /// Telemetry: resolves the interp.* metric sinks once (like
+  /// StrideProfiler::attachObs); run() bumps the cached pointers at exit.
+  /// nullptr detaches. The interpreter loop itself only maintains local
+  /// tallies, so the hot path is unchanged either way.
+  void attachObs(ObsSession *Session);
 
   /// Runs the entry function to completion (or until \p MaxInstructions).
   RunStats run(uint64_t MaxInstructions = 4ull << 30);
@@ -98,14 +136,40 @@ public:
   /// Profiling counters (edge/block frequencies) after the run.
   const std::vector<uint64_t> &counters() const { return Counters; }
 
+  const InterpreterConfig &config() const { return Config; }
+
 private:
+  /// Cached telemetry sinks, resolved at attachObs; all null when
+  /// detached (or when the session collects no metrics).
+  struct ObsSinks {
+    Counter *Runs = nullptr, *Instructions = nullptr, *Loads = nullptr,
+            *Stores = nullptr, *Prefetches = nullptr, *SpecLoads = nullptr,
+            *Calls = nullptr, *Branches = nullptr, *PredSquashed = nullptr,
+            *CounterOps = nullptr, *StrideTraps = nullptr, *Cycles = nullptr,
+            *MemStallCycles = nullptr, *InstrumentationCycles = nullptr,
+            *RuntimeCycles = nullptr;
+    Gauge *MaxStackDepth = nullptr;
+    Histogram *RunCycles = nullptr;
+  };
+
+  /// The structure-walking baseline engine.
+  RunStats runReference(uint64_t MaxInstructions, ExecTally &Tally);
+
+  void flushObs(const RunStats &Stats, const ExecTally &Tally);
+
   const Module &M;
   SimMemory Memory;
   TimingModel Timing;
+  InterpreterConfig Config;
   MemoryHierarchy *Mem = nullptr;
   StrideProfiler *Profiler = nullptr;
-  ObsSession *Obs = nullptr;
+  ObsSinks Sinks;
   std::vector<uint64_t> Counters;
+
+  /// Lazily-built decoded form and its execution core (Engine::Decoded);
+  /// reused across run() calls so repeated runs pay one decode.
+  std::unique_ptr<DecodedProgram> Decoded;
+  std::unique_ptr<DecodedInterpreter> DecodedExec;
 };
 
 } // namespace sprof

@@ -10,159 +10,57 @@
 
 using namespace sprof;
 
-const char *sprof::opcodeName(Opcode Op) {
-  switch (Op) {
-  case Opcode::Mov:
-    return "mov";
-  case Opcode::Add:
-    return "add";
-  case Opcode::Sub:
-    return "sub";
-  case Opcode::Mul:
-    return "mul";
-  case Opcode::Shl:
-    return "shl";
-  case Opcode::Shr:
-    return "shr";
-  case Opcode::And:
-    return "and";
-  case Opcode::Or:
-    return "or";
-  case Opcode::Xor:
-    return "xor";
-  case Opcode::CmpEq:
-    return "cmp.eq";
-  case Opcode::CmpNe:
-    return "cmp.ne";
-  case Opcode::CmpLt:
-    return "cmp.lt";
-  case Opcode::CmpLe:
-    return "cmp.le";
-  case Opcode::CmpGt:
-    return "cmp.gt";
-  case Opcode::CmpGe:
-    return "cmp.ge";
-  case Opcode::Select:
-    return "select";
-  case Opcode::Load:
-    return "load";
-  case Opcode::Store:
-    return "store";
-  case Opcode::Prefetch:
-    return "prefetch";
-  case Opcode::SpecLoad:
-    return "load.s";
-  case Opcode::Jmp:
-    return "jmp";
-  case Opcode::Br:
-    return "br";
-  case Opcode::Call:
-    return "call";
-  case Opcode::Ret:
-    return "ret";
-  case Opcode::Halt:
-    return "halt";
-  case Opcode::ProfCounterInc:
-    return "prof.inc";
-  case Opcode::ProfCounterRead:
-    return "prof.read";
-  case Opcode::ProfCounterAddTo:
-    return "prof.addto";
-  case Opcode::ProfStride:
-    return "prof.stride";
-  }
-  assert(false && "unknown opcode");
-  return "<invalid>";
+namespace {
+
+// One row per opcode, in enum order. The static_assert below keeps the
+// table in sync with the Opcode enum; extend both together.
+constexpr OpcodeInfo InfoTable[NumOpcodes] = {
+    // Name, NumOperands, Terminator, HasDest, IsMemory, UsesImm
+    {"mov", 1, false, true, false, false},
+    {"add", 2, false, true, false, false},
+    {"sub", 2, false, true, false, false},
+    {"mul", 2, false, true, false, false},
+    {"shl", 2, false, true, false, false},
+    {"shr", 2, false, true, false, false},
+    {"and", 2, false, true, false, false},
+    {"or", 2, false, true, false, false},
+    {"xor", 2, false, true, false, false},
+    {"cmp.eq", 2, false, true, false, false},
+    {"cmp.ne", 2, false, true, false, false},
+    {"cmp.lt", 2, false, true, false, false},
+    {"cmp.le", 2, false, true, false, false},
+    {"cmp.gt", 2, false, true, false, false},
+    {"cmp.ge", 2, false, true, false, false},
+    {"select", 3, false, true, false, false},
+    {"load", 1, false, true, true, true},
+    {"store", 2, false, false, true, true},
+    {"prefetch", 1, false, false, true, true},
+    {"load.s", 1, false, true, true, true},
+    {"jmp", 0, true, false, false, false},
+    {"br", 1, true, false, false, false},
+    {"call", 0, false, true, false, false},
+    {"ret", 1, true, false, false, false},
+    {"halt", 0, true, false, false, false},
+    {"prof.inc", 0, false, false, false, true},
+    {"prof.read", 0, false, true, false, true},
+    {"prof.addto", 1, false, true, false, true},
+    {"prof.stride", 1, false, false, true, true},
+};
+
+static_assert(static_cast<unsigned>(Opcode::ProfStride) == NumOpcodes - 1,
+              "InfoTable must have one row per opcode, in enum order");
+
+} // namespace
+
+const OpcodeInfo &sprof::opcodeInfo(Opcode Op) {
+  assert(static_cast<unsigned>(Op) < NumOpcodes && "unknown opcode");
+  return InfoTable[static_cast<unsigned>(Op)];
 }
 
-bool sprof::isTerminator(Opcode Op) {
-  switch (Op) {
-  case Opcode::Jmp:
-  case Opcode::Br:
-  case Opcode::Ret:
-  case Opcode::Halt:
-    return true;
-  default:
-    return false;
-  }
-}
+const char *sprof::opcodeName(Opcode Op) { return opcodeInfo(Op).Name; }
 
-bool sprof::hasDest(Opcode Op) {
-  switch (Op) {
-  case Opcode::Mov:
-  case Opcode::Add:
-  case Opcode::Sub:
-  case Opcode::Mul:
-  case Opcode::Shl:
-  case Opcode::Shr:
-  case Opcode::And:
-  case Opcode::Or:
-  case Opcode::Xor:
-  case Opcode::CmpEq:
-  case Opcode::CmpNe:
-  case Opcode::CmpLt:
-  case Opcode::CmpLe:
-  case Opcode::CmpGt:
-  case Opcode::CmpGe:
-  case Opcode::Select:
-  case Opcode::Load:
-  case Opcode::SpecLoad:
-  case Opcode::Call:
-  case Opcode::ProfCounterRead:
-  case Opcode::ProfCounterAddTo:
-    return true;
-  default:
-    return false;
-  }
-}
+bool sprof::isTerminator(Opcode Op) { return opcodeInfo(Op).Terminator; }
 
-unsigned sprof::numOperands(Opcode Op) {
-  switch (Op) {
-  case Opcode::Mov:
-    return 1;
-  case Opcode::Add:
-  case Opcode::Sub:
-  case Opcode::Mul:
-  case Opcode::Shl:
-  case Opcode::Shr:
-  case Opcode::And:
-  case Opcode::Or:
-  case Opcode::Xor:
-  case Opcode::CmpEq:
-  case Opcode::CmpNe:
-  case Opcode::CmpLt:
-  case Opcode::CmpLe:
-  case Opcode::CmpGt:
-  case Opcode::CmpGe:
-    return 2;
-  case Opcode::Select:
-    return 3;
-  case Opcode::Load:
-  case Opcode::SpecLoad:
-    return 1; // address
-  case Opcode::Store:
-    return 2; // address, value
-  case Opcode::Prefetch:
-    return 1; // address
-  case Opcode::Jmp:
-    return 0;
-  case Opcode::Br:
-    return 1; // condition
-  case Opcode::Call:
-    return 0; // arguments are carried separately
-  case Opcode::Ret:
-    return 1; // optional return value
-  case Opcode::Halt:
-    return 0;
-  case Opcode::ProfCounterInc:
-    return 0;
-  case Opcode::ProfCounterRead:
-    return 0;
-  case Opcode::ProfCounterAddTo:
-    return 1;
-  case Opcode::ProfStride:
-    return 1; // address
-  }
-  assert(false && "unknown opcode");
-  return 0;
-}
+bool sprof::hasDest(Opcode Op) { return opcodeInfo(Op).HasDest; }
+
+unsigned sprof::numOperands(Opcode Op) { return opcodeInfo(Op).NumOperands; }

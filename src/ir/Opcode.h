@@ -69,6 +69,20 @@ enum class Opcode : uint8_t {
 /// Number of distinct opcodes (for trait tables).
 constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::ProfStride) + 1;
 
+/// Static per-opcode metadata, kept in one dense table so the printer, the
+/// verifier, and the pre-decoder all agree on each opcode's shape.
+struct OpcodeInfo {
+  const char *Name;     ///< printer mnemonic
+  uint8_t NumOperands;  ///< generic operands (A/B/C) consumed
+  bool Terminator;      ///< must end a basic block
+  bool HasDest;         ///< *may* write a destination register
+  bool IsMemory;        ///< computes an address from A + Imm
+  bool UsesImm;         ///< reads the extra Imm field (offset/counter id)
+};
+
+/// Returns the metadata row for \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
 /// Returns the mnemonic used by the textual printer.
 const char *opcodeName(Opcode Op);
 

@@ -1,0 +1,308 @@
+//===- tests/test_decoded.cpp - Decoded-engine differential tests ----------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Decoded execution engine's contract is bit-identical observable
+/// behaviour to the Reference engine: same RunStats (every field), same
+/// per-site counts, same serialized profiles, same classifier output, and
+/// same telemetry tallies, for every workload and profiling method. These
+/// tests enforce the contract differentially, including the places the
+/// engines are structurally most different: instruction-count truncation
+/// landing between the halves of a fused superinstruction, and calls that
+/// decode-time inlining turned into spliced bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "instrument/Instrumentation.h"
+#include "interp/DecodedProgram.h"
+#include "interp/Interpreter.h"
+#include "obs/Obs.h"
+#include "profile/ProfileStore.h"
+#include "workloads/Workload.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace sprof;
+using namespace sprof::test;
+
+namespace {
+
+PipelineConfig engineConfig(InterpreterConfig::Engine E) {
+  PipelineConfig C;
+  C.Interp.Exec = E;
+  return C;
+}
+
+InterpreterConfig interpConfig(InterpreterConfig::Engine E) {
+  InterpreterConfig C;
+  C.Exec = E;
+  return C;
+}
+
+/// Every RunStats field, so a divergence names the broken bucket instead
+/// of failing on an opaque aggregate.
+void expectSameStats(const RunStats &Ref, const RunStats &Dec) {
+  EXPECT_EQ(Ref.Completed, Dec.Completed);
+  EXPECT_EQ(Ref.Instructions, Dec.Instructions);
+  EXPECT_EQ(Ref.Cycles, Dec.Cycles);
+  EXPECT_EQ(Ref.BaseCycles, Dec.BaseCycles);
+  EXPECT_EQ(Ref.MemStallCycles, Dec.MemStallCycles);
+  EXPECT_EQ(Ref.InstrumentationCycles, Dec.InstrumentationCycles);
+  EXPECT_EQ(Ref.RuntimeCycles, Dec.RuntimeCycles);
+  EXPECT_EQ(Ref.LoadRefs, Dec.LoadRefs);
+  EXPECT_EQ(Ref.SiteCounts, Dec.SiteCounts);
+  EXPECT_EQ(Ref.ExitValue, Dec.ExitValue);
+  ASSERT_EQ(Ref.Mem.Levels.size(), Dec.Mem.Levels.size());
+  for (size_t L = 0; L != Ref.Mem.Levels.size(); ++L) {
+    EXPECT_EQ(Ref.Mem.Levels[L].Hits, Dec.Mem.Levels[L].Hits);
+    EXPECT_EQ(Ref.Mem.Levels[L].Misses, Dec.Mem.Levels[L].Misses);
+  }
+  EXPECT_EQ(Ref.Mem.DemandAccesses, Dec.Mem.DemandAccesses);
+  EXPECT_EQ(Ref.Mem.PrefetchesIssued, Dec.Mem.PrefetchesIssued);
+}
+
+std::string profileText(const Workload &W, ProfilingMethod Method,
+                        const ProfileRunResult &R) {
+  ProfileStore Store(
+      {W.info().Name, profilingMethodName(Method), dataSetName(DataSet::Train)},
+      R.Edges, R.Strides);
+  return Store.toString();
+}
+
+void expectSameProfileRun(const Workload &W, ProfilingMethod Method,
+                          bool WithMemorySystem) {
+  SCOPED_TRACE(W.info().Name + std::string("/") +
+               profilingMethodName(Method));
+  Pipeline Ref(W, engineConfig(InterpreterConfig::Engine::Reference));
+  Pipeline Dec(W, engineConfig(InterpreterConfig::Engine::Decoded));
+  ProfileRunResult RR =
+      Ref.runProfile(Method, DataSet::Train, WithMemorySystem);
+  ProfileRunResult RD =
+      Dec.runProfile(Method, DataSet::Train, WithMemorySystem);
+  expectSameStats(RR.Stats, RD.Stats);
+  EXPECT_EQ(profileText(W, Method, RR), profileText(W, Method, RD));
+  EXPECT_EQ(RR.StrideInvocations, RD.StrideInvocations);
+  EXPECT_EQ(RR.StrideProcessed, RD.StrideProcessed);
+  EXPECT_EQ(RR.LfuCalls, RD.LfuCalls);
+}
+
+// Every workload in the suite, on a check method and a sampling method
+// (the two instrumentation families with the most runtime machinery).
+TEST(DecodedEngine, ProfilesMatchReferenceAcrossSuite) {
+  for (const std::unique_ptr<Workload> &W : makeSpecIntSuite()) {
+    expectSameProfileRun(*W, ProfilingMethod::EdgeCheck,
+                         /*WithMemorySystem=*/false);
+    expectSameProfileRun(*W, ProfilingMethod::SampleNaiveLoop,
+                         /*WithMemorySystem=*/false);
+  }
+}
+
+// Every profiling method, on the workload with the most call/indirection
+// structure (mcf: pointer chase + two inlinable helpers).
+TEST(DecodedEngine, ProfilesMatchReferenceAcrossMethods) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  for (ProfilingMethod Method : allProfilingMethods())
+    expectSameProfileRun(*W, Method, /*WithMemorySystem=*/false);
+}
+
+// Cache-hierarchy timing (MemStallCycles, level hit/miss counts) through
+// both engines' demandAccess paths.
+TEST(DecodedEngine, MemorySystemAccountingMatches) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("164.gzip");
+  ASSERT_NE(W, nullptr);
+  expectSameProfileRun(*W, ProfilingMethod::EdgeCheck,
+                       /*WithMemorySystem=*/true);
+}
+
+// Classifier output and the timed prefetched run (the feedback half of the
+// pipeline) from profiles collected by either engine.
+TEST(DecodedEngine, ClassifierAndTimedRunMatch) {
+  for (const char *Name : {"181.mcf", "254.gap"}) {
+    SCOPED_TRACE(Name);
+    std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+    ASSERT_NE(W, nullptr);
+    Pipeline Ref(*W, engineConfig(InterpreterConfig::Engine::Reference));
+    Pipeline Dec(*W, engineConfig(InterpreterConfig::Engine::Decoded));
+
+    ProfileRunResult PR = Ref.runProfile(ProfilingMethod::EdgeCheck,
+                                         DataSet::Train, false);
+    ProfileRunResult PD = Dec.runProfile(ProfilingMethod::EdgeCheck,
+                                         DataSet::Train, false);
+
+    EXPECT_EQ(Ref.runBaseline(DataSet::Train).Cycles,
+              Dec.runBaseline(DataSet::Train).Cycles);
+
+    TimedRunResult TR = Ref.runPrefetched(DataSet::Train, PR.Edges,
+                                          PR.Strides);
+    TimedRunResult TD = Dec.runPrefetched(DataSet::Train, PD.Edges,
+                                          PD.Strides);
+    expectSameStats(TR.Stats, TD.Stats);
+    EXPECT_EQ(TR.Feedback.SiteClass, TD.Feedback.SiteClass);
+    EXPECT_EQ(TR.Feedback.Decisions.size(), TD.Feedback.Decisions.size());
+    EXPECT_EQ(TR.Prefetches.InstructionsAdded,
+              TD.Prefetches.InstructionsAdded);
+  }
+}
+
+/// A loop whose body calls a two-load leaf helper: the decoder inlines the
+/// call, so the spliced body, its register window, and its RetInlined all
+/// sit inside the loop.
+Module makeCallChaseModule() {
+  Module M;
+  M.Name = "chase.call";
+  IRBuilder B(M);
+
+  uint32_t Probe = B.startFunction("probe", 1);
+  {
+    Reg Addr = 0;
+    Reg V = B.load(Addr, 8);
+    Reg W = B.load(Addr, 16);
+    Reg S = B.add(Operand::reg(V), Operand::reg(W));
+    B.ret(Operand::reg(S));
+  }
+
+  B.startFunction("main", 0);
+  M.EntryFunction = 1;
+  Function &F = B.function();
+  uint32_t Header = F.newBlock("head");
+  uint32_t Body = F.newBlock("body");
+  uint32_t Exit = F.newBlock("exit");
+
+  Reg P = B.movImm(0x1000);
+  Reg Acc = B.movImm(0);
+  B.jmp(Header);
+
+  B.setBlock(Header);
+  Reg C = B.cmp(Opcode::CmpNe, Operand::reg(P), Operand::imm(0));
+  B.br(Operand::reg(C), Body, Exit);
+
+  B.setBlock(Body);
+  Reg S = B.call(Probe, {Operand::reg(P)}, B.newReg());
+  B.add(Operand::reg(Acc), Operand::reg(S), Acc);
+  B.load(P, 0, P);
+  B.jmp(Header);
+
+  B.setBlock(Exit);
+  B.ret(Operand::reg(Acc));
+  return M;
+}
+
+SimMemory makeCallChaseMemory() {
+  SimMemory Mem;
+  uint64_t Addr = 0x1000;
+  for (int I = 0; I != 40; ++I) {
+    uint64_t Next = I != 39 ? Addr + 64 : 0;
+    Mem.write64(Addr + 0, static_cast<int64_t>(Next));
+    Mem.write64(Addr + 8, I);
+    Mem.write64(Addr + 16, 2 * I + 1);
+    Addr += 64;
+  }
+  return Mem;
+}
+
+// The engines must agree for EVERY MaxInstructions value, not just at
+// natural stopping points: a truncation budget can expire between the two
+// halves of a fused pair or in the middle of an inlined callee body, and
+// the Decoded engine has explicit code for both boundaries.
+TEST(DecodedEngine, TruncationMatchesAtEveryBoundary) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module Chase = makeChaseModule(DataSite, NextSite);
+  SimMemory ChaseMem;
+  fillChaseList(ChaseMem, 32, 64);
+  Module CallChase = makeCallChaseModule();
+  SimMemory CallMem = makeCallChaseMemory();
+
+  struct Case {
+    const Module *M;
+    const SimMemory *Mem;
+    uint64_t Limits;
+  };
+  for (const Case &C : {Case{&Chase, &ChaseMem, 200},
+                        Case{&CallChase, &CallMem, 400}}) {
+    SCOPED_TRACE(C.M->Name);
+    for (uint64_t Limit = 0; Limit <= C.Limits; ++Limit) {
+      Interpreter Ref(*C.M, *C.Mem, TimingModel(),
+                      interpConfig(InterpreterConfig::Engine::Reference));
+      Interpreter Dec(*C.M, *C.Mem, TimingModel(),
+                      interpConfig(InterpreterConfig::Engine::Decoded));
+      RunStats RR = Ref.run(Limit);
+      RunStats RD = Dec.run(Limit);
+      SCOPED_TRACE("limit=" + std::to_string(Limit));
+      expectSameStats(RR, RD);
+    }
+  }
+}
+
+// The opcode-mix tallies both engines flush into telemetry (including the
+// simulated call depth, which the Decoded engine tracks without pushing
+// frames for inlined calls).
+TEST(DecodedEngine, TelemetryTalliesMatch) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+
+  ObsConfig OC;
+  OC.Enabled = true;
+  ObsSession RefObs(OC), DecObs(OC);
+  for (auto E : {InterpreterConfig::Engine::Reference,
+                 InterpreterConfig::Engine::Decoded}) {
+    Program Prog = W->build({DataSet::Train});
+    Interpreter I(Prog.M, std::move(Prog.Memory), TimingModel(),
+                  interpConfig(E));
+    I.attachObs(E == InterpreterConfig::Engine::Reference ? &RefObs
+                                                          : &DecObs);
+    I.run();
+  }
+
+  const auto &RefCounters = RefObs.registry().counters();
+  const auto &DecCounters = DecObs.registry().counters();
+  ASSERT_EQ(RefCounters.size(), DecCounters.size());
+  for (const auto &[Name, C] : RefCounters) {
+    auto It = DecCounters.find(Name);
+    ASSERT_NE(It, DecCounters.end()) << Name;
+    EXPECT_EQ(C.value(), It->second.value()) << Name;
+  }
+  EXPECT_EQ(RefObs.registry().gauge("interp.max_stack_depth").value(),
+            DecObs.registry().gauge("interp.max_stack_depth").value());
+}
+
+// White-box checks of the decoded form itself: the leaf helper call is
+// inlined, and the pointer-chase load carries the prefetch-hint flag the
+// decode-time dataflow pass derives.
+TEST(DecodedEngine, DecoderInlinesLeafCallsAndFlagsPointerLoads) {
+  Module M = makeCallChaseModule();
+  DecodedProgram DP(M);
+
+  bool SawCallInlined = false, SawRetInlined = false, SawRealCall = false;
+  for (const DInst &D : DP.code()) {
+    if (D.DOp == static_cast<uint8_t>(FusedOp::CallInlined))
+      SawCallInlined = true;
+    if (D.DOp == static_cast<uint8_t>(FusedOp::RetInlined))
+      SawRetInlined = true;
+    if (D.DOp == static_cast<uint8_t>(Opcode::Call))
+      SawRealCall = true;
+  }
+  EXPECT_TRUE(SawCallInlined);
+  EXPECT_TRUE(SawRetInlined);
+  EXPECT_FALSE(SawRealCall); // the only call site qualifies for inlining
+
+  // The `p = p->next` load feeds the next iteration's dereferences (and
+  // the helper's parameter), so its producer must carry the hint.
+  bool SawFlaggedLoad = false;
+  for (const DInst &D : DP.code())
+    if (D.Op == Opcode::Load && D.PrefetchDst)
+      SawFlaggedLoad = true;
+  EXPECT_TRUE(SawFlaggedLoad);
+}
+
+} // namespace
