@@ -27,6 +27,7 @@ int main(int Argc, char **Argv) {
   ExperimentEngine Engine({benchThreads(Argc, Argv)});
   RunStats SuiteTrain, SuiteRef;
   SuiteTrain.Completed = SuiteRef.Completed = true;
+  JsonValue Rows = JsonValue::array();
   for (const BaselineMeasurement &BM :
        measureSuiteBaselines(Engine, workloadPointers(Suite))) {
     SuiteTrain += BM.Train;
@@ -35,11 +36,15 @@ int main(int Argc, char **Argv) {
            Table::fmt(BM.Train.Instructions / 1e6, 1),
            Table::fmt(BM.Ref.Instructions / 1e6, 1),
            Table::fmt(BM.Ref.LoadRefs / 1e6, 1)});
+    Rows.push(baselineMeasurementToJson(BM));
   }
   T.row({"suite total", "-", "-",
          Table::fmt(SuiteTrain.Instructions / 1e6, 1),
          Table::fmt(SuiteRef.Instructions / 1e6, 1),
          Table::fmt(SuiteRef.LoadRefs / 1e6, 1)});
   T.print(std::cout);
+  if (auto Path = benchReportPath(Argc, Argv, "bench_fig15_workloads.json"))
+    if (!writeBenchRows(*Path, "figure-15-workloads", std::move(Rows)))
+      return 1;
   return 0;
 }

@@ -69,15 +69,24 @@ int main(int Argc, char **Argv) {
   }
   Engine.run();
 
+  JsonValue Rows = JsonValue::array();
   for (size_t WI = 0; WI != Workloads.size(); ++WI) {
     double InPct = InLoopShares[WI];
     T.row({Workloads[WI]->info().Name, Table::fmtPercent(InPct),
            Table::fmtPercent(100.0 - InPct)});
+    JsonValue R = JsonValue::object();
+    R.set("name", Workloads[WI]->info().Name);
+    R.set("in_loop_pct", InPct);
+    R.set("out_loop_pct", 100.0 - InPct);
+    Rows.push(std::move(R));
   }
   double Avg = mean(InLoopShares);
   T.row({"average", Table::fmtPercent(Avg),
          Table::fmtPercent(100.0 - Avg)});
   T.row({"paper avg", "~60%", "~40%"});
   T.print(std::cout);
+  if (auto Path = benchReportPath(Argc, Argv, "bench_fig17_loadmix.json"))
+    if (!writeBenchRows(*Path, "figure-17-loadmix", std::move(Rows)))
+      return 1;
   return 0;
 }

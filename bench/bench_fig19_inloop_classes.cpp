@@ -28,6 +28,7 @@ int main(int Argc, char **Argv) {
   auto Suite = makeSpecIntSuite();
   ExperimentEngine Engine({benchThreads(Argc, Argv)});
   std::vector<double> S, P, W, N;
+  JsonValue Rows = JsonValue::array();
   for (const PopulationRow &R : classifySuitePopulation(
            Engine, workloadPointers(Suite), /*InLoopWanted=*/true)) {
     S.push_back(R.SsstPct);
@@ -37,9 +38,14 @@ int main(int Argc, char **Argv) {
     T.row({R.Bench, Table::fmtPercent(R.SsstPct),
            Table::fmtPercent(R.PmstPct), Table::fmtPercent(R.WsstPct),
            Table::fmtPercent(R.NonePct)});
+    Rows.push(populationRowToJson(R));
   }
   T.row({"average", Table::fmtPercent(mean(S)), Table::fmtPercent(mean(P)),
          Table::fmtPercent(mean(W)), Table::fmtPercent(mean(N))});
   T.print(std::cout);
+  if (auto Path =
+          benchReportPath(Argc, Argv, "bench_fig19_inloop_classes.json"))
+    if (!writeBenchRows(*Path, "figure-19-inloop-classes", std::move(Rows)))
+      return 1;
   return 0;
 }

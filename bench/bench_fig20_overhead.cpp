@@ -61,6 +61,7 @@ int main(int Argc, char **Argv) {
   T.row(PaperRow);
   T.print(std::cout);
   if (auto Path = benchReportPath(Argc, Argv, "bench_fig20_overhead.json"))
-    writeBenchReport(*Path, "figure-20-overhead", Measurements);
+    if (!writeBenchReport(*Path, "figure-20-overhead", Measurements))
+      return 1;
   return 0;
 }

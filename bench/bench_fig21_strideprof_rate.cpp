@@ -60,6 +60,7 @@ int main(int Argc, char **Argv) {
   T.row(PaperRow);
   T.print(std::cout);
   if (auto Path = benchReportPath(Argc, Argv, "bench_fig21_strideprof_rate.json"))
-    writeBenchReport(*Path, "figure-21-strideprof-rate", Measurements);
+    if (!writeBenchReport(*Path, "figure-21-strideprof-rate", Measurements))
+      return 1;
   return 0;
 }

@@ -63,6 +63,7 @@ int main(int Argc, char **Argv) {
   std::cout << "(paper: for naive-all, 100% of references reach strideProf"
             << " but only ~68% reach LFU; ~32% are zero strides)\n";
   if (auto Path = benchReportPath(Argc, Argv, "bench_fig22_lfu_rate.json"))
-    writeBenchReport(*Path, "figure-22-lfu-rate", Measurements);
+    if (!writeBenchReport(*Path, "figure-22-lfu-rate", Measurements))
+      return 1;
   return 0;
 }

@@ -29,14 +29,20 @@ int main(int Argc, char **Argv) {
   auto Suite = makeSpecIntSuite();
   ExperimentEngine Engine({benchThreads(Argc, Argv)});
   std::vector<double> Train, Ref;
+  JsonValue Rows = JsonValue::array();
   for (const SensitivityMeasurement &R :
        measureSuiteSensitivity(Engine, workloadPointers(Suite))) {
     Train.push_back(R.Train);
     Ref.push_back(R.Ref);
     T.row({R.Name, Table::fmt(R.Train) + "x", Table::fmt(R.Ref) + "x"});
+    Rows.push(sensitivityMeasurementToJson(R));
   }
   T.row({"average", Table::fmt(mean(Train)) + "x",
          Table::fmt(mean(Ref)) + "x"});
   T.print(std::cout);
+  if (auto Path =
+          benchReportPath(Argc, Argv, "bench_fig23_train_vs_ref.json"))
+    if (!writeBenchRows(*Path, "figure-23-train-vs-ref", std::move(Rows)))
+      return 1;
   return 0;
 }

@@ -28,15 +28,22 @@ int main(int Argc, char **Argv) {
   auto Suite = makeSpecIntSuite();
   ExperimentEngine Engine({benchThreads(Argc, Argv)});
   std::vector<double> Train, Mixed;
+  JsonValue Rows = JsonValue::array();
   for (const SensitivityMeasurement &R :
        measureSuiteSensitivity(Engine, workloadPointers(Suite))) {
     Train.push_back(R.Train);
     Mixed.push_back(R.EdgeRefStrideTrain);
     T.row({R.Name, Table::fmt(R.Train) + "x",
            Table::fmt(R.EdgeRefStrideTrain) + "x"});
+    Rows.push(sensitivityMeasurementToJson(R));
   }
   T.row({"average", Table::fmt(mean(Train)) + "x",
          Table::fmt(mean(Mixed)) + "x"});
   T.print(std::cout);
+  if (auto Path =
+          benchReportPath(Argc, Argv, "bench_fig24_edge_sensitivity.json"))
+    if (!writeBenchRows(*Path, "figure-24-edge-sensitivity",
+                        std::move(Rows)))
+      return 1;
   return 0;
 }

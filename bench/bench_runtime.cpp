@@ -213,6 +213,47 @@ void BM_StrideProfSampled(benchmark::State &State) {
 }
 BENCHMARK(BM_StrideProfSampled);
 
+/// One full Decoded-engine execution of \p Name on the train input;
+/// workload (re)build excluded from the timing, matching the --compare
+/// harness's convention. \p Session, when non-null, is attached for the
+/// whole run.
+void runDecodedOnce(benchmark::State &State, const Workload &W,
+                    ObsSession *Session) {
+  State.PauseTiming();
+  Program Prog = W.build({DataSet::Train});
+  InterpreterConfig IC;
+  IC.Exec = InterpreterConfig::Engine::Decoded;
+  Interpreter I(Prog.M, std::move(Prog.Memory), TimingModel(), IC);
+  if (Session)
+    I.attachObs(Session);
+  State.ResumeTiming();
+  RunStats S = I.run();
+  benchmark::DoNotOptimize(S.Cycles);
+}
+
+void BM_DecodedEngineRun(benchmark::State &State) {
+  // Whole-engine throughput baseline: decode + execute a real workload on
+  // the Decoded engine, no telemetry attached.
+  std::unique_ptr<Workload> W = makeWorkloadByName("164.gzip");
+  for (auto _ : State)
+    runDecodedOnce(State, *W, nullptr);
+}
+BENCHMARK(BM_DecodedEngineRun)->Unit(benchmark::kMillisecond);
+
+void BM_DecodedEngineRunTelemetry(benchmark::State &State) {
+  // Telemetry twin of BM_DecodedEngineRun (the engine-level counterpart of
+  // BM_StrideProfConstantStrideTelemetry): a live ObsSession is attached,
+  // so the delta against the plain run is the whole-run cost of the
+  // engine's telemetry sinks.
+  ObsConfig OC;
+  OC.Enabled = true;
+  ObsSession Session(OC);
+  std::unique_ptr<Workload> W = makeWorkloadByName("164.gzip");
+  for (auto _ : State)
+    runDecodedOnce(State, *W, &Session);
+}
+BENCHMARK(BM_DecodedEngineRunTelemetry)->Unit(benchmark::kMillisecond);
+
 // -- Engine compare harness (--compare) -----------------------------------
 
 /// One engine's measurement over one workload.
@@ -362,10 +403,11 @@ int runCompare(const CompareOptions &Opts) {
   Root.set("workloads", std::move(Rows));
   Root.set("geomean_speedup", Geomean);
   if (Opts.WriteJson) {
-    if (!writeJsonFile(Opts.JsonPath, Root))
-      std::cerr << "warning: could not write " << Opts.JsonPath << "\n";
-    else
-      std::cerr << "compare report written to " << Opts.JsonPath << "\n";
+    if (!writeJsonFile(Opts.JsonPath, Root)) {
+      std::cerr << "error: could not write " << Opts.JsonPath << "\n";
+      return 1;
+    }
+    std::cerr << "compare report written to " << Opts.JsonPath << "\n";
   }
   return Ok ? 0 : 1;
 }

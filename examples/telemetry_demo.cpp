@@ -10,13 +10,18 @@
 /// The observability layer end to end: run the quickstart's pointer-chase
 /// workload through the full pipeline with telemetry enabled, then write
 ///
-///   * a machine-readable run report (schema "sprof.run_report/1") with the
-///     profiles, classification verdicts, and every registry metric, and
+///   * a machine-readable run report (schema "sprof.run_report/2") with the
+///     profiles, classification verdicts, prefetch-outcome attribution, a
+///     profile-accuracy diff against a sampled profiling run, and every
+///     registry metric,
+///   * a second run report for the sampled run (so `sprof-inspect diff`
+///     has a report pair to compare), and
 ///   * a Chrome trace_event file (load it at chrome://tracing or
 ///     https://ui.perfetto.dev) with the nested phase spans.
 ///
-/// Usage: telemetry_demo [report.json [trace.json]]
-/// (defaults: telemetry_report.json, telemetry_trace.json)
+/// Usage: telemetry_demo [report.json [trace.json [sampled_report.json]]]
+/// (defaults: telemetry_report.json, telemetry_trace.json,
+/// telemetry_sampled_report.json)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -77,6 +82,8 @@ int main(int Argc, char **Argv) {
       Argc > 1 ? Argv[1] : "telemetry_report.json";
   const std::string TracePath =
       Argc > 2 ? Argv[2] : "telemetry_trace.json";
+  const std::string SampledReportPath =
+      Argc > 3 ? Argv[3] : "telemetry_sampled_report.json";
 
   ChaseDemo Demo;
   PipelineConfig Config;
@@ -84,6 +91,7 @@ int main(int Argc, char **Argv) {
   Config.Obs.TraceDetail = 2;
   Config.Obs.TraceOutputPath = TracePath;
   Config.Obs.ReportOutputPath = ReportPath;
+  Config.Memory.EnableAttribution = true;
   Pipeline P(Demo, Config);
 
   // The full pipeline under one telemetry session: profile on train,
@@ -94,6 +102,13 @@ int main(int Argc, char **Argv) {
   TimedRunResult Timed =
       P.runPrefetched(DataSet::Ref, Prof.Edges, Prof.Strides);
 
+  // A second, sampled profiling run of the same workload, and the
+  // Figures 23-25 accuracy diff of its profile against the exhaustive one.
+  ProfileRunResult Sampled =
+      P.runProfile(ProfilingMethod::SampleEdgeCheck, DataSet::Train);
+  ProfileDiffResult Diff =
+      diffStrideProfiles(Prof.Strides, Sampled.Strides, Config.Classifier);
+
   // Aggregate accounting across all three runs (RunStats::operator+=).
   RunStats Suite = Prof.Stats;
   Suite += Baseline;
@@ -103,9 +118,18 @@ int main(int Argc, char **Argv) {
             << Suite.Cycles << " cycles total\n";
 
   JsonValue Report = buildRunReport(Demo.info().Name, P.config(), &Prof,
-                                    &Timed, &Baseline, P.obs());
+                                    &Timed, &Baseline, P.obs(), {}, &Diff);
   if (!writeJsonFile(ReportPath, Report)) {
     std::cerr << "error: cannot write " << ReportPath << "\n";
+    return 1;
+  }
+  // The sampled run's own report (no timed half) gives sprof-inspect a
+  // report pair: `sprof-inspect diff <report> <sampled_report>`.
+  JsonValue SampledReport = buildRunReport(Demo.info().Name, P.config(),
+                                           &Sampled, nullptr, nullptr,
+                                           nullptr);
+  if (!writeJsonFile(SampledReportPath, SampledReport)) {
+    std::cerr << "error: cannot write " << SampledReportPath << "\n";
     return 1;
   }
   if (!P.obs()->writeArtifacts()) {
@@ -128,6 +152,22 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
+  // The attribution identity must hold exactly; a drifting sum means the
+  // memsys stopped retiring every prefetch mark exactly once.
+  const PrefetchOutcomeCounts &O = Timed.Attribution.Total;
+  if (O.issued() != Timed.Stats.Mem.PrefetchesIssued) {
+    std::cerr << "error: attribution sum " << O.issued()
+              << " != prefetches issued "
+              << Timed.Stats.Mem.PrefetchesIssued << "\n";
+    return 1;
+  }
+  std::cout << "prefetches: " << O.issued() << " issued, " << O.Useful
+            << " useful / " << O.Late << " late / " << O.Early
+            << " early / " << O.Redundant << " redundant\n";
+  std::cout << "sampled-profile accuracy: " << Diff.WeightedAccuracy * 100.0
+            << "% over " << Diff.SitesCompared << " sites ("
+            << SampledReportPath << ")\n";
+
   double Speedup = static_cast<double>(Baseline.Cycles) /
                    static_cast<double>(Timed.Stats.Cycles);
   std::cout << "speedup: " << Speedup << "x\n";

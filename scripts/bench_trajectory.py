@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Regression-gated bench trajectory.
+
+Runs the headline benches (figure-16 speedups, figure-20 profiling
+overhead, the engine wall-clock compare harness, and the telemetry demo's
+profile-accuracy diff), condenses them into one trajectory point
+
+    {"schema": "sprof.bench_point/1", "date": ..., "geomean_speedup": ...,
+     "profiling_overhead": ..., "prefetch_useful_ratio": ...,
+     "accuracy_score": ..., "engine_wall_speedup": ..., "components": ...}
+
+written to bench/trajectory/BENCH_<date>.json, and fails (exit 1) when
+either the geomean prefetch speedup or the useful-prefetch ratio drops
+more than --tolerance (default 5%) below the most recent committed point.
+Used by the trajectory-gate CI job; run locally with
+
+    scripts/bench_trajectory.py --build-dir build
+
+Exit status: 0 ok, 1 regression or bench failure, 2 usage error.
+"""
+
+import argparse
+import datetime
+import glob
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd, **kwargs)
+    if proc.returncode != 0:
+        print(f"error: {cmd[0]} exited {proc.returncode}", file=sys.stderr)
+        sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def collect_point(build_dir, threads, workdir):
+    """Runs the benches into workdir and condenses one trajectory point."""
+    fig16 = os.path.join(workdir, "fig16.json")
+    fig20 = os.path.join(workdir, "fig20.json")
+    runtime = os.path.join(workdir, "runtime.json")
+    report = os.path.join(workdir, "telemetry_report.json")
+    trace = os.path.join(workdir, "telemetry_trace.json")
+    sampled = os.path.join(workdir, "telemetry_sampled_report.json")
+
+    bench = os.path.join(build_dir, "bench")
+    examples = os.path.join(build_dir, "examples")
+    run([os.path.join(bench, "bench_fig16_speedup"),
+         f"--threads={threads}", f"--json={fig16}"], stdout=subprocess.DEVNULL)
+    run([os.path.join(bench, "bench_fig20_overhead"),
+         f"--threads={threads}", f"--json={fig20}"], stdout=subprocess.DEVNULL)
+    run([os.path.join(bench, "bench_runtime"), "--compare",
+         f"--json={runtime}"], stdout=subprocess.DEVNULL)
+    run([os.path.join(examples, "telemetry_demo"), report, trace, sampled],
+        stdout=subprocess.DEVNULL)
+
+    # Geomean figure-16 speedup and aggregate prefetch usefulness of the
+    # flagship method (edge-check) across the suite.
+    method = "edge-check"
+    speedups, useful, issued, redundant = [], 0, 0, 0
+    for bm in load(fig16)["benchmarks"]:
+        mm = bm["methods"][method]
+        speedups.append(mm["speedup"])
+        mem = mm["ref_memory"]
+        useful += mem["prefetches_useful"]
+        issued += mem["prefetches_issued"]
+        redundant += mem["prefetches_redundant"]
+    non_redundant = issued - redundant
+    useful_ratio = useful / non_redundant if non_redundant else 0.0
+
+    # Average figure-20 overhead of the paper's recommended low-overhead
+    # method (sample-edge-check) over edge profiling alone.
+    overhead_method = "sample-edge-check"
+    overheads = []
+    for bm in load(fig20)["benchmarks"]:
+        base = bm["edge_only_train_cycles"]
+        profiled = bm["methods"][overhead_method]["profiled_cycles"]
+        if base:
+            overheads.append((profiled - base) / base)
+    overhead = sum(overheads) / len(overheads) if overheads else 0.0
+
+    runtime_doc = load(runtime)
+    accuracy = load(report)["profile_diff"]["weighted_accuracy"]
+
+    return {
+        "schema": "sprof.bench_point/1",
+        "date": datetime.date.today().isoformat(),
+        "geomean_speedup": geomean(speedups),
+        "profiling_overhead": overhead,
+        "prefetch_useful_ratio": useful_ratio,
+        "accuracy_score": accuracy,
+        "engine_wall_speedup": runtime_doc.get("geomean_speedup", 0.0),
+        "components": {
+            "speedup_method": method,
+            "overhead_method": overhead_method,
+            "per_bench_speedups": dict(
+                zip([bm["name"] for bm in load(fig16)["benchmarks"]],
+                    speedups)),
+            "prefetches": {"useful": useful, "issued": issued,
+                           "redundant": redundant},
+        },
+    }
+
+
+def latest_point(trajectory_dir):
+    points = sorted(glob.glob(os.path.join(trajectory_dir, "BENCH_*.json")))
+    if not points:
+        return None, None
+    path = points[-1]
+    return load(path), path
+
+
+def gate(point, baseline, baseline_path, tolerance):
+    """Fails when a gated metric drops more than `tolerance` vs baseline."""
+    ok = True
+    for key in ("geomean_speedup", "prefetch_useful_ratio"):
+        old, new = baseline.get(key, 0.0), point.get(key, 0.0)
+        if old <= 0:
+            continue
+        drop = (old - new) / old
+        status = "ok"
+        if drop > tolerance:
+            status = f"REGRESSION (>{tolerance:.0%} drop)"
+            ok = False
+        print(f"  {key}: {old:.4f} -> {new:.4f} "
+              f"({-drop:+.2%}) {status}")
+    print(f"  (baseline: {baseline_path})")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory with the bench binaries")
+    parser.add_argument("--trajectory-dir", default="bench/trajectory",
+                        help="directory of committed BENCH_*.json points")
+    parser.add_argument("--threads", type=int,
+                        default=max(1, (os.cpu_count() or 2) // 2),
+                        help="bench engine worker threads")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="max fractional drop before the gate fails")
+    parser.add_argument("--no-write", action="store_true",
+                        help="gate only; do not write a new BENCH point")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.build_dir):
+        print(f"error: build dir {args.build_dir!r} not found",
+              file=sys.stderr)
+        return 2
+
+    # Snapshot the committed baseline before writing: a same-day rerun
+    # overwrites BENCH_<date>.json and must still gate against it.
+    baseline, baseline_path = latest_point(args.trajectory_dir)
+
+    with tempfile.TemporaryDirectory(prefix="sprof-bench-") as workdir:
+        point = collect_point(args.build_dir, args.threads, workdir)
+
+    print("trajectory point:")
+    for key in ("geomean_speedup", "profiling_overhead",
+                "prefetch_useful_ratio", "accuracy_score",
+                "engine_wall_speedup"):
+        print(f"  {key}: {point[key]:.4f}")
+
+    if not args.no_write:
+        os.makedirs(args.trajectory_dir, exist_ok=True)
+        out_path = os.path.join(args.trajectory_dir,
+                                f"BENCH_{point['date']}.json")
+        with open(out_path, "w") as f:
+            json.dump(point, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out_path}")
+
+    if baseline is None:
+        print("no committed baseline point; gate skipped")
+        return 0
+    print("gate vs last committed point:")
+    return 0 if gate(point, baseline, baseline_path, args.tolerance) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,24 +1,33 @@
 #!/usr/bin/env bash
 # Validates the machine-readable telemetry artifacts: runs the
 # telemetry_demo example and checks the run report against the
-# "sprof.run_report/1" schema plus the Chrome trace for the pipeline's
-# phase spans. Wired into ctest as `telemetry_schema`.
+# "sprof.run_report/2" schema (a strict superset of /1: the /1 sections
+# must all still be present and shaped as before), the attribution
+# exact-sum invariant, the profile_diff section, and the Chrome trace for
+# the pipeline's phase spans. When given the sprof-inspect binary it also
+# smoke-tests its summary and diff modes against the fresh reports, and
+# when given a bench-trajectory point it validates the
+# "sprof.bench_point/1" schema. Wired into ctest as `telemetry_schema`.
 #
 # Usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]
+#            [/path/to/sprof-inspect] [/path/to/bench_point.json]
 set -euo pipefail
 
-DEMO="${1:?usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]}"
+DEMO="${1:?usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir] [sprof-inspect] [bench_point.json]}"
 WORKDIR="${2:-$(mktemp -d)}"
+INSPECT="${3:-}"
+BENCH_POINT="${4:-}"
 REPORT="$WORKDIR/telemetry_report.json"
 TRACE="$WORKDIR/telemetry_trace.json"
+SAMPLED="$WORKDIR/telemetry_sampled_report.json"
 
-"$DEMO" "$REPORT" "$TRACE" > /dev/null
+"$DEMO" "$REPORT" "$TRACE" "$SAMPLED" > /dev/null
 
-python3 - "$REPORT" "$TRACE" <<'EOF'
+python3 - "$REPORT" "$TRACE" "$SAMPLED" <<'EOF'
 import json
 import sys
 
-report_path, trace_path = sys.argv[1], sys.argv[2]
+report_path, trace_path, sampled_path = sys.argv[1], sys.argv[2], sys.argv[3]
 failures = []
 
 
@@ -30,7 +39,7 @@ def check(cond, message):
 with open(report_path) as f:
     report = json.load(f)
 
-check(report.get("schema") == "sprof.run_report/1",
+check(report.get("schema") in ("sprof.run_report/1", "sprof.run_report/2"),
       f"unexpected schema: {report.get('schema')!r}")
 for key in ("workload", "config", "profile_run", "baseline_run",
             "timed_run", "speedup", "metrics"):
@@ -60,6 +69,66 @@ sampling = (report.get("config", {}).get("profiler", {}).get("sampling"))
 check(isinstance(sampling, dict) and "enabled" in sampling,
       "config.profiler.sampling missing")
 
+# -- run_report/2 additions ------------------------------------------------
+
+if report.get("schema") == "sprof.run_report/2":
+    attribution = report.get("attribution")
+    check(isinstance(attribution, dict), "/2 report missing attribution")
+    if isinstance(attribution, dict):
+        check(attribution.get("finalized") is True,
+              "attribution not finalized")
+        outcomes = attribution.get("outcomes", {})
+        for key in ("useful", "late", "early", "redundant", "issued"):
+            check(key in outcomes, f"attribution.outcomes missing {key!r}")
+        total = sum(outcomes.get(k, 0)
+                    for k in ("useful", "late", "early", "redundant"))
+        check(total == outcomes.get("issued"),
+              f"attribution sum {total} != issued {outcomes.get('issued')}")
+        issued = report["timed_run"]["stats"]["memory"]["prefetches_issued"]
+        check(outcomes.get("issued") == issued,
+              f"attribution issued {outcomes.get('issued')} != "
+              f"memsys prefetches_issued {issued}")
+        per_site = attribution.get("per_site", [])
+        check(isinstance(per_site, list) and per_site,
+              "attribution.per_site empty")
+        site_sum = sum(s.get(k, 0) for s in per_site
+                       for k in ("useful", "late", "early", "redundant"))
+        check(site_sum == outcomes.get("issued"),
+              f"per-site sum {site_sum} != issued {outcomes.get('issued')}")
+        for key in ("by_class", "demand_misses"):
+            check(key in attribution, f"attribution missing {key!r}")
+        for s in per_site:
+            for key in ("site", "class", "accesses", "l1_misses",
+                        "full_misses", "stall_cycles"):
+                check(key in s, f"attribution site missing {key!r}")
+
+    diff = report.get("profile_diff")
+    check(isinstance(diff, dict), "/2 report missing profile_diff")
+    if isinstance(diff, dict):
+        for key in ("sites_compared", "top_stride_agreement",
+                    "class_agreement", "weighted_accuracy", "class_flips",
+                    "sites"):
+            check(key in diff, f"profile_diff missing {key!r}")
+        acc = diff.get("weighted_accuracy", -1)
+        check(0.0 <= acc <= 1.0,
+              f"weighted_accuracy {acc} outside [0, 1]")
+        flips = diff.get("class_flips", {})
+        classes = ("none", "ssst", "pmst", "wsst")
+        check(all(c in flips and all(d in flips[c] for d in classes)
+                  for c in classes),
+              "class_flips is not a 4x4 class matrix")
+        flip_total = sum(flips[a][b] for a in classes for b in classes
+                         if a in flips and b in flips.get(a, {}))
+        check(flip_total == diff.get("sites_compared"),
+              f"flip total {flip_total} != sites_compared "
+              f"{diff.get('sites_compared')}")
+
+with open(sampled_path) as f:
+    sampled = json.load(f)
+check(sampled.get("schema") in ("sprof.run_report/1", "sprof.run_report/2"),
+      f"sampled report has unexpected schema: {sampled.get('schema')!r}")
+check("profile_run" in sampled, "sampled report missing profile_run")
+
 with open(trace_path) as f:
     trace = json.load(f)
 
@@ -81,3 +150,60 @@ if failures:
 print(f"telemetry schema OK ({len(sites)} stride sites, "
       f"{len(events)} trace spans)")
 EOF
+
+# -- sprof-inspect smoke test ----------------------------------------------
+
+if [ -n "$INSPECT" ]; then
+    "$INSPECT" summary "$REPORT" > "$WORKDIR/inspect_summary.txt"
+    grep -q "Prefetch outcomes" "$WORKDIR/inspect_summary.txt" || {
+        echo "FAIL: sprof-inspect summary lacks prefetch outcomes" >&2
+        exit 1
+    }
+    "$INSPECT" diff "$REPORT" "$SAMPLED" \
+        --json="$WORKDIR/inspect_diff.json" > "$WORKDIR/inspect_diff.txt"
+    grep -q "weighted accuracy" "$WORKDIR/inspect_diff.txt" || {
+        echo "FAIL: sprof-inspect diff lacks weighted accuracy" >&2
+        exit 1
+    }
+    python3 - "$WORKDIR/inspect_diff.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    diff = json.load(f)
+acc = diff.get("weighted_accuracy", -1)
+if not 0.0 <= acc <= 1.0:
+    print(f"FAIL: inspect diff weighted_accuracy {acc} outside [0, 1]",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"sprof-inspect OK (weighted accuracy {acc:.4f})")
+EOF
+fi
+
+# -- bench-trajectory point ------------------------------------------------
+
+if [ -n "$BENCH_POINT" ]; then
+    python3 - "$BENCH_POINT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    point = json.load(f)
+failures = []
+if point.get("schema") != "sprof.bench_point/1":
+    failures.append(f"unexpected schema: {point.get('schema')!r}")
+for key in ("date", "geomean_speedup", "profiling_overhead",
+            "prefetch_useful_ratio", "accuracy_score"):
+    if key not in point:
+        failures.append(f"bench point missing {key!r}")
+for key in ("geomean_speedup", "prefetch_useful_ratio", "accuracy_score"):
+    value = point.get(key)
+    if not isinstance(value, (int, float)) or value < 0:
+        failures.append(f"bench point {key} not a non-negative number")
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print("bench point schema OK")
+EOF
+fi

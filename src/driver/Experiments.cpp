@@ -9,6 +9,7 @@
 
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
+#include "obs/Report.h"
 #include "support/Stats.h"
 
 #include <cstdlib>
@@ -314,6 +315,9 @@ JsonValue sprof::methodMeasurementToJson(const MethodMeasurement &M) {
       .set("dependent", M.Prefetches.DependentPrefetches)
       .set("instructions_added", M.Prefetches.InstructionsAdded);
   J.set("prefetches", std::move(P));
+  // Cache/prefetch accounting of the prefetched ref run, so regression
+  // gates can track prefetch usefulness without re-running the bench.
+  J.set("ref_memory", memoryStatsToJson(M.RefMemory));
   return J;
 }
 
@@ -329,6 +333,50 @@ JsonValue sprof::benchMeasurementToJson(const BenchMeasurement &BM) {
   return J;
 }
 
+JsonValue sprof::baselineMeasurementToJson(const BaselineMeasurement &BM) {
+  JsonValue J = JsonValue::object();
+  J.set("name", BM.Info.Name);
+  J.set("lang", BM.Info.Lang);
+  J.set("train", runStatsToJson(BM.Train));
+  J.set("ref", runStatsToJson(BM.Ref));
+  return J;
+}
+
+JsonValue sprof::populationRowToJson(const PopulationRow &R) {
+  JsonValue J = JsonValue::object();
+  J.set("name", R.Bench);
+  J.set("ssst_pct", R.SsstPct);
+  J.set("pmst_pct", R.PmstPct);
+  J.set("wsst_pct", R.WsstPct);
+  J.set("none_pct", R.NonePct);
+  return J;
+}
+
+JsonValue sprof::sensitivityMeasurementToJson(
+    const SensitivityMeasurement &M) {
+  JsonValue J = JsonValue::object();
+  J.set("name", M.Name);
+  J.set("train", M.Train);
+  J.set("ref", M.Ref);
+  J.set("edge_ref_stride_train", M.EdgeRefStrideTrain);
+  J.set("edge_train_stride_ref", M.EdgeTrainStrideRef);
+  return J;
+}
+
+bool sprof::writeBenchRows(const std::string &Path,
+                           const std::string &Figure, JsonValue Rows) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", "sprof.bench_report/1");
+  Root.set("figure", Figure);
+  Root.set("rows", std::move(Rows));
+  if (!writeJsonFile(Path, Root)) {
+    std::cerr << "error: could not write bench report to " << Path << "\n";
+    return false;
+  }
+  std::cerr << "bench report written to " << Path << "\n";
+  return true;
+}
+
 bool sprof::writeBenchReport(
     const std::string &Path, const std::string &Figure,
     const std::vector<BenchMeasurement> &Measurements) {
@@ -340,8 +388,7 @@ bool sprof::writeBenchReport(
     Benchmarks.push(benchMeasurementToJson(BM));
   Root.set("benchmarks", std::move(Benchmarks));
   if (!writeJsonFile(Path, Root)) {
-    std::cerr << "warning: could not write bench report to " << Path
-              << "\n";
+    std::cerr << "error: could not write bench report to " << Path << "\n";
     return false;
   }
   std::cerr << "bench report written to " << Path << "\n";

@@ -130,11 +130,22 @@ measureSuiteBaselines(ExperimentEngine &Engine,
 /// scrape the tables.
 JsonValue methodMeasurementToJson(const MethodMeasurement &M);
 JsonValue benchMeasurementToJson(const BenchMeasurement &BM);
+JsonValue baselineMeasurementToJson(const BaselineMeasurement &BM);
+JsonValue populationRowToJson(const PopulationRow &R);
+JsonValue sensitivityMeasurementToJson(const SensitivityMeasurement &M);
 
 /// Writes {"schema", "figure", "benchmarks": [...]} to \p Path.
 /// \returns false (and prints to stderr) when the file cannot be written.
 bool writeBenchReport(const std::string &Path, const std::string &Figure,
                       const std::vector<BenchMeasurement> &Measurements);
+
+/// Generic variant of writeBenchReport for figures whose rows are not
+/// BenchMeasurements: writes {"schema", "figure", "rows": \p Rows} under
+/// the same "sprof.bench_report/1" schema. \returns false (and prints the
+/// path and failure to stderr) when the file cannot be written; callers
+/// exit nonzero on failure so CI catches silently-missing artifacts.
+bool writeBenchRows(const std::string &Path, const std::string &Figure,
+                    JsonValue Rows);
 
 /// Shared bench CLI convention: `--json=PATH` overrides \p DefaultPath and
 /// `--no-json` disables the report (returns nullopt). Unknown arguments

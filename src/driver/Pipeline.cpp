@@ -121,6 +121,8 @@ TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
 
   Interpreter I(Prog.M, std::move(Prog.Memory), Config.Timing, Config.Interp);
   MemoryHierarchy MH(Config.Memory);
+  if (Config.Memory.EnableAttribution)
+    MH.enableAttribution(Prog.M.NumLoadSites);
   I.attachMemory(&MH);
   I.attachObs(Obs);
   {
@@ -128,10 +130,30 @@ TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
     Result.Stats = I.run();
   }
   assert(Result.Stats.Completed && "prefetched run did not complete");
+  MH.finalizeAttribution();
+  Result.Attribution = MH.attribution();
 
   if (Obs) {
     Obs->counter("pipeline.timed_runs")->inc();
     Obs->counter("pipeline.timed_cycles")->inc(Result.Stats.Cycles);
+  }
+  if (Obs && Result.Attribution.Enabled) {
+    const PrefetchOutcomeCounts &T = Result.Attribution.Total;
+    Obs->counter("prefetch.outcome.useful")->inc(T.Useful);
+    Obs->counter("prefetch.outcome.late")->inc(T.Late);
+    Obs->counter("prefetch.outcome.early")->inc(T.Early);
+    Obs->counter("prefetch.outcome.redundant")->inc(T.Redundant);
+    uint64_t Accesses = 0, L1Misses = 0, FullMisses = 0, Stall = 0;
+    for (const SiteMissStats &SM : Result.Attribution.SiteMiss) {
+      Accesses += SM.Accesses;
+      L1Misses += SM.L1Misses;
+      FullMisses += SM.FullMisses;
+      Stall += SM.StallCycles;
+    }
+    Obs->counter("memsys.site_miss.accesses")->inc(Accesses);
+    Obs->counter("memsys.site_miss.l1_misses")->inc(L1Misses);
+    Obs->counter("memsys.site_miss.full_misses")->inc(FullMisses);
+    Obs->counter("memsys.site_miss.stall_cycles")->inc(Stall);
   }
   return Result;
 }

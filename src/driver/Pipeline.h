@@ -77,6 +77,11 @@ struct TimedRunResult {
   RunStats Stats;
   PrefetchInsertionStats Prefetches;
   FeedbackResult Feedback;
+  /// Prefetch-outcome and per-site demand-miss attribution; populated
+  /// (Enabled == true) only when Config.Memory.EnableAttribution is set.
+  /// Lives outside RunStats so the pre-existing accounting stays
+  /// bit-identical whether attribution runs or not.
+  AttributionData Attribution;
 };
 
 /// Drives one workload through the paper's pipeline. The workload's

@@ -171,7 +171,7 @@ RunStats DecodedInterpreter::runImpl(uint64_t MaxInstructions,
     SPROF_STEP_PREFETCH_HINT(P);                                             \
     SPROF_CHARGE(TM.LoadBaseCost);                                           \
     if constexpr (HasMem) {                                                  \
-      uint64_t Latency_ = Mem->demandAccess(Addr_, SPROF_NOW());             \
+      uint64_t Latency_ = Mem->demandAccess(Addr_, SPROF_NOW(), (P)->SiteId); \
       uint64_t Hidden_ = TM.FlatLoadLatency;                                 \
       uint64_t Stall_ = Latency_ > Hidden_ ? Latency_ - Hidden_ : 0;         \
       MemStall += Stall_;                                                    \
@@ -391,7 +391,7 @@ next_inst:
     SPROF_OP(Prefetch) {
       uint64_t Addr = static_cast<uint64_t>(SPROF_VAL(I->A) + I->Imm);
       if constexpr (HasMem)
-        Mem->prefetch(Addr, SPROF_NOW());
+        Mem->prefetch(Addr, SPROF_NOW(), I->SiteId);
       else
         (void)Addr;
       SPROF_CHARGE(TM.PrefetchCost);
@@ -405,7 +405,7 @@ next_inst:
       uint64_t Addr = static_cast<uint64_t>(SPROF_VAL(I->A) + I->Imm);
       Regs[I->Dst] = Memory.read64(Addr);
       if constexpr (HasMem)
-        Mem->prefetch(Addr, SPROF_NOW());
+        Mem->prefetch(Addr, SPROF_NOW(), I->SiteId);
       SPROF_CHARGE(TM.LoadBaseCost);
       ++Tally.SpecLoads;
       SPROF_NEXT();

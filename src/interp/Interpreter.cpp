@@ -242,7 +242,8 @@ RunStats Interpreter::runReference(uint64_t MaxInstructions,
       F->Regs[I->Dst] = Memory.read64(Addr);
       Charge(Timing.LoadBaseCost, I->IsInstrumentation);
       uint64_t Latency =
-          Mem ? Mem->demandAccess(Addr, Now) : Timing.FlatLoadLatency;
+          Mem ? Mem->demandAccess(Addr, Now, I->SiteId)
+              : Timing.FlatLoadLatency;
       // The pipeline hides an L1-hit's worth of latency; the rest stalls.
       uint64_t Hidden = Timing.FlatLoadLatency;
       uint64_t Stall = Latency > Hidden ? Latency - Hidden : 0;
@@ -265,7 +266,7 @@ RunStats Interpreter::runReference(uint64_t MaxInstructions,
     case Opcode::Prefetch: {
       uint64_t Addr = static_cast<uint64_t>(Val(I->A) + I->Imm);
       if (Mem)
-        Mem->prefetch(Addr, Now);
+        Mem->prefetch(Addr, Now, I->SiteId);
       Charge(Timing.PrefetchCost, I->IsInstrumentation);
       ++Tally.Prefetches;
       break;
@@ -277,7 +278,7 @@ RunStats Interpreter::runReference(uint64_t MaxInstructions,
       uint64_t Addr = static_cast<uint64_t>(Val(I->A) + I->Imm);
       F->Regs[I->Dst] = Memory.read64(Addr);
       if (Mem)
-        Mem->prefetch(Addr, Now);
+        Mem->prefetch(Addr, Now, I->SiteId);
       Charge(Timing.LoadBaseCost, I->IsInstrumentation);
       ++Tally.SpecLoads;
       break;

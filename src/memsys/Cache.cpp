@@ -19,7 +19,7 @@ CacheLevel::CacheLevel(const CacheLevelConfig &Config) : Config(Config) {
 }
 
 bool CacheLevel::probe(uint64_t LineAddr, uint64_t &ReadyTime,
-                       bool *WasUnusedPrefetch) {
+                       bool *WasUnusedPrefetch, uint32_t *PrefetchSite) {
   uint64_t Set = LineAddr % NumSets;
   Way *Base = &Ways[Set * Config.Associativity];
   for (unsigned W = 0; W != Config.Associativity; ++W) {
@@ -31,17 +31,20 @@ bool CacheLevel::probe(uint64_t LineAddr, uint64_t &ReadyTime,
         *WasUnusedPrefetch = Entry.UnusedPrefetch;
         Entry.UnusedPrefetch = false;
       }
+      if (PrefetchSite)
+        *PrefetchSite = Entry.PrefetchSite;
       return true;
     }
   }
   return false;
 }
 
-void CacheLevel::fill(uint64_t LineAddr, uint64_t ReadyTime,
-                      bool Prefetched) {
+void CacheLevel::fill(uint64_t LineAddr, uint64_t ReadyTime, bool Prefetched,
+                      uint32_t PrefetchSite) {
   uint64_t Set = LineAddr % NumSets;
   Way *Base = &Ways[Set * Config.Associativity];
-  // Reuse an existing entry for the same line (refresh ready time).
+  // Reuse an existing entry for the same line (refresh ready time; keep the
+  // entry's prefetch mark and site untouched).
   for (unsigned W = 0; W != Config.Associativity; ++W) {
     Way &Entry = Base[W];
     if (Entry.Valid && Entry.Tag == LineAddr) {
@@ -61,13 +64,26 @@ void CacheLevel::fill(uint64_t LineAddr, uint64_t ReadyTime,
     if (Entry.LastUse < Victim->LastUse)
       Victim = &Entry;
   }
-  if (Victim->Valid && Victim->UnusedPrefetch && EvictUnusedCounter)
-    ++*EvictUnusedCounter;
+  if (Victim->Valid && Victim->UnusedPrefetch) {
+    if (EvictUnusedCounter)
+      ++*EvictUnusedCounter;
+    if (Attr)
+      Attr->recordEarly(Victim->PrefetchSite);
+  }
   Victim->Valid = true;
   Victim->Tag = LineAddr;
   Victim->ReadyTime = ReadyTime;
   Victim->LastUse = ++UseClock;
   Victim->UnusedPrefetch = Prefetched;
+  Victim->PrefetchSite = PrefetchSite;
+}
+
+void CacheLevel::drainUnusedPrefetches(AttributionData &A) {
+  for (Way &Entry : Ways)
+    if (Entry.Valid && Entry.UnusedPrefetch) {
+      A.recordEarly(Entry.PrefetchSite);
+      Entry.UnusedPrefetch = false;
+    }
 }
 
 MemoryHierarchy::MemoryHierarchy(const MemoryConfig &Config)
@@ -91,14 +107,16 @@ size_t MemoryHierarchy::findLine(uint64_t Line, uint64_t &ReadyTime) {
   return Levels.size();
 }
 
-uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now) {
+uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now,
+                                       uint32_t SiteId) {
   ++Stats.DemandAccesses;
   uint64_t Line = lineAddr(Addr);
   uint64_t ReadyTime = 0;
   // Probe L1 separately so first use of a prefetched line is observed.
   size_t Hit;
   bool FirstPrefetchUse = false;
-  if (Levels[0].probe(Line, ReadyTime, &FirstPrefetchUse)) {
+  uint32_t PrefetchSite = NoSiteId;
+  if (Levels[0].probe(Line, ReadyTime, &FirstPrefetchUse, &PrefetchSite)) {
     Hit = 0;
     if (FirstPrefetchUse)
       ++Stats.PrefetchesUseful;
@@ -112,6 +130,7 @@ uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now) {
   }
 
   uint64_t Latency;
+  bool StillInFlight = false;
   if (Hit == Levels.size()) {
     // Full miss: stall to memory.
     Latency = Config.MemoryLatency;
@@ -127,6 +146,7 @@ uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now) {
     // prefetch or an overlapping demand fill of the same line).
     Latency = Levels[Hit].config().HitLatency;
     if (ReadyTime > Now) {
+      StillInFlight = true;
       Latency = std::max<uint64_t>(Latency, ReadyTime - Now);
       if (FirstPrefetchUse)
         ++Stats.LatePrefetchHits;
@@ -140,16 +160,36 @@ uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now) {
   // The first hit-latency cycles overlap with the pipeline's base load
   // cost; report the full latency and let the caller discount.
   Stats.StallCycles += Latency;
+  if (Attr.Enabled) {
+    // First demand touch of a prefetched line retires that prefetch: the
+    // outcome (and the stall it saved or caused) is credited to the site
+    // that issued it, not the site that happened to consume the line.
+    if (FirstPrefetchUse) {
+      if (StillInFlight)
+        Attr.recordLate(PrefetchSite);
+      else
+        Attr.recordUseful(PrefetchSite);
+    }
+    SiteMissStats &SM = Attr.SiteMiss[Attr.indexFor(SiteId)];
+    ++SM.Accesses;
+    if (Hit != 0)
+      ++SM.L1Misses;
+    if (Hit == Levels.size())
+      ++SM.FullMisses;
+    SM.StallCycles += Latency;
+  }
   return Latency;
 }
 
-void MemoryHierarchy::prefetch(uint64_t Addr, uint64_t Now) {
+void MemoryHierarchy::prefetch(uint64_t Addr, uint64_t Now, uint32_t SiteId) {
   ++Stats.PrefetchesIssued;
   uint64_t Line = lineAddr(Addr);
   uint64_t ReadyTime = 0;
   size_t Hit = findLine(Line, ReadyTime);
   if (Hit == 0) {
     ++Stats.PrefetchesRedundant;
+    if (Attr.Enabled)
+      Attr.recordRedundant(SiteId);
     return; // already (or about to be) in L1
   }
   uint64_t Latency = Hit == Levels.size() ? Config.MemoryLatency
@@ -158,9 +198,32 @@ void MemoryHierarchy::prefetch(uint64_t Addr, uint64_t Now) {
   if (Hit != Levels.size() && ReadyTime > Now)
     Ready = std::max(Ready, ReadyTime);
   for (size_t L = 0; L != Hit && L != Levels.size(); ++L)
-    Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0);
+    Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0,
+                   L == 0 ? SiteId : NoSiteId);
   if (Hit == Levels.size())
     for (size_t L = 0; L != Levels.size(); ++L)
-      Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0);
+      Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0,
+                     L == 0 ? SiteId : NoSiteId);
+}
+
+void MemoryHierarchy::enableAttribution(uint32_t NumSites) {
+  Attr.Enabled = true;
+  Attr.Finalized = false;
+  Attr.NumSites = NumSites;
+  Attr.Total = PrefetchOutcomeCounts();
+  Attr.PerSite.assign(NumSites + 1, PrefetchOutcomeCounts());
+  Attr.SiteMiss.assign(NumSites + 1, SiteMissStats());
+  Levels.front().setAttribution(&Attr);
+}
+
+void MemoryHierarchy::finalizeAttribution() {
+  if (!Attr.Enabled || Attr.Finalized)
+    return;
+  // A non-redundant prefetch marks exactly one L1 line; every mark is
+  // cleared by first demand use (Useful/Late) or eviction (Early). Marks
+  // still resident now never helped anyone: drain them into Early so the
+  // four classes partition PrefetchesIssued exactly.
+  Levels.front().drainUnusedPrefetches(Attr);
+  Attr.Finalized = true;
 }
 

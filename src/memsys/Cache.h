@@ -45,6 +45,97 @@ struct MemoryConfig {
   };
   /// Latency of a main-memory access.
   uint32_t MemoryLatency = 160;
+  /// When true, the pipeline asks the hierarchy for per-prefetch outcome
+  /// attribution and per-site demand-miss statistics (see AttributionData).
+  /// Purely additive bookkeeping: neither timing nor MemoryStats changes
+  /// whether this is on or off.
+  bool EnableAttribution = false;
+};
+
+/// Load-site sentinel for accesses that carry no attributable site (the
+/// memsys mirror of the IR's NoId; memsys does not depend on the IR).
+inline constexpr uint32_t NoSiteId = ~0u;
+
+/// Retirement outcome of every issued prefetch. The four classes partition
+/// the issued prefetches exactly: after MemoryHierarchy::finalizeAttribution
+/// drains still-resident marked lines,
+/// Useful + Late + Early + Redundant == MemoryStats::PrefetchesIssued.
+struct PrefetchOutcomeCounts {
+  /// Demand access hit a prefetched line whose fill had completed.
+  uint64_t Useful = 0;
+  /// Demand access arrived while the prefetched fill was still in flight
+  /// (partial stall; the prefetch was issued too close to the use).
+  uint64_t Late = 0;
+  /// Prefetched line was evicted from L1 -- or still resident at run end --
+  /// without ever being demanded (cache pollution).
+  uint64_t Early = 0;
+  /// The line was already in L1 (or in flight to it) when the prefetch was
+  /// issued; the prefetch did nothing.
+  uint64_t Redundant = 0;
+
+  uint64_t issued() const { return Useful + Late + Early + Redundant; }
+
+  PrefetchOutcomeCounts &operator+=(const PrefetchOutcomeCounts &Other) {
+    Useful += Other.Useful;
+    Late += Other.Late;
+    Early += Other.Early;
+    Redundant += Other.Redundant;
+    return *this;
+  }
+};
+
+/// Demand-access statistics attributed to one load site.
+struct SiteMissStats {
+  uint64_t Accesses = 0;
+  uint64_t L1Misses = 0;
+  /// Missed every cache level (paid the full memory latency).
+  uint64_t FullMisses = 0;
+  uint64_t StallCycles = 0;
+
+  SiteMissStats &operator+=(const SiteMissStats &Other) {
+    Accesses += Other.Accesses;
+    L1Misses += Other.L1Misses;
+    FullMisses += Other.FullMisses;
+    StallCycles += Other.StallCycles;
+    return *this;
+  }
+};
+
+/// Per-site prefetch-outcome and demand-miss attribution. Lives beside
+/// MemoryStats (never inside it) so that the pre-existing accounting is
+/// bit-identical whether attribution is enabled or not. PerSite and
+/// SiteMiss hold NumSites + 1 entries; the final entry collects accesses
+/// and prefetches that carried NoSiteId (or an out-of-range site).
+struct AttributionData {
+  bool Enabled = false;
+  /// Set by MemoryHierarchy::finalizeAttribution once still-resident
+  /// prefetched lines have been drained into Early.
+  bool Finalized = false;
+  uint32_t NumSites = 0;
+  PrefetchOutcomeCounts Total;
+  std::vector<PrefetchOutcomeCounts> PerSite;
+  std::vector<SiteMissStats> SiteMiss;
+
+  size_t indexFor(uint32_t SiteId) const {
+    return SiteId < NumSites ? SiteId : NumSites;
+  }
+
+  void recordUseful(uint32_t SiteId) {
+    ++Total.Useful;
+    ++PerSite[indexFor(SiteId)].Useful;
+  }
+  void recordLate(uint32_t SiteId) {
+    ++Total.Late;
+    ++PerSite[indexFor(SiteId)].Late;
+  }
+  void recordEarly(uint32_t SiteId) {
+    ++Total.Early;
+    ++PerSite[indexFor(SiteId)].Early;
+  }
+  void recordRedundant(uint32_t SiteId) {
+    ++Total.Redundant;
+    ++PerSite[indexFor(SiteId)].Redundant;
+  }
 };
 
 /// Per-level and prefetch statistics.
@@ -97,18 +188,32 @@ public:
   /// cycle at which the line is (or was) ready; on miss returns false.
   /// \p WasUnusedPrefetch (optional) reports whether this is the first
   /// demand touch of a prefetched line (and clears the mark).
+  /// \p PrefetchSite (optional) receives the site that issued the prefetch
+  /// (meaningful only when *WasUnusedPrefetch comes back true).
   bool probe(uint64_t LineAddr, uint64_t &ReadyTime,
-             bool *WasUnusedPrefetch = nullptr);
+             bool *WasUnusedPrefetch = nullptr,
+             uint32_t *PrefetchSite = nullptr);
 
   /// Inserts \p LineAddr with the given ready time, evicting the LRU way.
-  /// \p Prefetched marks the line as an as-yet-unused prefetch.
-  void fill(uint64_t LineAddr, uint64_t ReadyTime, bool Prefetched = false);
+  /// \p Prefetched marks the line as an as-yet-unused prefetch issued by
+  /// load site \p PrefetchSite.
+  void fill(uint64_t LineAddr, uint64_t ReadyTime, bool Prefetched = false,
+            uint32_t PrefetchSite = NoSiteId);
 
   /// When set, incremented every time an unused prefetched line is
   /// evicted (pollution accounting).
   void setEvictUnusedCounter(uint64_t *Counter) {
     EvictUnusedCounter = Counter;
   }
+
+  /// When set, unused-prefetch evictions are also credited as Early
+  /// outcomes against the issuing site.
+  void setAttribution(AttributionData *A) { Attr = A; }
+
+  /// Credits every still-resident unused prefetched line as Early and
+  /// clears the marks (so a second drain finds nothing). Called by
+  /// MemoryHierarchy::finalizeAttribution at end of run.
+  void drainUnusedPrefetches(AttributionData &A);
 
   const CacheLevelConfig &config() const { return Config; }
 
@@ -117,11 +222,13 @@ private:
     uint64_t Tag = ~0ull;
     uint64_t ReadyTime = 0;
     uint64_t LastUse = 0;
+    uint32_t PrefetchSite = NoSiteId;
     bool Valid = false;
     bool UnusedPrefetch = false;
   };
 
   uint64_t *EvictUnusedCounter = nullptr;
+  AttributionData *Attr = nullptr;
 
   CacheLevelConfig Config;
   uint64_t NumSets;
@@ -135,13 +242,28 @@ class MemoryHierarchy {
 public:
   explicit MemoryHierarchy(const MemoryConfig &Config);
 
-  /// Demand load of \p Addr at cycle \p Now.
+  /// Demand load of \p Addr at cycle \p Now, attributed to load site
+  /// \p SiteId when attribution is enabled.
   /// \returns the total load-to-use latency in cycles (>= L1 hit latency).
-  uint64_t demandAccess(uint64_t Addr, uint64_t Now);
+  uint64_t demandAccess(uint64_t Addr, uint64_t Now,
+                        uint32_t SiteId = NoSiteId);
 
-  /// Non-blocking prefetch of \p Addr issued at cycle \p Now. Fills every
-  /// level with ready time Now + (latency of the providing level).
-  void prefetch(uint64_t Addr, uint64_t Now);
+  /// Non-blocking prefetch of \p Addr issued at cycle \p Now by load site
+  /// \p SiteId. Fills every level with ready time Now + (latency of the
+  /// providing level).
+  void prefetch(uint64_t Addr, uint64_t Now, uint32_t SiteId = NoSiteId);
+
+  /// Turns on prefetch-outcome and per-site demand-miss attribution for
+  /// sites [0, NumSites). Must be called before any traffic; resets any
+  /// previously collected attribution. MemoryStats is unaffected.
+  void enableAttribution(uint32_t NumSites);
+
+  /// Classifies still-resident prefetched lines as Early so the outcome
+  /// classes exactly partition the issued prefetches. Idempotent; call
+  /// once the run's traffic is complete.
+  void finalizeAttribution();
+
+  const AttributionData &attribution() const { return Attr; }
 
   const MemoryStats &stats() const { return Stats; }
   unsigned lineBytes() const { return LineBytes; }
@@ -157,6 +279,7 @@ private:
   std::vector<CacheLevel> Levels;
   unsigned LineBytes;
   MemoryStats Stats;
+  AttributionData Attr;
 };
 
 } // namespace sprof

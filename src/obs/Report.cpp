@@ -229,6 +229,131 @@ JsonValue sprof::pipelineConfigToJson(const PipelineConfig &Config) {
   return J;
 }
 
+namespace {
+
+void setOutcomeFields(JsonValue &J, const PrefetchOutcomeCounts &O) {
+  J.set("useful", O.Useful);
+  J.set("late", O.Late);
+  J.set("early", O.Early);
+  J.set("redundant", O.Redundant);
+  J.set("issued", O.issued());
+}
+
+void setMissFields(JsonValue &J, const SiteMissStats &M,
+                   uint64_t Instructions) {
+  J.set("accesses", M.Accesses);
+  J.set("l1_misses", M.L1Misses);
+  J.set("full_misses", M.FullMisses);
+  J.set("stall_cycles", M.StallCycles);
+  if (Instructions != 0) {
+    double PerKilo = 1000.0 / static_cast<double>(Instructions);
+    J.set("l1_mpki", static_cast<double>(M.L1Misses) * PerKilo);
+    J.set("mem_mpki", static_cast<double>(M.FullMisses) * PerKilo);
+  }
+}
+
+} // namespace
+
+JsonValue sprof::attributionToJson(const AttributionData &Attr,
+                                   const FeedbackResult *Feedback,
+                                   uint64_t Instructions) {
+  JsonValue J = JsonValue::object();
+  J.set("enabled", Attr.Enabled);
+  J.set("finalized", Attr.Finalized);
+  J.set("num_sites", Attr.NumSites);
+  JsonValue Outcomes = JsonValue::object();
+  setOutcomeFields(Outcomes, Attr.Total);
+  J.set("outcomes", std::move(Outcomes));
+
+  // Per-class rollups of outcomes and misses; sites without a feedback
+  // verdict (and the unattributed bucket) land in "none".
+  PrefetchOutcomeCounts ClassOutcomes[NumStrideClasses];
+  SiteMissStats ClassMisses[NumStrideClasses];
+  SiteMissStats TotalMisses;
+
+  JsonValue Sites = JsonValue::array();
+  for (uint32_t S = 0; S != Attr.NumSites + 1 &&
+                       S < static_cast<uint32_t>(Attr.PerSite.size());
+       ++S) {
+    const PrefetchOutcomeCounts &O = Attr.PerSite[S];
+    const SiteMissStats &M = Attr.SiteMiss[S];
+    TotalMisses += M;
+    StrideClass C = StrideClass::None;
+    if (S < Attr.NumSites && Feedback && S < Feedback->SiteClass.size())
+      C = Feedback->SiteClass[S];
+    ClassOutcomes[static_cast<size_t>(C)] += O;
+    ClassMisses[static_cast<size_t>(C)] += M;
+    if (O.issued() == 0 && M.Accesses == 0)
+      continue;
+    JsonValue SJ = JsonValue::object();
+    if (S == Attr.NumSites)
+      SJ.set("site", "unattributed");
+    else
+      SJ.set("site", S);
+    SJ.set("class", strideClassName(C));
+    setOutcomeFields(SJ, O);
+    setMissFields(SJ, M, Instructions);
+    Sites.push(std::move(SJ));
+  }
+  J.set("per_site", std::move(Sites));
+
+  JsonValue ByClass = JsonValue::object();
+  static const char *ClassKeys[NumStrideClasses] = {"none", "ssst", "pmst",
+                                                    "wsst"};
+  for (size_t C = 0; C != NumStrideClasses; ++C) {
+    JsonValue CJ = JsonValue::object();
+    setOutcomeFields(CJ, ClassOutcomes[C]);
+    setMissFields(CJ, ClassMisses[C], Instructions);
+    ByClass.set(ClassKeys[C], std::move(CJ));
+  }
+  J.set("by_class", std::move(ByClass));
+
+  JsonValue Totals = JsonValue::object();
+  setMissFields(Totals, TotalMisses, Instructions);
+  J.set("demand_misses", std::move(Totals));
+  return J;
+}
+
+JsonValue sprof::profileDiffToJson(const ProfileDiffResult &Diff) {
+  JsonValue J = JsonValue::object();
+  J.set("num_sites", Diff.NumSites);
+  J.set("sites_compared", Diff.SitesCompared);
+  J.set("top_stride_matches", Diff.TopStrideMatches);
+  J.set("class_matches", Diff.ClassMatches);
+  J.set("top_stride_agreement", Diff.TopStrideAgreement);
+  J.set("class_agreement", Diff.ClassAgreement);
+  J.set("weighted_accuracy", Diff.WeightedAccuracy);
+
+  static const char *ClassKeys[NumStrideClasses] = {"none", "ssst", "pmst",
+                                                    "wsst"};
+  JsonValue Flips = JsonValue::object();
+  for (size_t A = 0; A != NumStrideClasses; ++A) {
+    JsonValue Row = JsonValue::object();
+    for (size_t B = 0; B != NumStrideClasses; ++B)
+      Row.set(ClassKeys[B], Diff.Flips[A][B]);
+    Flips.set(ClassKeys[A], std::move(Row));
+  }
+  J.set("class_flips", std::move(Flips));
+
+  JsonValue Sites = JsonValue::array();
+  for (const SiteDiffEntry &E : Diff.Sites) {
+    JsonValue SJ = JsonValue::object();
+    SJ.set("site", E.Site);
+    SJ.set("weight_a", E.WeightA);
+    SJ.set("weight_b", E.WeightB);
+    SJ.set("top_stride_a", E.TopStrideA);
+    SJ.set("top_stride_b", E.TopStrideB);
+    SJ.set("top_stride_match", E.TopStrideMatch);
+    SJ.set("top4_overlap", E.Top4Overlap);
+    SJ.set("class_a", strideClassName(E.ClassA));
+    SJ.set("class_b", strideClassName(E.ClassB));
+    SJ.set("score", E.Score);
+    Sites.push(std::move(SJ));
+  }
+  J.set("sites", std::move(Sites));
+  return J;
+}
+
 JsonValue sprof::metricsToJson(const MetricsRegistry &Registry) {
   JsonValue J = JsonValue::object();
 
@@ -318,9 +443,10 @@ JsonValue sprof::buildRunReport(const std::string &WorkloadName,
                                 const TimedRunResult *Timed,
                                 const RunStats *Baseline,
                                 const ObsSession *Obs,
-                                const ReportOptions &Options) {
+                                const ReportOptions &Options,
+                                const ProfileDiffResult *Diff) {
   JsonValue J = JsonValue::object();
-  J.set("schema", RunReportSchemaV1);
+  J.set("schema", RunReportSchemaV2);
   J.set("workload", WorkloadName);
   J.set("config", pipelineConfigToJson(Config));
   if (Profile)
@@ -337,7 +463,13 @@ JsonValue sprof::buildRunReport(const std::string &WorkloadName,
     if (Baseline && Timed->Stats.Cycles != 0)
       J.set("speedup", static_cast<double>(Baseline->Cycles) /
                            static_cast<double>(Timed->Stats.Cycles));
+    if (Timed->Attribution.Enabled)
+      J.set("attribution",
+            attributionToJson(Timed->Attribution, &Timed->Feedback,
+                              Timed->Stats.Instructions));
   }
+  if (Diff)
+    J.set("profile_diff", profileDiffToJson(*Diff));
   if (Obs) {
     J.set("metrics", metricsToJson(Obs->registry()));
     if (!Obs->jobs().empty())
@@ -352,9 +484,10 @@ void sprof::writeRunReport(std::ostream &OS,
                            const ProfileRunResult *Profile,
                            const TimedRunResult *Timed,
                            const RunStats *Baseline, const ObsSession *Obs,
-                           const ReportOptions &Options) {
+                           const ReportOptions &Options,
+                           const ProfileDiffResult *Diff) {
   buildRunReport(WorkloadName, Config, Profile, Timed, Baseline, Obs,
-                 Options)
+                 Options, Diff)
       .write(OS);
   OS << '\n';
 }

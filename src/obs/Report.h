@@ -13,9 +13,11 @@
 /// counts, classification verdicts with the configured thresholds, sampling
 /// configuration, and every metric in an ObsSession's registry.
 ///
-/// The top-level document is versioned ("sprof.run_report/1"); consumers
-/// (scripts/check_telemetry_schema.sh, tests/test_obs.cpp) validate against
-/// that schema string.
+/// The top-level document is versioned ("sprof.run_report/2"); consumers
+/// (scripts/check_telemetry_schema.sh, tests/test_obs.cpp, sprof-inspect)
+/// validate against that schema string. /2 is a strict superset of /1: it
+/// adds the optional "attribution" and "profile_diff" sections, so a /1
+/// reader that ignores unknown keys parses /2 documents unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,14 +27,19 @@
 #include "driver/Pipeline.h"
 #include "obs/Json.h"
 #include "obs/Obs.h"
+#include "profile/ProfileDiff.h"
 
 #include <iosfwd>
 #include <string>
 
 namespace sprof {
 
-/// Schema identifier stamped into every run report.
+/// Schema identifier of reports written before prefetch-outcome
+/// attribution existed; still accepted by every reader.
 inline constexpr const char *RunReportSchemaV1 = "sprof.run_report/1";
+
+/// Schema identifier stamped into every run report.
+inline constexpr const char *RunReportSchemaV2 = "sprof.run_report/2";
 
 /// Shaping knobs for the per-site sections.
 struct ReportOptions {
@@ -54,6 +61,15 @@ JsonValue prefetchStatsToJson(const PrefetchInsertionStats &Stats);
 JsonValue feedbackToJson(const FeedbackResult &FB, const StrideProfile &SP,
                          const ClassifierConfig &Config);
 JsonValue pipelineConfigToJson(const PipelineConfig &Config);
+/// Prefetch-outcome and per-site demand-miss attribution (run_report/2).
+/// \p Feedback (optional) joins each site with its SSST/PMST/WSST verdict
+/// for the by-class rollup; \p Instructions (the timed run's committed
+/// instruction count) scales misses to MPKI when non-zero.
+JsonValue attributionToJson(const AttributionData &Attr,
+                            const FeedbackResult *Feedback = nullptr,
+                            uint64_t Instructions = 0);
+/// Profile-accuracy diff section (run_report/2).
+JsonValue profileDiffToJson(const ProfileDiffResult &Diff);
 JsonValue metricsToJson(const MetricsRegistry &Registry);
 /// One engine job: name, category, timing, worker lane, outcome, and the
 /// job's own metric scope.
@@ -73,20 +89,24 @@ JsonValue timedRunToJson(const TimedRunResult &R, const StrideProfile &SP,
                          const ReportOptions &Options = {});
 
 /// Assembles the full versioned report. Null sections are omitted, so the
-/// same schema serves profile-only and end-to-end runs.
+/// same schema serves profile-only and end-to-end runs. When \p Timed
+/// carries enabled attribution the "attribution" section is emitted; a
+/// non-null \p Diff adds the "profile_diff" section.
 JsonValue buildRunReport(const std::string &WorkloadName,
                          const PipelineConfig &Config,
                          const ProfileRunResult *Profile,
                          const TimedRunResult *Timed,
                          const RunStats *Baseline, const ObsSession *Obs,
-                         const ReportOptions &Options = {});
+                         const ReportOptions &Options = {},
+                         const ProfileDiffResult *Diff = nullptr);
 
 /// buildRunReport + pretty-printed write.
 void writeRunReport(std::ostream &OS, const std::string &WorkloadName,
                     const PipelineConfig &Config,
                     const ProfileRunResult *Profile,
                     const TimedRunResult *Timed, const RunStats *Baseline,
-                    const ObsSession *Obs, const ReportOptions &Options = {});
+                    const ObsSession *Obs, const ReportOptions &Options = {},
+                    const ProfileDiffResult *Diff = nullptr);
 
 } // namespace sprof
 

@@ -41,6 +41,9 @@ std::vector<Instruction> buildSequence(Function &F,
     P.A = Operand::reg(Base);
     P.Imm = Offset;
     P.Pred = Pred;
+    // Carry the covered load's site so the memory system can attribute
+    // this prefetch's outcome back to the decision that inserted it.
+    P.SiteId = D.SiteId;
     Code.push_back(P);
   };
 
@@ -222,12 +225,14 @@ sprof::insertPrefetches(Module &M, const FeedbackResult &Feedback,
         Spec.A = Base.A;
         Spec.Imm = Base.Imm + static_cast<int64_t>(DD->Distance) *
                                   DD->BaseStride;
+        Spec.SiteId = BaseSite;
         Code.push_back(Spec);
       }
       Instruction P;
       P.Op = Opcode::Prefetch;
       P.A = Operand::reg(Ahead);
       P.Imm = DD->DepOffset;
+      P.SiteId = DD->DepSiteId;
       Code.push_back(P);
       ++Stats.DependentPrefetches;
     }

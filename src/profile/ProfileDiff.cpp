@@ -1,0 +1,92 @@
+//===- profile/ProfileDiff.cpp - Stride-profile accuracy diffing -----------===//
+//
+// Part of the StrideProf project (see ProfileDiff.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileDiff.h"
+
+#include <algorithm>
+
+using namespace sprof;
+
+namespace {
+
+const StrideSiteSummary &siteOrEmpty(const StrideProfile &P, uint32_t Site) {
+  static const StrideSiteSummary Empty;
+  return Site < P.numSites() ? P.site(Site) : Empty;
+}
+
+/// Share of A's top-4 stride mass whose values B also ranks among its own
+/// top 4. Sites where neither side saw a non-zero stride agree vacuously.
+double top4Overlap(const StrideSiteSummary &A, const StrideSiteSummary &B) {
+  uint64_t MassA = 0, Shared = 0;
+  size_t NA = std::min<size_t>(A.TopStrides.size(), 4);
+  size_t NB = std::min<size_t>(B.TopStrides.size(), 4);
+  for (size_t I = 0; I != NA; ++I) {
+    MassA += A.TopStrides[I].Count;
+    for (size_t J = 0; J != NB; ++J)
+      if (B.TopStrides[J].Value == A.TopStrides[I].Value) {
+        Shared += A.TopStrides[I].Count;
+        break;
+      }
+  }
+  if (MassA == 0)
+    return NB == 0 ? 1.0 : 0.0;
+  return static_cast<double>(Shared) / static_cast<double>(MassA);
+}
+
+} // namespace
+
+ProfileDiffResult sprof::diffStrideProfiles(const StrideProfile &A,
+                                            const StrideProfile &B,
+                                            const ClassifierConfig &Config) {
+  ProfileDiffResult R;
+  R.NumSites = std::max(A.numSites(), B.numSites());
+
+  uint64_t TotalWeight = 0;
+  double WeightedScore = 0.0;
+  for (uint32_t Site = 0; Site != R.NumSites; ++Site) {
+    const StrideSiteSummary &SA = siteOrEmpty(A, Site);
+    const StrideSiteSummary &SB = siteOrEmpty(B, Site);
+    if (SA.TotalStrides == 0 && SB.TotalStrides == 0)
+      continue;
+
+    SiteDiffEntry E;
+    E.Site = Site;
+    E.WeightA = SA.TotalStrides;
+    E.WeightB = SB.TotalStrides;
+    E.TopStrideA = SA.top1Stride();
+    E.TopStrideB = SB.top1Stride();
+    E.TopStrideMatch = !SA.TopStrides.empty() == !SB.TopStrides.empty() &&
+                       E.TopStrideA == E.TopStrideB;
+    E.Top4Overlap = top4Overlap(SA, SB);
+    E.ClassA = classifyStrideSummary(SA, Config);
+    E.ClassB = classifyStrideSummary(SB, Config);
+    E.Score = 0.5 * (E.ClassA == E.ClassB ? 1.0 : 0.0) + 0.5 * E.Top4Overlap;
+
+    ++R.SitesCompared;
+    if (E.TopStrideMatch)
+      ++R.TopStrideMatches;
+    if (E.ClassA == E.ClassB)
+      ++R.ClassMatches;
+    ++R.Flips[static_cast<size_t>(E.ClassA)][static_cast<size_t>(E.ClassB)];
+    TotalWeight += E.WeightA;
+    WeightedScore += static_cast<double>(E.WeightA) * E.Score;
+    R.Sites.push_back(E);
+  }
+
+  if (R.SitesCompared != 0) {
+    R.TopStrideAgreement = static_cast<double>(R.TopStrideMatches) /
+                           static_cast<double>(R.SitesCompared);
+    R.ClassAgreement = static_cast<double>(R.ClassMatches) /
+                       static_cast<double>(R.SitesCompared);
+  }
+  // Sites the reference never exercised carry no weight; a diff with only
+  // such sites scores by unweighted class agreement instead of 0/0.
+  R.WeightedAccuracy = TotalWeight != 0
+                           ? WeightedScore / static_cast<double>(TotalWeight)
+                           : R.ClassAgreement;
+  return R;
+}

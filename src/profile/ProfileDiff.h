@@ -1,0 +1,95 @@
+//===- profile/ProfileDiff.h - Stride-profile accuracy diffing --*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two stride profiles of the same program -- e.g. exhaustive vs
+/// sample-edge-check, or train vs ref input -- and quantifies how well the
+/// second reproduces the first, in the terms the paper's Figures 23-25 use
+/// to argue that sampled/train profiles stay accurate: does the sampled
+/// profile find the same dominant strides, and does the Figure-5 classifier
+/// reach the same SSST/PMST/WSST verdicts it would have reached on the
+/// reference profile? Site comparisons are weighted by the reference
+/// profile's dynamic stride counts, so a flip on a hot site costs more than
+/// a flip on a site that barely ran.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_PROFILE_PROFILEDIFF_H
+#define SPROF_PROFILE_PROFILEDIFF_H
+
+#include "feedback/Classifier.h"
+#include "profile/ProfileData.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sprof {
+
+/// Number of StrideClass values (None/SSST/PMST/WSST); dimension of the
+/// classification-flip matrix.
+constexpr size_t NumStrideClasses = 4;
+
+/// Per-site comparison of one load site across the two profiles. Profile A
+/// is the reference (exhaustive / train), profile B the candidate
+/// (sampled / ref).
+struct SiteDiffEntry {
+  uint32_t Site = 0;
+  /// A's dynamic stride count -- the weight of this site in the aggregate.
+  uint64_t WeightA = 0;
+  uint64_t WeightB = 0;
+  int64_t TopStrideA = 0;
+  int64_t TopStrideB = 0;
+  bool TopStrideMatch = false;
+  /// Share of A's top-4 stride mass whose stride values B also ranks in
+  /// its own top 4 (1.0 when both sites saw no non-zero strides at all).
+  double Top4Overlap = 0.0;
+  StrideClass ClassA = StrideClass::None;
+  StrideClass ClassB = StrideClass::None;
+  /// Blended per-site accuracy: classification agreement and stride
+  /// agreement in equal parts (see ProfileDiffResult::WeightedAccuracy).
+  double Score = 0.0;
+};
+
+/// Aggregate diff of two stride profiles.
+struct ProfileDiffResult {
+  /// max(A.numSites, B.numSites); sites absent from one profile compare
+  /// against an all-zero summary.
+  uint32_t NumSites = 0;
+  /// Sites active (TotalStrides > 0) in at least one of the two profiles,
+  /// ascending by site id.
+  std::vector<SiteDiffEntry> Sites;
+  /// Classification-flip table: Flips[classA][classB] counts active sites
+  /// A classifies as classA and B as classB (diagonal = agreement).
+  /// Indexed by StrideClass cast to size_t.
+  uint64_t Flips[NumStrideClasses][NumStrideClasses] = {};
+  uint64_t SitesCompared = 0;    ///< active sites
+  uint64_t TopStrideMatches = 0; ///< active sites with equal top-1 stride
+  uint64_t ClassMatches = 0;     ///< active sites with equal class
+  /// Unweighted share of active sites whose dominant stride agrees.
+  double TopStrideAgreement = 0.0;
+  /// Unweighted share of active sites whose classification agrees.
+  double ClassAgreement = 0.0;
+  /// The headline accuracy score in [0, 1]: the WeightA-weighted mean of
+  /// per-site scores, where each site scores 0.5 for B reproducing A's
+  /// Figure-5 classification plus 0.5 times the top-4 stride-mass overlap.
+  /// 1.0 means B would drive the classifier and prefetcher exactly as A
+  /// does on every dynamically important site.
+  double WeightedAccuracy = 0.0;
+};
+
+/// Diffs candidate profile \p B against reference profile \p A. Both sides
+/// are classified per-site with \p Config via classifyStrideSummary (no
+/// frequency/trip-count filtering -- this compares what the profiles say,
+/// not what one particular module's loop structure admits).
+ProfileDiffResult diffStrideProfiles(const StrideProfile &A,
+                                     const StrideProfile &B,
+                                     const ClassifierConfig &Config = {});
+
+} // namespace sprof
+
+#endif // SPROF_PROFILE_PROFILEDIFF_H

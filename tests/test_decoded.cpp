@@ -155,6 +155,102 @@ TEST(DecodedEngine, ClassifierAndTimedRunMatch) {
   }
 }
 
+PipelineConfig attributedConfig(InterpreterConfig::Engine E) {
+  PipelineConfig C = engineConfig(E);
+  C.Memory.EnableAttribution = true;
+  return C;
+}
+
+void expectSameAttribution(const AttributionData &Ref,
+                           const AttributionData &Dec) {
+  EXPECT_EQ(Ref.Total.Useful, Dec.Total.Useful);
+  EXPECT_EQ(Ref.Total.Late, Dec.Total.Late);
+  EXPECT_EQ(Ref.Total.Early, Dec.Total.Early);
+  EXPECT_EQ(Ref.Total.Redundant, Dec.Total.Redundant);
+  ASSERT_EQ(Ref.PerSite.size(), Dec.PerSite.size());
+  for (size_t S = 0; S != Ref.PerSite.size(); ++S) {
+    EXPECT_EQ(Ref.PerSite[S].Useful, Dec.PerSite[S].Useful) << "site " << S;
+    EXPECT_EQ(Ref.PerSite[S].Late, Dec.PerSite[S].Late) << "site " << S;
+    EXPECT_EQ(Ref.PerSite[S].Early, Dec.PerSite[S].Early) << "site " << S;
+    EXPECT_EQ(Ref.PerSite[S].Redundant, Dec.PerSite[S].Redundant)
+        << "site " << S;
+  }
+  ASSERT_EQ(Ref.SiteMiss.size(), Dec.SiteMiss.size());
+  for (size_t S = 0; S != Ref.SiteMiss.size(); ++S) {
+    EXPECT_EQ(Ref.SiteMiss[S].Accesses, Dec.SiteMiss[S].Accesses)
+        << "site " << S;
+    EXPECT_EQ(Ref.SiteMiss[S].L1Misses, Dec.SiteMiss[S].L1Misses)
+        << "site " << S;
+    EXPECT_EQ(Ref.SiteMiss[S].FullMisses, Dec.SiteMiss[S].FullMisses)
+        << "site " << S;
+    EXPECT_EQ(Ref.SiteMiss[S].StallCycles, Dec.SiteMiss[S].StallCycles)
+        << "site " << S;
+  }
+}
+
+// Attribution is an observer: turning it on must not move a single counter
+// in either engine's accounting, and with it off the timed run stays
+// bit-identical to the pre-attribution pipeline between engines.
+TEST(DecodedEngine, AttributionOffLeavesTimedRunBitIdentical) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  for (InterpreterConfig::Engine E : {InterpreterConfig::Engine::Reference,
+                                      InterpreterConfig::Engine::Decoded}) {
+    SCOPED_TRACE(E == InterpreterConfig::Engine::Decoded ? "decoded"
+                                                         : "reference");
+    Pipeline Plain(*W, engineConfig(E));
+    Pipeline Attributed(*W, attributedConfig(E));
+    ProfileRunResult P =
+        Plain.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train, false);
+    TimedRunResult Off = Plain.runPrefetched(DataSet::Train, P.Edges,
+                                             P.Strides);
+    TimedRunResult On = Attributed.runPrefetched(DataSet::Train, P.Edges,
+                                                 P.Strides);
+    expectSameStats(Off.Stats, On.Stats);
+    EXPECT_EQ(Off.Stats.Mem.PrefetchesRedundant,
+              On.Stats.Mem.PrefetchesRedundant);
+    EXPECT_EQ(Off.Stats.Mem.PrefetchesUnused, On.Stats.Mem.PrefetchesUnused);
+    EXPECT_EQ(Off.Stats.Mem.StallCycles, On.Stats.Mem.StallCycles);
+    EXPECT_FALSE(Off.Attribution.Enabled);
+    EXPECT_TRUE(On.Attribution.Enabled);
+    EXPECT_TRUE(On.Attribution.Finalized);
+  }
+}
+
+// The attribution identity — useful + late + early + redundant equals
+// prefetches issued, exactly — on every workload in the suite, and the
+// per-site breakdown agrees between engines.
+TEST(DecodedEngine, AttributionSumsExactlyAcrossSuite) {
+  for (const std::unique_ptr<Workload> &W : makeSpecIntSuite()) {
+    SCOPED_TRACE(W->info().Name);
+    Pipeline Ref(*W, attributedConfig(InterpreterConfig::Engine::Reference));
+    Pipeline Dec(*W, attributedConfig(InterpreterConfig::Engine::Decoded));
+    ProfileRunResult PR =
+        Ref.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train, false);
+    ProfileRunResult PD =
+        Dec.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train, false);
+    TimedRunResult TR = Ref.runPrefetched(DataSet::Train, PR.Edges,
+                                          PR.Strides);
+    TimedRunResult TD = Dec.runPrefetched(DataSet::Train, PD.Edges,
+                                          PD.Strides);
+    for (const TimedRunResult *T : {&TR, &TD}) {
+      ASSERT_TRUE(T->Attribution.Finalized);
+      EXPECT_EQ(T->Attribution.Total.issued(),
+                T->Stats.Mem.PrefetchesIssued);
+      PrefetchOutcomeCounts PerSiteSum;
+      for (const PrefetchOutcomeCounts &C : T->Attribution.PerSite)
+        PerSiteSum += C;
+      EXPECT_EQ(PerSiteSum.issued(), T->Attribution.Total.issued());
+      uint64_t SiteAccesses = 0;
+      for (const SiteMissStats &M : T->Attribution.SiteMiss)
+        SiteAccesses += M.Accesses;
+      EXPECT_EQ(SiteAccesses, T->Stats.Mem.DemandAccesses);
+    }
+    expectSameStats(TR.Stats, TD.Stats);
+    expectSameAttribution(TR.Attribution, TD.Attribution);
+  }
+}
+
 /// A loop whose body calls a two-load leaf helper: the decoder inlines the
 /// call, so the spliced body, its register window, and its RetInlined all
 /// sit inside the loop.

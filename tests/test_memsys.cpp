@@ -144,3 +144,114 @@ TEST(MemoryHierarchy, UnusedPrefetchCountedOnEviction) {
   EXPECT_EQ(MH.stats().PrefetchesUnused, 1u);
   EXPECT_EQ(MH.stats().PrefetchesUseful, 0u);
 }
+
+// -- Prefetch-outcome attribution ------------------------------------------
+
+TEST(Attribution, ClassifiesAllFourOutcomesPerSite) {
+  MemoryConfig Small;
+  Small.Levels = {{"L1", 1024, 2, 64, 2}}; // 8 sets, 2 ways
+  Small.MemoryLatency = 160;
+  MemoryHierarchy MH(Small);
+  MH.enableAttribution(4);
+
+  // Site 0: useful -- prefetch, demand long after the fill completes.
+  MH.prefetch(0x4000, 0, /*SiteId=*/0);
+  MH.demandAccess(0x4000, 1000, /*SiteId=*/0);
+  // Site 1: late -- demand arrives while the fill is in flight.
+  MH.prefetch(0x8000, 0, /*SiteId=*/1);
+  MH.demandAccess(0x8000, 100, /*SiteId=*/1);
+  // Site 2: redundant -- the line is already in L1 from site 0's use.
+  MH.prefetch(0x4000, 2000, /*SiteId=*/2);
+  // Site 3: early -- prefetched into set 0, then evicted by demand traffic.
+  MH.prefetch(0, 0, /*SiteId=*/3);
+  MH.demandAccess(8 * 64, 10);
+  MH.demandAccess(16 * 64, 20);
+  MH.demandAccess(24 * 64, 30);
+
+  MH.finalizeAttribution();
+  const AttributionData &A = MH.attribution();
+  ASSERT_TRUE(A.Enabled);
+  ASSERT_TRUE(A.Finalized);
+  EXPECT_EQ(A.PerSite[0].Useful, 1u);
+  EXPECT_EQ(A.PerSite[1].Late, 1u);
+  EXPECT_EQ(A.PerSite[2].Redundant, 1u);
+  EXPECT_EQ(A.PerSite[3].Early, 1u);
+  EXPECT_EQ(A.Total.issued(), MH.stats().PrefetchesIssued);
+}
+
+TEST(Attribution, FinalizeDrainsResidentLinesIntoEarly) {
+  MemoryHierarchy MH{MemoryConfig()};
+  MH.enableAttribution(1);
+  MH.prefetch(0x1000, 0, 0);
+  MH.prefetch(0x2000, 0, 0); // both still resident, never demanded
+  MH.finalizeAttribution();
+  MH.finalizeAttribution(); // idempotent
+  const AttributionData &A = MH.attribution();
+  EXPECT_EQ(A.PerSite[0].Early, 2u);
+  EXPECT_EQ(A.Total.issued(), 2u);
+  // The drain is attribution-only bookkeeping; the eviction-based
+  // pollution counter is untouched.
+  EXPECT_EQ(MH.stats().PrefetchesUnused, 0u);
+}
+
+TEST(Attribution, SiteMissStatsAndUnattributedBucket) {
+  MemoryConfig Small;
+  Small.Levels = {{"L1", 1024, 2, 64, 2}};
+  Small.MemoryLatency = 160;
+  MemoryHierarchy MH(Small);
+  MH.enableAttribution(2);
+
+  MH.demandAccess(0x1000, 0, /*SiteId=*/0);   // full miss
+  MH.demandAccess(0x1000, 500, /*SiteId=*/0); // L1 hit
+  MH.demandAccess(0x2000, 0, /*SiteId=*/1);   // full miss
+  MH.demandAccess(0x3000, 0, NoSiteId);       // unattributed full miss
+  MH.demandAccess(0x4000, 0, /*SiteId=*/99);  // out of range -> unattributed
+
+  MH.finalizeAttribution();
+  const AttributionData &A = MH.attribution();
+  ASSERT_EQ(A.SiteMiss.size(), 3u);
+  EXPECT_EQ(A.SiteMiss[0].Accesses, 2u);
+  EXPECT_EQ(A.SiteMiss[0].L1Misses, 1u);
+  EXPECT_EQ(A.SiteMiss[0].FullMisses, 1u);
+  EXPECT_EQ(A.SiteMiss[0].StallCycles, 160u + 2u);
+  EXPECT_EQ(A.SiteMiss[1].Accesses, 1u);
+  EXPECT_EQ(A.SiteMiss[2].Accesses, 2u); // NoSiteId + out-of-range
+  EXPECT_EQ(A.SiteMiss[2].FullMisses, 2u);
+
+  uint64_t Accesses = 0;
+  for (const SiteMissStats &SM : A.SiteMiss)
+    Accesses += SM.Accesses;
+  EXPECT_EQ(Accesses, MH.stats().DemandAccesses);
+}
+
+TEST(Attribution, DisabledAttributionChangesNothing) {
+  // Same traffic with and without attribution: identical MemoryStats.
+  auto Drive = [](MemoryHierarchy &MH) {
+    MH.prefetch(0, 0, 0);
+    MH.demandAccess(0, 100, 0);
+    MH.demandAccess(8 * 64, 10, 1);
+    MH.prefetch(0x9000, 50, 1);
+    MH.demandAccess(0x9000, 60, NoSiteId);
+  };
+  MemoryHierarchy Plain{MemoryConfig()};
+  MemoryHierarchy Attributed{MemoryConfig()};
+  Attributed.enableAttribution(8);
+  Drive(Plain);
+  Drive(Attributed);
+  Attributed.finalizeAttribution();
+
+  const MemoryStats &SP = Plain.stats();
+  const MemoryStats &SA = Attributed.stats();
+  EXPECT_EQ(SP.DemandAccesses, SA.DemandAccesses);
+  EXPECT_EQ(SP.StallCycles, SA.StallCycles);
+  EXPECT_EQ(SP.PrefetchesIssued, SA.PrefetchesIssued);
+  EXPECT_EQ(SP.PrefetchesUseful, SA.PrefetchesUseful);
+  EXPECT_EQ(SP.PrefetchesRedundant, SA.PrefetchesRedundant);
+  EXPECT_EQ(SP.LatePrefetchHits, SA.LatePrefetchHits);
+  for (size_t L = 0; L != SP.Levels.size(); ++L) {
+    EXPECT_EQ(SP.Levels[L].Hits, SA.Levels[L].Hits);
+    EXPECT_EQ(SP.Levels[L].Misses, SA.Levels[L].Misses);
+  }
+  EXPECT_FALSE(Plain.attribution().Enabled);
+  EXPECT_EQ(Attributed.attribution().Total.issued(), SA.PrefetchesIssued);
+}

@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 
 using namespace sprof;
@@ -253,6 +254,7 @@ TEST(ObsReport, RunReportRoundTripsWithStableSchema) {
   PipelineConfig Config;
   Config.Obs.Enabled = true;
   Config.Obs.TraceDetail = 2;
+  Config.Memory.EnableAttribution = true;
   Pipeline P(W, Config);
 
   ProfileRunResult Prof =
@@ -267,7 +269,7 @@ TEST(ObsReport, RunReportRoundTripsWithStableSchema) {
   std::string Error;
   ASSERT_TRUE(JsonValue::parse(Report.str(), Back, &Error)) << Error;
 
-  EXPECT_EQ(Back.get("schema")->asString(), RunReportSchemaV1);
+  EXPECT_EQ(Back.get("schema")->asString(), RunReportSchemaV2);
   EXPECT_EQ(Back.get("workload")->asString(), "test.chase");
   EXPECT_EQ(Back.get("profile_run")->get("method")->asString(),
             "edge-check");
@@ -304,11 +306,148 @@ TEST(ObsReport, RunReportRoundTripsWithStableSchema) {
 
   EXPECT_GT(Back.get("speedup")->asDouble(), 0.0);
 
+  // The /2 attribution section: outcome classes partition the issued
+  // prefetches exactly, and the report agrees with the in-memory stats.
+  const JsonValue *Attribution = Back.get("attribution");
+  ASSERT_NE(Attribution, nullptr);
+  const JsonValue *Outcomes = Attribution->get("outcomes");
+  ASSERT_NE(Outcomes, nullptr);
+  EXPECT_EQ(Outcomes->get("useful")->asUInt() +
+                Outcomes->get("late")->asUInt() +
+                Outcomes->get("early")->asUInt() +
+                Outcomes->get("redundant")->asUInt(),
+            Timed.Stats.Mem.PrefetchesIssued);
+  EXPECT_EQ(Outcomes->get("issued")->asUInt(),
+            Timed.Stats.Mem.PrefetchesIssued);
+  EXPECT_TRUE(Attribution->get("finalized")->asBool());
+  ASSERT_GT(Attribution->get("per_site")->size(), 0u);
+  for (const JsonValue &S : Attribution->get("per_site")->items()) {
+    EXPECT_NE(S.get("class"), nullptr);
+    EXPECT_NE(S.get("l1_misses"), nullptr);
+    EXPECT_NE(S.get("l1_mpki"), nullptr);
+  }
+
+  // The prefetch.outcome.* counters the pipeline flushed match the
+  // attribution totals.
+  EXPECT_EQ(Counters->get("prefetch.outcome.useful")->asUInt(),
+            Timed.Attribution.Total.Useful);
+  EXPECT_EQ(Counters->get("memsys.site_miss.accesses")->asUInt(),
+            Timed.Stats.Mem.DemandAccesses);
+
   // Every pipeline phase left a trace span.
   for (const char *Phase : {"run-profile", "instrument", "execute",
                             "strideprof-harvest", "run-baseline",
                             "timed-run", "classify", "prefetch-insert"})
     EXPECT_TRUE(P.obs()->trace().hasSpan(Phase)) << Phase;
+}
+
+// A reader written against sprof.run_report/1 must keep working on /2
+// documents: every /1 section is still present with its /1 shape, and the
+// only additions are new optional top-level sections such a reader ignores.
+TEST(ObsReport, ReportV2ParsesUnderV1Reader) {
+  ChaseWorkload W;
+  PipelineConfig Config;
+  Config.Obs.Enabled = true;
+  Config.Memory.EnableAttribution = true;
+  Pipeline P(W, Config);
+
+  ProfileRunResult Prof =
+      P.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train);
+  RunStats Baseline = P.runBaseline(DataSet::Ref);
+  TimedRunResult Timed =
+      P.runPrefetched(DataSet::Ref, Prof.Edges, Prof.Strides);
+  ProfileDiffResult Diff =
+      diffStrideProfiles(Prof.Strides, Prof.Strides, Config.Classifier);
+
+  JsonValue Report =
+      buildRunReport(W.info().Name, P.config(), &Prof, &Timed, &Baseline,
+                     P.obs(), ReportOptions{}, &Diff);
+  JsonValue Back;
+  ASSERT_TRUE(JsonValue::parse(Report.str(), Back));
+
+  // Version negotiation a /1 reader can do: same family, newer minor.
+  std::string Schema = Back.get("schema")->asString();
+  EXPECT_EQ(Schema.rfind("sprof.run_report/", 0), 0u);
+
+  // The exact /1 key set, with the /1 shapes the /1 test checks.
+  for (const char *Key : {"workload", "config", "profile_run",
+                          "baseline_run", "timed_run", "speedup", "metrics"})
+    EXPECT_NE(Back.get(Key), nullptr) << Key;
+  EXPECT_NE(Back.get("profile_run")->get("stride_profile"), nullptr);
+  EXPECT_NE(Back.get("timed_run")->get("classification"), nullptr);
+  EXPECT_NE(Back.get("baseline_run")->get("memory"), nullptr);
+
+  // Everything beyond /1 is limited to the documented /2 additions, so an
+  // ignore-unknown-keys reader sees nothing else new.
+  for (const auto &[Key, Value] : Back.members()) {
+    (void)Value;
+    static const std::set<std::string> V1Keys = {
+        "schema",    "workload",     "config", "profile_run",
+        "baseline_run", "timed_run", "speedup", "metrics", "jobs"};
+    if (V1Keys.count(Key))
+      continue;
+    EXPECT_TRUE(Key == "attribution" || Key == "profile_diff") << Key;
+  }
+
+  // A self-diff scores perfect accuracy.
+  EXPECT_DOUBLE_EQ(
+      Back.get("profile_diff")->get("weighted_accuracy")->asDouble(), 1.0);
+  EXPECT_EQ(Back.get("profile_diff")->get("class_flips")->get("ssst")
+                ->get("wsst")->asUInt(),
+            0u);
+}
+
+// PR 3 only asserted the Decoded engine's telemetry tallies; the span
+// *nesting* contract matters too: pipeline phases at depth 0, the engine's
+// execute span strictly inside them at depth 1, regardless of engine.
+TEST(ObsTrace, DecodedEngineSpansNestInsidePipelinePhases) {
+  ChaseWorkload W;
+  PipelineConfig Config;
+  Config.Obs.Enabled = true;
+  Config.Obs.TraceDetail = 2;
+  Config.Interp.Exec = InterpreterConfig::Engine::Decoded;
+  Pipeline P(W, Config);
+
+  ProfileRunResult Prof =
+      P.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train);
+  (void)P.runPrefetched(DataSet::Ref, Prof.Edges, Prof.Strides);
+
+  const std::vector<TraceEvent> &Events = P.obs()->trace().events();
+  ASSERT_FALSE(Events.empty());
+
+  auto Find = [&](const std::string &Name) -> const TraceEvent * {
+    for (const TraceEvent &E : Events)
+      if (E.Name == Name)
+        return &E;
+    return nullptr;
+  };
+  const TraceEvent *RunProfile = Find("run-profile");
+  const TraceEvent *TimedRun = Find("timed-run");
+  ASSERT_NE(RunProfile, nullptr);
+  ASSERT_NE(TimedRun, nullptr);
+  EXPECT_EQ(RunProfile->Depth, 0u);
+  EXPECT_EQ(TimedRun->Depth, 0u);
+
+  // Every execute span belongs to exactly one enclosing pipeline phase:
+  // depth 1 and time-contained in run-profile or timed-run.
+  unsigned Executes = 0;
+  for (const TraceEvent &E : Events) {
+    if (E.Name != "execute")
+      continue;
+    ++Executes;
+    EXPECT_EQ(E.Depth, 1u);
+    auto Inside = [&](const TraceEvent *Outer) {
+      return E.StartUs >= Outer->StartUs &&
+             E.StartUs + E.DurationUs <=
+                 Outer->StartUs + Outer->DurationUs;
+    };
+    EXPECT_TRUE(Inside(RunProfile) || Inside(TimedRun));
+  }
+  EXPECT_EQ(Executes, 2u);
+  // Inner phases of the profile run nest below the phase, too.
+  const TraceEvent *Harvest = Find("strideprof-harvest");
+  ASSERT_NE(Harvest, nullptr);
+  EXPECT_EQ(Harvest->Depth, 1u);
 }
 
 TEST(ObsReport, DisabledTelemetryLeavesProfilesBitIdentical) {

@@ -1,0 +1,179 @@
+//===- tests/test_profilediff.cpp - Profile-accuracy diff tests ------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// diffStrideProfiles() is the Figures 23-25 accuracy methodology in code:
+/// per-site top-stride agreement, classification-flip table, and a
+/// reference-weighted accuracy score. These tests pin its scoring rules on
+/// hand-built profiles: a self-diff is exactly 1.0, a class flip lands in
+/// exactly one Flips cell, weights come from the reference (A) side, and
+/// empty/size-mismatched profiles neither crash nor divide by zero.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileDiff.h"
+
+#include <gtest/gtest.h>
+
+using namespace sprof;
+
+namespace {
+
+StrideSiteSummary ssstSite(uint32_t Site, int64_t Stride = 64) {
+  StrideSiteSummary S;
+  S.SiteId = Site;
+  S.TotalStrides = 1000;
+  S.TopStrides = {{Stride, 900}};
+  return S;
+}
+
+StrideSiteSummary pmstSite(uint32_t Site) {
+  StrideSiteSummary S;
+  S.SiteId = Site;
+  S.TotalStrides = 1000;
+  S.NumZeroDiff = 450;
+  S.TopStrides = {{8, 200}, {16, 200}, {24, 150}, {32, 100}};
+  return S;
+}
+
+StrideSiteSummary noneSite(uint32_t Site) {
+  StrideSiteSummary S;
+  S.SiteId = Site;
+  S.TotalStrides = 1000;
+  S.TopStrides = {{8, 100}};
+  return S;
+}
+
+uint64_t flipsOffDiagonal(const ProfileDiffResult &R) {
+  uint64_t Off = 0;
+  for (size_t A = 0; A != NumStrideClasses; ++A)
+    for (size_t B = 0; B != NumStrideClasses; ++B)
+      if (A != B)
+        Off += R.Flips[A][B];
+  return Off;
+}
+
+TEST(ProfileDiff, SelfDiffScoresPerfect) {
+  StrideProfile P(3);
+  P.site(0) = ssstSite(0);
+  P.site(1) = pmstSite(1);
+  P.site(2) = noneSite(2);
+
+  ProfileDiffResult R = diffStrideProfiles(P, P);
+  EXPECT_EQ(R.SitesCompared, 3u);
+  EXPECT_EQ(R.TopStrideMatches, 3u);
+  EXPECT_EQ(R.ClassMatches, 3u);
+  EXPECT_DOUBLE_EQ(R.TopStrideAgreement, 1.0);
+  EXPECT_DOUBLE_EQ(R.ClassAgreement, 1.0);
+  EXPECT_DOUBLE_EQ(R.WeightedAccuracy, 1.0);
+  EXPECT_EQ(flipsOffDiagonal(R), 0u);
+  EXPECT_EQ(R.Flips[static_cast<size_t>(StrideClass::SSST)]
+                   [static_cast<size_t>(StrideClass::SSST)],
+            1u);
+  for (const SiteDiffEntry &E : R.Sites) {
+    EXPECT_TRUE(E.TopStrideMatch);
+    EXPECT_DOUBLE_EQ(E.Top4Overlap, 1.0);
+    EXPECT_DOUBLE_EQ(E.Score, 1.0);
+  }
+}
+
+TEST(ProfileDiff, ClassFlipLandsInOneCellAndLowersScore) {
+  StrideProfile A(2), B(2);
+  A.site(0) = ssstSite(0);
+  A.site(1) = ssstSite(1, 8);
+  B.site(0) = ssstSite(0);   // unchanged
+  B.site(1) = noneSite(1);   // sampled run demoted the site
+
+  ProfileDiffResult R = diffStrideProfiles(A, B);
+  EXPECT_EQ(R.SitesCompared, 2u);
+  EXPECT_EQ(R.ClassMatches, 1u);
+  EXPECT_EQ(R.Flips[static_cast<size_t>(StrideClass::SSST)]
+                   [static_cast<size_t>(StrideClass::None)],
+            1u);
+  EXPECT_EQ(flipsOffDiagonal(R), 1u);
+  EXPECT_LT(R.WeightedAccuracy, 1.0);
+
+  const SiteDiffEntry &Flipped = R.Sites[1];
+  EXPECT_EQ(Flipped.Site, 1u);
+  EXPECT_EQ(Flipped.ClassA, StrideClass::SSST);
+  EXPECT_EQ(Flipped.ClassB, StrideClass::None);
+  // Same dominant stride value (8), so the top-stride half still agrees;
+  // only the classification half of the score is lost.
+  EXPECT_TRUE(Flipped.TopStrideMatch);
+  EXPECT_LT(Flipped.Score, 1.0);
+}
+
+TEST(ProfileDiff, TopStrideDisagreementZeroesOverlap) {
+  StrideProfile A(1), B(1);
+  A.site(0) = ssstSite(0, 64);
+  B.site(0) = ssstSite(0, 128);
+
+  ProfileDiffResult R = diffStrideProfiles(A, B);
+  ASSERT_EQ(R.Sites.size(), 1u);
+  EXPECT_FALSE(R.Sites[0].TopStrideMatch);
+  EXPECT_DOUBLE_EQ(R.Sites[0].Top4Overlap, 0.0);
+  // Classes still agree (both SSST), so the score is exactly the class
+  // half: 0.5 * 1 + 0.5 * 0.
+  EXPECT_DOUBLE_EQ(R.Sites[0].Score, 0.5);
+  EXPECT_DOUBLE_EQ(R.WeightedAccuracy, 0.5);
+}
+
+TEST(ProfileDiff, WeightingUsesReferenceSide) {
+  // Site 0 carries 10x the reference weight of site 1; site 0 agrees
+  // perfectly, site 1 flips entirely. The weighted score must sit near
+  // site 0's 1.0, not at the unweighted midpoint.
+  StrideProfile A(2), B(2);
+  A.site(0) = ssstSite(0);
+  A.site(0).TotalStrides = 10000;
+  A.site(0).TopStrides = {{64, 9000}};
+  A.site(1) = ssstSite(1, 8);
+  B.site(0) = A.site(0);
+  B.site(1) = noneSite(1);
+  B.site(1).TopStrides = {{120, 100}};
+
+  ProfileDiffResult R = diffStrideProfiles(A, B);
+  // Site 1 score: class flip (0) + zero top-4 overlap (0) = 0.
+  // Weighted: (10000*1.0 + 1000*0.0) / 11000.
+  EXPECT_NEAR(R.WeightedAccuracy, 10000.0 / 11000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(R.ClassAgreement, 0.5);
+}
+
+TEST(ProfileDiff, EmptyAndInactiveSitesAreSkipped) {
+  StrideProfile A, B;
+  ProfileDiffResult Empty = diffStrideProfiles(A, B);
+  EXPECT_EQ(Empty.NumSites, 0u);
+  EXPECT_EQ(Empty.SitesCompared, 0u);
+  EXPECT_DOUBLE_EQ(Empty.WeightedAccuracy, 0.0);
+
+  // Sites inactive on both sides are not compared; a site active on only
+  // one side is.
+  StrideProfile C(3), D(3);
+  C.site(1) = ssstSite(1);
+  ProfileDiffResult R = diffStrideProfiles(C, D);
+  EXPECT_EQ(R.SitesCompared, 1u);
+  ASSERT_EQ(R.Sites.size(), 1u);
+  EXPECT_EQ(R.Sites[0].Site, 1u);
+  EXPECT_FALSE(R.Sites[0].TopStrideMatch);
+  EXPECT_EQ(R.Sites[0].ClassB, StrideClass::None);
+}
+
+TEST(ProfileDiff, SizeMismatchComparesTheUnion) {
+  // A sampled run that never reached the later sites yields a shorter
+  // profile; the diff still walks the union of site ids.
+  StrideProfile A(4), B(2);
+  A.site(0) = ssstSite(0);
+  A.site(3) = ssstSite(3, 16);
+  B.site(0) = ssstSite(0);
+
+  ProfileDiffResult R = diffStrideProfiles(A, B);
+  EXPECT_EQ(R.NumSites, 4u);
+  EXPECT_EQ(R.SitesCompared, 2u);
+  EXPECT_EQ(R.TopStrideMatches, 1u);
+  EXPECT_EQ(R.Sites[1].Site, 3u);
+  EXPECT_EQ(R.Sites[1].WeightB, 0u);
+}
+
+} // namespace

@@ -1,0 +1,358 @@
+//===- tools/sprof_inspect.cpp - Run-report inspector CLI ------------------===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders sprof run reports (sprof.run_report/1 and /2) as tables, so a
+/// report on disk answers the questions people actually ask of it without
+/// jq gymnastics:
+///
+///   sprof-inspect summary <report.json>
+///       Workload, speedup, classification counts, prefetch-outcome
+///       attribution, and the top load sites by demand-stall cycles.
+///
+///   sprof-inspect diff <reference.json> <candidate.json> [--json=PATH]
+///       Reconstructs both stride profiles from the reports, re-runs the
+///       Figures 23-25 accuracy methodology (diffStrideProfiles) with the
+///       reference report's classifier thresholds, and prints the per-site
+///       agreement table, the classification-flip matrix, and the weighted
+///       accuracy score. --json additionally writes the machine-readable
+///       profile_diff section.
+///
+/// Exit status: 0 on success, 1 on usage/IO/parse errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Report.h"
+#include "profile/ProfileDiff.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sprof;
+
+namespace {
+
+bool loadReport(const std::string &Path, JsonValue &Out) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    std::cerr << "sprof-inspect: cannot open " << Path << "\n";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << IS.rdbuf();
+  std::string Error;
+  if (!JsonValue::parse(Buf.str(), Out, &Error)) {
+    std::cerr << "sprof-inspect: " << Path << ": parse error: " << Error
+              << "\n";
+    return false;
+  }
+  const JsonValue *Schema = Out.get("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString().rfind("sprof.run_report/", 0) != 0) {
+    std::cerr << "sprof-inspect: " << Path
+              << ": not a sprof.run_report document\n";
+    return false;
+  }
+  return true;
+}
+
+uint64_t uintAt(const JsonValue *Obj, const char *Key) {
+  const JsonValue *V = Obj ? Obj->get(Key) : nullptr;
+  return V ? V->asUInt() : 0;
+}
+
+double doubleAt(const JsonValue *Obj, const char *Key) {
+  const JsonValue *V = Obj ? Obj->get(Key) : nullptr;
+  return V ? V->asDouble() : 0.0;
+}
+
+std::string stringAt(const JsonValue *Obj, const char *Key,
+                     const char *Default = "") {
+  const JsonValue *V = Obj ? Obj->get(Key) : nullptr;
+  return V && V->isString() ? V->asString() : std::string(Default);
+}
+
+// -- summary ---------------------------------------------------------------
+
+void printOutcomeRow(Table &T, const std::string &Label,
+                     const JsonValue *O) {
+  uint64_t Issued = uintAt(O, "issued");
+  auto Pct = [&](uint64_t N) {
+    return Issued ? Table::fmtPercent(100.0 * static_cast<double>(N) /
+                                      static_cast<double>(Issued))
+                  : std::string("-");
+  };
+  uint64_t Useful = uintAt(O, "useful");
+  T.row({Label, Table::fmtInt(Issued), Table::fmtInt(Useful), Pct(Useful),
+         Table::fmtInt(uintAt(O, "late")), Table::fmtInt(uintAt(O, "early")),
+         Table::fmtInt(uintAt(O, "redundant"))});
+}
+
+int runSummary(const std::string &Path) {
+  JsonValue Report;
+  if (!loadReport(Path, Report))
+    return 1;
+
+  std::cout << "report:   " << Path << "\n";
+  std::cout << "schema:   " << stringAt(&Report, "schema") << "\n";
+  std::cout << "workload: " << stringAt(&Report, "workload", "?") << "\n";
+
+  const JsonValue *Timed = Report.get("timed_run");
+  const JsonValue *Baseline = Report.get("baseline_run");
+  if (const JsonValue *Speedup = Report.get("speedup"))
+    std::cout << "speedup:  " << Table::fmt(Speedup->asDouble()) << "x\n";
+  if (Timed) {
+    const JsonValue *Stats = Timed->get("stats");
+    std::cout << "cycles:   " << uintAt(Stats, "cycles")
+              << " (baseline " << uintAt(Baseline, "cycles")
+              << ", mem stall " << uintAt(Stats, "mem_stall_cycles")
+              << ")\n";
+  }
+  std::cout << "\n";
+
+  if (Timed) {
+    const JsonValue *Counts = Timed->get("classification")
+                                  ? Timed->get("classification")
+                                        ->get("class_counts")
+                                  : nullptr;
+    if (Counts) {
+      Table T("Stride classification (load sites)");
+      T.row({"class", "sites"});
+      for (const char *K : {"ssst", "pmst", "wsst", "none"})
+        T.row({K, Table::fmtInt(uintAt(Counts, K))});
+      T.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+
+  const JsonValue *Attr = Report.get("attribution");
+  if (Attr) {
+    Table T("Prefetch outcomes");
+    T.row({"scope", "issued", "useful", "useful%", "late", "early",
+           "redundant"});
+    printOutcomeRow(T, "total", Attr->get("outcomes"));
+    if (const JsonValue *ByClass = Attr->get("by_class"))
+      for (const char *K : {"ssst", "pmst", "wsst", "none"})
+        printOutcomeRow(T, K, ByClass->get(K));
+    T.print(std::cout);
+    std::cout << "\n";
+
+    const JsonValue *Sites = Attr->get("per_site");
+    if (Sites && Sites->isArray() && Sites->size() != 0) {
+      std::vector<const JsonValue *> Sorted;
+      for (const JsonValue &S : Sites->items())
+        Sorted.push_back(&S);
+      std::stable_sort(Sorted.begin(), Sorted.end(),
+                       [](const JsonValue *A, const JsonValue *B) {
+                         return uintAt(A, "stall_cycles") >
+                                uintAt(B, "stall_cycles");
+                       });
+      Table T2("Top load sites by demand-stall cycles");
+      T2.row({"site", "class", "stall", "accesses", "l1_miss", "l1_mpki",
+              "useful", "late", "early", "redundant"});
+      size_t N = std::min<size_t>(Sorted.size(), 10);
+      for (size_t I = 0; I != N; ++I) {
+        const JsonValue *S = Sorted[I];
+        const JsonValue *Id = S->get("site");
+        T2.row({Id && Id->isString() ? Id->asString()
+                                     : std::to_string(uintAt(S, "site")),
+                stringAt(S, "class"),
+                Table::fmtInt(uintAt(S, "stall_cycles")),
+                Table::fmtInt(uintAt(S, "accesses")),
+                Table::fmtInt(uintAt(S, "l1_misses")),
+                Table::fmt(doubleAt(S, "l1_mpki")),
+                Table::fmtInt(uintAt(S, "useful")),
+                Table::fmtInt(uintAt(S, "late")),
+                Table::fmtInt(uintAt(S, "early")),
+                Table::fmtInt(uintAt(S, "redundant"))});
+      }
+      T2.print(std::cout);
+      if (Sorted.size() > N)
+        std::cout << "(" << Sorted.size() - N << " more sites)\n";
+      std::cout << "\n";
+    }
+  } else {
+    std::cout << "(no attribution section -- run with "
+                 "Memory.EnableAttribution)\n\n";
+  }
+
+  if (const JsonValue *Diff = Report.get("profile_diff")) {
+    std::cout << "profile diff: weighted accuracy "
+              << Table::fmt(doubleAt(Diff, "weighted_accuracy") * 100.0, 1)
+              << "% over " << uintAt(Diff, "sites_compared")
+              << " sites (use `sprof-inspect diff` for the full table)\n";
+  }
+  return 0;
+}
+
+// -- diff ------------------------------------------------------------------
+
+/// Rebuilds a StrideProfile from a report's profile_run.stride_profile
+/// section. The serialized per-site fields (total/zero/zero-diff counts and
+/// the top-stride list) are exactly the inputs classifyStrideSummary and
+/// the top-4 overlap read, so the reconstruction is lossless for diffing.
+bool profileFromReport(const JsonValue &Report, const std::string &Path,
+                       StrideProfile &Out) {
+  const JsonValue *PR = Report.get("profile_run");
+  const JsonValue *SP = PR ? PR->get("stride_profile") : nullptr;
+  const JsonValue *Sites = SP ? SP->get("sites") : nullptr;
+  if (!Sites || !Sites->isArray()) {
+    std::cerr << "sprof-inspect: " << Path
+              << ": no profile_run.stride_profile section\n";
+    return false;
+  }
+  Out = StrideProfile(static_cast<uint32_t>(uintAt(SP, "num_sites")));
+  for (const JsonValue &SJ : Sites->items()) {
+    uint32_t Id = static_cast<uint32_t>(uintAt(&SJ, "site"));
+    if (Id >= Out.numSites())
+      continue;
+    StrideSiteSummary &Sum = Out.site(Id);
+    Sum.SiteId = Id;
+    Sum.TotalStrides = uintAt(&SJ, "total_strides");
+    Sum.NumZeroStride = uintAt(&SJ, "zero_strides");
+    Sum.NumZeroDiff = uintAt(&SJ, "zero_diffs");
+    if (const JsonValue *Top = SJ.get("top_strides"))
+      for (const JsonValue &TJ : Top->items()) {
+        const JsonValue *V = TJ.get("stride");
+        Sum.TopStrides.push_back(
+            {V ? V->asInt() : 0, uintAt(&TJ, "count")});
+      }
+  }
+  return true;
+}
+
+/// Classifier thresholds travel inside the report; reusing the reference
+/// report's values keeps the re-classification faithful to the run.
+ClassifierConfig classifierFromReport(const JsonValue &Report) {
+  ClassifierConfig C;
+  const JsonValue *Cfg = Report.get("config");
+  const JsonValue *Cls = Cfg ? Cfg->get("classifier") : nullptr;
+  if (!Cls)
+    return C;
+  C.FrequencyThreshold = uintAt(Cls, "frequency_threshold");
+  C.TripCountThreshold = uintAt(Cls, "trip_count_threshold");
+  C.SsstThreshold = doubleAt(Cls, "ssst_threshold");
+  C.PmstThreshold = doubleAt(Cls, "pmst_threshold");
+  C.PmstDiffThreshold = doubleAt(Cls, "pmst_diff_threshold");
+  C.WsstThreshold = doubleAt(Cls, "wsst_threshold");
+  C.WsstDiffThreshold = doubleAt(Cls, "wsst_diff_threshold");
+  return C;
+}
+
+int runDiff(const std::string &PathA, const std::string &PathB,
+            const std::string &JsonOut) {
+  JsonValue RA, RB;
+  if (!loadReport(PathA, RA) || !loadReport(PathB, RB))
+    return 1;
+  StrideProfile PA, PB;
+  if (!profileFromReport(RA, PathA, PA) ||
+      !profileFromReport(RB, PathB, PB))
+    return 1;
+
+  ProfileDiffResult Diff =
+      diffStrideProfiles(PA, PB, classifierFromReport(RA));
+
+  std::cout << "reference: " << PathA << " ("
+            << stringAt(&RA, "workload", "?") << ")\n";
+  std::cout << "candidate: " << PathB << " ("
+            << stringAt(&RB, "workload", "?") << ")\n\n";
+
+  Table Sum("Profile accuracy (reference vs candidate)");
+  Sum.row({"metric", "value"});
+  Sum.row({"sites compared", Table::fmtInt(Diff.SitesCompared)});
+  Sum.row({"top-stride agreement",
+           Table::fmtPercent(100.0 * Diff.TopStrideAgreement)});
+  Sum.row({"class agreement",
+           Table::fmtPercent(100.0 * Diff.ClassAgreement)});
+  Sum.row({"weighted accuracy",
+           Table::fmtPercent(100.0 * Diff.WeightedAccuracy)});
+  Sum.print(std::cout);
+  std::cout << "\n";
+
+  static const char *ClassNames[NumStrideClasses] = {"none", "ssst", "pmst",
+                                                     "wsst"};
+  Table Flips("Classification flips (rows: reference, cols: candidate)");
+  Flips.row({"ref\\cand", "none", "ssst", "pmst", "wsst"});
+  for (size_t A = 0; A != NumStrideClasses; ++A)
+    Flips.row({ClassNames[A], Table::fmtInt(Diff.Flips[A][0]),
+               Table::fmtInt(Diff.Flips[A][1]),
+               Table::fmtInt(Diff.Flips[A][2]),
+               Table::fmtInt(Diff.Flips[A][3])});
+  Flips.print(std::cout);
+  std::cout << "\n";
+
+  // Per-site table, heaviest reference sites first; disagreements are what
+  // the reader is hunting, so they sort above same-weight agreements.
+  std::vector<const SiteDiffEntry *> Order;
+  for (const SiteDiffEntry &E : Diff.Sites)
+    Order.push_back(&E);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const SiteDiffEntry *A, const SiteDiffEntry *B) {
+                     if (A->WeightA != B->WeightA)
+                       return A->WeightA > B->WeightA;
+                     return A->Score < B->Score;
+                   });
+  Table Sites("Per-site accuracy (top 20 by reference weight)");
+  Sites.row({"site", "weight", "stride(ref)", "stride(cand)", "top4",
+             "class(ref)", "class(cand)", "score"});
+  size_t N = std::min<size_t>(Order.size(), 20);
+  for (size_t I = 0; I != N; ++I) {
+    const SiteDiffEntry *E = Order[I];
+    Sites.row({Table::fmtInt(E->Site), Table::fmtInt(E->WeightA),
+               std::to_string(E->TopStrideA), std::to_string(E->TopStrideB),
+               Table::fmtPercent(100.0 * E->Top4Overlap),
+               strideClassName(E->ClassA), strideClassName(E->ClassB),
+               Table::fmt(E->Score)});
+  }
+  Sites.print(std::cout);
+  if (Order.size() > N)
+    std::cout << "(" << Order.size() - N << " more sites)\n";
+
+  if (!JsonOut.empty()) {
+    if (!writeJsonFile(JsonOut, profileDiffToJson(Diff))) {
+      std::cerr << "sprof-inspect: could not write " << JsonOut << "\n";
+      return 1;
+    }
+    std::cout << "\ndiff written to " << JsonOut << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: sprof-inspect summary <report.json>\n"
+            << "       sprof-inspect diff <reference.json> "
+               "<candidate.json> [--json=PATH]\n";
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args;
+  std::string JsonOut;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonOut = Argv[I] + 7;
+    else if (Argv[I][0] == '-')
+      return usage();
+    else
+      Args.push_back(Argv[I]);
+  }
+  if (Args.size() == 2 && Args[0] == "summary")
+    return runSummary(Args[1]);
+  if (Args.size() == 3 && Args[0] == "diff")
+    return runDiff(Args[1], Args[2], JsonOut);
+  return usage();
+}
