@@ -19,11 +19,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "instrument/Instrumentation.h"
 #include "interp/Interpreter.h"
 #include "memsys/Cache.h"
 #include "obs/Json.h"
 #include "obs/Obs.h"
 #include "profile/LfuValueProfiler.h"
+#include "profile/ProfileData.h"
 #include "profile/ProfileStore.h"
 #include "profile/StrideProfiler.h"
 #include "workloads/Workload.h"
@@ -268,9 +270,28 @@ struct CompareOptions {
   unsigned Runs = 5;
   DataSet DS = DataSet::Train;
   bool WithMemsys = false;
+  /// Instrument the workload and attach a StrideProfiler, so the timed
+  /// runs exercise the profiling runtime (the Decoded engine's batched
+  /// strideProf path when no hierarchy is attached).
+  bool WithProfiler = false;
+  ProfilingMethod ProfMethod = ProfilingMethod::SampleEdgeCheck;
   std::string JsonPath = "BENCH_runtime.json";
   bool WriteJson = true;
   double MinSpeedup = 0.0;
+};
+
+/// Profile observables harvested from one profiled run; the engines must
+/// agree on every field (the profiled-mode differential check).
+struct ProfiledObservables {
+  uint64_t Invocations = 0;
+  uint64_t Processed = 0;
+  uint64_t LfuCalls = 0;
+  std::string ProfileText;
+
+  bool operator==(const ProfiledObservables &O) const {
+    return Invocations == O.Invocations && Processed == O.Processed &&
+           LfuCalls == O.LfuCalls && ProfileText == O.ProfileText;
+  }
 };
 
 double medianOf(std::vector<double> V) {
@@ -279,22 +300,42 @@ double medianOf(std::vector<double> V) {
   return N % 2 ? V[N / 2] : 0.5 * (V[N / 2 - 1] + V[N / 2]);
 }
 
-/// One timed execution of \p W on \p Engine (workload build excluded;
-/// decode, when the engine pre-decodes, included -- it is part of the
-/// engine's per-run cost).
+/// One timed execution of \p W on \p Engine (workload build and, in
+/// profiled mode, instrumentation excluded; decode, when the engine
+/// pre-decodes, included -- it is part of the engine's per-run cost).
+/// \p Prof, when non-null and profiling is on, receives the run's profile
+/// observables for the cross-engine equality check.
 double timeOneRun(const Workload &W, DataSet DS,
-                  InterpreterConfig::Engine Engine, bool WithMemsys,
-                  RunStats &StatsOut) {
+                  InterpreterConfig::Engine Engine,
+                  const CompareOptions &Opts, RunStats &StatsOut,
+                  ProfiledObservables *Prof = nullptr) {
   Program Prog = W.build({DS});
+  if (Opts.WithProfiler)
+    instrumentModule(Prog.M, Opts.ProfMethod);
   InterpreterConfig IC;
   IC.Exec = Engine;
   Interpreter I(Prog.M, std::move(Prog.Memory), TimingModel(), IC);
   MemoryHierarchy MH{MemoryConfig()};
-  if (WithMemsys)
+  if (Opts.WithMemsys)
     I.attachMemory(&MH);
+  std::optional<StrideProfiler> SP;
+  if (Opts.WithProfiler) {
+    StrideProfilerConfig PC;
+    PC.Sampling.Enabled = methodUsesSampling(Opts.ProfMethod);
+    SP.emplace(Prog.M.NumLoadSites, PC);
+    I.attachProfiler(&*SP);
+  }
   auto T0 = std::chrono::steady_clock::now();
   StatsOut = I.run();
   auto T1 = std::chrono::steady_clock::now();
+  if (Prof && SP) {
+    Prof->Invocations = SP->totalInvocations();
+    Prof->Processed = SP->totalProcessed();
+    Prof->LfuCalls = SP->totalLfuCalls();
+    std::ostringstream OS;
+    StrideProfile::fromProfiler(*SP).print(OS);
+    Prof->ProfileText = OS.str();
+  }
   return std::chrono::duration<double, std::milli>(T1 - T0).count();
 }
 
@@ -309,22 +350,65 @@ void finishTiming(EngineTiming &E, std::vector<double> &WallMs) {
 /// Times both engines over \p Runs rounds, alternating engines within each
 /// round so slow environmental drift (thermal throttling, noisy
 /// neighbours) biases neither side.
-void timeEnginePair(const Workload &W, DataSet DS, unsigned Runs,
-                    bool WithMemsys, EngineTiming &Ref, EngineTiming &Dec) {
+void timeEnginePair(const Workload &W, const CompareOptions &Opts,
+                    EngineTiming &Ref, EngineTiming &Dec,
+                    ProfiledObservables &RefProf,
+                    ProfiledObservables &DecProf) {
   std::vector<double> RefMs, DecMs;
-  for (unsigned R = 0; R != Runs; ++R) {
+  for (unsigned R = 0; R != Opts.Runs; ++R) {
     RunStats S;
-    RefMs.push_back(timeOneRun(W, DS, InterpreterConfig::Engine::Reference,
-                               WithMemsys, S));
+    RefMs.push_back(timeOneRun(W, Opts.DS,
+                               InterpreterConfig::Engine::Reference, Opts, S,
+                               R == 0 ? &RefProf : nullptr));
     if (R == 0)
       Ref.Stats = S;
-    DecMs.push_back(timeOneRun(W, DS, InterpreterConfig::Engine::Decoded,
-                               WithMemsys, S));
+    DecMs.push_back(timeOneRun(W, Opts.DS,
+                               InterpreterConfig::Engine::Decoded, Opts, S,
+                               R == 0 ? &DecProf : nullptr));
     if (R == 0)
       Dec.Stats = S;
   }
   finishTiming(Ref, RefMs);
   finishTiming(Dec, DecMs);
+}
+
+/// One untimed attributed run: same workload, attribution enabled, so the
+/// engines' prefetch-outcome and per-site miss attribution can be diffed.
+AttributionData attributedRun(const Workload &W, DataSet DS,
+                              InterpreterConfig::Engine Engine) {
+  Program Prog = W.build({DS});
+  InterpreterConfig IC;
+  IC.Exec = Engine;
+  Interpreter I(Prog.M, std::move(Prog.Memory), TimingModel(), IC);
+  MemoryHierarchy MH{MemoryConfig()};
+  MH.enableAttribution(Prog.M.NumLoadSites);
+  I.attachMemory(&MH);
+  I.run();
+  MH.finalizeAttribution();
+  return MH.attribution();
+}
+
+bool sameOutcomes(const PrefetchOutcomeCounts &A,
+                  const PrefetchOutcomeCounts &B) {
+  return A.Useful == B.Useful && A.Late == B.Late && A.Early == B.Early &&
+         A.Redundant == B.Redundant;
+}
+
+bool sameAttribution(const AttributionData &A, const AttributionData &B) {
+  if (!sameOutcomes(A.Total, B.Total) ||
+      A.PerSite.size() != B.PerSite.size() ||
+      A.SiteMiss.size() != B.SiteMiss.size())
+    return false;
+  for (size_t I = 0; I != A.PerSite.size(); ++I)
+    if (!sameOutcomes(A.PerSite[I], B.PerSite[I]))
+      return false;
+  for (size_t I = 0; I != A.SiteMiss.size(); ++I) {
+    const SiteMissStats &X = A.SiteMiss[I], &Y = B.SiteMiss[I];
+    if (X.Accesses != Y.Accesses || X.L1Misses != Y.L1Misses ||
+        X.FullMisses != Y.FullMisses || X.StallCycles != Y.StallCycles)
+      return false;
+  }
+  return true;
 }
 
 /// Returns true when the engines' simulated accounting agrees -- the
@@ -342,12 +426,19 @@ int runCompare(const CompareOptions &Opts) {
   Root.set("dataset", Opts.DS == DataSet::Train ? "train" : "ref");
   Root.set("runs", Opts.Runs);
   Root.set("with_memsys", Opts.WithMemsys);
+  Root.set("with_profiler", Opts.WithProfiler);
+  if (Opts.WithProfiler)
+    Root.set("profiler_method", profilingMethodName(Opts.ProfMethod));
   JsonValue Rows = JsonValue::array();
 
   std::cout << "engine compare: Reference vs Decoded, median of "
             << Opts.Runs << " runs, "
             << (Opts.DS == DataSet::Train ? "train" : "ref") << " input"
-            << (Opts.WithMemsys ? ", cache hierarchy on" : "") << "\n";
+            << (Opts.WithMemsys ? ", cache hierarchy on" : "");
+  if (Opts.WithProfiler)
+    std::cout << ", stride profiler on ("
+              << profilingMethodName(Opts.ProfMethod) << ")";
+  std::cout << "\n";
   std::printf("%-14s %14s %14s %10s %16s\n", "workload", "reference(ms)",
               "decoded(ms)", "speedup", "decoded insn/s");
 
@@ -361,12 +452,36 @@ int runCompare(const CompareOptions &Opts) {
       return 2;
     }
     EngineTiming Ref, Dec;
-    timeEnginePair(*W, Opts.DS, Opts.Runs, Opts.WithMemsys, Ref, Dec);
+    ProfiledObservables RefProf, DecProf;
+    timeEnginePair(*W, Opts, Ref, Dec, RefProf, DecProf);
     if (!sameAccounting(Ref.Stats, Dec.Stats)) {
       std::cerr << "error: engines disagree on " << Name
                 << " (simulated accounting differs; run the differential "
                    "test suite)\n";
       Ok = false;
+    }
+    bool ProfileIdentical = true;
+    if (Opts.WithProfiler) {
+      ProfileIdentical = RefProf == DecProf;
+      if (!ProfileIdentical) {
+        std::cerr << "error: engines disagree on " << Name
+                  << " (profiles differ between Reference and Decoded; "
+                     "run the differential test suite)\n";
+        Ok = false;
+      }
+    }
+    bool AttributionIdentical = true;
+    if (Opts.WithMemsys) {
+      // Untimed attributed pair: attribution must not diverge between the
+      // engines either (it rides the same demandAccess/prefetch stream).
+      AttributionIdentical = sameAttribution(
+          attributedRun(*W, Opts.DS, InterpreterConfig::Engine::Reference),
+          attributedRun(*W, Opts.DS, InterpreterConfig::Engine::Decoded));
+      if (!AttributionIdentical) {
+        std::cerr << "error: engines disagree on " << Name
+                  << " (prefetch/miss attribution differs)\n";
+        Ok = false;
+      }
     }
     double Speedup = Dec.MedianMs > 0.0 ? Ref.MedianMs / Dec.MedianMs : 0.0;
     LogSum += std::log(Speedup > 0.0 ? Speedup : 1.0);
@@ -395,6 +510,16 @@ int runCompare(const CompareOptions &Opts) {
     Row.set("instructions", Dec.Stats.Instructions);
     Row.set("simulated_cycles", Dec.Stats.Cycles);
     Row.set("accounting_identical", sameAccounting(Ref.Stats, Dec.Stats));
+    if (Opts.WithMemsys)
+      Row.set("attribution_identical", AttributionIdentical);
+    if (Opts.WithProfiler) {
+      JsonValue ProfJ = JsonValue::object();
+      ProfJ.set("invocations", DecProf.Invocations);
+      ProfJ.set("processed", DecProf.Processed);
+      ProfJ.set("lfu_calls", DecProf.LfuCalls);
+      ProfJ.set("profile_identical", ProfileIdentical);
+      Row.set("profiled", std::move(ProfJ));
+    }
     Rows.push(std::move(Row));
   }
   double Geomean = Count ? std::exp(LogSum / Count) : 0.0;
@@ -439,6 +564,20 @@ std::optional<CompareOptions> parseCompareArgs(int Argc, char **Argv) {
       Opts.DS = (*V == "ref") ? DataSet::Ref : DataSet::Train;
     } else if (Arg == "--with-memsys") {
       Opts.WithMemsys = true;
+    } else if (Arg == "--with-profiler") {
+      Opts.WithProfiler = true;
+    } else if (auto V = Value("--with-profiler=")) {
+      Opts.WithProfiler = true;
+      bool Known = false;
+      for (ProfilingMethod M : allProfilingMethods())
+        if (*V == profilingMethodName(M)) {
+          Opts.ProfMethod = M;
+          Known = true;
+        }
+      if (!Known) {
+        std::cerr << "error: unknown profiling method '" << *V << "'\n";
+        std::exit(2);
+      }
     } else if (auto V = Value("--json=")) {
       Opts.JsonPath = *V;
     } else if (Arg == "--no-json") {

@@ -7,7 +7,8 @@
 # the pipeline's phase spans. When given the sprof-inspect binary it also
 # smoke-tests its summary and diff modes against the fresh reports, and
 # when given a bench-trajectory point it validates the
-# "sprof.bench_point/1" schema. Wired into ctest as `telemetry_schema`.
+# "sprof.bench_point/2" schema (accepting legacy /1 points, which predate
+# the wall-clock compare geomeans). Wired into ctest as `telemetry_schema`.
 #
 # Usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]
 #            [/path/to/sprof-inspect] [/path/to/bench_point.json]
@@ -190,12 +191,20 @@ import sys
 with open(sys.argv[1]) as f:
     point = json.load(f)
 failures = []
-if point.get("schema") != "sprof.bench_point/1":
-    failures.append(f"unexpected schema: {point.get('schema')!r}")
+schema = point.get("schema")
+if schema not in ("sprof.bench_point/1", "sprof.bench_point/2"):
+    failures.append(f"unexpected schema: {schema!r}")
 for key in ("date", "geomean_speedup", "profiling_overhead",
             "prefetch_useful_ratio", "accuracy_score"):
     if key not in point:
         failures.append(f"bench point missing {key!r}")
+if schema == "sprof.bench_point/2":
+    # v2 adds the wall-clock compare geomeans for the memsys-attached and
+    # profiler-attached configurations.
+    for key in ("engine_wall_speedup", "memsys_wall_speedup",
+                "profiled_wall_speedup"):
+        if key not in point:
+            failures.append(f"bench point missing {key!r}")
 for key in ("geomean_speedup", "prefetch_useful_ratio", "accuracy_score"):
     value = point.get(key)
     if not isinstance(value, (int, float)) or value < 0:

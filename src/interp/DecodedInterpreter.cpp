@@ -97,6 +97,24 @@ RunStats DecodedInterpreter::runImpl(uint64_t MaxInstructions,
   uint64_t RuntimeCyc = 0;
   uint64_t *SiteCounts = Stats.SiteCounts.data();
 
+  // Batched profiling (no-memsys runs only): ProfStride traps append to a
+  // fixed ring drained in blocks through StrideProfiler::profileBatch.
+  // Deferring the simulated cost is safe here because nothing between two
+  // drains reads SPROF_NOW() when HasMem is false; with a memory system
+  // attached the trap cost must reach Now before the next access is timed,
+  // so that specialization stays on the per-event profile() call.
+  StrideEvent *Ring = nullptr;
+  uint32_t RingN = 0;
+  uint32_t RingCap = 0;
+  if constexpr (!HasMem) {
+    if (Profiler) {
+      RingCap = StrideBatchWindow;
+      if (StrideRing.size() < RingCap)
+        StrideRing.resize(RingCap);
+      Ring = StrideRing.data();
+    }
+  }
+
 // Reads a pre-decoded operand: one unconditional load, whether the operand
 // was a register or a decode-time immediate (constant slot).
 #define SPROF_VAL(O) (Regs[O])
@@ -130,8 +148,12 @@ RunStats DecodedInterpreter::runImpl(uint64_t MaxInstructions,
 // and perfectly predicted when not taken; no simulated effect when taken.
 #define SPROF_STEP_PREFETCH_HINT(P)                                          \
   do {                                                                       \
-    if (__builtin_expect((P)->PrefetchDst, 0))                               \
-      Memory.prefetchHost(static_cast<uint64_t>(Regs[(P)->Dst]));            \
+    if (__builtin_expect((P)->PrefetchDst, 0)) {                             \
+      uint64_t Hint_ = static_cast<uint64_t>(Regs[(P)->Dst]);                \
+      Memory.prefetchHost(Hint_);                                            \
+      if constexpr (HasMem)                                                  \
+        Mem->prefetchLanes(Hint_);                                           \
+    }                                                                        \
   } while (0)
 
 #define SPROF_STEP_Add(P)                                                    \
@@ -167,6 +189,8 @@ RunStats DecodedInterpreter::runImpl(uint64_t MaxInstructions,
 #define SPROF_STEP_Load(P)                                                   \
   do {                                                                       \
     uint64_t Addr_ = static_cast<uint64_t>(Regs[(P)->A] + (P)->Imm);         \
+    if constexpr (HasMem)                                                    \
+      Mem->prefetchLanes(Addr_);                                             \
     Regs[(P)->Dst] = Memory.read64(Addr_);                                   \
     SPROF_STEP_PREFETCH_HINT(P);                                             \
     SPROF_CHARGE(TM.LoadBaseCost);                                           \
@@ -403,6 +427,8 @@ next_inst:
       // for address computation but never stalls the pipeline; it touches
       // the cache like a prefetch.
       uint64_t Addr = static_cast<uint64_t>(SPROF_VAL(I->A) + I->Imm);
+      if constexpr (HasMem)
+        Mem->prefetchLanes(Addr);
       Regs[I->Dst] = Memory.read64(Addr);
       if constexpr (HasMem)
         Mem->prefetch(Addr, SPROF_NOW(), I->SiteId);
@@ -501,10 +527,20 @@ next_inst:
     }
     SPROF_OP(ProfStride) {
       uint64_t Addr = static_cast<uint64_t>(SPROF_VAL(I->A) + I->Imm);
-      uint64_t Cost = 0;
-      if (Profiler)
-        Cost = Profiler->profile(I->SiteId, Addr, LoadRefs + 1);
-      RuntimeCyc += Cost;
+      if constexpr (HasMem) {
+        uint64_t Cost = 0;
+        if (Profiler)
+          Cost = Profiler->profile(I->SiteId, Addr, LoadRefs + 1);
+        RuntimeCyc += Cost;
+      } else {
+        if (Profiler) {
+          Ring[RingN] = StrideEvent{Addr, LoadRefs + 1, I->SiteId};
+          if (++RingN == RingCap) {
+            RuntimeCyc += Profiler->profileBatch(Ring, RingN);
+            RingN = 0;
+          }
+        }
+      }
       ++Tally.StrideTraps;
       SPROF_NEXT();
     }
@@ -563,6 +599,15 @@ next_inst:
 #endif
 
 run_done:
+  if constexpr (!HasMem) {
+    // Flush the partial block so every queued trap is accounted exactly
+    // as the per-event path would have, on every exit (halt, entry
+    // return, or MaxInstructions truncation).
+    if (RingN != 0) {
+      RuntimeCyc += Profiler->profileBatch(Ring, RingN);
+      RingN = 0;
+    }
+  }
   Stats.Cycles = SPROF_NOW();
   Stats.Instructions = NInsts;
   Stats.LoadRefs = LoadRefs;

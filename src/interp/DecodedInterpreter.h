@@ -34,9 +34,11 @@ class DecodedInterpreter {
 public:
   DecodedInterpreter(const DecodedProgram &DP, uint32_t NumLoadSites,
                      const TimingModel &Timing, SimMemory &Memory,
-                     std::vector<uint64_t> &Counters)
+                     std::vector<uint64_t> &Counters,
+                     uint32_t StrideBatchWindow = 256)
       : DP(DP), NumLoadSites(NumLoadSites), Timing(Timing), Memory(Memory),
-        Counters(Counters) {}
+        Counters(Counters),
+        StrideBatchWindow(StrideBatchWindow ? StrideBatchWindow : 1) {}
 
   /// Per-run attachments (may change between runs of one Interpreter).
   void attach(MemoryHierarchy *MH, StrideProfiler *SP) {
@@ -69,11 +71,16 @@ private:
   std::vector<uint64_t> &Counters;
   MemoryHierarchy *Mem = nullptr;
   StrideProfiler *Profiler = nullptr;
+  /// See InterpreterConfig::StrideBatchWindow (normalized to >= 1).
+  uint32_t StrideBatchWindow;
 
   // Frame/register pool: grows to the run's high-water mark once, then
   // every Call reuses the storage.
   std::vector<DFrame> Frames;
   std::vector<int64_t> RegStack;
+  /// Stride-event ring for the batched profiling path (runImpl<false>);
+  /// capacity retained across runs like the pools above.
+  std::vector<StrideEvent> StrideRing;
 };
 
 } // namespace sprof

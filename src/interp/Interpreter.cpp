@@ -105,7 +105,8 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
     if (!Decoded) {
       Decoded = std::make_unique<DecodedProgram>(M);
       DecodedExec = std::make_unique<DecodedInterpreter>(
-          *Decoded, M.NumLoadSites, Timing, Memory, Counters);
+          *Decoded, M.NumLoadSites, Timing, Memory, Counters,
+          Config.StrideBatchWindow);
     }
     DecodedExec->attach(Mem, Profiler);
     Stats = DecodedExec->run(MaxInstructions, Tally);

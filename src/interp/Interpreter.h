@@ -71,6 +71,17 @@ struct InterpreterConfig {
   enum class Engine { Reference, Decoded };
 
   Engine Exec = Engine::Decoded;
+
+  /// Capacity of the Decoded engine's stride-event ring: ProfStride traps
+  /// queue (site, address, global-ref-index) records and drain them in
+  /// blocks through StrideProfiler::profileBatch instead of calling into
+  /// the runtime per event. Bit-identical to per-event profiling for any
+  /// window (tests force tiny windows so drains straddle chunk-phase
+  /// flips). Used only when no MemoryHierarchy is attached: with a cache
+  /// attached, each trap's simulated cost must land in the running cycle
+  /// count *before* the next access is timed, so the engine stays on the
+  /// per-event path. 0 behaves as 1.
+  uint32_t StrideBatchWindow = 256;
 };
 
 /// Outcome and accounting of one program run.

@@ -7,32 +7,67 @@
 #include "memsys/Cache.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 using namespace sprof;
 
 CacheLevel::CacheLevel(const CacheLevelConfig &Config) : Config(Config) {
   assert(Config.SizeBytes % (Config.LineBytes * Config.Associativity) == 0 &&
          "cache size must be a whole number of sets");
-  NumSets = Config.SizeBytes / (Config.LineBytes * Config.Associativity);
-  Ways.resize(NumSets * Config.Associativity);
+  uint64_t RawSets = Config.SizeBytes / (Config.LineBytes * Config.Associativity);
+  assert(RawSets > 0 && "cache must have at least one set");
+  // Round the set count up to a power of two so set selection is a mask.
+  // Every shipped configuration is already a power of two; a non-pow2
+  // config gains capacity rather than aliasing sets.
+  NumSets = std::bit_ceil(RawSets);
+  SetMask = NumSets - 1;
+  Assoc = Config.Associativity;
+  BlockStride = 4 * static_cast<size_t>(Assoc);
+  // Carve the lane storage from 2MB-aligned, huge-page-advised memory (see
+  // the member comment in Cache.h): the L3 block array alone is ~1MB and
+  // is indexed randomly, so 4KB pages would cost a dTLB walk per probe.
+  size_t Words = NumSets * BlockStride;
+  size_t Bytes = (Words * sizeof(uint64_t) + BlockAlign - 1) &
+                 ~(BlockAlign - 1);
+  auto *Raw =
+      static_cast<uint64_t *>(::operator new(Bytes, std::align_val_t(BlockAlign)));
+#if defined(__linux__)
+  ::madvise(Raw, Bytes, MADV_HUGEPAGE);
+#endif
+  std::memset(Raw, 0, Words * sizeof(uint64_t));
+  Blocks.reset(Raw);
+  for (uint64_t Set = 0; Set != NumSets; ++Set) {
+    uint64_t *B = Blocks.get() + Set * BlockStride;
+    for (unsigned W = 0; W != Assoc; ++W) {
+      B[W] = InvalidTag;
+      B[3 * Assoc + W] = NoSiteId;
+    }
+  }
+  Mru.assign(NumSets, 0);
 }
 
 bool CacheLevel::probe(uint64_t LineAddr, uint64_t &ReadyTime,
                        bool *WasUnusedPrefetch, uint32_t *PrefetchSite) {
-  uint64_t Set = LineAddr % NumSets;
-  Way *Base = &Ways[Set * Config.Associativity];
-  for (unsigned W = 0; W != Config.Associativity; ++W) {
-    Way &Entry = Base[W];
-    if (Entry.Valid && Entry.Tag == LineAddr) {
-      Entry.LastUse = ++UseClock;
-      ReadyTime = Entry.ReadyTime;
+  uint64_t Set = LineAddr & SetMask;
+  uint64_t *B = Blocks.get() + Set * BlockStride;
+  for (unsigned W = 0; W != Assoc; ++W) {
+    uint64_t T = B[W];
+    if ((T & ~MarkBit) == LineAddr) {
+      B[Assoc + W] = ++UseClock;
+      Mru[Set] = W;
+      ReadyTime = B[2 * Assoc + W];
       if (WasUnusedPrefetch) {
-        *WasUnusedPrefetch = Entry.UnusedPrefetch;
-        Entry.UnusedPrefetch = false;
+        *WasUnusedPrefetch = (T & MarkBit) != 0;
+        B[W] = LineAddr; // clear the mark; the site word is left stale
       }
       if (PrefetchSite)
-        *PrefetchSite = Entry.PrefetchSite;
+        *PrefetchSite = static_cast<uint32_t>(B[3 * Assoc + W]);
       return true;
     }
   }
@@ -41,60 +76,79 @@ bool CacheLevel::probe(uint64_t LineAddr, uint64_t &ReadyTime,
 
 void CacheLevel::fill(uint64_t LineAddr, uint64_t ReadyTime, bool Prefetched,
                       uint32_t PrefetchSite) {
-  uint64_t Set = LineAddr % NumSets;
-  Way *Base = &Ways[Set * Config.Associativity];
-  // Reuse an existing entry for the same line (refresh ready time; keep the
-  // entry's prefetch mark and site untouched).
-  for (unsigned W = 0; W != Config.Associativity; ++W) {
-    Way &Entry = Base[W];
-    if (Entry.Valid && Entry.Tag == LineAddr) {
-      Entry.ReadyTime = std::min(Entry.ReadyTime, ReadyTime);
-      Entry.LastUse = ++UseClock;
+  uint64_t Set = LineAddr & SetMask;
+  uint64_t *B = Blocks.get() + Set * BlockStride;
+  // Refresh an existing entry for the same line: earliest ready time wins,
+  // the touch bumps LRU recency, and the prefetch mark/site stay untouched
+  // (the original prefetch still owns the line's outcome). See the header
+  // comment for when this path is reached.
+  for (unsigned W = 0; W != Assoc; ++W) {
+    if ((B[W] & ~MarkBit) == LineAddr) {
+      B[2 * Assoc + W] = std::min(B[2 * Assoc + W], ReadyTime);
+      B[Assoc + W] = ++UseClock;
+      Mru[Set] = W;
       return;
     }
   }
+  fillMiss(LineAddr, ReadyTime, Prefetched, PrefetchSite);
+}
+
+void CacheLevel::fillMiss(uint64_t LineAddr, uint64_t ReadyTime,
+                          bool Prefetched, uint32_t PrefetchSite) {
+  assert(LineAddr < MarkBit && "line address collides with the mark bit");
+  uint64_t Set = LineAddr & SetMask;
+  uint64_t *B = Blocks.get() + Set * BlockStride;
   // Victim: first invalid way, else LRU.
-  Way *Victim = Base;
-  for (unsigned W = 0; W != Config.Associativity; ++W) {
-    Way &Entry = Base[W];
-    if (!Entry.Valid) {
-      Victim = &Entry;
+  unsigned Victim = 0;
+  for (unsigned W = 0; W != Assoc; ++W) {
+    if (B[W] == InvalidTag) {
+      Victim = W;
       break;
     }
-    if (Entry.LastUse < Victim->LastUse)
-      Victim = &Entry;
+    if (B[Assoc + W] < B[Assoc + Victim])
+      Victim = W;
   }
-  if (Victim->Valid && Victim->UnusedPrefetch) {
+  uint64_t VT = B[Victim];
+  if (VT != InvalidTag && (VT & MarkBit)) {
     if (EvictUnusedCounter)
       ++*EvictUnusedCounter;
     if (Attr)
-      Attr->recordEarly(Victim->PrefetchSite);
+      Attr->recordEarly(static_cast<uint32_t>(B[3 * Assoc + Victim]));
   }
-  Victim->Valid = true;
-  Victim->Tag = LineAddr;
-  Victim->ReadyTime = ReadyTime;
-  Victim->LastUse = ++UseClock;
-  Victim->UnusedPrefetch = Prefetched;
-  Victim->PrefetchSite = PrefetchSite;
+  B[Victim] = Prefetched ? (LineAddr | MarkBit) : LineAddr;
+  B[2 * Assoc + Victim] = ReadyTime;
+  B[Assoc + Victim] = ++UseClock;
+  B[3 * Assoc + Victim] = PrefetchSite;
+  Mru[Set] = Victim;
 }
 
 void CacheLevel::drainUnusedPrefetches(AttributionData &A) {
-  for (Way &Entry : Ways)
-    if (Entry.Valid && Entry.UnusedPrefetch) {
-      A.recordEarly(Entry.PrefetchSite);
-      Entry.UnusedPrefetch = false;
+  for (uint64_t Set = 0; Set != NumSets; ++Set) {
+    uint64_t *B = Blocks.get() + Set * BlockStride;
+    for (unsigned W = 0; W != Assoc; ++W) {
+      uint64_t T = B[W];
+      if (T != InvalidTag && (T & MarkBit)) {
+        A.recordEarly(static_cast<uint32_t>(B[3 * Assoc + W]));
+        B[W] = T & ~MarkBit;
+      }
     }
+  }
 }
 
 MemoryHierarchy::MemoryHierarchy(const MemoryConfig &Config)
     : Config(Config) {
   assert(!Config.Levels.empty() && "hierarchy needs at least one level");
   LineBytes = Config.Levels.front().LineBytes;
+  LineBytesPow2 = std::has_single_bit(static_cast<uint64_t>(LineBytes));
+  LineShift = LineBytesPow2
+                  ? std::countr_zero(static_cast<uint64_t>(LineBytes))
+                  : 0;
   for (const CacheLevelConfig &L : Config.Levels) {
     assert(L.LineBytes == LineBytes &&
            "all levels must share one line size");
     Levels.emplace_back(L);
   }
+  L1HitLatency = Config.Levels.front().HitLatency;
   Stats.Levels.resize(Levels.size());
   // Prefetch usefulness is accounted at the L1 level.
   Levels.front().setEvictUnusedCounter(&Stats.PrefetchesUnused);
@@ -107,11 +161,14 @@ size_t MemoryHierarchy::findLine(uint64_t Line, uint64_t &ReadyTime) {
   return Levels.size();
 }
 
-uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now,
-                                       uint32_t SiteId) {
-  ++Stats.DemandAccesses;
-  uint64_t Line = lineAddr(Addr);
+uint64_t MemoryHierarchy::demandAccessSlow(uint64_t Line, uint64_t Now,
+                                           uint32_t SiteId) {
   uint64_t ReadyTime = 0;
+  // Overlap the lower levels' lane fetches with the L1 scan: their set
+  // rows live in arrays large enough to miss the *host* cache on
+  // pointer-chasing workloads.
+  for (size_t L = 1; L < Levels.size(); ++L)
+    Levels[L].prefetchSet(Line);
   // Probe L1 separately so first use of a prefetched line is observed.
   size_t Hit;
   bool FirstPrefetchUse = false;
@@ -132,13 +189,14 @@ uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now,
   uint64_t Latency;
   bool StillInFlight = false;
   if (Hit == Levels.size()) {
-    // Full miss: stall to memory.
+    // Full miss: stall to memory. Every level was just probed and missed,
+    // so the fills can skip the refresh scan.
     Latency = Config.MemoryLatency;
     ++Stats.Levels.back().Misses;
     for (size_t L = 0; L != Levels.size(); ++L) {
       if (L < Levels.size() - 1)
         ++Stats.Levels[L].Misses;
-      Levels[L].fill(Line, Now + Latency);
+      Levels[L].fillMiss(Line, Now + Latency);
     }
   } else {
     // Hit at level Hit; latency is that level's hit latency, plus any
@@ -154,7 +212,7 @@ uint64_t MemoryHierarchy::demandAccess(uint64_t Addr, uint64_t Now,
     ++Stats.Levels[Hit].Hits;
     for (size_t L = 0; L != Hit; ++L) {
       ++Stats.Levels[L].Misses;
-      Levels[L].fill(Line, Now + Latency);
+      Levels[L].fillMiss(Line, Now + Latency);
     }
   }
   // The first hit-latency cycles overlap with the pipeline's base load
@@ -197,9 +255,13 @@ void MemoryHierarchy::prefetch(uint64_t Addr, uint64_t Now, uint32_t SiteId) {
   uint64_t Ready = Now + Latency;
   if (Hit != Levels.size() && ReadyTime > Now)
     Ready = std::max(Ready, ReadyTime);
+  // Levels below the providing one were just probed and missed. On a full
+  // miss this first pass covers every level, and the completion pass below
+  // re-fills them through the refresh path (earliest-ready-time merge plus
+  // one extra LRU touch per level) -- pinned in tests/test_memsys.cpp.
   for (size_t L = 0; L != Hit && L != Levels.size(); ++L)
-    Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0,
-                   L == 0 ? SiteId : NoSiteId);
+    Levels[L].fillMiss(Line, Ready, /*Prefetched=*/L == 0,
+                       L == 0 ? SiteId : NoSiteId);
   if (Hit == Levels.size())
     for (size_t L = 0; L != Levels.size(); ++L)
       Levels[L].fill(Line, Ready, /*Prefetched=*/L == 0,
@@ -226,4 +288,3 @@ void MemoryHierarchy::finalizeAttribution() {
   Levels.front().drainUnusedPrefetches(Attr);
   Attr.Finalized = true;
 }
-

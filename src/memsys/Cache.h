@@ -15,12 +15,27 @@
 /// the remaining cycles (a "late" prefetch), which is exactly the effect
 /// the paper's prefetch-distance heuristic trades against cache pollution.
 ///
+/// The per-level storage is structure-of-arrays *per set*: each set owns
+/// one contiguous block of field lanes -- [tags][ready][last-use][site] --
+/// so a probe, fill, and victim scan together touch one or two host cache
+/// lines instead of five scattered global arrays. The unused-prefetch mark
+/// lives in the tag word's top bit (line addresses never reach it), which
+/// makes a marked line fail the tag compare of the MRU fast path for free.
+/// The set count is rounded up to a power of two so set selection is a
+/// single mask, and each set remembers its most-recently-hit way, giving
+/// demand accesses an MRU way-prediction fast path that touches one tag
+/// before falling back to the associative scan. All of this is encoding
+/// only: hit/miss outcomes, LRU victim choice, timing, and attribution are
+/// bit-identical to the straightforward array-of-structs formulation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPROF_MEMSYS_CACHE_H
 #define SPROF_MEMSYS_CACHE_H
 
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -180,6 +195,12 @@ struct MemoryStats {
 };
 
 /// One set-associative, LRU, timing-aware cache level.
+///
+/// Storage is structure-of-arrays (one contiguous lane per field, set-major)
+/// and the set count is rounded up to a power of two at construction, so the
+/// set index is `LineAddr & SetMask` -- behaviour-identical for any config
+/// whose raw set count is already a power of two (all shipped ones), and a
+/// documented capacity round-up otherwise.
 class CacheLevel {
 public:
   explicit CacheLevel(const CacheLevelConfig &Config);
@@ -194,11 +215,59 @@ public:
              bool *WasUnusedPrefetch = nullptr,
              uint32_t *PrefetchSite = nullptr);
 
+  /// MRU way-prediction fast probe: checks only the set's last-hit way.
+  /// Returns true -- refreshing LRU exactly as probe() would -- only for a
+  /// plain hit on an *unmarked* line; a line still carrying its
+  /// unused-prefetch mark has the mark bit set in its tag word, fails the
+  /// exact compare, and so deliberately falls back to the full probe()
+  /// which observes (and clears) the first demand touch for outcome
+  /// attribution. A false return means "take the slow path", not "miss".
+  bool probeMru(uint64_t LineAddr, uint64_t &ReadyTime) {
+    uint64_t Set = LineAddr & SetMask;
+    uint64_t *B = Blocks.get() + Set * BlockStride;
+    uint32_t W = Mru[Set];
+    if (B[W] != LineAddr)
+      return false;
+    B[Assoc + W] = ++UseClock;
+    ReadyTime = B[2 * Assoc + W];
+    return true;
+  }
+
   /// Inserts \p LineAddr with the given ready time, evicting the LRU way.
   /// \p Prefetched marks the line as an as-yet-unused prefetch issued by
   /// load site \p PrefetchSite.
+  ///
+  /// Refresh path (line already resident): the entry keeps its prefetch
+  /// mark and issuing site untouched (so attribution still retires the
+  /// original prefetch), its ready time becomes the *earlier* of the two
+  /// fills, and its LRU stamp is bumped as a fresh touch. This path is
+  /// reachable from MemoryHierarchy::prefetch on a full miss, which fills
+  /// every level and then re-fills them in its completion pass -- the
+  /// second fill of each line refreshes (one extra LRU bump per level).
+  /// tests/test_memsys.cpp pins this behaviour.
   void fill(uint64_t LineAddr, uint64_t ReadyTime, bool Prefetched = false,
             uint32_t PrefetchSite = NoSiteId);
+
+  /// Hints the host CPU to pull this line's set block (tag and LRU lanes)
+  /// into its own cache. Pure host-side latency hiding for the probe/fill
+  /// that is about to happen -- no simulated state is touched.
+  void prefetchSet(uint64_t LineAddr) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const uint64_t *B = Blocks.get() + (LineAddr & SetMask) * BlockStride;
+    __builtin_prefetch(B);
+    __builtin_prefetch(B + 2 * Assoc);
+#else
+    (void)LineAddr;
+#endif
+  }
+
+  /// Combined probe-or-fill miss half: inserts \p LineAddr exactly like
+  /// fill() but skips the refresh scan. Only valid when the caller has
+  /// just probed this level for the same line and missed (the demand-path
+  /// fills in MemoryHierarchy::demandAccess), so the refresh scan is
+  /// guaranteed to find nothing.
+  void fillMiss(uint64_t LineAddr, uint64_t ReadyTime, bool Prefetched = false,
+                uint32_t PrefetchSite = NoSiteId);
 
   /// When set, incremented every time an unused prefetched line is
   /// evicted (pollution accounting).
@@ -217,22 +286,50 @@ public:
 
   const CacheLevelConfig &config() const { return Config; }
 
+  /// Actual set count after the power-of-two round-up.
+  uint64_t numSets() const { return NumSets; }
+
 private:
-  struct Way {
-    uint64_t Tag = ~0ull;
-    uint64_t ReadyTime = 0;
-    uint64_t LastUse = 0;
-    uint32_t PrefetchSite = NoSiteId;
-    bool Valid = false;
-    bool UnusedPrefetch = false;
-  };
+  /// Tag-word bit carrying the unused-prefetch mark. Line addresses are
+  /// byte addresses divided by the line size; fillMiss asserts they stay
+  /// below it.
+  static constexpr uint64_t MarkBit = 1ull << 63;
+  /// Tag-lane value marking an empty way (mark bit set plus every address
+  /// bit, so it matches neither an exact nor a mark-masked compare).
+  static constexpr uint64_t InvalidTag = ~0ull;
 
   uint64_t *EvictUnusedCounter = nullptr;
   AttributionData *Attr = nullptr;
 
   CacheLevelConfig Config;
   uint64_t NumSets;
-  std::vector<Way> Ways; // NumSets * Associativity, set-major
+  uint64_t SetMask;
+  unsigned Assoc;
+  /// BlockStride = 4 * Assoc u64 words per set.
+  size_t BlockStride;
+  /// Lane storage is aligned to (and advised toward) 2MB transparent huge
+  /// pages: a large level's randomly-indexed blocks would otherwise pay a
+  /// host-dTLB walk on nearly every probe, the same problem SimMemory's
+  /// slab pool solves for the simulated image.
+  static constexpr size_t BlockAlign = 2ull << 20;
+  struct BlockDeleter {
+    void operator()(uint64_t *P) const {
+      ::operator delete(P, std::align_val_t(BlockAlign));
+    }
+  };
+  /// Per-set field lanes, one contiguous block per set:
+  ///   words [0, A)   tag | mark-bit (InvalidTag when empty)
+  ///   words [A, 2A)  LRU use stamp
+  ///   words [2A, 3A) ready time
+  ///   words [3A, 4A) issuing prefetch site
+  /// where A = Assoc. Tags and use stamps lead the block so the dominant
+  /// full-miss path (tag scan + LRU victim scan + fill) *loads* only from
+  /// the block's first host cache line at 4-way; ready/site in the tail
+  /// are written (store-buffered, non-stalling) on a fill and loaded only
+  /// on a hit. NumSets * BlockStride words total.
+  std::unique_ptr<uint64_t[], BlockDeleter> Blocks;
+  /// Per-set index of the most-recently-hit (or -filled) way.
+  std::vector<uint32_t> Mru;
   uint64_t UseClock = 0;
 };
 
@@ -242,11 +339,48 @@ class MemoryHierarchy {
 public:
   explicit MemoryHierarchy(const MemoryConfig &Config);
 
+  /// Host-side prefetch of every level's set block for \p Addr's line:
+  /// pure latency hiding, issued by the engines as soon as a load address
+  /// is known so the lane fetches overlap the simulated-memory read that
+  /// precedes the demandAccess/prefetch of the same address. Touches no
+  /// simulated state.
+  void prefetchLanes(uint64_t Addr) const {
+    uint64_t Line = lineAddr(Addr);
+    for (const CacheLevel &L : Levels)
+      L.prefetchSet(Line);
+  }
+
   /// Demand load of \p Addr at cycle \p Now, attributed to load site
   /// \p SiteId when attribution is enabled.
   /// \returns the total load-to-use latency in cycles (>= L1 hit latency).
+  ///
+  /// The combined probe-or-fill entry point: the MRU-predicted L1 hit
+  /// (the overwhelmingly common case) completes here, inline in the
+  /// caller, in a handful of instructions; everything else -- L1 scan
+  /// hit, lower-level hit, full miss and its fills -- takes the
+  /// out-of-line slow path. The fast path is the general path specialised
+  /// for Hit == 0 and FirstPrefetchUse == false (prefetch-marked lines
+  /// fail probeMru by design so attribution observes their first touch).
   uint64_t demandAccess(uint64_t Addr, uint64_t Now,
-                        uint32_t SiteId = NoSiteId);
+                        uint32_t SiteId = NoSiteId) {
+    ++Stats.DemandAccesses;
+    uint64_t Line = lineAddr(Addr);
+    uint64_t ReadyTime;
+    if (Levels[0].probeMru(Line, ReadyTime)) {
+      uint64_t Latency = L1HitLatency;
+      if (ReadyTime > Now && ReadyTime - Now > Latency)
+        Latency = ReadyTime - Now;
+      ++Stats.Levels[0].Hits;
+      Stats.StallCycles += Latency;
+      if (Attr.Enabled) {
+        SiteMissStats &SM = Attr.SiteMiss[Attr.indexFor(SiteId)];
+        ++SM.Accesses;
+        SM.StallCycles += Latency;
+      }
+      return Latency;
+    }
+    return demandAccessSlow(Line, Now, SiteId);
+  }
 
   /// Non-blocking prefetch of \p Addr issued at cycle \p Now by load site
   /// \p SiteId. Fills every level with ready time Now + (latency of the
@@ -269,7 +403,15 @@ public:
   unsigned lineBytes() const { return LineBytes; }
 
 private:
-  uint64_t lineAddr(uint64_t Addr) const { return Addr / LineBytes; }
+  /// Per-access address-to-line mapping: a shift for the (universal)
+  /// power-of-two line sizes, a division otherwise. The branch is
+  /// perfectly predicted; the division it avoids is not cheap.
+  uint64_t lineAddr(uint64_t Addr) const {
+    return LineBytesPow2 ? (Addr >> LineShift) : (Addr / LineBytes);
+  }
+
+  /// demandAccess continuation once the L1 fast probe has failed.
+  uint64_t demandAccessSlow(uint64_t Line, uint64_t Now, uint32_t SiteId);
 
   /// Finds the first level holding the line. Returns the level index and
   /// its ready time, or Levels.size() on full miss.
@@ -278,6 +420,10 @@ private:
   MemoryConfig Config;
   std::vector<CacheLevel> Levels;
   unsigned LineBytes;
+  bool LineBytesPow2;
+  unsigned LineShift;
+  /// Cached Levels[0] hit latency for the demand-access fast path.
+  uint64_t L1HitLatency;
   MemoryStats Stats;
   AttributionData Attr;
 };

@@ -30,6 +30,19 @@ void Histogram::record(uint64_t Sample) {
   Max = std::max(Max, Sample);
 }
 
+void Histogram::record(uint64_t Sample, uint64_t N) {
+  if (N == 0)
+    return;
+  size_t Idx = static_cast<size_t>(
+      std::lower_bound(UpperBounds.begin(), UpperBounds.end(), Sample) -
+      UpperBounds.begin());
+  Buckets[Idx] += N;
+  Count += N;
+  Sum += Sample * N;
+  Min = std::min(Min, Sample);
+  Max = std::max(Max, Sample);
+}
+
 void Histogram::merge(const Histogram &Other) {
   if (Other.Count == 0)
     return;
@@ -52,6 +65,16 @@ std::vector<uint64_t> Histogram::exponentialBounds(uint64_t Start,
     B *= 2;
   }
   return Bounds;
+}
+
+Counter &sprof::dummyCounter() {
+  static thread_local Counter C;
+  return C;
+}
+
+Histogram &sprof::dummyHistogram() {
+  static thread_local Histogram H{std::vector<uint64_t>{}};
+  return H;
 }
 
 Counter &MetricsRegistry::counter(std::string_view Name) {

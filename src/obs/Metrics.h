@@ -62,6 +62,12 @@ public:
 
   void record(uint64_t Sample);
 
+  /// Records \p N occurrences of \p Sample in one update; final state is
+  /// identical to N single record(Sample) calls. Lets batched producers
+  /// (StrideProfiler::profileBatch) report a whole block of equal-cost
+  /// events with one bucket lookup.
+  void record(uint64_t Sample, uint64_t N);
+
   uint64_t count() const { return Count; }
   uint64_t sum() const { return Sum; }
   uint64_t min() const { return Count ? Min : 0; }
@@ -127,6 +133,17 @@ private:
   std::map<std::string, Gauge, std::less<>> Gauges;
   std::map<std::string, Histogram, std::less<>> Histograms;
 };
+
+/// Statically-allocated write-only sinks for the null-object pattern:
+/// producers that would otherwise test `if (Sink)` on every event instead
+/// resolve their sink pointers once -- to a real registry metric when a
+/// session is attached, to these throwaway objects when not -- and write
+/// unconditionally. The dummies are thread-local so concurrent engine jobs
+/// never share (or race on) a cache line; their contents are never read.
+/// The dummy histogram has no bucket bounds, so a record() into it is a
+/// handful of scalar updates.
+Counter &dummyCounter();
+Histogram &dummyHistogram();
 
 } // namespace sprof
 

@@ -14,17 +14,24 @@
 
 using namespace sprof;
 
-LfuValueProfiler::LfuValueProfiler(const LfuConfig &Config) : Config(Config) {
+LfuValueProfiler::LfuValueProfiler(const LfuConfig &Config)
+    : Config(Config), ObsWork(&dummyHistogram()), ObsMerges(&dummyCounter()) {
   assert(Config.TempSize > 0 && "temp buffer must have at least one entry");
   assert(Config.FinalSize > 0 && "final buffer must have at least one entry");
   Temp.reserve(Config.TempSize);
   Final.reserve(Config.FinalSize + Config.TempSize);
+  TopScratch.reserve(Config.FinalSize + Config.TempSize);
+}
+
+void LfuValueProfiler::attachObs(Histogram *WorkHistogram,
+                                 Counter *MergeCounter) {
+  ObsWork = WorkHistogram ? WorkHistogram : &dummyHistogram();
+  ObsMerges = MergeCounter ? MergeCounter : &dummyCounter();
 }
 
 unsigned LfuValueProfiler::add(int64_t Value) {
   unsigned Work = addImpl(Value);
-  if (ObsWork)
-    ObsWork->record(Work);
+  ObsWork->record(Work);
   return Work;
 }
 
@@ -62,8 +69,7 @@ unsigned LfuValueProfiler::addImpl(int64_t Value) {
 
 unsigned LfuValueProfiler::merge() {
   ++NumMerges;
-  if (ObsMerges)
-    ObsMerges->inc();
+  ObsMerges->inc();
   UpdatesSinceMerge = 0;
 
   // Combine: fold temp entries into the final buffer, coalescing values
@@ -98,25 +104,28 @@ unsigned LfuValueProfiler::merge() {
 }
 
 std::vector<ValueCount> LfuValueProfiler::topValues() const {
-  std::vector<ValueCount> Merged = Final;
+  // Build the snapshot in the reused scratch buffer (capacity reserved at
+  // construction, retained across calls); ordering is unchanged.
+  TopScratch.clear();
+  TopScratch.insert(TopScratch.end(), Final.begin(), Final.end());
   for (const ValueCount &T : Temp) {
     bool Found = false;
-    for (ValueCount &F : Merged)
+    for (ValueCount &F : TopScratch)
       if (sameValue(F.Value, T.Value)) {
         F.Count += T.Count;
         Found = true;
         break;
       }
     if (!Found)
-      Merged.push_back(T);
+      TopScratch.push_back(T);
   }
-  std::sort(Merged.begin(), Merged.end(),
+  std::sort(TopScratch.begin(), TopScratch.end(),
             [](const ValueCount &A, const ValueCount &B) {
               if (A.Count != B.Count)
                 return A.Count > B.Count;
               return A.Value < B.Value;
             });
-  if (Merged.size() > Config.FinalSize)
-    Merged.resize(Config.FinalSize);
-  return Merged;
+  if (TopScratch.size() > Config.FinalSize)
+    TopScratch.resize(Config.FinalSize);
+  return TopScratch;
 }

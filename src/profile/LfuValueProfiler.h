@@ -77,12 +77,10 @@ public:
   uint64_t numMerges() const { return NumMerges; }
 
   /// Telemetry sinks (owned by an ObsSession's registry): per-add work
-  /// histogram and merge counter. Null pointers (the default) keep the
-  /// hot path at one predictable branch per add.
-  void attachObs(Histogram *WorkHistogram, Counter *MergeCounter) {
-    ObsWork = WorkHistogram;
-    ObsMerges = MergeCounter;
-  }
+  /// histogram and merge counter. Null pointers (the default) redirect to
+  /// statically-allocated dummy sinks, so the hot path writes
+  /// unconditionally and carries no per-add branch at all.
+  void attachObs(Histogram *WorkHistogram, Counter *MergeCounter);
 
   const LfuConfig &config() const { return Config; }
 
@@ -97,11 +95,15 @@ private:
   LfuConfig Config;
   std::vector<ValueCount> Temp;
   std::vector<ValueCount> Final;
+  /// Reused merge buffer for topValues(); grown once to its steady-state
+  /// capacity instead of reallocating on every snapshot.
+  mutable std::vector<ValueCount> TopScratch;
   unsigned UpdatesSinceMerge = 0;
   uint64_t TotalAdded = 0;
   uint64_t NumMerges = 0;
-  Histogram *ObsWork = nullptr;
-  Counter *ObsMerges = nullptr;
+  /// Never null: real registry metrics when attached, dummy sinks when not.
+  Histogram *ObsWork;
+  Counter *ObsMerges;
 };
 
 } // namespace sprof

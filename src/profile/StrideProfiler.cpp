@@ -9,6 +9,7 @@
 
 #include "obs/Obs.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace sprof;
@@ -16,16 +17,17 @@ using namespace sprof;
 StrideProfiler::StrideProfiler(uint32_t NumSites,
                                const StrideProfilerConfig &Config)
     : Config(Config) {
+  Hot.assign(NumSites, HotSite());
   Sites.reserve(NumSites);
   for (uint32_t I = 0; I != NumSites; ++I) {
     StrideSiteData D;
     D.Lfu = LfuValueProfiler(Config.Lfu);
     Sites.push_back(std::move(D));
   }
+  attachObs(nullptr);
 }
 
 void StrideProfiler::attachObs(ObsSession *Session) {
-  Obs = ObsSinks();
   Histogram *LfuWork = nullptr;
   Counter *LfuMerges = nullptr;
   if (Session) {
@@ -36,47 +38,144 @@ void StrideProfiler::attachObs(ObsSession *Session) {
     Obs.InvocationCost = Session->histogram("strideprof.invocation_cost");
     LfuWork = Session->histogram("lfu.add_work");
     LfuMerges = Session->counter("lfu.merges");
+  } else {
+    Obs = ObsSinks();
   }
+  // Null-object sinks: a session can also hand back null metrics (metric
+  // collection disabled); always fall back to the dummies so the hot
+  // paths never test a sink pointer.
+  if (!Obs.ChunkSkipped)
+    Obs.ChunkSkipped = &dummyCounter();
+  if (!Obs.FineSkipped)
+    Obs.FineSkipped = &dummyCounter();
+  if (!Obs.ZeroStrideFast)
+    Obs.ZeroStrideFast = &dummyCounter();
+  if (!Obs.Reanchored)
+    Obs.Reanchored = &dummyCounter();
+  if (!Obs.InvocationCost)
+    Obs.InvocationCost = &dummyHistogram();
   for (StrideSiteData &D : Sites)
     D.Lfu.attachObs(LfuWork, LfuMerges);
+}
+
+const StrideSiteData &StrideProfiler::site(uint32_t SiteId) const {
+  assert(SiteId < Sites.size() && "site id out of range");
+  const HotSite &H = Hot[SiteId];
+  StrideSiteData &D = Sites[SiteId];
+  D.PrevAddress = H.PrevAddress;
+  D.HasPrevAddress = H.HasPrevAddress != 0;
+  D.PrevStride = H.PrevStride;
+  D.HasPrevStride = H.HasPrevStride != 0;
+  D.NumberToSkip = H.NumberToSkip;
+  D.LastChunkEpoch = H.LastChunkEpoch;
+  D.PrevGlobalRef = H.PrevGlobalRef;
+  D.RefGapSum = H.RefGapSum;
+  D.RefGapCount = H.RefGapCount;
+  D.Invocations = H.Invocations;
+  return D;
 }
 
 uint64_t StrideProfiler::profile(uint32_t SiteId, uint64_t Address,
                                  uint64_t GlobalRefIndex) {
   uint64_t Cost = profileImpl(SiteId, Address, GlobalRefIndex);
-  if (Obs.InvocationCost)
-    Obs.InvocationCost->record(Cost);
+  Obs.InvocationCost->record(Cost);
+  return Cost;
+}
+
+namespace {
+
+/// Use-distance statistic (Section 6): gap in global memory references
+/// between successive visits to a site. Tracked before sampling so the
+/// average is unbiased.
+template <typename HotT>
+inline void updateRefGap(HotT &H, uint64_t GlobalRefIndex) {
+  if (GlobalRefIndex != 0) {
+    if (H.PrevGlobalRef != 0 && GlobalRefIndex > H.PrevGlobalRef) {
+      H.RefGapSum += GlobalRefIndex - H.PrevGlobalRef;
+      ++H.RefGapCount;
+    }
+    H.PrevGlobalRef = GlobalRefIndex;
+  }
+}
+
+} // namespace
+
+uint64_t StrideProfiler::processedTail(uint32_t SiteId, HotSite &H,
+                                       uint64_t Address) {
+  StrideSiteData &D = Sites[SiteId];
+  const StrideCostModel &C = Config.Costs;
+
+  ++TotalProcessed;
+  ++D.Processed;
+
+  // Re-anchor at chunk boundaries: a "stride" spanning a skipped chunk is
+  // not a stride (see StrideSiteData::LastChunkEpoch).
+  if (Config.Sampling.Enabled && H.LastChunkEpoch != ChunkEpoch) {
+    H.LastChunkEpoch = ChunkEpoch;
+    H.HasPrevAddress = 0;
+    H.HasPrevStride = 0;
+    Obs.Reanchored->inc();
+  }
+
+  // First observation of this site: just remember the address.
+  if (!H.HasPrevAddress) {
+    H.PrevAddress = Address;
+    H.HasPrevAddress = 1;
+    return C.ZeroStrideCost;
+  }
+
+  // Zero-stride shortcut (Figure 7): addresses equal under the coarsening
+  // shift bypass the heavy LFU path entirely.
+  if (sameAddress(Address, H.PrevAddress)) {
+    ++D.NumZeroStride;
+    Obs.ZeroStrideFast->inc();
+    return C.ZeroStrideCost;
+  }
+
+  int64_t Stride = static_cast<int64_t>(Address) -
+                   static_cast<int64_t>(H.PrevAddress);
+  uint64_t Cost = C.CoreCost;
+
+  // Stride-difference bookkeeping: a high share of zero differences marks
+  // a *phased* stride sequence (Figure 4), which PMST classification needs.
+  if (H.HasPrevStride) {
+    if (Stride - H.PrevStride == 0)
+      ++D.NumZeroDiff;
+    else
+      H.PrevStride = Stride;
+  } else {
+    H.PrevStride = Stride;
+    H.HasPrevStride = 1;
+  }
+
+  H.PrevAddress = Address;
+  ++D.NumNonZeroStride;
+
+  ++TotalLfuCalls;
+  ++D.LfuCalls;
+  unsigned Work = D.Lfu.add(Stride);
+  Cost += C.LfuBaseCost + static_cast<uint64_t>(C.LfuPerWorkCost) * Work;
   return Cost;
 }
 
 uint64_t StrideProfiler::profileImpl(uint32_t SiteId, uint64_t Address,
                                      uint64_t GlobalRefIndex) {
-  assert(SiteId < Sites.size() && "site id out of range");
-  StrideSiteData &D = Sites[SiteId];
+  assert(SiteId < Hot.size() && "site id out of range");
+  HotSite &H = Hot[SiteId];
   const StrideCostModel &C = Config.Costs;
 
   ++TotalInvocations;
-  ++D.Invocations;
+  ++H.Invocations;
   uint64_t Cost = C.CallOverhead;
 
-  // Use-distance statistic (Section 6): gap in global memory references
-  // between successive visits to this site. Tracked before sampling so the
-  // average is unbiased.
-  if (GlobalRefIndex != 0) {
-    if (D.PrevGlobalRef != 0 && GlobalRefIndex > D.PrevGlobalRef) {
-      D.RefGapSum += GlobalRefIndex - D.PrevGlobalRef;
-      ++D.RefGapCount;
-    }
-    D.PrevGlobalRef = GlobalRefIndex;
-  }
+  updateRefGap(H, GlobalRefIndex);
 
   if (Config.Sampling.Enabled) {
     // Chunk sampling (Figure 9): global skip/profile phases.
     Cost += C.ChunkCheckCost;
     if (NumberSkipped < Config.Sampling.ChunkSkip) {
       ++NumberSkipped;
-      if (Obs.ChunkSkipped)
-        Obs.ChunkSkipped->inc();
+      Obs.ChunkSkipped->inc();
       return Cost;
     }
     if (NumberProfiled == Config.Sampling.ChunkProfile) {
@@ -85,76 +184,116 @@ uint64_t StrideProfiler::profileImpl(uint32_t SiteId, uint64_t Address,
       NumberProfiled = 0;
       NumberSkipped = 0;
       ++ChunkEpoch;
-      if (Obs.ChunkSkipped)
-        Obs.ChunkSkipped->inc();
+      Obs.ChunkSkipped->inc();
       return Cost;
     }
     ++NumberProfiled;
 
     // Fine sampling: 1 of every FineInterval references per site.
     Cost += C.FineCheckCost;
-    if (D.NumberToSkip > 0) {
-      --D.NumberToSkip;
-      if (Obs.FineSkipped)
-        Obs.FineSkipped->inc();
+    if (H.NumberToSkip > 0) {
+      --H.NumberToSkip;
+      Obs.FineSkipped->inc();
       return Cost;
     }
-    D.NumberToSkip = Config.Sampling.FineInterval - 1;
+    H.NumberToSkip = Config.Sampling.FineInterval - 1;
   }
 
-  ++TotalProcessed;
-  ++D.Processed;
+  return Cost + processedTail(SiteId, H, Address);
+}
 
-  // Re-anchor at chunk boundaries: a "stride" spanning a skipped chunk is
-  // not a stride (see StrideSiteData::LastChunkEpoch).
-  if (Config.Sampling.Enabled && D.LastChunkEpoch != ChunkEpoch) {
-    D.LastChunkEpoch = ChunkEpoch;
-    D.HasPrevAddress = false;
-    D.HasPrevStride = false;
-    if (Obs.Reanchored)
-      Obs.Reanchored->inc();
+uint64_t StrideProfiler::profileBatch(const StrideEvent *Events, size_t N) {
+  const StrideCostModel &C = Config.Costs;
+  uint64_t Total = 0;
+  // Resolve the sinks once per drain (they are members, but pinning them
+  // in locals keeps the loops free of repeated this-> loads).
+  Counter *ChunkSkipped = Obs.ChunkSkipped;
+  Counter *FineSkipped = Obs.FineSkipped;
+  Histogram *InvocationCost = Obs.InvocationCost;
+
+  if (!Config.Sampling.Enabled) {
+    // No sampling: every event runs the full core.
+    for (size_t I = 0; I != N; ++I) {
+      const StrideEvent &E = Events[I];
+      assert(E.SiteId < Hot.size() && "site id out of range");
+      HotSite &H = Hot[E.SiteId];
+      ++H.Invocations;
+      updateRefGap(H, E.GlobalRefIndex);
+      uint64_t Cost = C.CallOverhead + processedTail(E.SiteId, H, E.Address);
+      InvocationCost->record(Cost);
+      Total += Cost;
+    }
+    TotalInvocations += N;
+    return Total;
   }
 
-  // First observation of this site: just remember the address.
-  if (!D.HasPrevAddress) {
-    D.PrevAddress = Address;
-    D.HasPrevAddress = true;
-    Cost += C.ZeroStrideCost;
-    return Cost;
+  // Sampling: the global chunk phase is constant across a run of events,
+  // so walk the block in phase-length segments and hoist the phase
+  // decision (and its fixed cost) out of the per-event loop. State after
+  // the walk is exactly what N successive profile() calls would leave.
+  const uint64_t SkipCost = C.CallOverhead + C.ChunkCheckCost;
+  const uint64_t CheckCost = SkipCost + C.FineCheckCost;
+  size_t I = 0;
+  while (I != N) {
+    if (NumberSkipped < Config.Sampling.ChunkSkip) {
+      // Skip phase: each event only touches its site's invocation count
+      // and use-distance state; cost and telemetry are block-bulk.
+      size_t K = static_cast<size_t>(
+          std::min<uint64_t>(N - I, Config.Sampling.ChunkSkip - NumberSkipped));
+      for (size_t End = I + K; I != End; ++I) {
+        const StrideEvent &E = Events[I];
+        assert(E.SiteId < Hot.size() && "site id out of range");
+        HotSite &H = Hot[E.SiteId];
+        ++H.Invocations;
+        updateRefGap(H, E.GlobalRefIndex);
+      }
+      NumberSkipped += K;
+      TotalInvocations += K;
+      ChunkSkipped->inc(K);
+      InvocationCost->record(SkipCost, K);
+      Total += SkipCost * K;
+      continue;
+    }
+    if (NumberProfiled == Config.Sampling.ChunkProfile) {
+      // Phase flip: one event absorbed as a skip, exactly as profile().
+      const StrideEvent &E = Events[I];
+      assert(E.SiteId < Hot.size() && "site id out of range");
+      HotSite &H = Hot[E.SiteId];
+      ++H.Invocations;
+      updateRefGap(H, E.GlobalRefIndex);
+      NumberProfiled = 0;
+      NumberSkipped = 0;
+      ++ChunkEpoch;
+      ++TotalInvocations;
+      ChunkSkipped->inc();
+      InvocationCost->record(SkipCost);
+      Total += SkipCost;
+      ++I;
+      continue;
+    }
+    // Profile phase: up to the chunk's remaining budget, fine sampling and
+    // the shared core per event.
+    size_t K = static_cast<size_t>(std::min<uint64_t>(
+        N - I, Config.Sampling.ChunkProfile - NumberProfiled));
+    for (size_t End = I + K; I != End; ++I) {
+      const StrideEvent &E = Events[I];
+      assert(E.SiteId < Hot.size() && "site id out of range");
+      HotSite &H = Hot[E.SiteId];
+      ++H.Invocations;
+      updateRefGap(H, E.GlobalRefIndex);
+      uint64_t Cost = CheckCost;
+      if (H.NumberToSkip > 0) {
+        --H.NumberToSkip;
+        FineSkipped->inc();
+      } else {
+        H.NumberToSkip = Config.Sampling.FineInterval - 1;
+        Cost += processedTail(E.SiteId, H, E.Address);
+      }
+      InvocationCost->record(Cost);
+      Total += Cost;
+    }
+    NumberProfiled += K;
+    TotalInvocations += K;
   }
-
-  // Zero-stride shortcut (Figure 7): addresses equal under the coarsening
-  // shift bypass the heavy LFU path entirely.
-  if (sameAddress(Address, D.PrevAddress)) {
-    ++D.NumZeroStride;
-    Cost += C.ZeroStrideCost;
-    if (Obs.ZeroStrideFast)
-      Obs.ZeroStrideFast->inc();
-    return Cost;
-  }
-
-  int64_t Stride = static_cast<int64_t>(Address) -
-                   static_cast<int64_t>(D.PrevAddress);
-  Cost += C.CoreCost;
-
-  // Stride-difference bookkeeping: a high share of zero differences marks
-  // a *phased* stride sequence (Figure 4), which PMST classification needs.
-  if (D.HasPrevStride) {
-    if (Stride - D.PrevStride == 0)
-      ++D.NumZeroDiff;
-    else
-      D.PrevStride = Stride;
-  } else {
-    D.PrevStride = Stride;
-    D.HasPrevStride = true;
-  }
-
-  D.PrevAddress = Address;
-  ++D.NumNonZeroStride;
-
-  ++TotalLfuCalls;
-  ++D.LfuCalls;
-  unsigned Work = D.Lfu.add(Stride);
-  Cost += C.LfuBaseCost + static_cast<uint64_t>(C.LfuPerWorkCost) * Work;
-  return Cost;
+  return Total;
 }

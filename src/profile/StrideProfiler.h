@@ -24,6 +24,14 @@
 /// charge Figure-20-style profiling overhead; the cost model constants are
 /// configurable (StrideCostModel).
 ///
+/// Two entry points share one semantic core: profile() handles a single
+/// reference (the executable specification, used by the reference engine
+/// and by engines with a memory system attached, where the returned cost
+/// feeds the current cycle of the *next* access), and profileBatch()
+/// drains a block of queued events over packed per-site hot state with the
+/// chunk-sampling phase decisions hoisted out of the per-event loop --
+/// bit-identical to calling profile() once per event, in order.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPROF_PROFILE_STRIDEPROFILER_H
@@ -31,6 +39,7 @@
 
 #include "profile/LfuValueProfiler.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -76,7 +85,21 @@ struct StrideProfilerConfig {
   StrideCostModel Costs;
 };
 
+/// One queued strideProf invocation, as recorded by an engine's batched
+/// stride-event ring (see InterpreterConfig::StrideBatchWindow).
+struct StrideEvent {
+  uint64_t Address;
+  uint64_t GlobalRefIndex;
+  uint32_t SiteId;
+};
+
 /// Per-load-site profiling state ("prof_data" in the paper's figures).
+///
+/// This is the *reporting* view: the profiler keeps the per-event fields
+/// (previous address/stride, sampling countdown, chunk epoch, use-distance
+/// accumulators, invocation count) in a packed internal hot lane and syncs
+/// them into this struct on demand in site(). The cold statistics and the
+/// LFU buffers live here directly.
 struct StrideSiteData {
   uint64_t PrevAddress = 0;
   bool HasPrevAddress = false;
@@ -130,9 +153,20 @@ public:
   uint64_t profile(uint32_t SiteId, uint64_t Address,
                    uint64_t GlobalRefIndex = 0);
 
-  const StrideSiteData &site(uint32_t SiteId) const {
-    return Sites[SiteId];
-  }
+  /// Batched strideProf: processes \p Events[0..N) in order, leaving every
+  /// observable (site data, totals, sampling counters, chunk epochs,
+  /// telemetry sinks) exactly as N successive profile() calls would --
+  /// including chunk-epoch re-anchoring when a chunk-phase flip lands
+  /// inside (or straddles) the block. \returns the summed simulated cost.
+  ///
+  /// The win over per-event profile(): the global chunk-sampling phase is
+  /// decided once per run of events in the same phase instead of per
+  /// event, skip-phase events collapse to a per-site touch plus one bulk
+  /// telemetry update, and obs sinks are resolved once per drain.
+  uint64_t profileBatch(const StrideEvent *Events, size_t N);
+
+  /// Reporting view of one site's state (hot lane synced on demand).
+  const StrideSiteData &site(uint32_t SiteId) const;
   uint32_t numSites() const { return static_cast<uint32_t>(Sites.size()); }
   const StrideProfilerConfig &config() const { return Config; }
 
@@ -141,29 +175,56 @@ public:
   uint64_t totalProcessed() const { return TotalProcessed; }
   uint64_t totalLfuCalls() const { return TotalLfuCalls; }
 
-  /// Resolves telemetry sinks from \p Session (nullptr detaches). With no
-  /// session attached -- the default -- profile() pays one predictable
-  /// null test per exit path and nothing else.
+  /// Resolves telemetry sinks from \p Session (nullptr detaches). The
+  /// sinks are never null: with no session attached -- the default --
+  /// they point at statically-allocated dummy metrics, so the hot paths
+  /// write unconditionally and carry no per-event branch.
   void attachObs(ObsSession *Session);
 
 private:
-  /// Cached metric handles; all null when telemetry is off.
+  /// Cached metric handles; dummy sinks when telemetry is off, never null.
   struct ObsSinks {
-    Counter *ChunkSkipped = nullptr;   ///< chunk-sampling early-outs
-    Counter *FineSkipped = nullptr;    ///< fine-sampling early-outs
-    Counter *ZeroStrideFast = nullptr; ///< zero-stride shortcut hits
-    Counter *Reanchored = nullptr;     ///< chunk-boundary re-anchors
-    Histogram *InvocationCost = nullptr; ///< simulated cycles per call
+    Counter *ChunkSkipped;   ///< chunk-sampling early-outs
+    Counter *FineSkipped;    ///< fine-sampling early-outs
+    Counter *ZeroStrideFast; ///< zero-stride shortcut hits
+    Counter *Reanchored;     ///< chunk-boundary re-anchors
+    Histogram *InvocationCost; ///< simulated cycles per call
   };
+
+  /// Packed per-site hot state: everything the per-event paths touch,
+  /// one cache line per site, separate from the cold statistics and LFU
+  /// buffers in StrideSiteData.
+  struct HotSite {
+    uint64_t PrevAddress = 0;
+    int64_t PrevStride = 0;
+    uint64_t LastChunkEpoch = 0;
+    uint64_t PrevGlobalRef = 0;
+    uint64_t RefGapSum = 0;
+    uint64_t RefGapCount = 0;
+    uint64_t Invocations = 0;
+    uint32_t NumberToSkip = 0;
+    uint8_t HasPrevAddress = 0;
+    uint8_t HasPrevStride = 0;
+  };
+
   uint64_t profileImpl(uint32_t SiteId, uint64_t Address,
                        uint64_t GlobalRefIndex);
+
+  /// The post-sampling core shared verbatim by profile() and
+  /// profileBatch(): epoch re-anchor, first-address path, zero-stride
+  /// shortcut, stride/diff bookkeeping, LFU call. \returns the cost of
+  /// this tail (caller adds call/check overheads).
+  uint64_t processedTail(uint32_t SiteId, HotSite &H, uint64_t Address);
 
   bool sameAddress(uint64_t A, uint64_t B) const {
     return (A >> Config.AddrCoarsenShift) == (B >> Config.AddrCoarsenShift);
   }
 
   StrideProfilerConfig Config;
-  std::vector<StrideSiteData> Sites;
+  std::vector<HotSite> Hot;
+  /// Cold per-site state and the site() reporting view; hot fields are
+  /// mirrored in lazily (see site()).
+  mutable std::vector<StrideSiteData> Sites;
 
   // Global chunk-sampling state (static variables in Figure 9).
   uint64_t NumberSkipped = 0;

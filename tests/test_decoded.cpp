@@ -402,3 +402,34 @@ TEST(DecodedEngine, DecoderInlinesLeafCallsAndFlagsPointerLoads) {
 }
 
 } // namespace
+
+// The Decoded engine's batched stride path: a deliberately tiny ring
+// (drain every 3 events) plus tiny chunk-sampling phases force drain
+// boundaries to straddle chunk-phase flips thousands of times, while the
+// Reference engine runs the unbatched executable spec. Every method, so
+// the batch path is pinned against both sampling families and both check
+// styles.
+TEST(DecodedEngine, TinyStrideRingMatchesReferenceAcrossMethods) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  for (ProfilingMethod Method : allProfilingMethods()) {
+    SCOPED_TRACE(profilingMethodName(Method));
+    PipelineConfig RC = engineConfig(InterpreterConfig::Engine::Reference);
+    PipelineConfig DC = engineConfig(InterpreterConfig::Engine::Decoded);
+    for (PipelineConfig *C : {&RC, &DC}) {
+      C->Interp.StrideBatchWindow = 3;
+      C->Profiler.Sampling.ChunkSkip = 7;
+      C->Profiler.Sampling.ChunkProfile = 5;
+      C->Profiler.Sampling.FineInterval = 2;
+    }
+    Pipeline Ref(*W, RC);
+    Pipeline Dec(*W, DC);
+    ProfileRunResult RR = Ref.runProfile(Method, DataSet::Train, false);
+    ProfileRunResult RD = Dec.runProfile(Method, DataSet::Train, false);
+    expectSameStats(RR.Stats, RD.Stats);
+    EXPECT_EQ(profileText(*W, Method, RR), profileText(*W, Method, RD));
+    EXPECT_EQ(RR.StrideInvocations, RD.StrideInvocations);
+    EXPECT_EQ(RR.StrideProcessed, RD.StrideProcessed);
+    EXPECT_EQ(RR.LfuCalls, RD.LfuCalls);
+  }
+}

@@ -255,3 +255,91 @@ TEST(Attribution, DisabledAttributionChangesNothing) {
   EXPECT_FALSE(Plain.attribution().Enabled);
   EXPECT_EQ(Attributed.attribution().Total.issued(), SA.PrefetchesIssued);
 }
+
+// -- Fast-path encoding invariants ----------------------------------------
+
+TEST(CacheLevel, NumSetsRoundsUpToPowerOfTwo) {
+  // 768B / (64B * 2 ways) = 6 raw sets -> rounded up to 8 so set selection
+  // is a mask; a power-of-two config keeps its exact count.
+  CacheLevel NonPow2(CacheLevelConfig{"L", 768, 2, 64, 2});
+  EXPECT_EQ(NonPow2.numSets(), 8u);
+  CacheLevel Pow2(CacheLevelConfig{"L", 1024, 2, 64, 2});
+  EXPECT_EQ(Pow2.numSets(), 8u);
+}
+
+TEST(CacheLevel, ProbeMruAgreesWithProbeAndSkipsMarkedLines) {
+  CacheLevel L(CacheLevelConfig{"L1", 1024, 2, 64, 2});
+  uint64_t Ready = 0;
+  // Unknown line: fast probe declines (it cannot distinguish "miss" from
+  // "not the MRU way").
+  EXPECT_FALSE(L.probeMru(100, Ready));
+  L.fill(100, 5);
+  ASSERT_TRUE(L.probeMru(100, Ready));
+  EXPECT_EQ(Ready, 5u);
+  // A prefetch-marked line must fail the fast path so the full probe can
+  // observe (and clear) the first demand touch for attribution.
+  L.fill(108, 9, /*Prefetched=*/true, /*PrefetchSite=*/3);
+  EXPECT_FALSE(L.probeMru(108, Ready));
+  bool WasUnused = false;
+  uint32_t Site = NoSiteId;
+  ASSERT_TRUE(L.probe(108, Ready, &WasUnused, &Site));
+  EXPECT_TRUE(WasUnused);
+  EXPECT_EQ(Site, 3u);
+  // Mark cleared by that probe: the fast path accepts the line now.
+  EXPECT_TRUE(L.probeMru(108, Ready));
+}
+
+// -- fill() refresh-path semantics (see the doc comment on fill) ----------
+
+TEST(CacheLevel, FillRefreshMergesEarliestReadyAndKeepsMarkAndSite) {
+  CacheLevel L(CacheLevelConfig{"L1", 1024, 2, 64, 2});
+  // Prefetched fill, then two refresh fills of the same line: the earliest
+  // ready time wins (a later one never pushes the line back), and the
+  // original prefetch keeps ownership of the line's outcome -- mark and
+  // site survive, whatever the refresh passes for them.
+  L.fill(100, /*ReadyTime=*/100, /*Prefetched=*/true, /*PrefetchSite=*/7);
+  L.fill(100, 50);
+  L.fill(100, 80);
+  uint64_t Ready = 0;
+  bool WasUnused = false;
+  uint32_t Site = NoSiteId;
+  ASSERT_TRUE(L.probe(100, Ready, &WasUnused, &Site));
+  EXPECT_EQ(Ready, 50u);
+  EXPECT_TRUE(WasUnused);
+  EXPECT_EQ(Site, 7u);
+}
+
+TEST(CacheLevel, FillRefreshBumpsLruRecency) {
+  CacheLevel L(CacheLevelConfig{"L1", 1024, 2, 64, 2});
+  const uint64_t NumSets = 8;
+  uint64_t A = 0, B = NumSets, C = 2 * NumSets; // same set
+  L.fill(A, 0);
+  L.fill(B, 0);
+  L.fill(A, 0); // refresh: A becomes most recently used
+  L.fill(C, 0); // so the victim is B, not A
+  uint64_t Ready = 0;
+  EXPECT_TRUE(L.probe(A, Ready));
+  EXPECT_FALSE(L.probe(B, Ready));
+  EXPECT_TRUE(L.probe(C, Ready));
+}
+
+TEST(MemoryHierarchy, PrefetchFullMissDoubleFillKeepsAccounting) {
+  // A full-miss prefetch reaches fill()'s refresh path: the first fill
+  // pass covers every level (Hit == Levels.size() makes both loop bounds
+  // identical), then the completion pass re-fills them all through the
+  // refresh scan. Pin the net effect: the double fill is idempotent --
+  // one issued prefetch, the line ready at Now + MemoryLatency, the L1
+  // copy still marked and attributed to the issuing site.
+  MemoryHierarchy MH(tinyConfig());
+  MH.enableAttribution(4);
+  MH.prefetch(0, /*Now=*/0, /*SiteId=*/2);
+  EXPECT_EQ(MH.stats().PrefetchesIssued, 1u);
+  // Demand use while the fill is in flight: a late prefetch, attributed to
+  // the issuing site, stalling for the remaining cycles only.
+  uint64_t Lat = MH.demandAccess(0, /*Now=*/10, /*SiteId=*/1);
+  EXPECT_EQ(Lat, 150u); // 160 - 10 residual
+  EXPECT_EQ(MH.stats().LatePrefetchHits, 1u);
+  MH.finalizeAttribution();
+  EXPECT_EQ(MH.attribution().PerSite[2].Late, 1u);
+  EXPECT_EQ(MH.attribution().Total.issued(), 1u);
+}

@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 using namespace sprof;
 
@@ -260,4 +262,172 @@ TEST(ProfileData, ReadRejectsMalformedInput) {
   EdgeProfile EP;
   StrideProfile SP;
   EXPECT_FALSE(readProfiles(SS, 1, 1, EP, SP));
+}
+
+namespace {
+
+// Compares every observable of two profilers that should have processed the
+// same event stream (one per-event, one batched).
+void expectProfilersEqual(const StrideProfiler &A, const StrideProfiler &B) {
+  ASSERT_EQ(A.numSites(), B.numSites());
+  EXPECT_EQ(A.totalInvocations(), B.totalInvocations());
+  EXPECT_EQ(A.totalProcessed(), B.totalProcessed());
+  EXPECT_EQ(A.totalLfuCalls(), B.totalLfuCalls());
+  for (uint32_t S = 0; S < A.numSites(); ++S) {
+    const StrideSiteData &X = A.site(S);
+    const StrideSiteData &Y = B.site(S);
+    EXPECT_EQ(X.PrevAddress, Y.PrevAddress) << "site " << S;
+    EXPECT_EQ(X.HasPrevAddress, Y.HasPrevAddress) << "site " << S;
+    EXPECT_EQ(X.PrevStride, Y.PrevStride) << "site " << S;
+    EXPECT_EQ(X.HasPrevStride, Y.HasPrevStride) << "site " << S;
+    EXPECT_EQ(X.NumZeroStride, Y.NumZeroStride) << "site " << S;
+    EXPECT_EQ(X.NumNonZeroStride, Y.NumNonZeroStride) << "site " << S;
+    EXPECT_EQ(X.NumZeroDiff, Y.NumZeroDiff) << "site " << S;
+    EXPECT_EQ(X.NumberToSkip, Y.NumberToSkip) << "site " << S;
+    EXPECT_EQ(X.LastChunkEpoch, Y.LastChunkEpoch) << "site " << S;
+    EXPECT_EQ(X.PrevGlobalRef, Y.PrevGlobalRef) << "site " << S;
+    EXPECT_EQ(X.RefGapSum, Y.RefGapSum) << "site " << S;
+    EXPECT_EQ(X.RefGapCount, Y.RefGapCount) << "site " << S;
+    EXPECT_EQ(X.Invocations, Y.Invocations) << "site " << S;
+    EXPECT_EQ(X.Processed, Y.Processed) << "site " << S;
+    EXPECT_EQ(X.LfuCalls, Y.LfuCalls) << "site " << S;
+    std::vector<ValueCount> TX = X.Lfu.topValues();
+    std::vector<ValueCount> TY = Y.Lfu.topValues();
+    ASSERT_EQ(TX.size(), TY.size()) << "site " << S;
+    for (size_t I = 0; I < TX.size(); ++I) {
+      EXPECT_EQ(TX[I].Value, TY[I].Value) << "site " << S << " top " << I;
+      EXPECT_EQ(TX[I].Count, TY[I].Count) << "site " << S << " top " << I;
+    }
+  }
+}
+
+// Builds a deterministic multi-site event stream whose per-site address
+// sequences mix constant strides, phase changes, and repeats.
+std::vector<StrideEvent> makeEventStream(uint32_t NumSites, size_t N) {
+  std::vector<StrideEvent> Events;
+  Events.reserve(N);
+  std::vector<uint64_t> Addr(NumSites);
+  for (uint32_t S = 0; S < NumSites; ++S)
+    Addr[S] = 0x10000 * (S + 1);
+  for (size_t I = 0; I < N; ++I) {
+    uint32_t S = static_cast<uint32_t>((I * 7 + I / 5) % NumSites);
+    // Vary the stride per phase so the LFU path is exercised.
+    uint64_t Step = (I / 40 % 3 == 0) ? 8 : (I / 40 % 3 == 1) ? 0 : 24;
+    Addr[S] += Step;
+    Events.push_back(StrideEvent{Addr[S], I, S});
+  }
+  return Events;
+}
+
+void runBatchDifferential(StrideProfilerConfig Config, uint32_t NumSites,
+                          size_t N) {
+  std::vector<StrideEvent> Events = makeEventStream(NumSites, N);
+
+  StrideProfiler PerEvent(NumSites, Config);
+  StrideProfiler Batched(NumSites, Config);
+
+  uint64_t CostA = 0;
+  for (const StrideEvent &E : Events)
+    CostA += PerEvent.profile(E.SiteId, E.Address, E.GlobalRefIndex);
+
+  // Odd, co-prime block sizes so batch boundaries land at every possible
+  // offset within the chunk skip/profile phases, including mid-flip.
+  uint64_t CostB = 0;
+  static const size_t Blocks[] = {1, 3, 7, 5, 11, 2, 9};
+  size_t I = 0, B = 0;
+  while (I < Events.size()) {
+    size_t Len = std::min(Blocks[B % (sizeof(Blocks) / sizeof(Blocks[0]))],
+                          Events.size() - I);
+    CostB += Batched.profileBatch(Events.data() + I, Len);
+    I += Len;
+    ++B;
+  }
+
+  EXPECT_EQ(CostA, CostB);
+  expectProfilersEqual(PerEvent, Batched);
+}
+
+} // namespace
+
+TEST(StrideProfiler, BatchMatchesPerEventUnsampled) {
+  runBatchDifferential(exactConfig(), 5, 400);
+}
+
+TEST(StrideProfiler, BatchMatchesPerEventAcrossChunkFlips) {
+  StrideProfilerConfig Config = exactConfig();
+  Config.Sampling.Enabled = true;
+  // Tiny chunk phases (skip 10, profile 4) so the stream crosses dozens of
+  // phase flips, with batch boundaries straddling them.
+  Config.Sampling.ChunkSkip = 10;
+  Config.Sampling.ChunkProfile = 4;
+  Config.Sampling.FineInterval = 3;
+  runBatchDifferential(Config, 5, 400);
+}
+
+TEST(StrideProfiler, BatchMatchesPerEventSingleEventBlocks) {
+  StrideProfilerConfig Config = exactConfig();
+  Config.Sampling.Enabled = true;
+  Config.Sampling.ChunkSkip = 3;
+  Config.Sampling.ChunkProfile = 2;
+  Config.Sampling.FineInterval = 2;
+  std::vector<StrideEvent> Events = makeEventStream(3, 97);
+
+  StrideProfiler PerEvent(3, Config);
+  StrideProfiler Batched(3, Config);
+  uint64_t CostA = 0, CostB = 0;
+  for (const StrideEvent &E : Events) {
+    CostA += PerEvent.profile(E.SiteId, E.Address, E.GlobalRefIndex);
+    CostB += Batched.profileBatch(&E, 1);
+  }
+  EXPECT_EQ(CostA, CostB);
+  expectProfilersEqual(PerEvent, Batched);
+}
+
+TEST(StrideProfiler, WorksWithoutObsSession) {
+  // Never calls attachObs: all telemetry writes must land in the
+  // statically-allocated dummy sinks, not crash on null.
+  StrideProfiler P(2, exactConfig());
+  feedStrides(P, 0, {8, 8, 8, 0, 0, 16});
+  feedStrides(P, 1, {4, 4});
+  EXPECT_GT(P.totalInvocations(), 0u);
+  EXPECT_EQ(P.site(0).totalStrides(), 6u);
+  // Detaching after attaching also falls back to the dummies.
+  P.attachObs(nullptr);
+  feedStrides(P, 0, {8}, 0x200000);
+  // The new base plus one step form two more strides on top of the six.
+  EXPECT_EQ(P.site(0).totalStrides(), 8u);
+}
+
+TEST(Lfu, TopValuesSnapshotIsRepeatableAndNonDestructive) {
+  LfuValueProfiler P(exactLfu());
+  for (int I = 0; I < 50; ++I)
+    P.add(I % 5 * 100);
+  std::vector<ValueCount> First = P.topValues();
+  std::vector<ValueCount> Second = P.topValues();
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I) {
+    EXPECT_EQ(First[I].Value, Second[I].Value);
+    EXPECT_EQ(First[I].Count, Second[I].Count);
+  }
+  // The snapshot's scratch reuse must not disturb the live buffers:
+  // adding more values and re-snapshotting still yields correct counts.
+  for (int I = 0; I < 50; ++I)
+    P.add(0);
+  std::vector<ValueCount> Third = P.topValues();
+  ASSERT_FALSE(Third.empty());
+  EXPECT_EQ(Third[0].Value, 0);
+  EXPECT_EQ(Third[0].Count, 60u);
+}
+
+TEST(Lfu, WorksWithoutObsSinks) {
+  LfuValueProfiler P(exactLfu());
+  // Enough adds to cross the MergeInterval so the merge-counter write also
+  // exercises the dummy sink, not just the per-add work histogram.
+  for (int I = 0; I < 3000; ++I)
+    P.add(I % 7);
+  EXPECT_EQ(P.totalAdded(), 3000u);
+  EXPECT_GT(P.numMerges(), 0u);
+  P.attachObs(nullptr, nullptr);
+  P.add(42);
+  EXPECT_EQ(P.totalAdded(), 3001u);
 }
