@@ -16,6 +16,10 @@
 /// Reference vs Decoded execution cores over real workloads, median-of-N
 /// wall time and instructions/sec, written to BENCH_runtime.json so the
 /// perf trajectory stays machine-readable across PRs (docs/PERFORMANCE.md).
+/// `--with-telemetry` adds a third, fully-instrumented Decoded series per
+/// workload (live ObsSession with the background TelemetrySampler and the
+/// engine self-profiler) and gates the measured overhead: warn above
+/// --telemetry-warn (default 2%), fail above --telemetry-fail (default 5%).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +28,8 @@
 #include "memsys/Cache.h"
 #include "obs/Json.h"
 #include "obs/Obs.h"
+#include "obs/Sampler.h"
+#include "obs/SelfProfiler.h"
 #include "profile/LfuValueProfiler.h"
 #include "profile/ProfileData.h"
 #include "profile/ProfileStore.h"
@@ -278,6 +284,20 @@ struct CompareOptions {
   std::string JsonPath = "BENCH_runtime.json";
   bool WriteJson = true;
   double MinSpeedup = 0.0;
+  /// Add the telemetry-overhead series: interleaved plain/instrumented
+  /// Decoded runs with a live ObsSession (sampler + self-profiler), the
+  /// measured overhead gated against the thresholds below.
+  bool WithTelemetry = false;
+  double TelemetryWarn = 0.02;
+  double TelemetryFail = 0.05;
+  /// Sampler interval and self-profiler window for the telemetry series.
+  /// The defaults keep the instrumentation cost well under the warn
+  /// threshold even on a single-core host.
+  uint64_t TelemetryIntervalUs = 2000;
+  uint32_t TelemetryWindow = 4096;
+  /// Artifact paths for the first workload's telemetry series.
+  std::string TimeSeriesPath = "BENCH_timeseries.json";
+  std::string FoldedPath = "BENCH_profile.folded";
 };
 
 /// Profile observables harvested from one profiled run; the engines must
@@ -308,13 +328,16 @@ double medianOf(std::vector<double> V) {
 double timeOneRun(const Workload &W, DataSet DS,
                   InterpreterConfig::Engine Engine,
                   const CompareOptions &Opts, RunStats &StatsOut,
-                  ProfiledObservables *Prof = nullptr) {
+                  ProfiledObservables *Prof = nullptr,
+                  ObsSession *Obs = nullptr) {
   Program Prog = W.build({DS});
   if (Opts.WithProfiler)
     instrumentModule(Prog.M, Opts.ProfMethod);
   InterpreterConfig IC;
   IC.Exec = Engine;
   Interpreter I(Prog.M, std::move(Prog.Memory), TimingModel(), IC);
+  if (Obs)
+    I.attachObs(Obs);
   MemoryHierarchy MH{MemoryConfig()};
   if (Opts.WithMemsys)
     I.attachMemory(&MH);
@@ -370,6 +393,84 @@ void timeEnginePair(const Workload &W, const CompareOptions &Opts,
   }
   finishTiming(Ref, RefMs);
   finishTiming(Dec, DecMs);
+}
+
+/// Telemetry-overhead measurement of one workload on the Decoded engine.
+struct TelemetryTiming {
+  double PlainMinMs = 0.0;   ///< interleaved uninstrumented control runs
+  double MinMs = 0.0;        ///< runs with the live ObsSession attached
+  double Overhead = 0.0;     ///< median of per-round with/plain ratios - 1
+  uint64_t SamplesTaken = 0; ///< sampler snapshots over the series
+  uint64_t SelfSamples = 0;  ///< self-profiler samples over the series
+  std::string TopOp;         ///< hottest dispatch op by sample count
+};
+
+/// Times interleaved (plain, instrumented) Decoded pairs -- at least nine
+/// rounds, more when --runs asks for more -- with one ObsSession (the
+/// background sampler and the engine self-profiler both live) attached
+/// across the instrumented runs. The overhead estimate is the median of
+/// the per-round instrumented/plain ratios: pairing cancels drift that
+/// spans a round, and the median discards rounds where a scheduler spike
+/// hit one member. When \p WriteArtifacts is set the session's timeseries
+/// and folded-profile artifacts are written to the configured paths.
+TelemetryTiming timeTelemetry(const Workload &W, const CompareOptions &Opts,
+                              bool WriteArtifacts) {
+  ObsConfig OC;
+  OC.Enabled = true;
+  OC.SampleIntervalUs = Opts.TelemetryIntervalUs;
+  OC.SelfProfile = true;
+  OC.SelfProfileWindow = Opts.TelemetryWindow;
+  if (WriteArtifacts) {
+    OC.TimeSeriesOutputPath = Opts.TimeSeriesPath;
+    OC.FoldedProfilePath = Opts.FoldedPath;
+  }
+  ObsSession Session(OC);
+
+  if (EngineSelfProfiler *SP = Session.selfProfiler())
+    SP->setContext(W.info().Name, "bench");
+
+  // Each measured unit is a batch of runs, so a single scheduler spike is
+  // amortized over ~10ms of work instead of dominating one ~2ms run.
+  const unsigned Batch = 4;
+  auto TimeBatch = [&](ObsSession *Obs) {
+    double Total = 0.0;
+    for (unsigned B = 0; B != Batch; ++B) {
+      RunStats S;
+      Total += timeOneRun(W, Opts.DS, InterpreterConfig::Engine::Decoded,
+                          Opts, S, nullptr, Obs);
+    }
+    return Total;
+  };
+
+  TelemetryTiming T;
+  std::vector<double> PlainMs, TelMs, Ratios;
+  // The true overhead target is percent-scale while single-invocation
+  // noise on a busy host is a few percent, so the gate needs many rounds
+  // for the median to converge; 15 rounds of 2x4 runs is ~300ms per
+  // workload.
+  const unsigned Rounds = std::max(Opts.Runs, 15u);
+  for (unsigned R = 0; R != Rounds; ++R) {
+    PlainMs.push_back(TimeBatch(nullptr));
+    TelMs.push_back(TimeBatch(&Session));
+    if (PlainMs.back() > 0.0)
+      Ratios.push_back(TelMs.back() / PlainMs.back());
+  }
+  Session.stopSampling();
+  T.PlainMinMs = *std::min_element(PlainMs.begin(), PlainMs.end()) / Batch;
+  T.MinMs = *std::min_element(TelMs.begin(), TelMs.end()) / Batch;
+  T.Overhead = Ratios.empty() ? 0.0 : medianOf(Ratios) - 1.0;
+  if (const TelemetrySampler *Sampler = Session.sampler())
+    T.SamplesTaken = Sampler->samplesTaken();
+  if (const EngineSelfProfiler *SP = Session.selfProfiler()) {
+    T.SelfSamples = SP->totalSamples();
+    std::vector<EngineSelfProfiler::Entry> Entries = SP->entries();
+    if (!Entries.empty())
+      T.TopOp = SP->slotName(Entries.front().Slot);
+  }
+  if (WriteArtifacts && !Session.writeArtifacts())
+    std::cerr << "warning: could not write telemetry artifacts ("
+              << Opts.TimeSeriesPath << ", " << Opts.FoldedPath << ")\n";
+  return T;
 }
 
 /// One untimed attributed run: same workload, attribution enabled, so the
@@ -445,6 +546,8 @@ int runCompare(const CompareOptions &Opts) {
   bool Ok = true;
   double LogSum = 0.0;
   unsigned Count = 0;
+  double WorstOverhead = -1.0; // overhead is a ratio - 1, so >= -1 always
+  bool FirstTelemetry = true;
   for (const std::string &Name : Opts.Workloads) {
     std::unique_ptr<Workload> W = makeWorkloadByName(Name);
     if (!W) {
@@ -496,6 +599,27 @@ int runCompare(const CompareOptions &Opts) {
       Ok = false;
     }
 
+    TelemetryTiming Tel;
+    if (Opts.WithTelemetry) {
+      Tel = timeTelemetry(*W, Opts, Opts.WriteJson && FirstTelemetry);
+      FirstTelemetry = false;
+      WorstOverhead = std::max(WorstOverhead, Tel.Overhead);
+      std::printf("%-14s %14.2f %14.2f %+9.1f%% %16s\n",
+                  "  +telemetry", Tel.PlainMinMs, Tel.MinMs,
+                  Tel.Overhead * 100.0,
+                  Tel.TopOp.empty() ? "-" : Tel.TopOp.c_str());
+      if (Tel.Overhead > Opts.TelemetryFail) {
+        std::cerr << "error: " << Name << " telemetry overhead "
+                  << Tel.Overhead * 100.0 << "% above the --telemetry-fail "
+                  << "gate of " << Opts.TelemetryFail * 100.0 << "%\n";
+        Ok = false;
+      } else if (Tel.Overhead > Opts.TelemetryWarn) {
+        std::cerr << "warning: " << Name << " telemetry overhead "
+                  << Tel.Overhead * 100.0 << "% above the --telemetry-warn "
+                  << "threshold of " << Opts.TelemetryWarn * 100.0 << "%\n";
+      }
+    }
+
     JsonValue Row = JsonValue::object();
     Row.set("name", Name);
     JsonValue RefJ = JsonValue::object();
@@ -520,6 +644,16 @@ int runCompare(const CompareOptions &Opts) {
       ProfJ.set("profile_identical", ProfileIdentical);
       Row.set("profiled", std::move(ProfJ));
     }
+    if (Opts.WithTelemetry) {
+      JsonValue TelJ = JsonValue::object();
+      TelJ.set("plain_min_ms", Tel.PlainMinMs);
+      TelJ.set("min_ms", Tel.MinMs);
+      TelJ.set("overhead", Tel.Overhead);
+      TelJ.set("samples_taken", Tel.SamplesTaken);
+      TelJ.set("self_profile_samples", Tel.SelfSamples);
+      TelJ.set("top_op", Tel.TopOp);
+      Row.set("telemetry", std::move(TelJ));
+    }
     Rows.push(std::move(Row));
   }
   double Geomean = Count ? std::exp(LogSum / Count) : 0.0;
@@ -527,6 +661,8 @@ int runCompare(const CompareOptions &Opts) {
 
   Root.set("workloads", std::move(Rows));
   Root.set("geomean_speedup", Geomean);
+  if (Opts.WithTelemetry)
+    Root.set("telemetry_overhead", WorstOverhead);
   if (Opts.WriteJson) {
     if (!writeJsonFile(Opts.JsonPath, Root)) {
       std::cerr << "error: could not write " << Opts.JsonPath << "\n";
@@ -584,6 +720,22 @@ std::optional<CompareOptions> parseCompareArgs(int Argc, char **Argv) {
       Opts.WriteJson = false;
     } else if (auto V = Value("--min-speedup=")) {
       Opts.MinSpeedup = std::atof(V->c_str());
+    } else if (Arg == "--with-telemetry") {
+      Opts.WithTelemetry = true;
+    } else if (auto V = Value("--telemetry-warn=")) {
+      Opts.TelemetryWarn = std::atof(V->c_str());
+    } else if (auto V = Value("--telemetry-fail=")) {
+      Opts.TelemetryFail = std::atof(V->c_str());
+    } else if (auto V = Value("--telemetry-interval-us=")) {
+      Opts.TelemetryIntervalUs =
+          static_cast<uint64_t>(std::max(0L, std::atol(V->c_str())));
+    } else if (auto V = Value("--telemetry-window=")) {
+      Opts.TelemetryWindow =
+          static_cast<uint32_t>(std::max(1L, std::atol(V->c_str())));
+    } else if (auto V = Value("--telemetry-timeseries=")) {
+      Opts.TimeSeriesPath = *V;
+    } else if (auto V = Value("--telemetry-folded=")) {
+      Opts.FoldedPath = *V;
     }
   }
   if (!Compare)

@@ -15,18 +15,27 @@
 ///     profile-accuracy diff against a sampled profiling run, and every
 ///     registry metric,
 ///   * a second run report for the sampled run (so `sprof-inspect diff`
-///     has a report pair to compare), and
+///     has a report pair to compare),
 ///   * a Chrome trace_event file (load it at chrome://tracing or
-///     https://ui.perfetto.dev) with the nested phase spans.
+///     https://ui.perfetto.dev) with the nested phase spans plus "C"
+///     counter samples from the background TelemetrySampler,
+///   * the sampler's sprof.timeseries/1 artifact (render with
+///     `sprof-inspect timeseries`), and
+///   * the engine self-profiler's folded-stack file (feed to
+///     flamegraph.pl, or `sprof-inspect hotspots` on the run report).
 ///
-/// Usage: telemetry_demo [report.json [trace.json [sampled_report.json]]]
+/// Usage: telemetry_demo [report.json [trace.json [sampled_report.json
+///                       [timeseries.json [profile.folded]]]]]
 /// (defaults: telemetry_report.json, telemetry_trace.json,
-/// telemetry_sampled_report.json)
+/// telemetry_sampled_report.json, telemetry_timeseries.json,
+/// telemetry_profile.folded)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "ir/IRBuilder.h"
 #include "obs/Report.h"
+#include "obs/Sampler.h"
+#include "obs/SelfProfiler.h"
 #include "support/Random.h"
 #include "workloads/Builders.h"
 
@@ -84,6 +93,10 @@ int main(int Argc, char **Argv) {
       Argc > 2 ? Argv[2] : "telemetry_trace.json";
   const std::string SampledReportPath =
       Argc > 3 ? Argv[3] : "telemetry_sampled_report.json";
+  const std::string TimeSeriesPath =
+      Argc > 4 ? Argv[4] : "telemetry_timeseries.json";
+  const std::string FoldedPath =
+      Argc > 5 ? Argv[5] : "telemetry_profile.folded";
 
   ChaseDemo Demo;
   PipelineConfig Config;
@@ -91,6 +104,15 @@ int main(int Argc, char **Argv) {
   Config.Obs.TraceDetail = 2;
   Config.Obs.TraceOutputPath = TracePath;
   Config.Obs.ReportOutputPath = ReportPath;
+  // Background time-series sampling: snapshot every counter/gauge every
+  // 200us into a bounded ring, emitted both as Chrome-trace "C" events and
+  // as the standalone sprof.timeseries/1 artifact.
+  Config.Obs.SampleIntervalUs = 200;
+  Config.Obs.TimeSeriesOutputPath = TimeSeriesPath;
+  // Engine self-profiling: window-sample the decoded engine's dispatch
+  // loop and export the folded-stack attribution.
+  Config.Obs.SelfProfile = true;
+  Config.Obs.FoldedProfilePath = FoldedPath;
   Config.Memory.EnableAttribution = true;
   Pipeline P(Demo, Config);
 
@@ -141,6 +163,26 @@ int main(int Argc, char **Argv) {
   std::cout << "run report: " << ReportPath << "\n"
             << "chrome trace: " << TracePath << " (" << Trace.events().size()
             << " spans; open at chrome://tracing)\n";
+
+  // The sampler must have observed the run (stop() always takes a final
+  // snapshot, so even an instant run yields >= 1 sample), and the decoded
+  // engine must have fed the self-profiler.
+  const TelemetrySampler *Sampler = P.obs()->sampler();
+  if (!Sampler || Sampler->samplesTaken() == 0) {
+    std::cerr << "error: telemetry sampler took no samples\n";
+    return 1;
+  }
+  std::cout << "timeseries: " << TimeSeriesPath << " ("
+            << Sampler->samples().size() << " samples, "
+            << Sampler->dropped() << " dropped)\n";
+  const EngineSelfProfiler *SelfProf = P.obs()->selfProfiler();
+  if (!SelfProf || SelfProf->totalSamples() == 0) {
+    std::cerr << "error: engine self-profiler took no samples\n";
+    return 1;
+  }
+  std::cout << "folded profile: " << FoldedPath << " ("
+            << SelfProf->totalSamples() << " samples over "
+            << SelfProf->entries().size() << " hot cells)\n";
 
   // The phases the pipeline must have traced; failure here means the
   // instrumentation points regressed.

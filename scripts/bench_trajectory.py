@@ -2,14 +2,15 @@
 """Regression-gated bench trajectory.
 
 Runs the headline benches (figure-16 speedups, figure-20 profiling
-overhead, the engine wall-clock compare harness, and the telemetry demo's
-profile-accuracy diff), condenses them into one trajectory point
+overhead, the engine wall-clock compare harness — once plain and once with
+full telemetry attached — and the telemetry demo's profile-accuracy diff),
+condenses them into one trajectory point
 
-    {"schema": "sprof.bench_point/2", "date": ..., "geomean_speedup": ...,
+    {"schema": "sprof.bench_point/3", "date": ..., "geomean_speedup": ...,
      "profiling_overhead": ..., "prefetch_useful_ratio": ...,
      "accuracy_score": ..., "engine_wall_speedup": ...,
      "memsys_wall_speedup": ..., "profiled_wall_speedup": ...,
-     "components": ...}
+     "telemetry_overhead": ..., "components": ...}
 
 written to bench/trajectory/BENCH_<date>.json, and fails (exit 1) when
 either the geomean prefetch speedup or the useful-prefetch ratio drops
@@ -62,9 +63,12 @@ def collect_point(build_dir, threads, workdir):
     runtime = os.path.join(workdir, "runtime.json")
     runtime_memsys = os.path.join(workdir, "runtime_memsys.json")
     runtime_profiled = os.path.join(workdir, "runtime_profiled.json")
+    runtime_telemetry = os.path.join(workdir, "runtime_telemetry.json")
     report = os.path.join(workdir, "telemetry_report.json")
     trace = os.path.join(workdir, "telemetry_trace.json")
     sampled = os.path.join(workdir, "telemetry_sampled_report.json")
+    timeseries = os.path.join(workdir, "telemetry_timeseries.json")
+    folded = os.path.join(workdir, "telemetry_profile.folded")
 
     bench = os.path.join(build_dir, "bench")
     examples = os.path.join(build_dir, "examples")
@@ -78,8 +82,16 @@ def collect_point(build_dir, threads, workdir):
          f"--json={runtime_memsys}"], stdout=subprocess.DEVNULL)
     run([os.path.join(bench, "bench_runtime"), "--compare", "--with-profiler",
          f"--json={runtime_profiled}"], stdout=subprocess.DEVNULL)
-    run([os.path.join(examples, "telemetry_demo"), report, trace, sampled],
-        stdout=subprocess.DEVNULL)
+    # The instrumented-overhead gate: one workload is enough to measure the
+    # in-loop cost. The fail threshold is looser than the default 5% because
+    # shared CI runners add scheduler noise on top of the instrumentation.
+    run([os.path.join(bench, "bench_runtime"), "--compare", "--with-telemetry",
+         "--workloads=164.gzip", "--telemetry-fail=0.10",
+         f"--telemetry-timeseries={os.path.join(workdir, 'ts.json')}",
+         f"--telemetry-folded={os.path.join(workdir, 'prof.folded')}",
+         f"--json={runtime_telemetry}"], stdout=subprocess.DEVNULL)
+    run([os.path.join(examples, "telemetry_demo"), report, trace, sampled,
+         timeseries, folded], stdout=subprocess.DEVNULL)
 
     # Geomean figure-16 speedup and aggregate prefetch usefulness of the
     # flagship method (edge-check) across the suite.
@@ -109,10 +121,11 @@ def collect_point(build_dir, threads, workdir):
     runtime_doc = load(runtime)
     memsys_doc = load(runtime_memsys)
     profiled_doc = load(runtime_profiled)
+    telemetry_doc = load(runtime_telemetry)
     accuracy = load(report)["profile_diff"]["weighted_accuracy"]
 
     return {
-        "schema": "sprof.bench_point/2",
+        "schema": "sprof.bench_point/3",
         "date": datetime.date.today().isoformat(),
         "geomean_speedup": geomean(speedups),
         "profiling_overhead": overhead,
@@ -121,6 +134,7 @@ def collect_point(build_dir, threads, workdir):
         "engine_wall_speedup": runtime_doc.get("geomean_speedup", 0.0),
         "memsys_wall_speedup": memsys_doc.get("geomean_speedup", 0.0),
         "profiled_wall_speedup": profiled_doc.get("geomean_speedup", 0.0),
+        "telemetry_overhead": telemetry_doc.get("telemetry_overhead", 0.0),
         "components": {
             "speedup_method": method,
             "overhead_method": overhead_method,
@@ -201,7 +215,7 @@ def main():
     for key in ("geomean_speedup", "profiling_overhead",
                 "prefetch_useful_ratio", "accuracy_score",
                 "engine_wall_speedup", "memsys_wall_speedup",
-                "profiled_wall_speedup"):
+                "profiled_wall_speedup", "telemetry_overhead"):
         print(f"  {key}: {point[key]:.4f}")
 
     if not args.no_write:

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Validates the machine-readable telemetry artifacts: runs the
 # telemetry_demo example and checks the run report against the
-# "sprof.run_report/2" schema (a strict superset of /1: the /1 sections
-# must all still be present and shaped as before), the attribution
-# exact-sum invariant, the profile_diff section, and the Chrome trace for
-# the pipeline's phase spans. When given the sprof-inspect binary it also
-# smoke-tests its summary and diff modes against the fresh reports, and
-# when given a bench-trajectory point it validates the
-# "sprof.bench_point/2" schema (accepting legacy /1 points, which predate
-# the wall-clock compare geomeans). Wired into ctest as `telemetry_schema`.
+# "sprof.run_report/3" schema (each version a strict superset of the
+# previous: the /1 and /2 sections must all still be present and shaped as
+# before), the attribution exact-sum invariant, the profile_diff and
+# self_profile sections, the "sprof.timeseries/1" sampler artifact, the
+# folded-stack self-profile file, and the Chrome trace for the pipeline's
+# phase spans plus the sampler's counter ("C") events. When given the
+# sprof-inspect binary it also smoke-tests its summary, diff, timeseries,
+# and hotspots modes against the fresh artifacts — including that unknown
+# subcommands and malformed JSON exit nonzero — and when given a
+# bench-trajectory point it validates the "sprof.bench_point/3" schema
+# (accepting legacy /1 and /2 points). Wired into ctest as
+# `telemetry_schema`.
 #
 # Usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]
 #            [/path/to/sprof-inspect] [/path/to/bench_point.json]
@@ -21,14 +25,18 @@ BENCH_POINT="${4:-}"
 REPORT="$WORKDIR/telemetry_report.json"
 TRACE="$WORKDIR/telemetry_trace.json"
 SAMPLED="$WORKDIR/telemetry_sampled_report.json"
+TIMESERIES="$WORKDIR/telemetry_timeseries.json"
+FOLDED="$WORKDIR/telemetry_profile.folded"
 
-"$DEMO" "$REPORT" "$TRACE" "$SAMPLED" > /dev/null
+"$DEMO" "$REPORT" "$TRACE" "$SAMPLED" "$TIMESERIES" "$FOLDED" > /dev/null
 
-python3 - "$REPORT" "$TRACE" "$SAMPLED" <<'EOF'
+python3 - "$REPORT" "$TRACE" "$SAMPLED" "$TIMESERIES" "$FOLDED" <<'EOF'
 import json
+import re
 import sys
 
 report_path, trace_path, sampled_path = sys.argv[1], sys.argv[2], sys.argv[3]
+timeseries_path, folded_path = sys.argv[4], sys.argv[5]
 failures = []
 
 
@@ -40,7 +48,9 @@ def check(cond, message):
 with open(report_path) as f:
     report = json.load(f)
 
-check(report.get("schema") in ("sprof.run_report/1", "sprof.run_report/2"),
+RUN_REPORT_SCHEMAS = ("sprof.run_report/1", "sprof.run_report/2",
+                      "sprof.run_report/3")
+check(report.get("schema") in RUN_REPORT_SCHEMAS,
       f"unexpected schema: {report.get('schema')!r}")
 for key in ("workload", "config", "profile_run", "baseline_run",
             "timed_run", "speedup", "metrics"):
@@ -72,7 +82,7 @@ check(isinstance(sampling, dict) and "enabled" in sampling,
 
 # -- run_report/2 additions ------------------------------------------------
 
-if report.get("schema") == "sprof.run_report/2":
+if report.get("schema") in ("sprof.run_report/2", "sprof.run_report/3"):
     attribution = report.get("attribution")
     check(isinstance(attribution, dict), "/2 report missing attribution")
     if isinstance(attribution, dict):
@@ -124,32 +134,122 @@ if report.get("schema") == "sprof.run_report/2":
               f"flip total {flip_total} != sites_compared "
               f"{diff.get('sites_compared')}")
 
+# -- run_report/3 additions ------------------------------------------------
+
+if report.get("schema") == "sprof.run_report/3":
+    self_profile = report.get("self_profile")
+    check(isinstance(self_profile, dict), "/3 report missing self_profile")
+    if isinstance(self_profile, dict):
+        for key in ("window", "total_samples", "entries"):
+            check(key in self_profile, f"self_profile missing {key!r}")
+        entries = self_profile.get("entries", [])
+        check(isinstance(entries, list) and entries,
+              "self_profile.entries empty")
+        entry_sum = 0
+        for e in entries:
+            for key in ("workload", "phase", "op", "samples", "ns"):
+                check(key in e, f"self_profile entry missing {key!r}")
+            entry_sum += e.get("samples", 0)
+        check(entry_sum == self_profile.get("total_samples"),
+              f"self_profile entry sum {entry_sum} != total_samples "
+              f"{self_profile.get('total_samples')}")
+        samples_sorted = [e.get("samples", 0) for e in entries]
+        check(samples_sorted == sorted(samples_sorted, reverse=True),
+              "self_profile.entries not sorted by samples descending")
+    obs_config = report.get("config", {}).get("obs", {})
+    for key in ("sample_interval_us", "sample_ring_capacity",
+                "self_profile", "self_profile_window"):
+        check(key in obs_config, f"config.obs missing {key!r}")
+
 with open(sampled_path) as f:
     sampled = json.load(f)
-check(sampled.get("schema") in ("sprof.run_report/1", "sprof.run_report/2"),
+check(sampled.get("schema") in RUN_REPORT_SCHEMAS,
       f"sampled report has unexpected schema: {sampled.get('schema')!r}")
 check("profile_run" in sampled, "sampled report missing profile_run")
+
+# -- sprof.timeseries/1 ----------------------------------------------------
+
+with open(timeseries_path) as f:
+    ts = json.load(f)
+check(ts.get("schema") == "sprof.timeseries/1",
+      f"timeseries has unexpected schema: {ts.get('schema')!r}")
+for key in ("interval_us", "ring_capacity", "samples_taken", "dropped",
+            "timestamps_us", "counters", "gauges"):
+    check(key in ts, f"timeseries missing {key!r}")
+stamps = ts.get("timestamps_us", [])
+check(isinstance(stamps, list) and stamps, "timeseries has no samples")
+check(stamps == sorted(stamps), "timestamps_us not monotone")
+check(ts.get("samples_taken", 0) >= len(stamps),
+      "samples_taken < ring length")
+check(ts.get("samples_taken", 0) - ts.get("dropped", 0) == len(stamps),
+      "samples_taken - dropped != ring length")
+n_samples = len(stamps)
+for kind in ("counters", "gauges"):
+    series_map = ts.get(kind, {})
+    check(isinstance(series_map, dict), f"timeseries.{kind} not an object")
+    for name, series in series_map.items():
+        check(isinstance(series, list) and len(series) == n_samples,
+              f"timeseries {kind}[{name!r}] length != timestamps length")
+check("interp.instructions" in ts.get("counters", {}),
+      "timeseries counter interp.instructions missing")
+# The final snapshot is taken after producers quiesce: it must agree with
+# the run report's end-of-run counter totals exactly.
+report_counters = report.get("metrics", {}).get("counters", {})
+for name, series in ts.get("counters", {}).items():
+    if name in report_counters and series:
+        check(series[-1] == report_counters[name],
+              f"timeseries final {name} = {series[-1]} != registry total "
+              f"{report_counters[name]}")
+
+# -- folded self-profile ---------------------------------------------------
+
+folded_re = re.compile(r"^[^;]+;[^;]+;\S+ [0-9]+$")
+with open(folded_path) as f:
+    folded_lines = [line.rstrip("\n") for line in f if line.strip()]
+check(len(folded_lines) > 0, "folded profile is empty")
+for line in folded_lines:
+    check(folded_re.match(line) is not None,
+          f"malformed folded line: {line!r}")
+folded_total = sum(int(line.rsplit(" ", 1)[1]) for line in folded_lines)
+if report.get("schema") == "sprof.run_report/3" and \
+        isinstance(report.get("self_profile"), dict):
+    check(folded_total == report["self_profile"].get("total_samples"),
+          f"folded sample total {folded_total} != self_profile "
+          f"total_samples {report['self_profile'].get('total_samples')}")
 
 with open(trace_path) as f:
     trace = json.load(f)
 
 events = trace.get("traceEvents", [])
 check(len(events) > 0, "trace has no events")
-names = {event.get("name") for event in events}
+spans = [e for e in events if e.get("ph") == "X"]
+counter_events = [e for e in events if e.get("ph") == "C"]
+names = {event.get("name") for event in spans}
 for phase in ("run-profile", "instrument", "execute", "strideprof-harvest",
               "run-baseline", "timed-run", "classify", "prefetch-insert"):
     check(phase in names, f"trace is missing phase span {phase!r}")
 for event in events:
-    check(event.get("ph") == "X", f"non-complete event: {event}")
-    check(isinstance(event.get("ts"), int) and isinstance(event.get("dur"), int),
-          f"event without integer ts/dur: {event}")
+    check(event.get("ph") in ("X", "C"),
+          f"unexpected event phase: {event}")
+    check(isinstance(event.get("ts"), int),
+          f"event without integer ts: {event}")
+for event in spans:
+    check(isinstance(event.get("dur"), int),
+          f"span without integer dur: {event}")
+# The sampler's ring folds into the trace as one counter event per metric
+# per snapshot.
+check(len(counter_events) > 0, "trace has no counter (\"C\") events")
+for event in counter_events:
+    check(isinstance(event.get("args"), dict) and "value" in event["args"],
+          f"counter event without args.value: {event}")
 
 if failures:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     sys.exit(1)
 print(f"telemetry schema OK ({len(sites)} stride sites, "
-      f"{len(events)} trace spans)")
+      f"{len(spans)} trace spans, {len(counter_events)} counter events, "
+      f"{n_samples} timeseries samples, {len(folded_lines)} folded lines)")
 EOF
 
 # -- sprof-inspect smoke test ----------------------------------------------
@@ -179,6 +279,47 @@ if not 0.0 <= acc <= 1.0:
     sys.exit(1)
 print(f"sprof-inspect OK (weighted accuracy {acc:.4f})")
 EOF
+
+    "$INSPECT" timeseries "$TIMESERIES" > "$WORKDIR/inspect_timeseries.txt"
+    grep -q "interp.instructions" "$WORKDIR/inspect_timeseries.txt" || {
+        echo "FAIL: sprof-inspect timeseries lacks interp.instructions" >&2
+        exit 1
+    }
+    "$INSPECT" hotspots "$REPORT" --top=5 > "$WORKDIR/inspect_hotspots.txt"
+    grep -q "Engine hotspots" "$WORKDIR/inspect_hotspots.txt" || {
+        echo "FAIL: sprof-inspect hotspots lacks the hotspot table" >&2
+        exit 1
+    }
+
+    # Error-path contract: unknown subcommands, malformed JSON, and
+    # wrong-schema inputs must all exit nonzero with a diagnostic.
+    if "$INSPECT" no-such-subcommand 2> "$WORKDIR/inspect_err.txt"; then
+        echo "FAIL: sprof-inspect accepted an unknown subcommand" >&2
+        exit 1
+    fi
+    grep -q "unknown subcommand" "$WORKDIR/inspect_err.txt" || {
+        echo "FAIL: unknown-subcommand diagnostic missing" >&2
+        exit 1
+    }
+    echo '{"broken' > "$WORKDIR/malformed.json"
+    if "$INSPECT" summary "$WORKDIR/malformed.json" \
+            2> "$WORKDIR/inspect_err.txt"; then
+        echo "FAIL: sprof-inspect summary accepted malformed JSON" >&2
+        exit 1
+    fi
+    grep -q "parse error" "$WORKDIR/inspect_err.txt" || {
+        echo "FAIL: malformed-JSON diagnostic missing" >&2
+        exit 1
+    }
+    if "$INSPECT" timeseries "$REPORT" 2> "$WORKDIR/inspect_err.txt"; then
+        echo "FAIL: sprof-inspect timeseries accepted a run report" >&2
+        exit 1
+    fi
+    if "$INSPECT" summary "$WORKDIR/definitely-missing.json" 2>/dev/null; then
+        echo "FAIL: sprof-inspect summary accepted a missing file" >&2
+        exit 1
+    fi
+    echo "sprof-inspect error paths OK"
 fi
 
 # -- bench-trajectory point ------------------------------------------------
@@ -192,19 +333,26 @@ with open(sys.argv[1]) as f:
     point = json.load(f)
 failures = []
 schema = point.get("schema")
-if schema not in ("sprof.bench_point/1", "sprof.bench_point/2"):
+if schema not in ("sprof.bench_point/1", "sprof.bench_point/2",
+                  "sprof.bench_point/3"):
     failures.append(f"unexpected schema: {schema!r}")
 for key in ("date", "geomean_speedup", "profiling_overhead",
             "prefetch_useful_ratio", "accuracy_score"):
     if key not in point:
         failures.append(f"bench point missing {key!r}")
-if schema == "sprof.bench_point/2":
+if schema in ("sprof.bench_point/2", "sprof.bench_point/3"):
     # v2 adds the wall-clock compare geomeans for the memsys-attached and
     # profiler-attached configurations.
     for key in ("engine_wall_speedup", "memsys_wall_speedup",
                 "profiled_wall_speedup"):
         if key not in point:
             failures.append(f"bench point missing {key!r}")
+if schema == "sprof.bench_point/3":
+    # v3 adds the worst-case telemetry overhead from the instrumented
+    # wall-clock compare (a ratio - 1, so anything >= -1 is legal).
+    overhead = point.get("telemetry_overhead")
+    if not isinstance(overhead, (int, float)) or overhead < -1:
+        failures.append("bench point telemetry_overhead missing or invalid")
 for key in ("geomean_speedup", "prefetch_useful_ratio", "accuracy_score"):
     value = point.get(key)
     if not isinstance(value, (int, float)) or value < 0:

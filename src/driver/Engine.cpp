@@ -6,6 +6,8 @@
 
 #include "driver/Engine.h"
 
+#include "obs/SelfProfiler.h"
+
 #include <string>
 #include <utility>
 
@@ -27,6 +29,8 @@ ExperimentEngine::ExperimentEngine(EngineOptions Opts)
     this->Opts.Threads = 1;
   if (this->Opts.Obs.Enabled)
     Session = std::make_unique<ObsSession>(this->Opts.Obs);
+  if (Session && this->Opts.Obs.CollectMetrics && this->Opts.ShardedMetrics)
+    Shards = std::make_unique<ShardedMetricsRegistry>(this->Opts.Threads);
 }
 
 ExperimentEngine::~ExperimentEngine() = default;
@@ -41,13 +45,29 @@ JobId ExperimentEngine::addJob(std::string Name, std::string Category,
   ObsSession *S = Session.get();
   return Graph.add(
       std::move(Name), std::move(Category),
-      [this, S, Index, Fn = std::move(Fn)](uint32_t /*Worker*/) {
+      [this, S, Index, Fn = std::move(Fn)](uint32_t Worker) {
         ObsSession *Scope = nullptr;
         if (S) {
           JobObs[Index] = std::make_unique<ObsSession>(S->jobConfig());
           Scope = JobObs[Index].get();
         }
-        Fn(Scope);
+        if (!Scope || !Shards) {
+          Fn(Scope);
+          return;
+        }
+        // Sharded aggregation: fold this job's counters/histograms into
+        // the executing worker's private shard while still on the worker
+        // thread -- single shard owner, so no lock is ever contended. The
+        // fold must also run when the job throws, mirroring the direct
+        // path (which merges failed jobs' partial metrics too).
+        MetricsRegistry &Shard = Shards->shard(Worker);
+        try {
+          Fn(Scope);
+        } catch (...) {
+          Shard.merge(Scope->registry());
+          throw;
+        }
+        Shard.merge(Scope->registry());
       },
       std::move(Deps));
 }
@@ -59,6 +79,15 @@ void ExperimentEngine::run() {
   // Fold per-job telemetry in JobId order so the session registry, the
   // trace, and the "jobs" array never depend on completion order.
   if (Session) {
+    if (Shards) {
+      // Counters and histograms already aggregated lock-free into the
+      // worker shards; fold those in shard order (commutative, so the
+      // totals are bit-identical to the per-job merge below). Gauges are
+      // last-write-wins and get replayed deterministically in the JobId
+      // loop.
+      Shards->mergeInto(Session->registry());
+      Shards->clear();
+    }
     for (JobId Id = 0; Id != Outcomes.size(); ++Id) {
       const JobOutcome &O = Outcomes[Id];
       const uint64_t StartUs = SessionStartUs + O.StartUs;
@@ -72,7 +101,13 @@ void ExperimentEngine::run() {
       if (!O.Ok)
         R.Error = O.Error;
       if (ObsSession *Scope = JobObs[Id].get()) {
-        Session->registry().merge(Scope->registry());
+        if (Shards)
+          Session->registry().setGaugesFrom(Scope->registry());
+        else
+          Session->registry().merge(Scope->registry());
+        if (EngineSelfProfiler *SessionSP = Session->selfProfiler())
+          if (const EngineSelfProfiler *JobSP = Scope->selfProfiler())
+            SessionSP->merge(*JobSP);
         R.Metrics = Scope->registry();
         if (O.Ran) {
           Session->trace().appendCompletedSpan(R.Name, R.Category, StartUs,

@@ -34,6 +34,7 @@
 
 #include "driver/JobGraph.h"
 #include "driver/Pipeline.h"
+#include "obs/Sharded.h"
 
 #include <functional>
 #include <memory>
@@ -50,6 +51,13 @@ struct EngineOptions {
   /// Session-level telemetry; jobs get derived scopes (ObsSession's
   /// jobConfig).
   ObsConfig Obs;
+  /// Aggregate job metrics through per-worker shards: each worker folds
+  /// its finished job scopes into its own shard lock-free, and the shards
+  /// fold into the session registry after the graph drains. Totals are
+  /// bit-identical to the direct per-job merge (counter addition and
+  /// histogram merging are commutative; gauges are replayed in JobId
+  /// order), so this is purely a contention knob.
+  bool ShardedMetrics = true;
 };
 
 /// A declarative sweep: the cross product of workloads × seed offsets ×
@@ -144,6 +152,9 @@ public:
 private:
   EngineOptions Opts;
   std::unique_ptr<ObsSession> Session;
+  /// Per-worker metric shards (EngineOptions::ShardedMetrics); cleared
+  /// after every drain so the engine stays reusable.
+  std::unique_ptr<ShardedMetricsRegistry> Shards;
   JobGraph Graph;
   /// One slot per pending job; the job's wrapper fills it at job start.
   /// Preallocated in addJob so worker threads never resize the vector.

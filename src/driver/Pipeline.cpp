@@ -8,11 +8,21 @@
 #include "driver/Pipeline.h"
 
 #include "ir/Verifier.h"
+#include "obs/SelfProfiler.h"
 #include "obs/Trace.h"
 
 #include <cassert>
 
 using namespace sprof;
+
+/// Labels the engine self-profiler's accumulation bucket for the phase
+/// about to execute, so folded-stack lines read "workload;phase;op".
+static void labelSelfProfile(ObsSession *Obs, const Workload &W,
+                             const char *Phase) {
+  if (Obs)
+    if (EngineSelfProfiler *SP = Obs->selfProfiler())
+      SP->setContext(W.info().Name, Phase);
+}
 
 ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
                                       bool WithMemorySystem) const {
@@ -41,6 +51,7 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
     I.attachMemory(&MH);
   I.attachProfiler(&Profiler);
   I.attachObs(Obs);
+  labelSelfProfile(Obs, W, "profile");
   {
     TraceSpan ES(Obs, "execute", "interp", /*Level=*/1);
     Result.Stats = I.run();
@@ -90,6 +101,7 @@ RunStats Pipeline::runBaseline(DataSet DS) const {
   MemoryHierarchy MH(Config.Memory);
   I.attachMemory(&MH);
   I.attachObs(Obs);
+  labelSelfProfile(Obs, W, "baseline");
   RunStats Stats;
   {
     TraceSpan ES(Obs, "execute", "interp", /*Level=*/1);
@@ -125,6 +137,7 @@ TimedRunResult Pipeline::runPrefetched(DataSet DS, const EdgeProfile &Edges,
     MH.enableAttribution(Prog.M.NumLoadSites);
   I.attachMemory(&MH);
   I.attachObs(Obs);
+  labelSelfProfile(Obs, W, "timed");
   {
     TraceSpan ES(Obs, "execute", "interp", /*Level=*/1);
     Result.Stats = I.run();

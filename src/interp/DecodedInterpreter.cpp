@@ -33,6 +33,8 @@
 
 #include "interp/DecodedInterpreter.h"
 
+#include "obs/SelfProfiler.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -52,7 +54,26 @@ static_assert(static_cast<unsigned>(FusedOp::MovMov) == NumOpcodes &&
                   NumDispatchOps == 52,
               "fused-op set changed: update the Decoded engine's handlers");
 
+/// Once-per-window slow path of the sampled dispatch prologue: records the
+/// sample and returns the re-armed NextStop. Kept out of line and cold so
+/// the hot loop carries no trace of the sampling machinery beyond the
+/// fuel compare it already pays (see the sp_stop block in runImpl).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline, cold))
+#endif
+static uint64_t
+selfProfStop(EngineSelfProfiler *SP, uint8_t DOp, uint64_t NInsts,
+             uint64_t Window, uint64_t MaxInstructions) {
+  SP->sample(DOp);
+  uint64_t Next = NInsts + Window;
+  return Next > MaxInstructions ? MaxInstructions : Next;
+}
+
 RunStats DecodedInterpreter::run(uint64_t MaxInstructions, ExecTally &Tally) {
+  if (SelfProf) {
+    SelfProf->configureSlots(NumDispatchOps, dispatchOpNames());
+    SelfProf->beginWindow();
+  }
   return Mem ? runImpl<true>(MaxInstructions, Tally)
              : runImpl<false>(MaxInstructions, Tally);
 }
@@ -113,6 +134,27 @@ RunStats DecodedInterpreter::runImpl(uint64_t MaxInstructions,
         StrideRing.resize(RingCap);
       Ring = StrideRing.data();
     }
+  }
+
+  // Self-profiler sampling rides the dispatch prologue's existing fuel
+  // check: NextStop is the nearer of the fuel limit and the next sample
+  // point, so the hot path stays one compare-and-branch whether or not
+  // sampling is on. Which instructions get sampled (every SPWindow
+  // committed instructions, give or take fused-pair overshoot) is a
+  // deterministic function of the instruction stream. Sampled and
+  // unsampled runs share this one instantiation — every dispatch tail
+  // branches to a single cold stop block (sp_stop) that sorts out fuel
+  // exhaustion vs. sample-and-rearm at run time, so attaching the
+  // profiler cannot change the hot loop's code layout. (An earlier
+  // WithSelfProf template split duplicated the dispatch loop and cost a
+  // constant ~6% on the sampled copy from layout alone.) Host-side only:
+  // simulated accounting never moves.
+  uint64_t NextStop = MaxInstructions;
+  uint64_t SPWindow = 1;
+  if (SelfProf) {
+    SPWindow = SelfProf->window();
+    if (NInsts + SPWindow < NextStop)
+      NextStop = NInsts + SPWindow;
   }
 
 // Reads a pre-decoded operand: one unconditional load, whether the operand
@@ -265,8 +307,8 @@ RunStats DecodedInterpreter::runImpl(uint64_t MaxInstructions,
 // time), so the hot path is fuel check + count + one indirect jump.
 #define SPROF_DISPATCH()                                                     \
   do {                                                                       \
-    if (NInsts >= MaxInstructions)                                           \
-      goto run_done;                                                         \
+    if (__builtin_expect(NInsts >= NextStop, 0))                             \
+      goto sp_stop;                                                          \
     ++NInsts;                                                                \
     goto *Labels[I->DOp];                                                    \
   } while (0)
@@ -309,8 +351,12 @@ H_Predicated:
 
 next_inst:
   for (;;) {
-    if (NInsts >= MaxInstructions)
-      goto run_done;
+    if (__builtin_expect(NInsts >= NextStop, 0)) {
+      if (NInsts >= MaxInstructions || !SelfProf)
+        goto run_done;
+      NextStop =
+          selfProfStop(SelfProf, I->DOp, NInsts, SPWindow, MaxInstructions);
+    }
     ++NInsts;
     uint8_t DOp = I->DOp;
     if (DOp == static_cast<uint8_t>(FusedOp::Predicated)) {
@@ -592,6 +638,17 @@ next_inst:
     }
 
 #if SPROF_COMPUTED_GOTO
+
+  // The shared slow half of the dispatch prologue: every replicated
+  // dispatch tail branches here when NInsts reaches NextStop. One cold
+  // block (and one selfProfStop call site) for the whole loop, so the
+  // ~50 hot tails stay a compare-and-branch each and carry no call.
+sp_stop:
+  if (NInsts >= MaxInstructions || !SelfProf)
+    goto run_done;
+  NextStop = selfProfStop(SelfProf, I->DOp, NInsts, SPWindow, MaxInstructions);
+  ++NInsts;
+  goto *Labels[I->DOp];
   }
 #else
     } // switch: every case jumps, so control never falls through

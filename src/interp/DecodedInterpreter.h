@@ -27,6 +27,8 @@
 
 namespace sprof {
 
+class EngineSelfProfiler;
+
 /// Executes a DecodedProgram. Owned by an Interpreter, which supplies the
 /// memory image, counters, and per-run attachments; the pool vectors
 /// persist across run() calls so repeated runs reuse their capacity.
@@ -46,12 +48,19 @@ public:
     Profiler = SP;
   }
 
+  /// Attaches (or detaches, with nullptr) the window-sampled self-profiler
+  /// that attributes the engine's own host cycles per dispatch op. Purely
+  /// host-side: simulated accounting is bit-identical with or without it.
+  void attachSelfProfiler(EngineSelfProfiler *SP) { SelfProf = SP; }
+
   RunStats run(uint64_t MaxInstructions, ExecTally &Tally);
 
 private:
   /// The dispatch loop, specialized on whether a cache hierarchy is
-  /// attached: the HasMem=false instance folds the latency branch and the
-  /// (always-zero) stall arithmetic out of every Load/Prefetch/SpecLoad.
+  /// attached -- the HasMem=false instance folds the latency branch and the
+  /// (always-zero) stall arithmetic out of every Load/Prefetch/SpecLoad --
+  /// and on whether the self-profiler hook is live, so the common
+  /// unprofiled instances carry no sampling countdown at all.
   template <bool HasMem>
   RunStats runImpl(uint64_t MaxInstructions, ExecTally &Tally);
 
@@ -71,6 +80,7 @@ private:
   std::vector<uint64_t> &Counters;
   MemoryHierarchy *Mem = nullptr;
   StrideProfiler *Profiler = nullptr;
+  EngineSelfProfiler *SelfProf = nullptr;
   /// See InterpreterConfig::StrideBatchWindow (normalized to >= 1).
   uint32_t StrideBatchWindow;
 

@@ -387,3 +387,49 @@ DecodedProgram::DecodedProgram(const Module &M)
     if (D.Pred != NoReg)
       D.DOp = static_cast<uint8_t>(FusedOp::Predicated);
 }
+
+// -- Dispatch-op names -----------------------------------------------------
+
+const char *const *sprof::dispatchOpNames() {
+  static const char *Names[NumDispatchOps] = {};
+  static const bool Init = [] {
+    for (unsigned I = 0; I != NumOpcodes; ++I)
+      Names[I] = opcodeName(static_cast<Opcode>(I));
+    auto Set = [](FusedOp F, const char *N) {
+      Names[static_cast<unsigned>(F)] = N;
+    };
+    Set(FusedOp::MovMov, "MovMov");
+    Set(FusedOp::AddAdd, "AddAdd");
+    Set(FusedOp::AddShl, "AddShl");
+    Set(FusedOp::AddXor, "AddXor");
+    Set(FusedOp::ShlAdd, "ShlAdd");
+    Set(FusedOp::ShlXor, "ShlXor");
+    Set(FusedOp::ShrXor, "ShrXor");
+    Set(FusedOp::AndShl, "AndShl");
+    Set(FusedOp::XorShl, "XorShl");
+    Set(FusedOp::XorShr, "XorShr");
+    Set(FusedOp::XorAnd, "XorAnd");
+    Set(FusedOp::AddLoad, "AddLoad");
+    Set(FusedOp::AndLoad, "AndLoad");
+    Set(FusedOp::LoadAdd, "LoadAdd");
+    Set(FusedOp::LoadAnd, "LoadAnd");
+    Set(FusedOp::LoadXor, "LoadXor");
+    Set(FusedOp::LoadShl, "LoadShl");
+    Set(FusedOp::LoadLoad, "LoadLoad");
+    Set(FusedOp::CmpNeBr, "CmpNeBr");
+    Set(FusedOp::CmpLtBr, "CmpLtBr");
+    Set(FusedOp::CallInlined, "CallInlined");
+    Set(FusedOp::RetInlined, "RetInlined");
+    Set(FusedOp::Predicated, "Predicated");
+    return true;
+  }();
+  (void)Init;
+  return Names;
+}
+
+const char *sprof::dispatchOpName(uint8_t DOp) {
+  if (DOp < NumDispatchOps)
+    if (const char *N = dispatchOpNames()[DOp])
+      return N;
+  return "op?";
+}

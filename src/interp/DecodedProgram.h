@@ -126,6 +126,15 @@ enum class FusedOp : uint8_t {
 constexpr unsigned NumDispatchOps =
     static_cast<unsigned>(FusedOp::Predicated) + 1;
 
+/// Printable name of a dispatch op (base opcode or fused
+/// superinstruction), e.g. "Load", "CmpLtBr". "op<N>" for out-of-range
+/// values.
+const char *dispatchOpName(uint8_t DOp);
+
+/// The full NumDispatchOps-sized name table, indexed by DInst::DOp. The
+/// engine self-profiler installs this so folded-stack lines carry op names.
+const char *const *dispatchOpNames();
+
 /// Per-function decode metadata. A frame owns NumSlots consecutive entries
 /// of the register stack: the first NumRegs are the function's registers
 /// (zeroed on entry), the remaining NumSlots - NumRegs are constant slots

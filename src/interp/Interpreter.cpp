@@ -38,6 +38,10 @@ Interpreter::~Interpreter() = default;
 
 void Interpreter::attachObs(ObsSession *Session) {
   Sinks = ObsSinks();
+  // The session's self-profiler (if configured) rides along with the
+  // metric sinks, so enabling ObsConfig::SelfProfile is all a driver
+  // needs to do. Only the Decoded engine samples; Reference ignores it.
+  SelfProf = Session ? Session->selfProfiler() : nullptr;
   if (!Session)
     return;
   Sinks.Runs = Session->counter("interp.runs");
@@ -109,6 +113,7 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
           Config.StrideBatchWindow);
     }
     DecodedExec->attach(Mem, Profiler);
+    DecodedExec->attachSelfProfiler(SelfProf);
     Stats = DecodedExec->run(MaxInstructions, Tally);
   } else {
     Stats = runReference(MaxInstructions, Tally);

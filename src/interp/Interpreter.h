@@ -43,6 +43,7 @@ class ObsSession;
 class Counter;
 class Gauge;
 class Histogram;
+class EngineSelfProfiler;
 class DecodedProgram;
 class DecodedInterpreter;
 
@@ -174,6 +175,9 @@ private:
   InterpreterConfig Config;
   MemoryHierarchy *Mem = nullptr;
   StrideProfiler *Profiler = nullptr;
+  /// Resolved from the session at attachObs; forwarded to the Decoded
+  /// engine each run (Reference runs ignore it).
+  EngineSelfProfiler *SelfProf = nullptr;
   ObsSinks Sinks;
   std::vector<uint64_t> Counters;
 

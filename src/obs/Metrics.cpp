@@ -77,7 +77,25 @@ Histogram &sprof::dummyHistogram() {
   return H;
 }
 
+MetricsRegistry::MetricsRegistry(const MetricsRegistry &Other) {
+  std::lock_guard<std::mutex> L(Other.Mu);
+  Counters = Other.Counters;
+  Gauges = Other.Gauges;
+  Histograms = Other.Histograms;
+}
+
+MetricsRegistry &MetricsRegistry::operator=(const MetricsRegistry &Other) {
+  if (this == &Other)
+    return *this;
+  std::scoped_lock L(Mu, Other.Mu);
+  Counters = Other.Counters;
+  Gauges = Other.Gauges;
+  Histograms = Other.Histograms;
+  return *this;
+}
+
 Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Counters.find(Name);
   if (It == Counters.end())
     It = Counters.emplace(std::string(Name), Counter()).first;
@@ -85,6 +103,7 @@ Counter &MetricsRegistry::counter(std::string_view Name) {
 }
 
 Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Gauges.find(Name);
   if (It == Gauges.end())
     It = Gauges.emplace(std::string(Name), Gauge()).first;
@@ -92,6 +111,8 @@ Gauge &MetricsRegistry::gauge(std::string_view Name) {
 }
 
 void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  // Other must be quiescent (no concurrent producers); this registry may
+  // have a concurrent sampler, which the per-lookup lock tolerates.
   for (const auto &[Name, C] : Other.Counters)
     counter(Name).inc(C.value());
   for (const auto &[Name, G] : Other.Gauges)
@@ -100,8 +121,28 @@ void MetricsRegistry::merge(const MetricsRegistry &Other) {
     histogram(Name, H.bounds()).merge(H);
 }
 
+void MetricsRegistry::setGaugesFrom(const MetricsRegistry &Other) {
+  for (const auto &[Name, G] : Other.Gauges)
+    gauge(Name).set(G.value());
+}
+
+void MetricsRegistry::snapshotScalars(
+    std::vector<std::pair<std::string, uint64_t>> &CountersOut,
+    std::vector<std::pair<std::string, double>> &GaugesOut) const {
+  std::lock_guard<std::mutex> L(Mu);
+  CountersOut.clear();
+  CountersOut.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    CountersOut.emplace_back(Name, C.value());
+  GaugesOut.clear();
+  GaugesOut.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    GaugesOut.emplace_back(Name, G.value());
+}
+
 Histogram &MetricsRegistry::histogram(std::string_view Name,
                                       std::vector<uint64_t> UpperBounds) {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Histograms.find(Name);
   if (It == Histograms.end())
     It = Histograms

@@ -18,37 +18,73 @@
 /// storage is node-based (std::map) so resolved pointers stay valid for the
 /// registry's lifetime.
 ///
+/// Counters and gauges are single-writer/multi-reader: each scalar lives in
+/// a relaxed std::atomic so the TelemetrySampler thread can read a
+/// mid-run value without a data race, while the (single) producer's
+/// read-modify-write stays a plain load+add+store -- no lock prefix, same
+/// machine code as the non-atomic version. The registry's *map structure*
+/// is guarded by a mutex on the creation/lookup path only; resolved-pointer
+/// producers never touch it per event.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPROF_OBS_METRICS_H
 #define SPROF_OBS_METRICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace sprof {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Written by exactly one thread at a
+/// time; readable concurrently (sampler snapshots) through relaxed atomics.
 class Counter {
 public:
-  void inc(uint64_t N = 1) { Val += N; }
-  uint64_t value() const { return Val; }
+  Counter() = default;
+  Counter(const Counter &Other)
+      : Val(Other.Val.load(std::memory_order_relaxed)) {}
+  Counter &operator=(const Counter &Other) {
+    Val.store(Other.Val.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(uint64_t N = 1) {
+    // Single-writer: a relaxed load+store pair is exact and compiles to the
+    // same add-to-memory a plain uint64_t would.
+    Val.store(Val.load(std::memory_order_relaxed) + N,
+              std::memory_order_relaxed);
+  }
+  uint64_t value() const { return Val.load(std::memory_order_relaxed); }
 
 private:
-  uint64_t Val = 0;
+  std::atomic<uint64_t> Val{0};
 };
 
 /// Last-write-wins scalar (configuration values, run-level ratios).
+/// Single-writer/multi-reader like Counter.
 class Gauge {
 public:
-  void set(double V) { Val = V; }
-  double value() const { return Val; }
+  Gauge() = default;
+  Gauge(const Gauge &Other)
+      : Val(Other.Val.load(std::memory_order_relaxed)) {}
+  Gauge &operator=(const Gauge &Other) {
+    Val.store(Other.Val.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    return *this;
+  }
+
+  void set(double V) { Val.store(V, std::memory_order_relaxed); }
+  double value() const { return Val.load(std::memory_order_relaxed); }
 
 private:
-  double Val = 0.0;
+  std::atomic<double> Val{0.0};
 };
 
 /// Fixed-bucket histogram over unsigned samples. Bucket I counts samples
@@ -103,8 +139,19 @@ private:
 /// Owns all metrics of one observability session, keyed by dotted names
 /// ("strideprof.invocations"). Lookup creates on first use; repeated
 /// lookups return the same object, whose address is stable.
+///
+/// Thread model: the creation/lookup path (counter/gauge/histogram) and the
+/// scalar snapshot are serialized by an internal mutex, so a background
+/// sampler may discover metrics while producers resolve new ones. Updates
+/// through resolved pointers are lock-free (see Counter/Gauge). Histograms
+/// are multi-word and are NOT safe to read mid-update; snapshots cover
+/// counters and gauges only.
 class MetricsRegistry {
 public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &Other);
+  MetricsRegistry &operator=(const MetricsRegistry &Other);
+
   Counter &counter(std::string_view Name);
   Gauge &gauge(std::string_view Name);
   /// \p UpperBounds applies only when the histogram is created by this
@@ -126,9 +173,24 @@ public:
   /// \p Other's value (last write wins, like a direct set), histograms
   /// merge per Histogram::merge. Metrics missing here are created. This
   /// is how per-job metric scopes aggregate into a session registry.
+  /// Counter and histogram folding is commutative and associative, so any
+  /// merge order over a set of scopes yields bit-identical totals.
   void merge(const MetricsRegistry &Other);
 
+  /// Copies \p Other's gauge values into this registry (creating missing
+  /// gauges). Used after a sharded fold to replay gauges in a
+  /// deterministic order, since gauge merging is last-write-wins.
+  void setGaugesFrom(const MetricsRegistry &Other);
+
+  /// Consistent point-in-time copy of every counter and gauge, sorted by
+  /// name. Safe to call from a sampler thread while producers update
+  /// resolved metrics and create new ones.
+  void snapshotScalars(
+      std::vector<std::pair<std::string, uint64_t>> &CountersOut,
+      std::vector<std::pair<std::string, double>> &GaugesOut) const;
+
 private:
+  mutable std::mutex Mu; ///< guards map structure, not metric values
   std::map<std::string, Counter, std::less<>> Counters;
   std::map<std::string, Gauge, std::less<>> Gauges;
   std::map<std::string, Histogram, std::less<>> Histograms;

@@ -21,10 +21,14 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace sprof {
+
+class TelemetrySampler;
+class EngineSelfProfiler;
 
 /// Everything configurable about telemetry collection.
 struct ObsConfig {
@@ -41,6 +45,29 @@ struct ObsConfig {
   /// execute, classify, prefetch-insert, ...), 2 = fine-grained spans
   /// inside the phases.
   unsigned TraceDetail = 1;
+
+  /// When nonzero (and metrics are on), the session runs a background
+  /// TelemetrySampler that snapshots every counter/gauge at this interval
+  /// into a bounded time-series ring.
+  uint64_t SampleIntervalUs = 0;
+
+  /// Ring capacity of the sampler (oldest snapshots drop when full).
+  size_t SampleRingCapacity = 512;
+
+  /// When non-empty, writeArtifacts dumps the "sprof.timeseries/1"
+  /// document here (requires SampleIntervalUs > 0).
+  std::string TimeSeriesOutputPath;
+
+  /// Run the decoded engine's window-sampled self-profiler (per-opcode /
+  /// per-superinstruction / per-phase host-cycle attribution).
+  bool SelfProfile = false;
+
+  /// Self-profiler sampling window in dispatches.
+  uint32_t SelfProfileWindow = 1024;
+
+  /// When non-empty, writeArtifacts dumps the self-profiler's folded-stack
+  /// lines ("workload;phase;op count") here for flamegraph.pl/speedscope.
+  std::string FoldedProfilePath;
 
   /// When non-empty, ObsSession::writeArtifacts dumps the Chrome trace
   /// here.
@@ -71,7 +98,14 @@ struct JobRecord {
 /// ExperimentEngine, spanning all the runs it drives.
 class ObsSession {
 public:
-  explicit ObsSession(ObsConfig Config) : Config(std::move(Config)) {}
+  /// Starts the background sampler when Config enables it
+  /// (SampleIntervalUs > 0 with metrics on) and creates the engine
+  /// self-profiler when Config.SelfProfile is set.
+  explicit ObsSession(ObsConfig Config);
+  ~ObsSession();
+
+  ObsSession(const ObsSession &) = delete;
+  ObsSession &operator=(const ObsSession &) = delete;
 
   const ObsConfig &config() const { return Config; }
 
@@ -102,12 +136,32 @@ public:
                                                               : nullptr;
   }
 
+  /// The background sampler, or nullptr when not configured. Ring
+  /// accessors are valid after stopSampling()/writeArtifacts().
+  TelemetrySampler *sampler() { return Sampler.get(); }
+  const TelemetrySampler *sampler() const { return Sampler.get(); }
+
+  /// Stops the sampler (taking its final synchronized snapshot) if it is
+  /// running. Idempotent; call after producers quiesce.
+  void stopSampling();
+
+  /// The engine self-profiler, or nullptr when Config.SelfProfile is off.
+  /// Interpreter::attachObs resolves this, so enabling the knob is all a
+  /// caller needs to do.
+  EngineSelfProfiler *selfProfiler() { return SelfProf.get(); }
+  const EngineSelfProfiler *selfProfiler() const { return SelfProf.get(); }
+
   /// Configuration for a job-scoped child session: same collection
-  /// switches, no output paths (the parent session owns the artifacts).
+  /// switches, no output paths (the parent session owns the artifacts),
+  /// and no sampler thread (jobs are short-lived; the parent samples the
+  /// folded session registry instead).
   ObsConfig jobConfig() const {
     ObsConfig C = Config;
     C.TraceOutputPath.clear();
     C.ReportOutputPath.clear();
+    C.TimeSeriesOutputPath.clear();
+    C.FoldedProfilePath.clear();
+    C.SampleIntervalUs = 0;
     return C;
   }
 
@@ -116,19 +170,21 @@ public:
   void recordJob(JobRecord Record) { Jobs.push_back(std::move(Record)); }
   const std::vector<JobRecord> &jobs() const { return Jobs; }
 
-  /// Writes the Chrome trace to Config.TraceOutputPath when set. Returns
-  /// false only on an I/O failure.
-  bool writeArtifacts() const {
-    if (Config.TraceOutputPath.empty())
-      return true;
-    return Trace.writeChromeTraceFile(Config.TraceOutputPath);
-  }
+  /// Writes every configured artifact: stops the sampler, folds its ring
+  /// into the trace as counter events, then writes the Chrome trace
+  /// (TraceOutputPath), the time-series document (TimeSeriesOutputPath),
+  /// and the folded self-profile (FoldedProfilePath) -- each only when its
+  /// path is set. Returns false only on an I/O failure.
+  bool writeArtifacts();
 
 private:
   ObsConfig Config;
   MetricsRegistry Registry;
   TraceCollector Trace;
   std::vector<JobRecord> Jobs;
+  std::unique_ptr<TelemetrySampler> Sampler;
+  std::unique_ptr<EngineSelfProfiler> SelfProf;
+  bool CounterSamplesFolded = false;
 };
 
 } // namespace sprof

@@ -6,6 +6,8 @@
 
 #include "obs/Report.h"
 
+#include "obs/SelfProfiler.h"
+
 #include <ostream>
 
 using namespace sprof;
@@ -225,6 +227,11 @@ JsonValue sprof::pipelineConfigToJson(const PipelineConfig &Config) {
   Obs.set("collect_metrics", Config.Obs.CollectMetrics);
   Obs.set("collect_trace", Config.Obs.CollectTrace);
   Obs.set("trace_detail", Config.Obs.TraceDetail);
+  Obs.set("sample_interval_us", Config.Obs.SampleIntervalUs);
+  Obs.set("sample_ring_capacity",
+          static_cast<uint64_t>(Config.Obs.SampleRingCapacity));
+  Obs.set("self_profile", Config.Obs.SelfProfile);
+  Obs.set("self_profile_window", Config.Obs.SelfProfileWindow);
   J.set("obs", std::move(Obs));
   return J;
 }
@@ -354,6 +361,24 @@ JsonValue sprof::profileDiffToJson(const ProfileDiffResult &Diff) {
   return J;
 }
 
+JsonValue sprof::selfProfileToJson(const EngineSelfProfiler &SP) {
+  JsonValue J = JsonValue::object();
+  J.set("window", SP.window());
+  J.set("total_samples", SP.totalSamples());
+  JsonValue Entries = JsonValue::array();
+  for (const EngineSelfProfiler::Entry &E : SP.entries()) {
+    JsonValue EJ = JsonValue::object();
+    EJ.set("workload", E.Workload);
+    EJ.set("phase", E.Phase);
+    EJ.set("op", SP.slotName(E.Slot));
+    EJ.set("samples", E.Samples);
+    EJ.set("ns", E.Ns);
+    Entries.push(std::move(EJ));
+  }
+  J.set("entries", std::move(Entries));
+  return J;
+}
+
 JsonValue sprof::metricsToJson(const MetricsRegistry &Registry) {
   JsonValue J = JsonValue::object();
 
@@ -446,7 +471,7 @@ JsonValue sprof::buildRunReport(const std::string &WorkloadName,
                                 const ReportOptions &Options,
                                 const ProfileDiffResult *Diff) {
   JsonValue J = JsonValue::object();
-  J.set("schema", RunReportSchemaV2);
+  J.set("schema", RunReportSchemaV3);
   J.set("workload", WorkloadName);
   J.set("config", pipelineConfigToJson(Config));
   if (Profile)
@@ -474,6 +499,9 @@ JsonValue sprof::buildRunReport(const std::string &WorkloadName,
     J.set("metrics", metricsToJson(Obs->registry()));
     if (!Obs->jobs().empty())
       J.set("jobs", jobsToJson(*Obs));
+    if (const EngineSelfProfiler *SP = Obs->selfProfiler())
+      if (SP->totalSamples() != 0)
+        J.set("self_profile", selfProfileToJson(*SP));
   }
   return J;
 }

@@ -13,11 +13,13 @@
 /// counts, classification verdicts with the configured thresholds, sampling
 /// configuration, and every metric in an ObsSession's registry.
 ///
-/// The top-level document is versioned ("sprof.run_report/2"); consumers
+/// The top-level document is versioned ("sprof.run_report/3"); consumers
 /// (scripts/check_telemetry_schema.sh, tests/test_obs.cpp, sprof-inspect)
-/// validate against that schema string. /2 is a strict superset of /1: it
-/// adds the optional "attribution" and "profile_diff" sections, so a /1
-/// reader that ignores unknown keys parses /2 documents unchanged.
+/// validate against that schema string. Each version is a strict superset
+/// of the previous one: /2 added the optional "attribution" and
+/// "profile_diff" sections, /3 adds the optional "self_profile" section
+/// (the engine's window-sampled per-dispatch-op attribution), so an older
+/// reader that ignores unknown keys parses newer documents unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,8 +40,12 @@ namespace sprof {
 /// attribution existed; still accepted by every reader.
 inline constexpr const char *RunReportSchemaV1 = "sprof.run_report/1";
 
-/// Schema identifier stamped into every run report.
+/// Schema identifier of reports written before the engine self-profile
+/// section existed; still accepted by every reader.
 inline constexpr const char *RunReportSchemaV2 = "sprof.run_report/2";
+
+/// Schema identifier stamped into every run report.
+inline constexpr const char *RunReportSchemaV3 = "sprof.run_report/3";
 
 /// Shaping knobs for the per-site sections.
 struct ReportOptions {
@@ -71,6 +77,10 @@ JsonValue attributionToJson(const AttributionData &Attr,
 /// Profile-accuracy diff section (run_report/2).
 JsonValue profileDiffToJson(const ProfileDiffResult &Diff);
 JsonValue metricsToJson(const MetricsRegistry &Registry);
+/// Engine self-profile section (run_report/3): sampling window, total
+/// sample count, and every nonzero (workload, phase, op) cell with its
+/// deterministic sample count and host-ns estimate, hottest first.
+JsonValue selfProfileToJson(const EngineSelfProfiler &SP);
 /// One engine job: name, category, timing, worker lane, outcome, and the
 /// job's own metric scope.
 JsonValue jobRecordToJson(const JobRecord &Record);

@@ -1,0 +1,126 @@
+//===- obs/Sampler.cpp - Background time-series metric sampler -------------===//
+//
+// Part of the StrideProf project (see Sampler.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Sampler.h"
+
+#include <chrono>
+#include <map>
+
+using namespace sprof;
+
+TelemetrySampler::TelemetrySampler(const MetricsRegistry &Registry,
+                                   const TraceCollector &Clock,
+                                   uint64_t IntervalUs, size_t RingCapacity)
+    : Registry(Registry), Clock(Clock), IntervalUs(IntervalUs),
+      RingCapacity(RingCapacity < 2 ? 2 : RingCapacity) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  if (Thr.joinable() || Stopped)
+    return;
+  StopRequested = false;
+  Thr = std::thread([this] { threadMain(); });
+}
+
+void TelemetrySampler::stop() {
+  if (Thr.joinable()) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      StopRequested = true;
+    }
+    Cv.notify_all();
+    Thr.join();
+  }
+  if (!Stopped) {
+    Stopped = true;
+    // The final snapshot: taken after the sampler thread has joined and
+    // (by the caller's contract) after producers quiesced, so it equals
+    // the registry's end-of-run totals exactly.
+    takeSample();
+  }
+}
+
+void TelemetrySampler::threadMain() {
+  std::unique_lock<std::mutex> L(Mu);
+  for (;;) {
+    if (Cv.wait_for(L, std::chrono::microseconds(IntervalUs),
+                    [this] { return StopRequested; }))
+      return; // the final snapshot happens in stop(), post-join
+    L.unlock();
+    takeSample();
+    L.lock();
+  }
+}
+
+void TelemetrySampler::takeSample() {
+  TimeSeriesSample S;
+  S.TsUs = Clock.nowUs();
+  Registry.snapshotScalars(S.Counters, S.Gauges);
+  std::lock_guard<std::mutex> L(Mu);
+  if (Ring.size() == RingCapacity)
+    Ring.pop_front();
+  Ring.push_back(std::move(S));
+  ++Taken;
+}
+
+JsonValue sprof::timeSeriesToJson(const TelemetrySampler &Sampler) {
+  const auto &Samples = Sampler.samples();
+
+  // Union of metric names over the whole ring; a metric discovered mid-run
+  // is back-filled with zero for earlier samples.
+  std::map<std::string, std::vector<uint64_t>> CounterSeries;
+  std::map<std::string, std::vector<double>> GaugeSeries;
+  size_t Idx = 0;
+  for (const auto &S : Samples) {
+    for (const auto &[Name, V] : S.Counters) {
+      auto &Series = CounterSeries[Name];
+      Series.resize(Idx, 0);
+      Series.push_back(V);
+    }
+    for (const auto &[Name, V] : S.Gauges) {
+      auto &Series = GaugeSeries[Name];
+      Series.resize(Idx, 0.0);
+      Series.push_back(V);
+    }
+    ++Idx;
+  }
+  for (auto &[Name, Series] : CounterSeries)
+    Series.resize(Samples.size(), 0);
+  for (auto &[Name, Series] : GaugeSeries)
+    Series.resize(Samples.size(), 0.0);
+
+  JsonValue J = JsonValue::object();
+  J.set("schema", TimeSeriesSchemaV1);
+  J.set("interval_us", Sampler.intervalUs());
+  J.set("ring_capacity", static_cast<uint64_t>(Sampler.ringCapacity()));
+  J.set("samples_taken", Sampler.samplesTaken());
+  J.set("dropped", Sampler.dropped());
+
+  JsonValue Ts = JsonValue::array();
+  for (const auto &S : Samples)
+    Ts.push(S.TsUs);
+  J.set("timestamps_us", std::move(Ts));
+
+  JsonValue Counters = JsonValue::object();
+  for (const auto &[Name, Series] : CounterSeries) {
+    JsonValue Vals = JsonValue::array();
+    for (uint64_t V : Series)
+      Vals.push(V);
+    Counters.set(Name, std::move(Vals));
+  }
+  J.set("counters", std::move(Counters));
+
+  JsonValue Gauges = JsonValue::object();
+  for (const auto &[Name, Series] : GaugeSeries) {
+    JsonValue Vals = JsonValue::array();
+    for (double V : Series)
+      Vals.push(V);
+    Gauges.set(Name, std::move(Vals));
+  }
+  J.set("gauges", std::move(Gauges));
+  return J;
+}

@@ -1,0 +1,119 @@
+//===- obs/Sampler.h - Background time-series metric sampler ----*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns end-of-run totals into a time series: a TelemetrySampler owns a
+/// background thread that snapshots a MetricsRegistry's counters and gauges
+/// at a fixed interval into a bounded ring. With the ring in hand, a run's
+/// MPKI, useful-prefetch ratio, or drain backlog are visible *over the
+/// run* instead of only at the end.
+///
+/// Sampling reads race-free against live producers because counters and
+/// gauges are relaxed atomics and the registry serializes map discovery
+/// (Metrics.h); histograms are multi-word and excluded. stop() joins the
+/// thread and then takes one final synchronized snapshot, so the last ring
+/// entry always equals the registry's end-of-run totals exactly -- tests
+/// key on that determinism guarantee.
+///
+/// The ring is bounded (drop-oldest) so a long run cannot grow memory
+/// without bound; the number of dropped snapshots is reported alongside.
+/// Serialization: timeSeriesToJson renders the "sprof.timeseries/1"
+/// artifact, and ObsSession folds the samples into the Chrome trace as
+/// counter ("C") events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_OBS_SAMPLER_H
+#define SPROF_OBS_SAMPLER_H
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sprof {
+
+/// One point-in-time snapshot of every scalar metric.
+struct TimeSeriesSample {
+  uint64_t TsUs = 0; ///< on the owning session's trace clock
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, double>> Gauges;
+};
+
+/// Background sampler over one registry. Lifecycle: construct, start(),
+/// stop() (idempotent; also run by the destructor). Ring accessors are
+/// only safe after stop().
+class TelemetrySampler {
+public:
+  /// \p Clock supplies timestamps (TraceCollector::nowUs is thread-safe);
+  /// \p IntervalUs is the sampling period; \p RingCapacity bounds the ring
+  /// (minimum 2, so the final snapshot never evicts the whole history).
+  TelemetrySampler(const MetricsRegistry &Registry,
+                   const TraceCollector &Clock, uint64_t IntervalUs,
+                   size_t RingCapacity);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler &) = delete;
+  TelemetrySampler &operator=(const TelemetrySampler &) = delete;
+
+  void start();
+  /// Stops and joins the sampler thread, then takes the final snapshot.
+  /// Safe to call repeatedly; only the first call snapshots.
+  void stop();
+  bool running() const { return Thr.joinable(); }
+
+  uint64_t intervalUs() const { return IntervalUs; }
+  size_t ringCapacity() const { return RingCapacity; }
+
+  // -- Post-stop accessors ------------------------------------------------
+  /// Ring contents, oldest first. The last entry is the stop() snapshot.
+  const std::deque<TimeSeriesSample> &samples() const { return Ring; }
+  /// Snapshots taken over the sampler's lifetime (>= samples().size()).
+  uint64_t samplesTaken() const { return Taken; }
+  /// Snapshots evicted because the ring was full.
+  uint64_t dropped() const { return Taken - Ring.size(); }
+
+private:
+  void threadMain();
+  void takeSample();
+
+  const MetricsRegistry &Registry;
+  const TraceCollector &Clock;
+  uint64_t IntervalUs;
+  size_t RingCapacity;
+
+  std::deque<TimeSeriesSample> Ring;
+  uint64_t Taken = 0;
+  bool Stopped = false;
+
+  std::thread Thr;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool StopRequested = false;
+};
+
+/// Schema identifier of the time-series artifact.
+inline constexpr const char *TimeSeriesSchemaV1 = "sprof.timeseries/1";
+
+/// Renders the sampler's ring as the columnar "sprof.timeseries/1"
+/// document: one "timestamps_us" array plus per-metric value arrays of the
+/// same length (metrics discovered mid-run are back-filled with zero).
+/// Call after stop().
+JsonValue timeSeriesToJson(const TelemetrySampler &Sampler);
+
+} // namespace sprof
+
+#endif // SPROF_OBS_SAMPLER_H

@@ -1,0 +1,144 @@
+//===- obs/SelfProfiler.cpp - Sampled engine self-attribution --------------===//
+//
+// Part of the StrideProf project (see SelfProfiler.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/SelfProfiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+using namespace sprof;
+
+static uint64_t hostNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+EngineSelfProfiler::EngineSelfProfiler(uint32_t Window)
+    : Window(Window == 0 ? 1 : Window) {}
+
+void EngineSelfProfiler::configureSlots(uint32_t NewNumSlots,
+                                        const char *const *Names) {
+  if (NewNumSlots > NumSlots) {
+    NumSlots = NewNumSlots;
+    for (auto &[Key, Stats] : Buckets)
+      Stats.resize(NumSlots);
+  }
+  if (Names)
+    SlotNames = Names;
+}
+
+std::vector<EngineSelfProfiler::SlotStat> &
+EngineSelfProfiler::bucketFor(const std::string &Key) {
+  auto It = Buckets.find(Key);
+  if (It == Buckets.end())
+    It = Buckets.emplace(Key, std::vector<SlotStat>(NumSlots)).first;
+  return It->second;
+}
+
+void EngineSelfProfiler::setContext(std::string_view Workload,
+                                    std::string_view Phase) {
+  std::string Key;
+  Key.reserve(Workload.size() + 1 + Phase.size());
+  Key.append(Workload);
+  Key.push_back(';');
+  Key.append(Phase);
+  Cur = &bucketFor(Key);
+  LastNs = hostNowNs();
+}
+
+void EngineSelfProfiler::beginWindow() { LastNs = hostNowNs(); }
+
+void EngineSelfProfiler::sample(uint32_t Slot) {
+  if (!Cur)
+    setContext("unknown", "run");
+  if (Slot >= Cur->size())
+    Cur->resize(Slot + 1);
+  uint64_t Now = hostNowNs();
+  SlotStat &S = (*Cur)[Slot];
+  ++S.Samples;
+  S.Ns += Now - LastNs;
+  LastNs = Now;
+}
+
+std::vector<EngineSelfProfiler::Entry> EngineSelfProfiler::entries() const {
+  std::vector<Entry> Out;
+  for (const auto &[Key, Stats] : Buckets) {
+    size_t Semi = Key.find(';');
+    std::string Workload = Key.substr(0, Semi);
+    std::string Phase = Semi == std::string::npos ? "" : Key.substr(Semi + 1);
+    for (uint32_t Slot = 0; Slot != Stats.size(); ++Slot) {
+      if (Stats[Slot].Samples == 0)
+        continue;
+      Entry E;
+      E.Workload = Workload;
+      E.Phase = Phase;
+      E.Slot = Slot;
+      E.Samples = Stats[Slot].Samples;
+      E.Ns = Stats[Slot].Ns;
+      Out.push_back(std::move(E));
+    }
+  }
+  std::sort(Out.begin(), Out.end(), [](const Entry &A, const Entry &B) {
+    if (A.Samples != B.Samples)
+      return A.Samples > B.Samples;
+    if (A.Workload != B.Workload)
+      return A.Workload < B.Workload;
+    if (A.Phase != B.Phase)
+      return A.Phase < B.Phase;
+    return A.Slot < B.Slot;
+  });
+  return Out;
+}
+
+uint64_t EngineSelfProfiler::totalSamples() const {
+  uint64_t Total = 0;
+  for (const auto &[Key, Stats] : Buckets)
+    for (const SlotStat &S : Stats)
+      Total += S.Samples;
+  return Total;
+}
+
+std::string EngineSelfProfiler::slotName(uint32_t Slot) const {
+  if (SlotNames && Slot < NumSlots && SlotNames[Slot])
+    return SlotNames[Slot];
+  return "op" + std::to_string(Slot);
+}
+
+void EngineSelfProfiler::merge(const EngineSelfProfiler &Other) {
+  configureSlots(Other.NumSlots, Other.SlotNames);
+  for (const auto &[Key, Stats] : Other.Buckets) {
+    auto &Mine = bucketFor(Key);
+    if (Mine.size() < Stats.size())
+      Mine.resize(Stats.size());
+    for (size_t I = 0; I != Stats.size(); ++I) {
+      Mine[I].Samples += Stats[I].Samples;
+      Mine[I].Ns += Stats[I].Ns;
+    }
+  }
+}
+
+void EngineSelfProfiler::writeFolded(std::ostream &OS) const {
+  // Buckets iterate sorted by key and slots ascend, so the output order is
+  // deterministic run to run.
+  for (const auto &[Key, Stats] : Buckets)
+    for (uint32_t Slot = 0; Slot != Stats.size(); ++Slot)
+      if (Stats[Slot].Samples != 0)
+        OS << Key << ';' << slotName(Slot) << ' ' << Stats[Slot].Samples
+           << '\n';
+}
+
+bool EngineSelfProfiler::writeFoldedFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeFolded(OS);
+  return OS.good();
+}

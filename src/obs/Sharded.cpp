@@ -1,0 +1,27 @@
+//===- obs/Sharded.cpp - Per-worker metric shards --------------------------===//
+//
+// Part of the StrideProf project (see Sharded.h for the project reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Sharded.h"
+
+using namespace sprof;
+
+ShardedMetricsRegistry::ShardedMetricsRegistry(size_t NumShards) {
+  if (NumShards == 0)
+    NumShards = 1;
+  Shards.reserve(NumShards);
+  for (size_t I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<MetricsRegistry>());
+}
+
+void ShardedMetricsRegistry::mergeInto(MetricsRegistry &Target) const {
+  for (const auto &S : Shards)
+    Target.merge(*S);
+}
+
+void ShardedMetricsRegistry::clear() {
+  for (auto &S : Shards)
+    S = std::make_unique<MetricsRegistry>();
+}

@@ -1,0 +1,71 @@
+//===- obs/Sharded.h - Per-worker metric shards -----------------*- C++ -*-===//
+//
+// Part of the StrideProf project, a reproduction of Youfeng Wu, "Efficient
+// Discovery of Regular Stride Patterns in Irregular Programs and Its Use in
+// Compiler Prefetching" (PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free aggregation for concurrent producers: a ShardedMetricsRegistry
+/// owns one MetricsRegistry per worker lane. Each worker folds its
+/// job-local metric scopes into its own shard (single owner, so no
+/// cross-thread contention beyond the shard registry's own creation-path
+/// lock, which only that worker takes), and after the workers quiesce the
+/// shards fold into one session registry in shard order.
+///
+/// Because counter addition and histogram merging are commutative and
+/// associative (Metrics.h), the folded totals are bit-identical to a serial
+/// run that merged every scope directly -- regardless of which worker ran
+/// which job. Gauges are last-write-wins and therefore NOT
+/// order-independent; callers that need deterministic gauges replay them in
+/// a fixed order after the fold (MetricsRegistry::setGaugesFrom), which is
+/// what ExperimentEngine does per job id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_OBS_SHARDED_H
+#define SPROF_OBS_SHARDED_H
+
+#include "obs/Metrics.h"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace sprof {
+
+/// A fixed set of per-worker MetricsRegistry shards.
+class ShardedMetricsRegistry {
+public:
+  /// Creates \p NumShards empty shards (at least one).
+  explicit ShardedMetricsRegistry(size_t NumShards);
+
+  size_t numShards() const { return Shards.size(); }
+
+  /// The shard for worker lane \p Worker (modulo the shard count, so any
+  /// worker index is safe). Distinct workers get distinct registries; a
+  /// shard must only ever be written by its owning worker.
+  MetricsRegistry &shard(size_t Worker) {
+    return *Shards[Worker % Shards.size()];
+  }
+  const MetricsRegistry &shard(size_t Worker) const {
+    return *Shards[Worker % Shards.size()];
+  }
+
+  /// Folds every shard into \p Target in shard order. Counters and
+  /// histograms land bit-identical to any other merge order; gauges take
+  /// the highest-indexed shard's value (replay them afterwards if that
+  /// matters). Callers must ensure all shard writers have quiesced.
+  void mergeInto(MetricsRegistry &Target) const;
+
+  /// Resets every shard to empty for reuse across engine drains.
+  void clear();
+
+private:
+  std::vector<std::unique_ptr<MetricsRegistry>> Shards;
+};
+
+} // namespace sprof
+
+#endif // SPROF_OBS_SHARDED_H

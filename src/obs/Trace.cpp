@@ -77,6 +77,15 @@ void TraceCollector::appendForeign(const TraceCollector &Other,
   }
 }
 
+void TraceCollector::appendCounterSample(std::string_view Name,
+                                         uint64_t TsUs, double Value) {
+  CounterSample S;
+  S.Name = std::string(Name);
+  S.TsUs = TsUs;
+  S.Value = Value;
+  CounterSamples.push_back(std::move(S));
+}
+
 bool TraceCollector::hasSpan(std::string_view Name) const {
   for (const TraceEvent &E : Events)
     if (E.DurationUs != UINT64_MAX && E.Name == Name)
@@ -98,6 +107,20 @@ void TraceCollector::writeChromeTrace(std::ostream &OS) const {
     J.set("dur", E.DurationUs);
     J.set("pid", 1);
     J.set("tid", static_cast<uint64_t>(E.Track) + 1);
+    EventsJson.push(std::move(J));
+  }
+  // Counter tracks render on a dedicated lane (tid 0) below the spans.
+  for (const CounterSample &S : CounterSamples) {
+    JsonValue J = JsonValue::object();
+    J.set("name", S.Name);
+    J.set("cat", "sprof");
+    J.set("ph", "C");
+    J.set("ts", S.TsUs);
+    J.set("pid", 1);
+    J.set("tid", 0);
+    JsonValue Args = JsonValue::object();
+    Args.set("value", S.Value);
+    J.set("args", std::move(Args));
     EventsJson.push(std::move(J));
   }
   Root.set("traceEvents", std::move(EventsJson));

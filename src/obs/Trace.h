@@ -32,6 +32,16 @@ namespace sprof {
 
 class ObsSession;
 
+/// One counter-track point: serialized as a Chrome trace counter ("C")
+/// event, which chrome://tracing and Perfetto render as a value-over-time
+/// track. The TelemetrySampler's ring is folded into these at
+/// artifact-write time.
+struct CounterSample {
+  std::string Name;
+  uint64_t TsUs = 0;
+  double Value = 0.0;
+};
+
 /// One recorded span. DurationUs stays UINT64_MAX until the span ends.
 struct TraceEvent {
   std::string Name;
@@ -81,13 +91,24 @@ public:
   void appendForeign(const TraceCollector &Other, uint64_t ShiftUs,
                      uint32_t Track, uint32_t DepthBase = 1);
 
-  /// Chrome trace-event JSON: {"traceEvents": [{"ph": "X", ...}, ...]}.
+  /// Appends one counter-track point (emitted as a "C" event). \p TsUs is
+  /// on this collector's clock. Single-threaded like the span API; the
+  /// session folds sampler rings in after producers quiesce.
+  void appendCounterSample(std::string_view Name, uint64_t TsUs,
+                           double Value);
+  const std::vector<CounterSample> &counterSamples() const {
+    return CounterSamples;
+  }
+
+  /// Chrome trace-event JSON: {"traceEvents": [{"ph": "X", ...}, ...]},
+  /// plus one "C" (counter) event per recorded counter sample.
   /// Unfinished spans are skipped.
   void writeChromeTrace(std::ostream &OS) const;
   bool writeChromeTraceFile(const std::string &Path) const;
 
 private:
   std::vector<TraceEvent> Events;
+  std::vector<CounterSample> CounterSamples;
   uint32_t Depth = 0;
   uint64_t EpochNs = 0;
 };

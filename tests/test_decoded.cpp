@@ -20,8 +20,11 @@
 #include "instrument/Instrumentation.h"
 #include "interp/DecodedProgram.h"
 #include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
 #include "obs/Obs.h"
+#include "obs/SelfProfiler.h"
 #include "profile/ProfileStore.h"
+#include "workloads/Builders.h"
 #include "workloads/Workload.h"
 
 #include "TestHelpers.h"
@@ -370,6 +373,84 @@ TEST(DecodedEngine, TelemetryTalliesMatch) {
   }
   EXPECT_EQ(RefObs.registry().gauge("interp.max_stack_depth").value(),
             DecObs.registry().gauge("interp.max_stack_depth").value());
+}
+
+// A loop whose body is dominated by mul -- an opcode the fusion pass never
+// pairs -- so the self-profiler's top dispatch slot is known a priori.
+Program makeMulHeavyProgram() {
+  Program Prog;
+  Prog.M.Name = "mulheavy";
+  IRBuilder B(Prog.M);
+  B.startFunction("main", 0);
+  Reg Acc = B.movImm(1);
+  emitCountedLoop(B, Operand::imm(20000), [&](IRBuilder &OB, Reg) {
+    for (int I = 0; I != 8; ++I)
+      OB.mul(Operand::reg(Acc), Operand::imm(3), Acc);
+  });
+  B.halt();
+  return Prog;
+}
+
+// The engine self-profiler samples every Window-th dispatch, so its sample
+// counts are a pure function of the instruction stream: two profiled runs
+// agree exactly, the hottest slot on a mul-heavy loop is mul, and -- the
+// non-perturbation half -- attaching the profiler leaves every simulated
+// accounting field bit-identical to the unprofiled run.
+TEST(DecodedEngine, SelfProfilerIsDeterministicAndNonPerturbing) {
+  Program Plain = makeMulHeavyProgram();
+  Interpreter PlainI(Plain.M, std::move(Plain.Memory), TimingModel(),
+                     interpConfig(InterpreterConfig::Engine::Decoded));
+  RunStats PlainStats = PlainI.run();
+
+  ObsConfig OC;
+  OC.Enabled = true;
+  OC.SelfProfile = true;
+  OC.SelfProfileWindow = 64;
+
+  auto RunProfiled = [&OC](RunStats &Stats,
+                           std::vector<EngineSelfProfiler::Entry> &Entries,
+                           std::string &TopOp, uint64_t &Total) {
+    ObsSession Obs(OC);
+    Program Prog = makeMulHeavyProgram();
+    Interpreter I(Prog.M, std::move(Prog.Memory), TimingModel(),
+                  interpConfig(InterpreterConfig::Engine::Decoded));
+    I.attachObs(&Obs);
+    Stats = I.run();
+    const EngineSelfProfiler *SP = Obs.selfProfiler();
+    ASSERT_NE(SP, nullptr);
+    Entries = SP->entries();
+    ASSERT_FALSE(Entries.empty());
+    TopOp = SP->slotName(Entries.front().Slot);
+    Total = SP->totalSamples();
+  };
+
+  RunStats S1, S2;
+  std::vector<EngineSelfProfiler::Entry> E1, E2;
+  std::string Top1, Top2;
+  uint64_t Total1 = 0, Total2 = 0;
+  RunProfiled(S1, E1, Top1, Total1);
+  RunProfiled(S2, E2, Top2, Total2);
+
+  expectSameStats(PlainStats, S1);
+  expectSameStats(PlainStats, S2);
+
+  // Deterministic sampling: identical cells with identical counts (the ns
+  // estimates are host-noisy and deliberately not compared).
+  EXPECT_EQ(Total1, Total2);
+  EXPECT_GT(Total1, 0u);
+  ASSERT_EQ(E1.size(), E2.size());
+  for (size_t I = 0; I != E1.size(); ++I) {
+    EXPECT_EQ(E1[I].Workload, E2[I].Workload);
+    EXPECT_EQ(E1[I].Phase, E2[I].Phase);
+    EXPECT_EQ(E1[I].Slot, E2[I].Slot);
+    EXPECT_EQ(E1[I].Samples, E2[I].Samples);
+  }
+  // Every 64th dispatch sampled: the totals agree with the dispatch count
+  // to within one window.
+  EXPECT_LE(Total1, S1.Instructions / 64 + 1);
+  EXPECT_GE(Total1, S1.Instructions / 64 / 2);
+  EXPECT_EQ(Top1, "mul");
+  EXPECT_EQ(Top2, "mul");
 }
 
 // White-box checks of the decoded form itself: the leaf helper call is

@@ -198,6 +198,42 @@ TEST(ExperimentEngine, FoldsJobTelemetryIntoSession) {
   EXPECT_TRUE(Engine.obs()->trace().hasSpan("tick5"));
 }
 
+// EngineOptions::ShardedMetrics is purely a contention knob: whatever
+// worker folded whatever job scope into whatever shard, the session
+// registry after the drain is bit-identical to the direct serial merge,
+// gauges included (replayed in job-id order after the fold).
+TEST(ExperimentEngine, ShardedFoldMatchesDirectMergeBitIdentical) {
+  auto RunEngine = [](unsigned Threads, bool Sharded) {
+    EngineOptions Opts;
+    Opts.Threads = Threads;
+    Opts.Obs.Enabled = true;
+    Opts.ShardedMetrics = Sharded;
+    ExperimentEngine Engine(Opts);
+    for (int J = 0; J != 16; ++J)
+      Engine.addJob("job" + std::to_string(J), "test-job",
+                    [J](ObsSession *JobObs) {
+                      JobObs->counter("fold.events")->inc(J + 1);
+                      JobObs->histogram("fold.sizes")->record(J * 3 % 32);
+                      JobObs->gauge("fold.last")->set(J);
+                    });
+    Engine.run();
+
+    std::vector<std::pair<std::string, uint64_t>> Counters;
+    std::vector<std::pair<std::string, double>> Gauges;
+    Engine.obs()->registry().snapshotScalars(Counters, Gauges);
+    const Histogram &H =
+        Engine.obs()->registry().histograms().at("fold.sizes");
+    return std::make_tuple(Counters, Gauges, H.count(), H.sum(),
+                           H.bucketCounts());
+  };
+
+  auto Direct = RunEngine(1, /*Sharded=*/false);
+  for (unsigned Threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE(Threads);
+    EXPECT_EQ(RunEngine(Threads, /*Sharded=*/true), Direct);
+  }
+}
+
 // The acceptance criterion: for every profiling method, profiles,
 // classification verdicts, and timed runs from a 4-thread sweep are byte-
 // identical to the 1-thread sweep.

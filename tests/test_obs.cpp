@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Covers the telemetry subsystem: metric semantics, trace span nesting and
-/// Chrome trace emission, JSON round-trips, the versioned run report, and
-/// the guarantee that enabling telemetry does not perturb profiles.
+/// Covers the telemetry subsystem: metric semantics, sharded registry
+/// folding, trace span nesting and Chrome trace emission, the background
+/// time-series sampler, the engine self-profiler, JSON round-trips, the
+/// versioned run report, and the guarantee that enabling telemetry does
+/// not perturb profiles.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +17,9 @@
 #include "obs/Metrics.h"
 #include "obs/Obs.h"
 #include "obs/Report.h"
+#include "obs/Sampler.h"
+#include "obs/SelfProfiler.h"
+#include "obs/Sharded.h"
 #include "obs/Trace.h"
 #include "profile/ProfileData.h"
 
@@ -22,8 +27,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 #include <sstream>
+#include <thread>
 
 using namespace sprof;
 
@@ -123,6 +130,246 @@ TEST(ObsMetrics, SessionHandlesAreNullWhenMetricsOff) {
   EXPECT_NE(On.counter("x"), nullptr);
 }
 
+// -- Sharded registry ------------------------------------------------------
+
+// The concurrency contract (and the TSan target): N workers hammer their
+// own shards in parallel, and the fold still produces exact totals.
+TEST(ShardedMetrics, ConcurrentShardWritesFoldExactly) {
+  constexpr unsigned NumWorkers = 8;
+  constexpr unsigned IncsPerWorker = 20000;
+  ShardedMetricsRegistry Shards(NumWorkers);
+  ASSERT_EQ(Shards.numShards(), NumWorkers);
+
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != NumWorkers; ++W)
+    Workers.emplace_back([&Shards, W] {
+      MetricsRegistry &Shard = Shards.shard(W);
+      Counter &C = Shard.counter("shared.events");
+      Histogram &H = Shard.histogram("shared.sizes", {16, 64});
+      for (unsigned I = 0; I != IncsPerWorker; ++I) {
+        C.inc();
+        H.record(I % 128);
+      }
+      Shard.counter("worker." + std::to_string(W)).inc(W + 1);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  MetricsRegistry Total;
+  Shards.mergeInto(Total);
+  EXPECT_EQ(Total.counter("shared.events").value(),
+            uint64_t{NumWorkers} * IncsPerWorker);
+  EXPECT_EQ(Total.histogram("shared.sizes").count(),
+            uint64_t{NumWorkers} * IncsPerWorker);
+  for (unsigned W = 0; W != NumWorkers; ++W)
+    EXPECT_EQ(Total.counter("worker." + std::to_string(W)).value(), W + 1u);
+
+  // clear() resets the shards for the next engine drain.
+  Shards.clear();
+  MetricsRegistry Empty;
+  Shards.mergeInto(Empty);
+  EXPECT_TRUE(Empty.counters().empty());
+}
+
+// The determinism contract: folding job scopes through shards -- whatever
+// worker got whatever scope -- is bit-identical to a direct serial merge,
+// with gauges replayed in a fixed order afterwards (as the engine does).
+TEST(ShardedMetrics, FoldIsBitIdenticalToSerialMerge) {
+  std::vector<MetricsRegistry> Scopes(12);
+  for (size_t J = 0; J != Scopes.size(); ++J) {
+    Scopes[J].counter("jobs.done").inc(J + 1);
+    Scopes[J].histogram("jobs.cost").record(J * 7 % 50, J + 1);
+    Scopes[J].gauge("jobs.last").set(static_cast<double>(J));
+  }
+
+  MetricsRegistry Serial;
+  for (const MetricsRegistry &S : Scopes)
+    Serial.merge(S);
+
+  constexpr unsigned NumWorkers = 4;
+  ShardedMetricsRegistry Shards(NumWorkers);
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != NumWorkers; ++W)
+    Workers.emplace_back([&, W] {
+      for (size_t J = W; J < Scopes.size(); J += NumWorkers)
+        Shards.shard(W).merge(Scopes[J]);
+    });
+  for (std::thread &T : Workers)
+    T.join();
+
+  MetricsRegistry Folded;
+  Shards.mergeInto(Folded);
+  // Gauges are last-write-wins and therefore shard-order dependent; the
+  // engine replays them per job id after the fold.
+  Folded.setGaugesFrom(Serial);
+
+  std::vector<std::pair<std::string, uint64_t>> SC, FC;
+  std::vector<std::pair<std::string, double>> SG, FG;
+  Serial.snapshotScalars(SC, SG);
+  Folded.snapshotScalars(FC, FG);
+  EXPECT_EQ(FC, SC);
+  EXPECT_EQ(FG, SG);
+  const Histogram &HS = Serial.histograms().at("jobs.cost");
+  const Histogram &HF = Folded.histograms().at("jobs.cost");
+  EXPECT_EQ(HF.count(), HS.count());
+  EXPECT_EQ(HF.sum(), HS.sum());
+  EXPECT_EQ(HF.min(), HS.min());
+  EXPECT_EQ(HF.max(), HS.max());
+  EXPECT_EQ(HF.bucketCounts(), HS.bucketCounts());
+}
+
+// -- Time-series sampler ---------------------------------------------------
+
+TEST(TelemetrySampler, FinalSnapshotMatchesRegistryTotals) {
+  MetricsRegistry R;
+  TraceCollector Clock;
+  Counter &C = R.counter("work.items");
+  Gauge &G = R.gauge("work.ratio");
+
+  TelemetrySampler S(R, Clock, /*IntervalUs=*/100, /*RingCapacity=*/512);
+  S.start();
+  EXPECT_TRUE(S.running());
+  for (int I = 0; I != 1000; ++I)
+    C.inc(3);
+  G.set(0.75);
+  S.stop();
+  EXPECT_FALSE(S.running());
+
+  // stop() joins the thread and then snapshots, so the last ring entry
+  // equals the end-of-run totals exactly -- however the sampling interval
+  // interleaved with the producer.
+  ASSERT_GE(S.samplesTaken(), 1u);
+  ASSERT_FALSE(S.samples().empty());
+  const TimeSeriesSample &Last = S.samples().back();
+  bool SawCounter = false, SawGauge = false;
+  for (const auto &[Name, V] : Last.Counters)
+    if (Name == "work.items") {
+      SawCounter = true;
+      EXPECT_EQ(V, 3000u);
+    }
+  for (const auto &[Name, V] : Last.Gauges)
+    if (Name == "work.ratio") {
+      SawGauge = true;
+      EXPECT_DOUBLE_EQ(V, 0.75);
+    }
+  EXPECT_TRUE(SawCounter);
+  EXPECT_TRUE(SawGauge);
+
+  // Timestamps are monotone on the shared trace clock.
+  for (size_t I = 1; I < S.samples().size(); ++I)
+    EXPECT_GE(S.samples()[I].TsUs, S.samples()[I - 1].TsUs);
+
+  // stop() is idempotent: calling it again takes no extra snapshot.
+  uint64_t Taken = S.samplesTaken();
+  S.stop();
+  EXPECT_EQ(S.samplesTaken(), Taken);
+
+  // The serialized artifact mirrors the ring columnarly.
+  JsonValue Doc = timeSeriesToJson(S);
+  EXPECT_EQ(Doc.get("schema")->asString(), TimeSeriesSchemaV1);
+  ASSERT_NE(Doc.get("timestamps_us"), nullptr);
+  EXPECT_EQ(Doc.get("timestamps_us")->size(), S.samples().size());
+  const JsonValue *Series = Doc.get("counters")->get("work.items");
+  ASSERT_NE(Series, nullptr);
+  ASSERT_EQ(Series->size(), S.samples().size());
+  EXPECT_EQ(Series->at(Series->size() - 1).asUInt(), 3000u);
+}
+
+TEST(TelemetrySampler, RingIsBoundedAndCountsDrops) {
+  MetricsRegistry R;
+  TraceCollector Clock;
+  R.counter("x").inc();
+
+  TelemetrySampler S(R, Clock, /*IntervalUs=*/50, /*RingCapacity=*/2);
+  S.start();
+  // Oversample the two-slot ring for a while.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  S.stop();
+
+  EXPECT_LE(S.samples().size(), 2u);
+  EXPECT_GT(S.samplesTaken(), 2u);
+  EXPECT_EQ(S.dropped(), S.samplesTaken() - S.samples().size());
+  EXPECT_GT(S.dropped(), 0u);
+  // Drop-oldest: the final (stop) snapshot always survives.
+  ASSERT_FALSE(S.samples().empty());
+  EXPECT_EQ(S.samples().back().Counters.front().second, 1u);
+}
+
+TEST(ObsTrace, SamplerRingFoldsIntoTraceAsCounterEvents) {
+  ObsConfig OC;
+  OC.Enabled = true;
+  OC.SampleIntervalUs = 100;
+  ObsSession Session(OC);
+  ASSERT_NE(Session.sampler(), nullptr);
+  Session.counter("fold.me")->inc(5);
+
+  // No output paths configured: writeArtifacts only stops the sampler and
+  // folds its ring into the trace.
+  ASSERT_TRUE(Session.writeArtifacts());
+  const std::vector<CounterSample> &Samples =
+      Session.trace().counterSamples();
+  ASSERT_FALSE(Samples.empty());
+  bool Saw = false;
+  for (const CounterSample &CS : Samples)
+    if (CS.Name == "fold.me" && CS.Value == 5.0)
+      Saw = true;
+  EXPECT_TRUE(Saw);
+
+  std::ostringstream OS;
+  Session.trace().writeChromeTrace(OS);
+  JsonValue Doc;
+  ASSERT_TRUE(JsonValue::parse(OS.str(), Doc));
+  bool SawCounterEvent = false;
+  for (const JsonValue &E : Doc.get("traceEvents")->items())
+    if (E.get("ph")->asString() == "C")
+      SawCounterEvent = true;
+  EXPECT_TRUE(SawCounterEvent);
+}
+
+// -- Engine self-profiler --------------------------------------------------
+
+TEST(ObsSelfProfiler, DeterministicAttributionAndFoldedExport) {
+  static const char *const Names[] = {"alpha", "beta"};
+  EngineSelfProfiler P(/*Window=*/4);
+  EXPECT_EQ(P.window(), 4u);
+  P.configureSlots(2, Names);
+  P.setContext("wl", "phase1");
+  P.sample(0);
+  P.sample(0);
+  P.sample(1);
+  P.setContext("wl", "phase2");
+  P.sample(1);
+
+  EXPECT_EQ(P.totalSamples(), 4u);
+  std::vector<EngineSelfProfiler::Entry> E = P.entries();
+  ASSERT_EQ(E.size(), 3u);
+  // Sorted by samples descending, ties by (workload, phase, slot).
+  EXPECT_EQ(E[0].Samples, 2u);
+  EXPECT_EQ(E[0].Phase, "phase1");
+  EXPECT_EQ(E[0].Slot, 0u);
+  EXPECT_EQ(E[1].Samples, 1u);
+  EXPECT_EQ(E[1].Phase, "phase1");
+  EXPECT_EQ(E[1].Slot, 1u);
+  EXPECT_EQ(E[2].Phase, "phase2");
+  EXPECT_EQ(P.slotName(0), "alpha");
+  EXPECT_EQ(P.slotName(7), "op7"); // outside the installed table
+
+  // merge() accumulates sample counts commutatively.
+  EngineSelfProfiler Q(/*Window=*/4);
+  Q.configureSlots(2, Names);
+  Q.setContext("wl", "phase1");
+  Q.sample(0);
+  P.merge(Q);
+  EXPECT_EQ(P.totalSamples(), 5u);
+
+  std::ostringstream OS;
+  P.writeFolded(OS);
+  const std::string Folded = OS.str();
+  EXPECT_NE(Folded.find("wl;phase1;alpha 3"), std::string::npos);
+  EXPECT_NE(Folded.find("wl;phase1;beta 1"), std::string::npos);
+  EXPECT_NE(Folded.find("wl;phase2;beta 1"), std::string::npos);
+}
+
 // -- Tracing ---------------------------------------------------------------
 
 TEST(ObsTrace, NestedSpansRecordDepthAndDuration) {
@@ -162,6 +409,7 @@ TEST(ObsTrace, ChromeTraceIsValidJson) {
     TraceSpan A(&C, "phase-a", "pipeline");
     TraceSpan B(&C, "phase-b", "interp");
   }
+  C.appendCounterSample("metric.x", 10, 42.0);
   std::ostringstream OS;
   C.writeChromeTrace(OS);
 
@@ -170,15 +418,28 @@ TEST(ObsTrace, ChromeTraceIsValidJson) {
   ASSERT_TRUE(JsonValue::parse(OS.str(), Doc, &Error)) << Error;
   const JsonValue *Events = Doc.get("traceEvents");
   ASSERT_NE(Events, nullptr);
-  ASSERT_EQ(Events->size(), 2u);
+  ASSERT_EQ(Events->size(), 3u);
+  unsigned Spans = 0, Counters = 0;
   for (const JsonValue &E : Events->items()) {
-    EXPECT_EQ(E.get("ph")->asString(), "X");
     EXPECT_NE(E.get("name"), nullptr);
     EXPECT_NE(E.get("ts"), nullptr);
-    EXPECT_NE(E.get("dur"), nullptr);
     EXPECT_NE(E.get("pid"), nullptr);
     EXPECT_NE(E.get("tid"), nullptr);
+    if (E.get("ph")->asString() == "X") {
+      ++Spans;
+      EXPECT_NE(E.get("dur"), nullptr);
+    } else {
+      // The only other event kind is a counter-track ("C") sample, which
+      // carries its value in args.value instead of a duration.
+      ++Counters;
+      EXPECT_EQ(E.get("ph")->asString(), "C");
+      EXPECT_EQ(E.get("name")->asString(), "metric.x");
+      ASSERT_NE(E.get("args"), nullptr);
+      EXPECT_DOUBLE_EQ(E.get("args")->get("value")->asDouble(), 42.0);
+    }
   }
+  EXPECT_EQ(Spans, 2u);
+  EXPECT_EQ(Counters, 1u);
 }
 
 TEST(ObsTrace, TraceDetailGatesSessionSpans) {
@@ -269,7 +530,7 @@ TEST(ObsReport, RunReportRoundTripsWithStableSchema) {
   std::string Error;
   ASSERT_TRUE(JsonValue::parse(Report.str(), Back, &Error)) << Error;
 
-  EXPECT_EQ(Back.get("schema")->asString(), RunReportSchemaV2);
+  EXPECT_EQ(Back.get("schema")->asString(), RunReportSchemaV3);
   EXPECT_EQ(Back.get("workload")->asString(), "test.chase");
   EXPECT_EQ(Back.get("profile_run")->get("method")->asString(),
             "edge-check");
@@ -377,8 +638,8 @@ TEST(ObsReport, ReportV2ParsesUnderV1Reader) {
   EXPECT_NE(Back.get("timed_run")->get("classification"), nullptr);
   EXPECT_NE(Back.get("baseline_run")->get("memory"), nullptr);
 
-  // Everything beyond /1 is limited to the documented /2 additions, so an
-  // ignore-unknown-keys reader sees nothing else new.
+  // Everything beyond /1 is limited to the documented /2 and /3 additions,
+  // so an ignore-unknown-keys reader sees nothing else new.
   for (const auto &[Key, Value] : Back.members()) {
     (void)Value;
     static const std::set<std::string> V1Keys = {
@@ -386,7 +647,9 @@ TEST(ObsReport, ReportV2ParsesUnderV1Reader) {
         "baseline_run", "timed_run", "speedup", "metrics", "jobs"};
     if (V1Keys.count(Key))
       continue;
-    EXPECT_TRUE(Key == "attribution" || Key == "profile_diff") << Key;
+    EXPECT_TRUE(Key == "attribution" || Key == "profile_diff" ||
+                Key == "self_profile")
+        << Key;
   }
 
   // A self-diff scores perfect accuracy.

@@ -7,9 +7,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Renders sprof run reports (sprof.run_report/1 and /2) as tables, so a
-/// report on disk answers the questions people actually ask of it without
-/// jq gymnastics:
+/// Renders sprof telemetry artifacts (sprof.run_report/1..3 and
+/// sprof.timeseries/1) as tables, so an artifact on disk answers the
+/// questions people actually ask of it without jq gymnastics:
 ///
 ///   sprof-inspect summary <report.json>
 ///       Workload, speedup, classification counts, prefetch-outcome
@@ -23,7 +23,18 @@
 ///       accuracy score. --json additionally writes the machine-readable
 ///       profile_diff section.
 ///
-/// Exit status: 0 on success, 1 on usage/IO/parse errors.
+///   sprof-inspect timeseries <timeseries.json>
+///       Renders a TelemetrySampler's sprof.timeseries/1 artifact as
+///       per-metric sparkline tables: counters as per-interval rates,
+///       gauges as raw values.
+///
+///   sprof-inspect hotspots <report.json> [--top=N]
+///       The engine self-profiler's per-dispatch-op attribution from the
+///       report's self_profile section, hottest first.
+///
+/// Exit status: 0 on success, 1 on usage/IO/parse errors. Unknown
+/// subcommands, malformed JSON, and wrong-schema inputs all diagnose to
+/// stderr and exit 1; they never crash or silently succeed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,7 +55,11 @@ using namespace sprof;
 
 namespace {
 
-bool loadReport(const std::string &Path, JsonValue &Out) {
+/// Loads \p Path, parses it, and checks the "schema" member starts with
+/// \p SchemaPrefix. Every failure mode (unreadable file, malformed JSON,
+/// wrong document kind) prints a one-line diagnostic and returns false.
+bool loadDocument(const std::string &Path, const char *SchemaPrefix,
+                  JsonValue &Out) {
   std::ifstream IS(Path);
   if (!IS) {
     std::cerr << "sprof-inspect: cannot open " << Path << "\n";
@@ -52,20 +67,36 @@ bool loadReport(const std::string &Path, JsonValue &Out) {
   }
   std::ostringstream Buf;
   Buf << IS.rdbuf();
+  if (!IS.good() && !IS.eof()) {
+    std::cerr << "sprof-inspect: error reading " << Path << "\n";
+    return false;
+  }
   std::string Error;
   if (!JsonValue::parse(Buf.str(), Out, &Error)) {
     std::cerr << "sprof-inspect: " << Path << ": parse error: " << Error
               << "\n";
     return false;
   }
+  if (!Out.isObject()) {
+    std::cerr << "sprof-inspect: " << Path
+              << ": top-level value is not an object\n";
+    return false;
+  }
   const JsonValue *Schema = Out.get("schema");
   if (!Schema || !Schema->isString() ||
-      Schema->asString().rfind("sprof.run_report/", 0) != 0) {
-    std::cerr << "sprof-inspect: " << Path
-              << ": not a sprof.run_report document\n";
+      Schema->asString().rfind(SchemaPrefix, 0) != 0) {
+    std::cerr << "sprof-inspect: " << Path << ": not a " << SchemaPrefix
+              << "* document (schema: "
+              << (Schema && Schema->isString() ? Schema->asString()
+                                               : std::string("<missing>"))
+              << ")\n";
     return false;
   }
   return true;
+}
+
+bool loadReport(const std::string &Path, JsonValue &Out) {
+  return loadDocument(Path, "sprof.run_report/", Out);
 }
 
 uint64_t uintAt(const JsonValue *Obj, const char *Key) {
@@ -330,10 +361,159 @@ int runDiff(const std::string &PathA, const std::string &PathB,
   return 0;
 }
 
+// -- timeseries ------------------------------------------------------------
+
+/// Eight-level block sparkline over \p Values, downsampled (bucket max) to
+/// at most \p Width cells. Flat series render as a flat line.
+std::string sparkline(const std::vector<double> &Values, size_t Width = 40) {
+  static const char *Blocks[8] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (Values.empty())
+    return "";
+  std::vector<double> Cells;
+  if (Values.size() <= Width) {
+    Cells = Values;
+  } else {
+    Cells.resize(Width);
+    for (size_t C = 0; C != Width; ++C) {
+      size_t Lo = C * Values.size() / Width;
+      size_t Hi = (C + 1) * Values.size() / Width;
+      double M = Values[Lo];
+      for (size_t I = Lo + 1; I < Hi; ++I)
+        M = std::max(M, Values[I]);
+      Cells[C] = M;
+    }
+  }
+  double Min = *std::min_element(Cells.begin(), Cells.end());
+  double Max = *std::max_element(Cells.begin(), Cells.end());
+  double Span = Max - Min;
+  std::string Out;
+  for (double V : Cells) {
+    size_t Level =
+        Span > 0 ? static_cast<size_t>((V - Min) / Span * 7.0 + 0.5) : 0;
+    Out += Blocks[std::min<size_t>(Level, 7)];
+  }
+  return Out;
+}
+
+int runTimeseries(const std::string &Path) {
+  JsonValue Doc;
+  if (!loadDocument(Path, "sprof.timeseries/", Doc))
+    return 1;
+
+  const JsonValue *Ts = Doc.get("timestamps_us");
+  if (!Ts || !Ts->isArray()) {
+    std::cerr << "sprof-inspect: " << Path << ": no timestamps_us array\n";
+    return 1;
+  }
+  size_t N = Ts->size();
+  std::cout << "timeseries: " << Path << "\n";
+  std::cout << "samples:    " << N << " (interval "
+            << uintAt(&Doc, "interval_us") << " us, "
+            << uintAt(&Doc, "dropped") << " dropped)\n";
+  if (N != 0)
+    std::cout << "span:       " << Ts->at(0).asUInt() << " us .. "
+              << Ts->at(N - 1).asUInt() << " us\n";
+  std::cout << "\n";
+
+  auto SeriesOf = [N](const JsonValue &Arr) {
+    std::vector<double> V;
+    V.reserve(N);
+    for (const JsonValue &X : Arr.items())
+      V.push_back(X.asDouble());
+    return V;
+  };
+
+  // Counters are monotone totals; the per-interval delta is the readable
+  // shape (a flat sparkline means "idle", a burst means "hot phase").
+  const JsonValue *Counters = Doc.get("counters");
+  if (Counters && Counters->isObject() && Counters->size() != 0) {
+    Table T("Counters (sparkline of per-interval increments)");
+    T.row({"counter", "total", "trend"});
+    for (const auto &[Name, Arr] : Counters->members()) {
+      if (!Arr.isArray())
+        continue;
+      std::vector<double> Values = SeriesOf(Arr);
+      std::vector<double> Deltas;
+      for (size_t I = 1; I < Values.size(); ++I)
+        Deltas.push_back(std::max(0.0, Values[I] - Values[I - 1]));
+      if (Deltas.empty())
+        Deltas = Values;
+      T.row({Name,
+             Table::fmtInt(Values.empty()
+                               ? 0
+                               : static_cast<uint64_t>(Values.back())),
+             sparkline(Deltas)});
+    }
+    T.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const JsonValue *Gauges = Doc.get("gauges");
+  if (Gauges && Gauges->isObject() && Gauges->size() != 0) {
+    Table T("Gauges (sparkline of values)");
+    T.row({"gauge", "last", "trend"});
+    for (const auto &[Name, Arr] : Gauges->members()) {
+      if (!Arr.isArray())
+        continue;
+      std::vector<double> Values = SeriesOf(Arr);
+      T.row({Name, Table::fmt(Values.empty() ? 0.0 : Values.back()),
+             sparkline(Values)});
+    }
+    T.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+// -- hotspots --------------------------------------------------------------
+
+int runHotspots(const std::string &Path, size_t TopN) {
+  JsonValue Report;
+  if (!loadReport(Path, Report))
+    return 1;
+  const JsonValue *SP = Report.get("self_profile");
+  if (!SP || !SP->isObject()) {
+    std::cerr << "sprof-inspect: " << Path
+              << ": no self_profile section (run with "
+                 "ObsConfig::SelfProfile and the Decoded engine)\n";
+    return 1;
+  }
+  const JsonValue *Entries = SP->get("entries");
+  uint64_t Total = uintAt(SP, "total_samples");
+  std::cout << "report:        " << Path << "\n";
+  std::cout << "sample window: " << uintAt(SP, "window") << " dispatches\n";
+  std::cout << "total samples: " << Total << "\n\n";
+  if (!Entries || !Entries->isArray() || Entries->size() == 0 ||
+      Total == 0) {
+    std::cout << "(no samples recorded)\n";
+    return 0;
+  }
+
+  Table T("Engine hotspots (sampled dispatch ops, hottest first)");
+  T.row({"workload", "phase", "op", "samples", "samples%", "est ms"});
+  size_t N = std::min<size_t>(Entries->size(), TopN);
+  for (size_t I = 0; I != N; ++I) {
+    const JsonValue &E = Entries->at(I);
+    uint64_t Samples = uintAt(&E, "samples");
+    T.row({stringAt(&E, "workload", "?"), stringAt(&E, "phase", "?"),
+           stringAt(&E, "op", "?"), Table::fmtInt(Samples),
+           Table::fmtPercent(100.0 * static_cast<double>(Samples) /
+                             static_cast<double>(Total)),
+           Table::fmt(static_cast<double>(uintAt(&E, "ns")) / 1e6)});
+  }
+  T.print(std::cout);
+  if (Entries->size() > N)
+    std::cout << "(" << Entries->size() - N << " more entries)\n";
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: sprof-inspect summary <report.json>\n"
             << "       sprof-inspect diff <reference.json> "
-               "<candidate.json> [--json=PATH]\n";
+               "<candidate.json> [--json=PATH]\n"
+            << "       sprof-inspect timeseries <timeseries.json>\n"
+            << "       sprof-inspect hotspots <report.json> [--top=N]\n";
   return 1;
 }
 
@@ -342,17 +522,47 @@ int usage() {
 int main(int Argc, char **Argv) {
   std::vector<std::string> Args;
   std::string JsonOut;
+  size_t TopN = 15;
   for (int I = 1; I != Argc; ++I) {
-    if (std::strncmp(Argv[I], "--json=", 7) == 0)
+    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
       JsonOut = Argv[I] + 7;
-    else if (Argv[I][0] == '-')
+    } else if (std::strncmp(Argv[I], "--top=", 6) == 0) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[I] + 6, &End, 10);
+      if (!End || *End != '\0' || V == 0) {
+        std::cerr << "sprof-inspect: bad --top value '" << (Argv[I] + 6)
+                  << "' (want a positive integer)\n";
+        return 1;
+      }
+      TopN = V;
+    } else if (Argv[I][0] == '-') {
+      std::cerr << "sprof-inspect: unknown option '" << Argv[I] << "'\n";
       return usage();
-    else
+    } else {
       Args.push_back(Argv[I]);
+    }
   }
-  if (Args.size() == 2 && Args[0] == "summary")
-    return runSummary(Args[1]);
-  if (Args.size() == 3 && Args[0] == "diff")
-    return runDiff(Args[1], Args[2], JsonOut);
+  if (Args.empty())
+    return usage();
+
+  const std::string &Cmd = Args[0];
+  auto WantArgs = [&](size_t N, const char *Shape) {
+    if (Args.size() == N + 1)
+      return true;
+    std::cerr << "sprof-inspect: '" << Cmd << "' takes " << Shape << " ("
+              << Args.size() - 1 << " given)\n";
+    return false;
+  };
+  if (Cmd == "summary")
+    return WantArgs(1, "one report path") ? runSummary(Args[1]) : 1;
+  if (Cmd == "diff")
+    return WantArgs(2, "two report paths")
+               ? runDiff(Args[1], Args[2], JsonOut)
+               : 1;
+  if (Cmd == "timeseries")
+    return WantArgs(1, "one timeseries path") ? runTimeseries(Args[1]) : 1;
+  if (Cmd == "hotspots")
+    return WantArgs(1, "one report path") ? runHotspots(Args[1], TopN) : 1;
+  std::cerr << "sprof-inspect: unknown subcommand '" << Cmd << "'\n";
   return usage();
 }
