@@ -361,58 +361,55 @@ int main(int Argc, char **Argv) {
     T.print(std::cout);
   }
 
-  if (auto Path = benchReportPath(Argc, Argv, "bench_ablation.json")) {
-    auto PerBench = [&](const std::vector<double> &V) {
-      JsonValue A = JsonValue::array();
-      for (size_t I = 0; I != NH; ++I) {
-        JsonValue R = JsonValue::object();
-        R.set("name", Names[I]);
-        R.set("speedup", V[I]);
-        A.push(std::move(R));
-      }
-      return A;
-    };
-    JsonValue Groups = JsonValue::object();
-    Groups.set("default", PerBench(DefaultSpeedup));
-    Groups.set("wsst_on", PerBench(WsstOn));
-    Groups.set("coarsen0", PerBench(Coarsen0));
-    JsonValue DistJ = JsonValue::array();
-    for (size_t I = 0; I != NH; ++I)
-      for (size_t CI = 0; CI != 5; ++CI) {
-        JsonValue R = JsonValue::object();
-        R.set("name", Names[I]);
-        R.set("distance", static_cast<uint64_t>(Distances[CI]));
-        R.set("speedup",
-              Distances[CI] == 8 ? DefaultSpeedup[I] : Dist[I][CI]);
-        DistJ.push(std::move(R));
-      }
-    Groups.set("prefetch_distance", std::move(DistJ));
-    JsonValue TtJ = JsonValue::array();
-    for (size_t I = 0; I != NH; ++I)
-      for (size_t TI = 0; TI != 3; ++TI) {
-        JsonValue R = JsonValue::object();
-        R.set("name", Names[I]);
-        R.set("trip_count_threshold", Trips[TI]);
-        R.set("speedup", Trips[TI] == 128 ? DefaultSpeedup[I] : Tt[I][TI]);
-        TtJ.push(std::move(R));
-      }
-    Groups.set("trip_count_threshold", std::move(TtJ));
-    Groups.set("block_check", PerBench(BlockCheck));
-    JsonValue DepJ = JsonValue::object();
-    DepJ.set("off", DepOff);
-    DepJ.set("on", DepOn);
-    Groups.set("dependent_prefetch", std::move(DepJ));
-    JsonValue NoiseJ = JsonValue::array();
-    for (size_t NI = 0; NI != 5; ++NI) {
+  auto PerBench = [&](const std::vector<double> &V) {
+    JsonValue A = JsonValue::array();
+    for (size_t I = 0; I != NH; ++I) {
       JsonValue R = JsonValue::object();
-      R.set("noise_pct", static_cast<uint64_t>(Noises[NI]));
-      R.set("speedup", NoiseSpeedup[NI]);
-      NoiseJ.push(std::move(R));
+      R.set("name", Names[I]);
+      R.set("speedup", V[I]);
+      A.push(std::move(R));
     }
-    Groups.set("allocation_noise", std::move(NoiseJ));
-    Groups.set("use_distance_on", PerBench(UseDistOn));
-    if (!writeBenchRows(*Path, "ablation", std::move(Groups)))
-      return 1;
+    return A;
+  };
+  JsonValue Groups = JsonValue::object();
+  Groups.set("default", PerBench(DefaultSpeedup));
+  Groups.set("wsst_on", PerBench(WsstOn));
+  Groups.set("coarsen0", PerBench(Coarsen0));
+  JsonValue DistJ = JsonValue::array();
+  for (size_t I = 0; I != NH; ++I)
+    for (size_t CI = 0; CI != 5; ++CI) {
+      JsonValue R = JsonValue::object();
+      R.set("name", Names[I]);
+      R.set("distance", static_cast<uint64_t>(Distances[CI]));
+      R.set("speedup",
+            Distances[CI] == 8 ? DefaultSpeedup[I] : Dist[I][CI]);
+      DistJ.push(std::move(R));
+    }
+  Groups.set("prefetch_distance", std::move(DistJ));
+  JsonValue TtJ = JsonValue::array();
+  for (size_t I = 0; I != NH; ++I)
+    for (size_t TI = 0; TI != 3; ++TI) {
+      JsonValue R = JsonValue::object();
+      R.set("name", Names[I]);
+      R.set("trip_count_threshold", Trips[TI]);
+      R.set("speedup", Trips[TI] == 128 ? DefaultSpeedup[I] : Tt[I][TI]);
+      TtJ.push(std::move(R));
+    }
+  Groups.set("trip_count_threshold", std::move(TtJ));
+  Groups.set("block_check", PerBench(BlockCheck));
+  JsonValue DepJ = JsonValue::object();
+  DepJ.set("off", DepOff);
+  DepJ.set("on", DepOn);
+  Groups.set("dependent_prefetch", std::move(DepJ));
+  JsonValue NoiseJ = JsonValue::array();
+  for (size_t NI = 0; NI != 5; ++NI) {
+    JsonValue R = JsonValue::object();
+    R.set("noise_pct", static_cast<uint64_t>(Noises[NI]));
+    R.set("speedup", NoiseSpeedup[NI]);
+    NoiseJ.push(std::move(R));
   }
-  return 0;
+  Groups.set("allocation_noise", std::move(NoiseJ));
+  Groups.set("use_distance_on", PerBench(UseDistOn));
+  return emitBenchReport(Argc, Argv, "bench_ablation.json", "ablation",
+                         std::move(Groups));
 }

@@ -43,8 +43,6 @@ int main(int Argc, char **Argv) {
          Table::fmt(SuiteRef.Instructions / 1e6, 1),
          Table::fmt(SuiteRef.LoadRefs / 1e6, 1)});
   T.print(std::cout);
-  if (auto Path = benchReportPath(Argc, Argv, "bench_fig15_workloads.json"))
-    if (!writeBenchRows(*Path, "figure-15-workloads", std::move(Rows)))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig15_workloads.json",
+                          "figure-15-workloads", std::move(Rows));
 }

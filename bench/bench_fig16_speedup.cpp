@@ -58,8 +58,6 @@ int main(int Argc, char **Argv) {
   T.row(AvgRow);
 
   T.print(std::cout);
-  if (auto Path = benchReportPath(Argc, Argv, "bench_fig16_speedup.json"))
-    if (!writeBenchReport(*Path, "figure-16-speedup", Measurements))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig16_speedup.json",
+                          "figure-16-speedup", Measurements);
 }

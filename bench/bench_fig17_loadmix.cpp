@@ -85,8 +85,6 @@ int main(int Argc, char **Argv) {
          Table::fmtPercent(100.0 - Avg)});
   T.row({"paper avg", "~60%", "~40%"});
   T.print(std::cout);
-  if (auto Path = benchReportPath(Argc, Argv, "bench_fig17_loadmix.json"))
-    if (!writeBenchRows(*Path, "figure-17-loadmix", std::move(Rows)))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig17_loadmix.json",
+                          "figure-17-loadmix", std::move(Rows));
 }

@@ -45,10 +45,6 @@ int main(int Argc, char **Argv) {
          Table::fmtPercent(mean(W)), Table::fmtPercent(mean(N))});
   T.row({"paper avg", "1.7%", "-", "-", "-"});
   T.print(std::cout);
-  if (auto Path =
-          benchReportPath(Argc, Argv, "bench_fig18_outloop_classes.json"))
-    if (!writeBenchRows(*Path, "figure-18-outloop-classes",
-                        std::move(Rows)))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig18_outloop_classes.json",
+                          "figure-18-outloop-classes", std::move(Rows));
 }

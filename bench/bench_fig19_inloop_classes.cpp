@@ -43,9 +43,6 @@ int main(int Argc, char **Argv) {
   T.row({"average", Table::fmtPercent(mean(S)), Table::fmtPercent(mean(P)),
          Table::fmtPercent(mean(W)), Table::fmtPercent(mean(N))});
   T.print(std::cout);
-  if (auto Path =
-          benchReportPath(Argc, Argv, "bench_fig19_inloop_classes.json"))
-    if (!writeBenchRows(*Path, "figure-19-inloop-classes", std::move(Rows)))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig19_inloop_classes.json",
+                          "figure-19-inloop-classes", std::move(Rows));
 }

@@ -60,8 +60,6 @@ int main(int Argc, char **Argv) {
   T.row(AvgRow);
   T.row(PaperRow);
   T.print(std::cout);
-  if (auto Path = benchReportPath(Argc, Argv, "bench_fig20_overhead.json"))
-    if (!writeBenchReport(*Path, "figure-20-overhead", Measurements))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig20_overhead.json",
+                          "figure-20-overhead", Measurements);
 }

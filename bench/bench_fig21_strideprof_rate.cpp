@@ -59,8 +59,6 @@ int main(int Argc, char **Argv) {
   T.row(AvgRow);
   T.row(PaperRow);
   T.print(std::cout);
-  if (auto Path = benchReportPath(Argc, Argv, "bench_fig21_strideprof_rate.json"))
-    if (!writeBenchReport(*Path, "figure-21-strideprof-rate", Measurements))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig21_strideprof_rate.json",
+                          "figure-21-strideprof-rate", Measurements);
 }

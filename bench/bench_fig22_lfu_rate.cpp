@@ -62,8 +62,6 @@ int main(int Argc, char **Argv) {
   T.print(std::cout);
   std::cout << "(paper: for naive-all, 100% of references reach strideProf"
             << " but only ~68% reach LFU; ~32% are zero strides)\n";
-  if (auto Path = benchReportPath(Argc, Argv, "bench_fig22_lfu_rate.json"))
-    if (!writeBenchReport(*Path, "figure-22-lfu-rate", Measurements))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig22_lfu_rate.json",
+                          "figure-22-lfu-rate", Measurements);
 }

@@ -40,9 +40,6 @@ int main(int Argc, char **Argv) {
   T.row({"average", Table::fmt(mean(Train)) + "x",
          Table::fmt(mean(Ref)) + "x"});
   T.print(std::cout);
-  if (auto Path =
-          benchReportPath(Argc, Argv, "bench_fig23_train_vs_ref.json"))
-    if (!writeBenchRows(*Path, "figure-23-train-vs-ref", std::move(Rows)))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig23_train_vs_ref.json",
+                          "figure-23-train-vs-ref", std::move(Rows));
 }

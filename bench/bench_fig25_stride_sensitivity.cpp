@@ -40,10 +40,6 @@ int main(int Argc, char **Argv) {
   T.row({"average", Table::fmt(mean(Train)) + "x",
          Table::fmt(mean(Mixed)) + "x"});
   T.print(std::cout);
-  if (auto Path = benchReportPath(Argc, Argv,
-                                  "bench_fig25_stride_sensitivity.json"))
-    if (!writeBenchRows(*Path, "figure-25-stride-sensitivity",
-                        std::move(Rows)))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_fig25_stride_sensitivity.json",
+                          "figure-25-stride-sensitivity", std::move(Rows));
 }

@@ -53,9 +53,6 @@ int main(int Argc, char **Argv) {
   T.print(std::cout);
   std::cout << "(accuracy = useful / non-redundant issued; 'unused' lines"
             << " were evicted from L1 before any demand use)\n";
-  if (auto Path =
-          benchReportPath(Argc, Argv, "bench_prefetch_quality.json"))
-    if (!writeBenchReport(*Path, "prefetch-quality", Measurements))
-      return 1;
-  return 0;
+  return emitBenchReport(Argc, Argv, "bench_prefetch_quality.json",
+                          "prefetch-quality", Measurements);
 }

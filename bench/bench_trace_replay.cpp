@@ -1,0 +1,157 @@
+//===- bench/bench_trace_replay.cpp - Trace capture/replay throughput ------===//
+//
+// Part of the StrideProf project (see bench_fig16_speedup.cpp for the
+// project reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stream frontend's headline numbers: for each suite workload, capture
+/// a live edge-check profile run into a sprof.trace file, then replay it
+/// through the stream-driven profile phase and report
+///
+///   * capture size (events, bytes, bytes/event of the delta encoding),
+///   * replay throughput (events/sec, wall clock, best of three), and
+///   * fidelity -- the replayed stride profile must be bit-identical to
+///     the live run's, or the bench exits 1.
+///
+/// The aggregate events/sec feeds the bench trajectory
+/// (scripts/bench_trajectory.py, "replay_events_per_sec").
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiments.h"
+#include "driver/TraceReplay.h"
+#include "obs/Report.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+using namespace sprof;
+
+namespace {
+
+std::string tmpDir() {
+  const char *T = std::getenv("TMPDIR");
+  std::string Dir = T && *T ? T : "/tmp";
+  if (Dir.back() != '/')
+    Dir += '/';
+  return Dir;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const ProfilingMethod Method = ProfilingMethod::EdgeCheck;
+  constexpr int Reps = 3;
+
+  Table T("Trace capture + replay (edge-check, train input)");
+  T.row({"benchmark", "events", "bytes", "B/event", "replay s", "Mev/s",
+         "fidelity"});
+
+  JsonValue Rows = JsonValue::array();
+  uint64_t TotalEvents = 0;
+  double TotalSeconds = 0.0;
+  bool AllIdentical = true;
+
+  for (const std::unique_ptr<Workload> &W : makeSpecIntSuite()) {
+    const std::string Name = W->info().Name;
+    const std::string Path =
+        tmpDir() + "bench_trace_replay_" + Name + ".sprof.trace";
+
+    PipelineConfig Config;
+    Config.TraceCapturePath = Path;
+    Pipeline P(*W, Config);
+    const ProfileRunResult Live =
+        P.runProfile(Method, DataSet::Train, /*WithMemorySystem=*/false);
+    if (!Live.Capture.Enabled) {
+      std::cerr << "error: " << Name << ": trace capture failed (" << Path
+                << ")\n";
+      return 1;
+    }
+
+    TraceReplayOptions Opts;
+    Opts.EvaluateWorkload = false;
+    Opts.SimulateMemory = false;
+    double Best = 0.0;
+    bool Identical = true;
+    for (int R = 0; R != Reps; ++R) {
+      const auto Start = std::chrono::steady_clock::now();
+      const TraceReplayResult Replay = replayTraceFile(Path, Opts);
+      const double Elapsed = secondsSince(Start);
+      if (!Replay.Ok) {
+        std::cerr << "error: " << Name << ": replay failed: " << Replay.Error
+                  << "\n";
+        return 1;
+      }
+      if (R == 0)
+        Identical =
+            strideProfileToJson(Replay.Profile.Strides).str() ==
+                strideProfileToJson(Live.Strides).str() &&
+            edgeProfileToJson(Replay.Profile.Edges).str() ==
+                edgeProfileToJson(Live.Edges).str();
+      if (Best == 0.0 || Elapsed < Best)
+        Best = Elapsed;
+    }
+    std::remove(Path.c_str());
+    AllIdentical = AllIdentical && Identical;
+
+    const double EventsPerSec =
+        Best > 0.0 ? static_cast<double>(Live.Capture.Events) / Best : 0.0;
+    const double BytesPerEvent =
+        Live.Capture.Events
+            ? static_cast<double>(Live.Capture.Bytes) /
+                  static_cast<double>(Live.Capture.Events)
+            : 0.0;
+    TotalEvents += Live.Capture.Events;
+    TotalSeconds += Best;
+
+    T.row({Name, std::to_string(Live.Capture.Events),
+           std::to_string(Live.Capture.Bytes),
+           Table::fmt(BytesPerEvent, 2), Table::fmt(Best, 4),
+           Table::fmt(EventsPerSec / 1e6, 2),
+           Identical ? "bit-identical" : "DIVERGED"});
+
+    JsonValue Row = JsonValue::object();
+    Row.set("name", Name)
+        .set("method", profilingMethodName(Method))
+        .set("events", Live.Capture.Events)
+        .set("bytes", Live.Capture.Bytes)
+        .set("bytes_per_event", BytesPerEvent)
+        .set("replay_seconds", Best)
+        .set("events_per_sec", EventsPerSec)
+        .set("bit_identical", Identical);
+    Rows.push(std::move(Row));
+  }
+
+  const double AggregateEventsPerSec =
+      TotalSeconds > 0.0 ? static_cast<double>(TotalEvents) / TotalSeconds
+                         : 0.0;
+  T.row({"total", std::to_string(TotalEvents), "-", "-",
+         Table::fmt(TotalSeconds, 4),
+         Table::fmt(AggregateEventsPerSec / 1e6, 2),
+         AllIdentical ? "bit-identical" : "DIVERGED"});
+  T.print(std::cout);
+
+  if (!AllIdentical) {
+    std::cerr << "error: replayed profiles diverged from the live runs\n";
+    return 1;
+  }
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("replay_events_per_sec", AggregateEventsPerSec)
+      .set("total_events", TotalEvents)
+      .set("total_replay_seconds", TotalSeconds)
+      .set("benchmarks", std::move(Rows));
+  return emitBenchReport(Argc, Argv, "bench_trace_replay.json",
+                         "trace-replay", std::move(Doc));
+}

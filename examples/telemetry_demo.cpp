@@ -20,18 +20,24 @@
 ///     https://ui.perfetto.dev) with the nested phase spans plus "C"
 ///     counter samples from the background TelemetrySampler,
 ///   * the sampler's sprof.timeseries/1 artifact (render with
-///     `sprof-inspect timeseries`), and
+///     `sprof-inspect timeseries`),
 ///   * the engine self-profiler's folded-stack file (feed to
-///     flamegraph.pl, or `sprof-inspect hotspots` on the run report).
+///     flamegraph.pl, or `sprof-inspect hotspots` on the run report), and
+///   * a sprof.trace/1 capture of the profile run's access-event stream
+///     (inspect with `sprof-inspect trace`), which the demo immediately
+///     replays through the stream frontend and checks for bit-identical
+///     stride and edge profiles.
 ///
 /// Usage: telemetry_demo [report.json [trace.json [sampled_report.json
-///                       [timeseries.json [profile.folded]]]]]
+///                       [timeseries.json [profile.folded
+///                       [capture.sprof.trace]]]]]]
 /// (defaults: telemetry_report.json, telemetry_trace.json,
 /// telemetry_sampled_report.json, telemetry_timeseries.json,
-/// telemetry_profile.folded)
+/// telemetry_profile.folded, telemetry_capture.sprof.trace)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/TraceReplay.h"
 #include "ir/IRBuilder.h"
 #include "obs/Report.h"
 #include "obs/Sampler.h"
@@ -97,6 +103,8 @@ int main(int Argc, char **Argv) {
       Argc > 4 ? Argv[4] : "telemetry_timeseries.json";
   const std::string FoldedPath =
       Argc > 5 ? Argv[5] : "telemetry_profile.folded";
+  const std::string CapturePath =
+      Argc > 6 ? Argv[6] : "telemetry_capture.sprof.trace";
 
   ChaseDemo Demo;
   PipelineConfig Config;
@@ -114,6 +122,9 @@ int main(int Argc, char **Argv) {
   Config.Obs.SelfProfile = true;
   Config.Obs.FoldedProfilePath = FoldedPath;
   Config.Memory.EnableAttribution = true;
+  // Capture the profile run's access-event stream into a replayable
+  // sprof.trace/1 file (reported in profile_run.trace).
+  Config.TraceCapturePath = CapturePath;
   Pipeline P(Demo, Config);
 
   // The full pipeline under one telemetry session: profile on train,
@@ -126,8 +137,13 @@ int main(int Argc, char **Argv) {
 
   // A second, sampled profiling run of the same workload, and the
   // Figures 23-25 accuracy diff of its profile against the exhaustive one.
+  // A separate capture-free pipeline on the same telemetry session keeps
+  // the captured trace describing the exhaustive run.
+  PipelineConfig SampledConfig = Config;
+  SampledConfig.TraceCapturePath.clear();
+  Pipeline PS(Demo, SampledConfig, P.obs());
   ProfileRunResult Sampled =
-      P.runProfile(ProfilingMethod::SampleEdgeCheck, DataSet::Train);
+      PS.runProfile(ProfilingMethod::SampleEdgeCheck, DataSet::Train);
   ProfileDiffResult Diff =
       diffStrideProfiles(Prof.Strides, Sampled.Strides, Config.Classifier);
 
@@ -209,6 +225,32 @@ int main(int Argc, char **Argv) {
   std::cout << "sampled-profile accuracy: " << Diff.WeightedAccuracy * 100.0
             << "% over " << Diff.SitesCompared << " sites ("
             << SampledReportPath << ")\n";
+
+  // The capture must have recorded every strideProf event the profiler
+  // saw, and replaying it must reproduce the profiles bit for bit.
+  if (!Prof.Capture.Enabled ||
+      Prof.Capture.Events != Prof.StrideInvocations) {
+    std::cerr << "error: trace capture recorded " << Prof.Capture.Events
+              << " events, expected " << Prof.StrideInvocations << "\n";
+    return 1;
+  }
+  TraceReplayOptions ReplayOpts;
+  ReplayOpts.SimulateMemory = false; // keep the demo quick
+  TraceReplayResult Replay = replayTraceFile(CapturePath, ReplayOpts);
+  if (!Replay.Ok) {
+    std::cerr << "error: trace replay failed: " << Replay.Error << "\n";
+    return 1;
+  }
+  if (strideProfileToJson(Replay.Profile.Strides).str() !=
+          strideProfileToJson(Prof.Strides).str() ||
+      edgeProfileToJson(Replay.Profile.Edges).str() !=
+          edgeProfileToJson(Prof.Edges).str()) {
+    std::cerr << "error: replayed profiles differ from the live run\n";
+    return 1;
+  }
+  std::cout << "trace capture: " << CapturePath << " ("
+            << Prof.Capture.Events << " events, " << Prof.Capture.Bytes
+            << " bytes; replay bit-identical)\n";
 
   double Speedup = static_cast<double>(Baseline.Cycles) /
                    static_cast<double>(Timed.Stats.Cycles);

@@ -10,7 +10,8 @@ condenses them into one trajectory point
      "profiling_overhead": ..., "prefetch_useful_ratio": ...,
      "accuracy_score": ..., "engine_wall_speedup": ...,
      "memsys_wall_speedup": ..., "profiled_wall_speedup": ...,
-     "telemetry_overhead": ..., "components": ...}
+     "telemetry_overhead": ..., "replay_events_per_sec": ...,
+     "components": ...}
 
 written to bench/trajectory/BENCH_<date>.json, and fails (exit 1) when
 either the geomean prefetch speedup or the useful-prefetch ratio drops
@@ -64,6 +65,7 @@ def collect_point(build_dir, threads, workdir):
     runtime_memsys = os.path.join(workdir, "runtime_memsys.json")
     runtime_profiled = os.path.join(workdir, "runtime_profiled.json")
     runtime_telemetry = os.path.join(workdir, "runtime_telemetry.json")
+    trace_replay = os.path.join(workdir, "trace_replay.json")
     report = os.path.join(workdir, "telemetry_report.json")
     trace = os.path.join(workdir, "telemetry_trace.json")
     sampled = os.path.join(workdir, "telemetry_sampled_report.json")
@@ -90,6 +92,10 @@ def collect_point(build_dir, threads, workdir):
          f"--telemetry-timeseries={os.path.join(workdir, 'ts.json')}",
          f"--telemetry-folded={os.path.join(workdir, 'prof.folded')}",
          f"--json={runtime_telemetry}"], stdout=subprocess.DEVNULL)
+    # Trace capture -> replay throughput; the bench itself exits 1 when a
+    # replayed profile diverges from its live run, so fidelity is gated too.
+    run([os.path.join(bench, "bench_trace_replay"),
+         f"--json={trace_replay}"], stdout=subprocess.DEVNULL)
     run([os.path.join(examples, "telemetry_demo"), report, trace, sampled,
          timeseries, folded], stdout=subprocess.DEVNULL)
 
@@ -122,6 +128,7 @@ def collect_point(build_dir, threads, workdir):
     memsys_doc = load(runtime_memsys)
     profiled_doc = load(runtime_profiled)
     telemetry_doc = load(runtime_telemetry)
+    replay_doc = load(trace_replay)["rows"]
     accuracy = load(report)["profile_diff"]["weighted_accuracy"]
 
     return {
@@ -135,6 +142,7 @@ def collect_point(build_dir, threads, workdir):
         "memsys_wall_speedup": memsys_doc.get("geomean_speedup", 0.0),
         "profiled_wall_speedup": profiled_doc.get("geomean_speedup", 0.0),
         "telemetry_overhead": telemetry_doc.get("telemetry_overhead", 0.0),
+        "replay_events_per_sec": replay_doc.get("replay_events_per_sec", 0.0),
         "components": {
             "speedup_method": method,
             "overhead_method": overhead_method,
@@ -165,7 +173,7 @@ def gate(point, baseline, baseline_path, tolerance):
     ok = True
     hard = ("geomean_speedup", "prefetch_useful_ratio")
     soft = ("engine_wall_speedup", "memsys_wall_speedup",
-            "profiled_wall_speedup")
+            "profiled_wall_speedup", "replay_events_per_sec")
     for key in hard + soft:
         old, new = baseline.get(key, 0.0), point.get(key, 0.0)
         if old <= 0:
@@ -215,7 +223,8 @@ def main():
     for key in ("geomean_speedup", "profiling_overhead",
                 "prefetch_useful_ratio", "accuracy_score",
                 "engine_wall_speedup", "memsys_wall_speedup",
-                "profiled_wall_speedup", "telemetry_overhead"):
+                "profiled_wall_speedup", "telemetry_overhead",
+                "replay_events_per_sec"):
         print(f"  {key}: {point[key]:.4f}")
 
     if not args.no_write:

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Validates the machine-readable telemetry artifacts: runs the
 # telemetry_demo example and checks the run report against the
-# "sprof.run_report/3" schema (each version a strict superset of the
-# previous: the /1 and /2 sections must all still be present and shaped as
-# before), the attribution exact-sum invariant, the profile_diff and
-# self_profile sections, the "sprof.timeseries/1" sampler artifact, the
-# folded-stack self-profile file, and the Chrome trace for the pipeline's
-# phase spans plus the sampler's counter ("C") events. When given the
-# sprof-inspect binary it also smoke-tests its summary, diff, timeseries,
-# and hotspots modes against the fresh artifacts — including that unknown
-# subcommands and malformed JSON exit nonzero — and when given a
+# "sprof.run_report/4" schema (each version a strict superset of the
+# previous: the /1../3 sections must all still be present and shaped as
+# before), the attribution exact-sum invariant, the profile_diff,
+# self_profile and profile_run.trace sections, the "sprof.timeseries/1"
+# sampler artifact, the folded-stack self-profile file, the binary
+# "sprof.trace/1" capture's header/trailer framing, and the Chrome trace
+# for the pipeline's phase spans plus the sampler's counter ("C") events.
+# When given the sprof-inspect binary it also smoke-tests its summary,
+# diff, timeseries, hotspots, and trace modes against the fresh artifacts
+# — including that unknown subcommands, malformed JSON, truncated traces,
+# and trace version mismatches exit nonzero — and when given a
 # bench-trajectory point it validates the "sprof.bench_point/3" schema
 # (accepting legacy /1 and /2 points). Wired into ctest as
 # `telemetry_schema`.
@@ -27,16 +29,20 @@ TRACE="$WORKDIR/telemetry_trace.json"
 SAMPLED="$WORKDIR/telemetry_sampled_report.json"
 TIMESERIES="$WORKDIR/telemetry_timeseries.json"
 FOLDED="$WORKDIR/telemetry_profile.folded"
+CAPTURE="$WORKDIR/telemetry_capture.sprof.trace"
 
-"$DEMO" "$REPORT" "$TRACE" "$SAMPLED" "$TIMESERIES" "$FOLDED" > /dev/null
+"$DEMO" "$REPORT" "$TRACE" "$SAMPLED" "$TIMESERIES" "$FOLDED" \
+    "$CAPTURE" > /dev/null
 
-python3 - "$REPORT" "$TRACE" "$SAMPLED" "$TIMESERIES" "$FOLDED" <<'EOF'
+python3 - "$REPORT" "$TRACE" "$SAMPLED" "$TIMESERIES" "$FOLDED" \
+    "$CAPTURE" <<'EOF'
 import json
 import re
 import sys
 
 report_path, trace_path, sampled_path = sys.argv[1], sys.argv[2], sys.argv[3]
-timeseries_path, folded_path = sys.argv[4], sys.argv[5]
+timeseries_path, folded_path, capture_path = (sys.argv[4], sys.argv[5],
+                                              sys.argv[6])
 failures = []
 
 
@@ -49,7 +55,7 @@ with open(report_path) as f:
     report = json.load(f)
 
 RUN_REPORT_SCHEMAS = ("sprof.run_report/1", "sprof.run_report/2",
-                      "sprof.run_report/3")
+                      "sprof.run_report/3", "sprof.run_report/4")
 check(report.get("schema") in RUN_REPORT_SCHEMAS,
       f"unexpected schema: {report.get('schema')!r}")
 for key in ("workload", "config", "profile_run", "baseline_run",
@@ -82,7 +88,8 @@ check(isinstance(sampling, dict) and "enabled" in sampling,
 
 # -- run_report/2 additions ------------------------------------------------
 
-if report.get("schema") in ("sprof.run_report/2", "sprof.run_report/3"):
+if report.get("schema") in ("sprof.run_report/2", "sprof.run_report/3",
+                            "sprof.run_report/4"):
     attribution = report.get("attribution")
     check(isinstance(attribution, dict), "/2 report missing attribution")
     if isinstance(attribution, dict):
@@ -136,7 +143,7 @@ if report.get("schema") in ("sprof.run_report/2", "sprof.run_report/3"):
 
 # -- run_report/3 additions ------------------------------------------------
 
-if report.get("schema") == "sprof.run_report/3":
+if report.get("schema") in ("sprof.run_report/3", "sprof.run_report/4"):
     self_profile = report.get("self_profile")
     check(isinstance(self_profile, dict), "/3 report missing self_profile")
     if isinstance(self_profile, dict):
@@ -160,6 +167,38 @@ if report.get("schema") == "sprof.run_report/3":
     for key in ("sample_interval_us", "sample_ring_capacity",
                 "self_profile", "self_profile_window"):
         check(key in obs_config, f"config.obs missing {key!r}")
+
+# -- run_report/4 additions ------------------------------------------------
+
+if report.get("schema") == "sprof.run_report/4":
+    capture = report.get("profile_run", {}).get("trace")
+    check(isinstance(capture, dict), "/4 report missing profile_run.trace")
+    if isinstance(capture, dict):
+        for key in ("path", "schema", "events", "bytes"):
+            check(key in capture, f"profile_run.trace missing {key!r}")
+        check(capture.get("schema") in ("sprof.trace/1",
+                                        "sprof.trace.text/1"),
+              f"unexpected trace schema: {capture.get('schema')!r}")
+        check(capture.get("events", 0) ==
+              report.get("profile_run", {}).get("stride_invocations"),
+              "trace events != profile_run.stride_invocations")
+
+# -- sprof.trace/1 binary framing ------------------------------------------
+
+with open(capture_path, "rb") as f:
+    raw = f.read()
+check(raw[:8] == b"SPROFTRC",
+      f"trace capture magic is {raw[:8]!r}, want b'SPROFTRC'")
+version = int.from_bytes(raw[8:12], "little")
+check(version == 1, f"trace capture version {version}, want 1")
+check(raw[-8:] == b"SPROFEND",
+      f"trace capture end magic is {raw[-8:]!r}, want b'SPROFEND'")
+if report.get("schema") == "sprof.run_report/4" and \
+        isinstance(report.get("profile_run", {}).get("trace"), dict):
+    reported = report["profile_run"]["trace"].get("bytes")
+    check(reported == len(raw),
+          f"trace capture is {len(raw)} bytes on disk but the report "
+          f"says {reported}")
 
 with open(sampled_path) as f:
     sampled = json.load(f)
@@ -211,7 +250,7 @@ for line in folded_lines:
     check(folded_re.match(line) is not None,
           f"malformed folded line: {line!r}")
 folded_total = sum(int(line.rsplit(" ", 1)[1]) for line in folded_lines)
-if report.get("schema") == "sprof.run_report/3" and \
+if report.get("schema") in ("sprof.run_report/3", "sprof.run_report/4") and \
         isinstance(report.get("self_profile"), dict):
     check(folded_total == report["self_profile"].get("total_samples"),
           f"folded sample total {folded_total} != self_profile "
@@ -319,6 +358,56 @@ EOF
         echo "FAIL: sprof-inspect summary accepted a missing file" >&2
         exit 1
     fi
+
+    # Trace mode: the fresh capture summarizes cleanly...
+    "$INSPECT" trace "$CAPTURE" > "$WORKDIR/inspect_trace.txt"
+    grep -q "events:" "$WORKDIR/inspect_trace.txt" || {
+        echo "FAIL: sprof-inspect trace lacks the event summary" >&2
+        exit 1
+    }
+    # ...while unreadable, truncated, and wrong-version traces each exit
+    # nonzero naming the precise failure class.
+    if "$INSPECT" trace "$WORKDIR/definitely-missing.sprof.trace" \
+            2> "$WORKDIR/inspect_err.txt"; then
+        echo "FAIL: sprof-inspect trace accepted a missing file" >&2
+        exit 1
+    fi
+    grep -q "io-error: " "$WORKDIR/inspect_err.txt" || {
+        echo "FAIL: missing-trace diagnostic lacks the io-error class" >&2
+        exit 1
+    }
+    head -c 100 "$CAPTURE" > "$WORKDIR/truncated.sprof.trace"
+    if "$INSPECT" trace "$WORKDIR/truncated.sprof.trace" \
+            2> "$WORKDIR/inspect_err.txt"; then
+        echo "FAIL: sprof-inspect trace accepted a truncated trace" >&2
+        exit 1
+    fi
+    grep -q "truncated: " "$WORKDIR/inspect_err.txt" || {
+        echo "FAIL: truncated-trace diagnostic missing" >&2
+        exit 1
+    }
+    cp "$CAPTURE" "$WORKDIR/future.sprof.trace"
+    printf '\x63' | dd of="$WORKDIR/future.sprof.trace" bs=1 seek=8 \
+        count=1 conv=notrunc status=none
+    if "$INSPECT" trace "$WORKDIR/future.sprof.trace" \
+            2> "$WORKDIR/inspect_err.txt"; then
+        echo "FAIL: sprof-inspect trace accepted a future trace version" >&2
+        exit 1
+    fi
+    grep -q "version-mismatch: " "$WORKDIR/inspect_err.txt" || {
+        echo "FAIL: version-mismatch diagnostic missing" >&2
+        exit 1
+    }
+    echo '{"not": "a trace"}' > "$WORKDIR/not-a-trace.sprof.trace"
+    if "$INSPECT" trace "$WORKDIR/not-a-trace.sprof.trace" \
+            2> "$WORKDIR/inspect_err.txt"; then
+        echo "FAIL: sprof-inspect trace accepted a non-trace file" >&2
+        exit 1
+    fi
+    grep -q "bad-magic: " "$WORKDIR/inspect_err.txt" || {
+        echo "FAIL: bad-magic diagnostic missing" >&2
+        exit 1
+    }
     echo "sprof-inspect error paths OK"
 fi
 
@@ -357,6 +446,11 @@ for key in ("geomean_speedup", "prefetch_useful_ratio", "accuracy_score"):
     value = point.get(key)
     if not isinstance(value, (int, float)) or value < 0:
         failures.append(f"bench point {key} not a non-negative number")
+if "replay_events_per_sec" in point:
+    # Optional /3 extension: trace-replay decode+profile throughput.
+    value = point.get("replay_events_per_sec")
+    if not isinstance(value, (int, float)) or value <= 0:
+        failures.append("bench point replay_events_per_sec not positive")
 if failures:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

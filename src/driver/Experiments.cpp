@@ -395,6 +395,25 @@ bool sprof::writeBenchReport(
   return true;
 }
 
+int sprof::emitBenchReport(int Argc, char **Argv,
+                           const std::string &DefaultPath,
+                           const std::string &Figure,
+                           const std::vector<BenchMeasurement> &Measurements) {
+  if (auto Path = benchReportPath(Argc, Argv, DefaultPath))
+    if (!writeBenchReport(*Path, Figure, Measurements))
+      return 1;
+  return 0;
+}
+
+int sprof::emitBenchReport(int Argc, char **Argv,
+                           const std::string &DefaultPath,
+                           const std::string &Figure, JsonValue Rows) {
+  if (auto Path = benchReportPath(Argc, Argv, DefaultPath))
+    if (!writeBenchRows(*Path, Figure, std::move(Rows)))
+      return 1;
+  return 0;
+}
+
 std::optional<std::string> sprof::benchReportPath(
     int Argc, char **Argv, const std::string &DefaultPath) {
   std::optional<std::string> Path = DefaultPath;

@@ -153,6 +153,18 @@ bool writeBenchRows(const std::string &Path, const std::string &Figure,
 std::optional<std::string> benchReportPath(int Argc, char **Argv,
                                            const std::string &DefaultPath);
 
+/// The shared tail of every bench main: resolve the report path from the
+/// CLI (benchReportPath), serialize, and map the outcome onto the process
+/// exit code -- 0 when the report was written or disabled (`--no-json`),
+/// 1 when it could not be written. One overload per row flavour; both
+/// funnel into writeBenchReport/writeBenchRows so every bench keeps the
+/// same schema and failure behaviour without hand-rolling the idiom.
+int emitBenchReport(int Argc, char **Argv, const std::string &DefaultPath,
+                    const std::string &Figure,
+                    const std::vector<BenchMeasurement> &Measurements);
+int emitBenchReport(int Argc, char **Argv, const std::string &DefaultPath,
+                    const std::string &Figure, JsonValue Rows);
+
 /// Shared bench CLI convention: `--threads=N` or `--threads N` selects the
 /// engine's worker count (results are thread-count-invariant; this only
 /// changes wall-clock time). Invalid or missing values fall back to

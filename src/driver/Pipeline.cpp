@@ -7,9 +7,11 @@
 
 #include "driver/Pipeline.h"
 
+#include "driver/TraceReplay.h"
 #include "ir/Verifier.h"
 #include "obs/SelfProfiler.h"
 #include "obs/Trace.h"
+#include "stream/TraceFile.h"
 
 #include <cassert>
 
@@ -51,6 +53,23 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
     I.attachMemory(&MH);
   I.attachProfiler(&Profiler);
   I.attachObs(Obs);
+
+  // Optional trace capture: tee the ProfStride event stream into a
+  // sprof.trace file while the profiler consumes it live.
+  std::unique_ptr<TraceWriter> Capture;
+  if (!Config.TraceCapturePath.empty()) {
+    TraceProvenance Prov{W.info().Name, dataSetName(DS),
+                         profilingMethodName(Method)};
+    std::string CapErr;
+    Capture = TraceWriter::open(Config.TraceCapturePath, Prog.M.NumLoadSites,
+                                std::move(Prov), Config.TraceCaptureText,
+                                &CapErr);
+    if (Capture)
+      I.attachEventSink(Capture.get());
+    else if (Obs)
+      Obs->counter("pipeline.trace_capture_failures")->inc();
+  }
+
   labelSelfProfile(Obs, W, "profile");
   {
     TraceSpan ES(Obs, "execute", "interp", /*Level=*/1);
@@ -78,9 +97,66 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
   Result.StrideProcessed = Profiler.totalProcessed();
   Result.LfuCalls = Profiler.totalLfuCalls();
 
+  if (Capture) {
+    // The edge section makes the trace self-contained: replay rebuilds
+    // the classifier's full input without re-executing the program.
+    Capture->setEdgeSection(edgeSectionFromProfile(Result.Edges));
+    Capture->finish();
+    Result.Capture.Enabled = Capture->ok();
+    Result.Capture.Path = Config.TraceCapturePath;
+    Result.Capture.Schema =
+        Config.TraceCaptureText ? TraceTextSchemaV1 : TraceSchemaV1;
+    Result.Capture.Events = Capture->eventsWritten();
+    Result.Capture.Bytes = Capture->bytesWritten();
+    if (Obs) {
+      Obs->counter("pipeline.trace_captured_events")
+          ->inc(Result.Capture.Events);
+      Obs->counter("pipeline.trace_captured_bytes")
+          ->inc(Result.Capture.Bytes);
+    }
+  }
+
   if (Obs) {
     Obs->counter("pipeline.profile_runs")->inc();
     Obs->counter("pipeline.profile_cycles")->inc(Result.Stats.Cycles);
+    Obs->counter("strideprof.invocations")->inc(Result.StrideInvocations);
+    Obs->counter("strideprof.processed")->inc(Result.StrideProcessed);
+    Obs->counter("strideprof.lfu_calls")->inc(Result.LfuCalls);
+  }
+  return Result;
+}
+
+ProfileRunResult Pipeline::profileFromStream(AccessSource &Src,
+                                             ProfilingMethod Method) const {
+  ObsSession *Obs = Session;
+  TraceSpan Span(Obs, "profile-from-stream", "pipeline", /*Level=*/1);
+
+  ProfileRunResult Result;
+  Result.Method = Method;
+
+  StrideProfilerConfig PC = Config.Profiler;
+  PC.Sampling.Enabled = methodUsesSampling(Method);
+  StrideProfiler Profiler(Src.numSites(), PC);
+  Profiler.attachObs(Obs);
+
+  {
+    TraceSpan ES(Obs, "consume-stream", "profile", /*Level=*/1);
+    Result.Stats.RuntimeCycles =
+        Profiler.consume(Src, Config.Interp.StrideBatchWindow);
+  }
+  Result.Stats.Cycles = Result.Stats.RuntimeCycles;
+  Result.Stats.Completed = true;
+
+  {
+    TraceSpan HS(Obs, "strideprof-harvest", "profile", /*Level=*/1);
+    Result.Strides = StrideProfile::fromProfiler(Profiler);
+  }
+  Result.StrideInvocations = Profiler.totalInvocations();
+  Result.StrideProcessed = Profiler.totalProcessed();
+  Result.LfuCalls = Profiler.totalLfuCalls();
+
+  if (Obs) {
+    Obs->counter("pipeline.stream_profile_runs")->inc();
     Obs->counter("strideprof.invocations")->inc(Result.StrideInvocations);
     Obs->counter("strideprof.processed")->inc(Result.StrideProcessed);
     Obs->counter("strideprof.lfu_calls")->inc(Result.LfuCalls);

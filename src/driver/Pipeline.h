@@ -56,6 +56,25 @@ struct PipelineConfig {
   /// ObsSession, traces every phase, and threads metric sinks through all
   /// components. Profiles and cycle accounting are identical either way.
   ObsConfig Obs;
+  /// When non-empty, runProfile additionally records the profiled
+  /// access-event stream (plus the harvested edge profile) into this
+  /// sprof.trace/1 file for later replay (driver/TraceReplay.h). Capture
+  /// tees off the engines' existing stride-event ring, so profiles and
+  /// cycle accounting are bit-identical with or without it.
+  std::string TraceCapturePath;
+  /// Write the human-readable sprof.trace.text/1 twin instead.
+  bool TraceCaptureText = false;
+};
+
+/// Accounting of a profile run's trace capture (PipelineConfig::
+/// TraceCapturePath); Enabled stays false when capture was off or the
+/// trace file could not be written.
+struct TraceCaptureInfo {
+  bool Enabled = false;
+  std::string Path;
+  std::string Schema; ///< sprof.trace/1 or sprof.trace.text/1
+  uint64_t Events = 0;
+  uint64_t Bytes = 0;
 };
 
 /// Results of one instrumented (profile-generation) run.
@@ -70,6 +89,8 @@ struct ProfileRunResult {
   uint64_t StrideInvocations = 0;
   uint64_t StrideProcessed = 0;
   uint64_t LfuCalls = 0;
+
+  TraceCaptureInfo Capture;
 };
 
 /// Results of one timed (performance) run.
@@ -108,6 +129,16 @@ public:
   /// for speed, while overhead measurements (Figure 20) keep it on.
   ProfileRunResult runProfile(ProfilingMethod Method, DataSet DS,
                               bool WithMemorySystem = true) const;
+
+  /// Stream-driven profile phase: drives the stride-profiling runtime from
+  /// \p Src instead of a live interpreter run -- this is how captured and
+  /// external traces are profiled. The returned Strides (and runtime-cycle
+  /// accounting) are bit-identical to a live run that produced the same
+  /// event stream under the same method; Edges are empty (edge counters
+  /// live in the program, not the access stream -- captured traces carry
+  /// them in the trace's edge section, see driver/TraceReplay.h).
+  ProfileRunResult profileFromStream(AccessSource &Src,
+                                     ProfilingMethod Method) const;
 
   /// Baseline timed run (no instrumentation, no prefetching).
   RunStats runBaseline(DataSet DS) const;

@@ -75,6 +75,16 @@ ProfilingMethod sprof::baseMethod(ProfilingMethod Method) {
   }
 }
 
+bool sprof::profilingMethodFromName(const std::string &Name,
+                                    ProfilingMethod &Method) {
+  for (ProfilingMethod M : allProfilingMethods())
+    if (Name == profilingMethodName(M)) {
+      Method = M;
+      return true;
+    }
+  return false;
+}
+
 std::vector<ProfilingMethod> sprof::allProfilingMethods() {
   return {ProfilingMethod::EdgeOnly,        ProfilingMethod::NaiveAll,
           ProfilingMethod::NaiveLoop,       ProfilingMethod::BlockCheck,

@@ -62,6 +62,12 @@ enum class ProfilingMethod {
 /// Printable name ("edge-check", "sample-naive-all", ...).
 const char *profilingMethodName(ProfilingMethod Method);
 
+/// Inverse of profilingMethodName: parses \p Name into \p Method. Returns
+/// false (leaving \p Method untouched) for unknown names. Trace replay
+/// uses this to re-run a captured trace under its recorded method.
+bool profilingMethodFromName(const std::string &Name,
+                             ProfilingMethod &Method);
+
 /// True for the sample-* methods (runtime sampling enabled).
 bool methodUsesSampling(ProfilingMethod Method);
 

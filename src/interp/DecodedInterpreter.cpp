@@ -124,16 +124,19 @@ RunStats DecodedInterpreter::runImpl(uint64_t MaxInstructions,
   // drains reads SPROF_NOW() when HasMem is false; with a memory system
   // attached the trap cost must reach Now before the next access is timed,
   // so that specialization stays on the per-event profile() call.
+  // With a memory system the trap cost is charged per event, so the ring
+  // serves only event-sink capture there; without one it is the batching
+  // buffer for profiler and sink alike (the entries are AccessEvents, so
+  // the sink tees straight off the ring).
   StrideEvent *Ring = nullptr;
   uint32_t RingN = 0;
   uint32_t RingCap = 0;
-  if constexpr (!HasMem) {
-    if (Profiler) {
-      RingCap = StrideBatchWindow;
-      if (StrideRing.size() < RingCap)
-        StrideRing.resize(RingCap);
-      Ring = StrideRing.data();
-    }
+  const bool WantRing = HasMem ? Sink != nullptr : (Profiler || Sink);
+  if (WantRing) {
+    RingCap = StrideBatchWindow;
+    if (StrideRing.size() < RingCap)
+      StrideRing.resize(RingCap);
+    Ring = StrideRing.data();
   }
 
   // Self-profiler sampling rides the dispatch prologue's existing fuel
@@ -578,11 +581,21 @@ next_inst:
         if (Profiler)
           Cost = Profiler->profile(I->SiteId, Addr, LoadRefs + 1);
         RuntimeCyc += Cost;
-      } else {
-        if (Profiler) {
+        if (Ring) {
           Ring[RingN] = StrideEvent{Addr, LoadRefs + 1, I->SiteId};
           if (++RingN == RingCap) {
-            RuntimeCyc += Profiler->profileBatch(Ring, RingN);
+            Sink->onBatch(Ring, RingN);
+            RingN = 0;
+          }
+        }
+      } else {
+        if (Ring) {
+          Ring[RingN] = StrideEvent{Addr, LoadRefs + 1, I->SiteId};
+          if (++RingN == RingCap) {
+            if (Profiler)
+              RuntimeCyc += Profiler->profileBatch(Ring, RingN);
+            if (Sink)
+              Sink->onBatch(Ring, RingN);
             RingN = 0;
           }
         }
@@ -656,14 +669,17 @@ sp_stop:
 #endif
 
 run_done:
-  if constexpr (!HasMem) {
-    // Flush the partial block so every queued trap is accounted exactly
-    // as the per-event path would have, on every exit (halt, entry
-    // return, or MaxInstructions truncation).
-    if (RingN != 0) {
-      RuntimeCyc += Profiler->profileBatch(Ring, RingN);
-      RingN = 0;
+  // Flush the partial block so every queued trap is accounted (and
+  // captured) exactly as the per-event path would have, on every exit
+  // (halt, entry return, or MaxInstructions truncation).
+  if (RingN != 0) {
+    if constexpr (!HasMem) {
+      if (Profiler)
+        RuntimeCyc += Profiler->profileBatch(Ring, RingN);
     }
+    if (Sink)
+      Sink->onBatch(Ring, RingN);
+    RingN = 0;
   }
   Stats.Cycles = SPROF_NOW();
   Stats.Instructions = NInsts;

@@ -43,9 +43,13 @@ public:
         StrideBatchWindow(StrideBatchWindow ? StrideBatchWindow : 1) {}
 
   /// Per-run attachments (may change between runs of one Interpreter).
-  void attach(MemoryHierarchy *MH, StrideProfiler *SP) {
+  /// \p EventSink, when non-null, receives the ProfStride trap stream in
+  /// ring-sized batches (see Interpreter::attachEventSink).
+  void attach(MemoryHierarchy *MH, StrideProfiler *SP,
+              AccessSink *EventSink = nullptr) {
     Mem = MH;
     Profiler = SP;
+    Sink = EventSink;
   }
 
   /// Attaches (or detaches, with nullptr) the window-sampled self-profiler
@@ -80,6 +84,7 @@ private:
   std::vector<uint64_t> &Counters;
   MemoryHierarchy *Mem = nullptr;
   StrideProfiler *Profiler = nullptr;
+  AccessSink *Sink = nullptr;
   EngineSelfProfiler *SelfProf = nullptr;
   /// See InterpreterConfig::StrideBatchWindow (normalized to >= 1).
   uint32_t StrideBatchWindow;
@@ -88,8 +93,9 @@ private:
   // every Call reuses the storage.
   std::vector<DFrame> Frames;
   std::vector<int64_t> RegStack;
-  /// Stride-event ring for the batched profiling path (runImpl<false>);
-  /// capacity retained across runs like the pools above.
+  /// Stride-event ring for the batched profiling path (runImpl<false>)
+  /// and for event-sink capture (both specializations); capacity retained
+  /// across runs like the pools above.
   std::vector<StrideEvent> StrideRing;
 };
 

@@ -112,7 +112,7 @@ RunStats Interpreter::run(uint64_t MaxInstructions) {
           *Decoded, M.NumLoadSites, Timing, Memory, Counters,
           Config.StrideBatchWindow);
     }
-    DecodedExec->attach(Mem, Profiler);
+    DecodedExec->attach(Mem, Profiler, EventSink);
     DecodedExec->attachSelfProfiler(SelfProf);
     Stats = DecodedExec->run(MaxInstructions, Tally);
   } else {
@@ -137,6 +137,14 @@ RunStats Interpreter::runReference(uint64_t MaxInstructions,
     Entry.Regs.assign(M.Functions[M.EntryFunction].NumRegs, 0);
     Stack.push_back(std::move(Entry));
   }
+
+  // Event-sink capture buffer (trace capture / InterpreterSource): the
+  // reference engine has no stride ring, so it batches sink deliveries
+  // here. Empty and untouched when no sink is attached.
+  std::vector<AccessEvent> Cap;
+  size_t CapN = 0;
+  if (EventSink)
+    Cap.resize(Config.StrideBatchWindow ? Config.StrideBatchWindow : 1);
 
   // Loop preamble: the closures and the frame/instruction cursors they
   // capture are materialized once; the loop only reassigns the cursors.
@@ -360,6 +368,14 @@ RunStats Interpreter::runReference(uint64_t MaxInstructions,
       uint64_t Cost = 0;
       if (Profiler)
         Cost = Profiler->profile(I->SiteId, Addr, Stats.LoadRefs + 1);
+      if (EventSink) {
+        Cap[CapN++] = AccessEvent{Addr, Stats.LoadRefs + 1, I->SiteId,
+                                  AccessKind::Load};
+        if (CapN == Cap.size()) {
+          EventSink->onBatch(Cap.data(), CapN);
+          CapN = 0;
+        }
+      }
       Now += Cost;
       Stats.RuntimeCycles += Cost;
       ++Tally.StrideTraps;
@@ -371,6 +387,9 @@ RunStats Interpreter::runReference(uint64_t MaxInstructions,
       break;
     ++F->InstIndex;
   }
+
+  if (EventSink && CapN != 0)
+    EventSink->onBatch(Cap.data(), CapN);
 
   Stats.Cycles = Now;
   if (Mem)

@@ -136,6 +136,13 @@ public:
 
   void attachMemory(MemoryHierarchy *MH) { Mem = MH; }
   void attachProfiler(StrideProfiler *SP) { Profiler = SP; }
+  /// Mirrors the run's ProfStride trap stream -- the exact event sequence
+  /// a StrideProfiler would observe, whether or not one is attached --
+  /// into \p Sink in ring-sized batches (trace capture, InterpreterSource).
+  /// nullptr detaches. The sink is not finish()ed here: one sink may span
+  /// several runs, so the owner finishes it. With no sink attached (the
+  /// default) the engines' hot paths are unchanged.
+  void attachEventSink(AccessSink *Sink) { EventSink = Sink; }
   /// Telemetry: resolves the interp.* metric sinks once (like
   /// StrideProfiler::attachObs); run() bumps the cached pointers at exit.
   /// nullptr detaches. The interpreter loop itself only maintains local
@@ -175,6 +182,7 @@ private:
   InterpreterConfig Config;
   MemoryHierarchy *Mem = nullptr;
   StrideProfiler *Profiler = nullptr;
+  AccessSink *EventSink = nullptr;
   /// Resolved from the session at attachObs; forwarded to the Decoded
   /// engine each run (Reference runs ignore it).
   EngineSelfProfiler *SelfProf = nullptr;

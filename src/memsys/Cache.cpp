@@ -288,3 +288,32 @@ void MemoryHierarchy::finalizeAttribution() {
   Levels.front().drainUnusedPrefetches(Attr);
   Attr.Finalized = true;
 }
+
+StreamReplayStats sprof::replayAccessStream(MemoryHierarchy &MH,
+                                            AccessSource &Src,
+                                            const StreamReplayConfig &Config) {
+  StreamReplayStats S;
+  std::vector<AccessEvent> Buf(Config.BatchSize ? Config.BatchSize : 1);
+  uint64_t Now = 0;
+  while (size_t N = Src.pull(Buf.data(), Buf.size())) {
+    for (size_t I = 0; I < N; ++I) {
+      const AccessEvent &E = Buf[I];
+      Now += Config.IssueCost;
+      if (E.Kind == AccessKind::Prefetch) {
+        MH.prefetch(E.Address, Now, E.SiteId);
+        ++S.Prefetches;
+      } else {
+        const uint64_t Latency = MH.demandAccess(E.Address, Now, E.SiteId);
+        const uint64_t Stall =
+            Latency > Config.HiddenLatency ? Latency - Config.HiddenLatency
+                                           : 0;
+        Now += Stall;
+        S.StallCycles += Stall;
+        ++S.Loads;
+      }
+      ++S.Events;
+    }
+  }
+  S.Cycles = Now;
+  return S;
+}

@@ -33,6 +33,8 @@
 #ifndef SPROF_MEMSYS_CACHE_H
 #define SPROF_MEMSYS_CACHE_H
 
+#include "stream/AccessStream.h"
+
 #include <cstdint>
 #include <memory>
 #include <new>
@@ -387,6 +389,19 @@ public:
   /// providing level).
   void prefetch(uint64_t Addr, uint64_t Now, uint32_t SiteId = NoSiteId);
 
+  /// Stream-driven entry point: applies one access event at cycle \p Now.
+  /// Load events are demand accesses and return their load-to-use latency;
+  /// Prefetch events issue a non-blocking prefetch and return 0. This is
+  /// how replayed and external traces drive the hierarchy; the engines'
+  /// hot paths call demandAccess/prefetch directly with the same effect.
+  uint64_t access(const AccessEvent &E, uint64_t Now) {
+    if (E.Kind == AccessKind::Prefetch) {
+      prefetch(E.Address, Now, E.SiteId);
+      return 0;
+    }
+    return demandAccess(E.Address, Now, E.SiteId);
+  }
+
   /// Turns on prefetch-outcome and per-site demand-miss attribution for
   /// sites [0, NumSites). Must be called before any traffic; resets any
   /// previously collected attribution. MemoryStats is unaffected.
@@ -427,6 +442,32 @@ private:
   MemoryStats Stats;
   AttributionData Attr;
 };
+
+/// Timing convention for replaying a bare access stream against a
+/// hierarchy (no interpreter around to charge cycles): each event takes
+/// one issue cycle, and a load additionally stalls for the part of its
+/// latency beyond \c HiddenLatency (mirroring the interpreter's flat
+/// load-issue assumption, TimingModel::FlatLoadLatency).
+struct StreamReplayConfig {
+  uint32_t IssueCost = 1;
+  uint32_t HiddenLatency = 2;
+  size_t BatchSize = 256;
+};
+
+/// Accounting of one stream replay pass.
+struct StreamReplayStats {
+  uint64_t Events = 0;
+  uint64_t Loads = 0;
+  uint64_t Prefetches = 0;
+  uint64_t Cycles = 0;      ///< issue + stall
+  uint64_t StallCycles = 0; ///< latency beyond HiddenLatency, loads only
+};
+
+/// Drains \p Src through \p MH under the StreamReplayConfig timing
+/// convention. The hierarchy's own MemoryStats/attribution accumulate as
+/// with live traffic.
+StreamReplayStats replayAccessStream(MemoryHierarchy &MH, AccessSource &Src,
+                                     const StreamReplayConfig &Config = {});
 
 } // namespace sprof
 

@@ -435,6 +435,15 @@ JsonValue sprof::jobsToJson(const ObsSession &Session) {
   return Jobs;
 }
 
+JsonValue sprof::traceCaptureToJson(const TraceCaptureInfo &Capture) {
+  JsonValue J = JsonValue::object();
+  J.set("path", Capture.Path);
+  J.set("schema", Capture.Schema);
+  J.set("events", Capture.Events);
+  J.set("bytes", Capture.Bytes);
+  return J;
+}
+
 JsonValue sprof::profileRunToJson(const ProfileRunResult &R,
                                   const ReportOptions &Options) {
   JsonValue J = JsonValue::object();
@@ -447,6 +456,8 @@ JsonValue sprof::profileRunToJson(const ProfileRunResult &R,
   J.set("stride_invocations", R.StrideInvocations);
   J.set("stride_processed", R.StrideProcessed);
   J.set("lfu_calls", R.LfuCalls);
+  if (R.Capture.Enabled)
+    J.set("trace", traceCaptureToJson(R.Capture));
   return J;
 }
 
@@ -471,7 +482,7 @@ JsonValue sprof::buildRunReport(const std::string &WorkloadName,
                                 const ReportOptions &Options,
                                 const ProfileDiffResult *Diff) {
   JsonValue J = JsonValue::object();
-  J.set("schema", RunReportSchemaV3);
+  J.set("schema", RunReportSchemaV4);
   J.set("workload", WorkloadName);
   J.set("config", pipelineConfigToJson(Config));
   if (Profile)

@@ -297,3 +297,23 @@ uint64_t StrideProfiler::profileBatch(const StrideEvent *Events, size_t N) {
   }
   return Total;
 }
+
+uint64_t StrideProfiler::consume(AccessSource &Src, size_t BatchSize) {
+  if (BatchSize == 0)
+    BatchSize = 1;
+  std::vector<StrideEvent> Buf(BatchSize);
+  uint64_t Total = 0;
+  while (size_t N = Src.pull(Buf.data(), Buf.size())) {
+    // Compact out non-load events (prefetches in mixed external traces);
+    // strideProf only ever sees demand loads.
+    size_t M = 0;
+    for (size_t I = 0; I < N; ++I)
+      if (Buf[I].Kind == AccessKind::Load) {
+        if (M != I)
+          Buf[M] = Buf[I];
+        ++M;
+      }
+    Total += profileBatch(Buf.data(), M);
+  }
+  return Total;
+}

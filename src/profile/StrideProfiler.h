@@ -38,6 +38,7 @@
 #define SPROF_PROFILE_STRIDEPROFILER_H
 
 #include "profile/LfuValueProfiler.h"
+#include "stream/AccessStream.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -86,12 +87,11 @@ struct StrideProfilerConfig {
 };
 
 /// One queued strideProf invocation, as recorded by an engine's batched
-/// stride-event ring (see InterpreterConfig::StrideBatchWindow).
-struct StrideEvent {
-  uint64_t Address;
-  uint64_t GlobalRefIndex;
-  uint32_t SiteId;
-};
+/// stride-event ring (see InterpreterConfig::StrideBatchWindow). This is
+/// the stream layer's AccessEvent verbatim: the ring entries double as
+/// capture/replay events, so TraceCaptureSinks tee off the ring and
+/// trace replay feeds profileBatch without any conversion.
+using StrideEvent = AccessEvent;
 
 /// Per-load-site profiling state ("prof_data" in the paper's figures).
 ///
@@ -164,6 +164,16 @@ public:
   /// event, skip-phase events collapse to a per-site touch plus one bulk
   /// telemetry update, and obs sinks are resolved once per drain.
   uint64_t profileBatch(const StrideEvent *Events, size_t N);
+
+  /// Drives the runtime from an abstract access stream: pulls batches out
+  /// of \p Src and profileBatch()es them until the stream ends. Events of
+  /// kind other than Load are dropped (a strideProf invocation is a demand
+  /// load by definition); the live engine paths never emit them, so this
+  /// filter costs nothing there, and trace replay of mixed streams gets
+  /// the same view a live profiled run would have had.
+  /// \returns the summed simulated cost, exactly what the equivalent live
+  /// run would have charged to RunStats::RuntimeCycles.
+  uint64_t consume(AccessSource &Src, size_t BatchSize = 256);
 
   /// Reporting view of one site's state (hot lane synced on demand).
   const StrideSiteData &site(uint32_t SiteId) const;

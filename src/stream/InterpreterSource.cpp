@@ -1,0 +1,35 @@
+//===- stream/InterpreterSource.cpp - Engines as an AccessSource ----------===//
+//
+// Part of the StrideProf project (see AccessStream.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stream/InterpreterSource.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sprof {
+
+void InterpreterSource::runOnce() {
+  if (Ran)
+    return;
+  CollectSink Sink;
+  I.attachEventSink(&Sink);
+  Stats = I.run(MaxInstructions);
+  I.attachEventSink(nullptr);
+  Events = Sink.take();
+  Ran = true;
+}
+
+size_t InterpreterSource::pull(AccessEvent *Buf, size_t Max) {
+  runOnce();
+  const size_t N = std::min(Max, Events.size() - Pos);
+  if (N != 0)
+    std::memcpy(Buf, Events.data() + Pos, N * sizeof(AccessEvent));
+  Pos += N;
+  return N;
+}
+
+} // namespace sprof

@@ -1,0 +1,64 @@
+//===- stream/InterpreterSource.h - Engines as an AccessSource -*- C++ -*-===//
+//
+// Part of the StrideProf project (see AccessStream.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wraps an Interpreter (either engine) as an AccessSource: the wrapped
+/// run's ProfStride trap stream -- the same batched stride-event ring the
+/// engines already maintain -- is collected into an internal buffer and
+/// served through pull(), bit-identical to what the profiler would have
+/// seen attached live, by construction: the ring entries *are* the
+/// AccessEvents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_STREAM_INTERPRETERSOURCE_H
+#define SPROF_STREAM_INTERPRETERSOURCE_H
+
+#include "interp/Interpreter.h"
+#include "stream/AccessStream.h"
+
+namespace sprof {
+
+/// Runs the wrapped interpreter lazily on the first pull() and serves the
+/// captured event stream; reset() replays the buffer without re-running.
+/// The caller configures the interpreter (instrumented module, memory,
+/// telemetry) but must leave the event-sink slot free -- this source
+/// occupies it for the duration of the run.
+class InterpreterSource final : public AccessSource {
+public:
+  InterpreterSource(Interpreter &I, uint32_t NumSites,
+                    uint64_t MaxInstructions = 4ull << 30)
+      : I(I), Sites(NumSites), MaxInstructions(MaxInstructions) {}
+
+  size_t pull(AccessEvent *Buf, size_t Max) override;
+  uint32_t numSites() const override { return Sites; }
+  bool reset() override {
+    Pos = 0;
+    return Ran;
+  }
+  std::string describe() const override { return "interpreter"; }
+
+  /// Accounting of the wrapped run; valid once the run happened (after
+  /// the first pull()).
+  bool ran() const { return Ran; }
+  const RunStats &stats() const { return Stats; }
+
+private:
+  void runOnce();
+
+  Interpreter &I;
+  uint32_t Sites;
+  uint64_t MaxInstructions;
+  bool Ran = false;
+  RunStats Stats;
+  std::vector<AccessEvent> Events;
+  size_t Pos = 0;
+};
+
+} // namespace sprof
+
+#endif // SPROF_STREAM_INTERPRETERSOURCE_H

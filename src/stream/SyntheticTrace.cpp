@@ -1,0 +1,212 @@
+//===- stream/SyntheticTrace.cpp - Generated access-trace sources ---------===//
+//
+// Part of the StrideProf project (see AccessStream.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stream/SyntheticTrace.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+
+namespace sprof {
+namespace {
+
+/// How one site advances its address between visits.
+enum class SitePattern : uint8_t {
+  Stride,  ///< constant stride
+  Phased,  ///< stride alternates between two values every PhaseLen visits
+  Chase,   ///< pseudo-random walk (pointer chasing)
+};
+
+struct SiteSpec {
+  SitePattern Pattern = SitePattern::Stride;
+  uint64_t Base = 0;
+  int64_t Stride = 0;
+  int64_t AltStride = 0;   ///< Phased only
+  uint32_t PhaseLen = 64;  ///< Phased only
+  /// Every Nth visit additionally emits a Prefetch-kind event one stride
+  /// ahead (0 disables); exercises kind filtering in consumers.
+  uint32_t PrefetchEvery = 0;
+};
+
+/// A generator source: round-robin-ish interleaving of per-site streams,
+/// with the interleaving order drawn from the seeded Rng so sites overlap
+/// the way real loop nests do.
+class SyntheticSource final : public AccessSource {
+public:
+  SyntheticSource(std::string Name, std::vector<SiteSpec> Specs,
+                  SyntheticTraceConfig Config)
+      : Name(std::move(Name)), Specs(std::move(Specs)), Config(Config),
+        Rand(Config.Seed) {
+    State.resize(this->Specs.size());
+    restart();
+  }
+
+  size_t pull(AccessEvent *Buf, size_t Max) override {
+    size_t N = 0;
+    while (N < Max && Emitted < Config.Events) {
+      const uint32_t Site =
+          static_cast<uint32_t>(Rand.below(Specs.size()));
+      const SiteSpec &S = Specs[Site];
+      SiteState &St = State[Site];
+      Buf[N++] = AccessEvent{St.Addr, ++GlobalRef, Site, AccessKind::Load};
+      ++Emitted;
+      if (S.PrefetchEvery != 0 && ++St.SincePrefetch >= S.PrefetchEvery &&
+          N < Max) {
+        St.SincePrefetch = 0;
+        Buf[N++] = AccessEvent{St.Addr + static_cast<uint64_t>(S.Stride),
+                               GlobalRef, Site, AccessKind::Prefetch};
+      }
+      advance(S, St);
+    }
+    return N;
+  }
+
+  uint32_t numSites() const override {
+    return static_cast<uint32_t>(Specs.size());
+  }
+
+  bool reset() override {
+    Rand = Rng(Config.Seed);
+    restart();
+    return true;
+  }
+
+  std::string describe() const override { return Name; }
+
+private:
+  struct SiteState {
+    uint64_t Addr = 0;
+    uint64_t Visits = 0;
+    uint64_t ChaseState = 0;
+    uint32_t SincePrefetch = 0;
+  };
+
+  void restart() {
+    Emitted = 0;
+    GlobalRef = 0;
+    for (size_t I = 0; I < Specs.size(); ++I) {
+      State[I] = SiteState();
+      State[I].Addr = Specs[I].Base;
+      State[I].ChaseState = Config.Seed * 0x9e3779b97f4a7c15ULL + I;
+    }
+  }
+
+  void advance(const SiteSpec &S, SiteState &St) {
+    ++St.Visits;
+    switch (S.Pattern) {
+    case SitePattern::Stride:
+      St.Addr += static_cast<uint64_t>(S.Stride);
+      break;
+    case SitePattern::Phased: {
+      const bool AltPhase = (St.Visits / S.PhaseLen) & 1;
+      St.Addr += static_cast<uint64_t>(AltPhase ? S.AltStride : S.Stride);
+      break;
+    }
+    case SitePattern::Chase: {
+      // SplitMix64 step: uncorrelated jumps inside a 16 MiB arena.
+      uint64_t Z = (St.ChaseState += 0x9e3779b97f4a7c15ULL);
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      St.Addr = S.Base + ((Z ^ (Z >> 31)) & 0xffffffULL & ~7ULL);
+      break;
+    }
+    }
+  }
+
+  std::string Name;
+  std::vector<SiteSpec> Specs;
+  SyntheticTraceConfig Config;
+  Rng Rand;
+  std::vector<SiteState> State;
+  uint64_t Emitted = 0;
+  uint64_t GlobalRef = 0;
+};
+
+std::vector<SiteSpec> specsFor(const std::string &Name) {
+  std::vector<SiteSpec> Specs;
+  auto StrideSite = [](uint64_t Base, int64_t Stride) {
+    SiteSpec S;
+    S.Pattern = SitePattern::Stride;
+    S.Base = Base;
+    S.Stride = Stride;
+    return S;
+  };
+  if (Name == "stream-seq") {
+    // Cache-line-sized strides: the profiling runtime observes addresses
+    // at 16-byte granularity (LfuConfig::CoarsenShift), so a sub-16-byte
+    // stride profiles as alternating zero/non-zero strides (WSST); 64
+    // bytes gives the clean single-stride SSST evidence this generator
+    // promises. Bases are 16 MiB apart so the streams never overlap.
+    for (int I = 0; I < 4; ++I)
+      Specs.push_back(StrideSite(0x1000000ull * (I + 1), 64));
+  } else if (Name == "stream-multi") {
+    // Interleaved multi-stride streams: one loop touching K arrays with
+    // distinct element sizes (Blom et al.'s motivating shape).
+    const int64_t Strides[] = {8, 16, 24, 48, 64, 4, 32, 128};
+    for (int I = 0; I < 8; ++I)
+      Specs.push_back(StrideSite(0x100000ull * (I + 1), Strides[I]));
+  } else if (Name == "stream-phased") {
+    for (int I = 0; I < 4; ++I) {
+      SiteSpec S;
+      S.Pattern = SitePattern::Phased;
+      S.Base = 0x200000ull * (I + 1);
+      S.Stride = 8 * (I + 1);
+      S.AltStride = -8 * (I + 1);
+      S.PhaseLen = 64;
+      Specs.push_back(S);
+    }
+  } else if (Name == "stream-chase") {
+    for (int I = 0; I < 4; ++I) {
+      SiteSpec S;
+      S.Pattern = SitePattern::Chase;
+      S.Base = 0x4000000ull * (I + 1);
+      Specs.push_back(S);
+    }
+  } else if (Name == "stream-mixed") {
+    Specs.push_back(StrideSite(0x10000, 8));
+    Specs.push_back(StrideSite(0x80000, 64));
+    {
+      SiteSpec S;
+      S.Pattern = SitePattern::Phased;
+      S.Base = 0x200000;
+      S.Stride = 16;
+      S.AltStride = -16;
+      S.PhaseLen = 32;
+      Specs.push_back(S);
+    }
+    {
+      SiteSpec S;
+      S.Pattern = SitePattern::Chase;
+      S.Base = 0x4000000;
+      Specs.push_back(S);
+    }
+    {
+      SiteSpec S = StrideSite(0x8000000, 8);
+      S.PrefetchEvery = 16;
+      Specs.push_back(S);
+    }
+  }
+  return Specs;
+}
+
+} // namespace
+
+std::vector<std::string> syntheticTraceNames() {
+  return {"stream-seq", "stream-multi", "stream-phased", "stream-chase",
+          "stream-mixed"};
+}
+
+std::unique_ptr<AccessSource>
+makeSyntheticTrace(const std::string &Name,
+                   const SyntheticTraceConfig &Config) {
+  std::vector<SiteSpec> Specs = specsFor(Name);
+  if (Specs.empty())
+    return nullptr;
+  return std::make_unique<SyntheticSource>(Name, std::move(Specs), Config);
+}
+
+} // namespace sprof

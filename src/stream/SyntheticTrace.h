@@ -1,0 +1,54 @@
+//===- stream/SyntheticTrace.h - Generated access-trace sources -*- C++ -*-===//
+//
+// Part of the StrideProf project (see AccessStream.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic access-trace generators: the trace-backed
+/// workload family. Each generator is an AccessSource computing its events
+/// on the fly (no trace file needed, though any of them can be captured
+/// into one via TraceWriter), covering the pattern classes the classifier
+/// and the related work care about:
+///
+///   * stream-seq:    one dominant-stride stream per site (SSST);
+///   * stream-multi:  interleaved multi-stride streams, Blom-et-al style;
+///   * stream-phased: stride flips between phases (PMST evidence);
+///   * stream-chase:  pseudo-random pointer chasing (no regular stride);
+///   * stream-mixed:  all of the above interleaved, plus prefetch-kind
+///                    events, to exercise kind filtering.
+///
+/// All generators are seeded Rng streams, so every run of the same name +
+/// config yields the identical event sequence on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_STREAM_SYNTHETICTRACE_H
+#define SPROF_STREAM_SYNTHETICTRACE_H
+
+#include "stream/AccessStream.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Size/seed knobs shared by all synthetic trace generators.
+struct SyntheticTraceConfig {
+  uint64_t Events = 200000;
+  uint64_t Seed = 1;
+};
+
+/// Names accepted by makeSyntheticTrace, in a stable order.
+std::vector<std::string> syntheticTraceNames();
+
+/// Builds the named generator, or nullptr for an unknown name.
+std::unique_ptr<AccessSource>
+makeSyntheticTrace(const std::string &Name,
+                   const SyntheticTraceConfig &Config = {});
+
+} // namespace sprof
+
+#endif // SPROF_STREAM_SYNTHETICTRACE_H

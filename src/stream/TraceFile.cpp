@@ -1,0 +1,703 @@
+//===- stream/TraceFile.cpp - sprof.trace/1 capture + replay --------------===//
+//
+// Part of the StrideProf project (see AccessStream.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+//
+// Binary layout (sprof.trace/1; all multi-byte integers are LEB128 varints
+// except the two fixed little-endian u32 header words):
+//
+//   "SPROFTRC"  u32 version  u32 numSites
+//   3 x (varint length + bytes): workload, dataset, method
+//   events: tag byte (0x01 load, 0x02 prefetch), then zigzag varints of
+//           the site, address, and global-ref deltas vs the previous event
+//   0x00 end-of-events marker
+//   sections: tag 0x01 = edge profile (varint numFunctions, entry records,
+//             edge records), tag 0x00 = end of sections
+//   varint event count (must match the decoded count)  "SPROFEND"
+//
+// The trailing marker + count is what makes truncation detectable: a
+// partial file ends mid-varint or before the footer, never silently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stream/TraceFile.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sprof {
+
+static const char TraceMagic[8] = {'S', 'P', 'R', 'O', 'F', 'T', 'R', 'C'};
+static const char TraceEndMagic[8] = {'S', 'P', 'R', 'O', 'F', 'E', 'N', 'D'};
+static const char *TraceTextPrefix = "sprof.trace.text/";
+
+static constexpr uint8_t TagEnd = 0x00;
+static constexpr uint8_t TagLoad = 0x01;
+static constexpr uint8_t TagPrefetch = 0x02;
+static constexpr uint8_t SectionEnd = 0x00;
+static constexpr uint8_t SectionEdges = 0x01;
+
+const char *traceErrorName(TraceError E) {
+  switch (E) {
+  case TraceError::None:
+    return "none";
+  case TraceError::Io:
+    return "io-error";
+  case TraceError::BadMagic:
+    return "bad-magic";
+  case TraceError::VersionMismatch:
+    return "version-mismatch";
+  case TraceError::Truncated:
+    return "truncated";
+  case TraceError::Corrupt:
+    return "corrupt";
+  }
+  return "unknown";
+}
+
+static uint64_t zigzagEncode(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+static int64_t zigzagDecode(uint64_t V) {
+  return static_cast<int64_t>(V >> 1) ^ -static_cast<int64_t>(V & 1);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceWriter
+//===----------------------------------------------------------------------===//
+
+TraceWriter::TraceWriter(std::ostream &OS, uint32_t NumSites,
+                         TraceProvenance Prov, bool Text)
+    : OS(&OS), Text(Text) {
+  writeHeader(NumSites, Prov);
+}
+
+std::unique_ptr<TraceWriter> TraceWriter::open(const std::string &Path,
+                                               uint32_t NumSites,
+                                               TraceProvenance Prov, bool Text,
+                                               std::string *Error) {
+  auto File = std::make_unique<std::ofstream>(
+      Path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!*File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return nullptr;
+  }
+  // Borrow-constructor against the stream we are about to own; the moved
+  // pointer keeps the stream alive for the writer's lifetime.
+  std::ostream &Ref = *File;
+  auto W = std::make_unique<TraceWriter>(Ref, NumSites, std::move(Prov), Text);
+  W->OwnedOS = std::move(File);
+  return W;
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+void TraceWriter::putByte(uint8_t B) { Buf.push_back(B); }
+
+void TraceWriter::putBytes(const void *Data, size_t N) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  Buf.insert(Buf.end(), P, P + N);
+}
+
+void TraceWriter::putVarint(uint64_t V) {
+  while (V >= 0x80) {
+    putByte(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  putByte(static_cast<uint8_t>(V));
+}
+
+void TraceWriter::putZigzag(int64_t V) { putVarint(zigzagEncode(V)); }
+
+void TraceWriter::flushBuf() {
+  if (Buf.empty() || Failed)
+    return;
+  OS->write(reinterpret_cast<const char *>(Buf.data()),
+            static_cast<std::streamsize>(Buf.size()));
+  if (!*OS) {
+    Failed = true;
+    Err = "write failure";
+  }
+  NumBytes += Buf.size();
+  Buf.clear();
+}
+
+void TraceWriter::writeHeader(uint32_t NumSites, const TraceProvenance &Prov) {
+  if (Text) {
+    std::string H = std::string(TraceTextSchemaV1) + "\n" +
+                    "sites " + std::to_string(NumSites) + "\n";
+    if (!Prov.Workload.empty())
+      H += "workload " + Prov.Workload + "\n";
+    if (!Prov.DataSet.empty())
+      H += "dataset " + Prov.DataSet + "\n";
+    if (!Prov.Method.empty())
+      H += "method " + Prov.Method + "\n";
+    putBytes(H.data(), H.size());
+  } else {
+    putBytes(TraceMagic, sizeof(TraceMagic));
+    const uint32_t Words[2] = {TraceFormatVersion, NumSites};
+    for (uint32_t W : Words)
+      for (int I = 0; I < 4; ++I)
+        putByte(static_cast<uint8_t>(W >> (8 * I)));
+    for (const std::string *S :
+         {&Prov.Workload, &Prov.DataSet, &Prov.Method}) {
+      putVarint(S->size());
+      putBytes(S->data(), S->size());
+    }
+  }
+  flushBuf();
+}
+
+void TraceWriter::onBatch(const AccessEvent *Events, size_t N) {
+  if (Finished || Failed)
+    return;
+  if (Text) {
+    char Line[96];
+    for (size_t I = 0; I < N; ++I) {
+      const AccessEvent &E = Events[I];
+      const int Len = std::snprintf(
+          Line, sizeof(Line), "%c %u %llu %llu\n",
+          E.Kind == AccessKind::Prefetch ? 'P' : 'L', E.SiteId,
+          static_cast<unsigned long long>(E.Address),
+          static_cast<unsigned long long>(E.GlobalRefIndex));
+      putBytes(Line, static_cast<size_t>(Len));
+    }
+  } else {
+    for (size_t I = 0; I < N; ++I) {
+      const AccessEvent &E = Events[I];
+      putByte(E.Kind == AccessKind::Prefetch ? TagPrefetch : TagLoad);
+      putZigzag(static_cast<int64_t>(E.SiteId) -
+                static_cast<int64_t>(PrevSite));
+      putZigzag(static_cast<int64_t>(E.Address - PrevAddr));
+      putZigzag(static_cast<int64_t>(E.GlobalRefIndex - PrevRef));
+      PrevSite = E.SiteId;
+      PrevAddr = E.Address;
+      PrevRef = E.GlobalRefIndex;
+    }
+  }
+  NumEvents += N;
+  flushBuf();
+}
+
+void TraceWriter::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  if (Failed)
+    return;
+  if (Text) {
+    std::string T = "end " + std::to_string(NumEvents) + "\n";
+    if (EdgeSec.Present) {
+      T += "edges " + std::to_string(EdgeSec.NumFunctions) + "\n";
+      for (const TraceEntryRecord &R : EdgeSec.Entries)
+        T += "entry " + std::to_string(R.Func) + " " +
+             std::to_string(R.Count) + "\n";
+      for (const TraceEdgeRecord &R : EdgeSec.Edges)
+        T += "edge " + std::to_string(R.Func) + " " +
+             std::to_string(R.From) + " " + std::to_string(R.Slot) + " " +
+             std::to_string(R.Count) + "\n";
+      T += "endedges\n";
+    }
+    T += "endtrace\n";
+    putBytes(T.data(), T.size());
+  } else {
+    putByte(TagEnd);
+    if (EdgeSec.Present) {
+      putByte(SectionEdges);
+      putVarint(EdgeSec.NumFunctions);
+      putVarint(EdgeSec.Entries.size());
+      for (const TraceEntryRecord &R : EdgeSec.Entries) {
+        putVarint(R.Func);
+        putVarint(R.Count);
+      }
+      putVarint(EdgeSec.Edges.size());
+      for (const TraceEdgeRecord &R : EdgeSec.Edges) {
+        putVarint(R.Func);
+        putVarint(R.From);
+        putVarint(R.Slot);
+        putVarint(R.Count);
+      }
+    }
+    putByte(SectionEnd);
+    putVarint(NumEvents);
+    putBytes(TraceEndMagic, sizeof(TraceEndMagic));
+  }
+  flushBuf();
+  OS->flush();
+  if (!*OS && !Failed) {
+    Failed = true;
+    Err = "write failure";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TraceReader
+//===----------------------------------------------------------------------===//
+
+TraceReader::TraceReader(std::istream &IS, std::string Name)
+    : IS(&IS), Name(std::move(Name)) {
+  InBuf.resize(64 * 1024);
+  parseHeader();
+}
+
+std::unique_ptr<TraceReader> TraceReader::openFile(const std::string &Path) {
+  auto File =
+      std::make_unique<std::ifstream>(Path, std::ios::in | std::ios::binary);
+  const bool Open = static_cast<bool>(*File);
+  std::istream &Ref = *File;
+  // The borrowed-stream constructor parses the header; seed the failure
+  // first so an unreadable file reports Io instead of BadMagic.
+  auto R = std::unique_ptr<TraceReader>(new TraceReader(Ref, Path));
+  R->OwnedIS = std::move(File);
+  R->Path = Path;
+  if (!Open) {
+    // Overrides whatever the header parse diagnosed on the dead stream.
+    R->ErrCode = TraceError::Io;
+    R->Err = Path + ": cannot open for reading";
+  }
+  return R;
+}
+
+TraceReader::~TraceReader() = default;
+
+std::string TraceReader::describe() const {
+  std::string D = Name;
+  if (!Prov.Workload.empty()) {
+    D += " (" + Prov.Workload;
+    if (!Prov.DataSet.empty())
+      D += "/" + Prov.DataSet;
+    if (!Prov.Method.empty())
+      D += "/" + Prov.Method;
+    D += ")";
+  }
+  return D;
+}
+
+void TraceReader::fail(TraceError Code, const std::string &Message) {
+  // First error wins; later failures are usually cascades of it.
+  if (ErrCode != TraceError::None)
+    return;
+  ErrCode = Code;
+  Err = Name + ": " + Message;
+}
+
+bool TraceReader::fillBuf() {
+  if (InPos < InLen)
+    return true;
+  IS->read(reinterpret_cast<char *>(InBuf.data()),
+           static_cast<std::streamsize>(InBuf.size()));
+  InLen = static_cast<size_t>(IS->gcount());
+  InPos = 0;
+  return InLen != 0;
+}
+
+int TraceReader::getByte() {
+  if (!fillBuf())
+    return -1;
+  return InBuf[InPos++];
+}
+
+bool TraceReader::getVarint(uint64_t &V) {
+  V = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    const int B = getByte();
+    if (B < 0) {
+      fail(TraceError::Truncated, "file ends mid-varint");
+      return false;
+    }
+    V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if (!(B & 0x80))
+      return true;
+  }
+  fail(TraceError::Corrupt, "varint longer than 64 bits");
+  return false;
+}
+
+bool TraceReader::getZigzag(int64_t &V) {
+  uint64_t U;
+  if (!getVarint(U))
+    return false;
+  V = zigzagDecode(U);
+  return true;
+}
+
+bool TraceReader::readLine(std::string &Line) {
+  if (HasPending) {
+    Line = std::move(PendingLine);
+    HasPending = false;
+    return true;
+  }
+  Line.clear();
+  int B = getByte();
+  if (B < 0)
+    return false;
+  while (B >= 0 && B != '\n') {
+    Line.push_back(static_cast<char>(B));
+    B = getByte();
+  }
+  return true;
+}
+
+bool TraceReader::parseHeader() {
+  // Sniff: 8 magic bytes decide binary vs text vs foreign.
+  char Head[8];
+  size_t Got = 0;
+  while (Got < sizeof(Head)) {
+    const int B = getByte();
+    if (B < 0)
+      break;
+    Head[Got++] = static_cast<char>(B);
+  }
+  if (Got < sizeof(Head)) {
+    if (Got == 0 && !*IS && IS->bad()) {
+      fail(TraceError::Io, "read failure");
+      return false;
+    }
+    fail(TraceError::BadMagic,
+         "not an sprof trace (shorter than the 8-byte magic)");
+    return false;
+  }
+  if (std::memcmp(Head, TraceMagic, sizeof(TraceMagic)) == 0)
+    return parseBinaryHeader();
+  // Text form: the magic-sized prefix is the start of the schema line.
+  std::string First(Head, sizeof(Head));
+  {
+    int B;
+    while ((B = getByte()) >= 0 && B != '\n')
+      First.push_back(static_cast<char>(B));
+    if (B < 0) {
+      fail(TraceError::BadMagic, "not an sprof trace (bad magic)");
+      return false;
+    }
+  }
+  if (First.rfind(TraceTextPrefix, 0) == 0)
+    return parseTextHeader(First);
+  fail(TraceError::BadMagic, "not an sprof trace (bad magic)");
+  return false;
+}
+
+bool TraceReader::parseBinaryHeader() {
+  IsText = false;
+  uint32_t Words[2];
+  for (uint32_t &W : Words) {
+    W = 0;
+    for (int I = 0; I < 4; ++I) {
+      const int B = getByte();
+      if (B < 0) {
+        fail(TraceError::Truncated, "file ends inside the header");
+        return false;
+      }
+      W |= static_cast<uint32_t>(B) << (8 * I);
+    }
+  }
+  Version = Words[0];
+  Sites = Words[1];
+  if (Version != TraceFormatVersion) {
+    fail(TraceError::VersionMismatch,
+         "sprof.trace version " + std::to_string(Version) +
+             " is not supported (expected " +
+             std::to_string(TraceFormatVersion) + ")");
+    return false;
+  }
+  for (std::string *S : {&Prov.Workload, &Prov.DataSet, &Prov.Method}) {
+    uint64_t Len;
+    if (!getVarint(Len))
+      return false;
+    if (Len > (1u << 20)) {
+      fail(TraceError::Corrupt, "unreasonable header string length");
+      return false;
+    }
+    S->clear();
+    for (uint64_t I = 0; I < Len; ++I) {
+      const int B = getByte();
+      if (B < 0) {
+        fail(TraceError::Truncated, "file ends inside the header");
+        return false;
+      }
+      S->push_back(static_cast<char>(B));
+    }
+  }
+  return true;
+}
+
+bool TraceReader::parseTextHeader(const std::string &FirstLine) {
+  IsText = true;
+  const std::string Suffix = FirstLine.substr(std::strlen(TraceTextPrefix));
+  Version = static_cast<uint32_t>(std::strtoul(Suffix.c_str(), nullptr, 10));
+  if (Suffix != std::to_string(TraceFormatVersion)) {
+    fail(TraceError::VersionMismatch,
+         "sprof.trace.text version '" + Suffix + "' is not supported " +
+             "(expected " + std::to_string(TraceFormatVersion) + ")");
+    return false;
+  }
+  std::string Line;
+  if (!readLine(Line) || Line.rfind("sites ", 0) != 0) {
+    fail(TraceError::Corrupt, "text trace missing 'sites <n>' line");
+    return false;
+  }
+  Sites = static_cast<uint32_t>(std::strtoul(Line.c_str() + 6, nullptr, 10));
+  // Optional provenance lines; the first non-provenance line is pushed
+  // back for the event decoder.
+  while (readLine(Line)) {
+    if (Line.rfind("workload ", 0) == 0)
+      Prov.Workload = Line.substr(9);
+    else if (Line.rfind("dataset ", 0) == 0)
+      Prov.DataSet = Line.substr(8);
+    else if (Line.rfind("method ", 0) == 0)
+      Prov.Method = Line.substr(7);
+    else {
+      PendingLine = std::move(Line);
+      HasPending = true;
+      break;
+    }
+  }
+  return true;
+}
+
+size_t TraceReader::pull(AccessEvent *Buf, size_t Max) {
+  if (!ok() || SawFooter || Max == 0)
+    return 0;
+  return IsText ? pullText(Buf, Max) : pullBinary(Buf, Max);
+}
+
+size_t TraceReader::pullBinary(AccessEvent *Buf, size_t Max) {
+  size_t N = 0;
+  while (N < Max) {
+    const int Tag = getByte();
+    if (Tag < 0) {
+      fail(TraceError::Truncated,
+           "file ends before the end-of-events marker (decoded " +
+               std::to_string(DecodedEvents) + " events)");
+      return 0;
+    }
+    if (Tag == TagEnd) {
+      SawEndMarker = true;
+      parseFooter();
+      break;
+    }
+    if (Tag != TagLoad && Tag != TagPrefetch) {
+      fail(TraceError::Corrupt,
+           "invalid event tag " + std::to_string(Tag) + " after event " +
+               std::to_string(DecodedEvents));
+      return 0;
+    }
+    int64_t DSite, DAddr, DRef;
+    if (!getZigzag(DSite) || !getZigzag(DAddr) || !getZigzag(DRef))
+      return 0;
+    PrevSite = static_cast<uint32_t>(static_cast<int64_t>(PrevSite) + DSite);
+    PrevAddr += static_cast<uint64_t>(DAddr);
+    PrevRef += static_cast<uint64_t>(DRef);
+    Buf[N].Address = PrevAddr;
+    Buf[N].GlobalRefIndex = PrevRef;
+    Buf[N].SiteId = PrevSite;
+    Buf[N].Kind = Tag == TagPrefetch ? AccessKind::Prefetch
+                                     : AccessKind::Load;
+    ++N;
+    ++DecodedEvents;
+  }
+  return ok() ? N : 0;
+}
+
+bool TraceReader::parseFooter() {
+  // Sections until SectionEnd, then the event count and the end magic.
+  for (;;) {
+    const int Tag = getByte();
+    if (Tag < 0) {
+      fail(TraceError::Truncated, "file ends inside the trailer sections");
+      return false;
+    }
+    if (Tag == SectionEnd)
+      break;
+    if (Tag == SectionEdges) {
+      uint64_t NumFuncs, NumEntries;
+      if (!getVarint(NumFuncs) || !getVarint(NumEntries))
+        return false;
+      EdgeSec.Present = true;
+      EdgeSec.NumFunctions = static_cast<uint32_t>(NumFuncs);
+      EdgeSec.Entries.resize(NumEntries);
+      for (TraceEntryRecord &R : EdgeSec.Entries) {
+        uint64_t F;
+        if (!getVarint(F) || !getVarint(R.Count))
+          return false;
+        R.Func = static_cast<uint32_t>(F);
+      }
+      uint64_t NumEdges;
+      if (!getVarint(NumEdges))
+        return false;
+      EdgeSec.Edges.resize(NumEdges);
+      for (TraceEdgeRecord &R : EdgeSec.Edges) {
+        uint64_t F, From, Slot;
+        if (!getVarint(F) || !getVarint(From) || !getVarint(Slot) ||
+            !getVarint(R.Count))
+          return false;
+        R.Func = static_cast<uint32_t>(F);
+        R.From = static_cast<uint32_t>(From);
+        R.Slot = static_cast<uint32_t>(Slot);
+      }
+      continue;
+    }
+    fail(TraceError::Corrupt,
+         "unknown trailer section tag " + std::to_string(Tag));
+    return false;
+  }
+  if (!getVarint(FooterEvents))
+    return false;
+  if (FooterEvents != DecodedEvents) {
+    fail(TraceError::Corrupt,
+         "footer event count " + std::to_string(FooterEvents) +
+             " does not match the " + std::to_string(DecodedEvents) +
+             " decoded events");
+    return false;
+  }
+  char End[8];
+  for (char &C : End) {
+    const int B = getByte();
+    if (B < 0) {
+      fail(TraceError::Truncated, "file ends before the end magic");
+      return false;
+    }
+    C = static_cast<char>(B);
+  }
+  if (std::memcmp(End, TraceEndMagic, sizeof(TraceEndMagic)) != 0) {
+    fail(TraceError::Corrupt, "bad end magic");
+    return false;
+  }
+  SawFooter = true;
+  return true;
+}
+
+bool TraceReader::parseTextLine(const std::string &Line, AccessEvent &E,
+                                bool &IsEvent) {
+  IsEvent = false;
+  if (Line.empty() || Line[0] == '#')
+    return true; // blank/comment lines are tolerated in the text form
+  if (Line.size() > 2 && (Line[0] == 'L' || Line[0] == 'P') &&
+      Line[1] == ' ') {
+    unsigned long long Site, Addr, Ref;
+    if (std::sscanf(Line.c_str() + 2, "%llu %llu %llu", &Site, &Addr, &Ref) !=
+        3) {
+      fail(TraceError::Corrupt, "malformed event line: '" + Line + "'");
+      return false;
+    }
+    E.SiteId = static_cast<uint32_t>(Site);
+    E.Address = Addr;
+    E.GlobalRefIndex = Ref;
+    E.Kind = Line[0] == 'P' ? AccessKind::Prefetch : AccessKind::Load;
+    IsEvent = true;
+    return true;
+  }
+  if (Line.rfind("end ", 0) == 0) {
+    FooterEvents = std::strtoull(Line.c_str() + 4, nullptr, 10);
+    if (FooterEvents != DecodedEvents) {
+      fail(TraceError::Corrupt,
+           "end-line event count " + std::to_string(FooterEvents) +
+               " does not match the " + std::to_string(DecodedEvents) +
+               " decoded events");
+      return false;
+    }
+    SawEndMarker = true;
+    // Optional edges block, then the required endtrace line.
+    std::string L;
+    if (!readLine(L)) {
+      fail(TraceError::Truncated, "file ends before 'endtrace'");
+      return false;
+    }
+    if (L.rfind("edges ", 0) == 0) {
+      EdgeSec.Present = true;
+      EdgeSec.NumFunctions =
+          static_cast<uint32_t>(std::strtoul(L.c_str() + 6, nullptr, 10));
+      for (;;) {
+        if (!readLine(L)) {
+          fail(TraceError::Truncated, "file ends inside the edges block");
+          return false;
+        }
+        if (L == "endedges")
+          break;
+        unsigned long long A, B, C, D;
+        if (std::sscanf(L.c_str(), "entry %llu %llu", &A, &B) == 2) {
+          EdgeSec.Entries.push_back(
+              {static_cast<uint32_t>(A), static_cast<uint64_t>(B)});
+        } else if (std::sscanf(L.c_str(), "edge %llu %llu %llu %llu", &A, &B,
+                               &C, &D) == 4) {
+          EdgeSec.Edges.push_back({static_cast<uint32_t>(A),
+                                   static_cast<uint32_t>(B),
+                                   static_cast<uint32_t>(C),
+                                   static_cast<uint64_t>(D)});
+        } else {
+          fail(TraceError::Corrupt, "malformed edges line: '" + L + "'");
+          return false;
+        }
+      }
+      if (!readLine(L)) {
+        fail(TraceError::Truncated, "file ends before 'endtrace'");
+        return false;
+      }
+    }
+    if (L != "endtrace") {
+      fail(TraceError::Corrupt, "expected 'endtrace', got '" + L + "'");
+      return false;
+    }
+    SawFooter = true;
+    return true;
+  }
+  fail(TraceError::Corrupt, "unrecognized line: '" + Line + "'");
+  return false;
+}
+
+size_t TraceReader::pullText(AccessEvent *Buf, size_t Max) {
+  size_t N = 0;
+  std::string Line;
+  while (N < Max && !SawFooter) {
+    if (!readLine(Line)) {
+      fail(TraceError::Truncated,
+           "file ends before the 'end' marker (decoded " +
+               std::to_string(DecodedEvents) + " events)");
+      return 0;
+    }
+    bool IsEvent = false;
+    if (!parseTextLine(Line, Buf[N], IsEvent))
+      return 0;
+    if (IsEvent) {
+      ++N;
+      ++DecodedEvents;
+    }
+  }
+  return ok() ? N : 0;
+}
+
+bool TraceReader::reset() {
+  if (!Path.empty()) {
+    auto File =
+        std::make_unique<std::ifstream>(Path, std::ios::in | std::ios::binary);
+    if (!*File)
+      return false;
+    OwnedIS = std::move(File);
+    IS = OwnedIS.get();
+  } else {
+    IS->clear();
+    IS->seekg(0);
+    if (!*IS)
+      return false;
+  }
+  ErrCode = TraceError::None;
+  Err.clear();
+  Prov = TraceProvenance();
+  SawEndMarker = SawFooter = false;
+  DecodedEvents = FooterEvents = 0;
+  EdgeSec = TraceEdgeSection();
+  PrevAddr = PrevRef = 0;
+  PrevSite = 0;
+  InPos = InLen = 0;
+  HasPending = false;
+  PendingLine.clear();
+  return parseHeader();
+}
+
+} // namespace sprof

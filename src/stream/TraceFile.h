@@ -1,0 +1,242 @@
+//===- stream/TraceFile.h - sprof.trace/1 capture + replay -----*- C++ -*-===//
+//
+// Part of the StrideProf project (see AccessStream.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned trace container `sprof.trace/1`: a compact, dependency-free
+/// binary encoding of an access-event stream (docs/TRACE.md is the format
+/// spec), plus a line-oriented text twin `sprof.trace.text/1` for
+/// hand-written and externally generated traces.
+///
+///   * TraceWriter is an AccessSink with a streaming encoder: events are
+///     delta-encoded against the previous event (zigzag varints for the
+///     site, address, and global-ref deltas), so regular strides cost a
+///     few bytes per event and nothing is buffered beyond one batch.
+///   * TraceReader is an AccessSource that decodes the same stream, with
+///     strict error reporting: a missing end marker or footer is
+///     diagnosed as truncation, a bad magic as a foreign file, and an
+///     unknown version as a version mismatch -- each with a distinct
+///     TraceError code so tools can exit nonzero with a precise message.
+///
+/// A trace optionally carries an edge-profile section (opaque counter
+/// tuples, written after the event stream) so that replaying a captured
+/// profile run can reconstruct the classifier's full input without
+/// re-executing the program. The stream layer does not interpret the
+/// tuples; the driver converts them to/from EdgeProfile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_STREAM_TRACEFILE_H
+#define SPROF_STREAM_TRACEFILE_H
+
+#include "stream/AccessStream.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// Schema identifiers of the trace container (mirrored in run reports and
+/// validated by scripts/check_telemetry_schema.sh).
+inline const char *const TraceSchemaV1 = "sprof.trace/1";
+inline const char *const TraceTextSchemaV1 = "sprof.trace.text/1";
+
+/// Container version written by TraceWriter and required by TraceReader.
+inline constexpr uint32_t TraceFormatVersion = 1;
+
+/// Where a trace came from: the workload, data set, and profiling method
+/// of the capturing run. All fields may be empty (external traces).
+struct TraceProvenance {
+  std::string Workload;
+  std::string DataSet;
+  std::string Method;
+};
+
+/// Opaque edge-profile records (see file comment). Func/From/Slot mirror
+/// EdgeProfile's keying; the stream layer only stores the tuples.
+struct TraceEntryRecord {
+  uint32_t Func = 0;
+  uint64_t Count = 0;
+};
+struct TraceEdgeRecord {
+  uint32_t Func = 0;
+  uint32_t From = 0;
+  uint32_t Slot = 0;
+  uint64_t Count = 0;
+};
+struct TraceEdgeSection {
+  bool Present = false;
+  uint32_t NumFunctions = 0;
+  std::vector<TraceEntryRecord> Entries;
+  std::vector<TraceEdgeRecord> Edges;
+};
+
+/// Why a trace failed to load; None means the trace is healthy so far.
+enum class TraceError : uint8_t {
+  None = 0,
+  Io,              ///< unreadable file / stream failure
+  BadMagic,        ///< not an sprof trace at all
+  VersionMismatch, ///< sprof trace, but an unsupported container version
+  Truncated,       ///< ends before the end marker / footer
+  Corrupt,         ///< structurally invalid (bad tag, count mismatch, ...)
+};
+
+/// Human-readable name of a TraceError ("truncated", "version-mismatch").
+const char *traceErrorName(TraceError E);
+
+/// Streaming trace encoder. Feed it batches (it is an AccessSink -- attach
+/// it to an engine's event-sink slot or drainStream() into it), then call
+/// finish() to write the end marker, optional edge section, and footer.
+class TraceWriter final : public AccessSink {
+public:
+  /// Writes to a borrowed stream (tests use string streams).
+  TraceWriter(std::ostream &OS, uint32_t NumSites, TraceProvenance Prov = {},
+              bool Text = false);
+
+  /// Opens \p Path for writing. Returns nullptr (and sets \p Error) when
+  /// the file cannot be created.
+  static std::unique_ptr<TraceWriter> open(const std::string &Path,
+                                           uint32_t NumSites,
+                                           TraceProvenance Prov = {},
+                                           bool Text = false,
+                                           std::string *Error = nullptr);
+
+  ~TraceWriter() override;
+
+  void onBatch(const AccessEvent *Events, size_t N) override;
+
+  /// Attaches the edge-profile section written by finish(). Must be called
+  /// before finish(); the driver fills it from the capturing run's edge
+  /// counters.
+  void setEdgeSection(TraceEdgeSection S) { EdgeSec = std::move(S); }
+
+  /// Writes end marker + sections + footer. Idempotent; called by the
+  /// destructor as a safety net, but callers should finish() explicitly
+  /// and check ok().
+  void finish() override;
+
+  bool ok() const { return !Failed; }
+  const std::string &error() const { return Err; }
+  uint64_t eventsWritten() const { return NumEvents; }
+  uint64_t bytesWritten() const { return NumBytes; }
+
+private:
+  void putByte(uint8_t B);
+  void putBytes(const void *Data, size_t N);
+  void putVarint(uint64_t V);
+  void putZigzag(int64_t V);
+  void writeHeader(uint32_t NumSites, const TraceProvenance &Prov);
+  void flushBuf();
+
+  std::unique_ptr<std::ostream> OwnedOS;
+  std::ostream *OS;
+  bool Text;
+  bool Finished = false;
+  bool Failed = false;
+  std::string Err;
+  std::vector<uint8_t> Buf;
+  TraceEdgeSection EdgeSec;
+  uint64_t NumEvents = 0;
+  uint64_t NumBytes = 0;
+  // Delta-encoder state (previous event; all start at 0).
+  uint64_t PrevAddr = 0;
+  uint64_t PrevRef = 0;
+  uint32_t PrevSite = 0;
+};
+
+/// Streaming trace decoder. Construction parses the header; pull() decodes
+/// events; once pull() returns 0, check ok() -- a clean end of stream has
+/// parsed the end marker, edge section, and footer, anything else is
+/// reported through errorCode()/error().
+class TraceReader final : public AccessSource {
+public:
+  /// Reads from a borrowed stream; \p Name labels diagnostics.
+  TraceReader(std::istream &IS, std::string Name = "<stream>");
+
+  /// Opens \p Path; never returns nullptr -- open failures are reported
+  /// through the reader's own error state so callers have one error path.
+  static std::unique_ptr<TraceReader> openFile(const std::string &Path);
+
+  ~TraceReader() override;
+
+  size_t pull(AccessEvent *Buf, size_t Max) override;
+  uint32_t numSites() const override { return Sites; }
+  /// Rewinds and re-parses the header. Works for file-backed and seekable
+  /// borrowed streams.
+  bool reset() override;
+  std::string describe() const override;
+
+  bool ok() const { return ErrCode == TraceError::None; }
+  TraceError errorCode() const { return ErrCode; }
+  const std::string &error() const { return Err; }
+
+  /// Header fields (valid when the constructor left ok() true).
+  uint32_t version() const { return Version; }
+  bool text() const { return IsText; }
+  const TraceProvenance &provenance() const { return Prov; }
+
+  /// Footer fields; valid only once the stream is exhausted cleanly
+  /// (pull() returned 0 and ok() still holds).
+  bool atEnd() const { return SawFooter; }
+  uint64_t eventCount() const { return FooterEvents; }
+  const TraceEdgeSection &edgeSection() const { return EdgeSec; }
+
+private:
+  void fail(TraceError Code, const std::string &Message);
+  bool fillBuf();
+  int getByte(); ///< -1 at end of input
+  bool getVarint(uint64_t &V);
+  bool getZigzag(int64_t &V);
+  bool parseHeader();
+  bool parseBinaryHeader();
+  bool parseTextHeader(const std::string &FirstLine);
+  bool parseFooter();      ///< binary: edge section + count + end magic
+  bool parseTextLine(const std::string &Line, AccessEvent &E, bool &IsEvent);
+  bool readLine(std::string &Line);
+  size_t pullBinary(AccessEvent *Buf, size_t Max);
+  size_t pullText(AccessEvent *Buf, size_t Max);
+
+  std::unique_ptr<std::istream> OwnedIS;
+  std::istream *IS;
+  std::string Name;
+  std::string Path; ///< non-empty when file-backed (enables reset())
+
+  TraceError ErrCode = TraceError::None;
+  std::string Err;
+
+  bool IsText = false;
+  uint32_t Version = 0;
+  uint32_t Sites = 0;
+  TraceProvenance Prov;
+
+  bool SawEndMarker = false;
+  bool SawFooter = false;
+  uint64_t DecodedEvents = 0;
+  uint64_t FooterEvents = 0;
+  TraceEdgeSection EdgeSec;
+
+  // Delta-decoder state (mirrors the writer).
+  uint64_t PrevAddr = 0;
+  uint64_t PrevRef = 0;
+  uint32_t PrevSite = 0;
+
+  // Buffered binary input.
+  std::vector<uint8_t> InBuf;
+  size_t InPos = 0;
+  size_t InLen = 0;
+
+  // Text mode: one pushed-back line (the header parser reads one line too
+  // many to find where provenance ends).
+  std::string PendingLine;
+  bool HasPending = false;
+};
+
+} // namespace sprof
+
+#endif // SPROF_STREAM_TRACEFILE_H

@@ -1,0 +1,37 @@
+//===- workloads/TraceWorkload.cpp - Trace-backed workload family ---------===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TraceWorkload.h"
+
+#include "stream/TraceFile.h"
+
+namespace sprof {
+
+std::vector<std::string> traceWorkloadNames() { return syntheticTraceNames(); }
+
+static bool isTracePathName(const std::string &Name) {
+  return Name.size() > 6 && Name.compare(0, 6, "trace:") == 0;
+}
+
+bool isTraceWorkloadName(const std::string &Name) {
+  if (isTracePathName(Name))
+    return true;
+  for (const std::string &N : syntheticTraceNames())
+    if (N == Name)
+      return true;
+  return false;
+}
+
+std::unique_ptr<AccessSource>
+makeAccessSourceByName(const std::string &Name,
+                       const SyntheticTraceConfig &Config) {
+  if (isTracePathName(Name))
+    return TraceReader::openFile(Name.substr(6));
+  return makeSyntheticTrace(Name, Config);
+}
+
+} // namespace sprof

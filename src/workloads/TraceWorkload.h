@@ -1,0 +1,55 @@
+//===- workloads/TraceWorkload.h - Trace-backed workload family -*- C++ -*-===//
+//
+// Part of the StrideProf project (see Workload.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-backed workload family: workload-registry names that resolve
+/// to an AccessSource instead of an IR program. These drive the
+/// stream-side half of the pipeline (profile -> classify -> simulated
+/// prefetch evaluation, driver/TraceReplay.h); they have no IR module, so
+/// the build()-based Workload interface does not apply.
+///
+/// Two name families resolve:
+///
+///   * the synthetic generators ("stream-seq", "stream-multi", ...,
+///     stream/SyntheticTrace.h), sized/seeded by the config;
+///   * "trace:<path>", a captured or externally produced sprof.trace
+///     file, opened with TraceReader (read errors surface through the
+///     returned source's error state, never as a null return for an
+///     existing family name).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_WORKLOADS_TRACEWORKLOAD_H
+#define SPROF_WORKLOADS_TRACEWORKLOAD_H
+
+#include "stream/SyntheticTrace.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sprof {
+
+/// The registry names of the trace-backed family (the synthetic
+/// generators; "trace:<path>" names are open-ended and not enumerable).
+std::vector<std::string> traceWorkloadNames();
+
+/// True for any name makeAccessSourceByName can resolve ("stream-*" or
+/// "trace:<path>").
+bool isTraceWorkloadName(const std::string &Name);
+
+/// Resolves a trace-backed workload name to its access source. Returns
+/// nullptr only for names outside the family; a "trace:" name whose file
+/// is unreadable still returns the TraceReader so callers can report its
+/// error code.
+std::unique_ptr<AccessSource>
+makeAccessSourceByName(const std::string &Name,
+                       const SyntheticTraceConfig &Config = {});
+
+} // namespace sprof
+
+#endif // SPROF_WORKLOADS_TRACEWORKLOAD_H

@@ -530,7 +530,7 @@ TEST(ObsReport, RunReportRoundTripsWithStableSchema) {
   std::string Error;
   ASSERT_TRUE(JsonValue::parse(Report.str(), Back, &Error)) << Error;
 
-  EXPECT_EQ(Back.get("schema")->asString(), RunReportSchemaV3);
+  EXPECT_EQ(Back.get("schema")->asString(), RunReportSchemaV4);
   EXPECT_EQ(Back.get("workload")->asString(), "test.chase");
   EXPECT_EQ(Back.get("profile_run")->get("method")->asString(),
             "edge-check");

@@ -1,0 +1,613 @@
+//===- tests/test_stream.cpp - Access-stream and trace capture/replay ------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stream layer's contract: trace files round-trip every event bit for
+/// bit (binary and text, including the ring-boundary batch sizes), read
+/// errors come back as precise TraceError codes, the synthetic generators
+/// are deterministic, and -- the load-bearing guarantee -- replaying a
+/// capture of a live profile run reproduces the stride profile, classifier
+/// verdicts, timed-run accounting, and attribution counters bit-identically
+/// to the run that produced it, for every profiling method on both engines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "driver/TraceReplay.h"
+#include "instrument/Instrumentation.h"
+#include "interp/Interpreter.h"
+#include "obs/Report.h"
+#include "profile/ProfileData.h"
+#include "profile/ProfileStore.h"
+#include "profile/StrideProfiler.h"
+#include "stream/AccessStream.h"
+#include "stream/InterpreterSource.h"
+#include "stream/SyntheticTrace.h"
+#include "stream/TraceFile.h"
+#include "workloads/TraceWorkload.h"
+#include "workloads/Workload.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace sprof;
+
+namespace {
+
+PipelineConfig engineConfig(InterpreterConfig::Engine E) {
+  PipelineConfig C;
+  C.Interp.Exec = E;
+  return C;
+}
+
+std::string tmpPath(const std::string &Name) {
+  return ::testing::TempDir() + Name;
+}
+
+/// Pulls a source dry with a batch size that is coprime to the writer's
+/// internal batching, so reader batches straddle writer batches.
+std::vector<AccessEvent> drainAll(AccessSource &Src) {
+  std::vector<AccessEvent> Out;
+  AccessEvent Buf[97];
+  while (size_t N = Src.pull(Buf, 97))
+    Out.insert(Out.end(), Buf, Buf + N);
+  return Out;
+}
+
+void expectSameEvents(const std::vector<AccessEvent> &Want,
+                      const std::vector<AccessEvent> &Got) {
+  ASSERT_EQ(Want.size(), Got.size());
+  for (size_t I = 0; I != Want.size(); ++I) {
+    SCOPED_TRACE("event " + std::to_string(I));
+    EXPECT_EQ(Want[I].Address, Got[I].Address);
+    EXPECT_EQ(Want[I].GlobalRefIndex, Got[I].GlobalRefIndex);
+    EXPECT_EQ(Want[I].SiteId, Got[I].SiteId);
+    EXPECT_EQ(Want[I].Kind, Got[I].Kind);
+  }
+}
+
+/// A delta-encoder stress pattern: several interleaved sites, forward and
+/// backward address deltas, occasional unknown ref indices, and a
+/// prefetch-kind event every 16th entry.
+std::vector<AccessEvent> patternEvents(size_t N) {
+  std::vector<AccessEvent> Events;
+  Events.reserve(N);
+  uint64_t Addr = 0x100000;
+  for (size_t I = 0; I != N; ++I) {
+    AccessEvent E;
+    Addr = I % 3 == 0 ? Addr - 48 : Addr + 64;
+    E.Address = Addr;
+    E.GlobalRefIndex = I % 11 == 0 ? 0 : I + 1;
+    E.SiteId = static_cast<uint32_t>(I % 5);
+    E.Kind = I % 16 == 9 ? AccessKind::Prefetch : AccessKind::Load;
+    Events.push_back(E);
+  }
+  return Events;
+}
+
+/// Writes \p Events through a string-backed TraceWriter and decodes them
+/// back, checking header and footer metadata along the way.
+std::vector<AccessEvent> roundTrip(const std::vector<AccessEvent> &Events,
+                                   uint32_t NumSites, bool Text) {
+  std::stringstream SS;
+  const TraceProvenance Prov{"unit.workload", "train", "edge-check"};
+  {
+    TraceWriter W(SS, NumSites, Prov, Text);
+    W.onBatch(Events.data(), Events.size());
+    W.finish();
+    EXPECT_TRUE(W.ok()) << W.error();
+    EXPECT_EQ(W.eventsWritten(), Events.size());
+    EXPECT_GT(W.bytesWritten(), 0u);
+  }
+  TraceReader R(SS);
+  EXPECT_TRUE(R.ok()) << R.error();
+  EXPECT_EQ(R.text(), Text);
+  EXPECT_EQ(R.version(), TraceFormatVersion);
+  EXPECT_EQ(R.numSites(), NumSites);
+  EXPECT_EQ(R.provenance().Workload, Prov.Workload);
+  EXPECT_EQ(R.provenance().DataSet, Prov.DataSet);
+  EXPECT_EQ(R.provenance().Method, Prov.Method);
+  std::vector<AccessEvent> Out = drainAll(R);
+  EXPECT_TRUE(R.ok()) << R.error();
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(R.eventCount(), Events.size());
+  return Out;
+}
+
+/// Every RunStats field, so a replay divergence names the broken bucket.
+void expectSameStats(const RunStats &Live, const RunStats &Replayed) {
+  EXPECT_EQ(Live.Completed, Replayed.Completed);
+  EXPECT_EQ(Live.Instructions, Replayed.Instructions);
+  EXPECT_EQ(Live.Cycles, Replayed.Cycles);
+  EXPECT_EQ(Live.BaseCycles, Replayed.BaseCycles);
+  EXPECT_EQ(Live.MemStallCycles, Replayed.MemStallCycles);
+  EXPECT_EQ(Live.InstrumentationCycles, Replayed.InstrumentationCycles);
+  EXPECT_EQ(Live.RuntimeCycles, Replayed.RuntimeCycles);
+  EXPECT_EQ(Live.LoadRefs, Replayed.LoadRefs);
+  EXPECT_EQ(Live.SiteCounts, Replayed.SiteCounts);
+  EXPECT_EQ(Live.ExitValue, Replayed.ExitValue);
+  ASSERT_EQ(Live.Mem.Levels.size(), Replayed.Mem.Levels.size());
+  for (size_t L = 0; L != Live.Mem.Levels.size(); ++L) {
+    EXPECT_EQ(Live.Mem.Levels[L].Hits, Replayed.Mem.Levels[L].Hits);
+    EXPECT_EQ(Live.Mem.Levels[L].Misses, Replayed.Mem.Levels[L].Misses);
+  }
+  EXPECT_EQ(Live.Mem.DemandAccesses, Replayed.Mem.DemandAccesses);
+  EXPECT_EQ(Live.Mem.PrefetchesIssued, Replayed.Mem.PrefetchesIssued);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Trace-file round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFile, EmptyRoundTrip) {
+  for (bool Text : {false, true}) {
+    SCOPED_TRACE(Text ? "text" : "binary");
+    expectSameEvents({}, roundTrip({}, 4, Text));
+  }
+}
+
+TEST(TraceFile, SingleEventRoundTrip) {
+  AccessEvent E;
+  E.Address = 0xdeadbeef12345678ull;
+  E.GlobalRefIndex = 42;
+  E.SiteId = 7;
+  E.Kind = AccessKind::Prefetch;
+  for (bool Text : {false, true}) {
+    SCOPED_TRACE(Text ? "text" : "binary");
+    expectSameEvents({E}, roundTrip({E}, 8, Text));
+  }
+}
+
+// The sizes that straddle the engines' stride-event ring (and the writer's
+// internal batch): one below, exactly at, one above the default 256 window.
+TEST(TraceFile, RingBoundaryRoundTrip) {
+  for (size_t N : {size_t(255), size_t(256), size_t(257), size_t(1000)}) {
+    const std::vector<AccessEvent> Events = patternEvents(N);
+    for (bool Text : {false, true}) {
+      SCOPED_TRACE((Text ? "text/" : "binary/") + std::to_string(N));
+      expectSameEvents(Events, roundTrip(Events, 5, Text));
+    }
+  }
+}
+
+TEST(TraceFile, EdgeSectionRoundTrip) {
+  EdgeProfile EP(2);
+  EP.setEntryCount(0, 3);
+  EP.setEntryCount(1, 41);
+  EP.setFrequency(0, Edge{0, 0}, 17);
+  EP.setFrequency(0, Edge{2, 1}, 0);
+  EP.setFrequency(1, Edge{1, 0}, 9);
+  const TraceEdgeSection S = edgeSectionFromProfile(EP);
+
+  for (bool Text : {false, true}) {
+    SCOPED_TRACE(Text ? "text" : "binary");
+    std::stringstream SS;
+    {
+      TraceWriter W(SS, 1, {}, Text);
+      W.setEdgeSection(S);
+      AccessEvent E;
+      E.Address = 0x2000;
+      W.onBatch(&E, 1);
+      W.finish();
+      ASSERT_TRUE(W.ok()) << W.error();
+    }
+    TraceReader R(SS);
+    AccessEvent Buf[8];
+    EXPECT_EQ(R.pull(Buf, 8), 1u);
+    EXPECT_EQ(R.pull(Buf, 8), 0u);
+    ASSERT_TRUE(R.ok()) << R.error();
+    ASSERT_TRUE(R.edgeSection().Present);
+    const EdgeProfile Back = edgeProfileFromSection(R.edgeSection());
+    EXPECT_EQ(edgeProfileToJson(Back).str(), edgeProfileToJson(EP).str());
+  }
+}
+
+TEST(TraceFile, FileBackedResetReplaysTheStream) {
+  const std::string Path = tmpPath("reset.sprof.trace");
+  const std::vector<AccessEvent> Events = patternEvents(300);
+  {
+    std::string Err;
+    auto W = TraceWriter::open(Path, 5, {}, /*Text=*/false, &Err);
+    ASSERT_NE(W, nullptr) << Err;
+    W->onBatch(Events.data(), Events.size());
+    W->finish();
+    ASSERT_TRUE(W->ok()) << W->error();
+  }
+  auto R = TraceReader::openFile(Path);
+  ASSERT_TRUE(R->ok()) << R->error();
+  expectSameEvents(Events, drainAll(*R));
+  ASSERT_TRUE(R->reset());
+  expectSameEvents(Events, drainAll(*R));
+  EXPECT_TRUE(R->ok()) << R->error();
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Reader error paths
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFile, MissingFileIsAnIoError) {
+  auto R = TraceReader::openFile(tmpPath("no_such_trace.sprof.trace"));
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(R->ok());
+  EXPECT_EQ(R->errorCode(), TraceError::Io);
+  AccessEvent Buf[4];
+  EXPECT_EQ(R->pull(Buf, 4), 0u);
+}
+
+TEST(TraceFile, ForeignBytesAreABadMagicError) {
+  std::stringstream SS("{\"schema\": \"not a trace\"}\n");
+  TraceReader R(SS);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.errorCode(), TraceError::BadMagic);
+}
+
+TEST(TraceFile, UnknownVersionIsAVersionMismatch) {
+  std::stringstream SS;
+  {
+    TraceWriter W(SS, 2);
+    const std::vector<AccessEvent> Events = patternEvents(4);
+    W.onBatch(Events.data(), Events.size());
+    W.finish();
+    ASSERT_TRUE(W.ok());
+  }
+  std::string Data = SS.str();
+  Data[8] = 0x63; // first byte of the little-endian version word
+  std::istringstream Patched(Data);
+  TraceReader R(Patched);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.errorCode(), TraceError::VersionMismatch);
+}
+
+TEST(TraceFile, CutStreamsAreTruncationErrors) {
+  std::stringstream SS;
+  {
+    TraceWriter W(SS, 5);
+    const std::vector<AccessEvent> Events = patternEvents(500);
+    W.onBatch(Events.data(), Events.size());
+    W.finish();
+    ASSERT_TRUE(W.ok());
+  }
+  const std::string Data = SS.str();
+  // Cut mid-events and cut inside the footer; both must be diagnosed as
+  // truncation, not silently served as a shorter trace.
+  for (size_t Keep : {Data.size() / 2, Data.size() - 9}) {
+    SCOPED_TRACE("keep " + std::to_string(Keep));
+    std::istringstream Cut(Data.substr(0, Keep));
+    TraceReader R(Cut);
+    ASSERT_TRUE(R.ok()) << R.error();
+    drainAll(R);
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.errorCode(), TraceError::Truncated);
+    EXPECT_FALSE(R.atEnd());
+  }
+}
+
+TEST(TraceReplay, ReadErrorsSurfaceThroughTheResult) {
+  TraceReplayResult R =
+      replayTraceFile(tmpPath("no_such_replay.sprof.trace"));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrorCode, TraceError::Io);
+  EXPECT_FALSE(R.Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Stream primitives and synthetic generators
+//===----------------------------------------------------------------------===//
+
+TEST(Stream, VectorSourceDrainAndTee) {
+  const std::vector<AccessEvent> Events = patternEvents(300);
+  VectorSource Src(Events, 5, "unit");
+  CollectSink A, B;
+  TeeSink Tee;
+  Tee.add(&A);
+  Tee.add(&B);
+  EXPECT_EQ(drainStream(Src, Tee, 64), Events.size());
+  expectSameEvents(Events, A.events());
+  expectSameEvents(Events, B.events());
+  // A drained source stays empty until reset().
+  AccessEvent Buf[4];
+  EXPECT_EQ(Src.pull(Buf, 4), 0u);
+  ASSERT_TRUE(Src.reset());
+  expectSameEvents(Events, drainAll(Src));
+}
+
+TEST(Stream, SyntheticGeneratorsAreDeterministic) {
+  SyntheticTraceConfig Config;
+  Config.Events = 4000;
+  Config.Seed = 7;
+  for (const std::string &Name : syntheticTraceNames()) {
+    SCOPED_TRACE(Name);
+    auto A = makeSyntheticTrace(Name, Config);
+    auto B = makeSyntheticTrace(Name, Config);
+    ASSERT_NE(A, nullptr);
+    ASSERT_NE(B, nullptr);
+    EXPECT_GT(A->numSites(), 0u);
+    const std::vector<AccessEvent> EA = drainAll(*A);
+    expectSameEvents(EA, drainAll(*B));
+    // Events counts the loads; prefetch-kind events ride on top.
+    size_t Loads = 0;
+    for (const AccessEvent &E : EA) {
+      Loads += E.Kind == AccessKind::Load;
+      EXPECT_LT(E.SiteId, A->numSites());
+    }
+    EXPECT_EQ(Loads, Config.Events);
+    // reset() replays the identical sequence.
+    ASSERT_TRUE(A->reset());
+    expectSameEvents(EA, drainAll(*A));
+  }
+  // stream-mixed is the kind-filtering fixture: it must contain prefetch
+  // events for the Load-only profiler filter to have something to drop.
+  auto Mixed = makeSyntheticTrace("stream-mixed", Config);
+  ASSERT_NE(Mixed, nullptr);
+  size_t Prefetches = 0;
+  for (const AccessEvent &E : drainAll(*Mixed))
+    Prefetches += E.Kind == AccessKind::Prefetch;
+  EXPECT_GT(Prefetches, 0u);
+}
+
+TEST(Stream, TraceWorkloadRegistry) {
+  EXPECT_EQ(traceWorkloadNames(), syntheticTraceNames());
+  EXPECT_TRUE(isTraceWorkloadName("stream-seq"));
+  EXPECT_TRUE(isTraceWorkloadName("trace:/tmp/whatever.sprof.trace"));
+  EXPECT_FALSE(isTraceWorkloadName("181.mcf"));
+  EXPECT_EQ(makeAccessSourceByName("no-such-stream"), nullptr);
+  auto Src = makeAccessSourceByName("stream-chase");
+  ASSERT_NE(Src, nullptr);
+  EXPECT_GT(drainAll(*Src).size(), 0u);
+  // A "trace:" name with an unreadable file still resolves (the error
+  // lives in the reader), it just produces no events.
+  auto Bad = makeAccessSourceByName("trace:" + tmpPath("missing.sprof.trace"));
+  ASSERT_NE(Bad, nullptr);
+  EXPECT_EQ(drainAll(*Bad).size(), 0u);
+}
+
+TEST(Stream, ProfilerConsumeDropsPrefetchKindEvents) {
+  std::vector<AccessEvent> Events;
+  for (size_t I = 0; I != 15; ++I) {
+    AccessEvent E;
+    E.Address = 0x1000 + 64 * I;
+    E.SiteId = 0;
+    E.Kind = I < 10 ? AccessKind::Load : AccessKind::Prefetch;
+    Events.push_back(E);
+  }
+  VectorSource Src(std::move(Events), 1);
+  StrideProfiler P(1, StrideProfilerConfig());
+  P.consume(Src);
+  EXPECT_EQ(P.totalInvocations(), 10u);
+}
+
+TEST(Stream, ReplayAccessStreamAccountsEveryEvent) {
+  const std::vector<AccessEvent> Events = patternEvents(1000);
+  size_t Loads = 0;
+  for (const AccessEvent &E : Events)
+    Loads += E.Kind == AccessKind::Load;
+  VectorSource Src(Events, 5);
+  MemoryHierarchy MH((MemoryConfig()));
+  const StreamReplayStats S = replayAccessStream(MH, Src);
+  EXPECT_EQ(S.Events, Events.size());
+  EXPECT_EQ(S.Loads, Loads);
+  EXPECT_EQ(S.Prefetches, Events.size() - Loads);
+  EXPECT_EQ(MH.stats().DemandAccesses, Loads);
+  EXPECT_GT(S.Cycles, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// InterpreterSource: the engines as one source among several
+//===----------------------------------------------------------------------===//
+
+TEST(Stream, InterpreterSourceMatchesLiveProfiler) {
+  for (auto Engine : {InterpreterConfig::Engine::Reference,
+                      InterpreterConfig::Engine::Decoded}) {
+    SCOPED_TRACE(Engine == InterpreterConfig::Engine::Reference
+                     ? "reference"
+                     : "decoded");
+    uint32_t D, N;
+    StrideProfilerConfig PC;
+    PC.Sampling.Enabled = false;
+
+    // Live: profiler attached to the run.
+    Module MLive = test::makeChaseModule(D, N);
+    instrumentModule(MLive, ProfilingMethod::EdgeCheck);
+    SimMemory MemLive;
+    test::fillChaseList(MemLive, 4096, 64);
+    StrideProfiler Live(MLive.NumLoadSites, PC);
+    InterpreterConfig IC;
+    IC.Exec = Engine;
+    Interpreter ILive(MLive, std::move(MemLive), TimingModel(), IC);
+    ILive.attachProfiler(&Live);
+    const RunStats LiveStats = ILive.run();
+    ASSERT_TRUE(LiveStats.Completed);
+
+    // Streamed: the same run wrapped as an AccessSource, consumed by a
+    // fresh profiler.
+    Module MSrc = test::makeChaseModule(D, N);
+    instrumentModule(MSrc, ProfilingMethod::EdgeCheck);
+    SimMemory MemSrc;
+    test::fillChaseList(MemSrc, 4096, 64);
+    Interpreter ISrc(MSrc, std::move(MemSrc), TimingModel(), IC);
+    InterpreterSource Src(ISrc, MSrc.NumLoadSites);
+    StrideProfiler Streamed(MSrc.NumLoadSites, PC);
+    const uint64_t Cost = Streamed.consume(Src);
+
+    ASSERT_TRUE(Src.ran());
+    EXPECT_EQ(Src.stats().LoadRefs, LiveStats.LoadRefs);
+    // The stream-driven profiler charges exactly what the live run booked
+    // as runtime cycles, and harvests the identical profile.
+    EXPECT_EQ(Cost, LiveStats.RuntimeCycles);
+    EXPECT_EQ(Streamed.totalInvocations(), Live.totalInvocations());
+    EXPECT_EQ(Streamed.totalProcessed(), Live.totalProcessed());
+    EXPECT_EQ(Streamed.totalLfuCalls(), Live.totalLfuCalls());
+    EXPECT_EQ(strideProfileToJson(StrideProfile::fromProfiler(Streamed)).str(),
+              strideProfileToJson(StrideProfile::fromProfiler(Live)).str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Capture -> replay fidelity (the acceptance bar)
+//===----------------------------------------------------------------------===//
+
+// Every profiling method on both engines: a capture of the live profile
+// run replays to a bit-identical stride profile, edge profile, and
+// strideProf call accounting.
+TEST(TraceReplay, ReplayedProfilesMatchLiveAcrossMethodsAndEngines) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  for (auto Engine : {InterpreterConfig::Engine::Reference,
+                      InterpreterConfig::Engine::Decoded}) {
+    for (ProfilingMethod Method : allProfilingMethods()) {
+      const std::string Tag =
+          std::string(Engine == InterpreterConfig::Engine::Reference
+                          ? "reference"
+                          : "decoded") +
+          "/" + profilingMethodName(Method);
+      SCOPED_TRACE(Tag);
+      const std::string Path = tmpPath("diff_" +
+                                       std::string(profilingMethodName(
+                                           Method)) +
+                                       (Engine ==
+                                                InterpreterConfig::Engine::
+                                                    Reference
+                                            ? "_ref"
+                                            : "_dec") +
+                                       ".sprof.trace");
+
+      PipelineConfig C = engineConfig(Engine);
+      C.TraceCapturePath = Path;
+      Pipeline P(*W, C);
+      const ProfileRunResult Live =
+          P.runProfile(Method, DataSet::Train, /*WithMemorySystem=*/false);
+      ASSERT_TRUE(Live.Capture.Enabled);
+      EXPECT_EQ(Live.Capture.Schema, TraceSchemaV1);
+      // The capture records the complete pre-sampling invocation stream.
+      EXPECT_EQ(Live.Capture.Events, Live.StrideInvocations);
+
+      TraceReplayOptions Opts;
+      Opts.Config = engineConfig(Engine);
+      Opts.EvaluateWorkload = false;
+      Opts.SimulateMemory = false;
+      const TraceReplayResult Replay = replayTraceFile(Path, Opts);
+      ASSERT_TRUE(Replay.Ok) << Replay.Error;
+      EXPECT_EQ(Replay.Method, Method);
+      EXPECT_EQ(Replay.Events, Live.StrideInvocations);
+
+      EXPECT_EQ(strideProfileToJson(Replay.Profile.Strides).str(),
+                strideProfileToJson(Live.Strides).str());
+      EXPECT_EQ(edgeProfileToJson(Replay.Profile.Edges).str(),
+                edgeProfileToJson(Live.Edges).str());
+      EXPECT_EQ(Replay.Profile.StrideInvocations, Live.StrideInvocations);
+      EXPECT_EQ(Replay.Profile.StrideProcessed, Live.StrideProcessed);
+      EXPECT_EQ(Replay.Profile.LfuCalls, Live.LfuCalls);
+      // The serialized store -- what experiments persist -- is identical.
+      const ProfileStore LiveStore({W->info().Name,
+                                    profilingMethodName(Method),
+                                    dataSetName(DataSet::Train)},
+                                   Live.Edges, Live.Strides);
+      const ProfileStore ReplayStore({W->info().Name,
+                                      profilingMethodName(Method),
+                                      dataSetName(DataSet::Train)},
+                                     Replay.Profile.Edges,
+                                     Replay.Profile.Strides);
+      EXPECT_EQ(LiveStore.toString(), ReplayStore.toString());
+      std::remove(Path.c_str());
+    }
+  }
+}
+
+// The full-evaluation half: replaying a capture whose provenance names a
+// rebuildable workload reproduces the baseline and prefetched timed runs
+// -- cycle accounting, classifier verdicts, and prefetch-outcome
+// attribution -- bit for bit, on both engines.
+TEST(TraceReplay, FullEvaluationMatchesLivePipeline) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  for (auto Engine : {InterpreterConfig::Engine::Reference,
+                      InterpreterConfig::Engine::Decoded}) {
+    SCOPED_TRACE(Engine == InterpreterConfig::Engine::Reference
+                     ? "reference"
+                     : "decoded");
+    const std::string Path =
+        tmpPath(Engine == InterpreterConfig::Engine::Reference
+                    ? "full_ref.sprof.trace"
+                    : "full_dec.sprof.trace");
+    PipelineConfig C = engineConfig(Engine);
+    C.Memory.EnableAttribution = true;
+    C.TraceCapturePath = Path;
+    Pipeline P(*W, C);
+    const ProfileRunResult Live =
+        P.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train,
+                     /*WithMemorySystem=*/false);
+    ASSERT_TRUE(Live.Capture.Enabled);
+    const RunStats LiveBaseline = P.runBaseline(DataSet::Train);
+    const TimedRunResult LiveTimed =
+        P.runPrefetched(DataSet::Train, Live.Edges, Live.Strides);
+
+    TraceReplayOptions Opts;
+    Opts.Config = engineConfig(Engine);
+    Opts.Config.Memory.EnableAttribution = true;
+    Opts.SimulateMemory = false;
+    const TraceReplayResult Replay = replayTraceFile(Path, Opts);
+    ASSERT_TRUE(Replay.Ok) << Replay.Error;
+    ASSERT_TRUE(Replay.HasWorkload);
+    EXPECT_EQ(Replay.Prov.Workload, W->info().Name);
+
+    expectSameStats(LiveBaseline, Replay.Baseline);
+    expectSameStats(LiveTimed.Stats, Replay.Timed.Stats);
+    EXPECT_EQ(feedbackToJson(Replay.Timed.Feedback, Replay.Profile.Strides,
+                             Opts.Config.Classifier)
+                  .str(),
+              feedbackToJson(LiveTimed.Feedback, Live.Strides,
+                             C.Classifier)
+                  .str());
+    ASSERT_TRUE(LiveTimed.Attribution.Enabled);
+    ASSERT_TRUE(Replay.Timed.Attribution.Enabled);
+    EXPECT_EQ(attributionToJson(Replay.Timed.Attribution).str(),
+              attributionToJson(LiveTimed.Attribution).str());
+    EXPECT_DOUBLE_EQ(Replay.Speedup,
+                     static_cast<double>(LiveBaseline.Cycles) /
+                         static_cast<double>(LiveTimed.Stats.Cycles));
+    std::remove(Path.c_str());
+  }
+}
+
+// Workload-less streams (the trace-backed family) get the stream-only
+// path: stride profiling, per-site classification, and the two-pass cache
+// simulation with synthesized prefetches.
+TEST(TraceReplay, StreamOnlyReplaySimulatesPrefetching) {
+  SyntheticTraceConfig Config;
+  Config.Events = 20000;
+  Config.Seed = 3;
+  auto Src = makeSyntheticTrace("stream-seq", Config);
+  ASSERT_NE(Src, nullptr);
+
+  TraceReplayOptions Opts;
+  const TraceReplayResult R = replayStream(*Src, Opts, "stream-seq");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_FALSE(R.HasWorkload);
+  ASSERT_TRUE(R.HasMemSim);
+  EXPECT_GT(R.Profile.StrideInvocations, 0u);
+
+  // stream-seq is one dominant stride per site: every site classifies,
+  // and the synthesized prefetches must recover stall cycles.
+  size_t Classified = 0;
+  for (StrideClass SC : R.SiteClass)
+    Classified += SC != StrideClass::None;
+  EXPECT_GT(Classified, 0u);
+  EXPECT_EQ(R.MemBaseline.Events, Config.Events);
+  EXPECT_GT(R.MemBaseline.StallCycles, 0u);
+  EXPECT_GT(R.MemPrefetched.Prefetches, 0u);
+  EXPECT_LT(R.MemPrefetched.StallCycles, R.MemBaseline.StallCycles);
+}
