@@ -10,10 +10,11 @@
 /// The observability layer end to end: run the quickstart's pointer-chase
 /// workload through the full pipeline with telemetry enabled, then write
 ///
-///   * a machine-readable run report (schema "sprof.run_report/2") with the
+///   * a machine-readable run report (schema "sprof.run_report/5") with the
 ///     profiles, classification verdicts, prefetch-outcome attribution, a
-///     profile-accuracy diff against a sampled profiling run, and every
-///     registry metric,
+///     profile-accuracy diff against a sampled profiling run, the trace
+///     tier's compile/entry/side-exit accounting (the demo runs under
+///     Engine::Trace), and every registry metric,
 ///   * a second run report for the sampled run (so `sprof-inspect diff`
 ///     has a report pair to compare),
 ///   * a Chrome trace_event file (load it at chrome://tracing or
@@ -117,10 +118,13 @@ int main(int Argc, char **Argv) {
   // as the standalone sprof.timeseries/1 artifact.
   Config.Obs.SampleIntervalUs = 200;
   Config.Obs.TimeSeriesOutputPath = TimeSeriesPath;
-  // Engine self-profiling: window-sample the decoded engine's dispatch
-  // loop and export the folded-stack attribution.
+  // Engine self-profiling: window-sample the dispatch loop and export the
+  // folded-stack attribution. Running under the trace tier, hot-loop
+  // samples land in "trace:<n>" frames and the report grows a trace_tier
+  // section (rendered by `sprof-inspect hotspots`).
   Config.Obs.SelfProfile = true;
   Config.Obs.FoldedProfilePath = FoldedPath;
+  Config.Interp.Exec = InterpreterConfig::Engine::Trace;
   Config.Memory.EnableAttribution = true;
   // Capture the profile run's access-event stream into a replayable
   // sprof.trace/1 file (reported in profile_run.trace).

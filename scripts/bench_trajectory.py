@@ -6,19 +6,25 @@ overhead, the engine wall-clock compare harness — once plain and once with
 full telemetry attached — and the telemetry demo's profile-accuracy diff),
 condenses them into one trajectory point
 
-    {"schema": "sprof.bench_point/3", "date": ..., "geomean_speedup": ...,
+    {"schema": "sprof.bench_point/4", "date": ..., "geomean_speedup": ...,
      "profiling_overhead": ..., "prefetch_useful_ratio": ...,
      "accuracy_score": ..., "engine_wall_speedup": ...,
      "memsys_wall_speedup": ..., "profiled_wall_speedup": ...,
-     "telemetry_overhead": ..., "replay_events_per_sec": ...,
-     "components": ...}
+     "trace_wall_speedup": ..., "telemetry_overhead": ...,
+     "replay_events_per_sec": ..., "components": ...}
 
 written to bench/trajectory/BENCH_<date>.json, and fails (exit 1) when
-either the geomean prefetch speedup or the useful-prefetch ratio drops
-more than --tolerance (default 5%) below the most recent committed point.
-The wall-clock fields (engine/memsys/profiled compare geomeans) are
-reported against the baseline but only warn: they measure host wall time
-and swing with machine load, so a hard gate on them would be flaky.
+the geomean prefetch speedup, the useful-prefetch ratio, or the replay
+decode throughput drops more than --tolerance (default 5%) below the most
+recent committed point (replay throughput gates hard at 3x the tolerance:
+it is a single-process decode loop, so a large sustained drop is a real
+decoder regression, but its run-to-run spread on shared hosts reaches
+~15%, too wide for the 5% band the deterministic metrics use). The
+wall-clock compare fields (engine/memsys/profiled/trace
+geomeans) are reported against the baseline but only warn: they measure
+host wall time across engine pairs and swing with machine load, so a hard
+gate on them would be flaky — trace_wall_speedup in particular is
+warn-only while the trace tier's first trajectory points accumulate.
 Used by the trajectory-gate CI job; run locally with
 
     scripts/bench_trajectory.py --build-dir build
@@ -132,7 +138,7 @@ def collect_point(build_dir, threads, workdir):
     accuracy = load(report)["profile_diff"]["weighted_accuracy"]
 
     return {
-        "schema": "sprof.bench_point/3",
+        "schema": "sprof.bench_point/4",
         "date": datetime.date.today().isoformat(),
         "geomean_speedup": geomean(speedups),
         "profiling_overhead": overhead,
@@ -141,6 +147,7 @@ def collect_point(build_dir, threads, workdir):
         "engine_wall_speedup": runtime_doc.get("geomean_speedup", 0.0),
         "memsys_wall_speedup": memsys_doc.get("geomean_speedup", 0.0),
         "profiled_wall_speedup": profiled_doc.get("geomean_speedup", 0.0),
+        "trace_wall_speedup": runtime_doc.get("trace_geomean_speedup", 0.0),
         "telemetry_overhead": telemetry_doc.get("telemetry_overhead", 0.0),
         "replay_events_per_sec": replay_doc.get("replay_events_per_sec", 0.0),
         "components": {
@@ -167,25 +174,32 @@ def latest_point(trajectory_dir):
 def gate(point, baseline, baseline_path, tolerance):
     """Fails when a gated metric drops more than `tolerance` vs baseline.
 
-    Simulated-cycle metrics gate hard; wall-clock compare geomeans
-    (engine/memsys/profiled) are load-sensitive, so they warn only.
+    Simulated-cycle metrics and the replay decode throughput gate hard
+    (replay at 3x the tolerance: single-process, but its host-noise
+    spread is wider than the deterministic metrics' 5% band);
+    wall-clock compare geomeans (engine/memsys/profiled/trace) are
+    load-sensitive, so they warn only. A baseline that predates a metric
+    (old <= 0) skips it, which is what keeps newly-added keys warn-free
+    until their first committed point.
     """
     ok = True
-    hard = ("geomean_speedup", "prefetch_useful_ratio")
+    hard = ("geomean_speedup", "prefetch_useful_ratio",
+            "replay_events_per_sec")
     soft = ("engine_wall_speedup", "memsys_wall_speedup",
-            "profiled_wall_speedup", "replay_events_per_sec")
+            "profiled_wall_speedup", "trace_wall_speedup")
     for key in hard + soft:
         old, new = baseline.get(key, 0.0), point.get(key, 0.0)
         if old <= 0:
             continue
+        tol = 3 * tolerance if key == "replay_events_per_sec" else tolerance
         drop = (old - new) / old
         status = "ok"
-        if drop > tolerance:
+        if drop > tol:
             if key in hard:
-                status = f"REGRESSION (>{tolerance:.0%} drop)"
+                status = f"REGRESSION (>{tol:.0%} drop)"
                 ok = False
             else:
-                status = f"warn (>{tolerance:.0%} drop; wall-clock, ungated)"
+                status = f"warn (>{tol:.0%} drop; wall-clock, ungated)"
         print(f"  {key}: {old:.4f} -> {new:.4f} "
               f"({-drop:+.2%}) {status}")
     print(f"  (baseline: {baseline_path})")

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Validates the machine-readable telemetry artifacts: runs the
 # telemetry_demo example and checks the run report against the
-# "sprof.run_report/4" schema (each version a strict superset of the
-# previous: the /1../3 sections must all still be present and shaped as
+# "sprof.run_report/5" schema (each version a strict superset of the
+# previous: the /1../4 sections must all still be present and shaped as
 # before), the attribution exact-sum invariant, the profile_diff,
-# self_profile and profile_run.trace sections, the "sprof.timeseries/1"
+# self_profile, profile_run.trace, and trace_tier sections, the "sprof.timeseries/1"
 # sampler artifact, the folded-stack self-profile file, the binary
 # "sprof.trace/1" capture's header/trailer framing, and the Chrome trace
 # for the pipeline's phase spans plus the sampler's counter ("C") events.
@@ -12,8 +12,8 @@
 # diff, timeseries, hotspots, and trace modes against the fresh artifacts
 # — including that unknown subcommands, malformed JSON, truncated traces,
 # and trace version mismatches exit nonzero — and when given a
-# bench-trajectory point it validates the "sprof.bench_point/3" schema
-# (accepting legacy /1 and /2 points). Wired into ctest as
+# bench-trajectory point it validates the "sprof.bench_point/4" schema
+# (accepting legacy /1../3 points). Wired into ctest as
 # `telemetry_schema`.
 #
 # Usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]
@@ -55,7 +55,8 @@ with open(report_path) as f:
     report = json.load(f)
 
 RUN_REPORT_SCHEMAS = ("sprof.run_report/1", "sprof.run_report/2",
-                      "sprof.run_report/3", "sprof.run_report/4")
+                      "sprof.run_report/3", "sprof.run_report/4",
+                      "sprof.run_report/5")
 check(report.get("schema") in RUN_REPORT_SCHEMAS,
       f"unexpected schema: {report.get('schema')!r}")
 for key in ("workload", "config", "profile_run", "baseline_run",
@@ -88,8 +89,7 @@ check(isinstance(sampling, dict) and "enabled" in sampling,
 
 # -- run_report/2 additions ------------------------------------------------
 
-if report.get("schema") in ("sprof.run_report/2", "sprof.run_report/3",
-                            "sprof.run_report/4"):
+if report.get("schema") in RUN_REPORT_SCHEMAS[1:]:
     attribution = report.get("attribution")
     check(isinstance(attribution, dict), "/2 report missing attribution")
     if isinstance(attribution, dict):
@@ -143,7 +143,7 @@ if report.get("schema") in ("sprof.run_report/2", "sprof.run_report/3",
 
 # -- run_report/3 additions ------------------------------------------------
 
-if report.get("schema") in ("sprof.run_report/3", "sprof.run_report/4"):
+if report.get("schema") in RUN_REPORT_SCHEMAS[2:]:
     self_profile = report.get("self_profile")
     check(isinstance(self_profile, dict), "/3 report missing self_profile")
     if isinstance(self_profile, dict):
@@ -170,7 +170,7 @@ if report.get("schema") in ("sprof.run_report/3", "sprof.run_report/4"):
 
 # -- run_report/4 additions ------------------------------------------------
 
-if report.get("schema") == "sprof.run_report/4":
+if report.get("schema") in RUN_REPORT_SCHEMAS[3:]:
     capture = report.get("profile_run", {}).get("trace")
     check(isinstance(capture, dict), "/4 report missing profile_run.trace")
     if isinstance(capture, dict):
@@ -183,6 +183,57 @@ if report.get("schema") == "sprof.run_report/4":
               report.get("profile_run", {}).get("stride_invocations"),
               "trace events != profile_run.stride_invocations")
 
+# -- run_report/5 additions ------------------------------------------------
+
+if report.get("schema") == "sprof.run_report/5":
+    # The demo runs under Engine::Trace, so both run sections must carry
+    # the tier's host-side accounting. The simulated stats stay engine-
+    # independent; trace_tier lives beside them, never inside.
+    for section in ("profile_run", "timed_run"):
+        tier = report.get(section, {}).get("trace_tier")
+        check(isinstance(tier, dict), f"/5 report missing {section}.trace_tier")
+        if not isinstance(tier, dict):
+            continue
+        for key in ("traces_compiled", "traces_adopted", "compile_aborts",
+                    "invalidations", "entries", "iterations", "side_exits",
+                    "loop_exits", "fuel_exits", "on_trace_insts",
+                    "on_trace_refs", "traces"):
+            check(key in tier, f"{section}.trace_tier missing {key!r}")
+        traces = tier.get("traces", [])
+        check(isinstance(traces, list) and traces,
+              f"{section}.trace_tier.traces empty")
+        sums = {k: 0 for k in ("entries", "iterations", "side_exits",
+                               "loop_exits", "fuel_exits")}
+        for t in traces if isinstance(traces, list) else []:
+            for key in ("id", "head_pc", "num_ops", "num_guards", "entries",
+                        "iterations", "side_exits", "loop_exits",
+                        "fuel_exits", "guard_exits", "invalidated"):
+                check(key in t, f"trace_tier trace missing {key!r}")
+            for k in sums:
+                sums[k] += t.get(k, 0)
+            guard_exits = t.get("guard_exits", [])
+            check(isinstance(guard_exits, list) and
+                  len(guard_exits) == t.get("num_guards"),
+                  "guard_exits length != num_guards")
+            check(sum(guard_exits) == t.get("side_exits", 0) +
+                  t.get("loop_exits", 0),
+                  "guard_exits sum != side_exits + loop_exits")
+        for k, total in sums.items():
+            check(total == tier.get(k),
+                  f"{section}.trace_tier.{k} {tier.get(k)} != per-trace "
+                  f"sum {total}")
+        # Every entry leaves exactly one way.
+        check(tier.get("side_exits", 0) + tier.get("loop_exits", 0) +
+              tier.get("fuel_exits", 0) == tier.get("entries"),
+              f"{section} exit kinds do not sum to entries")
+        rate = tier.get("side_exit_rate")
+        check(isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0,
+              f"{section}.trace_tier.side_exit_rate missing or out of range")
+    # Trace-tier samples surface as "trace:<n>" frames in the self-profile.
+    entries = (report.get("self_profile") or {}).get("entries", [])
+    check(any(e.get("op", "").startswith("trace:") for e in entries),
+          "no trace:<n> frames in self_profile despite Engine::Trace")
+
 # -- sprof.trace/1 binary framing ------------------------------------------
 
 with open(capture_path, "rb") as f:
@@ -193,7 +244,7 @@ version = int.from_bytes(raw[8:12], "little")
 check(version == 1, f"trace capture version {version}, want 1")
 check(raw[-8:] == b"SPROFEND",
       f"trace capture end magic is {raw[-8:]!r}, want b'SPROFEND'")
-if report.get("schema") == "sprof.run_report/4" and \
+if report.get("schema") in RUN_REPORT_SCHEMAS[3:] and \
         isinstance(report.get("profile_run", {}).get("trace"), dict):
     reported = report["profile_run"]["trace"].get("bytes")
     check(reported == len(raw),
@@ -250,7 +301,7 @@ for line in folded_lines:
     check(folded_re.match(line) is not None,
           f"malformed folded line: {line!r}")
 folded_total = sum(int(line.rsplit(" ", 1)[1]) for line in folded_lines)
-if report.get("schema") in ("sprof.run_report/3", "sprof.run_report/4") and \
+if report.get("schema") in RUN_REPORT_SCHEMAS[2:] and \
         isinstance(report.get("self_profile"), dict):
     check(folded_total == report["self_profile"].get("total_samples"),
           f"folded sample total {folded_total} != self_profile "
@@ -423,25 +474,31 @@ with open(sys.argv[1]) as f:
 failures = []
 schema = point.get("schema")
 if schema not in ("sprof.bench_point/1", "sprof.bench_point/2",
-                  "sprof.bench_point/3"):
+                  "sprof.bench_point/3", "sprof.bench_point/4"):
     failures.append(f"unexpected schema: {schema!r}")
 for key in ("date", "geomean_speedup", "profiling_overhead",
             "prefetch_useful_ratio", "accuracy_score"):
     if key not in point:
         failures.append(f"bench point missing {key!r}")
-if schema in ("sprof.bench_point/2", "sprof.bench_point/3"):
+if schema in ("sprof.bench_point/2", "sprof.bench_point/3",
+              "sprof.bench_point/4"):
     # v2 adds the wall-clock compare geomeans for the memsys-attached and
     # profiler-attached configurations.
     for key in ("engine_wall_speedup", "memsys_wall_speedup",
                 "profiled_wall_speedup"):
         if key not in point:
             failures.append(f"bench point missing {key!r}")
-if schema == "sprof.bench_point/3":
+if schema in ("sprof.bench_point/3", "sprof.bench_point/4"):
     # v3 adds the worst-case telemetry overhead from the instrumented
     # wall-clock compare (a ratio - 1, so anything >= -1 is legal).
     overhead = point.get("telemetry_overhead")
     if not isinstance(overhead, (int, float)) or overhead < -1:
         failures.append("bench point telemetry_overhead missing or invalid")
+if schema == "sprof.bench_point/4":
+    # v4 adds the trace tier's wall-clock geomean over the decoded engine.
+    value = point.get("trace_wall_speedup")
+    if not isinstance(value, (int, float)) or value < 0:
+        failures.append("bench point trace_wall_speedup missing or invalid")
 for key in ("geomean_speedup", "prefetch_useful_ratio", "accuracy_score"):
     value = point.get(key)
     if not isinstance(value, (int, float)) or value < 0:

@@ -1,0 +1,710 @@
+//===- interp/TraceInterpreter.cpp - Superblock trace executor ------------===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+//
+// The executor's accounting contract (tests/test_trace.cpp):
+//
+//  * Per-op cycle charges, instruction counts, and opcode tallies are NOT
+//    maintained live; they are applied in O(1) from the trace's static
+//    sums. An iteration commit is two adds and a counter bump (NInsts,
+//    the combined cycle total, FullIters); everything else -- the split
+//    into Base/InstrCyc, the per-opcode tallies, RT.Iterations -- is
+//    reconstructed once per trace ENTRY at trace_exit as
+//    FullIters * IterTotal + GuardInfo::Prefix (the exited iteration's
+//    partial sums). Live state is limited to what the program itself can
+//    observe mid-iteration: registers, memory, per-site reference counts,
+//    LoadRefs (ProfStride events embed it), MemStall/RuntimeCyc (memory
+//    timing needs Now), counters, and the stride-event ring.
+//
+//  * SPROF_NOW() at a memory-system call is reconstructed as the committed
+//    BaseCyc + InstrCyc plus the op's compile-time CycAt prefix plus the
+//    live MemStall + RuntimeCyc -- bit-identical to the Decoded engine
+//    charging per op.
+//
+//  * Fuel and sampling: the per-dispatch NInsts >= NextStop check is
+//    hoisted to one conservative per-iteration test (an iteration only
+//    starts when it provably cannot hit a stop). When the stop is the
+//    sample point, the sample is taken here -- attributed to the trace's
+//    "trace:<id>" slot -- and the window re-armed; when fuel (or a
+//    still-too-near sample point) remains, the executor returns to the
+//    Decoded engine at the head, which reproduces the truncated partial
+//    iteration instruction by instruction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/TraceInterpreter.h"
+
+#include "obs/SelfProfiler.h"
+
+using namespace sprof;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SPROF_TRACE_COMPUTED_GOTO 1
+#else
+#define SPROF_TRACE_COMPUTED_GOTO 0
+#endif
+
+static_assert(NumTraceOps == 81,
+              "trace-op set changed: update the trace executor's handlers");
+
+template <bool HasMem>
+uint32_t TraceInterpreter::run(const TraceProgram &TP, TraceRuntime &RT,
+                               const TraceExecContext &Ctx, TraceExecState &S,
+                               ExecTally &Tally) {
+  const TInst *TC = TP.code().data();
+  const GuardInfo *GI = TP.guards().data();
+  const TraceCounts &Iter = TP.iterTotal();
+  if (RT.GuardExits.size() < TP.guards().size())
+    RT.GuardExits.resize(TP.guards().size(), 0);
+
+  int64_t *Regs = S.Regs;
+  uint64_t *SiteCounts = S.SiteCounts;
+  uint64_t *Counters = Ctx.Counters;
+  const uint32_t *ArgPool = Ctx.ArgPool;
+  SimMemory &Memory = *Ctx.Memory;
+  MemoryHierarchy *Mem = Ctx.Mem;
+  StrideProfiler *Profiler = Ctx.Profiler;
+  AccessSink *Sink = Ctx.Sink;
+  const TimingModel TM = Ctx.TM;
+
+  uint64_t NInsts = S.NInsts;
+  uint64_t LoadRefs = S.LoadRefs;
+  // Live committed cycles: Base + Instr combined (SPROF_TNOW only ever
+  // needs the sum); the exact split is reconstructed at trace_exit.
+  uint64_t Cyc = S.BaseCyc + S.InstrCyc;
+  uint64_t MemStall = S.MemStall;
+  uint64_t RuntimeCyc = S.RuntimeCyc;
+  StrideEvent *Ring = S.Ring;
+  uint32_t RingN = S.RingN;
+  const uint32_t RingCap = S.RingCap;
+
+  const uint64_t EntryNInsts = NInsts;
+  const uint64_t EntryLoadRefs = LoadRefs;
+  const uint32_t SampleSlot =
+      NumDispatchOps + TP.id() % NumTraceSelfProfSlots;
+  RT.Entries += 1;
+
+  uint32_t ExitPC = TP.headPC();
+  const TInst *P = TC;
+
+  // Per-entry accounting state: FullIters counts committed iterations,
+  // Pfx is the exited iteration's partial static sums (all-zero for a
+  // fuel exit at an iteration boundary), and SquashCyc/SquashN carry the
+  // dynamic predicated-off deltas (the only data-dependent charges). The
+  // per-iteration cycle commit is the precomputed Base+Instr sum.
+  static const TraceCounts ZeroCounts{};
+  const TraceCounts *Pfx = &ZeroCounts;
+  uint64_t FullIters = 0;
+  uint64_t SquashCyc = 0;
+  uint64_t SquashN = 0;
+  const uint64_t IterCyc = Iter.BaseCyc + Iter.InstrCyc;
+
+// The Decoded engine's SPROF_NOW() at op Q: committed cycles + the op's
+// compile-time base+instrumentation prefix + live stall/runtime cycles.
+#define SPROF_TNOW(Q) (Cyc + (Q)->CycAt + MemStall + RuntimeCyc)
+
+// Op semantics shared by single, Imm, and pair handlers. No charges, no
+// counts: those live in the static sums.
+#define SPROF_TSTEP_HINT(Q)                                                  \
+  do {                                                                       \
+    if (__builtin_expect((Q)->PrefetchDst, 0)) {                             \
+      uint64_t Hint_ = static_cast<uint64_t>(Regs[(Q)->Dst]);                \
+      Memory.prefetchHost(Hint_);                                            \
+      if constexpr (HasMem)                                                  \
+        Mem->prefetchLanes(Hint_);                                           \
+    }                                                                        \
+  } while (0)
+#define SPROF_TSTEP_Mov(Q) Regs[(Q)->Dst] = Regs[(Q)->A]
+#define SPROF_TSTEP_Add(Q)                                                   \
+  do {                                                                       \
+    Regs[(Q)->Dst] = Regs[(Q)->A] + Regs[(Q)->B];                            \
+    SPROF_TSTEP_HINT(Q);                                                     \
+  } while (0)
+#define SPROF_TSTEP_Shl(Q)                                                   \
+  Regs[(Q)->Dst] = static_cast<int64_t>(                                     \
+      static_cast<uint64_t>(Regs[(Q)->A]) << (Regs[(Q)->B] & 63))
+#define SPROF_TSTEP_Shr(Q) Regs[(Q)->Dst] = Regs[(Q)->A] >> (Regs[(Q)->B] & 63)
+#define SPROF_TSTEP_And(Q) Regs[(Q)->Dst] = Regs[(Q)->A] & Regs[(Q)->B]
+#define SPROF_TSTEP_Xor(Q) Regs[(Q)->Dst] = Regs[(Q)->A] ^ Regs[(Q)->B]
+#define SPROF_TSTEP_Load(Q)                                                  \
+  do {                                                                       \
+    uint64_t Addr_ = static_cast<uint64_t>(Regs[(Q)->A] + (Q)->Imm);         \
+    if constexpr (HasMem)                                                    \
+      Mem->prefetchLanes(Addr_);                                             \
+    Regs[(Q)->Dst] = Memory.read64(Addr_);                                   \
+    SPROF_TSTEP_HINT(Q);                                                     \
+    if constexpr (HasMem) {                                                  \
+      uint64_t Latency_ =                                                    \
+          Mem->demandAccess(Addr_, SPROF_TNOW(Q), (Q)->SiteId);              \
+      uint64_t Hidden_ = TM.FlatLoadLatency;                                 \
+      MemStall += Latency_ > Hidden_ ? Latency_ - Hidden_ : 0;               \
+    }                                                                        \
+    if (!(Q)->IsInstr) {                                                     \
+      ++LoadRefs;                                                            \
+      if ((Q)->SiteId != NoId)                                               \
+        ++SiteCounts[(Q)->SiteId];                                           \
+    }                                                                        \
+  } while (0)
+
+// Guard test shared by the lone Guard handler and the fused compare+guard
+// pairs: side-exit when the condition disagrees with the recorded
+// direction. Q must point at the Guard TInst (Aux = guard index).
+#define SPROF_TGUARD(Q)                                                      \
+  do {                                                                       \
+    if (__builtin_expect((Regs[(Q)->A] != 0) !=                              \
+                             ((Q)->Expect != 0),                             \
+                         0)) {                                               \
+      P = (Q);                                                               \
+      goto guard_exit;                                                       \
+    }                                                                        \
+  } while (0)
+
+#define SPROF_TPAIR(NAME, OP1, OP2)                                          \
+  SPROF_TOP(NAME) {                                                          \
+    SPROF_TSTEP_##OP1(P);                                                    \
+    SPROF_TSTEP_##OP2((P + 1));                                              \
+    SPROF_TNEXT(2);                                                          \
+  }
+#define SPROF_TTRIPLE(NAME, OP1, OP2, OP3)                                   \
+  SPROF_TOP(NAME) {                                                          \
+    SPROF_TSTEP_##OP1(P);                                                    \
+    SPROF_TSTEP_##OP2((P + 1));                                              \
+    SPROF_TSTEP_##OP3((P + 2));                                              \
+    SPROF_TNEXT(3);                                                          \
+  }
+#define SPROF_TQUAD(NAME, OP1, OP2, OP3, OP4)                                \
+  SPROF_TOP(NAME) {                                                          \
+    SPROF_TSTEP_##OP1(P);                                                    \
+    SPROF_TSTEP_##OP2((P + 1));                                              \
+    SPROF_TSTEP_##OP3((P + 2));                                              \
+    SPROF_TSTEP_##OP4((P + 3));                                              \
+    SPROF_TNEXT(4);                                                          \
+  }
+
+  goto iter_start;
+
+guard_exit: {
+  const GuardInfo &G = GI[P->Aux];
+  Pfx = &G.Prefix;
+  NInsts += G.Prefix.Insts;
+  Cyc += G.Prefix.BaseCyc + G.Prefix.InstrCyc;
+  RT.GuardExits[P->Aux] += 1;
+  if (G.IsLoopGuard)
+    RT.LoopExits += 1;
+  else
+    RT.SideExits += 1;
+  ExitPC = G.ExitPC;
+  goto trace_exit;
+}
+
+iter_start:
+  // Conservative hoisted fuel/sample check: start an iteration only when
+  // the Decoded engine provably would not stop inside it (dispatch checks
+  // NInsts >= NextStop before counting, so K instructions are stop-free
+  // iff NInsts + K <= NextStop). A near sample point is taken here,
+  // attributed to this trace's slot, and re-armed; a near fuel limit (or
+  // a still-too-near re-armed sample) hands back to the Decoded engine at
+  // the head, which reproduces the partial iteration exactly.
+  if (__builtin_expect(NInsts + Iter.Insts > S.NextStop, 0)) {
+    if (Ctx.SelfProf && S.NextStop < S.MaxInstructions) {
+      Ctx.SelfProf->sample(SampleSlot);
+      uint64_t Next = NInsts + S.SPWindow;
+      S.NextStop = Next > S.MaxInstructions ? S.MaxInstructions : Next;
+    }
+    if (NInsts + Iter.Insts > S.NextStop) {
+      RT.FuelExits += 1;
+      ExitPC = TP.headPC();
+      goto trace_exit;
+    }
+  }
+  P = TC;
+
+#if SPROF_TRACE_COMPUTED_GOTO
+
+  {
+    static const void *TLabels[NumTraceOps] = {
+        &&TH_Mov,        &&TH_Add,        &&TH_Sub,       &&TH_Mul,
+        &&TH_Shl,        &&TH_Shr,        &&TH_And,       &&TH_Or,
+        &&TH_Xor,        &&TH_CmpEq,      &&TH_CmpNe,     &&TH_CmpLt,
+        &&TH_CmpLe,      &&TH_CmpGt,      &&TH_CmpGe,     &&TH_Select,
+        &&TH_Load,       &&TH_Store,      &&TH_Prefetch,  &&TH_SpecLoad,
+        &&TH_CallInlined,                 &&TH_RetInlined,
+        &&TH_ProfCounterInc,              &&TH_ProfCounterRead,
+        &&TH_ProfCounterAddTo,            &&TH_ProfStride,
+        &&TH_MovImm,     &&TH_AddImm,     &&TH_SubImm,    &&TH_MulImm,
+        &&TH_ShlImm,     &&TH_ShrImm,     &&TH_AndImm,    &&TH_OrImm,
+        &&TH_XorImm,     &&TH_CmpEqImm,   &&TH_CmpNeImm,  &&TH_CmpLtImm,
+        &&TH_CmpLeImm,   &&TH_CmpGtImm,   &&TH_CmpGeImm,  &&TH_Guard,
+        &&TH_IterEnd,    &&TH_MovMov,     &&TH_AddAdd,    &&TH_AddShl,
+        &&TH_AddXor,     &&TH_ShlAdd,     &&TH_ShlXor,    &&TH_ShrXor,
+        &&TH_AndShl,     &&TH_XorShl,     &&TH_XorShr,    &&TH_XorAnd,
+        &&TH_AddLoad,    &&TH_AndLoad,    &&TH_LoadAdd,   &&TH_LoadAnd,
+        &&TH_LoadXor,    &&TH_LoadShl,    &&TH_LoadLoad,  &&TH_CmpNeGuard,
+        &&TH_CmpLtGuard, &&TH_ProfStridePred,
+        &&TH_MovAddAdd,      &&TH_AddLoadAdd,     &&TH_LoadLoadAdd,
+        &&TH_AndShlAddLoad,  &&TH_ShlXorShrXor,   &&TH_ShrXorShlXor,
+        &&TH_LoadXorShlXor,  &&TH_AddXorShlAdd,   &&TH_ShlXorAndShl,
+        &&TH_AddLoadAddXor,  &&TH_AddLoadAddLoad, &&TH_LoadLoadAddMov,
+        &&TH_AddAddIterEnd,  &&TH_MovAddAddIterEnd,
+        &&TH_CmpNeGuardLoadXorShlXor,         &&TH_CmpNeGuardShlXorShrXor,
+        &&TH_AndShlAddLoadAddXorShlAdd};
+
+#define SPROF_TDISPATCH() goto *TLabels[static_cast<unsigned>(P->Op)]
+#define SPROF_TOP(name) TH_##name:
+#define SPROF_TNEXT(K)                                                       \
+  do {                                                                       \
+    P += (K);                                                                \
+    SPROF_TDISPATCH();                                                       \
+  } while (0)
+
+    SPROF_TDISPATCH();
+
+#else // switch fallback
+
+#define SPROF_TOP(name) case TOp::name:
+#define SPROF_TNEXT(K)                                                       \
+  do {                                                                       \
+    P += (K);                                                                \
+    goto next_op;                                                            \
+  } while (0)
+
+next_op:
+  for (;;) {
+    switch (P->Op) {
+
+#endif
+
+    SPROF_TOP(Mov) {
+      SPROF_TSTEP_Mov(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Add) {
+      SPROF_TSTEP_Add(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Sub) {
+      Regs[P->Dst] = Regs[P->A] - Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Mul) {
+      Regs[P->Dst] = Regs[P->A] * Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Shl) {
+      SPROF_TSTEP_Shl(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Shr) {
+      SPROF_TSTEP_Shr(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(And) {
+      SPROF_TSTEP_And(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Or) {
+      Regs[P->Dst] = Regs[P->A] | Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Xor) {
+      SPROF_TSTEP_Xor(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpEq) {
+      Regs[P->Dst] = Regs[P->A] == Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpNe) {
+      Regs[P->Dst] = Regs[P->A] != Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpLt) {
+      Regs[P->Dst] = Regs[P->A] < Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpLe) {
+      Regs[P->Dst] = Regs[P->A] <= Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpGt) {
+      Regs[P->Dst] = Regs[P->A] > Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpGe) {
+      Regs[P->Dst] = Regs[P->A] >= Regs[P->B];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Select) {
+      Regs[P->Dst] = Regs[P->A] != 0 ? Regs[P->B] : Regs[P->C];
+      SPROF_TNEXT(1);
+    }
+
+    SPROF_TOP(Load) {
+      SPROF_TSTEP_Load(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Store) {
+      uint64_t Addr = static_cast<uint64_t>(Regs[P->A] + P->Imm);
+      Memory.write64(Addr, Regs[P->B]);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(Prefetch) {
+      uint64_t Addr = static_cast<uint64_t>(Regs[P->A] + P->Imm);
+      if constexpr (HasMem)
+        Mem->prefetch(Addr, SPROF_TNOW(P), P->SiteId);
+      else
+        (void)Addr;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(SpecLoad) {
+      uint64_t Addr = static_cast<uint64_t>(Regs[P->A] + P->Imm);
+      if constexpr (HasMem)
+        Mem->prefetchLanes(Addr);
+      Regs[P->Dst] = Memory.read64(Addr);
+      if constexpr (HasMem)
+        Mem->prefetch(Addr, SPROF_TNOW(P), P->SiteId);
+      SPROF_TNEXT(1);
+    }
+
+    SPROF_TOP(CallInlined) {
+      // Expect = 0: the compiler proved only the Imm-mask registers need
+      // the zero-init (trace-local liveness); Expect = 1 keeps the
+      // generic zero-everything loop (guard inside the call region, or a
+      // window wider than the mask).
+      int64_t *W = Regs + P->A;
+      if (P->Expect) {
+        for (uint32_t R = 0; R != P->C; ++R)
+          W[R] = 0;
+      } else {
+        uint64_t M = static_cast<uint64_t>(P->Imm);
+        while (M) {
+          W[__builtin_ctzll(M)] = 0;
+          M &= M - 1;
+        }
+      }
+      const uint32_t *Args = ArgPool + P->B;
+      for (uint32_t A = 0; A != P->Aux; ++A)
+        W[A] = Regs[Args[A]];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(RetInlined) {
+      // Unreached by compiled traces (decomposed to Mov / elided); kept
+      // for the switch-fallback build's exhaustiveness.
+      if (P->Dst != NoReg)
+        Regs[P->Dst] = Regs[P->A];
+      SPROF_TNEXT(1);
+    }
+
+    SPROF_TOP(ProfCounterInc) {
+      ++Counters[P->Imm];
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(ProfCounterRead) {
+      Regs[P->Dst] = static_cast<int64_t>(Counters[P->Imm]);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(ProfCounterAddTo) {
+      Regs[P->Dst] = Regs[P->A] + static_cast<int64_t>(Counters[P->Imm]);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(ProfStride) {
+      uint64_t Addr = static_cast<uint64_t>(Regs[P->A] + P->Imm);
+      if constexpr (HasMem) {
+        uint64_t Cost = 0;
+        if (Profiler)
+          Cost = Profiler->profile(P->SiteId, Addr, LoadRefs + 1);
+        RuntimeCyc += Cost;
+        if (Ring) {
+          Ring[RingN] = StrideEvent{Addr, LoadRefs + 1, P->SiteId};
+          if (++RingN == RingCap) {
+            Sink->onBatch(Ring, RingN);
+            RingN = 0;
+          }
+        }
+      } else {
+        if (Ring) {
+          Ring[RingN] = StrideEvent{Addr, LoadRefs + 1, P->SiteId};
+          if (++RingN == RingCap) {
+            if (Profiler)
+              RuntimeCyc += Profiler->profileBatch(Ring, RingN);
+            if (Sink)
+              Sink->onBatch(Ring, RingN);
+            RingN = 0;
+          }
+        }
+      }
+      SPROF_TNEXT(1);
+    }
+
+    SPROF_TOP(MovImm) {
+      Regs[P->Dst] = P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(AddImm) {
+      Regs[P->Dst] = Regs[P->A] + P->Imm;
+      SPROF_TSTEP_HINT(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(SubImm) {
+      Regs[P->Dst] = Regs[P->A] - P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(MulImm) {
+      Regs[P->Dst] = Regs[P->A] * P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(ShlImm) {
+      Regs[P->Dst] = static_cast<int64_t>(static_cast<uint64_t>(Regs[P->A])
+                                          << (P->Imm & 63));
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(ShrImm) {
+      Regs[P->Dst] = Regs[P->A] >> (P->Imm & 63);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(AndImm) {
+      Regs[P->Dst] = Regs[P->A] & P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(OrImm) {
+      Regs[P->Dst] = Regs[P->A] | P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(XorImm) {
+      Regs[P->Dst] = Regs[P->A] ^ P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpEqImm) {
+      Regs[P->Dst] = Regs[P->A] == P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpNeImm) {
+      Regs[P->Dst] = Regs[P->A] != P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpLtImm) {
+      Regs[P->Dst] = Regs[P->A] < P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpLeImm) {
+      Regs[P->Dst] = Regs[P->A] <= P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpGtImm) {
+      Regs[P->Dst] = Regs[P->A] > P->Imm;
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(CmpGeImm) {
+      Regs[P->Dst] = Regs[P->A] >= P->Imm;
+      SPROF_TNEXT(1);
+    }
+
+    SPROF_TOP(Guard) {
+      SPROF_TGUARD(P);
+      SPROF_TNEXT(1);
+    }
+    SPROF_TOP(IterEnd) {
+      NInsts += Iter.Insts;
+      Cyc += IterCyc;
+      ++FullIters;
+      goto iter_start;
+    }
+
+    SPROF_TPAIR(MovMov, Mov, Mov)
+    SPROF_TPAIR(AddAdd, Add, Add)
+    SPROF_TPAIR(AddShl, Add, Shl)
+    SPROF_TPAIR(AddXor, Add, Xor)
+    SPROF_TPAIR(ShlAdd, Shl, Add)
+    SPROF_TPAIR(ShlXor, Shl, Xor)
+    SPROF_TPAIR(ShrXor, Shr, Xor)
+    SPROF_TPAIR(AndShl, And, Shl)
+    SPROF_TPAIR(XorShl, Xor, Shl)
+    SPROF_TPAIR(XorShr, Xor, Shr)
+    SPROF_TPAIR(XorAnd, Xor, And)
+    SPROF_TPAIR(AddLoad, Add, Load)
+    SPROF_TPAIR(AndLoad, And, Load)
+    SPROF_TPAIR(LoadAdd, Load, Add)
+    SPROF_TPAIR(LoadAnd, Load, And)
+    SPROF_TPAIR(LoadXor, Load, Xor)
+    SPROF_TPAIR(LoadShl, Load, Shl)
+    SPROF_TPAIR(LoadLoad, Load, Load)
+    SPROF_TTRIPLE(MovAddAdd, Mov, Add, Add)
+    SPROF_TTRIPLE(AddLoadAdd, Add, Load, Add)
+    SPROF_TTRIPLE(LoadLoadAdd, Load, Load, Add)
+    SPROF_TQUAD(AndShlAddLoad, And, Shl, Add, Load)
+    SPROF_TQUAD(ShlXorShrXor, Shl, Xor, Shr, Xor)
+    SPROF_TQUAD(ShrXorShlXor, Shr, Xor, Shl, Xor)
+    SPROF_TQUAD(LoadXorShlXor, Load, Xor, Shl, Xor)
+    SPROF_TQUAD(AddXorShlAdd, Add, Xor, Shl, Add)
+    SPROF_TQUAD(ShlXorAndShl, Shl, Xor, And, Shl)
+    SPROF_TQUAD(AddLoadAddXor, Add, Load, Add, Xor)
+    SPROF_TQUAD(AddLoadAddLoad, Add, Load, Add, Load)
+    SPROF_TQUAD(LoadLoadAddMov, Load, Load, Add, Mov)
+    SPROF_TOP(AddAddIterEnd) {
+      SPROF_TSTEP_Add(P);
+      SPROF_TSTEP_Add((P + 1));
+      NInsts += Iter.Insts;
+      Cyc += IterCyc;
+      ++FullIters;
+      goto iter_start;
+    }
+    SPROF_TOP(MovAddAddIterEnd) {
+      SPROF_TSTEP_Mov(P);
+      SPROF_TSTEP_Add((P + 1));
+      SPROF_TSTEP_Add((P + 2));
+      NInsts += Iter.Insts;
+      Cyc += IterCyc;
+      ++FullIters;
+      goto iter_start;
+    }
+    SPROF_TOP(CmpNeGuardLoadXorShlXor) {
+      Regs[P->Dst] = Regs[P->A] != Regs[P->B];
+      SPROF_TGUARD((P + 1));
+      SPROF_TSTEP_Load((P + 2));
+      SPROF_TSTEP_Xor((P + 3));
+      SPROF_TSTEP_Shl((P + 4));
+      SPROF_TSTEP_Xor((P + 5));
+      SPROF_TNEXT(6);
+    }
+    SPROF_TOP(CmpNeGuardShlXorShrXor) {
+      Regs[P->Dst] = Regs[P->A] != Regs[P->B];
+      SPROF_TGUARD((P + 1));
+      SPROF_TSTEP_Shl((P + 2));
+      SPROF_TSTEP_Xor((P + 3));
+      SPROF_TSTEP_Shr((P + 4));
+      SPROF_TSTEP_Xor((P + 5));
+      SPROF_TNEXT(6);
+    }
+    SPROF_TOP(AndShlAddLoadAddXorShlAdd) {
+      SPROF_TSTEP_And(P);
+      SPROF_TSTEP_Shl((P + 1));
+      SPROF_TSTEP_Add((P + 2));
+      SPROF_TSTEP_Load((P + 3));
+      SPROF_TSTEP_Add((P + 4));
+      SPROF_TSTEP_Xor((P + 5));
+      SPROF_TSTEP_Shl((P + 6));
+      SPROF_TSTEP_Add((P + 7));
+      SPROF_TNEXT(8);
+    }
+    SPROF_TOP(CmpNeGuard) {
+      Regs[P->Dst] = Regs[P->A] != Regs[P->B];
+      SPROF_TGUARD((P + 1));
+      SPROF_TNEXT(2);
+    }
+    SPROF_TOP(CmpLtGuard) {
+      Regs[P->Dst] = Regs[P->A] < Regs[P->B];
+      SPROF_TGUARD((P + 1));
+      SPROF_TNEXT(2);
+    }
+    SPROF_TOP(ProfStridePred) {
+      // The static sums assume the trap runs (charge 0, StrideTraps + 1);
+      // a false predicate applies the squash's differences live so the
+      // exit-time reconstruction nets out to the Decoded engine's
+      // accounting: the off-cost lands in the live cycle total (later
+      // CycAt-based SPROF_TNOW values then include it, exactly as if
+      // charged per op) and in SquashCyc (routed to InstrCyc at exit),
+      // and SquashN moves the tally from StrideTraps to PredSquashed.
+      if (Regs[P->C] == 0) {
+        Cyc += TM.PredicatedOffCost;
+        SquashCyc += TM.PredicatedOffCost;
+        ++SquashN;
+        SPROF_TNEXT(1);
+      }
+      uint64_t Addr = static_cast<uint64_t>(Regs[P->A] + P->Imm);
+      if constexpr (HasMem) {
+        uint64_t Cost = 0;
+        if (Profiler)
+          Cost = Profiler->profile(P->SiteId, Addr, LoadRefs + 1);
+        RuntimeCyc += Cost;
+        if (Ring) {
+          Ring[RingN] = StrideEvent{Addr, LoadRefs + 1, P->SiteId};
+          if (++RingN == RingCap) {
+            Sink->onBatch(Ring, RingN);
+            RingN = 0;
+          }
+        }
+      } else {
+        if (Ring) {
+          Ring[RingN] = StrideEvent{Addr, LoadRefs + 1, P->SiteId};
+          if (++RingN == RingCap) {
+            if (Profiler)
+              RuntimeCyc += Profiler->profileBatch(Ring, RingN);
+            if (Sink)
+              Sink->onBatch(Ring, RingN);
+            RingN = 0;
+          }
+        }
+      }
+      SPROF_TNEXT(1);
+    }
+
+#if SPROF_TRACE_COMPUTED_GOTO
+  }
+#else
+    } // switch: every case jumps, so control never falls through
+  }   // for
+#endif
+
+trace_exit:
+  // O(1)-per-entry reconstruction of everything the iteration commits
+  // deferred: tallies, the Base/Instr cycle split, and the iteration
+  // count. MaxDepth is idempotent while on-trace: inlined calls never
+  // push a frame, so the depth the Decoded engine would have tallied per
+  // CallInlined is FrameDepth + 1 throughout. A squash's StrideTrap
+  // always lands in FullIters * Iter or in Pfx (the pred op precedes the
+  // exiting guard), so the SquashN subtraction cannot underflow.
+  RT.Iterations += FullIters;
+  RT.OnTraceInsts += NInsts - EntryNInsts;
+  RT.OnTraceRefs += LoadRefs - EntryLoadRefs;
+  Tally.Branches += FullIters * Iter.Branches + Pfx->Branches;
+  Tally.Stores += FullIters * Iter.Stores + Pfx->Stores;
+  Tally.Prefetches += FullIters * Iter.Prefetches + Pfx->Prefetches;
+  Tally.SpecLoads += FullIters * Iter.SpecLoads + Pfx->SpecLoads;
+  Tally.Calls += FullIters * Iter.Calls + Pfx->Calls;
+  Tally.CounterOps += FullIters * Iter.CounterOps + Pfx->CounterOps;
+  Tally.StrideTraps +=
+      FullIters * Iter.StrideTraps + Pfx->StrideTraps - SquashN;
+  Tally.PredSquashed += SquashN;
+  if (((Iter.Calls && FullIters) || Pfx->Calls) &&
+      S.FrameDepth + 1 > Tally.MaxDepth)
+    Tally.MaxDepth = S.FrameDepth + 1;
+  S.NInsts = NInsts;
+  S.LoadRefs = LoadRefs;
+  S.BaseCyc += FullIters * Iter.BaseCyc + Pfx->BaseCyc;
+  S.InstrCyc += FullIters * Iter.InstrCyc + Pfx->InstrCyc + SquashCyc;
+  S.MemStall = MemStall;
+  S.RuntimeCyc = RuntimeCyc;
+  S.RingN = RingN;
+  return ExitPC;
+
+#undef SPROF_TNOW
+#undef SPROF_TSTEP_HINT
+#undef SPROF_TSTEP_Mov
+#undef SPROF_TSTEP_Add
+#undef SPROF_TSTEP_Shl
+#undef SPROF_TSTEP_Shr
+#undef SPROF_TSTEP_And
+#undef SPROF_TSTEP_Xor
+#undef SPROF_TSTEP_Load
+#undef SPROF_TGUARD
+#undef SPROF_TPAIR
+#undef SPROF_TTRIPLE
+#undef SPROF_TQUAD
+#undef SPROF_TOP
+#undef SPROF_TNEXT
+#if SPROF_TRACE_COMPUTED_GOTO
+#undef SPROF_TDISPATCH
+#endif
+}
+
+template uint32_t
+TraceInterpreter::run<false>(const TraceProgram &, TraceRuntime &,
+                             const TraceExecContext &, TraceExecState &,
+                             ExecTally &);
+template uint32_t
+TraceInterpreter::run<true>(const TraceProgram &, TraceRuntime &,
+                            const TraceExecContext &, TraceExecState &,
+                            ExecTally &);

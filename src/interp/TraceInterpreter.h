@@ -1,0 +1,101 @@
+//===- interp/TraceInterpreter.h - Superblock trace executor ----*- C++ -*-===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a compiled TraceProgram. The Decoded engine calls run() when
+/// its dispatch loop reaches an installed trace head; the executor loops
+/// whole iterations of the superblock -- no per-op fuel check, count, or
+/// cycle charge -- and returns the decoded PC to resume at (the head on a
+/// fuel/sample stop, a guard's recorded side-exit target otherwise),
+/// having advanced the engine's accounting exactly as the Decoded engine
+/// would have for the same committed instruction prefix.
+///
+/// The tier boundary is a plain state struct: the Decoded engine's
+/// register-resident hot locals are packed into TraceExecState on entry
+/// and written back on exit. One pack/unpack per trace *entry* (thousands
+/// of iterations), so the exchange cost is noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_INTERP_TRACEINTERPRETER_H
+#define SPROF_INTERP_TRACEINTERPRETER_H
+
+#include "interp/Interpreter.h"
+#include "interp/TraceProgram.h"
+
+#include <cstdint>
+
+namespace sprof {
+
+class EngineSelfProfiler;
+
+/// Long-lived execution context: the Decoded engine's attachments, valid
+/// for the whole run (re-packed once per run, not per trace entry).
+struct TraceExecContext {
+  SimMemory *Memory = nullptr;
+  MemoryHierarchy *Mem = nullptr;
+  StrideProfiler *Profiler = nullptr;
+  AccessSink *Sink = nullptr;
+  EngineSelfProfiler *SelfProf = nullptr;
+  uint64_t *Counters = nullptr;
+  const uint32_t *ArgPool = nullptr;
+  TimingModel TM;
+};
+
+/// The engine's hot-loop state exchanged across the tier boundary. The
+/// four cycle accumulators keep the Now ≡ BaseCyc + InstrCyc + MemStall +
+/// RuntimeCyc invariant; Ring/RingN continue the engine's stride-event
+/// batch in place so drains straddle the tier boundary bit-identically.
+struct TraceExecState {
+  int64_t *Regs = nullptr;
+  uint64_t *SiteCounts = nullptr;
+  StrideEvent *Ring = nullptr;
+  uint32_t RingN = 0;
+  uint32_t RingCap = 0;
+  uint64_t NInsts = 0;
+  uint64_t LoadRefs = 0;
+  uint64_t BaseCyc = 0;
+  uint64_t InstrCyc = 0;
+  uint64_t MemStall = 0;
+  uint64_t RuntimeCyc = 0;
+  /// Fuel/sample stop point (min of fuel limit and next sample point);
+  /// run() may re-arm it after taking an on-trace sample.
+  uint64_t NextStop = 0;
+  uint64_t MaxInstructions = 0;
+  uint64_t SPWindow = 1;
+  /// Frames.size() at entry (constant on-trace: inlined calls push no
+  /// frame); feeds the idempotent MaxDepth tally when the committed
+  /// portion contains a CallInlined.
+  uint32_t FrameDepth = 1;
+};
+
+/// Stateless executor (all state lives in the argument structs, so one
+/// instance-free entry point serves every trace of every interpreter).
+class TraceInterpreter {
+public:
+  /// Runs trace iterations until a guard disagrees with the recorded
+  /// path, fuel/sampling requires per-instruction dispatch, or the loop
+  /// exits; returns the decoded PC to resume at. \p RT accumulates the
+  /// trace's host-side runtime counters.
+  template <bool HasMem>
+  static uint32_t run(const TraceProgram &TP, TraceRuntime &RT,
+                      const TraceExecContext &Ctx, TraceExecState &S,
+                      ExecTally &Tally);
+};
+
+extern template uint32_t
+TraceInterpreter::run<false>(const TraceProgram &, TraceRuntime &,
+                             const TraceExecContext &, TraceExecState &,
+                             ExecTally &);
+extern template uint32_t
+TraceInterpreter::run<true>(const TraceProgram &, TraceRuntime &,
+                            const TraceExecContext &, TraceExecState &,
+                            ExecTally &);
+
+} // namespace sprof
+
+#endif // SPROF_INTERP_TRACEINTERPRETER_H

@@ -1,0 +1,819 @@
+//===- interp/TraceProgram.cpp - Hot-trace superblock compiler ------------===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+//
+// The trace compiler re-walks the DecodedProgram from the hot loop head,
+// consuming one recorded direction bit per conditional branch, and emits
+// the straight-line superblock plus the static accounting sums that make
+// side exits and iteration commits O(1). Correctness leans on three decode
+// facts (asserted against DecodedProgram.cpp):
+//
+//  * functions are laid out contiguously in vector order, so the function
+//    containing the head is the one with the largest EntryPC <= head and
+//    its code ends at the next function's EntryPC;
+//  * constant slots are the frame indices in [NumRegs, NumSlots) and are
+//    never written after frame setup, so folding them into immediates is
+//    safe for the whole run;
+//  * decode-time inline windows live inside NumRegs, so the slot >= NumRegs
+//    test cannot misclassify an inlined callee's register.
+//
+// Every abort path returns nullptr; the selector counts aborts toward the
+// per-head blacklist so a pathological loop stops paying compile attempts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/TraceProgram.h"
+
+#include "interp/Interpreter.h"
+
+#include <cassert>
+
+using namespace sprof;
+
+uint64_t TraceProgram::hashTiming(const TimingModel &TM) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  Mix(TM.DefaultCost);
+  Mix(TM.MulCost);
+  Mix(TM.LoadBaseCost);
+  Mix(TM.StoreCost);
+  Mix(TM.PrefetchCost);
+  Mix(TM.CallCost);
+  Mix(TM.RetCost);
+  Mix(TM.CounterIncCost);
+  Mix(TM.CounterReadCost);
+  Mix(TM.CounterAddToCost);
+  Mix(TM.PredicatedOffCost);
+  Mix(TM.FlatLoadLatency);
+  return H;
+}
+
+namespace {
+
+/// Trace-local re-fusion table: mirrors the Decoded engine's FusedOp pair
+/// set (the second TInst trails undispatched, exactly like DInst pairs)
+/// plus the compare+guard fusion that replaces CmpNeBr/CmpLtBr on-trace.
+/// Returns -1 when the two ops do not fuse.
+/// Packs an op run into a switch key for the longest-match tables.
+constexpr uint32_t seqKey(TOp A, TOp B, TOp C, TOp D = TOp::Mov) {
+  return (static_cast<uint32_t>(A) << 24) | (static_cast<uint32_t>(B) << 16) |
+         (static_cast<uint32_t>(C) << 8) | static_cast<uint32_t>(D);
+}
+
+/// Four-op superinstructions; the hottest measured dispatch chains.
+int quadOf(TOp A, TOp B, TOp C, TOp D) {
+  switch (seqKey(A, B, C, D)) {
+  case seqKey(TOp::And, TOp::Shl, TOp::Add, TOp::Load):
+    return static_cast<int>(TOp::AndShlAddLoad);
+  case seqKey(TOp::Shl, TOp::Xor, TOp::Shr, TOp::Xor):
+    return static_cast<int>(TOp::ShlXorShrXor);
+  case seqKey(TOp::Shr, TOp::Xor, TOp::Shl, TOp::Xor):
+    return static_cast<int>(TOp::ShrXorShlXor);
+  case seqKey(TOp::Load, TOp::Xor, TOp::Shl, TOp::Xor):
+    return static_cast<int>(TOp::LoadXorShlXor);
+  case seqKey(TOp::Add, TOp::Xor, TOp::Shl, TOp::Add):
+    return static_cast<int>(TOp::AddXorShlAdd);
+  case seqKey(TOp::Shl, TOp::Xor, TOp::And, TOp::Shl):
+    return static_cast<int>(TOp::ShlXorAndShl);
+  case seqKey(TOp::Add, TOp::Load, TOp::Add, TOp::Xor):
+    return static_cast<int>(TOp::AddLoadAddXor);
+  case seqKey(TOp::Add, TOp::Load, TOp::Add, TOp::Load):
+    return static_cast<int>(TOp::AddLoadAddLoad);
+  case seqKey(TOp::Load, TOp::Load, TOp::Add, TOp::Mov):
+    return static_cast<int>(TOp::LoadLoadAddMov);
+  case seqKey(TOp::Mov, TOp::Add, TOp::Add, TOp::IterEnd):
+    return static_cast<int>(TOp::MovAddAddIterEnd);
+  default:
+    return -1;
+  }
+}
+
+/// Three-op superinstructions, consulted when no quad matches.
+int tripleOf(TOp A, TOp B, TOp C) {
+  switch (seqKey(A, B, C)) {
+  case seqKey(TOp::Mov, TOp::Add, TOp::Add):
+    return static_cast<int>(TOp::MovAddAdd);
+  case seqKey(TOp::Add, TOp::Load, TOp::Add):
+    return static_cast<int>(TOp::AddLoadAdd);
+  case seqKey(TOp::Load, TOp::Load, TOp::Add):
+    return static_cast<int>(TOp::LoadLoadAdd);
+  case seqKey(TOp::Add, TOp::Add, TOp::IterEnd):
+    return static_cast<int>(TOp::AddAddIterEnd);
+  default:
+    return -1;
+  }
+}
+
+
+/// Six-op superinstructions: the guard-headed iteration prologues (the
+/// compare+guard plus the ALU/Load run that follows when the guard holds;
+/// a failing guard still side-exits at the embedded Guard TInst).
+int hexOf(const TInst *T) {
+  if (T[0].Op != TOp::CmpNe || T[1].Op != TOp::Guard)
+    return -1;
+  const uint32_t Tail = seqKey(T[2].Op, T[3].Op, T[4].Op, T[5].Op);
+  if (Tail == seqKey(TOp::Load, TOp::Xor, TOp::Shl, TOp::Xor))
+    return static_cast<int>(TOp::CmpNeGuardLoadXorShlXor);
+  if (Tail == seqKey(TOp::Shl, TOp::Xor, TOp::Shr, TOp::Xor))
+    return static_cast<int>(TOp::CmpNeGuardShlXorShrXor);
+  return -1;
+}
+
+/// Eight-op superinstruction: the longest straight ALU/Load run measured
+/// hot (the hash-update body of the compute-bound loops).
+int octOf(const TInst *T) {
+  if (seqKey(T[0].Op, T[1].Op, T[2].Op, T[3].Op) ==
+          seqKey(TOp::And, TOp::Shl, TOp::Add, TOp::Load) &&
+      seqKey(T[4].Op, T[5].Op, T[6].Op, T[7].Op) ==
+          seqKey(TOp::Add, TOp::Xor, TOp::Shl, TOp::Add))
+    return static_cast<int>(TOp::AndShlAddLoadAddXorShlAdd);
+  return -1;
+}
+
+int pairOf(TOp A, TOp B) {
+  if (B == TOp::Guard) {
+    if (A == TOp::CmpNe)
+      return static_cast<int>(TOp::CmpNeGuard);
+    if (A == TOp::CmpLt)
+      return static_cast<int>(TOp::CmpLtGuard);
+    return -1;
+  }
+  switch (A) {
+  case TOp::Mov:
+    return B == TOp::Mov ? static_cast<int>(TOp::MovMov) : -1;
+  case TOp::Add:
+    if (B == TOp::Add)
+      return static_cast<int>(TOp::AddAdd);
+    if (B == TOp::Shl)
+      return static_cast<int>(TOp::AddShl);
+    if (B == TOp::Xor)
+      return static_cast<int>(TOp::AddXor);
+    if (B == TOp::Load)
+      return static_cast<int>(TOp::AddLoad);
+    return -1;
+  case TOp::Shl:
+    if (B == TOp::Add)
+      return static_cast<int>(TOp::ShlAdd);
+    if (B == TOp::Xor)
+      return static_cast<int>(TOp::ShlXor);
+    return -1;
+  case TOp::Shr:
+    return B == TOp::Xor ? static_cast<int>(TOp::ShrXor) : -1;
+  case TOp::And:
+    if (B == TOp::Shl)
+      return static_cast<int>(TOp::AndShl);
+    if (B == TOp::Load)
+      return static_cast<int>(TOp::AndLoad);
+    return -1;
+  case TOp::Xor:
+    if (B == TOp::Shl)
+      return static_cast<int>(TOp::XorShl);
+    if (B == TOp::Shr)
+      return static_cast<int>(TOp::XorShr);
+    if (B == TOp::And)
+      return static_cast<int>(TOp::XorAnd);
+    return -1;
+  case TOp::Load:
+    if (B == TOp::Add)
+      return static_cast<int>(TOp::LoadAdd);
+    if (B == TOp::And)
+      return static_cast<int>(TOp::LoadAnd);
+    if (B == TOp::Xor)
+      return static_cast<int>(TOp::LoadXor);
+    if (B == TOp::Shl)
+      return static_cast<int>(TOp::LoadShl);
+    if (B == TOp::Load)
+      return static_cast<int>(TOp::LoadLoad);
+    return -1;
+  default:
+    return -1;
+  }
+}
+
+} // namespace
+
+std::unique_ptr<TraceProgram>
+TraceProgram::compile(const DecodedProgram &DP, const TimingModel &TM,
+                      uint32_t HeadPC, uint64_t PathSig, uint32_t PathLen,
+                      const TraceTierConfig &Config, uint32_t Id) {
+  const std::vector<DInst> &Code = DP.code();
+  const std::vector<DFunction> &Fns = DP.functions();
+  if (HeadPC >= Code.size() || PathLen > 63 || Fns.empty())
+    return nullptr;
+
+  // Containing function: largest EntryPC <= HeadPC; code ends where the
+  // next function begins (functions are decoded contiguously in order).
+  size_t FnIdx = 0;
+  for (size_t F = 0; F != Fns.size(); ++F)
+    if (Fns[F].EntryPC <= HeadPC)
+      FnIdx = F;
+  const DFunction &Fn = Fns[FnIdx];
+  const uint32_t FnEnd = FnIdx + 1 < Fns.size()
+                             ? Fns[FnIdx + 1].EntryPC
+                             : static_cast<uint32_t>(Code.size());
+
+  std::vector<TInst> Out;
+  std::vector<GuardInfo> Guards;
+  TraceCounts Cum;
+  uint32_t BitsUsed = 0;
+  bool Closed = false;
+
+  // One logical instruction's static accounting: the per-dispatch count
+  // plus its cycle charge routed by the reference engine's attribution
+  // rule (SPROF_CHARGE). ProfCounter* ops bypass this and charge InstrCyc
+  // unconditionally, exactly like their Decoded handlers.
+  auto Account = [&Cum](const DInst &D, uint32_t Cost) {
+    Cum.Insts += 1;
+    if (D.IsInstrumentation)
+      Cum.InstrCyc += Cost;
+    else
+      Cum.BaseCyc += Cost;
+  };
+  // Base+instrumentation cycles accumulated so far this iteration; the
+  // executor adds this to its committed totals (plus live MemStall /
+  // RuntimeCyc) to reproduce SPROF_NOW() at each memory-system call.
+  auto CycNow = [&Cum]() { return Cum.BaseCyc + Cum.InstrCyc; };
+
+  // Emits one straight-line base op. Returns false for anything that ends
+  // the trace's eligibility (real control flow is handled by the caller).
+  auto EmitBase = [&](const DInst &D, Opcode Op) -> bool {
+    TInst T;
+    T.IsInstr = D.IsInstrumentation;
+    T.PrefetchDst = D.PrefetchDst;
+    T.Dst = D.Dst;
+    T.A = D.A;
+    T.B = D.B;
+    T.C = D.C;
+    T.SiteId = D.SiteId;
+    T.Imm = D.Imm;
+    switch (Op) {
+    case Opcode::Mov:
+      T.Op = TOp::Mov;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Add:
+      T.Op = TOp::Add;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Sub:
+      T.Op = TOp::Sub;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Mul:
+      T.Op = TOp::Mul;
+      Account(D, TM.MulCost);
+      break;
+    case Opcode::Shl:
+      T.Op = TOp::Shl;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Shr:
+      T.Op = TOp::Shr;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::And:
+      T.Op = TOp::And;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Or:
+      T.Op = TOp::Or;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Xor:
+      T.Op = TOp::Xor;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::CmpEq:
+      T.Op = TOp::CmpEq;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::CmpNe:
+      T.Op = TOp::CmpNe;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::CmpLt:
+      T.Op = TOp::CmpLt;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::CmpLe:
+      T.Op = TOp::CmpLe;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::CmpGt:
+      T.Op = TOp::CmpGt;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::CmpGe:
+      T.Op = TOp::CmpGe;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Select:
+      T.Op = TOp::Select;
+      Account(D, TM.DefaultCost);
+      break;
+    case Opcode::Load:
+      // Loads time their cache access after their own base-cost charge.
+      T.Op = TOp::Load;
+      Account(D, TM.LoadBaseCost);
+      T.CycAt = CycNow();
+      break;
+    case Opcode::Store:
+      T.Op = TOp::Store;
+      Account(D, TM.StoreCost);
+      Cum.Stores += 1;
+      break;
+    case Opcode::Prefetch:
+      // Prefetch/SpecLoad call the memory system before their charge.
+      T.Op = TOp::Prefetch;
+      T.CycAt = CycNow();
+      Account(D, TM.PrefetchCost);
+      Cum.Prefetches += 1;
+      break;
+    case Opcode::SpecLoad:
+      T.Op = TOp::SpecLoad;
+      T.CycAt = CycNow();
+      Account(D, TM.LoadBaseCost);
+      Cum.SpecLoads += 1;
+      break;
+    case Opcode::ProfCounterInc:
+      T.Op = TOp::ProfCounterInc;
+      Cum.Insts += 1;
+      Cum.InstrCyc += TM.CounterIncCost;
+      Cum.CounterOps += 1;
+      break;
+    case Opcode::ProfCounterRead:
+      T.Op = TOp::ProfCounterRead;
+      Cum.Insts += 1;
+      Cum.InstrCyc += TM.CounterReadCost;
+      Cum.CounterOps += 1;
+      break;
+    case Opcode::ProfCounterAddTo:
+      T.Op = TOp::ProfCounterAddTo;
+      Cum.Insts += 1;
+      Cum.InstrCyc += TM.CounterAddToCost;
+      Cum.CounterOps += 1;
+      break;
+    case Opcode::ProfStride:
+      // No static charge: the runtime's cost is charged live per event.
+      T.Op = TOp::ProfStride;
+      Account(D, 0);
+      Cum.StrideTraps += 1;
+      break;
+    default:
+      return false; // Jmp/Br/Call/Ret/Halt never reach EmitBase
+    }
+    Out.push_back(T);
+    return true;
+  };
+
+  // One conditional branch at decoded PC \p BranchPC: consume the next
+  // recorded direction, account the branch, and emit its Guard. The guard
+  // taking the recorded direction back to the head closes the loop.
+  auto EmitBranch = [&](const DInst &B, uint32_t BranchPC,
+                        uint32_t &J) -> bool {
+    if (BitsUsed >= PathLen)
+      return false; // more branches than the signature recorded
+    const unsigned Bit = (PathSig >> (PathLen - 1 - BitsUsed)) & 1;
+    ++BitsUsed;
+    const uint32_t Taken = Bit ? B.target0() : B.target1();
+    const uint32_t Exit = Bit ? B.target1() : B.target0();
+    Account(B, TM.DefaultCost);
+    Cum.Branches += 1;
+    TInst T;
+    T.Op = TOp::Guard;
+    T.IsInstr = B.IsInstrumentation;
+    T.Expect = static_cast<uint8_t>(Bit);
+    T.A = B.A; // condition slot (may differ from a fused compare's Dst)
+    T.B = Exit;
+    T.Aux = static_cast<uint32_t>(Guards.size());
+    GuardInfo G;
+    G.Prefix = Cum; // includes this branch's own count and charge
+    G.ExitPC = Exit;
+    if (Taken == HeadPC) {
+      if (BitsUsed != PathLen)
+        return false; // closed early: signature does not match this path
+      G.IsLoopGuard = true;
+      Guards.push_back(G);
+      Out.push_back(T);
+      Out.push_back(TInst{}); // TInst default-constructs as IterEnd
+      Closed = true;
+      return true;
+    }
+    if (Taken <= BranchPC)
+      return false; // inner back-edge: not a single-loop path
+    Guards.push_back(G);
+    Out.push_back(T);
+    J = Taken;
+    return true;
+  };
+
+  uint32_t J = HeadPC;
+  while (!Closed) {
+    if (J < Fn.EntryPC || J >= FnEnd)
+      return nullptr;
+    if (Out.size() > Config.MaxOps || Cum.Insts > 2ull * Config.MaxOps)
+      return nullptr;
+    const DInst &D = Code[J];
+    const uint8_t DOp = D.DOp;
+    if (DOp >= static_cast<uint8_t>(FusedOp::MovMov)) {
+      switch (static_cast<FusedOp>(DOp)) {
+      case FusedOp::CmpNeBr:
+      case FusedOp::CmpLtBr: {
+        if (!EmitBase(D, D.Op))
+          return nullptr;
+        if (!EmitBranch(Code[J + 1], J + 1, J))
+          return nullptr;
+        break;
+      }
+      case FusedOp::CallInlined: {
+        TInst T;
+        T.Op = TOp::CallInlined;
+        T.IsInstr = D.IsInstrumentation;
+        T.A = D.A;          // inline window base slot
+        T.B = D.argsBase(); // first argument index in argPool()
+        T.C = D.C;          // callee register count
+        T.Aux = D.NumArgs;
+        Account(D, TM.CallCost);
+        Cum.Calls += 1;
+        Out.push_back(T);
+        ++J;
+        break;
+      }
+      case FusedOp::RetInlined: {
+        TInst T;
+        T.Op = TOp::RetInlined;
+        T.IsInstr = D.IsInstrumentation;
+        T.Dst = D.Dst;
+        T.A = D.A;
+        Account(D, TM.RetCost);
+        Out.push_back(T);
+        ++J;
+        break;
+      }
+      case FusedOp::Predicated: {
+        // Only the check methods' predicated stride trap is traceable: its
+        // two outcomes differ by a register-free, statically-known cost
+        // delta (squash charges PredicatedOffCost, the trap charges its
+        // runtime cost live), so the static sums assume the trap runs and
+        // the executor applies the squash delta dynamically. Any other
+        // predicated op would make the static cycle prefixes data-
+        // dependent, so it still ends the trace.
+        if (D.Op != Opcode::ProfStride || !D.IsInstrumentation)
+          return nullptr;
+        TInst T;
+        T.Op = TOp::ProfStridePred;
+        T.IsInstr = true;
+        T.A = D.A;
+        T.C = D.Pred;
+        T.SiteId = D.SiteId;
+        T.Imm = D.Imm;
+        Account(D, 0);
+        Cum.StrideTraps += 1;
+        Out.push_back(T);
+        ++J;
+        break;
+      }
+      default: {
+        // ALU/Load pair: expand both halves (the trace re-fuses later,
+        // possibly across the old block boundaries).
+        if (!EmitBase(D, D.Op) || !EmitBase(Code[J + 1], Code[J + 1].Op))
+          return nullptr;
+        J += 2;
+        break;
+      }
+      }
+      continue;
+    }
+    switch (D.Op) {
+    case Opcode::Jmp: {
+      // Elided from dispatch: charge and tally fold into the static sums.
+      Account(D, TM.DefaultCost);
+      Cum.Branches += 1;
+      const uint32_t T0 = D.target0();
+      if (T0 == HeadPC) {
+        if (BitsUsed != PathLen)
+          return nullptr;
+        Out.push_back(TInst{}); // IterEnd
+        Closed = true;
+      } else if (T0 <= J) {
+        return nullptr; // inner back-edge
+      } else {
+        J = T0;
+      }
+      break;
+    }
+    case Opcode::Br:
+      if (!EmitBranch(D, J, J))
+        return nullptr;
+      break;
+    case Opcode::Call:
+    case Opcode::Ret:
+    case Opcode::Halt:
+      return nullptr; // frame transitions / program exit end the trace
+    default:
+      if (!EmitBase(D, D.Op))
+        return nullptr;
+      ++J;
+      break;
+    }
+  }
+
+  if (Out.size() > Config.MaxOps + 1)
+    return nullptr;
+
+  // -- Inline-call specialization -----------------------------------------
+  // CallInlined zeroes the whole callee window before copying arguments;
+  // on a trace the window registers the region provably writes before
+  // reading (or never reads at all) do not need the zero: decode
+  // guarantees window registers are never touched outside their callee
+  // body, so the skipped init is unobservable -- including by a later side
+  // exit's state handoff. The must-zero set is computed per call over the
+  // straight-line region up to the matching RetInlined and encoded as a
+  // bitmask in the op's otherwise-unused Imm (Expect = 1 keeps the
+  // zero-everything loop when the region has a guard -- an exit inside the
+  // callee would hand the Decoded engine a window whose off-trace reads
+  // this analysis cannot see -- or when the window exceeds 64 registers).
+  // RetInlined is decomposed outright: a plain Mov of the return value
+  // (free to re-fuse with its neighbours), or nothing when the value is
+  // discarded; its charge already lives in the static sums.
+  {
+    const uint32_t *ArgPool = DP.argPool().data();
+    // Register reads of one pre-fusion TInst; returns false for ops the
+    // analysis does not model (ends the region conservatively).
+    auto ForEachRead = [&](const TInst &T, auto &&Fn) -> bool {
+      switch (T.Op) {
+      case TOp::Mov:
+      case TOp::Load:
+      case TOp::Prefetch:
+      case TOp::SpecLoad:
+      case TOp::ProfStride:
+      case TOp::ProfCounterAddTo:
+        Fn(T.A);
+        return true;
+      case TOp::Add:
+      case TOp::Sub:
+      case TOp::Mul:
+      case TOp::Shl:
+      case TOp::Shr:
+      case TOp::And:
+      case TOp::Or:
+      case TOp::Xor:
+      case TOp::CmpEq:
+      case TOp::CmpNe:
+      case TOp::CmpLt:
+      case TOp::CmpLe:
+      case TOp::CmpGt:
+      case TOp::CmpGe:
+      case TOp::Store:
+        Fn(T.A);
+        Fn(T.B);
+        return true;
+      case TOp::Select:
+        Fn(T.A);
+        Fn(T.B);
+        Fn(T.C);
+        return true;
+      case TOp::ProfStridePred:
+        Fn(T.A);
+        Fn(T.C);
+        return true;
+      case TOp::ProfCounterInc:
+      case TOp::ProfCounterRead:
+        return true;
+      case TOp::RetInlined:
+        if (T.Dst != NoReg)
+          Fn(T.A);
+        return true;
+      case TOp::CallInlined:
+        for (uint32_t A = 0; A != T.Aux; ++A)
+          Fn(ArgPool[T.B + A]);
+        return true;
+      default:
+        return false; // Guard / IterEnd end any call region
+      }
+    };
+    auto WritesDst = [](const TInst &T) -> bool {
+      switch (T.Op) {
+      case TOp::Mov:
+      case TOp::Add:
+      case TOp::Sub:
+      case TOp::Mul:
+      case TOp::Shl:
+      case TOp::Shr:
+      case TOp::And:
+      case TOp::Or:
+      case TOp::Xor:
+      case TOp::CmpEq:
+      case TOp::CmpNe:
+      case TOp::CmpLt:
+      case TOp::CmpLe:
+      case TOp::CmpGt:
+      case TOp::CmpGe:
+      case TOp::Select:
+      case TOp::Load:
+      case TOp::SpecLoad:
+      case TOp::ProfCounterRead:
+      case TOp::ProfCounterAddTo:
+        return true;
+      case TOp::RetInlined:
+        return T.Dst != NoReg;
+      default:
+        return false;
+      }
+    };
+
+    for (size_t I = 0; I != Out.size(); ++I) {
+      TInst &C = Out[I];
+      if (C.Op != TOp::CallInlined)
+        continue;
+      C.Expect = 1; // default: keep the zero-everything loop
+      if (C.C > 64)
+        continue;
+      // An argument sourced from the window being zeroed reads 0 under the
+      // generic op (zeroing precedes the copies); keep the generic order.
+      bool ArgFromWindow = false;
+      for (uint32_t A = 0; A != C.Aux; ++A) {
+        const uint32_t Src = ArgPool[C.B + A];
+        if (Src >= C.A && Src < C.A + C.C)
+          ArgFromWindow = true;
+      }
+      if (ArgFromWindow)
+        continue;
+      const uint64_t All = C.C == 64 ? ~0ull : (1ull << C.C) - 1;
+      // Argument slots occupy the low window registers and are written by
+      // the call itself before the callee runs.
+      uint64_t Written = C.Aux >= 64 ? All : ((1ull << C.Aux) - 1);
+      uint64_t MustZero = 0;
+      int Depth = 1;
+      bool Safe = false;
+      for (size_t J = I + 1; J != Out.size(); ++J) {
+        const TInst &T = Out[J];
+        const bool Ok = ForEachRead(T, [&](uint32_t R) {
+          if (R >= C.A && R < C.A + C.C) {
+            const uint64_t Bit = 1ull << (R - C.A);
+            if (!(Written & Bit))
+              MustZero |= Bit;
+          }
+        });
+        if (!Ok)
+          break;
+        if (T.Op == TOp::CallInlined) {
+          // The nested call (re)initializes its whole window at this op.
+          ++Depth;
+          for (uint32_t R = T.A; R != T.A + T.C; ++R)
+            if (R >= C.A && R < C.A + C.C)
+              Written |= 1ull << (R - C.A);
+        } else {
+          if (WritesDst(T) && T.Dst >= C.A && T.Dst < C.A + C.C)
+            Written |= 1ull << (T.Dst - C.A);
+          if (T.Op == TOp::RetInlined && --Depth == 0) {
+            Safe = true;
+            break;
+          }
+        }
+      }
+      if (!Safe)
+        continue;
+      C.Expect = 0;
+      C.Imm = static_cast<int64_t>(MustZero);
+    }
+
+    std::vector<TInst> NOut;
+    NOut.reserve(Out.size());
+    for (const TInst &T : Out) {
+      if (T.Op == TOp::RetInlined) {
+        if (T.Dst == NoReg)
+          continue;
+        TInst M;
+        M.Op = TOp::Mov;
+        M.IsInstr = T.IsInstr;
+        M.Dst = T.Dst;
+        M.A = T.A;
+        NOut.push_back(M);
+        continue;
+      }
+      NOut.push_back(T);
+    }
+    Out = std::move(NOut);
+  }
+
+  // Re-fusion: greedy left-to-right longest match (quad, then triple, then
+  // pair), mirroring the decode-time fusion encoding (leader's op rewritten
+  // to the fused op; trailers stay in place, undispatched). Role: 0 =
+  // single, 1 = leader, 2 = trailer.
+  std::vector<uint8_t> Role(Out.size(), 0);
+  auto Fuse = [&](size_t I, int Op, size_t Len) {
+    Out[I].Op = static_cast<TOp>(Op);
+    Role[I] = 1;
+    for (size_t K = 1; K != Len; ++K)
+      Role[I + K] = 2;
+  };
+  for (size_t I = 0; I < Out.size();) {
+    if (I + 7 < Out.size()) {
+      const int O = octOf(&Out[I]);
+      if (O >= 0) {
+        Fuse(I, O, 8);
+        I += 8;
+        continue;
+      }
+    }
+    if (I + 5 < Out.size()) {
+      const int H = hexOf(&Out[I]);
+      if (H >= 0) {
+        Fuse(I, H, 6);
+        I += 6;
+        continue;
+      }
+    }
+    if (I + 3 < Out.size()) {
+      const int Q = quadOf(Out[I].Op, Out[I + 1].Op, Out[I + 2].Op,
+                           Out[I + 3].Op);
+      if (Q >= 0) {
+        Fuse(I, Q, 4);
+        I += 4;
+        continue;
+      }
+    }
+    if (I + 2 < Out.size()) {
+      const int T = tripleOf(Out[I].Op, Out[I + 1].Op, Out[I + 2].Op);
+      if (T >= 0) {
+        Fuse(I, T, 3);
+        I += 3;
+        continue;
+      }
+    }
+    if (I + 1 < Out.size()) {
+      const int P = pairOf(Out[I].Op, Out[I + 1].Op);
+      if (P >= 0) {
+        Fuse(I, P, 2);
+        I += 2;
+        continue;
+      }
+    }
+    ++I;
+  }
+
+  // Immediate folding for the remaining singles: a constant-slot operand
+  // (frame index in [NumRegs, NumSlots), pre-filled from the function's
+  // constant pool and never written) becomes an Imm-variant op. ALU and
+  // compare ops do not use TInst::Imm, so the field is free to carry the
+  // folded value; memory ops keep their offset and are left alone.
+  const int64_t *ConstPool = DP.constPool().data();
+  auto IsConst = [&Fn](uint32_t Slot) {
+    return Slot >= Fn.NumRegs && Slot < Fn.NumSlots;
+  };
+  auto ConstVal = [&](uint32_t Slot) {
+    return ConstPool[Fn.ConstBase + (Slot - Fn.NumRegs)];
+  };
+  for (size_t I = 0; I != Out.size(); ++I) {
+    if (Role[I] != 0)
+      continue;
+    TInst &T = Out[I];
+    if (T.Op == TOp::Mov) {
+      if (IsConst(T.A)) {
+        T.Op = TOp::MovImm;
+        T.Imm = ConstVal(T.A);
+      }
+      continue;
+    }
+    if (T.Op >= TOp::Add && T.Op <= TOp::CmpGe && IsConst(T.B)) {
+      // Add..CmpGe are contiguous in both enums; shift into the Imm block.
+      T.Op = static_cast<TOp>(static_cast<unsigned>(TOp::AddImm) +
+                              (static_cast<unsigned>(T.Op) -
+                               static_cast<unsigned>(TOp::Add)));
+      T.Imm = ConstVal(T.B);
+    }
+  }
+
+  auto TP = std::make_unique<TraceProgram>();
+  TP->Id = Id;
+  TP->HeadPC = HeadPC;
+  TP->PathSig = PathSig;
+  TP->PathLen = PathLen;
+  TP->TMHash = hashTiming(TM);
+  TP->Code = std::move(Out);
+  TP->Guards = std::move(Guards);
+  TP->IterTotal = Cum;
+  return TP;
+}
+
+const char *const *sprof::traceTierSlotNames() {
+  static const char *TraceNames[NumTraceSelfProfSlots] = {
+      "trace:0",  "trace:1",  "trace:2",  "trace:3",
+      "trace:4",  "trace:5",  "trace:6",  "trace:7",
+      "trace:8",  "trace:9",  "trace:10", "trace:11",
+      "trace:12", "trace:13", "trace:14", "trace:15"};
+  static std::vector<const char *> Names = [] {
+    std::vector<const char *> N(dispatchOpNames(),
+                                dispatchOpNames() + NumDispatchOps);
+    N.insert(N.end(), TraceNames, TraceNames + NumTraceSelfProfSlots);
+    return N;
+  }();
+  return Names.data();
+}

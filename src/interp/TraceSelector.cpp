@@ -1,0 +1,178 @@
+//===- interp/TraceSelector.cpp - Hot-trace selection/installation --------===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/TraceSelector.h"
+
+#include "interp/Interpreter.h"
+
+using namespace sprof;
+
+std::shared_ptr<const TraceProgram> TraceBank::find(uint32_t HeadPC,
+                                                    uint64_t PathSig,
+                                                    uint32_t PathLen,
+                                                    uint64_t TMHash) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &TP : Entries)
+    if (TP->headPC() == HeadPC && TP->pathSig() == PathSig &&
+        TP->pathLen() == PathLen && TP->timingHash() == TMHash)
+      return TP;
+  return nullptr;
+}
+
+void TraceBank::add(const std::shared_ptr<const TraceProgram> &TP) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &E : Entries)
+    if (E->headPC() == TP->headPC() && E->pathSig() == TP->pathSig() &&
+        E->pathLen() == TP->pathLen() && E->timingHash() == TP->timingHash())
+      return; // another selector donated the same trace first
+  Entries.push_back(TP);
+}
+
+size_t TraceBank::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}
+
+TraceSelector::TraceSelector(const DecodedProgram &DP, const TimingModel &TM,
+                             const TraceTierConfig &Config, TraceBank *Bank)
+    : DP(DP), TM(TM), TMHash(TraceProgram::hashTiming(TM)), Config(Config),
+      Bank(Bank), HeadHeat(DP.code().size(), 0),
+      InstalledIdx(DP.code().size(), -1), Blacklisted(DP.code().size(), 0),
+      Attempts(DP.code().size(), 0) {}
+
+const TraceProgram *TraceSelector::onBackEdge(uint32_t HeadPC,
+                                              uint64_t PathSig,
+                                              uint32_t PathLen,
+                                              TraceRuntime *&RT) {
+  const int32_t Idx = InstalledIdx[HeadPC];
+  if (Idx >= 0) {
+    Slot &S = Slots[static_cast<size_t>(Idx)];
+    // Windowed invalidation: once enough entries accumulated since the
+    // last check, require the average committed iterations per entry to
+    // stay above InvalidateMinAvgItersX16/16 -- a trace that mostly
+    // side-exits or exits immediately (the hot path flipped) costs more
+    // in entry/exit handoff than it saves.
+    const uint64_t DE = S.RT.Entries - S.CheckEntries;
+    if (DE >= Config.InvalidateMinEntries) {
+      const uint64_t DI = S.RT.Iterations - S.CheckIterations;
+      if (DI * 16 < DE * Config.InvalidateMinAvgItersX16) {
+        invalidate(HeadPC, static_cast<size_t>(Idx));
+        return nullptr;
+      }
+      S.CheckEntries = S.RT.Entries;
+      S.CheckIterations = S.RT.Iterations;
+    }
+    RT = &S.RT;
+    return S.TP.get();
+  }
+  if (Blacklisted[HeadPC])
+    return nullptr;
+  const uint32_t Heat = HeadHeat[HeadPC];
+  if (Heat < Config.HotThreshold) {
+    HeadHeat[HeadPC] = Heat + 1;
+    return nullptr;
+  }
+  if (PathLen > 63)
+    return nullptr; // more conditionals per iteration than the sig holds
+  Monitor &M = Monitors[HeadPC];
+  if (M.Count != 0 && M.Sig == PathSig && M.Len == PathLen) {
+    if (++M.Count >= Config.PathThreshold)
+      tryInstall(HeadPC, PathSig, PathLen);
+  } else {
+    M.Sig = PathSig;
+    M.Len = PathLen;
+    M.Count = 1;
+  }
+  return nullptr;
+}
+
+void TraceSelector::tryInstall(uint32_t HeadPC, uint64_t PathSig,
+                               uint32_t PathLen) {
+  Monitors[HeadPC].Count = 0; // re-earn the path threshold between attempts
+  if (Attempts[HeadPC] >= Config.MaxCompilesPerHead) {
+    Blacklisted[HeadPC] = 1;
+    return;
+  }
+  ++Attempts[HeadPC];
+  std::shared_ptr<const TraceProgram> TP;
+  bool FromBank = false;
+  if (Bank) {
+    TP = Bank->find(HeadPC, PathSig, PathLen, TMHash);
+    FromBank = TP != nullptr;
+  }
+  if (!TP) {
+    std::unique_ptr<TraceProgram> Fresh = TraceProgram::compile(
+        DP, TM, HeadPC, PathSig, PathLen, Config, NextId);
+    if (!Fresh) {
+      ++Aborts;
+      if (Attempts[HeadPC] >= Config.MaxCompilesPerHead)
+        Blacklisted[HeadPC] = 1;
+      return;
+    }
+    ++NextId;
+    ++Compiled;
+    TP = std::shared_ptr<const TraceProgram>(std::move(Fresh));
+    if (Bank)
+      Bank->add(TP);
+  } else {
+    ++Adopted;
+  }
+  Slot S;
+  S.RT.GuardExits.assign(TP->guards().size(), 0);
+  S.Adopted = FromBank;
+  S.TP = std::move(TP);
+  InstalledIdx[HeadPC] = static_cast<int32_t>(Slots.size());
+  Slots.push_back(std::move(S));
+}
+
+void TraceSelector::invalidate(uint32_t HeadPC, size_t SlotIdx) {
+  Slots[SlotIdx].RT.Invalidated = true;
+  ++Invalidations;
+  InstalledIdx[HeadPC] = -1;
+  // Restart selection from cold so the new hot path can re-earn a trace;
+  // Attempts is deliberately not reset, so a head that keeps flipping
+  // exhausts MaxCompilesPerHead and blacklists.
+  HeadHeat[HeadPC] = 0;
+  Monitors.erase(HeadPC);
+}
+
+TraceTierStats TraceSelector::stats() const {
+  TraceTierStats TS;
+  TS.Enabled = true;
+  TS.TracesCompiled = Compiled;
+  TS.TracesAdopted = Adopted;
+  TS.CompileAborts = Aborts;
+  TS.Invalidations = Invalidations;
+  for (const Slot &S : Slots) {
+    TS.Entries += S.RT.Entries;
+    TS.Iterations += S.RT.Iterations;
+    TS.SideExits += S.RT.SideExits;
+    TS.LoopExits += S.RT.LoopExits;
+    TS.FuelExits += S.RT.FuelExits;
+    TS.OnTraceInsts += S.RT.OnTraceInsts;
+    TS.OnTraceRefs += S.RT.OnTraceRefs;
+    TraceTierStats::PerTrace P;
+    P.Id = S.TP->id();
+    P.HeadPC = S.TP->headPC();
+    P.NumOps = static_cast<uint32_t>(S.TP->code().size());
+    P.NumGuards = static_cast<uint32_t>(S.TP->guards().size());
+    P.Entries = S.RT.Entries;
+    P.Iterations = S.RT.Iterations;
+    P.SideExits = S.RT.SideExits;
+    P.LoopExits = S.RT.LoopExits;
+    P.FuelExits = S.RT.FuelExits;
+    P.GuardExits = S.RT.GuardExits;
+    // The executor sizes GuardExits lazily on first entry; report a full
+    // (zeroed) vector for never-entered traces so consumers can index it
+    // by guard position unconditionally.
+    if (P.GuardExits.size() < P.NumGuards)
+      P.GuardExits.resize(P.NumGuards, 0);
+    P.Invalidated = S.RT.Invalidated;
+    TS.Traces.push_back(std::move(P));
+  }
+  return TS;
+}

@@ -1,0 +1,123 @@
+//===- interp/TraceSelector.h - Hot-trace selection/installation -*- C++ -*-===//
+//
+// Part of the StrideProf project (see SimMemory.h for the project
+// reference).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace tier's policy engine. The Decoded engine's trace-monitoring
+/// dispatch calls onBackEdge() at every backward branch with the loop
+/// head's PC and the Ball-Larus-style path signature accumulated since the
+/// previous back-edge (one direction bit per conditional, first branch in
+/// the most significant recorded bit -- the cross-iteration extension of
+/// path profiling: consecutive identical signatures mean the loop is
+/// replaying one acyclic path per iteration). The selector warms a per-head
+/// hotness counter, then monitors the signature with a last-value
+/// predictor; PathThreshold consecutive identical paths trigger
+/// compilation and installation. Installed traces are re-checked with a
+/// windowed entries-vs-iterations ratio and invalidated when the path
+/// stops paying (hotness flipped); repeated compile attempts or
+/// invalidations blacklist the head.
+///
+/// A TraceBank (owned by the ProgramCache entry of the decoded program)
+/// lets selectors in different Interpreter instances -- e.g. parallel
+/// ExperimentEngine jobs over one workload -- adopt each other's compiled
+/// traces instead of recompiling, keyed by (head, signature, length,
+/// timing-model fingerprint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPROF_INTERP_TRACESELECTOR_H
+#define SPROF_INTERP_TRACESELECTOR_H
+
+#include "interp/Interpreter.h"
+#include "interp/TraceProgram.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sprof {
+
+/// Thread-safe shared pool of compiled traces for one decoded program.
+/// TraceProgram is immutable, so sharing across threads is safe; runtime
+/// counters stay per-selector.
+class TraceBank {
+public:
+  std::shared_ptr<const TraceProgram> find(uint32_t HeadPC, uint64_t PathSig,
+                                           uint32_t PathLen, uint64_t TMHash);
+  void add(const std::shared_ptr<const TraceProgram> &TP);
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<std::shared_ptr<const TraceProgram>> Entries;
+};
+
+/// Per-Interpreter trace selection state (not thread-safe; each engine
+/// owns one). See the file comment for the selection policy.
+class TraceSelector {
+public:
+  TraceSelector(const DecodedProgram &DP, const TimingModel &TM,
+                const TraceTierConfig &Config, TraceBank *Bank = nullptr);
+
+  /// The engine's one hook: called at every backward branch with the
+  /// back-edge target and the path signature since the previous back-edge.
+  /// Returns the installed trace to enter (with \p RT pointing at its
+  /// runtime counters), or nullptr to continue decoded execution.
+  const TraceProgram *onBackEdge(uint32_t HeadPC, uint64_t PathSig,
+                                 uint32_t PathLen, TraceRuntime *&RT);
+
+  /// Cumulative tier statistics (selection, per-trace exits) for reports.
+  TraceTierStats stats() const;
+
+  const TraceTierConfig &config() const { return Config; }
+
+private:
+  void tryInstall(uint32_t HeadPC, uint64_t PathSig, uint32_t PathLen);
+  void invalidate(uint32_t HeadPC, size_t SlotIdx);
+
+  /// Last-value path predictor for one hot head. Count == 0 marks an
+  /// empty/reset monitor.
+  struct Monitor {
+    uint64_t Sig = 0;
+    uint32_t Len = 0;
+    uint32_t Count = 0;
+  };
+  /// One installed (or formerly installed) trace with its live counters
+  /// and the snapshot the windowed invalidation ratio is taken against.
+  struct Slot {
+    std::shared_ptr<const TraceProgram> TP;
+    TraceRuntime RT;
+    uint64_t CheckEntries = 0;
+    uint64_t CheckIterations = 0;
+    bool Adopted = false;
+  };
+
+  const DecodedProgram &DP;
+  TimingModel TM;
+  uint64_t TMHash;
+  TraceTierConfig Config;
+  TraceBank *Bank;
+
+  // Per-PC policy state, O(1) on the back-edge fast path.
+  std::vector<uint32_t> HeadHeat;
+  std::vector<int32_t> InstalledIdx; ///< index into Slots, -1 when none
+  std::vector<uint8_t> Blacklisted;
+  std::vector<uint8_t> Attempts; ///< install attempts (compiles + adopts)
+
+  std::unordered_map<uint32_t, Monitor> Monitors;
+  std::vector<Slot> Slots;
+
+  uint64_t Compiled = 0;
+  uint64_t Adopted = 0;
+  uint64_t Aborts = 0;
+  uint64_t Invalidations = 0;
+  uint32_t NextId = 0;
+};
+
+} // namespace sprof
+
+#endif // SPROF_INTERP_TRACESELECTOR_H

@@ -1,0 +1,480 @@
+//===- tests/test_trace.cpp - Trace-tier differential tests ----------------===//
+//
+// Part of the StrideProf project test suite.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Trace execution engine's contract is the Decoded engine's contract:
+/// bit-identical observable behaviour to the Reference engine -- same
+/// RunStats (every field), same per-site counts, same serialized profiles,
+/// same attribution, same telemetry tallies -- for every workload and
+/// profiling method, while hot loop iterations actually execute through
+/// compiled superblocks. These tests enforce the contract differentially
+/// at the tier's structural seams: fuel truncation landing mid-trace,
+/// guard side-exits at every guard position, hot-path flips that force
+/// invalidation and recompilation, and trace adoption through the shared
+/// program cache.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "interp/ProgramCache.h"
+#include "interp/TraceSelector.h"
+#include "ir/IRBuilder.h"
+#include "obs/Obs.h"
+#include "obs/SelfProfiler.h"
+#include "profile/ProfileStore.h"
+#include "workloads/Workload.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace sprof;
+using namespace sprof::test;
+
+namespace {
+
+/// Low selection thresholds so even short test loops earn a trace.
+TraceTierConfig eagerTrace() {
+  TraceTierConfig T;
+  T.HotThreshold = 4;
+  T.PathThreshold = 3;
+  return T;
+}
+
+InterpreterConfig interpConfig(InterpreterConfig::Engine E) {
+  InterpreterConfig C;
+  C.Exec = E;
+  if (E == InterpreterConfig::Engine::Trace)
+    C.Trace = eagerTrace();
+  return C;
+}
+
+PipelineConfig engineConfig(InterpreterConfig::Engine E) {
+  PipelineConfig C;
+  C.Interp = interpConfig(E);
+  return C;
+}
+
+/// Every RunStats field, so a divergence names the broken bucket instead
+/// of failing on an opaque aggregate.
+void expectSameStats(const RunStats &Ref, const RunStats &Trc) {
+  EXPECT_EQ(Ref.Completed, Trc.Completed);
+  EXPECT_EQ(Ref.Instructions, Trc.Instructions);
+  EXPECT_EQ(Ref.Cycles, Trc.Cycles);
+  EXPECT_EQ(Ref.BaseCycles, Trc.BaseCycles);
+  EXPECT_EQ(Ref.MemStallCycles, Trc.MemStallCycles);
+  EXPECT_EQ(Ref.InstrumentationCycles, Trc.InstrumentationCycles);
+  EXPECT_EQ(Ref.RuntimeCycles, Trc.RuntimeCycles);
+  EXPECT_EQ(Ref.LoadRefs, Trc.LoadRefs);
+  EXPECT_EQ(Ref.SiteCounts, Trc.SiteCounts);
+  EXPECT_EQ(Ref.ExitValue, Trc.ExitValue);
+  ASSERT_EQ(Ref.Mem.Levels.size(), Trc.Mem.Levels.size());
+  for (size_t L = 0; L != Ref.Mem.Levels.size(); ++L) {
+    EXPECT_EQ(Ref.Mem.Levels[L].Hits, Trc.Mem.Levels[L].Hits);
+    EXPECT_EQ(Ref.Mem.Levels[L].Misses, Trc.Mem.Levels[L].Misses);
+  }
+  EXPECT_EQ(Ref.Mem.DemandAccesses, Trc.Mem.DemandAccesses);
+  EXPECT_EQ(Ref.Mem.PrefetchesIssued, Trc.Mem.PrefetchesIssued);
+}
+
+std::string profileText(const Workload &W, ProfilingMethod Method,
+                        const ProfileRunResult &R) {
+  ProfileStore Store(
+      {W.info().Name, profilingMethodName(Method), dataSetName(DataSet::Train)},
+      R.Edges, R.Strides);
+  return Store.toString();
+}
+
+// Every profiling method, with and without the simulated cache hierarchy,
+// on the workload with the most call/indirection structure. The trace
+// tier must reproduce the Reference profiles and cycle accounting bit for
+// bit while demonstrably executing trace iterations.
+TEST(TraceEngine, ProfilesMatchReferenceAcrossMethodsAndMemsys) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  for (bool WithMem : {false, true}) {
+    for (ProfilingMethod Method : allProfilingMethods()) {
+      SCOPED_TRACE(std::string(profilingMethodName(Method)) +
+                   (WithMem ? "/memsys" : "/flat"));
+      Pipeline Ref(*W, engineConfig(InterpreterConfig::Engine::Reference));
+      Pipeline Trc(*W, engineConfig(InterpreterConfig::Engine::Trace));
+      ProfileRunResult RR = Ref.runProfile(Method, DataSet::Train, WithMem);
+      ProfileRunResult RT = Trc.runProfile(Method, DataSet::Train, WithMem);
+      expectSameStats(RR.Stats, RT.Stats);
+      EXPECT_EQ(profileText(*W, Method, RR), profileText(*W, Method, RT));
+      EXPECT_EQ(RR.StrideInvocations, RT.StrideInvocations);
+      EXPECT_EQ(RR.StrideProcessed, RT.StrideProcessed);
+      EXPECT_EQ(RR.LfuCalls, RT.LfuCalls);
+      EXPECT_FALSE(RR.TraceTier.Enabled);
+      ASSERT_TRUE(RT.TraceTier.Enabled);
+      EXPECT_GT(RT.TraceTier.Iterations, 0u) << "tier never executed";
+    }
+  }
+}
+
+// Trace vs Decoded on the whole suite (transitively pins Trace to
+// Reference through test_decoded.cpp) -- cheaper than Reference, so the
+// full suite stays fast while every workload shape crosses the tier.
+TEST(TraceEngine, SuiteMatchesDecodedEngine) {
+  for (const std::unique_ptr<Workload> &W : makeSpecIntSuite()) {
+    SCOPED_TRACE(W->info().Name);
+    Pipeline Dec(*W, engineConfig(InterpreterConfig::Engine::Decoded));
+    Pipeline Trc(*W, engineConfig(InterpreterConfig::Engine::Trace));
+    ProfileRunResult RD =
+        Dec.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train, false);
+    ProfileRunResult RT =
+        Trc.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train, false);
+    expectSameStats(RD.Stats, RT.Stats);
+    EXPECT_EQ(profileText(*W, ProfilingMethod::EdgeCheck, RD),
+              profileText(*W, ProfilingMethod::EdgeCheck, RT));
+  }
+}
+
+// The feedback half: classifier output, prefetched-run timing, and the
+// full prefetch-outcome attribution through the trace tier.
+TEST(TraceEngine, PrefetchedRunAndAttributionMatchReference) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  PipelineConfig RC = engineConfig(InterpreterConfig::Engine::Reference);
+  PipelineConfig TC = engineConfig(InterpreterConfig::Engine::Trace);
+  RC.Memory.EnableAttribution = true;
+  TC.Memory.EnableAttribution = true;
+  Pipeline Ref(*W, RC);
+  Pipeline Trc(*W, TC);
+  ProfileRunResult PR =
+      Ref.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train, false);
+  ProfileRunResult PT =
+      Trc.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train, false);
+  TimedRunResult TR = Ref.runPrefetched(DataSet::Train, PR.Edges, PR.Strides);
+  TimedRunResult TT = Trc.runPrefetched(DataSet::Train, PT.Edges, PT.Strides);
+  expectSameStats(TR.Stats, TT.Stats);
+  EXPECT_EQ(TR.Feedback.SiteClass, TT.Feedback.SiteClass);
+  EXPECT_EQ(TR.Prefetches.InstructionsAdded, TT.Prefetches.InstructionsAdded);
+  ASSERT_TRUE(TT.Attribution.Finalized);
+  EXPECT_EQ(TR.Attribution.Total.Useful, TT.Attribution.Total.Useful);
+  EXPECT_EQ(TR.Attribution.Total.Late, TT.Attribution.Total.Late);
+  EXPECT_EQ(TR.Attribution.Total.Early, TT.Attribution.Total.Early);
+  EXPECT_EQ(TR.Attribution.Total.Redundant, TT.Attribution.Total.Redundant);
+  ASSERT_EQ(TR.Attribution.PerSite.size(), TT.Attribution.PerSite.size());
+  for (size_t S = 0; S != TR.Attribution.PerSite.size(); ++S) {
+    EXPECT_EQ(TR.Attribution.PerSite[S].Useful, TT.Attribution.PerSite[S].Useful);
+    EXPECT_EQ(TR.Attribution.PerSite[S].Late, TT.Attribution.PerSite[S].Late);
+  }
+  EXPECT_TRUE(TT.TraceTier.Enabled);
+}
+
+// The engines must agree for EVERY MaxInstructions value: the budget can
+// expire in the middle of a trace iteration, where the trace executor must
+// hand back to the Decoded engine at the loop head with the committed
+// prefix accounted exactly (it commits whole iterations, so the decoded
+// core replays the partial one per-instruction).
+TEST(TraceEngine, TruncationMatchesAtEveryBoundary) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module Chase = makeChaseModule(DataSite, NextSite);
+  SimMemory ChaseMem;
+  fillChaseList(ChaseMem, 32, 64);
+  for (uint64_t Limit = 0; Limit <= 260; ++Limit) {
+    Interpreter Ref(Chase, ChaseMem, TimingModel(),
+                    interpConfig(InterpreterConfig::Engine::Reference));
+    Interpreter Trc(Chase, ChaseMem, TimingModel(),
+                    interpConfig(InterpreterConfig::Engine::Trace));
+    RunStats RR = Ref.run(Limit);
+    RunStats RT = Trc.run(Limit);
+    SCOPED_TRACE("limit=" + std::to_string(Limit));
+    expectSameStats(RR, RT);
+  }
+  // The tier engages within the sweep (32 iterations, eager thresholds).
+  Interpreter Full(Chase, ChaseMem, TimingModel(),
+                   interpConfig(InterpreterConfig::Engine::Trace));
+  Full.run();
+  EXPECT_GT(Full.traceTier().Iterations, 0u);
+}
+
+/// A counted loop whose body holds \p Flips.size() conditionals, each
+/// taken the same way every iteration except at its single flip iteration
+/// -- so an installed trace side-exits exactly once per guard position.
+/// Returns `main` iterating [0, Trips).
+Module makeGuardFlipModule(int64_t Trips, const std::vector<int64_t> &Flips) {
+  Module M;
+  M.Name = "guardflip";
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t Head = F.newBlock("head");
+  std::vector<uint32_t> Then(Flips.size()), Else(Flips.size()),
+      Join(Flips.size());
+  for (size_t G = 0; G != Flips.size(); ++G) {
+    Then[G] = F.newBlock("then" + std::to_string(G));
+    Else[G] = F.newBlock("else" + std::to_string(G));
+    Join[G] = F.newBlock("join" + std::to_string(G));
+  }
+  uint32_t Latch = F.newBlock("latch");
+  uint32_t Exit = F.newBlock("exit");
+
+  Reg I = B.movImm(0);
+  Reg X = B.movImm(0);
+  B.jmp(Head);
+
+  B.setBlock(Head);
+  Reg C = B.cmp(Opcode::CmpLt, Operand::reg(I), Operand::imm(Trips));
+  B.br(Operand::reg(C), Flips.empty() ? Latch : Then[0], Exit);
+
+  for (size_t G = 0; G != Flips.size(); ++G) {
+    B.setBlock(Then[G]);
+    Reg CG = B.cmp(Opcode::CmpNe, Operand::reg(I), Operand::imm(Flips[G]));
+    B.br(Operand::reg(CG), Join[G], Else[G]);
+    B.setBlock(Else[G]);
+    B.add(Operand::reg(X), Operand::imm(100), X);
+    B.jmp(Join[G]);
+    B.setBlock(Join[G]);
+    B.add(Operand::reg(X), Operand::imm(1), X);
+    B.jmp(G + 1 == Flips.size() ? Latch : Then[G + 1]);
+  }
+
+  B.setBlock(Latch);
+  B.add(Operand::reg(I), Operand::imm(1), I);
+  B.jmp(Head);
+
+  B.setBlock(Exit);
+  B.ret(Operand::reg(X));
+  return M;
+}
+
+// Side exits at every guard position: each conditional deviates exactly
+// once, at a distinct iteration, so every non-loop guard of the installed
+// trace records exactly one exit -- and the run stays bit-identical.
+TEST(TraceEngine, SideExitAtEveryGuardPosition) {
+  const std::vector<int64_t> Flips = {400, 700, 1000, 1300};
+  Module M = makeGuardFlipModule(2000, Flips);
+  SimMemory Mem;
+  Interpreter Ref(M, Mem, TimingModel(),
+                  interpConfig(InterpreterConfig::Engine::Reference));
+  Interpreter Trc(M, Mem, TimingModel(),
+                  interpConfig(InterpreterConfig::Engine::Trace));
+  RunStats RR = Ref.run();
+  RunStats RT = Trc.run();
+  expectSameStats(RR, RT);
+
+  TraceTierStats TS = Trc.traceTier();
+  ASSERT_TRUE(TS.Enabled);
+  EXPECT_EQ(TS.Invalidations, 0u) << "single-iteration flips must not "
+                                     "invalidate under the windowed ratio";
+  // One side exit per flip, plus the final head-guard failure at i==Trips.
+  EXPECT_EQ(TS.SideExits + TS.LoopExits, Flips.size() + 1);
+  ASSERT_EQ(TS.Traces.size(), 1u);
+  const TraceTierStats::PerTrace &T = TS.Traces[0];
+  // Every guard position fired: each flip guard exactly once, the loop
+  // bound guard once at loop exit.
+  uint64_t Fired = 0;
+  for (uint64_t E : T.GuardExits) {
+    EXPECT_LE(E, 1u);
+    Fired += E;
+  }
+  EXPECT_EQ(Fired, Flips.size() + 1);
+  EXPECT_GT(T.Iterations, 1900u);
+}
+
+/// A counted loop whose body conditional holds one value for the first
+/// \p FlipAt iterations and the other for the remaining \p Trips - FlipAt:
+/// `for i in [0, Trips): x += (i < FlipAt) ? 1 : 100`.
+Module makePhaseFlipModule(int64_t Trips, int64_t FlipAt) {
+  Module M;
+  M.Name = "phaseflip";
+  IRBuilder B(M);
+  B.startFunction("main", 0);
+  Function &F = B.function();
+  uint32_t Head = F.newBlock("head");
+  uint32_t Lo = F.newBlock("lo");
+  uint32_t Hi = F.newBlock("hi");
+  uint32_t Latch = F.newBlock("latch");
+  uint32_t Exit = F.newBlock("exit");
+  Reg I = B.movImm(0);
+  Reg X = B.movImm(0);
+  B.jmp(Head);
+  B.setBlock(Head);
+  Reg C = B.cmp(Opcode::CmpLt, Operand::reg(I), Operand::imm(Trips));
+  B.br(Operand::reg(C), Lo, Exit);
+  B.setBlock(Lo);
+  Reg P = B.cmp(Opcode::CmpLt, Operand::reg(I), Operand::imm(FlipAt));
+  B.br(Operand::reg(P), Latch, Hi);
+  B.setBlock(Hi);
+  B.add(Operand::reg(X), Operand::imm(99), X);
+  B.jmp(Latch);
+  B.setBlock(Latch);
+  B.add(Operand::reg(X), Operand::imm(1), X);
+  B.add(Operand::reg(I), Operand::imm(1), I);
+  B.jmp(Head);
+  B.setBlock(Exit);
+  B.ret(Operand::reg(X));
+  return M;
+}
+
+// A hot path that flips for good mid-run: the installed trace starts
+// side-exiting on every entry, the windowed entries-vs-iterations ratio
+// invalidates it, and the selector re-earns and compiles the new path.
+// Accounting must stay bit-identical through install, decay,
+// invalidation, and reinstall.
+TEST(TraceEngine, InvalidationAndRecompileOnHotPathFlip) {
+  Module M = makePhaseFlipModule(8000, 1000);
+  SimMemory Mem;
+  Interpreter Ref(M, Mem, TimingModel(),
+                  interpConfig(InterpreterConfig::Engine::Reference));
+  Interpreter Trc(M, Mem, TimingModel(),
+                  interpConfig(InterpreterConfig::Engine::Trace));
+  RunStats RR = Ref.run();
+  RunStats RT = Trc.run();
+  expectSameStats(RR, RT);
+
+  TraceTierStats TS = Trc.traceTier();
+  ASSERT_TRUE(TS.Enabled);
+  EXPECT_GE(TS.Invalidations, 1u);
+  EXPECT_GE(TS.TracesCompiled, 2u) << "new hot path never recompiled";
+  EXPECT_GT(TS.Iterations, 6000u) << "second phase never ran on-trace";
+}
+
+// Trace sharing through the program cache: a second interpreter over a
+// structurally identical module adopts the first one's compiled traces
+// from the shared bank instead of recompiling (same results either way).
+TEST(TraceEngine, ProgramCacheSharesCompiledTraces) {
+  // Earlier tests ran the same chase-module content under the trace tier;
+  // start from an empty process-wide cache so compile/adopt counts are
+  // this test's own.
+  ProgramCache::global().clear();
+  uint32_t DataSite = 0, NextSite = 0;
+  Module Chase = makeChaseModule(DataSite, NextSite);
+  SimMemory Mem;
+  fillChaseList(Mem, 48, 64);
+
+  Interpreter A(Chase, Mem, TimingModel(),
+                interpConfig(InterpreterConfig::Engine::Trace));
+  RunStats SA = A.run();
+  TraceTierStats TA = A.traceTier();
+  ASSERT_TRUE(TA.Enabled);
+  EXPECT_GE(TA.TracesCompiled, 1u);
+
+  // Same module content, fresh interpreter: the decode is a cache hit and
+  // the trace is adopted, not recompiled.
+  Module Chase2 = makeChaseModule(DataSite, NextSite);
+  Chase2.Name = "chase.renamed"; // names are excluded from the content key
+  Interpreter B(Chase2, Mem, TimingModel(),
+                interpConfig(InterpreterConfig::Engine::Trace));
+  RunStats SB = B.run();
+  TraceTierStats TB = B.traceTier();
+  EXPECT_EQ(TB.TracesCompiled, 0u);
+  EXPECT_GE(TB.TracesAdopted, 1u);
+  expectSameStats(SA, SB);
+
+  // A different timing model must not adopt the cached trace (its static
+  // cycle sums were baked against the old costs).
+  TimingModel Slow;
+  Slow.MulCost = 7;
+  Slow.DefaultCost = 2;
+  Interpreter C(Chase, Mem, Slow,
+                interpConfig(InterpreterConfig::Engine::Trace));
+  C.run();
+  EXPECT_GE(C.traceTier().TracesCompiled, 1u);
+  EXPECT_EQ(C.traceTier().TracesAdopted, 0u);
+}
+
+// The content key: names are ignored, every operand byte matters.
+TEST(TraceEngine, ProgramCacheKeyIsContentNotName) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module A = makeChaseModule(DataSite, NextSite);
+  Module B = makeChaseModule(DataSite, NextSite);
+  B.Name = "other";
+  B.Functions[0].Name = "renamed";
+  EXPECT_EQ(ProgramCache::hashModule(A), ProgramCache::hashModule(B));
+  Module C = makeChaseModule(DataSite, NextSite);
+  C.Functions[0].Blocks[1].Insts[0].Imm ^= 1;
+  EXPECT_NE(ProgramCache::hashModule(A), ProgramCache::hashModule(C));
+
+  ProgramCache Cache(4);
+  Cache.get(A);
+  Cache.get(B);
+  ProgramCache::CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+}
+
+// Attaching telemetry with the engine self-profiler must not move a single
+// simulated counter under the trace tier (on-trace sampling re-arms the
+// shared fuel/sample stop), and on-trace samples attribute to trace slots.
+TEST(TraceEngine, SelfProfilerNonPerturbingOnTrace) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module Chase = makeChaseModule(DataSite, NextSite);
+  SimMemory Mem;
+  fillChaseList(Mem, 64, 64);
+
+  Interpreter Plain(Chase, Mem, TimingModel(),
+                    interpConfig(InterpreterConfig::Engine::Trace));
+  RunStats PlainStats = Plain.run();
+  ASSERT_GT(Plain.traceTier().Iterations, 0u);
+
+  ObsConfig OC;
+  OC.Enabled = true;
+  OC.SelfProfile = true;
+  OC.SelfProfileWindow = 16;
+  ObsSession Obs(OC);
+  Interpreter Profiled(Chase, Mem, TimingModel(),
+                       interpConfig(InterpreterConfig::Engine::Trace));
+  Profiled.attachObs(&Obs);
+  RunStats ProfiledStats = Profiled.run();
+  expectSameStats(PlainStats, ProfiledStats);
+  EXPECT_GT(Profiled.traceTier().Iterations, 0u);
+
+  const EngineSelfProfiler *SP = Obs.selfProfiler();
+  ASSERT_NE(SP, nullptr);
+  bool SawTraceSlot = false;
+  for (const EngineSelfProfiler::Entry &E : SP->entries())
+    if (std::string(SP->slotName(E.Slot)).rfind("trace:", 0) == 0)
+      SawTraceSlot = true;
+  EXPECT_TRUE(SawTraceSlot) << "no sample landed in a trace frame";
+}
+
+// Trace-tier telemetry counters: populated under Engine::Trace, flat zero
+// under Engine::Decoded, and the shared interp.* counters agree.
+TEST(TraceEngine, TelemetryCountersMatchDecodedPlusTraceTier) {
+  uint32_t DataSite = 0, NextSite = 0;
+  Module Chase = makeChaseModule(DataSite, NextSite);
+  SimMemory Mem;
+  fillChaseList(Mem, 64, 64);
+
+  ObsConfig OC;
+  OC.Enabled = true;
+  ObsSession DecObs(OC), TrcObs(OC);
+  {
+    Interpreter Dec(Chase, Mem, TimingModel(),
+                    interpConfig(InterpreterConfig::Engine::Decoded));
+    Dec.attachObs(&DecObs);
+    Dec.run();
+  }
+  {
+    Interpreter Trc(Chase, Mem, TimingModel(),
+                    interpConfig(InterpreterConfig::Engine::Trace));
+    Trc.attachObs(&TrcObs);
+    Trc.run();
+  }
+  const auto &DecCounters = DecObs.registry().counters();
+  const auto &TrcCounters = TrcObs.registry().counters();
+  ASSERT_EQ(DecCounters.size(), TrcCounters.size());
+  for (const auto &[Name, C] : DecCounters) {
+    auto It = TrcCounters.find(Name);
+    ASSERT_NE(It, TrcCounters.end()) << Name;
+    if (Name.rfind("interp.trace", 0) == 0)
+      EXPECT_EQ(C.value(), 0u) << Name;
+    else
+      EXPECT_EQ(C.value(), It->second.value()) << Name;
+  }
+  EXPECT_GT(TrcCounters.find("interp.trace_iterations")->second.value(), 0u);
+  EXPECT_GT(TrcCounters.find("interp.trace_entries")->second.value(), 0u);
+}
+
+} // namespace
