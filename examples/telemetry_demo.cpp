@@ -34,7 +34,9 @@
 ///                       [capture.sprof.trace]]]]]]
 /// (defaults: telemetry_report.json, telemetry_trace.json,
 /// telemetry_sampled_report.json, telemetry_timeseries.json,
-/// telemetry_profile.folded, telemetry_capture.sprof.trace)
+/// telemetry_profile.folded, telemetry_capture.sprof.trace — written
+/// under build/ when the demo runs from a checkout with a build tree, so
+/// default runs never strand artifacts in the repo root)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -93,19 +95,29 @@ public:
 
 } // namespace
 
+/// Default artifact location: the common no-argument invocation is
+/// `./build/examples/telemetry_demo` from the repo root, which used to
+/// strand six artifacts (including the .sprof.trace capture) in the
+/// checkout. When a build tree sits next to the cwd, default artifacts
+/// land under it; explicit paths are always taken verbatim.
+static std::string defaultOut(const char *Name) {
+  std::ifstream Probe("build/CMakeCache.txt");
+  return Probe ? std::string("build/") + Name : std::string(Name);
+}
+
 int main(int Argc, char **Argv) {
   const std::string ReportPath =
-      Argc > 1 ? Argv[1] : "telemetry_report.json";
+      Argc > 1 ? Argv[1] : defaultOut("telemetry_report.json");
   const std::string TracePath =
-      Argc > 2 ? Argv[2] : "telemetry_trace.json";
+      Argc > 2 ? Argv[2] : defaultOut("telemetry_trace.json");
   const std::string SampledReportPath =
-      Argc > 3 ? Argv[3] : "telemetry_sampled_report.json";
+      Argc > 3 ? Argv[3] : defaultOut("telemetry_sampled_report.json");
   const std::string TimeSeriesPath =
-      Argc > 4 ? Argv[4] : "telemetry_timeseries.json";
+      Argc > 4 ? Argv[4] : defaultOut("telemetry_timeseries.json");
   const std::string FoldedPath =
-      Argc > 5 ? Argv[5] : "telemetry_profile.folded";
+      Argc > 5 ? Argv[5] : defaultOut("telemetry_profile.folded");
   const std::string CapturePath =
-      Argc > 6 ? Argv[6] : "telemetry_capture.sprof.trace";
+      Argc > 6 ? Argv[6] : defaultOut("telemetry_capture.sprof.trace");
 
   ChaseDemo Demo;
   PipelineConfig Config;

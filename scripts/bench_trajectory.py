@@ -11,7 +11,11 @@ condenses them into one trajectory point
      "accuracy_score": ..., "engine_wall_speedup": ...,
      "memsys_wall_speedup": ..., "profiled_wall_speedup": ...,
      "trace_wall_speedup": ..., "telemetry_overhead": ...,
-     "replay_events_per_sec": ..., "components": ...}
+     "replay_events_per_sec": ..., "components": ...,
+     "git_sha": ..., "git_dirty": ...}
+
+(the git provenance fields are optional — absent outside a git checkout —
+so existing sprof.bench_point/4 readers keep working)
 
 written to bench/trajectory/BENCH_<date>.json, and fails (exit 1) when
 the geomean prefetch speedup, the useful-prefetch ratio, or the replay
@@ -61,6 +65,24 @@ def geomean(values):
     if not values:
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def git_revision():
+    """The checkout's (sha, dirty) pair, or (None, None) outside git.
+
+    Optional provenance: readers of sprof.bench_point/4 must not require
+    these fields, so a tarball build still produces a valid point.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], capture_output=True,
+            text=True, check=True).stdout.strip() != ""
+        return sha, dirty
+    except (OSError, subprocess.CalledProcessError):
+        return None, None
 
 
 def collect_point(build_dir, threads, workdir):
@@ -137,7 +159,8 @@ def collect_point(build_dir, threads, workdir):
     replay_doc = load(trace_replay)["rows"]
     accuracy = load(report)["profile_diff"]["weighted_accuracy"]
 
-    return {
+    git_sha, git_dirty = git_revision()
+    point = {
         "schema": "sprof.bench_point/4",
         "date": datetime.date.today().isoformat(),
         "geomean_speedup": geomean(speedups),
@@ -161,6 +184,10 @@ def collect_point(build_dir, threads, workdir):
                            "redundant": redundant},
         },
     }
+    if git_sha is not None:
+        point["git_sha"] = git_sha
+        point["git_dirty"] = git_dirty
+    return point
 
 
 def latest_point(trajectory_dir):

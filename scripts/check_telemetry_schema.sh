@@ -13,17 +13,30 @@
 # — including that unknown subcommands, malformed JSON, truncated traces,
 # and trace version mismatches exit nonzero — and when given a
 # bench-trajectory point it validates the "sprof.bench_point/4" schema
-# (accepting legacy /1../3 points). Wired into ctest as
-# `telemetry_schema`.
+# (accepting legacy /1../3 points). When given the sweep_demo example it
+# also validates the "sprof.sweep_report/1" document (per-job queue-wait
+# vs run split, dependency edges referencing earlier ids, the critical
+# path's sum-of-durations <= wall invariant, and the scheduler section
+# with per-worker utilization), the Chrome trace's flow-event pairing
+# (every "s" has an "f" with the same id on the "job-dep" category), the
+# "sprof.flightrec/1" dump format, the sprof-inspect sweep/blackbox
+# renderers, and that a newer-versioned sweep report is rejected with a
+# nonzero exit. Wired into ctest as `telemetry_schema`.
 #
 # Usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir]
 #            [/path/to/sprof-inspect] [/path/to/bench_point.json]
+#            [/path/to/sweep_demo]
 set -euo pipefail
 
-DEMO="${1:?usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir] [sprof-inspect] [bench_point.json]}"
+DEMO="${1:?usage: check_telemetry_schema.sh /path/to/telemetry_demo [workdir] [sprof-inspect] [bench_point.json] [sweep_demo]}"
 WORKDIR="${2:-$(mktemp -d)}"
 INSPECT="${3:-}"
 BENCH_POINT="${4:-}"
+SWEEP_DEMO="${5:-}"
+# "-" skips an optional slot (ctest can't pass empty arguments portably).
+[ "$INSPECT" = "-" ] && INSPECT=""
+[ "$BENCH_POINT" = "-" ] && BENCH_POINT=""
+[ "$SWEEP_DEMO" = "-" ] && SWEEP_DEMO=""
 REPORT="$WORKDIR/telemetry_report.json"
 TRACE="$WORKDIR/telemetry_trace.json"
 SAMPLED="$WORKDIR/telemetry_sampled_report.json"
@@ -508,10 +521,204 @@ if "replay_events_per_sec" in point:
     value = point.get("replay_events_per_sec")
     if not isinstance(value, (int, float)) or value <= 0:
         failures.append("bench point replay_events_per_sec not positive")
+if "git_sha" in point:
+    # Optional provenance stamp: a full commit sha plus a dirty flag.
+    sha = point.get("git_sha")
+    if not (isinstance(sha, str) and len(sha) == 40 and
+            all(c in "0123456789abcdef" for c in sha)):
+        failures.append(f"bench point git_sha malformed: {sha!r}")
+    if not isinstance(point.get("git_dirty"), bool):
+        failures.append("bench point git_sha without a boolean git_dirty")
 if failures:
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     sys.exit(1)
 print("bench point schema OK")
 EOF
+fi
+
+# -- sprof.sweep_report/1 + sprof.flightrec/1 ------------------------------
+
+if [ -n "$SWEEP_DEMO" ]; then
+    SWEEP_REPORT="$WORKDIR/sweep_report.json"
+    SWEEP_TRACE="$WORKDIR/sweep_trace.json"
+    SWEEP_FLIGHT="$WORKDIR/sweep_flight.json"
+    "$SWEEP_DEMO" --threads=2 --report="$SWEEP_REPORT" \
+        --trace="$SWEEP_TRACE" --flight="$SWEEP_FLIGHT" --dump-flight \
+        > /dev/null
+
+    python3 - "$SWEEP_REPORT" "$SWEEP_TRACE" "$SWEEP_FLIGHT" <<'EOF'
+import json
+import sys
+
+report_path, trace_path, flight_path = sys.argv[1], sys.argv[2], sys.argv[3]
+failures = []
+
+
+def check(cond, message):
+    if not cond:
+        failures.append(message)
+
+
+with open(report_path) as f:
+    report = json.load(f)
+
+check(report.get("schema") == "sprof.sweep_report/1",
+      f"unexpected sweep schema: {report.get('schema')!r}")
+for key in ("threads", "wall_us", "jobs", "critical_path", "scheduler"):
+    check(key in report, f"sweep report missing {key!r}")
+wall = report.get("wall_us", 0)
+jobs = report.get("jobs", [])
+check(isinstance(jobs, list) and jobs, "sweep report jobs array empty")
+for i, job in enumerate(jobs):
+    for key in ("id", "name", "category", "deps", "worker", "ready_us",
+                "start_us", "finish_us", "queue_wait_us", "run_us", "ok"):
+        check(key in job, f"job {i} missing {key!r}")
+    check(job.get("id") == i, f"job {i} id {job.get('id')} != index")
+    # Records are topological: every dependency is an earlier job.
+    check(all(d < job.get("id", 0) for d in job.get("deps", [])),
+          f"job {i} has a dep >= its own id")
+    check(job.get("finish_us") ==
+          job.get("start_us", 0) + job.get("run_us", 0),
+          f"job {i} finish_us != start_us + run_us")
+    check(job.get("start_us", 0) >= job.get("ready_us", 0),
+          f"job {i} started before it was ready")
+    check(job.get("queue_wait_us") ==
+          job.get("start_us", 0) - job.get("ready_us", 0),
+          f"job {i} queue_wait_us != start_us - ready_us")
+
+# Critical path: a dependency-connected chain whose summed run time is the
+# reported duration and never exceeds the wall clock.
+crit = report.get("critical_path", {})
+for key in ("jobs", "duration_us", "wall_us", "fraction"):
+    check(key in crit, f"critical_path missing {key!r}")
+chain = crit.get("jobs", [])
+check(isinstance(chain, list) and chain, "critical_path.jobs empty")
+chain_sum = sum(jobs[j].get("run_us", 0) for j in chain
+                if isinstance(j, int) and j < len(jobs))
+check(chain_sum == crit.get("duration_us"),
+      f"critical path duration {crit.get('duration_us')} != chain run sum "
+      f"{chain_sum}")
+check(crit.get("duration_us", 0) <= wall,
+      f"critical path {crit.get('duration_us')} exceeds wall {wall}")
+for a, b in zip(chain, chain[1:]):
+    check(b < len(jobs) and a in jobs[b].get("deps", []),
+          f"critical path edge {a}->{b} is not a dependency edge")
+
+sched = report.get("scheduler", {})
+for key in ("queue_depth_high_water", "wakeup_retries", "jobs_enqueued",
+            "jobs_started", "jobs_finished", "jobs_failed", "jobs_skipped",
+            "workers", "stragglers"):
+    check(key in sched, f"scheduler missing {key!r}")
+check(sched.get("jobs_enqueued") == len(jobs),
+      f"jobs_enqueued {sched.get('jobs_enqueued')} != jobs length")
+workers = sched.get("workers", [])
+check(len(workers) == report.get("threads"),
+      "scheduler.workers length != threads")
+busy_sum = 0
+for w in workers:
+    for key in ("worker", "jobs", "busy_us", "utilization"):
+        check(key in w, f"scheduler worker missing {key!r}")
+    check(0.0 <= w.get("utilization", -1) <= 1.0 + 1e-9,
+          f"worker {w.get('worker')} utilization out of [0, 1]")
+    busy_sum += w.get("jobs", 0)
+check(busy_sum == len(jobs), "per-worker job counts do not sum to jobs")
+stragglers = sched.get("stragglers", [])
+runs = [s.get("run_us", 0) for s in stragglers]
+check(runs == sorted(runs, reverse=True),
+      "stragglers not sorted by run_us descending")
+
+# Flow events: the sweep trace carries one "s"/"f" pair per dependency
+# edge between jobs that ran, joined by id on the "job-dep" category.
+with open(trace_path) as f:
+    trace = json.load(f)
+events = trace.get("traceEvents", [])
+starts = {e.get("id"): e for e in events
+          if e.get("ph") == "s" and e.get("cat") == "job-dep"}
+finishes = {e.get("id"): e for e in events
+            if e.get("ph") == "f" and e.get("cat") == "job-dep"}
+check(len(starts) > 0, "sweep trace has no flow-start events")
+check(set(starts) == set(finishes),
+      "flow starts and finishes do not pair up by id")
+for fid, s in starts.items():
+    e = finishes.get(fid)
+    if e is None:
+        continue
+    check(e.get("bp") == "e", f"flow finish {fid} lacks bp='e'")
+    check(s.get("ts", 0) <= e.get("ts", 0),
+          f"flow {fid} goes backward in time")
+    check(s.get("name") == e.get("name"),
+          f"flow {fid} start/finish names differ")
+ran_edges = sum(len(j.get("deps", [])) for j in jobs if j.get("ok"))
+check(len(starts) == ran_edges,
+      f"{len(starts)} flow pairs != {ran_edges} dependency edges")
+
+# Flight-recorder dump: every worker lane present, events well-formed and
+# monotone per lane.
+with open(flight_path) as f:
+    flight = json.load(f)
+check(flight.get("schema") == "sprof.flightrec/1",
+      f"unexpected flightrec schema: {flight.get('schema')!r}")
+check(flight.get("reason") == "request",
+      f"flightrec reason {flight.get('reason')!r}, want 'request'")
+lanes = flight.get("workers", [])
+check(len(lanes) == report.get("threads"),
+      "flightrec workers length != threads")
+kinds = {"job-start", "job-finish", "job-fail", "phase", "mark"}
+total_events = 0
+for lane in lanes:
+    for key in ("worker", "in_flight", "current_job", "events"):
+        check(key in lane, f"flightrec lane missing {key!r}")
+    check(lane.get("in_flight") is False,
+          f"lane {lane.get('worker')} still in flight after the drain")
+    stamps = []
+    for e in lane.get("events", []):
+        for key in ("ts_us", "kind", "name", "ok"):
+            check(key in e, f"flightrec event missing {key!r}")
+        check(e.get("kind") in kinds,
+              f"unknown flightrec event kind {e.get('kind')!r}")
+        stamps.append(e.get("ts_us", 0))
+        total_events += 1
+    check(stamps == sorted(stamps),
+          f"lane {lane.get('worker')} events not monotone in time")
+check(total_events > 0, "flightrec dump recorded no events")
+
+if failures:
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    sys.exit(1)
+print(f"sweep schema OK ({len(jobs)} jobs, {len(chain)} on the critical "
+      f"path, {len(starts)} flow pairs, {total_events} flightrec events)")
+EOF
+
+    if [ -n "$INSPECT" ]; then
+        "$INSPECT" sweep "$SWEEP_REPORT" > "$WORKDIR/inspect_sweep.txt"
+        grep -q "critical path" "$WORKDIR/inspect_sweep.txt" || {
+            echo "FAIL: sprof-inspect sweep lacks the critical path" >&2
+            exit 1
+        }
+        grep -q "Worker utilization" "$WORKDIR/inspect_sweep.txt" || {
+            echo "FAIL: sprof-inspect sweep lacks worker utilization" >&2
+            exit 1
+        }
+        "$INSPECT" blackbox "$SWEEP_FLIGHT" > "$WORKDIR/inspect_blackbox.txt"
+        grep -q "reason:" "$WORKDIR/inspect_blackbox.txt" || {
+            echo "FAIL: sprof-inspect blackbox lacks the dump reason" >&2
+            exit 1
+        }
+        # Forward-compat contract: a sweep report stamped with a newer
+        # schema version must be rejected, not half-rendered.
+        sed 's/sprof.sweep_report\/1/sprof.sweep_report\/99/' \
+            "$SWEEP_REPORT" > "$WORKDIR/sweep_future.json"
+        if "$INSPECT" sweep "$WORKDIR/sweep_future.json" \
+                2> "$WORKDIR/inspect_err.txt"; then
+            echo "FAIL: sprof-inspect sweep accepted a /99 report" >&2
+            exit 1
+        fi
+        grep -q "newer than this reader" "$WORKDIR/inspect_err.txt" || {
+            echo "FAIL: newer-schema diagnostic missing" >&2
+            exit 1
+        }
+        echo "sprof-inspect sweep/blackbox OK"
+    fi
 fi

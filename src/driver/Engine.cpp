@@ -6,6 +6,7 @@
 
 #include "driver/Engine.h"
 
+#include "obs/FlightRecorder.h"
 #include "obs/SelfProfiler.h"
 
 #include <string>
@@ -31,6 +32,12 @@ ExperimentEngine::ExperimentEngine(EngineOptions Opts)
     Session = std::make_unique<ObsSession>(this->Opts.Obs);
   if (Session && this->Opts.Obs.CollectMetrics && this->Opts.ShardedMetrics)
     Shards = std::make_unique<ShardedMetricsRegistry>(this->Opts.Threads);
+  if (this->Opts.Obs.FlightRecorder) {
+    Recorder = std::make_unique<FlightRecorder>(
+        this->Opts.Threads, this->Opts.Obs.FlightRecorderRingSize);
+    if (this->Opts.Obs.FlightRecorderSignals)
+      Recorder->installSignalDump(this->Opts.Obs.FlightRecorderDumpPath);
+  }
 }
 
 ExperimentEngine::~ExperimentEngine() = default;
@@ -43,38 +50,80 @@ JobId ExperimentEngine::addJob(std::string Name, std::string Category,
   JobObs.push_back(nullptr);
   const size_t Index = JobObs.size() - 1;
   ObsSession *S = Session.get();
+  // The flight-recorder wrapper needs the job's name after Name moves
+  // into the graph node; two small string copies per addJob, not per run.
+  std::string FRName = Recorder ? Name : std::string();
+  std::string FRDetail = Recorder ? Category : std::string();
   return Graph.add(
       std::move(Name), std::move(Category),
-      [this, S, Index, Fn = std::move(Fn)](uint32_t Worker) {
+      [this, S, Index, FRName = std::move(FRName),
+       FRDetail = std::move(FRDetail),
+       Fn = std::move(Fn)](uint32_t Worker) {
+        FlightRecorder *FR = Recorder.get();
+        if (FR) {
+          // Bind the worker thread to its lane so pipeline phase spans
+          // inside the job land in the black box as breadcrumbs.
+          FR->bindThread(Worker);
+          FR->jobStart(Worker, FRName.c_str(), FRDetail.c_str());
+        }
         ObsSession *Scope = nullptr;
         if (S) {
           JobObs[Index] = std::make_unique<ObsSession>(S->jobConfig());
           Scope = JobObs[Index].get();
-        }
-        if (!Scope || !Shards) {
-          Fn(Scope);
-          return;
         }
         // Sharded aggregation: fold this job's counters/histograms into
         // the executing worker's private shard while still on the worker
         // thread -- single shard owner, so no lock is ever contended. The
         // fold must also run when the job throws, mirroring the direct
         // path (which merges failed jobs' partial metrics too).
-        MetricsRegistry &Shard = Shards->shard(Worker);
+        MetricsRegistry *Shard =
+            Scope && Shards ? &Shards->shard(Worker) : nullptr;
         try {
           Fn(Scope);
         } catch (...) {
-          Shard.merge(Scope->registry());
+          if (Shard)
+            Shard->merge(Scope->registry());
+          if (FR) {
+            FR->jobFinish(Worker, FRName.c_str(), /*Ok=*/false);
+            FlightRecorder::unbindThread();
+          }
           throw;
         }
-        Shard.merge(Scope->registry());
+        if (Shard)
+          Shard->merge(Scope->registry());
+        if (FR) {
+          FR->jobFinish(Worker, FRName.c_str(), /*Ok=*/true);
+          FlightRecorder::unbindThread();
+        }
       },
       std::move(Deps));
 }
 
 void ExperimentEngine::run() {
   const uint64_t SessionStartUs = Session ? Session->trace().nowUs() : 0;
+  if (Recorder && Opts.WatchdogSec != 0)
+    Recorder->startWatchdog(Opts.WatchdogSec,
+                            Opts.Obs.FlightRecorderDumpPath);
   Outcomes = Graph.run(Opts.Threads);
+  if (Recorder)
+    Recorder->stopWatchdog();
+
+  // Accumulate scheduler accounting across drains: high-water marks max,
+  // counts sum, so one engine's sweep report covers every wave it ran.
+  const JobSchedStats &GS = Graph.schedStats();
+  if (GS.QueueDepthHighWater > SchedStats.QueueDepthHighWater)
+    SchedStats.QueueDepthHighWater = GS.QueueDepthHighWater;
+  SchedStats.WakeupRetries += GS.DequeueRetries;
+  uint64_t Started = 0, Failed = 0, Skipped = 0;
+  for (const JobOutcome &O : Outcomes) {
+    if (!O.Ran)
+      ++Skipped;
+    else if (!O.Ok)
+      ++Failed;
+    if (O.Ran)
+      ++Started;
+  }
+  SchedStats.JobsSkipped += Skipped;
 
   // Fold per-job telemetry in JobId order so the session registry, the
   // trace, and the "jobs" array never depend on completion order.
@@ -88,12 +137,19 @@ void ExperimentEngine::run() {
       Shards->mergeInto(Session->registry());
       Shards->clear();
     }
+    // Job records get session-wide ids: this drain's JobId 0 lands at
+    // jobs().size(), so dependency edges stay valid across drains.
+    const size_t Base = Session->jobs().size();
     for (JobId Id = 0; Id != Outcomes.size(); ++Id) {
       const JobOutcome &O = Outcomes[Id];
       const uint64_t StartUs = SessionStartUs + O.StartUs;
       JobRecord R;
+      R.Id = Base + Id;
       R.Name = Graph.name(Id);
       R.Category = Graph.category(Id);
+      for (JobId Dep : Graph.deps(Id))
+        R.Deps.push_back(Base + Dep);
+      R.ReadyUs = SessionStartUs + O.ReadyUs;
       R.StartUs = StartUs;
       R.DurationUs = O.DurationUs;
       R.Worker = O.Worker;
@@ -117,7 +173,46 @@ void ExperimentEngine::run() {
                                          /*DepthBase=*/1);
         }
       }
+      // Causal arrows along the dependency edges: producer finish ->
+      // consumer start, each on its worker's lane. Only edges whose both
+      // ends actually ran make sense on the timeline.
+      if (Session->config().CollectTrace && O.Ran) {
+        for (JobId Dep : Graph.deps(Id)) {
+          const JobOutcome &D = Outcomes[Dep];
+          if (!D.Ran)
+            continue;
+          Session->trace().appendFlowEdge(
+              Graph.name(Dep), SessionStartUs + D.StartUs + D.DurationUs,
+              D.Worker, StartUs, O.Worker);
+        }
+      }
       Session->recordJob(std::move(R));
+    }
+
+    // Scheduler telemetry, recorded once per drain after the fold so the
+    // values are identical whether the drain ran serial or threaded —
+    // except the timing histograms and retry counter, which are
+    // inherently wall-clock/schedule dependent (tests comparing
+    // serial-vs-N-thread snapshots filter the engine.* namespace).
+    if (Session->config().CollectMetrics) {
+      MetricsRegistry &Reg = Session->registry();
+      Reg.counter("engine.jobs.enqueued").inc(Outcomes.size());
+      Reg.counter("engine.jobs.started").inc(Started);
+      Reg.counter("engine.jobs.finished").inc(Started);
+      Reg.counter("engine.jobs.failed").inc(Failed);
+      Reg.counter("engine.jobs.skipped").inc(Skipped);
+      Reg.counter("engine.sched.wakeup_retries").inc(GS.DequeueRetries);
+      Reg.gauge("engine.sched.queue_depth_high_water")
+          .set(static_cast<double>(SchedStats.QueueDepthHighWater));
+      Histogram &QueueWait = Reg.histogram("engine.job.queue_wait_us");
+      Histogram &RunTime = Reg.histogram("engine.job.run_us");
+      for (const JobOutcome &O : Outcomes) {
+        if (!O.Ran)
+          continue;
+        QueueWait.record(O.StartUs > O.ReadyUs ? O.StartUs - O.ReadyUs
+                                               : 0);
+        RunTime.record(O.DurationUs);
+      }
     }
   }
 
@@ -213,6 +308,16 @@ SweepResult ExperimentEngine::runSweep(const SweepSpec &Spec) {
   return Result;
 }
 
+JsonValue ExperimentEngine::sweepReport(size_t StragglerTopN) const {
+  return buildSweepReport(Session ? Session->jobs()
+                                  : std::vector<JobRecord>{},
+                          Opts.Threads, SchedStats, /*WallUs=*/0,
+                          StragglerTopN);
+}
+
 bool ExperimentEngine::writeArtifacts() const {
-  return Session ? Session->writeArtifacts() : true;
+  bool Ok = Session ? Session->writeArtifacts() : true;
+  if (Session && !Opts.Obs.SweepReportOutputPath.empty())
+    Ok &= writeJsonFile(Opts.Obs.SweepReportOutputPath, sweepReport());
+  return Ok;
 }

@@ -35,6 +35,7 @@
 #include "driver/JobGraph.h"
 #include "driver/Pipeline.h"
 #include "obs/Sharded.h"
+#include "obs/SweepReport.h"
 
 #include <functional>
 #include <memory>
@@ -42,6 +43,8 @@
 #include <vector>
 
 namespace sprof {
+
+class FlightRecorder;
 
 /// Engine-level knobs.
 struct EngineOptions {
@@ -58,6 +61,12 @@ struct EngineOptions {
   /// histogram merging are commutative; gauges are replayed in JobId
   /// order), so this is purely a contention knob.
   bool ShardedMetrics = true;
+  /// When nonzero (and the flight recorder is armed via
+  /// ObsConfig::FlightRecorder), a watchdog thread dumps the recorder and
+  /// exits the process (FlightRecorder::WatchdogExitCode) when no job
+  /// finishes for this many seconds while jobs are in flight — a hung
+  /// sweep fails loudly with a post-mortem instead of wedging CI.
+  uint64_t WatchdogSec = 0;
 };
 
 /// A declarative sweep: the cross product of workloads × seed offsets ×
@@ -146,12 +155,28 @@ public:
   /// Expands \p Spec into jobs, runs them, and assembles the grid.
   SweepResult runSweep(const SweepSpec &Spec);
 
-  /// Writes session artifacts (Chrome trace) per the session config.
+  /// Scheduler accounting accumulated over every drain of this engine
+  /// (high-water marks maxed, counts summed).
+  const SweepSchedulerStats &schedStats() const { return SchedStats; }
+
+  /// Builds the "sprof.sweep_report/1" document over every job this
+  /// engine's session recorded. Requires an active session (Obs.Enabled).
+  JsonValue sweepReport(size_t StragglerTopN = 5) const;
+
+  /// The flight recorder, or nullptr unless ObsConfig::FlightRecorder
+  /// armed it. Independent of Obs.Enabled: the black box records nothing
+  /// that feeds back into results, so it can fly on untelemetered sweeps.
+  FlightRecorder *flightRecorder() const { return Recorder.get(); }
+
+  /// Writes session artifacts (Chrome trace, sweep report) per the
+  /// session config.
   bool writeArtifacts() const;
 
 private:
   EngineOptions Opts;
   std::unique_ptr<ObsSession> Session;
+  std::unique_ptr<FlightRecorder> Recorder;
+  SweepSchedulerStats SchedStats;
   /// Per-worker metric shards (EngineOptions::ShardedMetrics); cleared
   /// after every drain so the engine stays reusable.
   std::unique_ptr<ShardedMetricsRegistry> Shards;

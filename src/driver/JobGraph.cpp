@@ -44,6 +44,8 @@ struct RunState {
   std::vector<unsigned> Indegree;
   std::vector<JobId> FailedDep; ///< first failed dependency, or NoDep
   size_t Remaining = 0;         ///< jobs not yet finished or skipped
+  uint64_t QueueHighWater = 0;  ///< most jobs ever runnable at once
+  uint64_t DequeueRetries = 0;  ///< worker wakeups that found no job
 
   static constexpr JobId NoDep = static_cast<JobId>(-1);
 };
@@ -68,13 +70,15 @@ std::vector<JobOutcome> JobGraph::run(unsigned Threads) {
   S.Indegree.resize(Nodes.size());
   S.FailedDep.assign(Nodes.size(), RunState::NoDep);
   S.Remaining = Nodes.size();
+
+  const uint64_t EpochUs = steadyNowUs();
+
   for (JobId Id = 0; Id != Nodes.size(); ++Id) {
     S.Indegree[Id] = static_cast<unsigned>(Nodes[Id].Deps.size());
     if (S.Indegree[Id] == 0)
-      S.Queue.push_back(Id);
+      S.Queue.push_back(Id); // ready at run() entry: ReadyUs stays 0
   }
-
-  const uint64_t EpochUs = steadyNowUs();
+  S.QueueHighWater = S.Queue.size();
 
   // Called with S.Mu held after a job finished (or was skipped): release
   // the job's dependents, propagating the failure when it failed.
@@ -83,8 +87,12 @@ std::vector<JobOutcome> JobGraph::run(unsigned Threads) {
     for (JobId Dep : Nodes[Id].Dependents) {
       if (Failed && S.FailedDep[Dep] == RunState::NoDep)
         S.FailedDep[Dep] = Id;
-      if (--S.Indegree[Dep] == 0)
+      if (--S.Indegree[Dep] == 0) {
+        Outcomes[Dep].ReadyUs = steadyNowUs() - EpochUs;
         S.Queue.push_back(Dep);
+        S.QueueHighWater = std::max<uint64_t>(S.QueueHighWater,
+                                              S.Queue.size());
+      }
     }
   };
 
@@ -129,16 +137,24 @@ std::vector<JobOutcome> JobGraph::run(unsigned Threads) {
       finish(Id, /*Failed=*/!Outcomes[Id].Ok);
     }
     assert(S.Remaining == 0 && "cycle in job graph");
+    Sched.QueueDepthHighWater = S.QueueHighWater;
+    Sched.DequeueRetries = 0;
     return Outcomes;
   }
 
   auto worker = [&](uint32_t Worker) {
     std::unique_lock<std::mutex> Lock(S.Mu);
     while (true) {
-      S.Ready.wait(Lock,
-                   [&] { return !S.Queue.empty() || S.Remaining == 0; });
-      if (S.Queue.empty())
-        return; // Remaining == 0: all done
+      if (S.Queue.empty()) {
+        if (S.Remaining == 0)
+          return; // all done
+        S.Ready.wait(Lock);
+        // Woke with nothing to take: a spurious wakeup, or another
+        // worker drained the queue first. Counted as a dequeue retry.
+        if (S.Queue.empty() && S.Remaining != 0)
+          ++S.DequeueRetries;
+        continue;
+      }
       JobId Id = S.Queue.front();
       S.Queue.pop_front();
       if (S.FailedDep[Id] != RunState::NoDep) {
@@ -162,5 +178,7 @@ std::vector<JobOutcome> JobGraph::run(unsigned Threads) {
   for (std::thread &T : Pool)
     T.join();
   assert(S.Remaining == 0 && "cycle in job graph");
+  Sched.QueueDepthHighWater = S.QueueHighWater;
+  Sched.DequeueRetries = S.DequeueRetries;
   return Outcomes;
 }

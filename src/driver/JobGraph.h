@@ -48,9 +48,28 @@ struct JobOutcome {
   bool Ok = false;
   std::string Error;            ///< failure or skip reason when !Ok
   std::exception_ptr Exception; ///< set when the job itself threw
+  /// When the job became runnable (all dependencies finished) and entered
+  /// the ready queue; 0 for root jobs, which are ready at run() entry.
+  /// StartUs - ReadyUs is the time the job spent waiting for a worker, so
+  /// queue wait and run time are separable in sweep traces.
+  uint64_t ReadyUs = 0;
   uint64_t StartUs = 0;
   uint64_t DurationUs = 0;
   uint32_t Worker = 0; ///< worker lane that ran the job
+};
+
+/// Scheduler-side accounting of one JobGraph::run(). Pure observability:
+/// none of these values feed back into scheduling decisions.
+struct JobSchedStats {
+  /// Most jobs simultaneously sitting in the ready queue (runnable but
+  /// not yet picked up by a worker). A high-water mark near the job count
+  /// means the pool was the bottleneck; near the thread count means
+  /// dependencies were.
+  uint64_t QueueDepthHighWater = 0;
+  /// Times a worker woke from the ready condition and found no job to
+  /// take (the retry path of the dequeue loop: spurious wakeups plus
+  /// notify_all races lost to a faster worker). Always 0 serial.
+  uint64_t DequeueRetries = 0;
 };
 
 /// A DAG of jobs. Build with add() (dependencies must already be in the
@@ -70,11 +89,15 @@ public:
   size_t size() const { return Nodes.size(); }
   const std::string &name(JobId Id) const { return Nodes[Id].Name; }
   const std::string &category(JobId Id) const { return Nodes[Id].Category; }
+  const std::vector<JobId> &deps(JobId Id) const { return Nodes[Id].Deps; }
 
   /// Executes every job on \p Threads workers (clamped to at least 1) and
   /// returns one outcome per job, indexed by JobId. Does not throw on job
   /// failure; see JobOutcome.
   std::vector<JobOutcome> run(unsigned Threads);
+
+  /// Scheduler accounting of the most recent run().
+  const JobSchedStats &schedStats() const { return Sched; }
 
 private:
   struct Node {
@@ -86,6 +109,7 @@ private:
   };
 
   std::vector<Node> Nodes;
+  JobSchedStats Sched;
   bool Executed = false;
 };
 

@@ -76,6 +76,29 @@ struct ObsConfig {
   /// When non-empty, report writers (examples, benches) put the JSON run
   /// report here.
   std::string ReportOutputPath;
+
+  /// When non-empty, ExperimentEngine::writeArtifacts dumps the
+  /// "sprof.sweep_report/1" document (per-job causal timeline, critical
+  /// path, scheduler section) here.
+  std::string SweepReportOutputPath;
+
+  /// Arm the engine flight recorder: a bounded lock-free per-worker ring
+  /// of job/phase transitions that a SIGSEGV/SIGABRT handler (and the
+  /// engine watchdog) dumps as JSON, so a crashed or hung sweep leaves a
+  /// post-mortem naming the jobs in flight.
+  bool FlightRecorder = false;
+
+  /// Events retained per worker lane (rounded up to a power of two).
+  size_t FlightRecorderRingSize = 64;
+
+  /// Where the flight recorder dumps ("sprof.flightrec/1"); empty means
+  /// stderr.
+  std::string FlightRecorderDumpPath;
+
+  /// Install the fatal-signal (SIGSEGV/SIGABRT) dump handler. Off leaves
+  /// signal dispositions alone; the watchdog and explicit dumps still
+  /// work.
+  bool FlightRecorderSignals = true;
 };
 
 /// Telemetry summary of one engine job: what ran, when, on which worker,
@@ -84,8 +107,16 @@ struct ObsConfig {
 /// session-level registry/trace and records one of these so the run
 /// report can emit a per-job breakdown ("jobs" array).
 struct JobRecord {
+  /// Session-wide job index (position in ObsSession::jobs()). Deps refer
+  /// to these ids, staying valid across the engine's multiple graph
+  /// drains within one session.
+  size_t Id = 0;
   std::string Name;
   std::string Category; ///< "run-job", "feedback-job", ...
+  std::vector<size_t> Deps; ///< job-graph dependency edges, as Ids
+  /// When the job became runnable (dependencies done), on the session
+  /// collector's clock. StartUs - ReadyUs is the queue wait.
+  uint64_t ReadyUs = 0;
   uint64_t StartUs = 0; ///< on the session collector's clock
   uint64_t DurationUs = 0;
   uint32_t Worker = 0; ///< thread-pool worker index (trace track)
@@ -161,7 +192,12 @@ public:
     C.ReportOutputPath.clear();
     C.TimeSeriesOutputPath.clear();
     C.FoldedProfilePath.clear();
+    C.SweepReportOutputPath.clear();
     C.SampleIntervalUs = 0;
+    // The flight recorder is engine-owned: one recorder per engine, never
+    // one per job session.
+    C.FlightRecorder = false;
+    C.FlightRecorderDumpPath.clear();
     return C;
   }
 

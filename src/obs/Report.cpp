@@ -416,8 +416,14 @@ JsonValue sprof::metricsToJson(const MetricsRegistry &Registry) {
 
 JsonValue sprof::jobRecordToJson(const JobRecord &Record) {
   JsonValue J = JsonValue::object();
+  J.set("id", static_cast<uint64_t>(Record.Id));
   J.set("name", Record.Name);
   J.set("category", Record.Category);
+  JsonValue Deps = JsonValue::array();
+  for (size_t Dep : Record.Deps)
+    Deps.push(static_cast<uint64_t>(Dep));
+  J.set("deps", std::move(Deps));
+  J.set("ready_us", Record.ReadyUs);
   J.set("start_us", Record.StartUs);
   J.set("duration_us", Record.DurationUs);
   J.set("worker", Record.Worker);

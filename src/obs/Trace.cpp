@@ -6,6 +6,7 @@
 
 #include "obs/Trace.h"
 
+#include "obs/FlightRecorder.h"
 #include "obs/Json.h"
 #include "obs/Obs.h"
 
@@ -31,6 +32,9 @@ uint64_t TraceCollector::nowUs() const {
 
 size_t TraceCollector::beginSpan(std::string_view Name,
                                  std::string_view Category) {
+  // Phase enters double as flight-recorder breadcrumbs on threads an
+  // armed engine bound to a lane; a no-op everywhere else.
+  FlightRecorder::notePhase(Name);
   TraceEvent E;
   E.Name = std::string(Name);
   E.Category = std::string(Category);
@@ -77,6 +81,18 @@ void TraceCollector::appendForeign(const TraceCollector &Other,
   }
 }
 
+void TraceCollector::appendFlowEdge(std::string_view Name, uint64_t FromTsUs,
+                                    uint32_t FromTrack, uint64_t ToTsUs,
+                                    uint32_t ToTrack) {
+  FlowEdge E;
+  E.Name = std::string(Name);
+  E.FromTsUs = FromTsUs;
+  E.FromTrack = FromTrack;
+  E.ToTsUs = ToTsUs;
+  E.ToTrack = ToTrack;
+  FlowEdges.push_back(std::move(E));
+}
+
 void TraceCollector::appendCounterSample(std::string_view Name,
                                          uint64_t TsUs, double Value) {
   CounterSample S;
@@ -108,6 +124,31 @@ void TraceCollector::writeChromeTrace(std::ostream &OS) const {
     J.set("pid", 1);
     J.set("tid", static_cast<uint64_t>(E.Track) + 1);
     EventsJson.push(std::move(J));
+  }
+  // Dependency arrows: one "s"/"f" pair per edge, matched by id. The
+  // destination's bp:"e" binds the arrowhead to the enclosing slice so
+  // the arrow lands on the consumer span instead of the next event.
+  for (size_t I = 0; I != FlowEdges.size(); ++I) {
+    const FlowEdge &E = FlowEdges[I];
+    JsonValue Start = JsonValue::object();
+    Start.set("name", E.Name);
+    Start.set("cat", "job-dep");
+    Start.set("ph", "s");
+    Start.set("id", static_cast<uint64_t>(I) + 1);
+    Start.set("ts", E.FromTsUs);
+    Start.set("pid", 1);
+    Start.set("tid", static_cast<uint64_t>(E.FromTrack) + 1);
+    EventsJson.push(std::move(Start));
+    JsonValue Finish = JsonValue::object();
+    Finish.set("name", E.Name);
+    Finish.set("cat", "job-dep");
+    Finish.set("ph", "f");
+    Finish.set("bp", "e");
+    Finish.set("id", static_cast<uint64_t>(I) + 1);
+    Finish.set("ts", E.ToTsUs);
+    Finish.set("pid", 1);
+    Finish.set("tid", static_cast<uint64_t>(E.ToTrack) + 1);
+    EventsJson.push(std::move(Finish));
   }
   // Counter tracks render on a dedicated lane (tid 0) below the spans.
   for (const CounterSample &S : CounterSamples) {

@@ -42,6 +42,19 @@ struct CounterSample {
   double Value = 0.0;
 };
 
+/// One causal edge between two points on the trace timeline, serialized
+/// as a Chrome flow-event pair ("s" at the source, "f" with bp:"e" at the
+/// destination, matched by id). The experiment engine emits one per
+/// job-graph dependency edge so chrome://tracing draws arrows from each
+/// job's finish to its dependents' starts.
+struct FlowEdge {
+  std::string Name;       ///< rendered on the arrow (dependency job name)
+  uint64_t FromTsUs = 0;  ///< source timestamp (producer finish)
+  uint32_t FromTrack = 0; ///< source display lane (producer's worker)
+  uint64_t ToTsUs = 0;    ///< destination timestamp (consumer start)
+  uint32_t ToTrack = 0;   ///< destination display lane
+};
+
 /// One recorded span. DurationUs stays UINT64_MAX until the span ends.
 struct TraceEvent {
   std::string Name;
@@ -91,6 +104,13 @@ public:
   void appendForeign(const TraceCollector &Other, uint64_t ShiftUs,
                      uint32_t Track, uint32_t DepthBase = 1);
 
+  /// Appends one causal edge (serialized as a paired "s"/"f" flow event;
+  /// ids are assigned at write time from the edge's index). Timestamps
+  /// are on this collector's clock. Single-threaded like the span API.
+  void appendFlowEdge(std::string_view Name, uint64_t FromTsUs,
+                      uint32_t FromTrack, uint64_t ToTsUs, uint32_t ToTrack);
+  const std::vector<FlowEdge> &flowEdges() const { return FlowEdges; }
+
   /// Appends one counter-track point (emitted as a "C" event). \p TsUs is
   /// on this collector's clock. Single-threaded like the span API; the
   /// session folds sampler rings in after producers quiesce.
@@ -108,6 +128,7 @@ public:
 
 private:
   std::vector<TraceEvent> Events;
+  std::vector<FlowEdge> FlowEdges;
   std::vector<CounterSample> CounterSamples;
   uint32_t Depth = 0;
   uint64_t EpochNs = 0;

@@ -15,14 +15,20 @@
 #include "driver/Engine.h"
 #include "driver/Experiments.h"
 #include "instrument/Instrumentation.h"
+#include "obs/FlightRecorder.h"
 #include "profile/ProfileStore.h"
 
 #include "TestHelpers.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 
 using namespace sprof;
 using namespace sprof::test;
@@ -221,6 +227,18 @@ TEST(ExperimentEngine, ShardedFoldMatchesDirectMergeBitIdentical) {
     std::vector<std::pair<std::string, uint64_t>> Counters;
     std::vector<std::pair<std::string, double>> Gauges;
     Engine.obs()->registry().snapshotScalars(Counters, Gauges);
+    // The engine's own scheduler telemetry (engine.*) is intentionally
+    // outside the determinism contract: wakeup retries, queue high-water,
+    // and wait-time histograms depend on worker interleaving. Job-scope
+    // metrics must still fold bit-identically.
+    auto IsEngine = [](const auto &KV) {
+      return KV.first.rfind("engine.", 0) == 0;
+    };
+    Counters.erase(
+        std::remove_if(Counters.begin(), Counters.end(), IsEngine),
+        Counters.end());
+    Gauges.erase(std::remove_if(Gauges.begin(), Gauges.end(), IsEngine),
+                 Gauges.end());
     const Histogram &H =
         Engine.obs()->registry().histograms().at("fold.sizes");
     return std::make_tuple(Counters, Gauges, H.count(), H.sum(),
@@ -231,6 +249,220 @@ TEST(ExperimentEngine, ShardedFoldMatchesDirectMergeBitIdentical) {
   for (unsigned Threads : {1u, 4u, 8u}) {
     SCOPED_TRACE(Threads);
     EXPECT_EQ(RunEngine(Threads, /*Sharded=*/true), Direct);
+  }
+}
+
+// A graph with a structurally forced critical path: a three-job chain of
+// the longest jobs (ids 0..2) plus six quick independents. The chain's
+// weight dwarfs every other path, so the report's critical path cannot
+// depend on worker placement.
+void addSweepShape(ExperimentEngine &Engine) {
+  JobId Prev = 0;
+  for (int Stage = 0; Stage != 3; ++Stage) {
+    std::vector<JobId> Deps;
+    if (Stage != 0)
+      Deps.push_back(Prev);
+    Prev = Engine.addJob(
+        "stage" + std::to_string(Stage), "chain-job",
+        [](ObsSession *) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        },
+        std::move(Deps));
+  }
+  for (int I = 0; I != 6; ++I)
+    Engine.addJob("quick" + std::to_string(I), "leaf-job",
+                  [](ObsSession *) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                  });
+}
+
+// The deterministic projection of a sweep report: structure and outcomes,
+// no timestamps and no worker placement.
+std::string sweepReportShape(const JsonValue &Report) {
+  std::ostringstream OS;
+  const JsonValue *Jobs = Report.get("jobs");
+  for (const JsonValue &J : Jobs->items()) {
+    OS << J.get("id")->asUInt() << ":" << J.get("name")->asString() << ":"
+       << J.get("category")->asString() << ":deps[";
+    for (const JsonValue &D : J.get("deps")->items())
+      OS << D.asUInt() << ",";
+    OS << "]:" << (J.get("ok")->asBool() ? "ok" : "fail") << "\n";
+  }
+  OS << "critical:";
+  for (const JsonValue &Id : Report.get("critical_path")->get("jobs")->items())
+    OS << Id.asUInt() << ",";
+  const JsonValue *Sched = Report.get("scheduler");
+  OS << "\nsched:" << Sched->get("jobs_enqueued")->asUInt() << "/"
+     << Sched->get("jobs_started")->asUInt() << "/"
+     << Sched->get("jobs_finished")->asUInt() << "/"
+     << Sched->get("jobs_failed")->asUInt() << "/"
+     << Sched->get("jobs_skipped")->asUInt();
+  return OS.str();
+}
+
+// The sweep report's deterministic projection — jobs, dependency edges,
+// outcomes, the critical path, and the scheduler's job accounting — is
+// identical whatever the thread count; only timestamps and placement may
+// move.
+TEST(ExperimentEngine, SweepReportShapeIdenticalSerialVsParallel) {
+  auto Run = [](unsigned Threads) {
+    EngineOptions Opts;
+    Opts.Threads = Threads;
+    Opts.Obs.Enabled = true;
+    ExperimentEngine Engine(Opts);
+    addSweepShape(Engine);
+    Engine.run();
+    return Engine.sweepReport();
+  };
+  JsonValue Serial = Run(1);
+  std::string Shape = sweepReportShape(Serial);
+  for (unsigned Threads : {2u, 4u}) {
+    SCOPED_TRACE(Threads);
+    EXPECT_EQ(sweepReportShape(Run(Threads)), Shape);
+  }
+  // And the forced shape is actually forced: the chain is the path.
+  const JsonValue *Chain = Serial.get("critical_path")->get("jobs");
+  ASSERT_EQ(Chain->size(), 3u);
+  EXPECT_EQ(Chain->at(0).asUInt(), 0u);
+  EXPECT_EQ(Chain->at(1).asUInt(), 1u);
+  EXPECT_EQ(Chain->at(2).asUInt(), 2u);
+}
+
+TEST(ExperimentEngine, SweepReportInvariantsAndSchedulerTelemetry) {
+  EngineOptions Opts;
+  Opts.Threads = 2;
+  Opts.Obs.Enabled = true;
+  ExperimentEngine Engine(Opts);
+  addSweepShape(Engine);
+  Engine.run();
+
+  JsonValue Report = Engine.sweepReport();
+  EXPECT_EQ(Report.get("schema")->asString(), SweepReportSchemaV1);
+  const JsonValue *Jobs = Report.get("jobs");
+  ASSERT_NE(Jobs, nullptr);
+  ASSERT_EQ(Jobs->size(), 9u);
+  for (const JsonValue &J : Jobs->items()) {
+    uint64_t Id = J.get("id")->asUInt();
+    EXPECT_EQ(J.get("finish_us")->asUInt(),
+              J.get("start_us")->asUInt() + J.get("run_us")->asUInt());
+    EXPECT_GE(J.get("start_us")->asUInt(), J.get("ready_us")->asUInt());
+    EXPECT_EQ(J.get("queue_wait_us")->asUInt(),
+              J.get("start_us")->asUInt() - J.get("ready_us")->asUInt());
+    for (const JsonValue &D : J.get("deps")->items())
+      EXPECT_LT(D.asUInt(), Id);
+  }
+
+  // sum(critical chain durations) == duration_us <= wall_us.
+  const JsonValue *Crit = Report.get("critical_path");
+  uint64_t ChainSum = 0;
+  for (const JsonValue &Id : Crit->get("jobs")->items())
+    ChainSum += Jobs->at(Id.asUInt()).get("run_us")->asUInt();
+  EXPECT_EQ(Crit->get("duration_us")->asUInt(), ChainSum);
+  EXPECT_LE(Crit->get("duration_us")->asUInt(),
+            Crit->get("wall_us")->asUInt());
+
+  const JsonValue *Sched = Report.get("scheduler");
+  ASSERT_NE(Sched, nullptr);
+  EXPECT_EQ(Sched->get("jobs_enqueued")->asUInt(), 9u);
+  EXPECT_EQ(Sched->get("workers")->size(), 2u);
+
+  // The same accounting flows into the session registry as engine.*
+  // metrics.
+  const MetricsRegistry &Reg = Engine.obs()->registry();
+  EXPECT_EQ(Reg.counters().at("engine.jobs.enqueued").value(), 9u);
+  EXPECT_EQ(Reg.counters().at("engine.jobs.finished").value(), 9u);
+  EXPECT_EQ(Reg.counters().at("engine.jobs.failed").value(), 0u);
+  EXPECT_EQ(Reg.histograms().at("engine.job.run_us").count(), 9u);
+}
+
+// The flight recorder's ring is bounded and its dump names the job that
+// was in flight — the crash/hang post-mortem contract, minus the signal
+// (scripts/check_flight_recorder.sh covers the real SIGSEGV/watchdog
+// paths out of process).
+TEST(FlightRecorder, DumpNamesInFlightJobAndKeepsNewestEvents) {
+  FlightRecorder R(2, 8);
+  R.bindThread(0);
+  for (int I = 0; I != 40; ++I) {
+    std::string Name = "job" + std::to_string(I);
+    R.jobStart(0, Name.c_str(), "leaf-job");
+    R.jobFinish(0, Name.c_str(), true);
+  }
+  R.jobStart(0, "wedged", "chain-job");
+  FlightRecorder::unbindThread();
+
+  std::string Path = testing::TempDir() + "flightrec_inflight.json";
+  ASSERT_TRUE(R.dumpFile(Path.c_str(), "request"));
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JsonValue Doc;
+  ASSERT_TRUE(JsonValue::parse(Buf.str(), Doc));
+  EXPECT_EQ(Doc.get("schema")->asString(), FlightRecSchemaV1);
+  EXPECT_EQ(Doc.get("reason")->asString(), "request");
+  const JsonValue *Workers = Doc.get("workers");
+  ASSERT_NE(Workers, nullptr);
+  ASSERT_EQ(Workers->size(), 2u);
+
+  const JsonValue &Lane = Workers->at(0);
+  EXPECT_TRUE(Lane.get("in_flight")->asBool());
+  EXPECT_EQ(Lane.get("current_job")->asString(), "wedged");
+  const JsonValue *Events = Lane.get("events");
+  ASSERT_NE(Events, nullptr);
+  // Bounded: the ring holds at most 8 slots, and the newest event is the
+  // wedged job's start; the earliest jobs were lapped away.
+  EXPECT_LE(Events->size(), 8u);
+  ASSERT_GT(Events->size(), 0u);
+  EXPECT_EQ(Events->at(Events->size() - 1).get("name")->asString(),
+            "wedged");
+  for (const JsonValue &E : Events->items())
+    EXPECT_NE(E.get("name")->asString(), "job0");
+  // The idle lane dumped too, empty.
+  EXPECT_FALSE(Workers->at(1).get("in_flight")->asBool());
+}
+
+// Writers on distinct lanes with concurrent dumps: the seqlock protocol
+// must keep this race-free (TSan runs this in CI) and every completed
+// dump parseable.
+TEST(FlightRecorder, ConcurrentLanesAndDumpsStayConsistent) {
+  constexpr unsigned Lanes = 4;
+  FlightRecorder R(Lanes, 16);
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Writers;
+  for (unsigned W = 0; W != Lanes; ++W)
+    Writers.emplace_back([&R, W, &Stop] {
+      R.bindThread(W);
+      for (int I = 0; !Stop.load(std::memory_order_relaxed) && I != 4000;
+           ++I) {
+        std::string Name = "w" + std::to_string(W) + ":" +
+                           std::to_string(I);
+        R.jobStart(W, Name.c_str(), "race-job");
+        FlightRecorder::notePhase("execute");
+        R.jobFinish(W, Name.c_str(), true);
+      }
+      FlightRecorder::unbindThread();
+    });
+
+  // Dump repeatedly while the writers are spinning; a reader must never
+  // block a writer or tear an event.
+  std::string Path = testing::TempDir() + "flightrec_race.json";
+  for (int D = 0; D != 20; ++D)
+    ASSERT_TRUE(R.dumpFile(Path.c_str(), "request"));
+  Stop = true;
+  for (std::thread &T : Writers)
+    T.join();
+
+  ASSERT_TRUE(R.dumpFile(Path.c_str(), "request"));
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JsonValue Doc;
+  ASSERT_TRUE(JsonValue::parse(Buf.str(), Doc));
+  const JsonValue *Workers = Doc.get("workers");
+  ASSERT_EQ(Workers->size(), Lanes);
+  for (const JsonValue &Lane : Workers->items()) {
+    EXPECT_FALSE(Lane.get("in_flight")->asBool());
+    // Quiesced: every retained slot is stable, so the full ring dumps.
+    EXPECT_GT(Lane.get("events")->size(), 0u);
   }
 }
 

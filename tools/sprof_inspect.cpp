@@ -42,14 +42,28 @@
 ///       and the busiest sites. Unreadable, truncated, corrupt, or
 ///       wrong-version traces diagnose the precise failure and exit 1.
 ///
+///   sprof-inspect sweep <sweep_report.json> [--top=N]
+///       The engine's causal sweep view (sprof.sweep_report/1): per-job
+///       timeline with queue wait separated from run time, the
+///       dependency-weighted critical path, per-worker utilization, and
+///       the straggler top-N.
+///
+///   sprof-inspect blackbox <flightrec.json>
+///       Reads a flight-recorder dump (sprof.flightrec/1): why it was
+///       written, which jobs were in flight, and each worker lane's last
+///       recorded events.
+///
 /// Exit status: 0 on success, 1 on usage/IO/parse errors. Unknown
-/// subcommands, malformed JSON, and wrong-schema inputs all diagnose to
+/// subcommands, malformed JSON, wrong-schema inputs, and documents whose
+/// schema version is NEWER than this reader supports all diagnose to
 /// stderr and exit 1; they never crash or silently succeed.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/FlightRecorder.h"
 #include "obs/Json.h"
 #include "obs/Report.h"
+#include "obs/SweepReport.h"
 #include "profile/ProfileDiff.h"
 #include "stream/TraceFile.h"
 #include "support/Table.h"
@@ -67,11 +81,14 @@ using namespace sprof;
 
 namespace {
 
-/// Loads \p Path, parses it, and checks the "schema" member starts with
-/// \p SchemaPrefix. Every failure mode (unreadable file, malformed JSON,
-/// wrong document kind) prints a one-line diagnostic and returns false.
+/// Loads \p Path, parses it, checks the "schema" member starts with
+/// \p SchemaPrefix, and rejects versions newer than \p MaxVersion — a /7
+/// document may carry sections whose invariants this reader predates, so
+/// skipping them silently would let a broken producer pass. Every failure
+/// mode (unreadable file, malformed JSON, wrong document kind, too-new
+/// version) prints a one-line diagnostic and returns false.
 bool loadDocument(const std::string &Path, const char *SchemaPrefix,
-                  JsonValue &Out) {
+                  unsigned MaxVersion, JsonValue &Out) {
   std::ifstream IS(Path);
   if (!IS) {
     std::cerr << "sprof-inspect: cannot open " << Path << "\n";
@@ -104,11 +121,27 @@ bool loadDocument(const std::string &Path, const char *SchemaPrefix,
               << ")\n";
     return false;
   }
+  const std::string &Full = Schema->asString();
+  char *End = nullptr;
+  unsigned long Version =
+      std::strtoul(Full.c_str() + std::strlen(SchemaPrefix), &End, 10);
+  if (!End || *End != '\0' || Version == 0) {
+    std::cerr << "sprof-inspect: " << Path << ": malformed schema version '"
+              << Full << "'\n";
+    return false;
+  }
+  if (Version > MaxVersion) {
+    std::cerr << "sprof-inspect: " << Path << ": schema " << Full
+              << " is newer than this reader supports (max "
+              << SchemaPrefix << MaxVersion
+              << "); upgrade sprof-inspect\n";
+    return false;
+  }
   return true;
 }
 
 bool loadReport(const std::string &Path, JsonValue &Out) {
-  return loadDocument(Path, "sprof.run_report/", Out);
+  return loadDocument(Path, "sprof.run_report/", 5, Out);
 }
 
 uint64_t uintAt(const JsonValue *Obj, const char *Key) {
@@ -410,7 +443,7 @@ std::string sparkline(const std::vector<double> &Values, size_t Width = 40) {
 
 int runTimeseries(const std::string &Path) {
   JsonValue Doc;
-  if (!loadDocument(Path, "sprof.timeseries/", Doc))
+  if (!loadDocument(Path, "sprof.timeseries/", 1, Doc))
     return 1;
 
   const JsonValue *Ts = Doc.get("timestamps_us");
@@ -669,13 +702,164 @@ int runTrace(const std::string &Path, size_t TopN) {
   return 0;
 }
 
+// -- sweep -----------------------------------------------------------------
+
+int runSweepReport(const std::string &Path, size_t TopN) {
+  JsonValue Doc;
+  if (!loadDocument(Path, "sprof.sweep_report/", 1, Doc))
+    return 1;
+
+  const JsonValue *Jobs = Doc.get("jobs");
+  if (!Jobs || !Jobs->isArray()) {
+    std::cerr << "sprof-inspect: " << Path << ": no jobs array\n";
+    return 1;
+  }
+  uint64_t WallUs = uintAt(&Doc, "wall_us");
+  std::cout << "sweep:   " << Path << "\n";
+  std::cout << "threads: " << uintAt(&Doc, "threads") << "\n";
+  std::cout << "jobs:    " << Jobs->size() << "\n";
+  std::cout << "wall:    " << Table::fmt(WallUs / 1000.0) << " ms\n\n";
+
+  // Per-worker timeline, longest-running jobs first: with one row per
+  // job the reader scans the stragglers before the noise.
+  std::vector<const JsonValue *> Order;
+  for (const JsonValue &J : Jobs->items())
+    Order.push_back(&J);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const JsonValue *A, const JsonValue *B) {
+                     return uintAt(A, "run_us") > uintAt(B, "run_us");
+                   });
+  Table T("Jobs (longest run first)");
+  T.row({"id", "job", "category", "worker", "ready ms", "wait ms",
+         "run ms", "ok"});
+  size_t N = std::min<size_t>(Order.size(), TopN);
+  for (size_t I = 0; I != N; ++I) {
+    const JsonValue *J = Order[I];
+    T.row({Table::fmtInt(uintAt(J, "id")), stringAt(J, "name", "?"),
+           stringAt(J, "category", "?"),
+           Table::fmtInt(uintAt(J, "worker")),
+           Table::fmt(uintAt(J, "ready_us") / 1000.0),
+           Table::fmt(uintAt(J, "queue_wait_us") / 1000.0),
+           Table::fmt(uintAt(J, "run_us") / 1000.0),
+           J->get("ok") && J->get("ok")->asBool() ? "yes" : "NO"});
+  }
+  T.print(std::cout);
+  if (Order.size() > N)
+    std::cout << "(" << Order.size() - N << " more jobs)\n";
+  std::cout << "\n";
+
+  if (const JsonValue *CP = Doc.get("critical_path")) {
+    std::cout << "critical path: "
+              << Table::fmt(uintAt(CP, "duration_us") / 1000.0) << " ms ("
+              << Table::fmtPercent(doubleAt(CP, "fraction") * 100.0)
+              << " of wall)\n";
+    const JsonValue *Chain = CP->get("jobs");
+    if (Chain && Chain->isArray() && Chain->size() != 0) {
+      std::cout << "  ";
+      for (size_t I = 0; I != Chain->size(); ++I) {
+        uint64_t Id = Chain->at(I).asUInt();
+        std::string Name =
+            Id < Jobs->size() ? stringAt(&Jobs->at(Id), "name", "?") : "?";
+        if (I != 0)
+          std::cout << " -> ";
+        std::cout << Name;
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  if (const JsonValue *Sched = Doc.get("scheduler")) {
+    std::cout << "scheduler: queue high-water "
+              << uintAt(Sched, "queue_depth_high_water")
+              << ", wakeup retries " << uintAt(Sched, "wakeup_retries")
+              << ", " << uintAt(Sched, "jobs_finished") << " finished / "
+              << uintAt(Sched, "jobs_failed") << " failed / "
+              << uintAt(Sched, "jobs_skipped") << " skipped\n\n";
+    const JsonValue *Workers = Sched->get("workers");
+    if (Workers && Workers->isArray() && Workers->size() != 0) {
+      Table W("Worker utilization");
+      W.row({"worker", "jobs", "busy ms", "utilization"});
+      for (const JsonValue &WJ : Workers->items())
+        W.row({Table::fmtInt(uintAt(&WJ, "worker")),
+               Table::fmtInt(uintAt(&WJ, "jobs")),
+               Table::fmt(uintAt(&WJ, "busy_us") / 1000.0),
+               Table::fmtPercent(doubleAt(&WJ, "utilization") * 100.0)});
+      W.print(std::cout);
+      std::cout << "\n";
+    }
+    const JsonValue *Stragglers = Sched->get("stragglers");
+    if (Stragglers && Stragglers->isArray() && Stragglers->size() != 0) {
+      Table S("Stragglers");
+      S.row({"id", "job", "run ms", "wait ms"});
+      for (const JsonValue &SJ : Stragglers->items())
+        S.row({Table::fmtInt(uintAt(&SJ, "id")), stringAt(&SJ, "name", "?"),
+               Table::fmt(uintAt(&SJ, "run_us") / 1000.0),
+               Table::fmt(uintAt(&SJ, "queue_wait_us") / 1000.0)});
+      S.print(std::cout);
+    }
+  }
+  return 0;
+}
+
+// -- blackbox --------------------------------------------------------------
+
+int runBlackbox(const std::string &Path) {
+  JsonValue Doc;
+  if (!loadDocument(Path, "sprof.flightrec/", 1, Doc))
+    return 1;
+
+  std::cout << "flight recorder: " << Path << "\n";
+  std::cout << "reason:          " << stringAt(&Doc, "reason", "?") << "\n";
+  std::cout << "wall:            " << Table::fmt(uintAt(&Doc, "wall_us") /
+                                                 1000.0)
+            << " ms\n\n";
+
+  const JsonValue *Workers = Doc.get("workers");
+  if (!Workers || !Workers->isArray()) {
+    std::cerr << "sprof-inspect: " << Path << ": no workers array\n";
+    return 1;
+  }
+  // In-flight jobs first: on a crash dump they are the suspects.
+  bool AnyInFlight = false;
+  for (const JsonValue &W : Workers->items()) {
+    if (W.get("in_flight") && W.get("in_flight")->asBool()) {
+      AnyInFlight = true;
+      std::cout << "worker " << uintAt(&W, "worker") << " IN FLIGHT: "
+                << stringAt(&W, "current_job", "?") << "\n";
+    }
+  }
+  std::cout << (AnyInFlight ? "\n" : "(no jobs were in flight)\n\n");
+
+  for (const JsonValue &W : Workers->items()) {
+    const JsonValue *Events = W.get("events");
+    std::string Title =
+        "Worker " + std::to_string(uintAt(&W, "worker")) + " events";
+    if (!Events || !Events->isArray() || Events->size() == 0) {
+      std::cout << Title << ": (none)\n";
+      continue;
+    }
+    Table T(Title);
+    T.row({"ts ms", "kind", "event", "detail"});
+    for (const JsonValue &E : Events->items())
+      T.row({Table::fmt(uintAt(&E, "ts_us") / 1000.0),
+             stringAt(&E, "kind", "?"), stringAt(&E, "name", "?"),
+             stringAt(&E, "detail")});
+    T.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage: sprof-inspect summary <report.json>\n"
             << "       sprof-inspect diff <reference.json> "
                "<candidate.json> [--json=PATH]\n"
             << "       sprof-inspect timeseries <timeseries.json>\n"
             << "       sprof-inspect hotspots <report.json> [--top=N]\n"
-            << "       sprof-inspect trace <file.sprof.trace> [--top=N]\n";
+            << "       sprof-inspect trace <file.sprof.trace> [--top=N]\n"
+            << "       sprof-inspect sweep <sweep_report.json> [--top=N]\n"
+            << "       sprof-inspect blackbox <flightrec.json>\n";
   return 1;
 }
 
@@ -727,6 +911,14 @@ int main(int Argc, char **Argv) {
     return WantArgs(1, "one report path") ? runHotspots(Args[1], TopN) : 1;
   if (Cmd == "trace")
     return WantArgs(1, "one trace path") ? runTrace(Args[1], TopN) : 1;
+  if (Cmd == "sweep")
+    return WantArgs(1, "one sweep-report path")
+               ? runSweepReport(Args[1], TopN)
+               : 1;
+  if (Cmd == "blackbox")
+    return WantArgs(1, "one flight-recorder dump path")
+               ? runBlackbox(Args[1])
+               : 1;
   std::cerr << "sprof-inspect: unknown subcommand '" << Cmd << "'\n";
   return usage();
 }
