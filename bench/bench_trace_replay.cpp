@@ -18,16 +18,25 @@
 /// The aggregate events/sec feeds the bench trajectory
 /// (scripts/bench_trajectory.py, "replay_events_per_sec").
 ///
+/// A second section measures parallel replay scaling: a large synthetic
+/// trace (default 10M events, `--scale-events N` overrides) replayed with
+/// one thread and with `--threads N` (default 8) workers through the /2
+/// shard index + site-sharded profile path. The threaded profile must be
+/// bit-identical to the serial one, and the serial/parallel wall-clock
+/// ratio feeds the trajectory as "replay_parallel_speedup".
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Experiments.h"
 #include "driver/TraceReplay.h"
 #include "obs/Report.h"
+#include "stream/SyntheticTrace.h"
 #include "support/Table.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 using namespace sprof;
@@ -46,6 +55,20 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        Start)
       .count();
+}
+
+/// `--scale-events=N` / `--scale-events N`: size of the synthetic scaling
+/// trace. CI passes a reduced value; the default is the acceptance bar's
+/// 10M-event shape.
+uint64_t scaleEvents(int Argc, char **Argv, uint64_t Default) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--scale-events=", 15) == 0)
+      return std::strtoull(A + 15, nullptr, 10);
+    if (std::strcmp(A, "--scale-events") == 0 && I + 1 < Argc)
+      return std::strtoull(Argv[I + 1], nullptr, 10);
+  }
+  return Default;
 }
 
 } // namespace
@@ -147,10 +170,105 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  // Parallel replay scaling: one big synthetic trace (mixed load/prefetch
+  // kinds, so the Load filter is exercised), replayed serially and with
+  // the thread pool over the /2 shard index.
+  const unsigned Threads = benchThreads(Argc, Argv, 8);
+  const uint64_t ScaleLoads = scaleEvents(Argc, Argv, 10'000'000);
+  const std::string ScalePath =
+      tmpDir() + "bench_trace_replay_scale.sprof.trace";
+  uint64_t ScaleTraceEvents = 0;
+  uint64_t ScaleTraceBytes = 0;
+  {
+    SyntheticTraceConfig SC;
+    SC.Events = ScaleLoads;
+    SC.Seed = 1;
+    auto Src = makeSyntheticTrace("stream-mixed", SC);
+    if (!Src) {
+      std::cerr << "error: cannot build the stream-mixed scaling trace\n";
+      return 1;
+    }
+    std::string Err;
+    auto W = TraceWriter::open(ScalePath, Src->numSites(), {}, /*Text=*/false,
+                               &Err);
+    if (!W) {
+      std::cerr << "error: " << ScalePath << ": " << Err << "\n";
+      return 1;
+    }
+    drainStream(*Src, *W, 4096);
+    W->finish();
+    if (!W->ok()) {
+      std::cerr << "error: " << ScalePath << ": " << W->error() << "\n";
+      return 1;
+    }
+    ScaleTraceEvents = W->eventsWritten();
+    ScaleTraceBytes = W->bytesWritten();
+  }
+
+  TraceReplayOptions ScaleOpts;
+  ScaleOpts.EvaluateWorkload = false;
+  ScaleOpts.SimulateMemory = false;
+  ScaleOpts.Method = Method;
+  double SerialBest = 0.0, ParallelBest = 0.0;
+  std::string SerialJson, ParallelJson;
+  for (const unsigned N : {1u, Threads}) {
+    ScaleOpts.Threads = N;
+    double Best = 0.0;
+    for (int R = 0; R != Reps; ++R) {
+      const auto Start = std::chrono::steady_clock::now();
+      const TraceReplayResult Replay = replayTraceFile(ScalePath, ScaleOpts);
+      const double Elapsed = secondsSince(Start);
+      if (!Replay.Ok) {
+        std::cerr << "error: scaling replay (threads=" << N
+                  << ") failed: " << Replay.Error << "\n";
+        return 1;
+      }
+      if (R == 0) {
+        std::string &Json = N == 1 ? SerialJson : ParallelJson;
+        Json = strideProfileToJson(Replay.Profile.Strides).str();
+      }
+      if (Best == 0.0 || Elapsed < Best)
+        Best = Elapsed;
+    }
+    (N == 1 ? SerialBest : ParallelBest) = Best;
+    if (N == Threads)
+      break; // Threads == 1: one measurement serves both roles
+  }
+  if (Threads == 1) {
+    ParallelBest = SerialBest;
+    ParallelJson = SerialJson;
+  }
+  std::remove(ScalePath.c_str());
+
+  const bool ScaleIdentical = ParallelJson == SerialJson;
+  const double Speedup =
+      ParallelBest > 0.0 ? SerialBest / ParallelBest : 0.0;
+
+  Table S("Parallel replay scaling (stream-mixed, " +
+          std::to_string(ScaleTraceEvents) + " events)");
+  S.row({"threads", "serial s", "parallel s", "speedup", "fidelity"});
+  S.row({std::to_string(Threads), Table::fmt(SerialBest, 4),
+         Table::fmt(ParallelBest, 4), Table::fmt(Speedup, 2),
+         ScaleIdentical ? "bit-identical" : "DIVERGED"});
+  S.print(std::cout);
+
+  if (!ScaleIdentical) {
+    std::cerr << "error: parallel replay diverged from serial on the "
+                 "scaling trace\n";
+    return 1;
+  }
+
   JsonValue Doc = JsonValue::object();
   Doc.set("replay_events_per_sec", AggregateEventsPerSec)
       .set("total_events", TotalEvents)
       .set("total_replay_seconds", TotalSeconds)
+      .set("replay_parallel_speedup", Speedup)
+      .set("scale_events", ScaleTraceEvents)
+      .set("scale_bytes", ScaleTraceBytes)
+      .set("scale_threads", static_cast<uint64_t>(Threads))
+      .set("scale_serial_seconds", SerialBest)
+      .set("scale_parallel_seconds", ParallelBest)
+      .set("scale_bit_identical", ScaleIdentical)
       .set("benchmarks", std::move(Rows));
   return emitBenchReport(Argc, Argv, "bench_trace_replay.json",
                          "trace-replay", std::move(Doc));

@@ -6,16 +6,16 @@ overhead, the engine wall-clock compare harness — once plain and once with
 full telemetry attached — and the telemetry demo's profile-accuracy diff),
 condenses them into one trajectory point
 
-    {"schema": "sprof.bench_point/4", "date": ..., "geomean_speedup": ...,
+    {"schema": "sprof.bench_point/5", "date": ..., "geomean_speedup": ...,
      "profiling_overhead": ..., "prefetch_useful_ratio": ...,
      "accuracy_score": ..., "engine_wall_speedup": ...,
      "memsys_wall_speedup": ..., "profiled_wall_speedup": ...,
      "trace_wall_speedup": ..., "telemetry_overhead": ...,
-     "replay_events_per_sec": ..., "components": ...,
-     "git_sha": ..., "git_dirty": ...}
+     "replay_events_per_sec": ..., "replay_parallel_speedup": ...,
+     "components": ..., "git_sha": ..., "git_dirty": ...}
 
 (the git provenance fields are optional — absent outside a git checkout —
-so existing sprof.bench_point/4 readers keep working)
+so existing sprof.bench_point readers keep working)
 
 written to bench/trajectory/BENCH_<date>.json, and fails (exit 1) when
 the geomean prefetch speedup, the useful-prefetch ratio, or the replay
@@ -28,7 +28,9 @@ wall-clock compare fields (engine/memsys/profiled/trace
 geomeans) are reported against the baseline but only warn: they measure
 host wall time across engine pairs and swing with machine load, so a hard
 gate on them would be flaky — trace_wall_speedup in particular is
-warn-only while the trace tier's first trajectory points accumulate.
+warn-only while the trace tier's first trajectory points accumulate, and
+replay_parallel_speedup (serial over threaded replay wall time) is
+warn-only because it scales with the host's core count.
 Used by the trajectory-gate CI job; run locally with
 
     scripts/bench_trajectory.py --build-dir build
@@ -70,7 +72,7 @@ def geomean(values):
 def git_revision():
     """The checkout's (sha, dirty) pair, or (None, None) outside git.
 
-    Optional provenance: readers of sprof.bench_point/4 must not require
+    Optional provenance: readers of sprof.bench_point/5 must not require
     these fields, so a tarball build still produces a valid point.
     """
     try:
@@ -120,10 +122,13 @@ def collect_point(build_dir, threads, workdir):
          f"--telemetry-timeseries={os.path.join(workdir, 'ts.json')}",
          f"--telemetry-folded={os.path.join(workdir, 'prof.folded')}",
          f"--json={runtime_telemetry}"], stdout=subprocess.DEVNULL)
-    # Trace capture -> replay throughput; the bench itself exits 1 when a
-    # replayed profile diverges from its live run, so fidelity is gated too.
+    # Trace capture -> replay throughput, plus the parallel scaling row;
+    # the bench itself exits 1 when a replayed profile diverges from its
+    # live run (serial fidelity) or the threaded replay diverges from the
+    # serial one (parallel fidelity), so both are gated too.
     run([os.path.join(bench, "bench_trace_replay"),
-         f"--json={trace_replay}"], stdout=subprocess.DEVNULL)
+         f"--threads={threads}", f"--json={trace_replay}"],
+        stdout=subprocess.DEVNULL)
     run([os.path.join(examples, "telemetry_demo"), report, trace, sampled,
          timeseries, folded], stdout=subprocess.DEVNULL)
 
@@ -161,7 +166,7 @@ def collect_point(build_dir, threads, workdir):
 
     git_sha, git_dirty = git_revision()
     point = {
-        "schema": "sprof.bench_point/4",
+        "schema": "sprof.bench_point/5",
         "date": datetime.date.today().isoformat(),
         "geomean_speedup": geomean(speedups),
         "profiling_overhead": overhead,
@@ -173,6 +178,8 @@ def collect_point(build_dir, threads, workdir):
         "trace_wall_speedup": runtime_doc.get("trace_geomean_speedup", 0.0),
         "telemetry_overhead": telemetry_doc.get("telemetry_overhead", 0.0),
         "replay_events_per_sec": replay_doc.get("replay_events_per_sec", 0.0),
+        "replay_parallel_speedup": replay_doc.get("replay_parallel_speedup",
+                                                  0.0),
         "components": {
             "speedup_method": method,
             "overhead_method": overhead_method,
@@ -205,15 +212,18 @@ def gate(point, baseline, baseline_path, tolerance):
     (replay at 3x the tolerance: single-process, but its host-noise
     spread is wider than the deterministic metrics' 5% band);
     wall-clock compare geomeans (engine/memsys/profiled/trace) are
-    load-sensitive, so they warn only. A baseline that predates a metric
-    (old <= 0) skips it, which is what keeps newly-added keys warn-free
-    until their first committed point.
+    load-sensitive, so they warn only, and replay_parallel_speedup is
+    warn-only too: it compares serial vs threaded replay wall time, so it
+    tracks the host's core count, not just the code. A baseline that
+    predates a metric (old <= 0) skips it, which is what keeps
+    newly-added keys warn-free until their first committed point.
     """
     ok = True
     hard = ("geomean_speedup", "prefetch_useful_ratio",
             "replay_events_per_sec")
     soft = ("engine_wall_speedup", "memsys_wall_speedup",
-            "profiled_wall_speedup", "trace_wall_speedup")
+            "profiled_wall_speedup", "trace_wall_speedup",
+            "replay_parallel_speedup")
     for key in hard + soft:
         old, new = baseline.get(key, 0.0), point.get(key, 0.0)
         if old <= 0:
@@ -265,7 +275,7 @@ def main():
                 "prefetch_useful_ratio", "accuracy_score",
                 "engine_wall_speedup", "memsys_wall_speedup",
                 "profiled_wall_speedup", "telemetry_overhead",
-                "replay_events_per_sec"):
+                "replay_events_per_sec", "replay_parallel_speedup"):
         print(f"  {key}: {point[key]:.4f}")
 
     if not args.no_write:

@@ -6,14 +6,15 @@
 # before), the attribution exact-sum invariant, the profile_diff,
 # self_profile, profile_run.trace, and trace_tier sections, the "sprof.timeseries/1"
 # sampler artifact, the folded-stack self-profile file, the binary
-# "sprof.trace/1" capture's header/trailer framing, and the Chrome trace
+# "sprof.trace/1" or /2 capture's framing (for /2 also the seekable tail
+# and the shard index's invariants), and the Chrome trace
 # for the pipeline's phase spans plus the sampler's counter ("C") events.
 # When given the sprof-inspect binary it also smoke-tests its summary,
 # diff, timeseries, hotspots, and trace modes against the fresh artifacts
 # — including that unknown subcommands, malformed JSON, truncated traces,
 # and trace version mismatches exit nonzero — and when given a
-# bench-trajectory point it validates the "sprof.bench_point/4" schema
-# (accepting legacy /1../3 points). When given the sweep_demo example it
+# bench-trajectory point it validates the "sprof.bench_point/5" schema
+# (accepting legacy /1../4 points). When given the sweep_demo example it
 # also validates the "sprof.sweep_report/1" document (per-job queue-wait
 # vs run split, dependency edges referencing earlier ids, the critical
 # path's sum-of-durations <= wall invariant, and the scheduler section
@@ -189,7 +190,7 @@ if report.get("schema") in RUN_REPORT_SCHEMAS[3:]:
     if isinstance(capture, dict):
         for key in ("path", "schema", "events", "bytes"):
             check(key in capture, f"profile_run.trace missing {key!r}")
-        check(capture.get("schema") in ("sprof.trace/1",
+        check(capture.get("schema") in ("sprof.trace/1", "sprof.trace/2",
                                         "sprof.trace.text/1"),
               f"unexpected trace schema: {capture.get('schema')!r}")
         check(capture.get("events", 0) ==
@@ -247,16 +248,100 @@ if report.get("schema") == "sprof.run_report/5":
     check(any(e.get("op", "").startswith("trace:") for e in entries),
           "no trace:<n> frames in self_profile despite Engine::Trace")
 
-# -- sprof.trace/1 binary framing ------------------------------------------
+# -- sprof.trace/1 + /2 binary framing -------------------------------------
 
 with open(capture_path, "rb") as f:
     raw = f.read()
 check(raw[:8] == b"SPROFTRC",
       f"trace capture magic is {raw[:8]!r}, want b'SPROFTRC'")
 version = int.from_bytes(raw[8:12], "little")
-check(version == 1, f"trace capture version {version}, want 1")
+check(version in (1, 2), f"trace capture version {version}, want 1 or 2")
 check(raw[-8:] == b"SPROFEND",
       f"trace capture end magic is {raw[-8:]!r}, want b'SPROFEND'")
+
+if version >= 2:
+    # /2 seekable tail: the 8 bytes before the end magic are the absolute
+    # offset of the footer, which must land on the end-of-events marker.
+    footer_start = int.from_bytes(raw[-16:-8], "little")
+    check(12 < footer_start < len(raw) - 16,
+          f"/2 footer offset {footer_start} out of range for a "
+          f"{len(raw)}-byte file")
+    check(footer_start < len(raw) and raw[footer_start] == 0x00,
+          "/2 footer offset does not land on the end-of-events marker")
+
+    def varint(buf, pos):
+        v = shift = 0
+        while True:
+            b = buf[pos]
+            pos += 1
+            v |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return v, pos
+            shift += 7
+
+    # Walk the footer sections to the shard index and check its invariants:
+    # chunk boundaries every `interval` events, byte offsets strictly
+    # increasing inside the event area, cumulative load counts monotone,
+    # chunk 0 starting from zeroed carried decoder state, and the event
+    # count ending exactly at the seekable tail.
+    pos = footer_start + 1
+    index = None
+    while True:
+        tag = raw[pos]
+        pos += 1
+        if tag == 0x00:
+            break
+        if tag == 0x01:  # edge-profile section
+            _, pos = varint(raw, pos)
+            n, pos = varint(raw, pos)
+            for _ in range(2 * n):
+                _, pos = varint(raw, pos)
+            n, pos = varint(raw, pos)
+            for _ in range(4 * n):
+                _, pos = varint(raw, pos)
+        elif tag == 0x02:  # shard index
+            interval, pos = varint(raw, pos)
+            nchunks, pos = varint(raw, pos)
+            chunks = []
+            for _ in range(nchunks):
+                entry = []
+                for _ in range(6):  # off, cum_ev, cum_ld, site, addr, ref
+                    v, pos = varint(raw, pos)
+                    entry.append(v)
+                chunks.append(entry)
+            total_loads, pos = varint(raw, pos)
+            index = (interval, chunks, total_loads)
+        else:
+            check(False, f"/2 footer has unknown section tag {tag}")
+            break
+    check(index is not None, "/2 trace footer carries no shard index")
+    if index is not None:
+        interval, chunks, total_loads = index
+        check(interval > 0, "/2 index interval is zero")
+        check(len(chunks) >= 1, "/2 index has no chunks")
+        check(chunks[0][1:] == [0, 0, 0, 0, 0],
+              "/2 index chunk 0 does not start from zeroed decoder state")
+        for i, (off, cum_ev, cum_ld, _s, _a, _r) in enumerate(chunks):
+            check(off < footer_start,
+                  f"/2 index chunk {i} offset {off} is past the footer")
+            if i:
+                check(off > chunks[i - 1][0],
+                      f"/2 index chunk {i} byte offset is not increasing")
+                check(cum_ev == i * interval,
+                      f"/2 index chunk {i} starts at event {cum_ev}, "
+                      f"want {i * interval}")
+                check(cum_ld >= chunks[i - 1][2],
+                      f"/2 index chunk {i} cumulative load count decreases")
+        check(total_loads >= chunks[-1][2],
+              "/2 index total loads below the last chunk's cumulative count")
+    footer_events, pos = varint(raw, pos)
+    check(pos == len(raw) - 16,
+          "/2 footer event count does not end at the seekable tail")
+    if isinstance(report.get("profile_run", {}).get("trace"), dict):
+        reported_events = report["profile_run"]["trace"].get("events")
+        check(footer_events == reported_events,
+              f"/2 footer says {footer_events} events but the report "
+              f"says {reported_events}")
 if report.get("schema") in RUN_REPORT_SCHEMAS[3:] and \
         isinstance(report.get("profile_run", {}).get("trace"), dict):
     reported = report["profile_run"]["trace"].get("bytes")
@@ -487,31 +572,40 @@ with open(sys.argv[1]) as f:
 failures = []
 schema = point.get("schema")
 if schema not in ("sprof.bench_point/1", "sprof.bench_point/2",
-                  "sprof.bench_point/3", "sprof.bench_point/4"):
+                  "sprof.bench_point/3", "sprof.bench_point/4",
+                  "sprof.bench_point/5"):
     failures.append(f"unexpected schema: {schema!r}")
 for key in ("date", "geomean_speedup", "profiling_overhead",
             "prefetch_useful_ratio", "accuracy_score"):
     if key not in point:
         failures.append(f"bench point missing {key!r}")
 if schema in ("sprof.bench_point/2", "sprof.bench_point/3",
-              "sprof.bench_point/4"):
+              "sprof.bench_point/4", "sprof.bench_point/5"):
     # v2 adds the wall-clock compare geomeans for the memsys-attached and
     # profiler-attached configurations.
     for key in ("engine_wall_speedup", "memsys_wall_speedup",
                 "profiled_wall_speedup"):
         if key not in point:
             failures.append(f"bench point missing {key!r}")
-if schema in ("sprof.bench_point/3", "sprof.bench_point/4"):
+if schema in ("sprof.bench_point/3", "sprof.bench_point/4",
+              "sprof.bench_point/5"):
     # v3 adds the worst-case telemetry overhead from the instrumented
     # wall-clock compare (a ratio - 1, so anything >= -1 is legal).
     overhead = point.get("telemetry_overhead")
     if not isinstance(overhead, (int, float)) or overhead < -1:
         failures.append("bench point telemetry_overhead missing or invalid")
-if schema == "sprof.bench_point/4":
+if schema in ("sprof.bench_point/4", "sprof.bench_point/5"):
     # v4 adds the trace tier's wall-clock geomean over the decoded engine.
     value = point.get("trace_wall_speedup")
     if not isinstance(value, (int, float)) or value < 0:
         failures.append("bench point trace_wall_speedup missing or invalid")
+if schema == "sprof.bench_point/5":
+    # v5 adds the parallel-replay scaling ratio (serial over threaded
+    # wall time; warn-only in the gate, but it must be present and sane).
+    value = point.get("replay_parallel_speedup")
+    if not isinstance(value, (int, float)) or value < 0:
+        failures.append(
+            "bench point replay_parallel_speedup missing or invalid")
 for key in ("geomean_speedup", "prefetch_useful_ratio", "accuracy_score"):
     value = point.get(key)
     if not isinstance(value, (int, float)) or value < 0:

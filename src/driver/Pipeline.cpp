@@ -7,6 +7,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "driver/ParallelReplay.h"
 #include "driver/TraceReplay.h"
 #include "ir/Verifier.h"
 #include "obs/SelfProfiler.h"
@@ -104,8 +105,7 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
     Capture->finish();
     Result.Capture.Enabled = Capture->ok();
     Result.Capture.Path = Config.TraceCapturePath;
-    Result.Capture.Schema =
-        Config.TraceCaptureText ? TraceTextSchemaV1 : TraceSchemaV1;
+    Result.Capture.Schema = Capture->schema();
     Result.Capture.Events = Capture->eventsWritten();
     Result.Capture.Bytes = Capture->bytesWritten();
     if (Obs) {
@@ -129,7 +129,8 @@ ProfileRunResult Pipeline::runProfile(ProfilingMethod Method, DataSet DS,
 }
 
 ProfileRunResult Pipeline::profileFromStream(AccessSource &Src,
-                                             ProfilingMethod Method) const {
+                                             ProfilingMethod Method,
+                                             unsigned Threads) const {
   ObsSession *Obs = Session;
   TraceSpan Span(Obs, "profile-from-stream", "pipeline", /*Level=*/1);
 
@@ -138,24 +139,41 @@ ProfileRunResult Pipeline::profileFromStream(AccessSource &Src,
 
   StrideProfilerConfig PC = Config.Profiler;
   PC.Sampling.Enabled = methodUsesSampling(Method);
-  StrideProfiler Profiler(Src.numSites(), PC);
-  Profiler.attachObs(Obs);
 
-  {
-    TraceSpan ES(Obs, "consume-stream", "profile", /*Level=*/1);
-    Result.Stats.RuntimeCycles =
-        Profiler.consume(Src, Config.Interp.StrideBatchWindow);
-  }
-  Result.Stats.Cycles = Result.Stats.RuntimeCycles;
-  Result.Stats.Completed = true;
+  if (Threads > 1) {
+    // Site-sharded parallel profile (driver/ParallelReplay.h): merged
+    // results bit-identical to the serial branch below; per-shard metric
+    // scopes fold into this session in job-id order.
+    TraceSpan ES(Obs, "consume-stream-sharded", "profile", /*Level=*/1);
+    ShardedProfileResult SP = profileEventsSharded(Src, PC, Threads,
+                                                   /*Shards=*/0, Obs);
+    Result.Stats.RuntimeCycles = SP.RuntimeCycles;
+    Result.Stats.Cycles = SP.RuntimeCycles;
+    Result.Stats.Completed = SP.Ok;
+    Result.Strides = std::move(SP.Strides);
+    Result.StrideInvocations = SP.Invocations;
+    Result.StrideProcessed = SP.Processed;
+    Result.LfuCalls = SP.LfuCalls;
+  } else {
+    StrideProfiler Profiler(Src.numSites(), PC);
+    Profiler.attachObs(Obs);
 
-  {
-    TraceSpan HS(Obs, "strideprof-harvest", "profile", /*Level=*/1);
-    Result.Strides = StrideProfile::fromProfiler(Profiler);
+    {
+      TraceSpan ES(Obs, "consume-stream", "profile", /*Level=*/1);
+      Result.Stats.RuntimeCycles =
+          Profiler.consume(Src, Config.Interp.StrideBatchWindow);
+    }
+    Result.Stats.Cycles = Result.Stats.RuntimeCycles;
+    Result.Stats.Completed = true;
+
+    {
+      TraceSpan HS(Obs, "strideprof-harvest", "profile", /*Level=*/1);
+      Result.Strides = StrideProfile::fromProfiler(Profiler);
+    }
+    Result.StrideInvocations = Profiler.totalInvocations();
+    Result.StrideProcessed = Profiler.totalProcessed();
+    Result.LfuCalls = Profiler.totalLfuCalls();
   }
-  Result.StrideInvocations = Profiler.totalInvocations();
-  Result.StrideProcessed = Profiler.totalProcessed();
-  Result.LfuCalls = Profiler.totalLfuCalls();
 
   if (Obs) {
     Obs->counter("pipeline.stream_profile_runs")->inc();

@@ -58,7 +58,7 @@ struct PipelineConfig {
   ObsConfig Obs;
   /// When non-empty, runProfile additionally records the profiled
   /// access-event stream (plus the harvested edge profile) into this
-  /// sprof.trace/1 file for later replay (driver/TraceReplay.h). Capture
+  /// sprof.trace/2 file for later replay (driver/TraceReplay.h). Capture
   /// tees off the engines' existing stride-event ring, so profiles and
   /// cycle accounting are bit-identical with or without it.
   std::string TraceCapturePath;
@@ -72,7 +72,7 @@ struct PipelineConfig {
 struct TraceCaptureInfo {
   bool Enabled = false;
   std::string Path;
-  std::string Schema; ///< sprof.trace/1 or sprof.trace.text/1
+  std::string Schema; ///< sprof.trace/2 or sprof.trace.text/1
   uint64_t Events = 0;
   uint64_t Bytes = 0;
 };
@@ -145,8 +145,11 @@ public:
   /// event stream under the same method; Edges are empty (edge counters
   /// live in the program, not the access stream -- captured traces carry
   /// them in the trace's edge section, see driver/TraceReplay.h).
-  ProfileRunResult profileFromStream(AccessSource &Src,
-                                     ProfilingMethod Method) const;
+  /// \p Threads > 1 shards the profile across site-partitioned workers
+  /// (driver/ParallelReplay.h) with bit-identical results; per-shard job
+  /// telemetry lands in this pipeline's session like engine jobs.
+  ProfileRunResult profileFromStream(AccessSource &Src, ProfilingMethod Method,
+                                     unsigned Threads = 1) const;
 
   /// Baseline timed run (no instrumentation, no prefetching).
   RunStats runBaseline(DataSet DS) const;

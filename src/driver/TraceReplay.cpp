@@ -7,6 +7,7 @@
 
 #include "driver/TraceReplay.h"
 
+#include "driver/ParallelReplay.h"
 #include "workloads/Workload.h"
 
 #include <cassert>
@@ -106,7 +107,27 @@ TraceReplayResult replayStream(AccessSource &Src,
   // Pass 1 -- stream-driven profile phase.
   if (W) {
     Pipeline PL(*W, Opts.Config);
-    R.Profile = PL.profileFromStream(Src, R.Method);
+    R.Profile = PL.profileFromStream(Src, R.Method, Opts.Threads);
+  } else if (Opts.Threads > 1) {
+    // Site-sharded parallel profile (driver/ParallelReplay.h);
+    // bit-identical to the serial branch below.
+    StrideProfilerConfig PC = Opts.Config.Profiler;
+    PC.Sampling.Enabled = methodUsesSampling(R.Method);
+    ShardedProfileResult SP =
+        profileEventsSharded(Src, PC, Opts.Threads, Opts.ProfileShards);
+    R.Profile.Method = R.Method;
+    R.Profile.Stats.RuntimeCycles = SP.RuntimeCycles;
+    R.Profile.Stats.Cycles = SP.RuntimeCycles;
+    R.Profile.Stats.Completed = SP.Ok;
+    R.Profile.Strides = std::move(SP.Strides);
+    R.Profile.StrideInvocations = SP.Invocations;
+    R.Profile.StrideProcessed = SP.Processed;
+    R.Profile.LfuCalls = SP.LfuCalls;
+    if (!SP.Ok) {
+      R.Ok = false;
+      R.Error = SP.Error;
+      return R;
+    }
   } else {
     StrideProfilerConfig PC = Opts.Config.Profiler;
     PC.Sampling.Enabled = methodUsesSampling(R.Method);
@@ -183,6 +204,9 @@ TraceReplayResult replayStream(AccessSource &Src,
 
 TraceReplayResult replayTraceFile(const std::string &Path,
                                   const TraceReplayOptions &Opts) {
+  if (Opts.Threads > 1)
+    return replayTraceFileParallel(Path, Opts);
+
   auto Reader = TraceReader::openFile(Path);
 
   // Buffer the whole event stream up front: replay needs several passes,

@@ -61,6 +61,16 @@ struct TraceReplayOptions {
   bool SimulateMemory = true;
   /// Prefetch distance (in strides) of the synthesized stream prefetches.
   unsigned StreamPrefetchDistance = 4;
+  /// Worker threads for the replay. 1 (the default) is the fully serial
+  /// path; more fans the decode out over the trace's shard index (/2
+  /// traces) and the profile phase over site-sharded profilers
+  /// (driver/ParallelReplay.h), with results bit-identical to serial.
+  /// The memory-simulation passes always run serially (cache state is
+  /// order-dependent).
+  unsigned Threads = 1;
+  /// Site-shard count of the parallel profile phase; 0 means one shard
+  /// per thread. The merged profile is identical for any value.
+  unsigned ProfileShards = 0;
 };
 
 /// Everything a replay produces.

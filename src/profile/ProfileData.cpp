@@ -7,6 +7,7 @@
 
 #include "profile/ProfileData.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <istream>
@@ -119,6 +120,48 @@ void StrideProfile::print(std::ostream &OS) const {
       OS << S.TopStrides[I].Value << ":" << S.TopStrides[I].Count;
     }
     OS << "]\n";
+  }
+}
+
+void sprof::mergeStrideProfile(StrideProfile &Dst, const StrideProfile &Src) {
+  assert(Dst.numSites() == Src.numSites() &&
+         "merging stride profiles of different shapes");
+  for (uint32_t S = 0, E = Dst.numSites(); S != E; ++S) {
+    StrideSiteSummary &D = Dst.site(S);
+    const StrideSiteSummary &V = Src.site(S);
+    D.SiteId = S;
+    D.TotalStrides += V.TotalStrides;
+    D.NumZeroStride += V.NumZeroStride;
+    D.NumZeroDiff += V.NumZeroDiff;
+    D.RefGapSum += V.RefGapSum;
+    D.RefGapCount += V.RefGapCount;
+    // Union by stride value; equal strides sum their counts. Commutative
+    // and associative on the value level; order-preserving on Dst (see the
+    // header comment -- ParallelReplay's disjoint-site fold depends on the
+    // union into an empty table being a verbatim ordered copy).
+    for (const ValueCount &VC : V.TopStrides) {
+      auto It = std::find_if(
+          D.TopStrides.begin(), D.TopStrides.end(),
+          [&](const ValueCount &DV) { return DV.Value == VC.Value; });
+      if (It != D.TopStrides.end())
+        It->Count += VC.Count;
+      else
+        D.TopStrides.push_back(VC);
+    }
+  }
+}
+
+void sprof::truncateTopStrides(StrideProfile &SP, unsigned TopN) {
+  for (uint32_t S = 0, E = SP.numSites(); S != E; ++S) {
+    std::vector<ValueCount> &Top = SP.site(S).TopStrides;
+    std::sort(Top.begin(), Top.end(),
+              [](const ValueCount &A, const ValueCount &B) {
+                if (A.Count != B.Count)
+                  return A.Count > B.Count;
+                return A.Value < B.Value;
+              });
+    if (Top.size() > TopN)
+      Top.resize(TopN);
   }
 }
 

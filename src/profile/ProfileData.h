@@ -123,6 +123,27 @@ private:
   std::vector<StrideSiteSummary> Sites;
 };
 
+/// Accumulates \p Src into \p Dst, site by site (the profiles must have the
+/// same site count): scalar statistics add, per-site top-stride tables merge
+/// by union-by-value with counts summed. The operation is commutative and
+/// associative on the *value level* (the multiset of (stride, count) pairs
+/// per site is merge-order independent); on the representation level the
+/// TopStrides vector keeps Dst's insertion order with Src's unseen values
+/// appended, so merging into a default-initialized profile copies each
+/// site's table in Src order verbatim. ParallelReplay relies on that: its
+/// shards profile *disjoint* site sets, so folding them -- in any order --
+/// into an empty profile reproduces the serial profiler's tables
+/// byte-for-byte, no truncation or re-sort needed. Overlapping shards
+/// (ProfileStore::mergeShards) canonicalize afterwards with
+/// truncateTopStrides.
+void mergeStrideProfile(StrideProfile &Dst, const StrideProfile &Src);
+
+/// Canonicalizes every site's top-stride table: sorts by count descending
+/// (ties: value ascending) and keeps at most \p TopN entries. Applying this
+/// once after a fold makes any merge order produce identical bytes even for
+/// overlapping shards.
+void truncateTopStrides(StrideProfile &SP, unsigned TopN);
+
 /// Serializes both profiles into a single text stream and parses them back.
 /// The format is line oriented:
 ///   entry <func> <count>

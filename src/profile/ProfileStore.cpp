@@ -140,42 +140,14 @@ bool ProfileStore::merge(const ProfileStore &Shard, std::string *Error) {
       Edges.setFrequency(F, Ed, Edges.frequency(F, Ed) + Count);
   }
 
-  for (uint32_t S = 0, E = numSites(); S != E; ++S) {
-    StrideSiteSummary &Dst = Strides.site(S);
-    const StrideSiteSummary &Src = Shard.Strides.site(S);
-    Dst.SiteId = S;
-    Dst.TotalStrides += Src.TotalStrides;
-    Dst.NumZeroStride += Src.NumZeroStride;
-    Dst.NumZeroDiff += Src.NumZeroDiff;
-    Dst.RefGapSum += Src.RefGapSum;
-    Dst.RefGapCount += Src.RefGapCount;
-    // Union by stride value; equal strides sum their counts. Commutative
-    // and associative, so shard order cannot matter.
-    for (const ValueCount &VC : Src.TopStrides) {
-      auto It = std::find_if(
-          Dst.TopStrides.begin(), Dst.TopStrides.end(),
-          [&](const ValueCount &D) { return D.Value == VC.Value; });
-      if (It != Dst.TopStrides.end())
-        It->Count += VC.Count;
-      else
-        Dst.TopStrides.push_back(VC);
-    }
-  }
+  // The stride-side merge discipline (union-by-value, order-preserving)
+  // lives in ProfileData so ParallelReplay's shard fold shares it.
+  sprof::mergeStrideProfile(Strides, Shard.Strides);
   return true;
 }
 
 void ProfileStore::truncateTopStrides(unsigned TopN) {
-  for (uint32_t S = 0, E = numSites(); S != E; ++S) {
-    std::vector<ValueCount> &Top = Strides.site(S).TopStrides;
-    std::sort(Top.begin(), Top.end(),
-              [](const ValueCount &A, const ValueCount &B) {
-                if (A.Count != B.Count)
-                  return A.Count > B.Count;
-                return A.Value < B.Value;
-              });
-    if (Top.size() > TopN)
-      Top.resize(TopN);
-  }
+  sprof::truncateTopStrides(Strides, TopN);
 }
 
 bool ProfileStore::mergeShards(

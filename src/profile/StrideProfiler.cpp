@@ -101,7 +101,7 @@ inline void updateRefGap(HotT &H, uint64_t GlobalRefIndex) {
 } // namespace
 
 uint64_t StrideProfiler::processedTail(uint32_t SiteId, HotSite &H,
-                                       uint64_t Address) {
+                                       uint64_t Address, uint64_t Epoch) {
   StrideSiteData &D = Sites[SiteId];
   const StrideCostModel &C = Config.Costs;
 
@@ -110,8 +110,8 @@ uint64_t StrideProfiler::processedTail(uint32_t SiteId, HotSite &H,
 
   // Re-anchor at chunk boundaries: a "stride" spanning a skipped chunk is
   // not a stride (see StrideSiteData::LastChunkEpoch).
-  if (Config.Sampling.Enabled && H.LastChunkEpoch != ChunkEpoch) {
-    H.LastChunkEpoch = ChunkEpoch;
+  if (Config.Sampling.Enabled && H.LastChunkEpoch != Epoch) {
+    H.LastChunkEpoch = Epoch;
     H.HasPrevAddress = 0;
     H.HasPrevStride = 0;
     Obs.Reanchored->inc();
@@ -199,7 +199,51 @@ uint64_t StrideProfiler::profileImpl(uint32_t SiteId, uint64_t Address,
     H.NumberToSkip = Config.Sampling.FineInterval - 1;
   }
 
-  return Cost + processedTail(SiteId, H, Address);
+  return Cost + processedTail(SiteId, H, Address, ChunkEpoch);
+}
+
+uint64_t StrideProfiler::profileAt(uint32_t SiteId, uint64_t Address,
+                                   uint64_t GlobalRefIndex,
+                                   uint64_t LoadIndex) {
+  assert(SiteId < Hot.size() && "site id out of range");
+  HotSite &H = Hot[SiteId];
+  const StrideCostModel &C = Config.Costs;
+
+  ++TotalInvocations;
+  ++H.Invocations;
+  uint64_t Cost = C.CallOverhead;
+
+  updateRefGap(H, GlobalRefIndex);
+
+  if (Config.Sampling.Enabled) {
+    // The chunk phase as a pure function of the position (see the header
+    // comment): one cycle is ChunkSkip skips, ChunkProfile profiled
+    // references, and the flip reference -- which Figure 9 also skips.
+    Cost += C.ChunkCheckCost;
+    const uint64_t Cycle =
+        Config.Sampling.ChunkSkip + Config.Sampling.ChunkProfile + 1;
+    const uint64_t Phase = LoadIndex % Cycle;
+    if (Phase < Config.Sampling.ChunkSkip || Phase == Cycle - 1) {
+      Obs.ChunkSkipped->inc();
+      Obs.InvocationCost->record(Cost);
+      return Cost;
+    }
+    Cost += C.FineCheckCost;
+    if (H.NumberToSkip > 0) {
+      --H.NumberToSkip;
+      Obs.FineSkipped->inc();
+      Obs.InvocationCost->record(Cost);
+      return Cost;
+    }
+    H.NumberToSkip = Config.Sampling.FineInterval - 1;
+    Cost += processedTail(SiteId, H, Address, LoadIndex / Cycle + 1);
+    Obs.InvocationCost->record(Cost);
+    return Cost;
+  }
+
+  Cost += processedTail(SiteId, H, Address, ChunkEpoch);
+  Obs.InvocationCost->record(Cost);
+  return Cost;
 }
 
 uint64_t StrideProfiler::profileBatch(const StrideEvent *Events, size_t N) {
@@ -219,7 +263,8 @@ uint64_t StrideProfiler::profileBatch(const StrideEvent *Events, size_t N) {
       HotSite &H = Hot[E.SiteId];
       ++H.Invocations;
       updateRefGap(H, E.GlobalRefIndex);
-      uint64_t Cost = C.CallOverhead + processedTail(E.SiteId, H, E.Address);
+      uint64_t Cost =
+          C.CallOverhead + processedTail(E.SiteId, H, E.Address, ChunkEpoch);
       InvocationCost->record(Cost);
       Total += Cost;
     }
@@ -287,7 +332,7 @@ uint64_t StrideProfiler::profileBatch(const StrideEvent *Events, size_t N) {
         FineSkipped->inc();
       } else {
         H.NumberToSkip = Config.Sampling.FineInterval - 1;
-        Cost += processedTail(E.SiteId, H, E.Address);
+        Cost += processedTail(E.SiteId, H, E.Address, ChunkEpoch);
       }
       InvocationCost->record(Cost);
       Total += Cost;

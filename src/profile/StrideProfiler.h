@@ -165,6 +165,23 @@ public:
   /// telemetry update, and obs sinks are resolved once per drain.
   uint64_t profileBatch(const StrideEvent *Events, size_t N);
 
+  /// Positionally-addressed strideProf: processes the reference knowing it
+  /// is the \p LoadIndex'th dynamic load (0-based, counted across *all*
+  /// sites) of the run, instead of relying on the profiler's own running
+  /// counters. The global chunk-sampling phase of Figure 9 is a pure
+  /// function of that position -- with Cycle = ChunkSkip + ChunkProfile + 1
+  /// the reference is skipped iff LoadIndex % Cycle < ChunkSkip or hits the
+  /// flip slot Cycle - 1, and profiled references belong to chunk epoch
+  /// LoadIndex / Cycle + 1 -- so feeding each site its references in
+  /// program order, with their original load indexes, leaves that site's
+  /// observable state (and the summed costs and telemetry) bit-identical
+  /// to a serial profile() sweep over the interleaved whole. That is the
+  /// contract ParallelReplay's site-sharded workers build on; see
+  /// docs/TRACE.md "Determinism contract".
+  /// \returns the simulated cycle cost of this invocation.
+  uint64_t profileAt(uint32_t SiteId, uint64_t Address,
+                     uint64_t GlobalRefIndex, uint64_t LoadIndex);
+
   /// Drives the runtime from an abstract access stream: pulls batches out
   /// of \p Src and profileBatch()es them until the stream ends. Events of
   /// kind other than Load are dropped (a strideProf invocation is a demand
@@ -220,11 +237,14 @@ private:
   uint64_t profileImpl(uint32_t SiteId, uint64_t Address,
                        uint64_t GlobalRefIndex);
 
-  /// The post-sampling core shared verbatim by profile() and
-  /// profileBatch(): epoch re-anchor, first-address path, zero-stride
-  /// shortcut, stride/diff bookkeeping, LFU call. \returns the cost of
-  /// this tail (caller adds call/check overheads).
-  uint64_t processedTail(uint32_t SiteId, HotSite &H, uint64_t Address);
+  /// The post-sampling core shared verbatim by profile(), profileBatch(),
+  /// and profileAt(): epoch re-anchor (against \p Epoch -- the member
+  /// ChunkEpoch for the counter-driven paths, the position-derived epoch
+  /// for profileAt), first-address path, zero-stride shortcut, stride/diff
+  /// bookkeeping, LFU call. \returns the cost of this tail (caller adds
+  /// call/check overheads).
+  uint64_t processedTail(uint32_t SiteId, HotSite &H, uint64_t Address,
+                         uint64_t Epoch);
 
   bool sameAddress(uint64_t A, uint64_t B) const {
     return (A >> Config.AddrCoarsenShift) == (B >> Config.AddrCoarsenShift);

@@ -1,30 +1,43 @@
-//===- stream/TraceFile.cpp - sprof.trace/1 capture + replay --------------===//
+//===- stream/TraceFile.cpp - sprof.trace/2 capture + replay --------------===//
 //
 // Part of the StrideProf project (see AccessStream.h for the project
 // reference).
 //
 //===----------------------------------------------------------------------===//
 //
-// Binary layout (sprof.trace/1; all multi-byte integers are LEB128 varints
-// except the two fixed little-endian u32 header words):
+// Binary layout (sprof.trace/2; all multi-byte integers are LEB128 varints
+// except the two fixed little-endian u32 header words and the fixed u64 of
+// the seekable tail):
 //
 //   "SPROFTRC"  u32 version  u32 numSites
 //   3 x (varint length + bytes): workload, dataset, method
 //   events: tag byte (0x01 load, 0x02 prefetch), then zigzag varints of
 //           the site, address, and global-ref deltas vs the previous event
-//   0x00 end-of-events marker
+//   0x00 end-of-events marker                      <-- "footer start"
 //   sections: tag 0x01 = edge profile (varint numFunctions, entry records,
-//             edge records), tag 0x00 = end of sections
-//   varint event count (must match the decoded count)  "SPROFEND"
+//             edge records),
+//             tag 0x02 = shard index (varint interval, varint numChunks,
+//             per chunk: byteOffset, cumEvents, cumLoads, prevSite,
+//             prevAddr, prevRef varints; then varint totalLoads),
+//             tag 0x00 = end of sections
+//   varint event count (must match the decoded count)
+//   u64 LE footer-start offset  "SPROFEND"         <-- 16-byte seekable tail
 //
 // The trailing marker + count is what makes truncation detectable: a
-// partial file ends mid-varint or before the footer, never silently.
+// partial file ends mid-varint or before the footer, never silently. The
+// fixed-size tail is what makes the index reachable without decoding: seek
+// to EOF-16, verify the end magic, follow the offset to the end-of-events
+// marker, and parse the sections from there. Version-1 files are the same
+// layout without the index section and without the u64 tail word.
 //
 //===----------------------------------------------------------------------===//
 
 #include "stream/TraceFile.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -40,6 +53,10 @@ static constexpr uint8_t TagLoad = 0x01;
 static constexpr uint8_t TagPrefetch = 0x02;
 static constexpr uint8_t SectionEnd = 0x00;
 static constexpr uint8_t SectionEdges = 0x01;
+static constexpr uint8_t SectionIndex = 0x02;
+
+/// Bytes of the /2 seekable tail: u64 LE footer-start + "SPROFEND".
+static constexpr uint64_t TraceTailBytes = 16;
 
 const char *traceErrorName(TraceError E) {
   switch (E) {
@@ -73,15 +90,19 @@ static int64_t zigzagDecode(uint64_t V) {
 //===----------------------------------------------------------------------===//
 
 TraceWriter::TraceWriter(std::ostream &OS, uint32_t NumSites,
-                         TraceProvenance Prov, bool Text)
-    : OS(&OS), Text(Text) {
+                         TraceProvenance Prov, bool Text,
+                         uint64_t IndexInterval)
+    : OS(&OS), Text(Text),
+      Version(Text || IndexInterval == 0 ? 1 : TraceFormatVersion),
+      IndexInterval(Text ? 0 : IndexInterval) {
   writeHeader(NumSites, Prov);
 }
 
 std::unique_ptr<TraceWriter> TraceWriter::open(const std::string &Path,
                                                uint32_t NumSites,
                                                TraceProvenance Prov, bool Text,
-                                               std::string *Error) {
+                                               std::string *Error,
+                                               uint64_t IndexInterval) {
   auto File = std::make_unique<std::ofstream>(
       Path, std::ios::out | std::ios::trunc | std::ios::binary);
   if (!*File) {
@@ -92,12 +113,20 @@ std::unique_ptr<TraceWriter> TraceWriter::open(const std::string &Path,
   // Borrow-constructor against the stream we are about to own; the moved
   // pointer keeps the stream alive for the writer's lifetime.
   std::ostream &Ref = *File;
-  auto W = std::make_unique<TraceWriter>(Ref, NumSites, std::move(Prov), Text);
+  auto W = std::make_unique<TraceWriter>(Ref, NumSites, std::move(Prov), Text,
+                                         IndexInterval);
+  W->OwnedFile = File.get();
   W->OwnedOS = std::move(File);
   return W;
 }
 
 TraceWriter::~TraceWriter() { finish(); }
+
+const char *TraceWriter::schema() const {
+  if (Text)
+    return TraceTextSchemaV1;
+  return Version >= 2 ? TraceSchemaV2 : TraceSchemaV1;
+}
 
 void TraceWriter::putByte(uint8_t B) { Buf.push_back(B); }
 
@@ -123,7 +152,10 @@ void TraceWriter::flushBuf() {
             static_cast<std::streamsize>(Buf.size()));
   if (!*OS) {
     Failed = true;
-    Err = "write failure";
+    Err = "write failure after " + std::to_string(NumBytes) +
+          " bytes (disk full or sink closed?)";
+    Buf.clear();
+    return;
   }
   NumBytes += Buf.size();
   Buf.clear();
@@ -142,7 +174,7 @@ void TraceWriter::writeHeader(uint32_t NumSites, const TraceProvenance &Prov) {
     putBytes(H.data(), H.size());
   } else {
     putBytes(TraceMagic, sizeof(TraceMagic));
-    const uint32_t Words[2] = {TraceFormatVersion, NumSites};
+    const uint32_t Words[2] = {Version, NumSites};
     for (uint32_t W : Words)
       for (int I = 0; I < 4; ++I)
         putByte(static_cast<uint8_t>(W >> (8 * I)));
@@ -172,6 +204,19 @@ void TraceWriter::onBatch(const AccessEvent *Events, size_t N) {
   } else {
     for (size_t I = 0; I < N; ++I) {
       const AccessEvent &E = Events[I];
+      if (IndexInterval != 0) {
+        if (UntilChunk == 0) {
+          // Chunk boundary: remember where this event starts and the
+          // decoder state carried into it. NumBytes counts flushed bytes,
+          // so the pending buffer is part of the offset.
+          Index.push_back({NumBytes + Buf.size(), NumEvents + I, NumLoads,
+                           PrevAddr, PrevRef, PrevSite});
+          UntilChunk = IndexInterval;
+        }
+        --UntilChunk;
+        if (E.Kind != AccessKind::Prefetch)
+          ++NumLoads;
+      }
       putByte(E.Kind == AccessKind::Prefetch ? TagPrefetch : TagLoad);
       putZigzag(static_cast<int64_t>(E.SiteId) -
                 static_cast<int64_t>(PrevSite));
@@ -208,6 +253,7 @@ void TraceWriter::finish() {
     T += "endtrace\n";
     putBytes(T.data(), T.size());
   } else {
+    const uint64_t FooterStart = NumBytes + Buf.size();
     putByte(TagEnd);
     if (EdgeSec.Present) {
       putByte(SectionEdges);
@@ -225,15 +271,44 @@ void TraceWriter::finish() {
         putVarint(R.Count);
       }
     }
+    if (Version >= 2) {
+      putByte(SectionIndex);
+      putVarint(IndexInterval);
+      putVarint(Index.size());
+      for (const TraceShardEntry &E : Index) {
+        putVarint(E.ByteOffset);
+        putVarint(E.CumEvents);
+        putVarint(E.CumLoads);
+        putVarint(E.PrevSite);
+        putVarint(E.PrevAddr);
+        putVarint(E.PrevRef);
+      }
+      putVarint(NumLoads);
+    }
     putByte(SectionEnd);
     putVarint(NumEvents);
+    if (Version >= 2)
+      for (int I = 0; I < 8; ++I)
+        putByte(static_cast<uint8_t>(FooterStart >> (8 * I)));
     putBytes(TraceEndMagic, sizeof(TraceEndMagic));
   }
   flushBuf();
   OS->flush();
   if (!*OS && !Failed) {
     Failed = true;
-    Err = "write failure";
+    Err = "write failure flushing the footer after " +
+          std::to_string(NumBytes) + " bytes";
+  }
+  // Deferred write errors (ENOSPC on buffered data) can surface only at
+  // close; close the owned file here so they land in ok(), not in a
+  // destructor that cannot report them.
+  if (OwnedFile) {
+    OwnedFile->close();
+    if (OwnedFile->fail() && !Failed) {
+      Failed = true;
+      Err = "close failure after " + std::to_string(NumBytes) + " bytes";
+    }
+    OwnedFile = nullptr;
   }
 }
 
@@ -245,6 +320,11 @@ TraceReader::TraceReader(std::istream &IS, std::string Name)
     : IS(&IS), Name(std::move(Name)) {
   InBuf.resize(64 * 1024);
   parseHeader();
+  EventsStart = tellAbs();
+}
+
+TraceReader::TraceReader(ShardTag) : IS(nullptr), Name("<shard>") {
+  InBuf.resize(64 * 1024);
 }
 
 std::unique_ptr<TraceReader> TraceReader::openFile(const std::string &Path) {
@@ -262,6 +342,56 @@ std::unique_ptr<TraceReader> TraceReader::openFile(const std::string &Path) {
     R->ErrCode = TraceError::Io;
     R->Err = Path + ": cannot open for reading";
   }
+  return R;
+}
+
+std::unique_ptr<TraceReader>
+TraceReader::openFileIndexed(const std::string &Path) {
+  auto R = openFile(Path);
+  // /1 and text traces carry no seekable tail; hand them back positioned
+  // for sequential decode, index().Present == false.
+  if (!R->ok() || R->text() || R->version() < 2)
+    return R;
+  R->loadIndexFromTail();
+  return R;
+}
+
+std::unique_ptr<TraceReader> TraceReader::openShard(const std::string &Path,
+                                                    const TraceShardIndex &Idx,
+                                                    size_t FirstChunk,
+                                                    size_t NumChunks) {
+  auto R = std::unique_ptr<TraceReader>(new TraceReader(ShardTag{}));
+  R->Name = Path + "[chunks " + std::to_string(FirstChunk) + ".." +
+            std::to_string(FirstChunk + NumChunks) + ")";
+  if (!Idx.Present || NumChunks == 0 || FirstChunk >= Idx.Chunks.size() ||
+      NumChunks > Idx.Chunks.size() - FirstChunk) {
+    R->fail(TraceError::Corrupt, "shard range outside the index");
+    return R;
+  }
+  auto File =
+      std::make_unique<std::ifstream>(Path, std::ios::in | std::ios::binary);
+  if (!*File) {
+    R->fail(TraceError::Io, "cannot open for reading");
+    return R;
+  }
+  R->OwnedIS = std::move(File);
+  R->IS = R->OwnedIS.get();
+  const TraceShardEntry &E = Idx.Chunks[FirstChunk];
+  const size_t LastChunk = FirstChunk + NumChunks - 1;
+  R->Version = TraceFormatVersion;
+  R->Sites = Idx.NumSites;
+  R->PrevSite = E.PrevSite;
+  R->PrevAddr = E.PrevAddr;
+  R->PrevRef = E.PrevRef;
+  R->ShardMode = true;
+  R->ShardMaxEvents = (Idx.chunkEndOffset(LastChunk) == Idx.FooterStart
+                           ? Idx.TotalEvents
+                           : Idx.Chunks[LastChunk + 1].CumEvents) -
+                      E.CumEvents;
+  R->ShardEndOffset = Idx.chunkEndOffset(LastChunk);
+  if (!R->seekTo(E.ByteOffset))
+    R->fail(TraceError::Io, "cannot seek to chunk byte offset " +
+                                std::to_string(E.ByteOffset));
   return R;
 }
 
@@ -291,6 +421,7 @@ void TraceReader::fail(TraceError Code, const std::string &Message) {
 bool TraceReader::fillBuf() {
   if (InPos < InLen)
     return true;
+  BufBase += InLen;
   IS->read(reinterpret_cast<char *>(InBuf.data()),
            static_cast<std::streamsize>(InBuf.size()));
   InLen = static_cast<size_t>(IS->gcount());
@@ -302,6 +433,17 @@ int TraceReader::getByte() {
   if (!fillBuf())
     return -1;
   return InBuf[InPos++];
+}
+
+bool TraceReader::seekTo(uint64_t AbsOffset) {
+  IS->clear();
+  IS->seekg(static_cast<std::streamoff>(AbsOffset));
+  if (!*IS)
+    return false;
+  SeekBase = AbsOffset;
+  BufBase = 0;
+  InPos = InLen = 0;
+  return true;
 }
 
 bool TraceReader::getVarint(uint64_t &V) {
@@ -399,10 +541,10 @@ bool TraceReader::parseBinaryHeader() {
   }
   Version = Words[0];
   Sites = Words[1];
-  if (Version != TraceFormatVersion) {
+  if (Version == 0 || Version > TraceFormatVersion) {
     fail(TraceError::VersionMismatch,
          "sprof.trace version " + std::to_string(Version) +
-             " is not supported (expected " +
+             " is not supported (newest supported is " +
              std::to_string(TraceFormatVersion) + ")");
     return false;
   }
@@ -431,10 +573,10 @@ bool TraceReader::parseTextHeader(const std::string &FirstLine) {
   IsText = true;
   const std::string Suffix = FirstLine.substr(std::strlen(TraceTextPrefix));
   Version = static_cast<uint32_t>(std::strtoul(Suffix.c_str(), nullptr, 10));
-  if (Suffix != std::to_string(TraceFormatVersion)) {
+  if (Suffix != "1") {
     fail(TraceError::VersionMismatch,
          "sprof.trace.text version '" + Suffix + "' is not supported " +
-             "(expected " + std::to_string(TraceFormatVersion) + ")");
+             "(expected 1)");
     return false;
   }
   std::string Line;
@@ -470,6 +612,22 @@ size_t TraceReader::pull(AccessEvent *Buf, size_t Max) {
 size_t TraceReader::pullBinary(AccessEvent *Buf, size_t Max) {
   size_t N = 0;
   while (N < Max) {
+    if (ShardMode && DecodedEvents == ShardMaxEvents) {
+      // Shard exhausted: the decode must land exactly on the boundary the
+      // index promised, otherwise some chunk's bytes are inconsistent
+      // with its carried state and the shard cannot be trusted.
+      const uint64_t Pos = tellAbs();
+      if (Pos != ShardEndOffset) {
+        fail(TraceError::Corrupt,
+             "shard decode ends at byte " + std::to_string(Pos) +
+                 " but the index places the boundary at byte " +
+                 std::to_string(ShardEndOffset));
+        return 0;
+      }
+      FooterEvents = DecodedEvents;
+      SawFooter = true;
+      break;
+    }
     const int Tag = getByte();
     if (Tag < 0) {
       fail(TraceError::Truncated,
@@ -478,7 +636,15 @@ size_t TraceReader::pullBinary(AccessEvent *Buf, size_t Max) {
       return 0;
     }
     if (Tag == TagEnd) {
+      if (ShardMode) {
+        fail(TraceError::Corrupt,
+             "end-of-events marker inside a shard after " +
+                 std::to_string(DecodedEvents) + " of " +
+                 std::to_string(ShardMaxEvents) + " events");
+        return 0;
+      }
       SawEndMarker = true;
+      FooterStart = tellAbs() - 1;
       parseFooter();
       break;
     }
@@ -505,8 +671,103 @@ size_t TraceReader::pullBinary(AccessEvent *Buf, size_t Max) {
   return ok() ? N : 0;
 }
 
+bool TraceReader::parseIndexSection() {
+  if (Version < 2) {
+    fail(TraceError::Corrupt, "shard-index section in a version-1 trace");
+    return false;
+  }
+  if (Index.Present) {
+    fail(TraceError::Corrupt, "duplicate shard-index section");
+    return false;
+  }
+  uint64_t Interval, NumChunks;
+  if (!getVarint(Interval) || !getVarint(NumChunks))
+    return false;
+  if (Interval == 0) {
+    fail(TraceError::Corrupt, "shard index with a zero chunk interval");
+    return false;
+  }
+  if (NumChunks > (1u << 28)) {
+    fail(TraceError::Corrupt, "unreasonable shard-index chunk count");
+    return false;
+  }
+  Index.Present = true;
+  Index.Interval = Interval;
+  Index.Chunks.resize(NumChunks);
+  for (TraceShardEntry &E : Index.Chunks) {
+    uint64_t Site;
+    if (!getVarint(E.ByteOffset) || !getVarint(E.CumEvents) ||
+        !getVarint(E.CumLoads) || !getVarint(Site) ||
+        !getVarint(E.PrevAddr) || !getVarint(E.PrevRef))
+      return false;
+    E.PrevSite = static_cast<uint32_t>(Site);
+  }
+  if (!getVarint(Index.TotalLoads))
+    return false;
+  Index.NumSites = Sites;
+  return true;
+}
+
+bool TraceReader::validateIndex() {
+  if (!Index.Present)
+    return true;
+  Index.TotalEvents = FooterEvents;
+  Index.EventsStart = EventsStart;
+  Index.FooterStart = FooterStart;
+  const uint64_t WantChunks =
+      (FooterEvents + Index.Interval - 1) / Index.Interval;
+  if (Index.Chunks.size() != WantChunks) {
+    fail(TraceError::Corrupt,
+         "shard index has " + std::to_string(Index.Chunks.size()) +
+             " chunks; " + std::to_string(FooterEvents) + " events at " +
+             std::to_string(Index.Interval) + "/chunk require " +
+             std::to_string(WantChunks));
+    return false;
+  }
+  if (Index.TotalLoads > FooterEvents) {
+    fail(TraceError::Corrupt, "shard index counts more loads than events");
+    return false;
+  }
+  for (size_t I = 0; I != Index.Chunks.size(); ++I) {
+    const TraceShardEntry &E = Index.Chunks[I];
+    if (E.CumEvents != I * Index.Interval) {
+      fail(TraceError::Corrupt,
+           "chunk " + std::to_string(I) + " claims cumulative event count " +
+               std::to_string(E.CumEvents) + ", expected " +
+               std::to_string(I * Index.Interval));
+      return false;
+    }
+    if (E.CumLoads > E.CumEvents ||
+        (I != 0 && E.CumLoads < Index.Chunks[I - 1].CumLoads)) {
+      fail(TraceError::Corrupt,
+           "chunk " + std::to_string(I) + " has an inconsistent load count");
+      return false;
+    }
+    const uint64_t MinOffset =
+        I == 0 ? EventsStart : Index.Chunks[I - 1].ByteOffset + 1;
+    if (E.ByteOffset < MinOffset || E.ByteOffset >= FooterStart ||
+        (I == 0 && E.ByteOffset != EventsStart)) {
+      fail(TraceError::Corrupt,
+           "chunk " + std::to_string(I) + " byte offset " +
+               std::to_string(E.ByteOffset) + " is outside the event area");
+      return false;
+    }
+    if (I == 0 && (E.PrevSite != 0 || E.PrevAddr != 0 || E.PrevRef != 0)) {
+      fail(TraceError::Corrupt, "chunk 0 carries non-zero decoder state");
+      return false;
+    }
+  }
+  if (Index.TotalLoads <
+      (Index.Chunks.empty() ? 0 : Index.Chunks.back().CumLoads)) {
+    fail(TraceError::Corrupt, "shard index total loads below chunk counts");
+    return false;
+  }
+  return true;
+}
+
 bool TraceReader::parseFooter() {
-  // Sections until SectionEnd, then the event count and the end magic.
+  // Sections until SectionEnd, then the event count, the /2 seekable
+  // tail, and the end magic.
   for (;;) {
     const int Tag = getByte();
     if (Tag < 0) {
@@ -543,18 +804,43 @@ bool TraceReader::parseFooter() {
       }
       continue;
     }
+    if (Tag == SectionIndex) {
+      if (!parseIndexSection())
+        return false;
+      continue;
+    }
     fail(TraceError::Corrupt,
          "unknown trailer section tag " + std::to_string(Tag));
     return false;
   }
   if (!getVarint(FooterEvents))
     return false;
-  if (FooterEvents != DecodedEvents) {
+  if (!IndexedOpen && FooterEvents != DecodedEvents) {
     fail(TraceError::Corrupt,
          "footer event count " + std::to_string(FooterEvents) +
              " does not match the " + std::to_string(DecodedEvents) +
              " decoded events");
     return false;
+  }
+  if (Version >= 2) {
+    // The seekable tail's offset word; it must agree with where the
+    // end-of-events marker actually was.
+    uint64_t W = 0;
+    for (int I = 0; I < 8; ++I) {
+      const int B = getByte();
+      if (B < 0) {
+        fail(TraceError::Truncated, "file ends inside the seekable tail");
+        return false;
+      }
+      W |= static_cast<uint64_t>(B) << (8 * I);
+    }
+    if (W != FooterStart) {
+      fail(TraceError::Corrupt,
+           "seekable-tail offset " + std::to_string(W) +
+               " does not match the end-of-events marker at byte " +
+               std::to_string(FooterStart));
+      return false;
+    }
   }
   char End[8];
   for (char &C : End) {
@@ -569,8 +855,72 @@ bool TraceReader::parseFooter() {
     fail(TraceError::Corrupt, "bad end magic");
     return false;
   }
+  if (Version >= 2 && !Index.Present) {
+    fail(TraceError::Corrupt, "version-2 trace without a shard index");
+    return false;
+  }
+  if (!validateIndex())
+    return false;
   SawFooter = true;
   return true;
+}
+
+bool TraceReader::loadIndexFromTail() {
+  // File size; the stream may already be mid-buffer, so re-anchor cleanly.
+  IS->clear();
+  IS->seekg(0, std::ios::end);
+  if (!*IS) {
+    fail(TraceError::Io, "cannot seek to the end of the file");
+    return false;
+  }
+  const uint64_t Size = static_cast<uint64_t>(IS->tellg());
+  // Smallest possible /2 footer: end marker, index section (tag +
+  // interval + count + totalLoads), section end, count varint, tail.
+  if (Size < EventsStart + 6 + TraceTailBytes) {
+    fail(TraceError::Truncated, "file too short for a version-2 footer");
+    return false;
+  }
+  if (!seekTo(Size - TraceTailBytes)) {
+    fail(TraceError::Io, "cannot seek to the trace tail");
+    return false;
+  }
+  uint8_t Tail[TraceTailBytes];
+  for (uint8_t &B : Tail) {
+    const int V = getByte();
+    if (V < 0) {
+      fail(TraceError::Truncated, "file ends inside the seekable tail");
+      return false;
+    }
+    B = static_cast<uint8_t>(V);
+  }
+  if (std::memcmp(Tail + 8, TraceEndMagic, sizeof(TraceEndMagic)) != 0) {
+    fail(TraceError::Truncated,
+         "missing the seekable tail (truncated or unfinished capture)");
+    return false;
+  }
+  uint64_t Off = 0;
+  for (int I = 0; I < 8; ++I)
+    Off |= static_cast<uint64_t>(Tail[I]) << (8 * I);
+  if (Off < EventsStart || Off > Size - TraceTailBytes - 3) {
+    fail(TraceError::Corrupt,
+         "seekable-tail offset " + std::to_string(Off) +
+             " is outside the file");
+    return false;
+  }
+  if (!seekTo(Off)) {
+    fail(TraceError::Io, "cannot seek to the trace footer");
+    return false;
+  }
+  const int Tag = getByte();
+  if (Tag != TagEnd) {
+    fail(TraceError::Corrupt,
+         "seekable tail does not point at the end-of-events marker");
+    return false;
+  }
+  FooterStart = Off;
+  SawEndMarker = true;
+  IndexedOpen = true;
+  return parseFooter();
 }
 
 bool TraceReader::parseTextLine(const std::string &Line, AccessEvent &E,
@@ -673,6 +1023,8 @@ size_t TraceReader::pullText(AccessEvent *Buf, size_t Max) {
 }
 
 bool TraceReader::reset() {
+  if (ShardMode)
+    return false;
   if (!Path.empty()) {
     auto File =
         std::make_unique<std::ifstream>(Path, std::ios::in | std::ios::binary);
@@ -690,14 +1042,119 @@ bool TraceReader::reset() {
   Err.clear();
   Prov = TraceProvenance();
   SawEndMarker = SawFooter = false;
+  IndexedOpen = false;
   DecodedEvents = FooterEvents = 0;
   EdgeSec = TraceEdgeSection();
+  Index = TraceShardIndex();
+  EventsStart = FooterStart = 0;
   PrevAddr = PrevRef = 0;
   PrevSite = 0;
   InPos = InLen = 0;
+  SeekBase = BufBase = 0;
   HasPending = false;
   PendingLine.clear();
-  return parseHeader();
+  const bool Ok = parseHeader();
+  EventsStart = tellAbs();
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// importAccessLog
+//===----------------------------------------------------------------------===//
+
+std::optional<TraceImportResult>
+importAccessLog(std::istream &In, const std::string &OutPath,
+                std::string *Error) {
+  auto Fail = [&](const std::string &M) -> std::optional<TraceImportResult> {
+    if (Error)
+      *Error = M;
+    return std::nullopt;
+  };
+
+  // Pass 1: parse everything into memory. The trace header needs the site
+  // count up front, and an importer stub has no business streaming
+  // multi-gigabyte logs anyway.
+  std::vector<AccessEvent> Events;
+  uint32_t MaxSite = 0;
+  TraceImportResult R;
+  std::string Line;
+  for (uint64_t LineNo = 1; std::getline(In, Line); ++LineNo) {
+    // Trim whitespace and skip blanks/comments.
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos || Line[B] == '#')
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    const std::string L = Line.substr(B, E - B + 1);
+
+    // addr,site,kind -- split on the two commas.
+    const size_t C1 = L.find(',');
+    const size_t C2 = C1 == std::string::npos ? std::string::npos
+                                              : L.find(',', C1 + 1);
+    if (C2 == std::string::npos)
+      return Fail("line " + std::to_string(LineNo) +
+                  ": expected 'addr,site,kind', got '" + L + "'");
+    auto Field = [&](size_t From, size_t To) {
+      size_t S = L.find_first_not_of(" \t", From);
+      size_t T = L.find_last_not_of(" \t", To - 1);
+      return (S == std::string::npos || S > T) ? std::string()
+                                               : L.substr(S, T - S + 1);
+    };
+    const std::string AddrS = Field(0, C1);
+    const std::string SiteS = Field(C1 + 1, C2);
+    std::string KindS = Field(C2 + 1, L.size());
+    for (char &C : KindS)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+
+    char *EndP = nullptr;
+    const unsigned long long Addr = std::strtoull(AddrS.c_str(), &EndP, 0);
+    if (AddrS.empty() || *EndP != '\0')
+      return Fail("line " + std::to_string(LineNo) + ": bad address '" +
+                  AddrS + "'");
+    const unsigned long long Site = std::strtoull(SiteS.c_str(), &EndP, 10);
+    if (SiteS.empty() || *EndP != '\0' || Site > 0xffffffffull)
+      return Fail("line " + std::to_string(LineNo) + ": bad site id '" +
+                  SiteS + "'");
+    AccessKind Kind;
+    if (KindS == "l" || KindS == "load")
+      Kind = AccessKind::Load;
+    else if (KindS == "p" || KindS == "prefetch")
+      Kind = AccessKind::Prefetch;
+    else
+      return Fail("line " + std::to_string(LineNo) + ": bad kind '" + KindS +
+                  "' (want L/load or P/prefetch)");
+
+    AccessEvent Ev;
+    Ev.Address = Addr;
+    Ev.SiteId = static_cast<uint32_t>(Site);
+    // The log has no global reference counter; synthesize the running
+    // 1-based event count so use-distance statistics stay meaningful.
+    Ev.GlobalRefIndex = Events.size() + 1;
+    Ev.Kind = Kind;
+    Events.push_back(Ev);
+    MaxSite = std::max(MaxSite, Ev.SiteId);
+    if (Kind == AccessKind::Load)
+      ++R.Loads;
+    else
+      ++R.Prefetches;
+  }
+  if (In.bad())
+    return Fail("read failure in the input log");
+
+  R.Events = Events.size();
+  R.NumSites = Events.empty() ? 0 : MaxSite + 1;
+
+  std::string OpenErr;
+  auto W = TraceWriter::open(OutPath, R.NumSites, TraceProvenance{}, false,
+                             &OpenErr);
+  if (!W)
+    return Fail(OpenErr);
+  if (!Events.empty())
+    W->onBatch(Events.data(), Events.size());
+  W->finish();
+  if (!W->ok())
+    return Fail(OutPath + ": " + W->error());
+  R.Bytes = W->bytesWritten();
+  return R;
 }
 
 } // namespace sprof

@@ -6,6 +6,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "instrument/Instrumentation.h"
+#include "obs/Report.h"
 #include "profile/LfuValueProfiler.h"
 #include "profile/ProfileData.h"
 #include "profile/StrideProfiler.h"
@@ -14,6 +16,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 #include <vector>
 
 using namespace sprof;
@@ -430,4 +433,211 @@ TEST(Lfu, WorksWithoutObsSinks) {
   P.attachObs(nullptr, nullptr);
   P.add(42);
   EXPECT_EQ(P.totalAdded(), 3001u);
+}
+
+//===----------------------------------------------------------------------===//
+// profileAt: the positionally-addressed entry point ParallelReplay shards on
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One reference of a deterministic interleaved multi-site stream.
+struct SyntheticRef {
+  uint32_t Site;
+  uint64_t Addr;
+  uint64_t Ref;
+};
+
+/// Pseudo-random (LCG-driven) interleaving of \p NumSites sites: mixed
+/// constant / negative / zero strides with phase noise, plus occasional
+/// unknown (zero) global-ref indices -- the delta-encoder and sampler
+/// stress shape.
+std::vector<SyntheticRef> syntheticRefs(size_t N, uint32_t NumSites,
+                                        uint64_t Seed) {
+  std::vector<uint64_t> Addr(NumSites);
+  for (uint32_t S = 0; S != NumSites; ++S)
+    Addr[S] = 0x10000 + S * 0x1000;
+  std::vector<SyntheticRef> Out;
+  Out.reserve(N);
+  uint64_t X = Seed;
+  for (size_t I = 0; I != N; ++I) {
+    X = X * 6364136223846793005ull + 1442695040888963407ull;
+    const uint32_t S = static_cast<uint32_t>((X >> 33) % NumSites);
+    int64_t Stride = S % 3 == 0 ? 64 : (S % 3 == 1 ? -32 : 0);
+    if ((X >> 21) % 5 == 0)
+      Stride += 16; // phase noise
+    Addr[S] = static_cast<uint64_t>(static_cast<int64_t>(Addr[S]) + Stride);
+    Out.push_back({S, Addr[S], (X >> 13) % 7 == 0 ? 0 : I + 1});
+  }
+  return Out;
+}
+
+} // namespace
+
+// The determinism contract (docs/TRACE.md): feeding each site its
+// references in program order with their original 0-based load indexes
+// through profileAt(), across any site partition, reproduces a serial
+// profile() sweep bit for bit -- per-site state, totals, and summed cost.
+// Chunk phases are deliberately tiny so the run crosses many epoch flips,
+// and the degenerate ChunkSkip == 0 / ChunkProfile == 0 configs are
+// covered too.
+TEST(StrideProfiler, ProfileAtShardedBySiteMatchesSerialSweep) {
+  struct SampleCase {
+    bool Enabled;
+    uint64_t Skip, Prof;
+    uint32_t Fine;
+    const char *Tag;
+  };
+  const SampleCase Cases[] = {
+      {false, 0, 0, 1, "unsampled"},
+      {true, 37, 11, 3, "sampled-37-11"},
+      {true, 0, 13, 2, "sampled-skip0"},
+      {true, 24, 0, 2, "sampled-profile0"},
+  };
+  const uint32_t NumSites = 9;
+  const std::vector<SyntheticRef> Refs = syntheticRefs(20000, NumSites, 42);
+
+  for (const SampleCase &SC : Cases) {
+    SCOPED_TRACE(SC.Tag);
+    StrideProfilerConfig C = exactConfig();
+    C.Sampling.Enabled = SC.Enabled;
+    C.Sampling.ChunkSkip = SC.Skip;
+    C.Sampling.ChunkProfile = SC.Prof;
+    C.Sampling.FineInterval = SC.Fine;
+
+    StrideProfiler Serial(NumSites, C);
+    uint64_t SerialCost = 0;
+    for (const SyntheticRef &R : Refs)
+      SerialCost += Serial.profile(R.Site, R.Addr, R.Ref);
+    const std::string SerialJson =
+        strideProfileToJson(StrideProfile::fromProfiler(Serial)).str();
+
+    // Several shard counts, each with a different (hash-randomized) site
+    // partition; Round varies the partition so splits are not always the
+    // plain modulo one.
+    for (unsigned Round = 0; Round != 3; ++Round) {
+      for (unsigned Shards : {1u, 2u, 4u}) {
+        SCOPED_TRACE("round " + std::to_string(Round) + " shards " +
+                     std::to_string(Shards));
+        std::vector<unsigned> ShardOf(NumSites);
+        for (uint32_t S = 0; S != NumSites; ++S)
+          ShardOf[S] = static_cast<unsigned>(
+              (S * 2654435761u + Round * 97u) % Shards);
+
+        uint64_t Cost = 0, Inv = 0, Proc = 0, Lfu = 0;
+        StrideProfile Merged(NumSites);
+        for (unsigned W = 0; W != Shards; ++W) {
+          StrideProfiler P(NumSites, C);
+          uint64_t LoadIndex = 0;
+          for (const SyntheticRef &R : Refs) {
+            if (ShardOf[R.Site] == W)
+              Cost += P.profileAt(R.Site, R.Addr, R.Ref, LoadIndex);
+            ++LoadIndex;
+          }
+          Inv += P.totalInvocations();
+          Proc += P.totalProcessed();
+          Lfu += P.totalLfuCalls();
+          mergeStrideProfile(Merged, StrideProfile::fromProfiler(P));
+        }
+        EXPECT_EQ(Cost, SerialCost);
+        EXPECT_EQ(Inv, Serial.totalInvocations());
+        EXPECT_EQ(Proc, Serial.totalProcessed());
+        EXPECT_EQ(Lfu, Serial.totalLfuCalls());
+        EXPECT_EQ(strideProfileToJson(Merged).str(), SerialJson);
+      }
+    }
+  }
+}
+
+// The same contract at the method level: for every profiling method's
+// sampling configuration, a randomized site split folded through
+// mergeStrideProfile equals the unsharded profile.
+TEST(StrideProfiler, ShardedMergeMatchesUnshardedForAllMethods) {
+  const uint32_t NumSites = 6;
+  const std::vector<SyntheticRef> Refs = syntheticRefs(8000, NumSites, 7);
+  for (ProfilingMethod Method : allProfilingMethods()) {
+    SCOPED_TRACE(profilingMethodName(Method));
+    StrideProfilerConfig C; // default (paper) config, like the pipeline uses
+    C.Sampling.Enabled = methodUsesSampling(Method);
+
+    StrideProfiler Serial(NumSites, C);
+    for (const SyntheticRef &R : Refs)
+      Serial.profile(R.Site, R.Addr, R.Ref);
+
+    StrideProfile Merged(NumSites);
+    const unsigned Shards = 3;
+    for (unsigned W = 0; W != Shards; ++W) {
+      StrideProfiler P(NumSites, C);
+      uint64_t LoadIndex = 0;
+      for (const SyntheticRef &R : Refs) {
+        if ((R.Site * 2654435761u) % Shards == W)
+          P.profileAt(R.Site, R.Addr, R.Ref, LoadIndex);
+        ++LoadIndex;
+      }
+      mergeStrideProfile(Merged, StrideProfile::fromProfiler(P));
+    }
+    EXPECT_EQ(strideProfileToJson(Merged).str(),
+              strideProfileToJson(StrideProfile::fromProfiler(Serial)).str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// mergeStrideProfile: the commutative-fold algebra
+//===----------------------------------------------------------------------===//
+
+// Value-level algebra over *overlapping* profiles (disjoint-site folds are
+// covered above): commutative and associative once canonicalized with
+// truncateTopStrides, and an exact identity when folding into an empty
+// profile.
+TEST(ProfileData, MergeIsCommutativeAssociativeAndLossless) {
+  const uint32_t NumSites = 7;
+  auto Build = [&](uint64_t Seed, size_t N, bool Sampling) {
+    StrideProfilerConfig C = exactConfig();
+    C.Sampling.Enabled = Sampling;
+    C.Sampling.ChunkSkip = 50;
+    C.Sampling.ChunkProfile = 20;
+    StrideProfiler P(NumSites, C);
+    for (const SyntheticRef &R : syntheticRefs(N, NumSites, Seed))
+      P.profile(R.Site, R.Addr, R.Ref);
+    return StrideProfile::fromProfiler(P);
+  };
+  auto Canon = [](StrideProfile SP) {
+    truncateTopStrides(SP, 1u << 20);
+    return strideProfileToJson(SP).str();
+  };
+
+  for (bool Sampling : {false, true}) {
+    SCOPED_TRACE(Sampling ? "sampled" : "unsampled");
+    const StrideProfile A = Build(1, 4000, Sampling);
+    const StrideProfile B = Build(2, 3000, Sampling);
+    const StrideProfile C = Build(3, 2000, Sampling);
+
+    // Commutative: A+B == B+A.
+    StrideProfile AB = A;
+    mergeStrideProfile(AB, B);
+    StrideProfile BA = B;
+    mergeStrideProfile(BA, A);
+    EXPECT_EQ(Canon(AB), Canon(BA));
+
+    // Associative: (A+B)+C == A+(B+C).
+    StrideProfile AB_C = AB;
+    mergeStrideProfile(AB_C, C);
+    StrideProfile BC = B;
+    mergeStrideProfile(BC, C);
+    StrideProfile A_BC = A;
+    mergeStrideProfile(A_BC, BC);
+    EXPECT_EQ(Canon(AB_C), Canon(A_BC));
+
+    // Scalar sums really add up.
+    for (uint32_t S = 0; S != NumSites; ++S)
+      EXPECT_EQ(AB_C.site(S).TotalStrides, A.site(S).TotalStrides +
+                                               B.site(S).TotalStrides +
+                                               C.site(S).TotalStrides);
+
+    // Identity: an empty destination receives a verbatim ordered copy --
+    // no canonicalization needed for byte equality.
+    StrideProfile E(NumSites);
+    mergeStrideProfile(E, A);
+    EXPECT_EQ(strideProfileToJson(E).str(), strideProfileToJson(A).str());
+  }
 }

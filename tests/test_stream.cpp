@@ -113,7 +113,7 @@ std::vector<AccessEvent> roundTrip(const std::vector<AccessEvent> &Events,
   TraceReader R(SS);
   EXPECT_TRUE(R.ok()) << R.error();
   EXPECT_EQ(R.text(), Text);
-  EXPECT_EQ(R.version(), TraceFormatVersion);
+  EXPECT_EQ(R.version(), Text ? 1u : TraceFormatVersion);
   EXPECT_EQ(R.numSites(), NumSites);
   EXPECT_EQ(R.provenance().Workload, Prov.Workload);
   EXPECT_EQ(R.provenance().DataSet, Prov.DataSet);
@@ -236,6 +236,110 @@ TEST(TraceFile, FileBackedResetReplaysTheStream) {
 }
 
 //===----------------------------------------------------------------------===//
+// The /2 shard index: seekable open and independent chunk decode
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFile, ShardIndexRoundTripAndShardDecode) {
+  const std::string Path = tmpPath("indexed.sprof.trace");
+  const std::vector<AccessEvent> Events = patternEvents(1000);
+  size_t Loads = 0;
+  for (const AccessEvent &E : Events)
+    Loads += E.Kind == AccessKind::Load;
+  {
+    std::string Err;
+    auto W = TraceWriter::open(Path, 5, {}, /*Text=*/false, &Err,
+                               /*IndexInterval=*/64);
+    ASSERT_NE(W, nullptr) << Err;
+    EXPECT_EQ(W->version(), 2u);
+    EXPECT_STREQ(W->schema(), TraceSchemaV2);
+    W->onBatch(Events.data(), Events.size());
+    W->finish();
+    ASSERT_TRUE(W->ok()) << W->error();
+  }
+
+  // Sequential decode still works and sees the index once the footer is in.
+  {
+    auto R = TraceReader::openFile(Path);
+    ASSERT_TRUE(R->ok()) << R->error();
+    expectSameEvents(Events, drainAll(*R));
+    ASSERT_TRUE(R->ok()) << R->error();
+    EXPECT_TRUE(R->index().Present);
+  }
+
+  // Indexed open reaches the footer without decoding any event.
+  auto R = TraceReader::openFileIndexed(Path);
+  ASSERT_TRUE(R->ok()) << R->error();
+  EXPECT_TRUE(R->atEnd());
+  const TraceShardIndex &Idx = R->index();
+  ASSERT_TRUE(Idx.Present);
+  EXPECT_EQ(Idx.Interval, 64u);
+  EXPECT_EQ(Idx.TotalEvents, Events.size());
+  EXPECT_EQ(Idx.TotalLoads, Loads);
+  EXPECT_EQ(Idx.numChunks(), (Events.size() + 63) / 64);
+  EXPECT_EQ(Idx.Chunks[0].CumEvents, 0u);
+  EXPECT_EQ(Idx.Chunks[0].PrevAddr, 0u);
+
+  // Every chunk range decodes exactly its slice of the stream, from any
+  // starting chunk, with no context from earlier chunks.
+  for (size_t First = 0; First < Idx.numChunks(); First += 3) {
+    SCOPED_TRACE("first chunk " + std::to_string(First));
+    const size_t N = std::min<size_t>(3, Idx.numChunks() - First);
+    auto SR = TraceReader::openShard(Path, Idx, First, N);
+    ASSERT_TRUE(SR->ok()) << SR->error();
+    const std::vector<AccessEvent> Got = drainAll(*SR);
+    ASSERT_TRUE(SR->ok()) << SR->error();
+    EXPECT_TRUE(SR->atEnd());
+    const size_t Base = First * 64;
+    const size_t Want = std::min<size_t>(Events.size() - Base, N * 64);
+    ASSERT_EQ(Got.size(), Want);
+    expectSameEvents({Events.begin() + Base, Events.begin() + Base + Want},
+                     Got);
+    // Shard readers cannot rewind: the carried state is gone.
+    EXPECT_FALSE(SR->reset());
+  }
+
+  // A shard range outside the index is rejected, not clamped.
+  auto Bad = TraceReader::openShard(Path, Idx, Idx.numChunks(), 1);
+  EXPECT_FALSE(Bad->ok());
+  EXPECT_EQ(Bad->errorCode(), TraceError::Corrupt);
+  std::remove(Path.c_str());
+}
+
+// IndexInterval 0 turns the index off and produces a version-1 container:
+// the compatibility escape hatch, and the regression proof that /1 files
+// remain readable unchanged.
+TEST(TraceFile, IndexIntervalZeroWritesVersion1) {
+  const std::string Path = tmpPath("v1compat.sprof.trace");
+  const std::vector<AccessEvent> Events = patternEvents(300);
+  {
+    std::string Err;
+    auto W = TraceWriter::open(Path, 5, {}, /*Text=*/false, &Err,
+                               /*IndexInterval=*/0);
+    ASSERT_NE(W, nullptr) << Err;
+    EXPECT_EQ(W->version(), 1u);
+    EXPECT_STREQ(W->schema(), TraceSchemaV1);
+    W->onBatch(Events.data(), Events.size());
+    W->finish();
+    ASSERT_TRUE(W->ok()) << W->error();
+  }
+  auto R = TraceReader::openFile(Path);
+  ASSERT_TRUE(R->ok()) << R->error();
+  EXPECT_EQ(R->version(), 1u);
+  expectSameEvents(Events, drainAll(*R));
+  ASSERT_TRUE(R->ok()) << R->error();
+  EXPECT_TRUE(R->atEnd());
+  EXPECT_FALSE(R->index().Present);
+
+  // Indexed open hands a /1 file back positioned for sequential decode.
+  auto RI = TraceReader::openFileIndexed(Path);
+  ASSERT_TRUE(RI->ok()) << RI->error();
+  EXPECT_FALSE(RI->index().Present);
+  expectSameEvents(Events, drainAll(*RI));
+  EXPECT_TRUE(RI->ok()) << RI->error();
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
 // Reader error paths
 //===----------------------------------------------------------------------===//
 
@@ -294,6 +398,170 @@ TEST(TraceFile, CutStreamsAreTruncationErrors) {
     EXPECT_EQ(R.errorCode(), TraceError::Truncated);
     EXPECT_FALSE(R.atEnd());
   }
+}
+
+// The seekable tail's two failure modes: a chopped-off tail (unfinished or
+// truncated capture) and an offset word that no longer points at the
+// end-of-events marker (bit rot). Both must be loud, typed errors.
+TEST(TraceFile, IndexedOpenRejectsDamagedTails) {
+  std::stringstream SS;
+  {
+    TraceWriter W(SS, 5, {}, /*Text=*/false, /*IndexInterval=*/32);
+    const std::vector<AccessEvent> Events = patternEvents(200);
+    W.onBatch(Events.data(), Events.size());
+    W.finish();
+    ASSERT_TRUE(W.ok()) << W.error();
+  }
+  const std::string Data = SS.str();
+
+  const std::string Path = tmpPath("damaged.sprof.trace");
+  auto WriteFile = [&](const std::string &Bytes) {
+    std::ofstream F(Path, std::ios::binary | std::ios::trunc);
+    F.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  };
+
+  // Healthy copy: baseline, and the EventsStart we corrupt towards below.
+  WriteFile(Data);
+  uint64_t EventsStart = 0;
+  {
+    auto R = TraceReader::openFileIndexed(Path);
+    ASSERT_TRUE(R->ok()) << R->error();
+    ASSERT_TRUE(R->index().Present);
+    EventsStart = R->index().EventsStart;
+  }
+
+  // Tail cut off -> Truncated.
+  WriteFile(Data.substr(0, Data.size() - 4));
+  {
+    auto R = TraceReader::openFileIndexed(Path);
+    EXPECT_FALSE(R->ok());
+    EXPECT_EQ(R->errorCode(), TraceError::Truncated);
+  }
+
+  // Offset word redirected at the first event record (a valid in-range
+  // offset whose byte is an event tag, not the end marker) -> Corrupt.
+  {
+    std::string Bad = Data;
+    const size_t WordAt = Bad.size() - 16;
+    for (int I = 0; I < 8; ++I)
+      Bad[WordAt + I] = static_cast<char>((EventsStart >> (8 * I)) & 0xff);
+    WriteFile(Bad);
+    auto R = TraceReader::openFileIndexed(Path);
+    EXPECT_FALSE(R->ok());
+    EXPECT_EQ(R->errorCode(), TraceError::Corrupt);
+  }
+
+  // Offset word pointing past the file -> Corrupt.
+  {
+    std::string Bad = Data;
+    Bad[Bad.size() - 16] = static_cast<char>(0xff);
+    Bad[Bad.size() - 15] = static_cast<char>(0xff);
+    Bad[Bad.size() - 14] = static_cast<char>(0xff);
+    WriteFile(Bad);
+    auto R = TraceReader::openFileIndexed(Path);
+    EXPECT_FALSE(R->ok());
+    EXPECT_EQ(R->errorCode(), TraceError::Corrupt);
+  }
+  std::remove(Path.c_str());
+}
+
+namespace {
+
+/// A sink that accepts \p Limit bytes and then refuses everything: the
+/// deterministic stand-in for ENOSPC / a closed pipe.
+class ChokedBuf : public std::streambuf {
+public:
+  explicit ChokedBuf(size_t Limit) : Limit(Limit) {}
+
+private:
+  int_type overflow(int_type Ch) override {
+    if (Written >= Limit)
+      return traits_type::eof();
+    ++Written;
+    return Ch;
+  }
+  std::streamsize xsputn(const char *, std::streamsize N) override {
+    if (Written + static_cast<size_t>(N) > Limit)
+      return 0; // short write
+    Written += static_cast<size_t>(N);
+    return N;
+  }
+  size_t Limit;
+  size_t Written = 0;
+};
+
+} // namespace
+
+// The ENOSPC regression: a sink that stops accepting bytes mid-stream must
+// flip the writer into a reported failure -- at the batch that hit the
+// short write, or at the latest in finish() -- never silently produce a
+// truncated trace that claims ok().
+TEST(TraceFile, WriterReportsSinkFailures) {
+  const std::vector<AccessEvent> Events = patternEvents(5000);
+  for (size_t Limit : {size_t(0), size_t(64), size_t(4096)}) {
+    SCOPED_TRACE("limit " + std::to_string(Limit));
+    ChokedBuf Choked(Limit);
+    std::ostream OS(&Choked);
+    TraceWriter W(OS, 5);
+    W.onBatch(Events.data(), Events.size());
+    W.finish();
+    EXPECT_FALSE(W.ok());
+    EXPECT_NE(W.error().find("write failure"), std::string::npos)
+        << W.error();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Text access-log import
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFile, ImportAccessLogRoundTrip) {
+  const std::string Path = tmpPath("imported.sprof.trace");
+  std::istringstream Log("# cacheSight-style access log\n"
+                         "0x1000, 0, L\n"
+                         " 0x1040 ,0, load\n"
+                         "4242, 3, P\n"
+                         "\n"
+                         "0x1080, 0, l\n");
+  std::string Err;
+  auto Res = importAccessLog(Log, Path, &Err);
+  ASSERT_TRUE(Res.has_value()) << Err;
+  EXPECT_EQ(Res->Events, 4u);
+  EXPECT_EQ(Res->Loads, 3u);
+  EXPECT_EQ(Res->Prefetches, 1u);
+  EXPECT_EQ(Res->NumSites, 4u);
+  EXPECT_GT(Res->Bytes, 0u);
+
+  auto R = TraceReader::openFile(Path);
+  ASSERT_TRUE(R->ok()) << R->error();
+  EXPECT_EQ(R->version(), TraceFormatVersion);
+  const std::vector<AccessEvent> Events = drainAll(*R);
+  ASSERT_TRUE(R->ok()) << R->error();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Events[0].Address, 0x1000u);
+  EXPECT_EQ(Events[0].SiteId, 0u);
+  EXPECT_EQ(Events[0].Kind, AccessKind::Load);
+  EXPECT_EQ(Events[0].GlobalRefIndex, 1u);
+  EXPECT_EQ(Events[1].Address, 0x1040u);
+  EXPECT_EQ(Events[2].Address, 4242u);
+  EXPECT_EQ(Events[2].SiteId, 3u);
+  EXPECT_EQ(Events[2].Kind, AccessKind::Prefetch);
+  EXPECT_EQ(Events[3].GlobalRefIndex, 4u);
+
+  // The import is a real /2 file: indexed open finds the shard index, so
+  // imported logs replay in parallel like native captures.
+  auto RI = TraceReader::openFileIndexed(Path);
+  ASSERT_TRUE(RI->ok()) << RI->error();
+  EXPECT_TRUE(RI->index().Present);
+  std::remove(Path.c_str());
+
+  // Malformed input is rejected with the offending line named.
+  std::istringstream BadKind("0x10, 0, L\n0x20, 1, X\n");
+  EXPECT_FALSE(importAccessLog(BadKind, tmpPath("bad.sprof.trace"), &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  std::istringstream BadShape("0x10\n");
+  EXPECT_FALSE(importAccessLog(BadShape, tmpPath("bad.sprof.trace"), &Err));
+  EXPECT_NE(Err.find("line 1"), std::string::npos) << Err;
 }
 
 TEST(TraceReplay, ReadErrorsSurfaceThroughTheResult) {
@@ -491,7 +759,7 @@ TEST(TraceReplay, ReplayedProfilesMatchLiveAcrossMethodsAndEngines) {
       const ProfileRunResult Live =
           P.runProfile(Method, DataSet::Train, /*WithMemorySystem=*/false);
       ASSERT_TRUE(Live.Capture.Enabled);
-      EXPECT_EQ(Live.Capture.Schema, TraceSchemaV1);
+      EXPECT_EQ(Live.Capture.Schema, TraceSchemaV2);
       // The capture records the complete pre-sampling invocation stream.
       EXPECT_EQ(Live.Capture.Events, Live.StrideInvocations);
 
@@ -610,4 +878,155 @@ TEST(TraceReplay, StreamOnlyReplaySimulatesPrefetching) {
   EXPECT_GT(R.MemBaseline.StallCycles, 0u);
   EXPECT_GT(R.MemPrefetched.Prefetches, 0u);
   EXPECT_LT(R.MemPrefetched.StallCycles, R.MemBaseline.StallCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel replay: bit-identical to serial (the tentpole's acceptance bar)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every observable a replay produces, compared field by field so a
+/// parallel divergence names exactly what broke.
+void expectSameReplay(const TraceReplayResult &Serial,
+                      const TraceReplayResult &Par) {
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+  ASSERT_TRUE(Par.Ok) << Par.Error;
+  EXPECT_EQ(Par.Events, Serial.Events);
+  EXPECT_EQ(Par.Method, Serial.Method);
+  EXPECT_EQ(strideProfileToJson(Par.Profile.Strides).str(),
+            strideProfileToJson(Serial.Profile.Strides).str());
+  EXPECT_EQ(edgeProfileToJson(Par.Profile.Edges).str(),
+            edgeProfileToJson(Serial.Profile.Edges).str());
+  EXPECT_EQ(Par.Profile.StrideInvocations, Serial.Profile.StrideInvocations);
+  EXPECT_EQ(Par.Profile.StrideProcessed, Serial.Profile.StrideProcessed);
+  EXPECT_EQ(Par.Profile.LfuCalls, Serial.Profile.LfuCalls);
+  EXPECT_EQ(Par.Profile.Stats.RuntimeCycles,
+            Serial.Profile.Stats.RuntimeCycles);
+  ASSERT_EQ(Par.SiteClass.size(), Serial.SiteClass.size());
+  for (size_t S = 0; S != Serial.SiteClass.size(); ++S)
+    EXPECT_EQ(Par.SiteClass[S], Serial.SiteClass[S]) << "site " << S;
+  EXPECT_EQ(Par.HasMemSim, Serial.HasMemSim);
+  if (Serial.HasMemSim) {
+    EXPECT_EQ(Par.MemBaseline.Cycles, Serial.MemBaseline.Cycles);
+    EXPECT_EQ(Par.MemBaseline.StallCycles, Serial.MemBaseline.StallCycles);
+    EXPECT_EQ(Par.MemBaseline.Loads, Serial.MemBaseline.Loads);
+    EXPECT_EQ(Par.MemPrefetched.Cycles, Serial.MemPrefetched.Cycles);
+    EXPECT_EQ(Par.MemPrefetched.StallCycles,
+              Serial.MemPrefetched.StallCycles);
+    EXPECT_EQ(Par.MemPrefetched.Prefetches, Serial.MemPrefetched.Prefetches);
+    EXPECT_EQ(Par.MemBaselineStats.DemandAccesses,
+              Serial.MemBaselineStats.DemandAccesses);
+    EXPECT_EQ(Par.MemPrefetchedStats.PrefetchesIssued,
+              Serial.MemPrefetchedStats.PrefetchesIssued);
+  }
+}
+
+} // namespace
+
+// The differential bar: for every profiling method, with and without the
+// stream-driven memory simulation, a threaded replay of a real capture is
+// bit-identical to the serial replay of the same file.
+TEST(TraceReplay, ParallelReplayMatchesSerialAcrossMethods) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  for (ProfilingMethod Method : allProfilingMethods()) {
+    SCOPED_TRACE(profilingMethodName(Method));
+    const std::string Path =
+        tmpPath("par_" + std::string(profilingMethodName(Method)) +
+                ".sprof.trace");
+    PipelineConfig C = engineConfig(InterpreterConfig::Engine::Decoded);
+    C.TraceCapturePath = Path;
+    Pipeline P(*W, C);
+    const ProfileRunResult Live =
+        P.runProfile(Method, DataSet::Train, /*WithMemorySystem=*/false);
+    ASSERT_TRUE(Live.Capture.Enabled);
+
+    for (bool MemSim : {false, true}) {
+      SCOPED_TRACE(MemSim ? "memsim" : "profile-only");
+      TraceReplayOptions Opts;
+      Opts.Config = engineConfig(InterpreterConfig::Engine::Decoded);
+      Opts.EvaluateWorkload = false;
+      Opts.SimulateMemory = MemSim;
+      const TraceReplayResult Serial = replayTraceFile(Path, Opts);
+      Opts.Threads = 4;
+      const TraceReplayResult Par = replayTraceFile(Path, Opts);
+      expectSameReplay(Serial, Par);
+    }
+    std::remove(Path.c_str());
+  }
+}
+
+// The workload-evaluation half under threads: baseline/timed accounting,
+// feedback, attribution, and speedup all match the serial replay.
+TEST(TraceReplay, ParallelWorkloadEvaluationMatchesSerial) {
+  std::unique_ptr<Workload> W = makeWorkloadByName("181.mcf");
+  ASSERT_NE(W, nullptr);
+  const std::string Path = tmpPath("par_eval.sprof.trace");
+  PipelineConfig C = engineConfig(InterpreterConfig::Engine::Decoded);
+  C.TraceCapturePath = Path;
+  Pipeline P(*W, C);
+  const ProfileRunResult Live =
+      P.runProfile(ProfilingMethod::EdgeCheck, DataSet::Train,
+                   /*WithMemorySystem=*/false);
+  ASSERT_TRUE(Live.Capture.Enabled);
+
+  TraceReplayOptions Opts;
+  Opts.Config = engineConfig(InterpreterConfig::Engine::Decoded);
+  Opts.Config.Memory.EnableAttribution = true;
+  Opts.SimulateMemory = false;
+  const TraceReplayResult Serial = replayTraceFile(Path, Opts);
+  Opts.Threads = 3;
+  const TraceReplayResult Par = replayTraceFile(Path, Opts);
+  ASSERT_TRUE(Serial.Ok) << Serial.Error;
+  ASSERT_TRUE(Par.Ok) << Par.Error;
+  ASSERT_TRUE(Serial.HasWorkload);
+  ASSERT_TRUE(Par.HasWorkload);
+
+  expectSameReplay(Serial, Par);
+  expectSameStats(Serial.Baseline, Par.Baseline);
+  expectSameStats(Serial.Timed.Stats, Par.Timed.Stats);
+  EXPECT_EQ(feedbackToJson(Par.Timed.Feedback, Par.Profile.Strides,
+                           Opts.Config.Classifier)
+                .str(),
+            feedbackToJson(Serial.Timed.Feedback, Serial.Profile.Strides,
+                           Opts.Config.Classifier)
+                .str());
+  ASSERT_TRUE(Serial.Timed.Attribution.Enabled);
+  ASSERT_TRUE(Par.Timed.Attribution.Enabled);
+  EXPECT_EQ(attributionToJson(Par.Timed.Attribution).str(),
+            attributionToJson(Serial.Timed.Attribution).str());
+  EXPECT_DOUBLE_EQ(Par.Speedup, Serial.Speedup);
+  std::remove(Path.c_str());
+}
+
+// The shard count is an implementation knob, not an observable: any value,
+// on any method, produces the identical profile as the serial replay --
+// the commutative-merge contract at the options level.
+TEST(TraceReplay, ProfileShardCountIsObservationallyInvisible) {
+  SyntheticTraceConfig Config;
+  Config.Events = 30000;
+  Config.Seed = 11;
+  auto Src = makeSyntheticTrace("stream-mixed", Config);
+  ASSERT_NE(Src, nullptr);
+
+  for (ProfilingMethod Method : allProfilingMethods()) {
+    SCOPED_TRACE(profilingMethodName(Method));
+    TraceReplayOptions Base;
+    Base.Method = Method;
+    Base.EvaluateWorkload = false;
+    Base.SimulateMemory = false;
+    ASSERT_TRUE(Src->reset());
+    const TraceReplayResult Serial = replayStream(*Src, Base, "mixed");
+    ASSERT_TRUE(Serial.Ok) << Serial.Error;
+    for (unsigned Shards : {1u, 2u, 5u, 16u}) {
+      SCOPED_TRACE("shards " + std::to_string(Shards));
+      TraceReplayOptions O = Base;
+      O.Threads = 3;
+      O.ProfileShards = Shards;
+      ASSERT_TRUE(Src->reset());
+      const TraceReplayResult R = replayStream(*Src, O, "mixed");
+      expectSameReplay(Serial, R);
+    }
+  }
 }

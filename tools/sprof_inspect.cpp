@@ -37,10 +37,17 @@
 ///       fuel) and flags the hottest side-exiting guard.
 ///
 ///   sprof-inspect trace <file.sprof.trace> [--top=N]
-///       Decodes a sprof.trace/1 (binary or text) capture: provenance
-///       header, event/kind counts, address span, edge-section summary,
+///       Decodes a sprof.trace/1 or /2 (binary or text) capture:
+///       provenance header, per-kind event histogram, decode throughput,
+///       shard-index summary (/2), address span, edge-section summary,
 ///       and the busiest sites. Unreadable, truncated, corrupt, or
 ///       wrong-version traces diagnose the precise failure and exit 1.
+///
+///   sprof-inspect import <log.txt> <out.sprof.trace>
+///       Converts a cacheSight-style "addr,site,kind" text access log
+///       ('-' reads stdin) into an indexed binary sprof.trace/2 file and
+///       prints the import summary. Malformed lines diagnose with their
+///       line number and exit 1.
 ///
 ///   sprof-inspect sweep <sweep_report.json> [--top=N]
 ///       The engine's causal sweep view (sprof.sweep_report/1): per-job
@@ -69,6 +76,7 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -630,6 +638,7 @@ int runTrace(const std::string &Path, size_t TopN) {
   uint64_t MinAddr = UINT64_MAX, MaxAddr = 0;
 
   std::vector<AccessEvent> Buf(4096);
+  const auto DecodeStart = std::chrono::steady_clock::now();
   while (size_t N = Reader->pull(Buf.data(), Buf.size())) {
     for (size_t I = 0; I != N; ++I) {
       const AccessEvent &E = Buf[I];
@@ -647,6 +656,10 @@ int runTrace(const std::string &Path, size_t TopN) {
       MaxAddr = std::max(MaxAddr, E.Address);
     }
   }
+  const double DecodeSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    DecodeStart)
+          .count();
   if (!Reader->ok()) {
     // The one-line contract CI leans on: the exact failure class
     // (traceErrorName) plus the reader's position-specific message.
@@ -659,15 +672,43 @@ int runTrace(const std::string &Path, size_t TopN) {
   const TraceProvenance &Prov = Reader->provenance();
   std::cout << "trace:    " << Path << "\n";
   std::cout << "schema:   "
-            << (Reader->text() ? TraceTextSchemaV1 : TraceSchemaV1) << "\n";
+            << (Reader->text() ? TraceTextSchemaV1
+                               : Reader->version() >= 2 ? TraceSchemaV2
+                                                        : TraceSchemaV1)
+            << "\n";
   std::cout << "workload: " << (Prov.Workload.empty() ? "?" : Prov.Workload)
             << " / " << (Prov.DataSet.empty() ? "?" : Prov.DataSet) << " / "
             << (Prov.Method.empty() ? "?" : Prov.Method) << "\n";
   std::cout << "sites:    " << Reader->numSites() << "\n";
-  std::cout << "events:   " << Table::fmtInt(Reader->eventCount()) << " ("
-            << Table::fmtInt(Loads) << " loads, "
-            << Table::fmtInt(Prefetches) << " prefetches)\n";
-  if (Loads + Prefetches != 0)
+  const uint64_t Total = Loads + Prefetches;
+  std::cout << "events:   " << Table::fmtInt(Reader->eventCount()) << "\n";
+  std::cout << "kinds:    load " << Table::fmtInt(Loads) << " ("
+            << Table::fmt(Total ? 100.0 * Loads / Total : 0.0, 1)
+            << "%), prefetch " << Table::fmtInt(Prefetches) << " ("
+            << Table::fmt(Total ? 100.0 * Prefetches / Total : 0.0, 1)
+            << "%)\n";
+  if (DecodeSeconds > 0.0)
+    std::cout << "decode:   "
+              << Table::fmt(static_cast<double>(Total) / DecodeSeconds / 1e6,
+                            2)
+              << " Mev/s (" << Table::fmt(DecodeSeconds, 4) << " s)\n";
+  // The /2 shard index is parsed from the footer once the sequential
+  // decode reaches it; /1 and text traces have none.
+  const TraceShardIndex &Idx = Reader->index();
+  if (Idx.Present) {
+    const uint64_t Span = Idx.FooterStart - Idx.EventsStart;
+    std::cout << "index:    " << Idx.numChunks() << " chunks, "
+              << Table::fmtInt(Idx.Interval) << " events/chunk, event area "
+              << Table::fmtInt(Span) << " bytes";
+    if (Idx.numChunks() != 0)
+      std::cout << " (~"
+                << Table::fmtInt(Span / static_cast<uint64_t>(Idx.numChunks()))
+                << " B/chunk)";
+    std::cout << "\n";
+  } else {
+    std::cout << "index:    (no shard index)\n";
+  }
+  if (Total != 0)
     std::cout << "addrs:    [0x" << std::hex << MinAddr << ", 0x" << MaxAddr
               << std::dec << "]\n";
   const TraceEdgeSection &Edges = Reader->edgeSection();
@@ -699,6 +740,36 @@ int runTrace(const std::string &Path, size_t TopN) {
     if (Order.size() > N)
       std::cout << "(" << Order.size() - N << " more active sites)\n";
   }
+  return 0;
+}
+
+// -- import ----------------------------------------------------------------
+
+int runImport(const std::string &LogPath, const std::string &OutPath) {
+  std::ifstream File;
+  if (LogPath != "-") {
+    File.open(LogPath);
+    if (!File) {
+      std::cerr << "sprof-inspect: cannot open " << LogPath << "\n";
+      return 1;
+    }
+  }
+  std::istream &In = LogPath == "-" ? std::cin : File;
+
+  std::string Err;
+  const std::optional<TraceImportResult> R =
+      importAccessLog(In, OutPath, &Err);
+  if (!R) {
+    std::cerr << "sprof-inspect: " << LogPath << ": " << Err << "\n";
+    return 1;
+  }
+  std::cout << "imported: " << LogPath << " -> " << OutPath << "\n";
+  std::cout << "schema:   " << TraceSchemaV2 << "\n";
+  std::cout << "events:   " << Table::fmtInt(R->Events) << " ("
+            << Table::fmtInt(R->Loads) << " loads, "
+            << Table::fmtInt(R->Prefetches) << " prefetches)\n";
+  std::cout << "sites:    " << R->NumSites << "\n";
+  std::cout << "bytes:    " << Table::fmtInt(R->Bytes) << "\n";
   return 0;
 }
 
@@ -858,6 +929,7 @@ int usage() {
             << "       sprof-inspect timeseries <timeseries.json>\n"
             << "       sprof-inspect hotspots <report.json> [--top=N]\n"
             << "       sprof-inspect trace <file.sprof.trace> [--top=N]\n"
+            << "       sprof-inspect import <log.txt> <out.sprof.trace>\n"
             << "       sprof-inspect sweep <sweep_report.json> [--top=N]\n"
             << "       sprof-inspect blackbox <flightrec.json>\n";
   return 1;
@@ -911,6 +983,10 @@ int main(int Argc, char **Argv) {
     return WantArgs(1, "one report path") ? runHotspots(Args[1], TopN) : 1;
   if (Cmd == "trace")
     return WantArgs(1, "one trace path") ? runTrace(Args[1], TopN) : 1;
+  if (Cmd == "import")
+    return WantArgs(2, "a log path and an output trace path")
+               ? runImport(Args[1], Args[2])
+               : 1;
   if (Cmd == "sweep")
     return WantArgs(1, "one sweep-report path")
                ? runSweepReport(Args[1], TopN)
